@@ -1,0 +1,130 @@
+package pgridfile_test
+
+import (
+	"bytes"
+	"testing"
+
+	pgridfile "pgridfile"
+)
+
+// TestFacadeEndToEnd drives the whole public surface: generate, load,
+// decluster (two algorithms), replay, inspect metrics, persist, reload.
+func TestFacadeEndToEnd(t *testing.T) {
+	ds := pgridfile.Hotspot2D(3000, 42)
+	file, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Len() != 3000 {
+		t.Fatalf("Len = %d", file.Len())
+	}
+
+	view := pgridfile.ViewOf(file)
+	queries := pgridfile.SquareRangeQueries(file.Domain(), 0.05, 300, 7)
+
+	mm, err := (&pgridfile.Minimax{Seed: 1}).Decluster(view, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := pgridfile.NewIndexBased("DM", "D", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmAlloc, err := dm.Decluster(view, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mmRes, err := pgridfile.Replay(file, mm, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmRes, err := pgridfile.Replay(file, dmAlloc, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mmRes.MeanResponseTime > dmRes.MeanResponseTime {
+		t.Errorf("minimax %.3f worse than DM %.3f", mmRes.MeanResponseTime, dmRes.MeanResponseTime)
+	}
+	if pgridfile.DataBalanceDegree(mm) > pgridfile.DataBalanceDegree(dmAlloc)+1e-9 {
+		t.Error("minimax balance worse than DM")
+	}
+	if mmPairs, dmPairs := pgridfile.ClosestPairsSameDisk(view, mm),
+		pgridfile.ClosestPairsSameDisk(view, dmAlloc); mmPairs > dmPairs {
+		t.Errorf("minimax closest pairs %d above DM %d", mmPairs, dmPairs)
+	}
+
+	var buf bytes.Buffer
+	if _, err := file.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := pgridfile.ReadGridFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != file.Len() {
+		t.Fatal("reload lost records")
+	}
+}
+
+func TestFacadeGridFileBasics(t *testing.T) {
+	f, err := pgridfile.NewGridFile(pgridfile.GridConfig{
+		Dims:           2,
+		Domain:         pgridfile.NewRect([]float64{0, 0}, []float64{10, 10}),
+		BucketCapacity: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Insert(pgridfile.Record{Key: pgridfile.Point{3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	q := pgridfile.NewRect([]float64{0, 0}, []float64{5, 5})
+	if n := f.RangeCount(q); n != 1 {
+		t.Fatalf("RangeCount = %d", n)
+	}
+	nns := f.NearestNeighbors(pgridfile.Point{4, 4}, 1)
+	if len(nns) != 1 {
+		t.Fatalf("%d neighbours", len(nns))
+	}
+}
+
+func TestFacadeBulkLoadAndCartesian(t *testing.T) {
+	cfg := pgridfile.GridConfig{
+		Dims:           2,
+		Domain:         pgridfile.NewRect([]float64{0, 0}, []float64{100, 100}),
+		BucketCapacity: 4,
+	}
+	recs := []pgridfile.Record{
+		{Key: pgridfile.Point{1, 1}}, {Key: pgridfile.Point{99, 99}},
+		{Key: pgridfile.Point{50, 50}},
+	}
+	f, err := pgridfile.BulkLoad(cfg, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+
+	c, err := pgridfile.NewCartesian([]int{4, 4}, cfg.Domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := pgridfile.ViewOfCartesian(c)
+	alloc, err := (&pgridfile.SSP{Seed: 1}).Decluster(view, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Validate(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeProximity(t *testing.T) {
+	dom := pgridfile.NewRect([]float64{0, 0}, []float64{10, 10})
+	a := pgridfile.NewRect([]float64{0, 0}, []float64{10, 10})
+	if got := pgridfile.Proximity(a, a, dom); got != 1 {
+		t.Errorf("self proximity of the domain = %v", got)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestGenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		want int
+	}{
+		{"uniform.2d", 500, 500},
+		{"hot.2d", 500, 500},
+		{"correl.2d", 500, 500},
+		{"DSMC.3d", 500, 500},
+		{"stock.3d", 10, 3830}, // n = days, 383 stocks
+	}
+	for _, c := range cases {
+		ds, err := generate(c.name, c.n, 1)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(ds.Records) != c.want {
+			t.Errorf("%s: %d records, want %d", c.name, len(ds.Records), c.want)
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	ds, err := generate("uniform.2d", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Records) != 10000 {
+		t.Errorf("default uniform.2d size %d", len(ds.Records))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("", 10, 1); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := generate("bogus", 10, 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

@@ -1,0 +1,99 @@
+// Command gridbench regenerates the paper's tables and figures (and this
+// repository's ablations) from the experiment drivers.
+//
+// Usage:
+//
+//	gridbench -list
+//	gridbench -exp fig6
+//	gridbench -exp all -scale 1.0 -queries 1000
+//	gridbench -exp tab4 -scale 0.25 -disks 4,8,16,32
+//
+// -scale 1.0 reproduces the paper's dataset sizes (the 4-D SP-2 dataset then
+// holds ~3M records and takes several minutes); smaller scales preserve the
+// shapes at a fraction of the cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pgridfile/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		seed    = flag.Int64("seed", 1996, "random seed for generators and heuristics")
+		queries = flag.Int("queries", 1000, "queries per workload")
+		scale   = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = paper size)")
+		disks   = flag.String("disks", "", "comma-separated disk counts (default 4,6,...,32)")
+		format  = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "csv" {
+		fatalf("unknown -format %q", *format)
+	}
+
+	if *list {
+		for _, id := range experiments.ListExperiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Queries: *queries, Scale: *scale}
+	if *disks != "" {
+		parsed, err := parseDisks(*disks)
+		if err != nil {
+			fatalf("bad -disks: %v", err)
+		}
+		opts.Disks = parsed
+	}
+	lab := experiments.NewLab(opts)
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.ListExperiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := lab.Run(id)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		for _, t := range tables {
+			if *format == "csv" {
+				fmt.Println(t.CSV())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func parseDisks(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("disk count %d < 1", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gridbench: "+format+"\n", args...)
+	os.Exit(1)
+}

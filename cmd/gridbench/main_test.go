@@ -1,0 +1,21 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseDisks(t *testing.T) {
+	got, err := parseDisks("4, 8,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{4, 8, 16}) {
+		t.Errorf("parseDisks = %v", got)
+	}
+	for _, bad := range []string{"", "a", "4,,8", "0", "-3"} {
+		if _, err := parseDisks(bad); err == nil {
+			t.Errorf("parseDisks(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/store"
+)
+
+func runLayout(args []string) error {
+	fs := flag.NewFlagSet("layout", flag.ExitOnError)
+	path := fs.String("file", "", "grid file (required)")
+	alg := fs.String("alg", "minimax", "declustering algorithm")
+	disks := fs.Int("disks", 16, "number of disks")
+	pageBytes := fs.Int("page", 4096, "page size in bytes")
+	seed := fs.Int64("seed", 1, "seed for randomized phases")
+	out := fs.String("out", "", "layout directory (required)")
+	fs.Parse(args)
+	if *path == "" || *out == "" {
+		return fmt.Errorf("layout: -file and -out are required")
+	}
+	f, err := loadFile(*path)
+	if err != nil {
+		return err
+	}
+	allocator, err := parseAllocator(*alg, *seed)
+	if err != nil {
+		return err
+	}
+	alloc, err := allocator.Decluster(core.FromGridFile(f), *disks)
+	if err != nil {
+		return err
+	}
+	m, err := store.Write(*out, f, alloc, *pageBytes)
+	if err != nil {
+		return err
+	}
+
+	// Verify the layout reads back correctly before declaring success.
+	s, err := store.Open(*out)
+	if err != nil {
+		return fmt.Errorf("layout verification: %w", err)
+	}
+	defer s.Close()
+	total := 0
+	for _, pl := range m.Buckets {
+		pts, _, err := s.ReadBucket(pl.ID)
+		if err != nil {
+			return fmt.Errorf("layout verification: bucket %d: %w", pl.ID, err)
+		}
+		total += len(pts)
+	}
+	if total != f.Len() {
+		return fmt.Errorf("layout verification: %d records read back, file has %d", total, f.Len())
+	}
+	sizes, err := s.DiskSizes()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("laid out %d buckets (%d records) over %d disks with %s\n",
+		len(m.Buckets), total, *disks, allocator.Name())
+	fmt.Printf("pages per disk: %v\n", sizes)
+	return nil
+}

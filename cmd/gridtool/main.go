@@ -1,0 +1,76 @@
+// Command gridtool builds, inspects, queries and declusters grid files.
+//
+// Subcommands:
+//
+//	gridtool build -in points.csv -out file.grd -capacity 56 [-domain "0:2000,0:2000"]
+//	gridtool stats -file file.grd
+//	gridtool query -file file.grd -range "100:300,50:900" [-count]
+//	gridtool decluster -file file.grd -alg minimax -disks 16 [-out assign.csv]
+//
+// The CSV format is one record per line: comma-separated float coordinates.
+// When -domain is omitted, build infers it from the data with 1% padding.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "decluster":
+		err = runDecluster(os.Args[2:])
+	case "simulate":
+		err = runSimulate(os.Args[2:])
+	case "knn":
+		err = runKNN(os.Args[2:])
+	case "viz":
+		err = runViz(os.Args[2:])
+	case "layout":
+		err = runLayout(os.Args[2:])
+	case "parallel":
+		err = runParallel(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "gridtool: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridtool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	w := bufio.NewWriter(os.Stderr)
+	defer w.Flush()
+	fmt.Fprintln(w, `usage: gridtool <subcommand> [flags]
+
+subcommands:
+  build      load a CSV of points into a new grid file
+  stats      print structure statistics of a grid file
+  query      run a range query against a grid file
+  knn        find the k nearest records to a point
+  decluster  compute a disk assignment for a grid file's buckets
+  simulate   replay a random range-query workload against a declustering
+  viz        render a 2-D grid file as SVG or ASCII (the paper's Figure 2)
+  layout     decluster a grid file into per-disk page files
+  parallel   run a workload through the SPMD coordinator/worker engine
+
+run "gridtool <subcommand> -h" for subcommand flags`)
+}

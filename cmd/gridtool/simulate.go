@@ -1,0 +1,101 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/sim"
+	"pgridfile/internal/workload"
+)
+
+// parseAllocator resolves an algorithm name shared by decluster and
+// simulate: minimax, ssp, mst, or a scheme/resolver pair like HCAM/D.
+func parseAllocator(name string, seed int64) (core.Allocator, error) {
+	switch strings.ToLower(name) {
+	case "minimax":
+		return &core.Minimax{Seed: seed}, nil
+	case "minimax-euclid":
+		return &core.Minimax{Weight: core.EuclideanWeight, WeightName: "euclid", Seed: seed}, nil
+	case "ssp":
+		return &core.SSP{Seed: seed}, nil
+	case "mst":
+		return &core.MST{Seed: seed}, nil
+	}
+	parts := strings.SplitN(name, "/", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+	return core.NewIndexBased(parts[0], parts[1], seed)
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	path := fs.String("file", "", "grid file (required)")
+	algs := fs.String("algs", "DM/D,FX/D,HCAM/D,SSP,minimax", "comma-separated algorithms")
+	disks := fs.Int("disks", 16, "number of disks")
+	ratio := fs.Float64("r", 0.05, "query volume ratio")
+	queries := fs.Int("queries", 1000, "number of random square range queries")
+	seed := fs.Int64("seed", 1, "workload and heuristic seed")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("simulate: -file is required")
+	}
+	f, err := loadFile(*path)
+	if err != nil {
+		return err
+	}
+	g := core.FromGridFile(f)
+	idx := f.IndexByID()
+	qs := workload.SquareRange(f.Domain(), *ratio, *queries, *seed)
+
+	fmt.Printf("%-12s %-14s %-12s %-10s %-14s\n",
+		"method", "mean response", "optimal", "balance", "closest pairs")
+	nn := sim.NearestCompanions(g, nil)
+	for _, name := range strings.Split(*algs, ",") {
+		alg, err := parseAllocator(strings.TrimSpace(name), *seed)
+		if err != nil {
+			return err
+		}
+		alloc, err := alg.Decluster(g, *disks)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Replay(f, alloc, idx, qs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-14.3f %-12.3f %-10.3f %-14d\n",
+			alg.Name(), res.MeanResponseTime, res.MeanOptimal,
+			sim.DataBalanceDegree(alloc), sim.CountSameDisk(nn, alloc))
+	}
+	return nil
+}
+
+func runKNN(args []string) error {
+	fs := flag.NewFlagSet("knn", flag.ExitOnError)
+	path := fs.String("file", "", "grid file (required)")
+	point := fs.String("point", "", "query point as comma-separated floats (required)")
+	k := fs.Int("k", 5, "number of neighbours")
+	fs.Parse(args)
+	if *path == "" || *point == "" {
+		return fmt.Errorf("knn: -file and -point are required")
+	}
+	f, err := loadFile(*path)
+	if err != nil {
+		return err
+	}
+	parts := strings.Split(*point, ",")
+	p := make(geom.Point, len(parts))
+	for i, s := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%f", &p[i]); err != nil {
+			return fmt.Errorf("bad coordinate %q", s)
+		}
+	}
+	for i, n := range f.NearestNeighbors(p, *k) {
+		fmt.Printf("%d: %v (distance %.4f)\n", i+1, n.Record.Key, n.Distance)
+	}
+	return nil
+}

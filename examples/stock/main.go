@@ -1,0 +1,71 @@
+// Stock analytics: multidimensional range queries over (stock id, price,
+// day) quote records — the paper's stock.3d workload. The id×price plane is
+// a series of per-stock hot spots (each stock trades in its own band),
+// which is exactly the correlation structure that separates minimax from
+// the index-based schemes. This example compares HCAM/D and minimax across
+// query sizes, reproducing the Figure 7 trend: minimax's advantage grows as
+// queries shrink.
+//
+// Run with: go run ./examples/stock
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/sim"
+	"pgridfile/internal/synth"
+	"pgridfile/internal/workload"
+)
+
+func main() {
+	// 383 stocks x 120 trading days (the paper's span is ~332 days).
+	ds := synth.Stock3D(synth.Stock3DStocks, 120, 1996)
+	file, err := ds.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := file.Stats()
+	fmt.Printf("stock.3d: %d quotes, grid %v, %d buckets (%d merged)\n\n",
+		st.Records, st.CellsPerDim, st.Buckets, st.MergedBuckets)
+
+	// Analytical queries a user would run: "all quotes of stocks 100-120
+	// priced 20-40 in the first quarter".
+	q := geom.NewRect([]float64{100, 20, 0}, []float64{120, 40, 60})
+	fmt.Printf("ad-hoc query %v:\n  %d quotes from %d buckets\n\n",
+		q, file.RangeCount(q), len(file.BucketsInRange(q)))
+
+	grid := core.FromGridFile(file)
+	hcam, err := core.NewIndexBased("HCAM", "D", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minimax := &core.Minimax{Seed: 1}
+
+	const disks = 16
+	fmt.Printf("declustering over %d disks, 1000 queries per size:\n\n", disks)
+	fmt.Printf("%-8s %-12s %-12s %-12s %-10s\n", "r", "HCAM/D", "MiniMax", "optimal", "advantage")
+	for _, r := range []float64{0.01, 0.05, 0.1} {
+		queries := workload.SquareRange(file.Domain(), r, 1000, 7)
+		var rts [2]float64
+		var optimal float64
+		for i, alg := range []core.Allocator{hcam, minimax} {
+			alloc, err := alg.Decluster(grid, disks)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := sim.Replay(file, alloc, file.IndexByID(), queries)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rts[i] = res.MeanResponseTime
+			optimal = res.MeanOptimal
+		}
+		fmt.Printf("%-8.2f %-12.3f %-12.3f %-12.3f %.1f%%\n",
+			r, rts[0], rts[1], optimal, 100*(rts[0]-rts[1])/rts[0])
+	}
+	fmt.Println("\nadvantage = response-time reduction of minimax over HCAM/D;")
+	fmt.Println("the paper observes it grows as the query ratio r shrinks")
+}

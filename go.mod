@@ -1,0 +1,3 @@
+module pgridfile
+
+go 1.22

@@ -1,0 +1,253 @@
+// Package analytic implements the paper's analytic study of DM and FX on
+// Cartesian product files (Section 2.3): the closed-form response time and
+// strict-optimality condition of Theorem 1 for disk modulo, the bounds of
+// Theorem 2 for fieldwise xor, and brute-force evaluators used to
+// cross-validate the theorems and to plot the saturation behaviour.
+//
+// Throughout, queries are 2-D l×l square windows in cell units on a complete
+// Cartesian grid, and M is the number of disks.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// CeilDiv returns ⌈a/b⌉ for positive b.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }
+
+// OptimalResponse returns the ideal response time ⌈l²/M⌉ of an l×l query
+// over M disks: every disk fetches an equal share of the l² buckets.
+func OptimalResponse(l, m int) int { return CeilDiv(l*l, m) }
+
+// DMTheorem1Condition is the paper's strict-optimality predicate for disk
+// modulo on l×l queries (Theorem 1(i)):
+//
+//	M ≤ l ∧ (β = 0 ∨ β > M(1 − 1/β)),  β = l mod M.
+//
+// This is strictly more general than Theorem 3 of Li et al. (1992), which
+// covers only the β = 0 clause. The predicate characterizes optimality in
+// the regime M ≤ l it is stated for; see DMStrictlyOptimal for the full
+// semantic check (at exactly M = l+1 the saturated response l coincides
+// with ⌈l²/M⌉ even though the window spans fewer cells than disks).
+func DMTheorem1Condition(l, m int) bool {
+	if m > l {
+		return false
+	}
+	beta := l % m
+	if beta == 0 {
+		return true
+	}
+	return float64(beta) > float64(m)*(1-1/float64(beta))
+}
+
+// DMStrictlyOptimal reports whether disk modulo achieves the feasible
+// optimal response time ⌈l²/M⌉ for l×l queries.
+func DMStrictlyOptimal(l, m int) bool {
+	return DMResponse(l, m) == OptimalResponse(l, m)
+}
+
+// DMResponse returns the exact response time of disk modulo for any l×l
+// query (Theorem 1(ii)):
+//
+//	R = R_opt + β − ⌈β²/M⌉  if M ≤ l ∧ β ≠ 0 ∧ β ≤ M(1 − 1/β)
+//	R = l                   if M > l
+//	R = R_opt               otherwise (the strictly optimal cases).
+//
+// DM's response is independent of the window position, so this is both the
+// expected and the worst case.
+func DMResponse(l, m int) int {
+	if m > l {
+		return l
+	}
+	beta := l % m
+	if beta == 0 {
+		return l * l / m
+	}
+	if float64(beta) > float64(m)*(1-1/float64(beta)) {
+		return OptimalResponse(l, m)
+	}
+	return OptimalResponse(l, m) + beta - CeilDiv(beta*beta, m)
+}
+
+// DMBruteForce computes disk modulo's response time for an l×l window by
+// direct enumeration. The multiset of coordinate sums in an l×l window is
+// the triangular distribution 1,2,...,l,...,2,1 over 2l−1 consecutive sums
+// regardless of position, so one window suffices.
+func DMBruteForce(l, m int) int {
+	perDisk := make([]int, m)
+	for s := 0; s <= 2*(l-1); s++ {
+		tri := s + 1
+		if tri > l {
+			tri = l
+		}
+		if rem := 2*l - 1 - s; rem < tri {
+			tri = rem
+		}
+		perDisk[s%m] += tri
+	}
+	max := 0
+	for _, n := range perDisk {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// DMSaturationThreshold returns the number of disks beyond which adding
+// disks no longer reduces DM's response time for l×l queries: the smallest
+// M* such that DMResponse(l, M) == DMResponse(l, M*) for all M ≥ M*.
+// Theorem 1 caps DM's response at l once M > l, so the search is bounded.
+func DMSaturationThreshold(l int) int {
+	floor := DMResponse(l, l+1) // = l, the asymptotic response
+	for m := 1; m <= l+1; m++ {
+		if DMResponse(l, m) <= floor {
+			// Verify no later M does better (response is not monotone).
+			better := false
+			for k := m + 1; k <= l+1; k++ {
+				if DMResponse(l, k) < DMResponse(l, m) {
+					better = true
+					break
+				}
+			}
+			if !better {
+				return m
+			}
+		}
+	}
+	return l + 1
+}
+
+// FXBounds returns Theorem 2's bounds on fieldwise xor's expected response
+// time for a 2^m × 2^m query over M = 2^n disks:
+//
+//	(i)  n ≤ m: R = 2^(2m−n) exactly (strictly optimal);
+//	(ii) n > m: 2^(2m−n) ≤ R ≤ 2^m.
+func FXBounds(m, n int) (lo, hi float64) {
+	if m < 0 || n < 0 {
+		panic(fmt.Sprintf("analytic: FXBounds(%d, %d) with negative exponent", m, n))
+	}
+	exact := math.Exp2(float64(2*m - n))
+	if n <= m {
+		return exact, exact
+	}
+	return exact, math.Exp2(float64(m))
+}
+
+// FXScalingFloor is Theorem 2(iii): for n > m, doubling the disks can shrink
+// FX's expected response by at most a factor 3/4, far from the ideal 1/2.
+// It returns the guaranteed lower bound on R(2^(n+1)) given R(2^n).
+func FXScalingFloor(prev float64) float64 { return 0.75 * prev }
+
+// FXExpectedResponse computes fieldwise xor's expected response time for an
+// l×l window over m disks by enumerating all window positions on a grid of
+// gridSize×gridSize cells (positions wrap the xor pattern, which has period
+// lcm(2^ceil(log2 l), m) per axis, so a gridSize of a few multiples of l·m
+// is exact in practice). Cost is O(gridSize² · l²/m) amortized via sliding
+// sums — implemented directly as O(positions · l²) here because the
+// experiment sizes are small.
+func FXExpectedResponse(l, m, gridSize int) float64 {
+	if gridSize < l {
+		panic(fmt.Sprintf("analytic: grid %d smaller than query %d", gridSize, l))
+	}
+	perDisk := make([]int, m)
+	total := 0.0
+	positions := 0
+	for x0 := 0; x0+l <= gridSize; x0++ {
+		for y0 := 0; y0+l <= gridSize; y0++ {
+			for i := range perDisk {
+				perDisk[i] = 0
+			}
+			for i := x0; i < x0+l; i++ {
+				for j := y0; j < y0+l; j++ {
+					perDisk[(i^j)%m]++
+				}
+			}
+			max := 0
+			for _, n := range perDisk {
+				if n > max {
+					max = n
+				}
+			}
+			total += float64(max)
+			positions++
+		}
+	}
+	return total / float64(positions)
+}
+
+// WindowExpectedResponse computes the expected response time of an
+// arbitrary cell-to-disk mapping for l×l windows by enumerating every
+// window position on a gridSize×gridSize grid. cellDisks is row-major
+// (cell (i,j) at index i*gridSize+j). This is the tool behind the empirical
+// study of HCAM's scalability — the analysis the paper reports as open
+// ("We are currently working on the analysis of the scalability of HCAM").
+func WindowExpectedResponse(cellDisks []int, gridSize, l, m int) float64 {
+	if len(cellDisks) != gridSize*gridSize {
+		panic(fmt.Sprintf("analytic: %d cell disks for a %d-cell grid",
+			len(cellDisks), gridSize*gridSize))
+	}
+	if gridSize < l {
+		panic(fmt.Sprintf("analytic: grid %d smaller than query %d", gridSize, l))
+	}
+	perDisk := make([]int, m)
+	total := 0.0
+	positions := 0
+	for x0 := 0; x0+l <= gridSize; x0++ {
+		for y0 := 0; y0+l <= gridSize; y0++ {
+			for i := range perDisk {
+				perDisk[i] = 0
+			}
+			for i := x0; i < x0+l; i++ {
+				row := i * gridSize
+				for j := y0; j < y0+l; j++ {
+					d := cellDisks[row+j]
+					if d < 0 || d >= m {
+						panic(fmt.Sprintf("analytic: cell disk %d out of range [0,%d)", d, m))
+					}
+					perDisk[d]++
+				}
+			}
+			max := 0
+			for _, n := range perDisk {
+				if n > max {
+					max = n
+				}
+			}
+			total += float64(max)
+			positions++
+		}
+	}
+	return total / float64(positions)
+}
+
+// DMExpectedResponseGeneral computes DM's expected response for arbitrary
+// (possibly non-square) wl×wh windows by enumeration, used to cross-check
+// the closed form and to explore beyond Theorem 1's square-query scope.
+func DMExpectedResponseGeneral(wl, wh, m, gridSize int) float64 {
+	perDisk := make([]int, m)
+	total := 0.0
+	positions := 0
+	for x0 := 0; x0+wl <= gridSize; x0++ {
+		for y0 := 0; y0+wh <= gridSize; y0++ {
+			for i := range perDisk {
+				perDisk[i] = 0
+			}
+			for i := x0; i < x0+wl; i++ {
+				for j := y0; j < y0+wh; j++ {
+					perDisk[(i+j)%m]++
+				}
+			}
+			max := 0
+			for _, n := range perDisk {
+				if n > max {
+					max = n
+				}
+			}
+			total += float64(max)
+			positions++
+		}
+	}
+	return total / float64(positions)
+}

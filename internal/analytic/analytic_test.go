@@ -1,0 +1,230 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 3, 0}, {1, 3, 1}, {3, 3, 1}, {4, 3, 2}, {25, 4, 7},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestTheorem1MatchesBruteForce is the core verification of Theorem 1: the
+// closed-form DMResponse must equal direct enumeration for every (l, M) in a
+// broad sweep.
+func TestTheorem1MatchesBruteForce(t *testing.T) {
+	for l := 1; l <= 40; l++ {
+		for m := 1; m <= 40; m++ {
+			want := DMBruteForce(l, m)
+			got := DMResponse(l, m)
+			if got != want {
+				t.Errorf("DMResponse(l=%d, M=%d) = %d, brute force %d", l, m, got, want)
+			}
+		}
+	}
+}
+
+// TestTheorem1OptimalityCondition verifies that DMStrictlyOptimal agrees
+// with the definition "response equals ⌈l²/M⌉", and that the paper's stated
+// predicate characterizes optimality throughout its M ≤ l regime.
+func TestTheorem1OptimalityCondition(t *testing.T) {
+	for l := 1; l <= 40; l++ {
+		for m := 1; m <= 40; m++ {
+			want := DMBruteForce(l, m) == OptimalResponse(l, m)
+			if got := DMStrictlyOptimal(l, m); got != want {
+				t.Errorf("DMStrictlyOptimal(l=%d, M=%d) = %v, brute force says %v (R=%d, opt=%d)",
+					l, m, got, want, DMBruteForce(l, m), OptimalResponse(l, m))
+			}
+			if m <= l {
+				if got := DMTheorem1Condition(l, m); got != want {
+					t.Errorf("DMTheorem1Condition(l=%d, M=%d) = %v, brute force says %v",
+						l, m, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDMBruteForceAgainstFullEnumeration(t *testing.T) {
+	// DMBruteForce uses the triangular-sum shortcut; validate it against a
+	// literal window enumeration at several positions (DM is position
+	// independent, so all positions must agree).
+	literal := func(l, m, x0, y0 int) int {
+		perDisk := make([]int, m)
+		for i := x0; i < x0+l; i++ {
+			for j := y0; j < y0+l; j++ {
+				perDisk[(i+j)%m]++
+			}
+		}
+		max := 0
+		for _, n := range perDisk {
+			if n > max {
+				max = n
+			}
+		}
+		return max
+	}
+	for _, c := range []struct{ l, m int }{{3, 2}, {5, 3}, {7, 5}, {8, 5}, {10, 16}} {
+		want := DMBruteForce(c.l, c.m)
+		for _, pos := range [][2]int{{0, 0}, {1, 3}, {7, 2}, {13, 13}} {
+			if got := literal(c.l, c.m, pos[0], pos[1]); got != want {
+				t.Errorf("l=%d M=%d at %v: literal %d, shortcut %d", c.l, c.m, pos, got, want)
+			}
+		}
+	}
+}
+
+func TestDMSaturation(t *testing.T) {
+	// Theorem 1: for M > l the response is pinned at l, so DM cannot use
+	// more than ~l disks for an l×l query.
+	const l = 9
+	asymptote := DMResponse(l, l+1)
+	if asymptote != l {
+		t.Fatalf("DMResponse(l, l+1) = %d, want %d", asymptote, l)
+	}
+	for m := l + 1; m <= 4*l; m++ {
+		if got := DMResponse(l, m); got != l {
+			t.Errorf("DMResponse(%d, %d) = %d, want saturation at %d", l, m, got, l)
+		}
+	}
+	thr := DMSaturationThreshold(l)
+	if thr > l+1 {
+		t.Errorf("saturation threshold %d beyond l+1", thr)
+	}
+	// At the threshold the response equals the asymptote and never
+	// improves later.
+	rt := DMResponse(l, thr)
+	for m := thr; m <= 4*l; m++ {
+		if DMResponse(l, m) < rt {
+			t.Errorf("response improves after threshold: M=%d", m)
+		}
+	}
+}
+
+func TestFXBoundsTheorem2i(t *testing.T) {
+	// n <= m: exact optimality, verified against enumeration. Power-of-two
+	// everything; the xor pattern has period 2^ceil(log2(l*m)) per axis, so
+	// a grid of 4·l·m covers all distinct alignments.
+	for _, c := range []struct{ m, n int }{{1, 0}, {1, 1}, {2, 1}, {2, 2}, {3, 2}} {
+		l := 1 << c.m
+		M := 1 << c.n
+		lo, hi := FXBounds(c.m, c.n)
+		if lo != hi {
+			t.Fatalf("m=%d n=%d: bounds not tight for n<=m", c.m, c.n)
+		}
+		got := FXExpectedResponse(l, M, 4*l*M)
+		if math.Abs(got-lo) > 1e-9 {
+			t.Errorf("FX expected response l=%d M=%d: %v, theorem says %v", l, M, got, lo)
+		}
+	}
+}
+
+func TestFXBoundsTheorem2ii(t *testing.T) {
+	// n > m: expected response must lie within [2^(2m-n), 2^m].
+	for _, c := range []struct{ m, n int }{{1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}, {3, 5}} {
+		l := 1 << c.m
+		M := 1 << c.n
+		lo, hi := FXBounds(c.m, c.n)
+		got := FXExpectedResponse(l, M, 4*l*M)
+		if got < lo-1e-9 || got > hi+1e-9 {
+			t.Errorf("FX l=%d M=%d: expected response %v outside [%v,%v]", l, M, got, lo, hi)
+		}
+	}
+}
+
+func TestFXScalingTheorem2iii(t *testing.T) {
+	// Doubling disks beyond M = l shrinks the expected response by at most
+	// 4/3 — far from halving. Verify on a chain of n values.
+	const m = 2 // 4x4 queries
+	l := 1 << m
+	prev := FXExpectedResponse(l, 1<<(m+1), 4*l*(1<<(m+1)))
+	for n := m + 2; n <= m+4; n++ {
+		cur := FXExpectedResponse(l, 1<<n, 4*l*(1<<n))
+		if cur < FXScalingFloor(prev)-1e-9 {
+			t.Errorf("n=%d: response %v fell below the 3/4 floor %v of previous %v",
+				n, cur, FXScalingFloor(prev), prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFXSaturatesBelowDM(t *testing.T) {
+	// The paper observes FX saturates at a lower response time than DM for
+	// the uniform dataset. Check on an 8x8 query with many disks: FX's
+	// asymptotic response (l) is hit by DM at M>l too, but FX stays below
+	// DM for intermediate M in expectation.
+	const l = 8
+	foundBelow := false
+	for m := l + 1; m <= 3*l; m++ {
+		fx := FXExpectedResponse(l, m, 6*l)
+		dm := float64(DMResponse(l, m))
+		if fx < dm {
+			foundBelow = true
+			break
+		}
+	}
+	if !foundBelow {
+		t.Error("FX never beat DM past saturation; expected lower saturation level")
+	}
+}
+
+func TestDMExpectedResponseGeneralMatchesClosedFormOnSquares(t *testing.T) {
+	for _, c := range []struct{ l, m int }{{4, 3}, {6, 4}, {7, 5}} {
+		got := DMExpectedResponseGeneral(c.l, c.l, c.m, 4*c.l)
+		want := float64(DMResponse(c.l, c.m))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("l=%d M=%d: general enumeration %v, closed form %v", c.l, c.m, got, want)
+		}
+	}
+}
+
+func TestFXBoundsPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FXBounds(-1, 2)
+}
+
+func TestWindowExpectedResponseMatchesDM(t *testing.T) {
+	// The generic evaluator with a DM mapping must reproduce the closed form.
+	const gridSize = 24
+	for _, c := range []struct{ l, m int }{{4, 3}, {6, 4}, {7, 5}} {
+		cellDisks := make([]int, gridSize*gridSize)
+		for i := 0; i < gridSize; i++ {
+			for j := 0; j < gridSize; j++ {
+				cellDisks[i*gridSize+j] = (i + j) % c.m
+			}
+		}
+		got := WindowExpectedResponse(cellDisks, gridSize, c.l, c.m)
+		want := float64(DMResponse(c.l, c.m))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("l=%d m=%d: generic %v, closed form %v", c.l, c.m, got, want)
+		}
+	}
+}
+
+func TestWindowExpectedResponsePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { WindowExpectedResponse(make([]int, 3), 2, 1, 1) },       // size mismatch
+		func() { WindowExpectedResponse(make([]int, 4), 2, 3, 1) },       // window > grid
+		func() { WindowExpectedResponse([]int{0, 0, 0, 9}, 2, 2, 2) },    // disk out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,39 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"pgridfile/internal/analytic"
+)
+
+// ExampleDMResponse shows Theorem 1's saturation: a 6x6 query over disk
+// modulo never responds faster than 6 bucket fetches, no matter how many
+// disks are added, while the optimal keeps shrinking.
+func ExampleDMResponse() {
+	for _, m := range []int{2, 6, 12, 24, 48} {
+		fmt.Printf("M=%-2d  DM=%-2d  optimal=%d\n",
+			m, analytic.DMResponse(6, m), analytic.OptimalResponse(6, m))
+	}
+	// Output:
+	// M=2   DM=18  optimal=18
+	// M=6   DM=6   optimal=6
+	// M=12  DM=6   optimal=3
+	// M=24  DM=6   optimal=2
+	// M=48  DM=6   optimal=1
+}
+
+// ExampleFXBounds prints Theorem 2's bounds for a 4x4 query: exact below
+// M=16, then a widening band whose floor shows FX cannot halve its response
+// per disk doubling.
+func ExampleFXBounds() {
+	const m = 2 // 2^2 x 2^2 query
+	for n := 1; n <= 4; n++ {
+		lo, hi := analytic.FXBounds(m, n)
+		fmt.Printf("M=%-2d  bounds [%g, %g]\n", 1<<n, lo, hi)
+	}
+	// Output:
+	// M=2   bounds [8, 8]
+	// M=4   bounds [4, 4]
+	// M=8   bounds [2, 4]
+	// M=16  bounds [1, 4]
+}

@@ -1,0 +1,75 @@
+package analytic
+
+import "fmt"
+
+// DMResponseKD computes disk modulo's exact response time for an arbitrary
+// d-dimensional w1×...×wd window over m disks, extending the 2-D analysis
+// of Theorem 1. DM's response is position independent: a window's multiset
+// of coordinate sums is the convolution of uniform distributions over
+// [0..w_i-1], shifted by the window origin — and shifting rotates residues
+// without changing the maximum. The response is the largest total count over
+// the m residue classes.
+//
+// Cost is O(Σw · Πw / max w) for the convolution — effectively linear in the
+// window volume, but evaluated once per (sides, m), not per query.
+func DMResponseKD(sides []int, m int) int {
+	if len(sides) == 0 {
+		panic("analytic: DMResponseKD with no dimensions")
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("analytic: DMResponseKD with %d disks", m))
+	}
+	for _, w := range sides {
+		if w < 1 {
+			panic(fmt.Sprintf("analytic: window side %d", w))
+		}
+	}
+	// counts[s] = number of cells with coordinate sum s.
+	counts := []int64{1}
+	for _, w := range sides {
+		next := make([]int64, len(counts)+w-1)
+		for s, c := range counts {
+			if c == 0 {
+				continue
+			}
+			for j := 0; j < w; j++ {
+				next[s+j] += c
+			}
+		}
+		counts = next
+	}
+	perDisk := make([]int64, m)
+	for s, c := range counts {
+		perDisk[s%m] += c
+	}
+	var max int64
+	for _, c := range perDisk {
+		if c > max {
+			max = c
+		}
+	}
+	return int(max)
+}
+
+// OptimalResponseKD returns ⌈Πw / M⌉, the ideal response for a window of the
+// given sides.
+func OptimalResponseKD(sides []int, m int) int {
+	vol := 1
+	for _, w := range sides {
+		vol *= w
+	}
+	return CeilDiv(vol, m)
+}
+
+// DMSaturationKD returns DM's asymptotic (large-M) response for a window:
+// the size of the largest constant-sum "anti-diagonal slice". Once M exceeds
+// the window's sum spread (Σ(w_i−1)+1), every sum class is its own disk and
+// adding disks stops helping — the d-dimensional generalization of
+// Theorem 1's R = l regime.
+func DMSaturationKD(sides []int) int {
+	spread := 1
+	for _, w := range sides {
+		spread += w - 1
+	}
+	return DMResponseKD(sides, spread)
+}

@@ -1,0 +1,113 @@
+package analytic
+
+import "testing"
+
+func TestDMResponseKDMatches2DClosedForm(t *testing.T) {
+	for l := 1; l <= 25; l++ {
+		for m := 1; m <= 25; m++ {
+			got := DMResponseKD([]int{l, l}, m)
+			want := DMResponse(l, m)
+			if got != want {
+				t.Errorf("KD(l=%d,M=%d) = %d, closed form %d", l, m, got, want)
+			}
+		}
+	}
+}
+
+// literalKD enumerates a window at the origin directly.
+func literalKD(sides []int, m int) int {
+	perDisk := make([]int, m)
+	cell := make([]int, len(sides))
+	for {
+		sum := 0
+		for _, c := range cell {
+			sum += c
+		}
+		perDisk[sum%m]++
+		d := len(cell) - 1
+		for d >= 0 {
+			cell[d]++
+			if cell[d] < sides[d] {
+				break
+			}
+			cell[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	max := 0
+	for _, c := range perDisk {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+func TestDMResponseKDMatchesLiteral3D4D(t *testing.T) {
+	cases := [][]int{
+		{3, 4, 5}, {2, 2, 2}, {5, 5, 5}, {4, 1, 6},
+		{2, 3, 4, 5}, {3, 3, 3, 3},
+	}
+	for _, sides := range cases {
+		for m := 1; m <= 20; m++ {
+			got := DMResponseKD(sides, m)
+			want := literalKD(sides, m)
+			if got != want {
+				t.Errorf("sides=%v M=%d: convolution %d, literal %d", sides, m, got, want)
+			}
+		}
+	}
+}
+
+func TestDMResponseKDNonSquareWindows(t *testing.T) {
+	// A 1×w window (partial-match-like) is strictly optimal under DM for
+	// any M: consecutive sums hit distinct disks round-robin.
+	for w := 1; w <= 20; w++ {
+		for m := 1; m <= 20; m++ {
+			got := DMResponseKD([]int{1, w}, m)
+			want := OptimalResponseKD([]int{1, w}, m)
+			if got != want {
+				t.Errorf("1x%d window over %d disks: %d, optimal %d", w, m, got, want)
+			}
+		}
+	}
+}
+
+func TestDMSaturationKD(t *testing.T) {
+	// Saturation value is the largest anti-diagonal slice; for an l×l
+	// square that is l (Theorem 1's R = l regime).
+	for l := 1; l <= 12; l++ {
+		if got := DMSaturationKD([]int{l, l}); got != l {
+			t.Errorf("saturation of %dx%d = %d, want %d", l, l, got, l)
+		}
+	}
+	// Beyond the sum spread, adding disks cannot help.
+	sides := []int{4, 5, 6}
+	sat := DMSaturationKD(sides)
+	spread := 1 + 3 + 4 + 5
+	for m := spread; m < spread+20; m++ {
+		if got := DMResponseKD(sides, m); got != sat {
+			t.Errorf("M=%d: response %d, want saturated %d", m, got, sat)
+		}
+	}
+}
+
+func TestDMResponseKDPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { DMResponseKD(nil, 4) },
+		func() { DMResponseKD([]int{3}, 0) },
+		func() { DMResponseKD([]int{0}, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,78 @@
+package analytic
+
+import "testing"
+
+func TestDMPartialMatchOneUnspecifiedAlwaysOptimal(t *testing.T) {
+	// The Du–Sobolewski guarantee across many grids and disk counts.
+	grids := [][]int{
+		{5, 7}, {8, 8}, {16, 12, 8}, {3, 4, 5, 6}, {32, 22, 9},
+	}
+	for _, sides := range grids {
+		for m := 1; m <= 40; m++ {
+			if !OneUnspecifiedAlwaysOptimal(sides, m) {
+				t.Errorf("grid %v, M=%d: DM not optimal for a one-unspecified query", sides, m)
+			}
+		}
+	}
+}
+
+func TestDMPartialMatchResponseMatchesEnumeration(t *testing.T) {
+	// Literal enumeration of the slab for a 3-D grid with two unspecified
+	// attributes at several query positions (position independence).
+	sides := []int{6, 5, 7}
+	unspec := []bool{true, false, true}
+	for m := 1; m <= 15; m++ {
+		want := DMPartialMatchResponse(sides, unspec, m)
+		for _, pin := range []int{0, 2, 4} { // the specified attribute's value
+			perDisk := make([]int, m)
+			for i := 0; i < sides[0]; i++ {
+				for k := 0; k < sides[2]; k++ {
+					perDisk[(i+pin+k)%m]++
+				}
+			}
+			max := 0
+			for _, c := range perDisk {
+				if c > max {
+					max = c
+				}
+			}
+			if max != want {
+				t.Errorf("M=%d pin=%d: enumeration %d, closed form %d", m, pin, max, want)
+			}
+		}
+	}
+}
+
+func TestDMPartialMatchMultipleUnspecifiedCanBeSuboptimal(t *testing.T) {
+	// With two unspecified attributes the slab behaves like a range query
+	// and DM saturates: find a configuration where it is suboptimal.
+	sides := []int{8, 8}
+	unspec := []bool{true, true}
+	found := false
+	for m := 2; m <= 32; m++ {
+		if !DMPartialMatchOptimal(sides, unspec, m) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("DM optimal for all M with two unspecified attributes on an 8x8 grid; expected saturation")
+	}
+}
+
+func TestDMPartialMatchPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { DMPartialMatchResponse([]int{3}, []bool{true, false}, 4) },
+		func() { DMPartialMatchResponse([]int{3}, []bool{true}, 0) },
+		func() { DMPartialMatchResponse([]int{0}, []bool{true}, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sort"
+
+	"pgridfile/internal/sfc"
+)
+
+// CentroidCurve is the curve-allocation method for structures without a
+// grid, such as R-tree leaf pages (Kamel and Faloutsos's Hilbert-based
+// assignment for parallel R-trees): each bucket's region centroid is mapped
+// to a space-filling-curve key over a normalized 2^bits grid, buckets are
+// sorted by key, and disks are assigned round-robin. On a grid file it
+// closely tracks HCAM; unlike HCAM it never needs conflict resolution
+// because it ranks whole buckets, not cells.
+type CentroidCurve struct {
+	// NewCurve constructs the curve; nil means Hilbert.
+	NewCurve func(dims, bits int) sfc.Curve
+	// CurveName qualifies Name(); default "hilbert".
+	CurveName string
+	// Bits is the per-dimension resolution (default 10, capped so that
+	// dims·bits <= 64).
+	Bits int
+}
+
+// Name implements Allocator.
+func (c *CentroidCurve) Name() string {
+	name := c.CurveName
+	if name == "" {
+		name = "hilbert"
+	}
+	return "CentroidCurve(" + name + ")"
+}
+
+// Decluster implements Allocator.
+func (c *CentroidCurve) Decluster(g Grid, disks int) (Allocation, error) {
+	if err := checkArgs(g, disks); err != nil {
+		return Allocation{}, err
+	}
+	dims := g.Domain.Dim()
+	bits := c.Bits
+	if bits <= 0 {
+		bits = 10
+	}
+	for dims*bits > 64 {
+		bits--
+	}
+	newCurve := c.NewCurve
+	if newCurve == nil {
+		newCurve = func(d, b int) sfc.Curve { return sfc.NewHilbert(d, b) }
+	}
+	curve := newCurve(dims, bits)
+	side := float64(uint64(1) << bits)
+
+	type ranked struct {
+		key uint64
+		idx int
+	}
+	keys := make([]ranked, len(g.Buckets))
+	coords := make([]uint32, dims)
+	for i, b := range g.Buckets {
+		center := b.Region.Center()
+		for d := 0; d < dims; d++ {
+			ext := g.Domain[d].Length()
+			frac := 0.0
+			if ext > 0 {
+				frac = (center[d] - g.Domain[d].Lo) / ext
+			}
+			v := int64(frac * side)
+			if v < 0 {
+				v = 0
+			}
+			if v >= int64(side) {
+				v = int64(side) - 1
+			}
+			coords[d] = uint32(v)
+		}
+		keys[i] = ranked{key: curve.Key(coords), idx: i}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].key != keys[b].key {
+			return keys[a].key < keys[b].key
+		}
+		return keys[a].idx < keys[b].idx
+	})
+
+	assign := make([]int, len(g.Buckets))
+	for rank, r := range keys {
+		assign[r.idx] = rank % disks
+	}
+	return Allocation{Disks: disks, Assign: assign}, nil
+}

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/synth"
+)
+
+// ExampleMinimax declusters a small skewed grid file over 8 disks with the
+// paper's minimax spanning tree algorithm and shows the balance guarantee.
+func ExampleMinimax() {
+	file, err := synth.Hotspot2D(2000, 7).Build()
+	if err != nil {
+		panic(err)
+	}
+	grid := core.FromGridFile(file)
+
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(grid, 8)
+	if err != nil {
+		panic(err)
+	}
+
+	n := len(grid.Buckets)
+	ceil := (n + 7) / 8
+	maxLoad := 0
+	for _, l := range alloc.DiskLoads() {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	fmt.Printf("buckets: %d, disks: %d\n", n, alloc.Disks)
+	fmt.Printf("balanced: %v (max load %d <= ceil %d)\n", maxLoad <= ceil, maxLoad, ceil)
+	// Output:
+	// buckets: 57, disks: 8
+	// balanced: true (max load 8 <= ceil 8)
+}
+
+// ExampleNewIndexBased builds the paper's DM/D combination — disk modulo
+// with the data-balance conflict-resolution heuristic.
+func ExampleNewIndexBased() {
+	alg, err := core.NewIndexBased("DM", "D", 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(alg.Name())
+	// Output:
+	// DM/D
+}
+
+// ExampleDM_CellDisks shows the raw disk-modulo cell mapping on a 4x4
+// Cartesian grid with 3 disks: cell [i,j] goes to (i+j) mod 3.
+func ExampleDM_CellDisks() {
+	disks := core.DM{}.CellDisks([]int{4, 4}, 3)
+	for row := 0; row < 4; row++ {
+		fmt.Println(disks[row*4 : row*4+4])
+	}
+	// Output:
+	// [0 1 2 0]
+	// [1 2 0 1]
+	// [2 0 1 2]
+	// [0 1 2 0]
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"pgridfile/internal/geom"
+)
+
+// MaxExhaustiveBuckets bounds the Exhaustive allocator's search: beyond
+// this, the assignment space is too large to enumerate.
+const MaxExhaustiveBuckets = 16
+
+// Exhaustive finds a workload-optimal allocation by branch-and-bound over
+// all disk assignments, for tiny instances (N ≤ MaxExhaustiveBuckets). The
+// objective is the exact total response time Σ_q max_d N_d(q) over the
+// given workload. It exists to measure how close the heuristics come to
+// the true optimum — the paper can only say minimax is "probably quite
+// close to the optimal distribution"; on small instances this closes the
+// question exactly.
+//
+// Symmetry reduction: disk labels are interchangeable, so bucket i may only
+// use disks 0..min(i, M-1)+... specifically a new disk label is opened only
+// in order, which divides the search space by up to M!.
+type Exhaustive struct {
+	// Queries is the workload defining the objective. Required.
+	Queries []geom.Rect
+}
+
+// Name implements Allocator.
+func (e *Exhaustive) Name() string { return "Exhaustive" }
+
+// Decluster implements Allocator.
+func (e *Exhaustive) Decluster(g Grid, disks int) (Allocation, error) {
+	if err := checkArgs(g, disks); err != nil {
+		return Allocation{}, err
+	}
+	n := len(g.Buckets)
+	if n > MaxExhaustiveBuckets {
+		return Allocation{}, fmt.Errorf("core: Exhaustive handles at most %d buckets, got %d",
+			MaxExhaustiveBuckets, n)
+	}
+	if len(e.Queries) == 0 {
+		return Allocation{}, fmt.Errorf("core: Exhaustive needs a workload")
+	}
+
+	// Incidence: which buckets each query touches.
+	var incidence [][]int
+	for _, q := range e.Queries {
+		var hit []int
+		for i := range g.Buckets {
+			if g.Buckets[i].Region.Intersects(q) {
+				hit = append(hit, i)
+			}
+		}
+		if len(hit) > 0 {
+			incidence = append(incidence, hit)
+		}
+	}
+	if len(incidence) == 0 {
+		// No query touches anything: any assignment is optimal.
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = i % disks
+		}
+		return Allocation{Disks: disks, Assign: assign}, nil
+	}
+
+	// touchedBy[i] lists the incidence rows containing bucket i, so the
+	// running per-query disk counts update incrementally.
+	touchedBy := make([][]int, n)
+	for qi, hit := range incidence {
+		for _, b := range hit {
+			touchedBy[b] = append(touchedBy[b], qi)
+		}
+	}
+
+	// Running per-query disk counts, per-query maxima and their total: the
+	// partial objective. The objective never decreases as buckets are
+	// assigned (maxima only grow), so `total >= best` prunes the subtree.
+	counts := make([][]int16, len(incidence))
+	curMax := make([]int16, len(incidence))
+	for qi := range counts {
+		counts[qi] = make([]int16, disks)
+	}
+	var total int64
+
+	place := func(b, d int) {
+		for _, qi := range touchedBy[b] {
+			c := counts[qi]
+			c[d]++
+			if c[d] > curMax[qi] {
+				total += int64(c[d] - curMax[qi])
+				curMax[qi] = c[d]
+			}
+		}
+	}
+	unplace := func(b, d int) {
+		for _, qi := range touchedBy[b] {
+			c := counts[qi]
+			c[d]--
+			if c[d]+1 == curMax[qi] {
+				// The decremented disk may have been the unique maximum.
+				var m int16
+				for _, v := range c {
+					if v > m {
+						m = v
+					}
+				}
+				total -= int64(curMax[qi] - m)
+				curMax[qi] = m
+			}
+		}
+	}
+
+	best := int64(1) << 62
+	bestAssign := make([]int, n)
+	assign := make([]int, n)
+
+	var rec func(i, maxDiskUsed int)
+	rec = func(i, maxDiskUsed int) {
+		if total >= best {
+			return
+		}
+		if i == n {
+			best = total
+			copy(bestAssign, assign)
+			return
+		}
+		// Symmetry: the next bucket may reuse any opened disk or open the
+		// next fresh label.
+		limit := maxDiskUsed + 1
+		if limit >= disks {
+			limit = disks - 1
+		}
+		for d := 0; d <= limit; d++ {
+			assign[i] = d
+			place(i, d)
+			next := maxDiskUsed
+			if d > next {
+				next = d
+			}
+			rec(i+1, next)
+			unplace(i, d)
+		}
+	}
+	rec(0, -1)
+	return Allocation{Disks: disks, Assign: bestAssign}, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"pgridfile/internal/workload"
+)
+
+func TestExhaustiveValidation(t *testing.T) {
+	small := cartesianGrid(t, []int{3, 3})
+	queries := workload.SquareRange(small.Domain, 0.3, 20, 1)
+	if _, err := (&Exhaustive{}).Decluster(small, 3); err == nil {
+		t.Error("missing workload accepted")
+	}
+	big := cartesianGrid(t, []int{5, 5})
+	if _, err := (&Exhaustive{Queries: queries}).Decluster(big, 3); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestExhaustiveMatchesBruteForce(t *testing.T) {
+	// On a tiny instance, compare branch-and-bound against literal
+	// enumeration of all assignments.
+	g := cartesianGrid(t, []int{2, 3}) // 6 buckets
+	queries := workload.SquareRange(g.Domain, 0.25, 30, 3)
+	const disks = 3
+
+	ex, err := (&Exhaustive{Queries: queries}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+
+	obj := func(assign []int) int64 {
+		a := Allocation{Disks: disks, Assign: assign}
+		var total int64
+		counts := make([]int, disks)
+		for _, q := range queries {
+			for i := range counts {
+				counts[i] = 0
+			}
+			for i := range g.Buckets {
+				if g.Buckets[i].Region.Intersects(q) {
+					counts[a.Assign[i]]++
+				}
+			}
+			max := 0
+			for _, c := range counts {
+				if c > max {
+					max = c
+				}
+			}
+			total += int64(max)
+		}
+		return total
+	}
+
+	bestBrute := int64(1) << 62
+	assign := make([]int, 6)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == 6 {
+			if v := obj(assign); v < bestBrute {
+				bestBrute = v
+			}
+			return
+		}
+		for d := 0; d < disks; d++ {
+			assign[i] = d
+			walk(i + 1)
+		}
+	}
+	walk(0)
+
+	if got := obj(ex.Assign); got != bestBrute {
+		t.Errorf("Exhaustive objective %d, brute-force optimum %d", got, bestBrute)
+	}
+}
+
+func TestMinimaxNearExhaustiveOptimum(t *testing.T) {
+	// The paper's claim, verified exactly on small instances: minimax's
+	// objective is close to (here within 25% of) the true optimum.
+	for _, sizes := range [][]int{{3, 4}, {2, 6}, {4, 3}} {
+		g := cartesianGrid(t, sizes)
+		queries := workload.SquareRange(g.Domain, 0.2, 60, 5)
+		const disks = 3
+		ex, err := (&Exhaustive{Queries: queries}).Decluster(g, disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := (&Minimax{Seed: 1}).Decluster(g, disks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := func(a Allocation) int64 {
+			var total int64
+			counts := make([]int, disks)
+			for _, q := range queries {
+				for i := range counts {
+					counts[i] = 0
+				}
+				for i := range g.Buckets {
+					if g.Buckets[i].Region.Intersects(q) {
+						counts[a.Assign[i]]++
+					}
+				}
+				max := 0
+				for _, c := range counts {
+					if c > max {
+						max = c
+					}
+				}
+				total += int64(max)
+			}
+			return total
+		}
+		exObj, mmObj := obj(ex), obj(mm)
+		if mmObj < exObj {
+			t.Fatalf("sizes %v: minimax %d beat the 'optimum' %d — exhaustive is broken", sizes, mmObj, exObj)
+		}
+		if float64(mmObj) > float64(exObj)*1.25 {
+			t.Errorf("sizes %v: minimax %d more than 25%% above optimum %d", sizes, mmObj, exObj)
+		}
+	}
+}
+
+func TestExhaustiveEmptyWorkloadOverlap(t *testing.T) {
+	// Queries that miss every bucket: any assignment is optimal and the
+	// allocator must still return a valid one.
+	g := cartesianGrid(t, []int{2, 2})
+	q := workload.SquareRange(g.Domain, 0.1, 5, 7)
+	for i := range q {
+		for d := range q[i] {
+			q[i][d].Lo += 1000 // push outside the domain
+			q[i][d].Hi += 1000
+		}
+	}
+	alloc, err := (&Exhaustive{Queries: q}).Decluster(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}

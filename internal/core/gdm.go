@@ -1,0 +1,82 @@
+package core
+
+import "fmt"
+
+// GDM is the generalized disk modulo scheme from Du and Sobolewski's
+// original paper: cell [i1,...,id] maps to (a1·i1 + ... + ad·id) mod M.
+// Plain DM is the special case a = (1,...,1); with skewed coefficients the
+// diagonal sum-collision pattern that saturates DM for square range queries
+// is broken, which ablation-gdm demonstrates. Coefficients should be
+// chosen coprime to the disk count (see DefaultGDMCoeffs).
+type GDM struct {
+	// Coeffs are the per-dimension multipliers; nil selects
+	// DefaultGDMCoeffs for the grid's dimensionality at declustering time.
+	Coeffs []int
+}
+
+// Name implements Scheme.
+func (g GDM) Name() string { return "GDM" }
+
+// CellDisks implements Scheme.
+func (g GDM) CellDisks(sizes []int, disks int) []int {
+	coeffs := g.Coeffs
+	if coeffs == nil {
+		coeffs = DefaultGDMCoeffs(len(sizes), disks)
+	}
+	if len(coeffs) != len(sizes) {
+		panic(fmt.Sprintf("core: GDM has %d coefficients for a %d-dim grid", len(coeffs), len(sizes)))
+	}
+	out := make([]int, totalCells(sizes))
+	cell := make([]int, len(sizes))
+	for idx := range out {
+		sum := 0
+		for d, c := range cell {
+			sum += coeffs[d] * c
+		}
+		out[idx] = ((sum % disks) + disks) % disks
+		nextCell(cell, sizes)
+	}
+	return out
+}
+
+// DefaultGDMCoeffs picks multipliers that spread sums across residues:
+// a1 = 1 and each subsequent coefficient is the odd number nearest M/φ
+// (the golden-ratio fraction gives maximally irregular residue sequences),
+// bumped until coprime with M. For M <= 2 it degenerates to plain DM, which
+// is already optimal there.
+func DefaultGDMCoeffs(dims, disks int) []int {
+	coeffs := make([]int, dims)
+	coeffs[0] = 1
+	if dims == 1 {
+		return coeffs
+	}
+	base := int(float64(disks)/1.6180339887498949 + 0.5)
+	if base < 1 {
+		base = 1
+	}
+	c := base
+	for d := 1; d < dims; d++ {
+		for gcd(c%disks, disks) != 1 && disks > 1 {
+			c++
+		}
+		coeffs[d] = c % disks
+		if coeffs[d] == 0 {
+			coeffs[d] = 1
+		}
+		c += base
+	}
+	return coeffs
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

@@ -1,0 +1,122 @@
+package core
+
+import "testing"
+
+func TestGDMDefaultsToDMWithUnitCoeffs(t *testing.T) {
+	sizes := []int{6, 6}
+	dm := DM{}.CellDisks(sizes, 5)
+	gdm := GDM{Coeffs: []int{1, 1}}.CellDisks(sizes, 5)
+	for i := range dm {
+		if dm[i] != gdm[i] {
+			t.Fatalf("cell %d: DM %d != GDM(1,1) %d", i, dm[i], gdm[i])
+		}
+	}
+}
+
+func TestGDMKnownValues(t *testing.T) {
+	g := GDM{Coeffs: []int{1, 3}}
+	disks := g.CellDisks([]int{4, 4}, 7)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got, want := disks[i*4+j], (i+3*j)%7; got != want {
+				t.Errorf("cell (%d,%d) -> %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDefaultGDMCoeffs(t *testing.T) {
+	for _, disks := range []int{2, 3, 4, 7, 8, 16, 31, 32} {
+		for _, dims := range []int{1, 2, 3, 4} {
+			coeffs := DefaultGDMCoeffs(dims, disks)
+			if len(coeffs) != dims {
+				t.Fatalf("dims=%d disks=%d: %d coefficients", dims, disks, len(coeffs))
+			}
+			if coeffs[0] != 1 {
+				t.Errorf("dims=%d disks=%d: first coefficient %d", dims, disks, coeffs[0])
+			}
+			for d, c := range coeffs {
+				if c < 1 {
+					t.Errorf("dims=%d disks=%d: coefficient %d = %d", dims, disks, d, c)
+				}
+			}
+			// Later coefficients must be coprime with M (when M > 2) so a
+			// row sweep along that dimension cycles through all disks.
+			if disks > 2 {
+				for d := 1; d < dims; d++ {
+					if gcd(coeffs[d], disks) != 1 {
+						t.Errorf("dims=%d disks=%d: coefficient %d = %d shares a factor with M",
+							dims, disks, d, coeffs[d])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGDMBreaksDiagonalCollisions(t *testing.T) {
+	// DM's weakness: the anti-diagonal i+j = const collapses onto one disk.
+	// GDM's skewed coefficients spread it. Measure the worst per-disk count
+	// within an 8x8 window for M=16 (DM saturates: window diagonal of 8
+	// cells on one disk).
+	const side, m = 8, 16
+	sizes := []int{32, 32}
+	worst := func(disks []int) int {
+		counts := make([]int, m)
+		for i := 0; i < side; i++ {
+			for j := 0; j < side; j++ {
+				counts[disks[i*32+j]]++
+			}
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	dmWorst := worst(DM{}.CellDisks(sizes, m))
+	gdmWorst := worst(GDM{}.CellDisks(sizes, m))
+	if gdmWorst >= dmWorst {
+		t.Errorf("GDM worst per-disk count %d not below DM %d", gdmWorst, dmWorst)
+	}
+}
+
+func TestGDMViaRegistry(t *testing.T) {
+	g := cartesianGrid(t, []int{8, 8})
+	alg, err := NewIndexBased("GDM", "D", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name() != "GDM/D" {
+		t.Errorf("Name = %s", alg.Name())
+	}
+	alloc, err := alg.Decluster(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Validate(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGDMPanicsOnBadCoeffs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GDM{Coeffs: []int{1}}.CellDisks([]int{4, 4}, 3)
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{12, 8, 4}, {7, 3, 1}, {0, 5, 5}, {5, 0, 5}, {0, 0, 1}, {-6, 4, 2},
+	}
+	for _, c := range cases {
+		if got := gcd(c.a, c.b); got != c.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

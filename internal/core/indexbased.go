@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Candidates is the multiset of disks that an index-based scheme assigns to
+// the cells of one (possibly merged) bucket. For a single-cell bucket it has
+// exactly one entry with count 1; for a merged bucket, conflict resolution
+// must choose among the entries.
+type Candidates struct {
+	// Disks lists the distinct candidate disks in ascending order.
+	Disks []int
+	// Count[i] is the number of the bucket's cells that map to Disks[i].
+	Count []int
+}
+
+// Resolver is a conflict-resolution heuristic: given the grid and the
+// candidate multiset of every bucket, it chooses one disk per bucket.
+// Buckets with a single candidate must be assigned that candidate.
+type Resolver interface {
+	// Name identifies the heuristic ("R" random, "F" most frequent,
+	// "D" data balance, "A" area balance).
+	Name() string
+	// Resolve returns the chosen disk for every bucket.
+	Resolve(g Grid, cands []Candidates, disks int) []int
+}
+
+// IndexBased is an index-based declustering algorithm extended to grid
+// files: a Cartesian scheme plus a conflict-resolution heuristic. Its name
+// follows the paper's convention, e.g. "DM/D" for disk modulo with data
+// balance.
+type IndexBased struct {
+	Scheme   Scheme
+	Resolver Resolver
+}
+
+// Name implements Allocator.
+func (ib *IndexBased) Name() string {
+	return ib.Scheme.Name() + "/" + ib.Resolver.Name()
+}
+
+// Decluster implements Allocator. Cost is O(#cells) for DM/FX and
+// O(#cells log #cells) for curve allocation, plus the linear resolver pass —
+// the complexities quoted in Section 2.1.
+func (ib *IndexBased) Decluster(g Grid, disks int) (Allocation, error) {
+	if err := checkArgs(g, disks); err != nil {
+		return Allocation{}, err
+	}
+	cellDisks := ib.Scheme.CellDisks(g.Sizes, disks)
+	cands := bucketCandidates(g, cellDisks, disks)
+	assign := ib.Resolver.Resolve(g, cands, disks)
+	alloc := Allocation{Disks: disks, Assign: assign}
+	if err := alloc.Validate(len(g.Buckets)); err != nil {
+		return Allocation{}, fmt.Errorf("core: resolver %s produced invalid assignment: %w", ib.Resolver.Name(), err)
+	}
+	// Conflict-freedom: single-candidate buckets must keep their mandated
+	// disk (Algorithm 1, step 2).
+	for i, c := range cands {
+		if len(c.Disks) == 1 && assign[i] != c.Disks[0] {
+			return Allocation{}, fmt.Errorf("core: resolver %s moved unconflicted bucket %d", ib.Resolver.Name(), i)
+		}
+	}
+	return alloc, nil
+}
+
+// ConflictStats summarizes how much conflict resolution an index-based
+// scheme needs on a grid: the share of buckets whose cells map to more than
+// one disk, and the candidate-set sizes. The uniform.2d dataset has almost
+// no conflicts (so the heuristic choice is immaterial, as the paper notes),
+// while skewed datasets conflict heavily.
+type ConflictStats struct {
+	Buckets        int
+	Conflicted     int
+	MaxCandidates  int
+	MeanCandidates float64
+}
+
+// Conflicts computes the conflict statistics of a scheme on a grid.
+func Conflicts(g Grid, s Scheme, disks int) ConflictStats {
+	cellDisks := s.CellDisks(g.Sizes, disks)
+	cands := bucketCandidates(g, cellDisks, disks)
+	st := ConflictStats{Buckets: len(cands)}
+	total := 0
+	for _, c := range cands {
+		n := len(c.Disks)
+		total += n
+		if n > 1 {
+			st.Conflicted++
+		}
+		if n > st.MaxCandidates {
+			st.MaxCandidates = n
+		}
+	}
+	if len(cands) > 0 {
+		st.MeanCandidates = float64(total) / float64(len(cands))
+	}
+	return st
+}
+
+// bucketCandidates computes the candidate multiset of every bucket by
+// scanning its cell region. Total cost across buckets is O(#cells) because
+// bucket regions partition the grid.
+func bucketCandidates(g Grid, cellDisks []int, disks int) []Candidates {
+	counts := make([]int, disks)
+	cands := make([]Candidates, len(g.Buckets))
+	for i, b := range g.Buckets {
+		for d := range counts {
+			counts[d] = 0
+		}
+		forEachCell(b.CellLo, b.CellHi, g.Sizes, func(idx int) {
+			counts[cellDisks[idx]]++
+		})
+		var c Candidates
+		for d, n := range counts {
+			if n > 0 {
+				c.Disks = append(c.Disks, d)
+				c.Count = append(c.Count, n)
+			}
+		}
+		cands[i] = c
+	}
+	return cands
+}
+
+// forEachCell invokes fn with the flat row-major index of every cell in the
+// inclusive box [lo,hi] of a grid with the given sizes.
+func forEachCell(lo, hi []int32, sizes []int, fn func(idx int)) {
+	dims := len(sizes)
+	cell := make([]int32, dims)
+	copy(cell, lo)
+	for {
+		idx := 0
+		for d := 0; d < dims; d++ {
+			idx = idx*sizes[d] + int(cell[d])
+		}
+		fn(idx)
+		d := dims - 1
+		for d >= 0 {
+			cell[d]++
+			if cell[d] <= hi[d] {
+				break
+			}
+			cell[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Random is the random-selection heuristic: a conflicted bucket is assigned
+// by choosing uniformly among its distinct candidate disks.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Resolver.
+func (Random) Name() string { return "R" }
+
+// Resolve implements Resolver.
+func (r Random) Resolve(g Grid, cands []Candidates, disks int) []int {
+	rng := rand.New(rand.NewSource(r.Seed))
+	assign := make([]int, len(cands))
+	for i, c := range cands {
+		if len(c.Disks) == 1 {
+			assign[i] = c.Disks[0]
+			continue
+		}
+		assign[i] = c.Disks[rng.Intn(len(c.Disks))]
+	}
+	return assign
+}
+
+// MostFrequent chooses the candidate disk that the largest number of the
+// bucket's cells map to, falling back to random selection among ties.
+type MostFrequent struct {
+	Seed int64
+}
+
+// Name implements Resolver.
+func (MostFrequent) Name() string { return "F" }
+
+// Resolve implements Resolver.
+func (m MostFrequent) Resolve(g Grid, cands []Candidates, disks int) []int {
+	rng := rand.New(rand.NewSource(m.Seed))
+	assign := make([]int, len(cands))
+	var tied []int
+	for i, c := range cands {
+		if len(c.Disks) == 1 {
+			assign[i] = c.Disks[0]
+			continue
+		}
+		best := 0
+		for _, n := range c.Count {
+			if n > best {
+				best = n
+			}
+		}
+		tied = tied[:0]
+		for j, n := range c.Count {
+			if n == best {
+				tied = append(tied, c.Disks[j])
+			}
+		}
+		assign[i] = tied[rng.Intn(len(tied))]
+	}
+	return assign
+}
+
+// DataBalance is Algorithm 1: unconflicted buckets are assigned first, then
+// each conflicted bucket goes to its candidate disk currently holding the
+// fewest buckets, which both minimizes response time and maximizes disk
+// space utilization (the paper's recommended heuristic).
+type DataBalance struct {
+	Seed int64
+}
+
+// Name implements Resolver.
+func (DataBalance) Name() string { return "D" }
+
+// Resolve implements Resolver.
+func (d DataBalance) Resolve(g Grid, cands []Candidates, disks int) []int {
+	return balanceResolve(cands, disks, d.Seed, func(i int) float64 { return 1 })
+}
+
+// AreaBalance is the area-balance heuristic: like data balance, but it
+// equalizes the total domain volume of the bucket regions per disk instead
+// of the bucket count.
+type AreaBalance struct {
+	Seed int64
+}
+
+// Name implements Resolver.
+func (AreaBalance) Name() string { return "A" }
+
+// Resolve implements Resolver.
+func (a AreaBalance) Resolve(g Grid, cands []Candidates, disks int) []int {
+	return balanceResolve(cands, disks, a.Seed, func(i int) float64 {
+		return g.Buckets[i].Region.Volume()
+	})
+}
+
+// balanceResolve implements the two-phase structure of Algorithm 1 with a
+// pluggable per-bucket weight: phase one assigns unconflicted buckets and
+// accumulates their weight; phase two assigns each conflicted bucket to its
+// lightest candidate disk (random tie-break, seeded).
+func balanceResolve(cands []Candidates, disks int, seed int64, weight func(i int) float64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	load := make([]float64, disks)
+	assign := make([]int, len(cands))
+
+	// Step 2: unconflicted buckets.
+	for i, c := range cands {
+		if len(c.Disks) == 1 {
+			assign[i] = c.Disks[0]
+			load[c.Disks[0]] += weight(i)
+		} else {
+			assign[i] = -1
+		}
+	}
+	// Step 3: conflicted buckets, in bucket order.
+	var tied []int
+	for i, c := range cands {
+		if assign[i] >= 0 {
+			continue
+		}
+		best := load[c.Disks[0]]
+		for _, d := range c.Disks[1:] {
+			if load[d] < best {
+				best = load[d]
+			}
+		}
+		tied = tied[:0]
+		for _, d := range c.Disks {
+			if load[d] == best {
+				tied = append(tied, d)
+			}
+		}
+		choice := tied[rng.Intn(len(tied))]
+		assign[i] = choice
+		load[choice] += weight(i)
+	}
+	return assign
+}

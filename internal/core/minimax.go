@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+)
+
+// Weight estimates the probability that two buckets are accessed by the same
+// range query; larger means more likely. It is the edge-weight function of
+// the proximity-based algorithms.
+type Weight func(a, b gridfile.BucketView, domain geom.Rect) float64
+
+// ProximityWeight is the Kamel–Faloutsos proximity index, the paper's chosen
+// edge weight for the minimax algorithm.
+func ProximityWeight(a, b gridfile.BucketView, domain geom.Rect) float64 {
+	return geom.Proximity(a.Region, b.Region, domain)
+}
+
+// EuclideanWeight converts center distance into a similarity in (0,1] by
+// normalizing against the domain diagonal. The paper rejects center distance
+// because it cannot distinguish partially overlapping bucket regions; it is
+// kept as the edge-weight ablation (A3 in DESIGN.md).
+func EuclideanWeight(a, b gridfile.BucketView, domain geom.Rect) float64 {
+	diag := 0.0
+	for _, iv := range domain {
+		diag += iv.Length() * iv.Length()
+	}
+	diag = math.Sqrt(diag)
+	if diag == 0 {
+		return 1
+	}
+	return 1 - geom.EuclideanDistance(a.Region, b.Region)/diag
+}
+
+// Minimax is Algorithm 2: the minimax spanning tree declustering algorithm.
+// M spanning trees are seeded with random distinct buckets and grown in
+// round-robin order; the tree whose turn it is receives the unassigned
+// bucket whose maximum edge weight to the tree's current members is
+// smallest. Properties (Section 3.1): O(N²) edge-weight evaluations,
+// perfectly balanced partitions (at most ⌈N/M⌉ buckets per disk), and a very
+// low likelihood that a bucket shares a disk with its closest companion.
+type Minimax struct {
+	// Weight is the edge weight; nil means ProximityWeight.
+	Weight Weight
+	// WeightName qualifies Name() for non-default weights.
+	WeightName string
+	// Seed drives the random seeding phase.
+	Seed int64
+}
+
+// Name implements Allocator.
+func (m *Minimax) Name() string {
+	if m.WeightName != "" {
+		return "MiniMax(" + m.WeightName + ")"
+	}
+	return "MiniMax"
+}
+
+func (m *Minimax) weight() Weight {
+	if m.Weight == nil {
+		return ProximityWeight
+	}
+	return m.Weight
+}
+
+// Decluster implements Allocator.
+func (m *Minimax) Decluster(g Grid, disks int) (Allocation, error) {
+	if err := checkArgs(g, disks); err != nil {
+		return Allocation{}, err
+	}
+	n := len(g.Buckets)
+	w := m.weight()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	if disks >= n {
+		// Degenerate case: every bucket gets its own disk.
+		for i := range assign {
+			assign[i] = i
+		}
+		return Allocation{Disks: disks, Assign: assign}, nil
+	}
+
+	// Phase 1: random seeding with M mutually distinct vertices.
+	rng := rand.New(rand.NewSource(m.Seed))
+	seeds := rng.Perm(n)[:disks]
+	for k, v := range seeds {
+		assign[v] = k
+	}
+
+	// maxTo[x*disks+k] is MAX_x(k): the largest edge weight between
+	// unassigned vertex x and the members of tree k.
+	maxTo := make([]float64, n*disks)
+	for x := 0; x < n; x++ {
+		if assign[x] >= 0 {
+			continue
+		}
+		for k, v := range seeds {
+			maxTo[x*disks+k] = w(g.Buckets[x], g.Buckets[v], g.Domain)
+		}
+	}
+
+	// Phase 2: round-robin expansion.
+	remaining := n - disks
+	k := 0
+	for remaining > 0 {
+		// Select the unassigned vertex with the smallest MAX to tree k.
+		best, bestVal := -1, math.Inf(1)
+		for x := 0; x < n; x++ {
+			if assign[x] >= 0 {
+				continue
+			}
+			if v := maxTo[x*disks+k]; v < bestVal {
+				best, bestVal = x, v
+			}
+		}
+		assign[best] = k
+		remaining--
+
+		// Update MAX_x(k) for the remaining vertices.
+		for x := 0; x < n; x++ {
+			if assign[x] >= 0 {
+				continue
+			}
+			if c := w(g.Buckets[best], g.Buckets[x], g.Domain); c > maxTo[x*disks+k] {
+				maxTo[x*disks+k] = c
+			}
+		}
+		k++
+		if k == disks {
+			k = 0
+		}
+	}
+	return Allocation{Disks: disks, Assign: assign}, nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+)
+
+// randomGrid builds a random small grid file view for property tests.
+func randomGrid(rng *rand.Rand) Grid {
+	dims := 1 + rng.Intn(3)
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	for d := range hi {
+		hi[d] = 100 + rng.Float64()*1900
+	}
+	f, err := gridfile.New(gridfile.Config{
+		Dims:           dims,
+		Domain:         geom.NewRect(lo, hi),
+		BucketCapacity: 3 + rng.Intn(6),
+	})
+	if err != nil {
+		panic(err)
+	}
+	n := 50 + rng.Intn(400)
+	for i := 0; i < n; i++ {
+		p := make(geom.Point, dims)
+		for d := 0; d < dims; d++ {
+			if rng.Intn(3) == 0 { // clustered component
+				p[d] = hi[d]/2 + rng.NormFloat64()*hi[d]/10
+				if p[d] < 0 {
+					p[d] = 0
+				}
+				if p[d] > hi[d] {
+					p[d] = hi[d]
+				}
+			} else {
+				p[d] = rng.Float64() * hi[d]
+			}
+		}
+		if err := f.Insert(gridfile.Record{Key: p}); err != nil {
+			panic(err)
+		}
+	}
+	return FromGridFile(f)
+}
+
+// TestPropertyAllAllocatorsValid: every algorithm produces a complete,
+// in-range allocation on arbitrary grids and disk counts.
+func TestPropertyAllAllocatorsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGrid(rng)
+		m := 2 + rng.Intn(20)
+		algs := []Allocator{
+			mustIndexBased("DM", "D", seed),
+			mustIndexBased("GDM", "A", seed),
+			mustIndexBased("FX", "R", seed),
+			mustIndexBased("HCAM", "F", seed),
+			&Minimax{Seed: seed},
+			&SSP{Seed: seed},
+			&MST{Seed: seed},
+		}
+		for _, alg := range algs {
+			alloc, err := alg.Decluster(g, m)
+			if err != nil {
+				t.Logf("%s: %v", alg.Name(), err)
+				return false
+			}
+			if err := alloc.Validate(len(g.Buckets)); err != nil {
+				t.Logf("%s: %v", alg.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMinimaxBalanceBound: ⌈N/M⌉ holds on arbitrary grids.
+func TestPropertyMinimaxBalanceBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGrid(rng)
+		m := 2 + rng.Intn(24)
+		alloc, err := (&Minimax{Seed: seed}).Decluster(g, m)
+		if err != nil {
+			return false
+		}
+		n := len(g.Buckets)
+		ceil := (n + m - 1) / m
+		for _, l := range alloc.DiskLoads() {
+			if l > ceil {
+				t.Logf("n=%d m=%d load %d > ceil %d", n, m, l, ceil)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySSPBalanceWithinOne: round-robin along the path.
+func TestPropertySSPBalanceWithinOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGrid(rng)
+		m := 2 + rng.Intn(24)
+		alloc, err := (&SSP{Seed: seed}).Decluster(g, m)
+		if err != nil {
+			return false
+		}
+		loads := alloc.DiskLoads()
+		max, min := loads[0], loads[0]
+		for _, l := range loads {
+			if l > max {
+				max = l
+			}
+			if l < min {
+				min = l
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCandidateCountsCoverCells: each bucket's candidate multiset
+// accounts for exactly its cell span, for every scheme.
+func TestPropertyCandidateCountsCoverCells(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGrid(rng)
+		m := 2 + rng.Intn(12)
+		for _, s := range []Scheme{DM{}, GDM{}, FX{}, HCAM(), ZCAM(), GrayCAM()} {
+			cellDisks := s.CellDisks(g.Sizes, m)
+			for _, d := range cellDisks {
+				if d < 0 || d >= m {
+					t.Logf("%s: cell disk %d out of range", s.Name(), d)
+					return false
+				}
+			}
+			cands := bucketCandidates(g, cellDisks, m)
+			for i, c := range cands {
+				total := 0
+				for _, n := range c.Count {
+					total += n
+				}
+				if total != g.Buckets[i].CellSpan() {
+					t.Logf("%s: bucket %d candidates cover %d cells, span %d",
+						s.Name(), i, total, g.Buckets[i].CellSpan())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySchemesRoundRobinFair: on a complete grid every scheme's disk
+// loads are within the structural bound (cells/M ± the scheme's collision
+// pattern); curve allocation is perfectly fair by construction.
+func TestPropertySchemesRoundRobinFair(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := []int{2 + rng.Intn(20), 2 + rng.Intn(20)}
+		m := 2 + rng.Intn(16)
+		for _, curve := range []*CurveAllocation{HCAM(), ZCAM(), GrayCAM()} {
+			disks := curve.CellDisks(sizes, m)
+			counts := make([]int, m)
+			for _, d := range disks {
+				counts[d]++
+			}
+			max, min := counts[0], counts[0]
+			for _, c := range counts {
+				if c > max {
+					max = c
+				}
+				if c < min {
+					min = c
+				}
+			}
+			if max-min > 1 {
+				t.Logf("%s sizes=%v m=%d loads %v", curve.Name(), sizes, m, counts)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"pgridfile/internal/geom"
+	"pgridfile/internal/workload"
+)
+
+// trainObjective evaluates Σ_q max_d N_d(q) directly.
+func trainObjective(g Grid, alloc Allocation, queries []geom.Rect) int64 {
+	var total int64
+	counts := make([]int32, alloc.Disks)
+	for _, q := range queries {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range g.Buckets {
+			if g.Buckets[i].Region.Intersects(q) {
+				counts[alloc.Assign[i]]++
+			}
+		}
+		total += int64(maxInt32(counts))
+	}
+	return total
+}
+
+func TestRefineImprovesTrainingObjective(t *testing.T) {
+	g := testGrid(t)
+	queries := workload.SquareRange(g.Domain, 0.05, 200, 11)
+	const disks = 16
+
+	base := &Minimax{Seed: 1}
+	baseAlloc, err := base.Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := (&Refine{Base: base, Queries: queries, Seed: 1}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refined.Validate(len(g.Buckets)); err != nil {
+		t.Fatal(err)
+	}
+
+	before := trainObjective(g, baseAlloc, queries)
+	after := trainObjective(g, refined, queries)
+	if after > before {
+		t.Errorf("refinement worsened the training objective: %d -> %d", before, after)
+	}
+	if after == before {
+		t.Logf("note: no improvement found (base already locally optimal)")
+	}
+
+	// The balance bound survives refinement.
+	ceil := (len(g.Buckets) + disks - 1) / disks
+	for d, l := range refined.DiskLoads() {
+		if l > ceil {
+			t.Errorf("disk %d holds %d buckets, bound %d", d, l, ceil)
+		}
+	}
+}
+
+func TestRefineRequiresWorkload(t *testing.T) {
+	g := testGrid(t)
+	if _, err := (&Refine{Seed: 1}).Decluster(g, 8); err == nil {
+		t.Error("Refine without a workload accepted")
+	}
+}
+
+func TestRefineDegenerateCases(t *testing.T) {
+	g := cartesianGrid(t, []int{2, 2})
+	queries := workload.SquareRange(g.Domain, 0.5, 10, 3)
+	// More disks than buckets: base result passes through.
+	alloc, err := (&Refine{Queries: queries, Seed: 1}).Decluster(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	// Single disk: nothing to move.
+	alloc, err = (&Refine{Queries: queries, Seed: 1}).Decluster(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range alloc.Assign {
+		if d != 0 {
+			t.Fatal("single-disk allocation uses another disk")
+		}
+	}
+}
+
+func TestRefineName(t *testing.T) {
+	r := &Refine{}
+	if r.Name() != "Refine(MiniMax)" {
+		t.Errorf("Name = %s", r.Name())
+	}
+	r2 := &Refine{Base: &SSP{}}
+	if r2.Name() != "Refine(SSP)" {
+		t.Errorf("Name = %s", r2.Name())
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	g := testGrid(t)
+	queries := workload.SquareRange(g.Domain, 0.05, 100, 13)
+	a, err := (&Refine{Queries: queries, Seed: 5}).Decluster(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&Refine{Queries: queries, Seed: 5}).Decluster(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("refinement not deterministic")
+		}
+	}
+}

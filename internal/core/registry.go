@@ -1,0 +1,86 @@
+package core
+
+import "fmt"
+
+// NewIndexBased builds an index-based allocator from scheme and resolver
+// codes, e.g. ("DM", "D") for disk modulo with data balance. Valid schemes:
+// DM, GDM, FX, HCAM, ZCAM, GrayCAM. Valid resolvers: R (random), F (most
+// frequent), D (data balance), A (area balance).
+func NewIndexBased(scheme, resolver string, seed int64) (*IndexBased, error) {
+	var s Scheme
+	switch scheme {
+	case "DM":
+		s = DM{}
+	case "GDM":
+		s = GDM{}
+	case "FX":
+		s = FX{}
+	case "HCAM":
+		s = HCAM()
+	case "ZCAM":
+		s = ZCAM()
+	case "GrayCAM":
+		s = GrayCAM()
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q", scheme)
+	}
+	var r Resolver
+	switch resolver {
+	case "R":
+		r = Random{Seed: seed}
+	case "F":
+		r = MostFrequent{Seed: seed}
+	case "D":
+		r = DataBalance{Seed: seed}
+	case "A":
+		r = AreaBalance{Seed: seed}
+	default:
+		return nil, fmt.Errorf("core: unknown resolver %q", resolver)
+	}
+	return &IndexBased{Scheme: s, Resolver: r}, nil
+}
+
+// mustIndexBased panics on construction errors; for the fixed lineups below.
+func mustIndexBased(scheme, resolver string, seed int64) *IndexBased {
+	ib, err := NewIndexBased(scheme, resolver, seed)
+	if err != nil {
+		panic(err)
+	}
+	return ib
+}
+
+// Figure4Lineup returns the algorithms of Figure 4: the three index-based
+// schemes, each with the data-balance heuristic.
+func Figure4Lineup(seed int64) []Allocator {
+	return []Allocator{
+		mustIndexBased("DM", "D", seed),
+		mustIndexBased("FX", "D", seed),
+		mustIndexBased("HCAM", "D", seed),
+	}
+}
+
+// Figure6Lineup returns the algorithms of Figure 6: DM/D, FX/D, HCAM/D, SSP
+// and minimax.
+func Figure6Lineup(seed int64) []Allocator {
+	return []Allocator{
+		mustIndexBased("DM", "D", seed),
+		mustIndexBased("FX", "D", seed),
+		mustIndexBased("HCAM", "D", seed),
+		&SSP{Seed: seed},
+		&Minimax{Seed: seed},
+	}
+}
+
+// ResolverLineup returns one allocator per conflict-resolution heuristic for
+// the given scheme (Figure 3).
+func ResolverLineup(scheme string, seed int64) ([]Allocator, error) {
+	out := make([]Allocator, 0, 4)
+	for _, r := range []string{"R", "F", "D", "A"} {
+		ib, err := NewIndexBased(scheme, r, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ib)
+	}
+	return out, nil
+}

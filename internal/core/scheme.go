@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pgridfile/internal/sfc"
+)
+
+// Scheme is an index-based cell-to-disk mapping for a complete grid: the
+// building block of the Cartesian-product-file declustering methods that
+// Section 2 extends to grid files.
+type Scheme interface {
+	// Name identifies the scheme ("DM", "FX", "HCAM", ...).
+	Name() string
+	// CellDisks returns the disk of every cell of a grid with the given
+	// per-dimension sizes, in row-major order.
+	CellDisks(sizes []int, disks int) []int
+}
+
+// DM is the disk modulo scheme of Du and Sobolewski: cell [i1,...,id] maps
+// to (i1+...+id) mod M.
+type DM struct{}
+
+// Name implements Scheme.
+func (DM) Name() string { return "DM" }
+
+// CellDisks implements Scheme.
+func (DM) CellDisks(sizes []int, disks int) []int {
+	out := make([]int, totalCells(sizes))
+	cell := make([]int, len(sizes))
+	for idx := range out {
+		sum := 0
+		for _, c := range cell {
+			sum += c
+		}
+		out[idx] = sum % disks
+		nextCell(cell, sizes)
+	}
+	return out
+}
+
+// FX is the fieldwise xor scheme of Kim and Pramanik: cell [i1,...,id] maps
+// to (i1 ⊕ ... ⊕ id) mod M.
+type FX struct{}
+
+// Name implements Scheme.
+func (FX) Name() string { return "FX" }
+
+// CellDisks implements Scheme.
+func (FX) CellDisks(sizes []int, disks int) []int {
+	out := make([]int, totalCells(sizes))
+	cell := make([]int, len(sizes))
+	for idx := range out {
+		x := 0
+		for _, c := range cell {
+			x ^= c
+		}
+		out[idx] = x % disks
+		nextCell(cell, sizes)
+	}
+	return out
+}
+
+// CurveAllocation is the space-filling-curve allocation method: cells are
+// sorted by their position along a curve and assigned to disks round-robin.
+// With the Hilbert curve this is HCAM (Faloutsos and Bhagwat); the Z-order
+// and Gray-code variants are the weaker linearizations the paper cites, kept
+// as ablation baselines.
+type CurveAllocation struct {
+	// NewCurve constructs the curve for a given dimensionality and bit
+	// budget; defaults to the Hilbert curve.
+	NewCurve func(dims, bits int) sfc.Curve
+	// CurveName labels the scheme; defaults to HCAM.
+	CurveName string
+}
+
+// HCAM returns the Hilbert curve allocation scheme.
+func HCAM() *CurveAllocation {
+	return &CurveAllocation{
+		NewCurve:  func(d, b int) sfc.Curve { return sfc.NewHilbert(d, b) },
+		CurveName: "HCAM",
+	}
+}
+
+// ZCAM returns the Z-order variant of curve allocation.
+func ZCAM() *CurveAllocation {
+	return &CurveAllocation{
+		NewCurve:  func(d, b int) sfc.Curve { return sfc.NewZOrder(d, b) },
+		CurveName: "ZCAM",
+	}
+}
+
+// GrayCAM returns the Gray-code variant of curve allocation.
+func GrayCAM() *CurveAllocation {
+	return &CurveAllocation{
+		NewCurve:  func(d, b int) sfc.Curve { return sfc.NewGray(d, b) },
+		CurveName: "GrayCAM",
+	}
+}
+
+// Name implements Scheme.
+func (c *CurveAllocation) Name() string {
+	if c.CurveName == "" {
+		return "HCAM"
+	}
+	return c.CurveName
+}
+
+// CellDisks implements Scheme. Grid sides are rarely powers of two, so the
+// curve is evaluated with enough bits to cover the largest side and cells
+// are ranked by curve key; the rank (not the raw key) is taken mod M, which
+// reproduces round-robin assignment along the curve.
+func (c *CurveAllocation) CellDisks(sizes []int, disks int) []int {
+	maxSide := 0
+	for _, s := range sizes {
+		if s > maxSide {
+			maxSide = s
+		}
+	}
+	bits := sfc.BitsFor(uint32(maxSide - 1))
+	dims := len(sizes)
+	if dims*bits > 64 {
+		panic(fmt.Sprintf("core: grid %v exceeds the 64-bit curve key budget", sizes))
+	}
+	newCurve := c.NewCurve
+	if newCurve == nil {
+		newCurve = func(d, b int) sfc.Curve { return sfc.NewHilbert(d, b) }
+	}
+	curve := newCurve(dims, bits)
+
+	n := totalCells(sizes)
+	keys := make([]uint64, n)
+	coords := make([]uint32, dims)
+	cell := make([]int, dims)
+	for idx := 0; idx < n; idx++ {
+		for d, v := range cell {
+			coords[d] = uint32(v)
+		}
+		keys[idx] = curve.Key(coords)
+		nextCell(cell, sizes)
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	out := make([]int, n)
+	for rank, idx := range order {
+		out[idx] = rank % disks
+	}
+	return out
+}
+
+// totalCells returns the product of the per-dimension sizes.
+func totalCells(sizes []int) int {
+	n := 1
+	for _, s := range sizes {
+		n *= s
+	}
+	return n
+}
+
+// nextCell advances a row-major cell coordinate vector by one.
+func nextCell(cell, sizes []int) {
+	for d := len(cell) - 1; d >= 0; d-- {
+		cell[d]++
+		if cell[d] < sizes[d] {
+			return
+		}
+		cell[d] = 0
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SSP is the short spanning path algorithm of Fang, Lee and Chang,
+// reconstructed as described in DESIGN.md: a spanning path is grown greedily
+// by repeatedly stepping to the unvisited bucket most similar to the path's
+// current endpoint (the nearest-neighbour heuristic for short spanning
+// paths), and disks are assigned round-robin along the path so that
+// neighbouring — hence similar — buckets land on different disks. Cost is
+// O(N²) edge-weight evaluations. Partitions are balanced to within one
+// bucket, but unlike minimax the path heuristic bounds only each bucket's
+// similarity to its path predecessor, not to the whole partition.
+type SSP struct {
+	// Weight is the edge weight; nil means ProximityWeight.
+	Weight Weight
+	// Seed selects the path's starting bucket.
+	Seed int64
+}
+
+// Name implements Allocator.
+func (s *SSP) Name() string { return "SSP" }
+
+func (s *SSP) weight() Weight {
+	if s.Weight == nil {
+		return ProximityWeight
+	}
+	return s.Weight
+}
+
+// Decluster implements Allocator.
+func (s *SSP) Decluster(g Grid, disks int) (Allocation, error) {
+	if err := checkArgs(g, disks); err != nil {
+		return Allocation{}, err
+	}
+	n := len(g.Buckets)
+	w := s.weight()
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	cur := rng.Intn(n)
+	visited[cur] = true
+	order = append(order, cur)
+	for len(order) < n {
+		best, bestVal := -1, math.Inf(-1)
+		for x := 0; x < n; x++ {
+			if visited[x] {
+				continue
+			}
+			if v := w(g.Buckets[cur], g.Buckets[x], g.Domain); v > bestVal {
+				best, bestVal = x, v
+			}
+		}
+		visited[best] = true
+		order = append(order, best)
+		cur = best
+	}
+
+	assign := make([]int, n)
+	for pos, v := range order {
+		assign[v] = pos % disks
+	}
+	return Allocation{Disks: disks, Assign: assign}, nil
+}
+
+// MST is the minimal-spanning-tree-based declustering of Fang et al.,
+// reconstructed as the direct greedy analogue of minimax: M trees are seeded
+// randomly and, at every step, the globally cheapest tree/vertex pair — the
+// unassigned bucket with the smallest *minimum* edge weight to some tree
+// (Prim's criterion) — is joined to that tree. Because growth is greedy
+// rather than round-robin, a tree sitting in a sparse region can absorb many
+// buckets: MST does not guarantee balanced partitions, the drawback the
+// paper cites. Cost is O(N²·M).
+type MST struct {
+	// Weight is the edge weight; nil means ProximityWeight.
+	Weight Weight
+	// Seed drives the random seeding phase.
+	Seed int64
+}
+
+// Name implements Allocator.
+func (m *MST) Name() string { return "MST" }
+
+func (m *MST) weight() Weight {
+	if m.Weight == nil {
+		return ProximityWeight
+	}
+	return m.Weight
+}
+
+// Decluster implements Allocator.
+func (m *MST) Decluster(g Grid, disks int) (Allocation, error) {
+	if err := checkArgs(g, disks); err != nil {
+		return Allocation{}, err
+	}
+	n := len(g.Buckets)
+	w := m.weight()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	if disks >= n {
+		for i := range assign {
+			assign[i] = i
+		}
+		return Allocation{Disks: disks, Assign: assign}, nil
+	}
+
+	rng := rand.New(rand.NewSource(m.Seed))
+	seeds := rng.Perm(n)[:disks]
+	for k, v := range seeds {
+		assign[v] = k
+	}
+
+	// minTo[x*disks+k] is the smallest edge weight between unassigned x and
+	// tree k (Prim's frontier value per tree).
+	minTo := make([]float64, n*disks)
+	for x := 0; x < n; x++ {
+		if assign[x] >= 0 {
+			continue
+		}
+		for k, v := range seeds {
+			minTo[x*disks+k] = w(g.Buckets[x], g.Buckets[v], g.Domain)
+		}
+	}
+
+	for remaining := n - disks; remaining > 0; remaining-- {
+		bestX, bestK, bestVal := -1, -1, math.Inf(1)
+		for x := 0; x < n; x++ {
+			if assign[x] >= 0 {
+				continue
+			}
+			for k := 0; k < disks; k++ {
+				if v := minTo[x*disks+k]; v < bestVal {
+					bestX, bestK, bestVal = x, k, v
+				}
+			}
+		}
+		assign[bestX] = bestK
+		for x := 0; x < n; x++ {
+			if assign[x] >= 0 {
+				continue
+			}
+			if c := w(g.Buckets[bestX], g.Buckets[x], g.Domain); c < minTo[x*disks+bestK] {
+				minTo[x*disks+bestK] = c
+			}
+		}
+	}
+	return Allocation{Disks: disks, Assign: assign}, nil
+}

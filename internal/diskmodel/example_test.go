@@ -1,0 +1,29 @@
+package diskmodel_test
+
+import (
+	"fmt"
+
+	"pgridfile/internal/diskmodel"
+)
+
+// ExampleDisk shows the simulated disk's cost structure: a cold read pays
+// positioning + transfer, a cached re-read pays the buffer-cache cost, and
+// with elevator scheduling the block after the last one read pays transfer
+// only.
+func ExampleDisk() {
+	p := diskmodel.DefaultParams()
+	p.SequentialReads = true
+	d := diskmodel.New(p)
+
+	cold, hit1 := d.Read(100)
+	cached, hit2 := d.Read(100)
+	sequential, hit3 := d.Read(101)
+
+	fmt.Printf("cold:       %8v (cache hit: %v)\n", cold, hit1)
+	fmt.Printf("cached:     %8v (cache hit: %v)\n", cached, hit2)
+	fmt.Printf("sequential: %8v (cache hit: %v)\n", sequential, hit3)
+	// Output:
+	// cold:       11.949696ms (cache hit: false)
+	// cached:        200µs (cache hit: true)
+	// sequential: 1.949696ms (cache hit: false)
+}

@@ -1,0 +1,618 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/diskmodel"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+	"pgridfile/internal/parallel"
+	"pgridfile/internal/quadtree"
+	"pgridfile/internal/rtree"
+	"pgridfile/internal/sim"
+	"pgridfile/internal/stats"
+	"pgridfile/internal/synth"
+	"pgridfile/internal/workload"
+)
+
+// PartialMatch (experiment id "pm") evaluates the declustering algorithms on
+// partial-match workloads — the query class for which disk modulo was
+// proven strictly optimal on Cartesian product files (Du and Sobolewski;
+// discussed in Section 2). Each query specifies all attributes but one, so
+// it touches a one-cell-wide slab of the grid. On the near-Cartesian
+// uniform.2d grid file DM should track the optimal curve closely even at
+// disk counts where it has long saturated for square range queries.
+func (l *Lab) PartialMatch() ([]*stats.Table, error) {
+	var out []*stats.Table
+	for _, name := range []string{"uniform.2d", "hot.2d"} {
+		b, err := l.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		pm := workload.PartialMatch(b.grid.Domain, 1, l.opts.Queries, l.opts.Seed+200)
+		queries := make([]geom.Rect, len(pm))
+		for i, vals := range pm {
+			q := make(geom.Rect, len(vals))
+			for d, v := range vals {
+				if math.IsNaN(v) {
+					q[d] = b.grid.Domain[d]
+				} else {
+					q[d] = geom.Interval{Lo: v, Hi: v}
+				}
+			}
+			queries[i] = q
+		}
+		t := stats.NewTable(
+			fmt.Sprintf("Partial match — one unspecified attribute on %s (mean response time in buckets)", name),
+			append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+		var optimal []float64
+		for _, alg := range core.Figure6Lineup(l.opts.Seed) {
+			rts, opts, err := l.meanResponseRow(b, alg, queries)
+			if err != nil {
+				return nil, err
+			}
+			addSeriesRow(t, alg.Name(), rts)
+			optimal = opts
+		}
+		addSeriesRow(t, "optimal", optimal)
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// AblationGDM (experiment id "ablation-gdm") compares plain disk modulo
+// against the generalized disk modulo family with golden-ratio coefficients
+// on uniform.2d square range queries: skewed coefficients break the
+// anti-diagonal collisions that pin DM's response at the query side length,
+// pushing the saturation threshold out.
+func (l *Lab) AblationGDM() ([]*stats.Table, error) {
+	b, err := l.dataset("uniform.2d")
+	if err != nil {
+		return nil, err
+	}
+	queries := l.queriesFor(b.grid.Domain, 0.05)
+	t := stats.NewTable(
+		"Ablation A4 — DM vs generalized DM (golden-ratio coefficients) on uniform.2d (r=0.05)",
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	var optimal []float64
+	for _, scheme := range []string{"DM", "GDM"} {
+		alg, err := core.NewIndexBased(scheme, "D", l.opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rts, opts, err := l.meanResponseRow(b, alg, queries)
+		if err != nil {
+			return nil, err
+		}
+		addSeriesRow(t, alg.Name(), rts)
+		optimal = opts
+	}
+	addSeriesRow(t, "optimal", optimal)
+	return []*stats.Table{t}, nil
+}
+
+// Table6 (experiment id "tab6") extends the SP-2 experiments toward the
+// configuration the paper's conclusion describes — 16 processors with seven
+// disks each — by sweeping disks-per-node at a fixed node count on the
+// random range-query workload (cold caches, r = 0.05).
+func (l *Lab) Table6() ([]*stats.Table, error) {
+	b, err := l.dataset("DSMC.4d")
+	if err != nil {
+		return nil, err
+	}
+	const workers = 16
+	alloc, err := (&core.Minimax{Seed: l.opts.Seed}).Decluster(b.grid, workers)
+	if err != nil {
+		return nil, err
+	}
+	queries := workload.RandomRange4D(b.grid.Domain, 0.05, 100, l.opts.Seed+300)
+
+	t := stats.NewTable(
+		"Table 6 (extension) — disks per node at 16 nodes, random queries r=0.05, cold caches",
+		"disks/node", "response (blocks fetched)", "comm (s)", "elapsed (s)")
+	for _, dpn := range []int{1, 2, 4, 7} {
+		disk := diskmodel.DefaultParams()
+		disk.BlockBytes = b.ds.PageBytes
+		disk.CacheBlocks = 0
+		cost := parallel.DefaultCostModel()
+		cost.RecordBytes = b.ds.RecordBytes
+		eng, err := parallel.New(b.file, alloc, parallel.Config{
+			Workers: workers, DisksPerWorker: dpn, Disk: disk, Cost: cost,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tot, err := eng.Run(queries)
+		eng.Close()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(dpn, tot.ResponseBlocks, seconds(tot.Comm), seconds(tot.Elapsed))
+	}
+	return []*stats.Table{t}, nil
+}
+
+// Trace (experiment id "trace") runs the particle-tracing access pattern
+// named in the paper's future work on the SPMD engine: a probe follows a
+// drifting trajectory through the snapshot series, so consecutive queries
+// overlap heavily. Compared against the same number of random queries of
+// the same size, tracing should show far higher cache hit rates and lower
+// elapsed time per block. Run on both DSMC.4d and the MHD.4d substitute
+// (the two time-dependent simulations the paper's conclusion names).
+func (l *Lab) Trace() ([]*stats.Table, error) {
+	t := stats.NewTable(
+		"Trace (extension) — particle tracing vs random queries on the SPMD engine (16 nodes)",
+		"dataset", "workload", "queries", "blocks", "hit rate", "elapsed (s)")
+	const workers = 16
+	for _, name := range []string{"DSMC.4d", "MHD.4d"} {
+		b, err := l.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		alloc, err := (&core.Minimax{Seed: l.opts.Seed}).Decluster(b.grid, workers)
+		if err != nil {
+			return nil, err
+		}
+		disk := diskmodel.DefaultParams()
+		disk.BlockBytes = b.ds.PageBytes
+		cost := parallel.DefaultCostModel()
+		cost.RecordBytes = b.ds.RecordBytes
+		eng, err := parallel.New(b.file, alloc, parallel.Config{
+			Workers: workers, Disk: disk, Cost: cost,
+		})
+		if err != nil {
+			return nil, err
+		}
+		steps := 4 * int(b.grid.Domain[0].Length())
+		workloads := []struct {
+			label   string
+			queries []geom.Rect
+		}{
+			{"trace", workload.ParticleTrace(b.grid.Domain, 0.05, steps, l.opts.Seed+500)},
+			{"random", workload.RandomRange4D(b.grid.Domain, 0.05, steps, l.opts.Seed+501)},
+		}
+		for _, w := range workloads {
+			eng.DropCaches()
+			tot, err := eng.Run(w.queries)
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			hitRate := 0.0
+			if tot.Blocks > 0 {
+				hitRate = float64(tot.CacheHits) / float64(tot.Blocks)
+			}
+			t.AddRow(name, w.label, tot.Queries, tot.Blocks, hitRate, seconds(tot.Elapsed))
+		}
+		eng.Close()
+	}
+	return []*stats.Table{t}, nil
+}
+
+// RTree (experiment id "rtree") declusters the leaf pages of an STR-packed
+// R-tree over stock.3d — the setting of Kamel and Faloutsos's parallel
+// R-trees, from which the paper takes its proximity index — with the
+// region-based algorithms (grid-based DM/FX/HCAM do not apply to a tree).
+// The paper's grid-file ranking should carry over: minimax lowest response
+// time and near-zero co-located closest pairs; the Hilbert-centroid
+// round-robin (Kamel–Faloutsos's own scheme) competitive but behind.
+func (l *Lab) RTree() ([]*stats.Table, error) {
+	b, err := l.dataset("stock.3d")
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]geom.Point, len(b.ds.Records))
+	for i, r := range b.ds.Records {
+		pts[i] = r.Key
+	}
+	tr, err := rtree.BulkLoad(pts, rtree.Config{
+		LeafCapacity: b.ds.BucketCapacity(),
+		Domain:       b.ds.Domain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := core.Grid{Sizes: ones(tr.Dims()), Domain: tr.Domain(), Buckets: tr.Leaves()}
+	queries := l.queriesFor(tr.Domain(), 0.01)
+	nn := sim.NearestCompanions(g, nil)
+
+	algs := []core.Allocator{
+		&core.CentroidCurve{},
+		&core.SSP{Seed: l.opts.Seed},
+		&core.Minimax{Seed: l.opts.Seed},
+	}
+	rt := stats.NewTable(
+		fmt.Sprintf("R-tree (extension) — declustering %d STR leaf pages of stock.3d (r=0.01): mean response time", tr.NumLeaves()),
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	cp := stats.NewTable(
+		"R-tree (extension) — closest leaf pairs on the same disk",
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	var optimal []float64
+	for _, alg := range algs {
+		rts := make([]float64, len(l.opts.Disks))
+		opts := make([]float64, len(l.opts.Disks))
+		pairs := make([]any, 0, len(l.opts.Disks)+1)
+		pairs = append(pairs, alg.Name())
+		for i, m := range l.opts.Disks {
+			alloc, err := alg.Decluster(g, m)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.ReplaySource(tr, alloc, tr.IndexByID(), queries)
+			if err != nil {
+				return nil, err
+			}
+			rts[i] = res.MeanResponseTime
+			opts[i] = res.MeanOptimal
+			pairs = append(pairs, sim.CountSameDisk(nn, alloc))
+		}
+		addSeriesRow(rt, alg.Name(), rts)
+		cp.AddRow(pairs...)
+		optimal = opts
+	}
+	addSeriesRow(rt, "optimal", optimal)
+	return []*stats.Table{rt, cp}, nil
+}
+
+func ones(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// AblationSplit (experiment id "ablation-split") compares the grid file's
+// split-dimension policies on the skewed correl.2d dataset: the default
+// largest-extent policy against the literature's simple cyclic rotation.
+// Structure statistics and minimax response time are reported for both;
+// the correlated diagonal punishes cyclic splitting with more elongated
+// cells and a larger directory.
+func (l *Lab) AblationSplit() ([]*stats.Table, error) {
+	ds := synth.Correl2D(l.opts.scaled(10000), l.opts.Seed+2)
+	t := stats.NewTable(
+		"Ablation A7 — grid-file split policy on correl.2d",
+		"policy", "cells", "buckets", "merged", "minimax rt@16 (r=0.05)")
+	for _, pol := range []struct {
+		name string
+		p    gridfile.SplitPolicy
+	}{
+		{"largest-extent", gridfile.SplitLargestExtent},
+		{"cyclic", gridfile.SplitCyclic},
+	} {
+		f, err := gridfile.New(gridfile.Config{
+			Dims:           2,
+			Domain:         ds.Domain,
+			BucketCapacity: ds.BucketCapacity(),
+			Split:          pol.p,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := f.InsertAll(ds.Records); err != nil {
+			return nil, err
+		}
+		g := core.FromGridFile(f)
+		alloc, err := (&core.Minimax{Seed: l.opts.Seed}).Decluster(g, 16)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Replay(f, alloc, f.IndexByID(), l.queriesFor(g.Domain, 0.05))
+		if err != nil {
+			return nil, err
+		}
+		st := f.Stats()
+		t.AddRow(pol.name, st.Cells, st.Buckets, st.MergedBuckets, res.MeanResponseTime)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// Optimality (experiment id "optimality") measures the heuristics' exact
+// optimality gap on instances small enough for branch-and-bound: tiny
+// Cartesian grids where the Exhaustive allocator finds the true
+// workload-optimal assignment. The paper can only conjecture that minimax
+// is "probably quite close to the optimal distribution"; here the gap is
+// computed exactly (as total response over the workload, optimum = 100%).
+func (l *Lab) Optimality() ([]*stats.Table, error) {
+	t := stats.NewTable(
+		"Optimality gap (extension) — exact optimum via branch-and-bound on small Cartesian grids",
+		"grid", "disks", "optimum", "MiniMax", "SSP", "HCAM/D", "DM/D", "MiniMax gap")
+	hcam, err := core.NewIndexBased("HCAM", "D", l.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dm, err := core.NewIndexBased("DM", "D", l.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, cfg := range []struct {
+		sizes []int
+		disks int
+	}{
+		{[]int{3, 4}, 3}, {[]int{4, 4}, 4}, {[]int{2, 7}, 3}, {[]int{4, 3}, 2},
+	} {
+		lo := make([]float64, len(cfg.sizes))
+		hi := make([]float64, len(cfg.sizes))
+		for i, s := range cfg.sizes {
+			hi[i] = float64(s) * 10
+		}
+		c, err := gridfile.NewCartesian(cfg.sizes, geom.NewRect(lo, hi))
+		if err != nil {
+			return nil, err
+		}
+		g := core.FromCartesian(c)
+		queries := squareQueries(g.Domain, 0.2, 80, l.opts.Seed+600)
+
+		objective := func(a core.Allocation) int64 {
+			var total int64
+			counts := make([]int, a.Disks)
+			for _, q := range queries {
+				for i := range counts {
+					counts[i] = 0
+				}
+				for i := range g.Buckets {
+					if g.Buckets[i].Region.Intersects(q) {
+						counts[a.Assign[i]]++
+					}
+				}
+				max := 0
+				for _, n := range counts {
+					if n > max {
+						max = n
+					}
+				}
+				total += int64(max)
+			}
+			return total
+		}
+
+		algs := []core.Allocator{
+			&core.Exhaustive{Queries: queries},
+			&core.Minimax{Seed: l.opts.Seed},
+			&core.SSP{Seed: l.opts.Seed},
+			hcam,
+			dm,
+		}
+		vals := make([]int64, len(algs))
+		for i, alg := range algs {
+			alloc, err := alg.Decluster(g, cfg.disks)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = objective(alloc)
+		}
+		gap := 100 * float64(vals[1]-vals[0]) / float64(vals[0])
+		t.AddRow(fmt.Sprintf("%v", cfg.sizes), cfg.disks,
+			vals[0], vals[1], vals[2], vals[3], vals[4],
+			fmt.Sprintf("+%.1f%%", gap))
+	}
+	return []*stats.Table{t}, nil
+}
+
+// Utilization (experiment id "utilization") reports the mean number of
+// disks each query draws from — the disk parallelism the paper's
+// introduction sets out to maximize — side by side with the response time,
+// for the Figure 6 lineup on DSMC.3d at 16 disks. High parallelism with a
+// low response time is the goal; an algorithm can also reach high
+// parallelism with poor balance (many disks active, one overloaded), which
+// the response column exposes.
+func (l *Lab) Utilization() ([]*stats.Table, error) {
+	b, err := l.dataset("DSMC.3d")
+	if err != nil {
+		return nil, err
+	}
+	queries := l.queriesFor(b.grid.Domain, 0.05)
+	const disks = 16
+	t := stats.NewTable(
+		"Disk utilization (extension) — DSMC.3d, r=0.05, 16 disks",
+		"method", "mean active disks", "mean buckets/query", "mean response", "optimal")
+	for _, alg := range core.Figure6Lineup(l.opts.Seed) {
+		alloc, err := alg.Decluster(b.grid, disks)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Replay(b.file, alloc, b.indexByID, queries)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(alg.Name(), res.MeanActiveDisks, res.MeanBuckets,
+			res.MeanResponseTime, res.MeanOptimal)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// Quadtree (experiment id "quadtree") repeats the structure-generality check
+// on the second tree class the paper's introduction cites: a PR quadtree
+// over hot.2d, leaves declustered by the region-based algorithms.
+func (l *Lab) Quadtree() ([]*stats.Table, error) {
+	b, err := l.dataset("hot.2d")
+	if err != nil {
+		return nil, err
+	}
+	tr, err := quadtree.New(quadtree.Config{
+		Dims:         2,
+		Domain:       b.ds.Domain,
+		LeafCapacity: b.ds.BucketCapacity(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range b.ds.Records {
+		if err := tr.Insert(r.Key); err != nil {
+			return nil, err
+		}
+	}
+	g := core.Grid{Sizes: ones(2), Domain: tr.Domain(), Buckets: tr.Leaves()}
+	queries := l.queriesFor(tr.Domain(), 0.05)
+	nn := sim.NearestCompanions(g, nil)
+
+	algs := []core.Allocator{
+		&core.CentroidCurve{},
+		&core.SSP{Seed: l.opts.Seed},
+		&core.Minimax{Seed: l.opts.Seed},
+	}
+	rt := stats.NewTable(
+		fmt.Sprintf("Quadtree (extension) — declustering %d PR-quadtree leaves of hot.2d (r=0.05): mean response time", len(g.Buckets)),
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	cp := stats.NewTable(
+		"Quadtree (extension) — closest leaf pairs on the same disk",
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	var optimal []float64
+	for _, alg := range algs {
+		rts := make([]float64, len(l.opts.Disks))
+		opts := make([]float64, len(l.opts.Disks))
+		pairs := make([]any, 0, len(l.opts.Disks)+1)
+		pairs = append(pairs, alg.Name())
+		for i, m := range l.opts.Disks {
+			alloc, err := alg.Decluster(g, m)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.ReplaySource(tr, alloc, tr.IndexByID(), queries)
+			if err != nil {
+				return nil, err
+			}
+			rts[i] = res.MeanResponseTime
+			opts[i] = res.MeanOptimal
+			pairs = append(pairs, sim.CountSameDisk(nn, alloc))
+		}
+		addSeriesRow(rt, alg.Name(), rts)
+		cp.AddRow(pairs...)
+		optimal = opts
+	}
+	addSeriesRow(rt, "optimal", optimal)
+	return []*stats.Table{rt, cp}, nil
+}
+
+// AblationSeqIO (experiment id "ablation-seqio") toggles elevator
+// scheduling in the disk model on the animation workload: worker batches
+// arrive in ascending bucket-id order, so runs of consecutively-placed
+// buckets are read at transfer speed instead of paying a seek each. The
+// gap between the two rows bounds what physical placement policies could
+// save on this workload.
+func (l *Lab) AblationSeqIO() ([]*stats.Table, error) {
+	b, err := l.dataset("DSMC.4d")
+	if err != nil {
+		return nil, err
+	}
+	const workers = 8
+	alloc, err := (&core.Minimax{Seed: l.opts.Seed}).Decluster(b.grid, workers)
+	if err != nil {
+		return nil, err
+	}
+	steps := int(b.grid.Domain[0].Length())
+	queries := workload.AnimationSweep(b.grid.Domain, 0.1, steps)
+
+	t := stats.NewTable(
+		"Ablation A6 — elevator scheduling on the animation workload (8 nodes, minimax)",
+		"sequential reads", "blocks", "seq-served", "elapsed (s)")
+	for _, seq := range []bool{false, true} {
+		disk := diskmodel.DefaultParams()
+		disk.BlockBytes = b.ds.PageBytes
+		disk.SequentialReads = seq
+		cost := parallel.DefaultCostModel()
+		cost.RecordBytes = b.ds.RecordBytes
+		eng, err := parallel.New(b.file, alloc, parallel.Config{
+			Workers: workers, Disk: disk, Cost: cost,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tot, err := eng.Run(queries)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		seqServed := 0
+		for _, st := range eng.DiskStats() {
+			seqServed += st.SeqReads
+		}
+		eng.Close()
+		t.AddRow(seq, tot.Blocks, seqServed, seconds(tot.Elapsed))
+	}
+	return []*stats.Table{t}, nil
+}
+
+// DirIO (experiment id "dirio") measures the directory-page I/O of the
+// two-level (paged) grid directory — the coordinator-side cost the paper's
+// SPMD design keeps on one node — across directory page sizes, on the
+// stock.3d workload.
+func (l *Lab) DirIO() ([]*stats.Table, error) {
+	b, err := l.dataset("stock.3d")
+	if err != nil {
+		return nil, err
+	}
+	queries := l.queriesFor(b.grid.Domain, 0.05)
+	t := stats.NewTable(
+		"Directory paging (extension) — two-level directory page accesses per query, stock.3d (r=0.05)",
+		"page size (cells)", "directory pages", "mean page accesses/query", "flat-scan equivalent")
+	for _, pageCells := range []int{64, 256, 1024, 4096} {
+		d, err := gridfile.NewTwoLevelDirectory(b.file, pageCells)
+		if err != nil {
+			return nil, err
+		}
+		d.ResetCounters()
+		for _, q := range queries {
+			d.BucketsInRange(b.file, q)
+		}
+		t.AddRow(pageCells, d.NumPages(),
+			float64(d.PageAccesses)/float64(len(queries)),
+			float64(b.file.NumCells())/float64(pageCells))
+	}
+	return []*stats.Table{t}, nil
+}
+
+// AblationRefine (experiment id "ablation-refine") measures how much a
+// direct workload-driven local search can still improve on minimax: Refine
+// hill-climbs on a training workload, and both allocations are evaluated on
+// an independently drawn workload of the same distribution. A small
+// generalization gain supports the paper's closing claim that minimax's
+// distributions are already close to optimal.
+func (l *Lab) AblationRefine() ([]*stats.Table, error) {
+	b, err := l.dataset("hot.2d")
+	if err != nil {
+		return nil, err
+	}
+	train := squareQueries(b.grid.Domain, 0.05, l.opts.Queries, l.opts.Seed+400)
+	eval := l.queriesFor(b.grid.Domain, 0.05) // independent draw
+
+	base := &core.Minimax{Seed: l.opts.Seed}
+	refined := &core.Refine{Base: base, Queries: train, Seed: l.opts.Seed}
+
+	t := stats.NewTable(
+		"Ablation A5 — workload-driven refinement of minimax on hot.2d (r=0.05, held-out workload)",
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	var optimal []float64
+	for _, alg := range []core.Allocator{base, refined} {
+		rts, opts, err := l.meanResponseRow(b, alg, eval)
+		if err != nil {
+			return nil, err
+		}
+		addSeriesRow(t, alg.Name(), rts)
+		optimal = opts
+	}
+	addSeriesRow(t, "optimal", optimal)
+	return []*stats.Table{t}, nil
+}
+
+// TheoremKD (experiment id "thm1-kd") tabulates the d-dimensional extension
+// of the DM analysis: exact response, optimal and saturation for 3-D and
+// 4-D windows, the shapes of the paper's DSMC workloads.
+func (l *Lab) TheoremKD() ([]*stats.Table, error) {
+	t := stats.NewTable(
+		"Theorem 1 extension — exact DM response for d-dimensional windows",
+		"window", "disks", "DM response", "optimal", "saturated at")
+	windows := [][]int{
+		{4, 4, 4}, {6, 6, 6}, {3, 5, 7}, {2, 4, 4, 4},
+	}
+	for _, w := range windows {
+		sat := saturationDisks(w)
+		for _, m := range []int{4, 8, 16, 32, 64} {
+			t.AddRow(fmt.Sprintf("%v", w), m,
+				analyticKD(w, m), optimalKD(w, m), sat)
+		}
+	}
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"pgridfile/internal/core"
+	"pgridfile/internal/sim"
+	"pgridfile/internal/stats"
+)
+
+// Table1 reports the degree of data balance (B_max × M / B_sum) achieved by
+// DM/D, FX/D and HCAM/D on hot.2d across the disk sweep.
+func (l *Lab) Table1() ([]*stats.Table, error) {
+	b, err := l.dataset("hot.2d")
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		"Table 1 — degree of data balance on hot.2d (1.00 = perfect)",
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	for _, alg := range core.Figure4Lineup(l.opts.Seed) {
+		row := make([]float64, len(l.opts.Disks))
+		for i, m := range l.opts.Disks {
+			alloc, err := alg.Decluster(b.grid, m)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = sim.DataBalanceDegree(alloc)
+		}
+		addSeriesRow(t, alg.Name(), row)
+	}
+	// MiniMax achieves the ⌈N/M⌉ bound by construction; include it as the
+	// reference floor.
+	mm := &core.Minimax{Seed: l.opts.Seed}
+	row := make([]float64, len(l.opts.Disks))
+	for i, m := range l.opts.Disks {
+		alloc, err := mm.Decluster(b.grid, m)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = sim.DataBalanceDegree(alloc)
+	}
+	addSeriesRow(t, mm.Name(), row)
+	return []*stats.Table{t}, nil
+}
+
+// closestPairsTable builds Tables 2/3: the number of closest bucket pairs
+// mapped to the same disk, per algorithm and disk count.
+func (l *Lab) closestPairsTable(dataset, title string) ([]*stats.Table, error) {
+	b, err := l.dataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	nn, ok := l.nnMemo[dataset]
+	if !ok {
+		nn = sim.NearestCompanions(b.grid, nil)
+		l.nnMemo[dataset] = nn
+	}
+	t := stats.NewTable(title,
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	for _, alg := range core.Figure6Lineup(l.opts.Seed) {
+		cells := make([]any, 0, len(l.opts.Disks)+1)
+		cells = append(cells, alg.Name())
+		for _, m := range l.opts.Disks {
+			alloc, err := alg.Decluster(b.grid, m)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, sim.CountSameDisk(nn, alloc))
+		}
+		t.AddRow(cells...)
+	}
+	return []*stats.Table{t}, nil
+}
+
+// Table2 is the closest-pairs table for DSMC.3d.
+func (l *Lab) Table2() ([]*stats.Table, error) {
+	return l.closestPairsTable("DSMC.3d",
+		"Table 2 — closest pairs assigned to the same disk: DSMC.3d")
+}
+
+// Table3 is the closest-pairs table for stock.3d.
+func (l *Lab) Table3() ([]*stats.Table, error) {
+	return l.closestPairsTable("stock.3d",
+		"Table 3 — closest pairs assigned to the same disk: stock.3d")
+}
+
+// AblationCurves (A1) swaps the Hilbert curve for Z-order and Gray-code
+// linearizations inside curve allocation on hot.2d, isolating how much of
+// HCAM's quality comes from the Hilbert curve's clustering.
+func (l *Lab) AblationCurves() ([]*stats.Table, error) {
+	b, err := l.dataset("hot.2d")
+	if err != nil {
+		return nil, err
+	}
+	queries := l.queriesFor(b.grid.Domain, 0.05)
+	t := stats.NewTable(
+		"Ablation A1 — linearization curve inside curve allocation, hot.2d (r=0.05)",
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	var optimal []float64
+	for _, scheme := range []string{"HCAM", "ZCAM", "GrayCAM"} {
+		alg, err := core.NewIndexBased(scheme, "D", l.opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rts, opts, err := l.meanResponseRow(b, alg, queries)
+		if err != nil {
+			return nil, err
+		}
+		addSeriesRow(t, alg.Name(), rts)
+		optimal = opts
+	}
+	addSeriesRow(t, "optimal", optimal)
+	return []*stats.Table{t}, nil
+}
+
+// AblationMinimaxVsMST (A2) contrasts minimax's round-robin min-of-max
+// growth with MST's greedy min-of-min growth on DSMC.3d: response time and
+// balance degree side by side.
+func (l *Lab) AblationMinimaxVsMST() ([]*stats.Table, error) {
+	b, err := l.dataset("DSMC.3d")
+	if err != nil {
+		return nil, err
+	}
+	queries := l.queriesFor(b.grid.Domain, 0.01)
+	algs := []core.Allocator{
+		&core.Minimax{Seed: l.opts.Seed},
+		&core.MST{Seed: l.opts.Seed},
+		&core.SSP{Seed: l.opts.Seed},
+	}
+	rt := stats.NewTable(
+		"Ablation A2 — tree-growth policy on DSMC.3d (r=0.01): mean response time",
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	bal := stats.NewTable(
+		"Ablation A2 — tree-growth policy on DSMC.3d: degree of data balance",
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	for _, alg := range algs {
+		rts, _, err := l.meanResponseRow(b, alg, queries)
+		if err != nil {
+			return nil, err
+		}
+		addSeriesRow(rt, alg.Name(), rts)
+		degs := make([]float64, len(l.opts.Disks))
+		for i, m := range l.opts.Disks {
+			alloc, err := alg.Decluster(b.grid, m)
+			if err != nil {
+				return nil, err
+			}
+			degs[i] = sim.DataBalanceDegree(alloc)
+		}
+		addSeriesRow(bal, alg.Name(), degs)
+	}
+	return []*stats.Table{rt, bal}, nil
+}
+
+// AblationEdgeWeight (A3) compares the proximity index against normalized
+// Euclidean center distance as minimax's edge weight on stock.3d.
+func (l *Lab) AblationEdgeWeight() ([]*stats.Table, error) {
+	b, err := l.dataset("stock.3d")
+	if err != nil {
+		return nil, err
+	}
+	queries := l.queriesFor(b.grid.Domain, 0.01)
+	nn, ok := l.nnMemo["stock.3d"]
+	if !ok {
+		nn = sim.NearestCompanions(b.grid, nil)
+		l.nnMemo["stock.3d"] = nn
+	}
+	algs := []core.Allocator{
+		&core.Minimax{Seed: l.opts.Seed},
+		&core.Minimax{Weight: core.EuclideanWeight, WeightName: "euclid", Seed: l.opts.Seed},
+	}
+	rt := stats.NewTable(
+		"Ablation A3 — minimax edge weight on stock.3d (r=0.01): mean response time",
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	cp := stats.NewTable(
+		"Ablation A3 — minimax edge weight on stock.3d: closest pairs on same disk",
+		append([]string{"method"}, fmtDisks(l.opts.Disks)...)...)
+	for _, alg := range algs {
+		rts, _, err := l.meanResponseRow(b, alg, queries)
+		if err != nil {
+			return nil, err
+		}
+		addSeriesRow(rt, alg.Name(), rts)
+		cells := make([]any, 0, len(l.opts.Disks)+1)
+		cells = append(cells, alg.Name())
+		for _, m := range l.opts.Disks {
+			alloc, err := alg.Decluster(b.grid, m)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, sim.CountSameDisk(nn, alloc))
+		}
+		cp.AddRow(cells...)
+	}
+	return []*stats.Table{rt, cp}, nil
+}

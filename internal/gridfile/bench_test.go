@@ -1,0 +1,109 @@
+package gridfile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pgridfile/internal/geom"
+)
+
+// benchFile builds a 10k-record 2-D file once per benchmark.
+func benchFile(b *testing.B) (*File, []geom.Point) {
+	b.Helper()
+	f, err := New(Config{Dims: 2, Domain: domain2D(), BucketCapacity: 56})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 10000)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 2000, rng.Float64() * 2000}
+		if err := f.Insert(Record{Key: pts[i]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f, pts
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f, err := New(Config{Dims: 2, Domain: domain2D(), BucketCapacity: 56})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := geom.Point{rng.Float64() * 2000, rng.Float64() * 2000}
+		if err := f.Insert(Record{Key: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	f, pts := benchFile(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Lookup(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkBucketsInRange5Pct(b *testing.B) {
+	f, _ := benchFile(b)
+	rng := rand.New(rand.NewSource(2))
+	queries := make([]geom.Rect, 256)
+	for i := range queries {
+		queries[i] = randomQuery(rng, f.Domain())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.BucketsInRange(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkNearestNeighbors10(b *testing.B) {
+	f, _ := benchFile(b)
+	rng := rand.New(rand.NewSource(3))
+	probes := make([]geom.Point, 256)
+	for i := range probes {
+		probes[i] = geom.Point{rng.Float64() * 2000, rng.Float64() * 2000}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.NearestNeighbors(probes[i%len(probes)], 10)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	f, _ := benchFile(b)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	recs := make([]Record, 10000)
+	for i := range recs {
+		recs[i] = Record{Key: geom.Point{rng.Float64() * 2000, rng.Float64() * 2000}}
+	}
+	cfg := Config{Dims: 2, Domain: domain2D(), BucketCapacity: 56}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkLoad(cfg, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

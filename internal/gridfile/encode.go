@@ -1,0 +1,275 @@
+package gridfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"pgridfile/internal/geom"
+)
+
+// Binary persistence. The format is a compact little-endian encoding:
+//
+//	magic "GRDF" | version u32
+//	dims u32 | capacity u32
+//	domain: dims × (lo f64, hi f64)
+//	per dim: nsplits u32, splits f64...
+//	nbucketSlots u32, then per slot: present u8; if present:
+//	    lo i32×dims, hi i32×dims, nrec u32, keys f64×nrec×dims,
+//	    hasData u8, if hasData: per record u32 len + bytes
+//	directory: ncells u32, ids i32...
+//
+// The directory is stored explicitly (rather than recomputed) so a loaded
+// file is bit-identical to the saved one, including bucket ids, which the
+// declustering experiments rely on.
+
+const (
+	fileMagic   = "GRDF"
+	fileVersion = 1
+)
+
+// WriteTo serializes the grid file. It implements io.WriterTo.
+func (f *File) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if _, err := cw.Write([]byte(fileMagic)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(fileVersion)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(f.cfg.Dims)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(f.cfg.BucketCapacity)); err != nil {
+		return cw.n, err
+	}
+	for _, iv := range f.cfg.Domain {
+		if err := write(iv.Lo); err != nil {
+			return cw.n, err
+		}
+		if err := write(iv.Hi); err != nil {
+			return cw.n, err
+		}
+	}
+	for d := 0; d < f.cfg.Dims; d++ {
+		if err := write(uint32(len(f.scales[d]))); err != nil {
+			return cw.n, err
+		}
+		if err := write(f.scales[d]); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(uint32(len(f.bkts))); err != nil {
+		return cw.n, err
+	}
+	for _, b := range f.bkts {
+		if b == nil {
+			if err := write(uint8(0)); err != nil {
+				return cw.n, err
+			}
+			continue
+		}
+		if err := write(uint8(1)); err != nil {
+			return cw.n, err
+		}
+		if err := write(b.lo); err != nil {
+			return cw.n, err
+		}
+		if err := write(b.hi); err != nil {
+			return cw.n, err
+		}
+		if err := write(uint32(b.count(f.cfg.Dims))); err != nil {
+			return cw.n, err
+		}
+		if err := write(b.keys); err != nil {
+			return cw.n, err
+		}
+		if b.data == nil {
+			if err := write(uint8(0)); err != nil {
+				return cw.n, err
+			}
+		} else {
+			if err := write(uint8(1)); err != nil {
+				return cw.n, err
+			}
+			for _, d := range b.data {
+				if err := write(uint32(len(d))); err != nil {
+					return cw.n, err
+				}
+				if _, err := cw.Write(d); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	if err := write(uint32(len(f.dir))); err != nil {
+		return cw.n, err
+	}
+	if err := write(f.dir); err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// maxReasonable caps decoded counts to guard against corrupt or hostile
+// inputs producing huge allocations before the invariant check can reject
+// them. 2^22 elements comfortably covers the full-scale 4-D dataset
+// (a ~20k-bucket directory over ~160k cells) while keeping the worst-case
+// bogus allocation at a few tens of megabytes.
+const maxReasonable = 1 << 22
+
+// Read deserializes a grid file written by WriteTo and validates its
+// invariants.
+func Read(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("gridfile: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("gridfile: bad magic %q", magic)
+	}
+	var version, dims, capacity uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("gridfile: unsupported version %d", version)
+	}
+	if err := read(&dims); err != nil {
+		return nil, err
+	}
+	if err := read(&capacity); err != nil {
+		return nil, err
+	}
+	if dims == 0 || dims > 64 {
+		return nil, fmt.Errorf("gridfile: implausible dims %d", dims)
+	}
+	domain := make(geom.Rect, dims)
+	for d := range domain {
+		if err := read(&domain[d].Lo); err != nil {
+			return nil, err
+		}
+		if err := read(&domain[d].Hi); err != nil {
+			return nil, err
+		}
+	}
+	cfg := Config{Dims: int(dims), Domain: domain, BucketCapacity: int(capacity)}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	f := &File{cfg: cfg, scales: make([][]float64, dims), sizes: make([]int32, dims)}
+	for d := 0; d < int(dims); d++ {
+		var n uint32
+		if err := read(&n); err != nil {
+			return nil, err
+		}
+		if n > maxReasonable {
+			return nil, fmt.Errorf("gridfile: implausible split count %d", n)
+		}
+		f.scales[d] = make([]float64, n)
+		if err := read(f.scales[d]); err != nil {
+			return nil, err
+		}
+		f.sizes[d] = int32(n) + 1
+	}
+
+	var nslots uint32
+	if err := read(&nslots); err != nil {
+		return nil, err
+	}
+	if nslots > maxReasonable {
+		return nil, fmt.Errorf("gridfile: implausible bucket count %d", nslots)
+	}
+	f.bkts = make([]*bucket, nslots)
+	for i := range f.bkts {
+		var present uint8
+		if err := read(&present); err != nil {
+			return nil, err
+		}
+		if present == 0 {
+			continue
+		}
+		b := &bucket{lo: make([]int32, dims), hi: make([]int32, dims)}
+		if err := read(b.lo); err != nil {
+			return nil, err
+		}
+		if err := read(b.hi); err != nil {
+			return nil, err
+		}
+		var nrec uint32
+		if err := read(&nrec); err != nil {
+			return nil, err
+		}
+		if uint64(nrec)*uint64(dims) > maxReasonable {
+			return nil, fmt.Errorf("gridfile: implausible record count %d", nrec)
+		}
+		b.keys = make([]float64, int(nrec)*int(dims))
+		if err := read(b.keys); err != nil {
+			return nil, err
+		}
+		for _, k := range b.keys {
+			if math.IsNaN(k) {
+				return nil, fmt.Errorf("gridfile: NaN key in bucket %d", i)
+			}
+		}
+		var hasData uint8
+		if err := read(&hasData); err != nil {
+			return nil, err
+		}
+		if hasData != 0 {
+			b.data = make([][]byte, nrec)
+			for j := range b.data {
+				var n uint32
+				if err := read(&n); err != nil {
+					return nil, err
+				}
+				if n > maxReasonable {
+					return nil, fmt.Errorf("gridfile: implausible payload size %d", n)
+				}
+				b.data[j] = make([]byte, n)
+				if _, err := io.ReadFull(br, b.data[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		f.bkts[i] = b
+		f.live++
+		f.nrec += int(nrec)
+	}
+
+	var ncells uint32
+	if err := read(&ncells); err != nil {
+		return nil, err
+	}
+	if int(ncells) != totalCells(f.sizes) {
+		return nil, fmt.Errorf("gridfile: directory size %d, want %d", ncells, totalCells(f.sizes))
+	}
+	f.dir = make([]int32, ncells)
+	if err := read(f.dir); err != nil {
+		return nil, err
+	}
+
+	if err := f.checkInvariants(); err != nil {
+		return nil, fmt.Errorf("gridfile: loaded file fails invariants: %w", err)
+	}
+	return f, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,63 @@
+package gridfile_test
+
+import (
+	"fmt"
+
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+)
+
+// ExampleFile demonstrates the grid file lifecycle: insert points, watch
+// the grid refine, run a range query, delete.
+func ExampleFile() {
+	f, err := gridfile.New(gridfile.Config{
+		Dims:           2,
+		Domain:         geom.NewRect([]float64{0, 0}, []float64{100, 100}),
+		BucketCapacity: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range []geom.Point{
+		{10, 10}, {20, 20}, {30, 30}, {80, 80}, {90, 90},
+	} {
+		if err := f.Insert(gridfile.Record{Key: p}); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("records=%d buckets=%d cells=%d\n", f.Len(), f.NumBuckets(), f.NumCells())
+
+	q := geom.NewRect([]float64{0, 0}, []float64{50, 50})
+	fmt.Printf("range [0,50]^2 -> %d records\n", f.RangeCount(q))
+
+	f.Delete(geom.Point{10, 10})
+	fmt.Printf("after delete -> %d records\n", f.RangeCount(q))
+	// Output:
+	// records=5 buckets=4 cells=6
+	// range [0,50]^2 -> 3 records
+	// after delete -> 2 records
+}
+
+// ExampleFile_NearestNeighbors finds the two records closest to a query
+// point.
+func ExampleFile_NearestNeighbors() {
+	f, err := gridfile.New(gridfile.Config{
+		Dims:           2,
+		Domain:         geom.NewRect([]float64{0, 0}, []float64{100, 100}),
+		BucketCapacity: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range []geom.Point{{10, 10}, {50, 50}, {52, 50}, {90, 10}} {
+		if err := f.Insert(gridfile.Record{Key: p}); err != nil {
+			panic(err)
+		}
+	}
+	for _, n := range f.NearestNeighbors(geom.Point{51, 50}, 2) {
+		fmt.Printf("%v at distance %.0f\n", n.Record.Key, n.Distance)
+	}
+	// Output:
+	// (50, 50) at distance 1
+	// (52, 50) at distance 1
+}

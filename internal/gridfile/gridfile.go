@@ -1,0 +1,279 @@
+// Package gridfile implements the grid file of Nievergelt and Hinterberger
+// (ACM TODS 1984): an adaptive, symmetric multi-key file structure for
+// multidimensional point data. The space is partitioned by one linear scale
+// per dimension into a grid of cells; a grid directory maps every cell to a
+// data bucket. Several cells may share one bucket (a "merged" bucket region),
+// which is exactly the property that forces the conflict-resolution step when
+// extending index-based declustering schemes from Cartesian product files to
+// grid files.
+//
+// The package also provides CartesianFile, the degenerate one-bucket-per-cell
+// structure used by the paper's analytic study of DM and FX.
+//
+// Invariants maintained at all times:
+//   - every cell maps to exactly one live bucket;
+//   - every bucket's cell region is a d-dimensional box (an interval of cell
+//     indices per dimension) and the directory agrees with it;
+//   - every record lives in the bucket owning the cell containing its key;
+//   - no bucket holds more than Config.BucketCapacity records, except when a
+//     region has been refined down to the minimum cell width and still
+//     overflows (pathological duplicate keys), in which case the bucket is
+//     allowed to grow and the condition is reported via Stats.
+package gridfile
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pgridfile/internal/geom"
+)
+
+// PageSize is the simulated disk page (bucket) size in bytes, matching the
+// paper's 4 KB buckets for the 2-D/3-D experiments. The 4-D SP-2 experiments
+// use 8 KB pages; callers set Config.BucketCapacity accordingly.
+const PageSize = 4096
+
+// Record is a multidimensional point plus an optional payload.
+type Record struct {
+	Key  geom.Point
+	Data []byte
+}
+
+// SplitPolicy selects the dimension a bucket splits along.
+type SplitPolicy int
+
+const (
+	// SplitLargestExtent (the default) splits the dimension where the
+	// bucket's region is widest relative to the domain, keeping cells
+	// square-ish — the policy behind the paper-like grid shapes.
+	SplitLargestExtent SplitPolicy = iota
+	// SplitCyclic rotates through the dimensions in order, the original
+	// grid-file paper's simplest policy; it ignores region shape, so
+	// skewed data produces more elongated cells (ablation-split measures
+	// the consequences).
+	SplitCyclic
+)
+
+// Config describes a new grid file.
+type Config struct {
+	// Dims is the number of key dimensions (>= 1).
+	Dims int
+	// Domain is the data domain; keys outside it are rejected.
+	Domain geom.Rect
+	// BucketCapacity is the maximum number of records per bucket (>= 2).
+	// With 4 KB pages and fixed-size records this is PageSize/recordSize.
+	BucketCapacity int
+	// Split selects the split-dimension policy (default SplitLargestExtent).
+	Split SplitPolicy
+}
+
+func (c Config) validate() error {
+	if c.Dims < 1 {
+		return fmt.Errorf("gridfile: Dims must be >= 1, got %d", c.Dims)
+	}
+	if len(c.Domain) != c.Dims {
+		return fmt.Errorf("gridfile: Domain has %d dims, want %d", len(c.Domain), c.Dims)
+	}
+	for i, iv := range c.Domain {
+		if iv.Length() <= 0 {
+			return fmt.Errorf("gridfile: Domain dim %d has non-positive extent", i)
+		}
+	}
+	if c.BucketCapacity < 2 {
+		return fmt.Errorf("gridfile: BucketCapacity must be >= 2, got %d", c.BucketCapacity)
+	}
+	if c.Split != SplitLargestExtent && c.Split != SplitCyclic {
+		return fmt.Errorf("gridfile: unknown split policy %d", c.Split)
+	}
+	return nil
+}
+
+// bucket is one data page. Records are stored as a flat coordinate array to
+// keep per-record overhead low (the full-scale 4-D dataset holds millions of
+// records). data is nil until a record with a payload is inserted.
+type bucket struct {
+	lo, hi []int32  // inclusive cell-index bounds per dimension
+	keys   []float64 // flat: record i occupies keys[i*dims : (i+1)*dims]
+	data   [][]byte  // nil, or parallel to records
+}
+
+func (b *bucket) count(dims int) int { return len(b.keys) / dims }
+
+func (b *bucket) cellSpan() int {
+	span := 1
+	for d := range b.lo {
+		span *= int(b.hi[d]-b.lo[d]) + 1
+	}
+	return span
+}
+
+func (b *bucket) appendRecord(rec Record, dims int) {
+	b.keys = append(b.keys, rec.Key...)
+	if rec.Data != nil && b.data == nil {
+		// Lazily materialize the payload column.
+		b.data = make([][]byte, b.count(dims)-1)
+	}
+	if b.data != nil {
+		b.data = append(b.data, rec.Data)
+	}
+}
+
+func (b *bucket) record(i, dims int) Record {
+	rec := Record{Key: geom.Point(b.keys[i*dims : (i+1)*dims : (i+1)*dims])}
+	if b.data != nil {
+		rec.Data = b.data[i]
+	}
+	return rec
+}
+
+// removeRecord deletes record i by swapping in the last record.
+func (b *bucket) removeRecord(i, dims int) {
+	n := b.count(dims)
+	copy(b.keys[i*dims:(i+1)*dims], b.keys[(n-1)*dims:n*dims])
+	b.keys = b.keys[:(n-1)*dims]
+	if b.data != nil {
+		b.data[i] = b.data[n-1]
+		b.data = b.data[:n-1]
+	}
+}
+
+// File is an in-memory grid file. It is not safe for concurrent use:
+// mutation aside, range searches share visit-stamp scratch space for
+// deduplication, so even concurrent readers must be serialized by the
+// caller (the parallel engine does this with a coordinator mutex).
+type File struct {
+	cfg    Config
+	scales [][]float64 // interior split points per dimension, sorted ascending
+	sizes  []int32     // cells per dimension = len(scales[d])+1
+	dir    []int32     // flat row-major cell -> bucket id
+	bkts   []*bucket   // nil entries are dead (after merges)
+	live   int         // number of live buckets
+	nrec   int         // number of records
+
+	// visited/visitGen implement an allocation-free "seen" set for range
+	// search deduplication across merged bucket regions.
+	visited  []uint32
+	visitGen uint32
+
+	// splitCursor rotates the dimension for SplitCyclic.
+	splitCursor int
+}
+
+// New creates an empty grid file with a single cell and a single bucket.
+func New(cfg Config) (*File, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &File{
+		cfg:    cfg,
+		scales: make([][]float64, cfg.Dims),
+		sizes:  make([]int32, cfg.Dims),
+		dir:    []int32{0},
+		bkts: []*bucket{{
+			lo: make([]int32, cfg.Dims),
+			hi: make([]int32, cfg.Dims),
+		}},
+		live: 1,
+	}
+	for d := range f.sizes {
+		f.sizes[d] = 1
+	}
+	return f, nil
+}
+
+// Dims returns the key dimensionality.
+func (f *File) Dims() int { return f.cfg.Dims }
+
+// Domain returns the configured data domain.
+func (f *File) Domain() geom.Rect { return f.cfg.Domain.Clone() }
+
+// BucketCapacity returns the configured per-bucket record limit.
+func (f *File) BucketCapacity() int { return f.cfg.BucketCapacity }
+
+// Len returns the number of records stored.
+func (f *File) Len() int { return f.nrec }
+
+// NumBuckets returns the number of live buckets.
+func (f *File) NumBuckets() int { return f.live }
+
+// NumCells returns the total number of grid cells (the size of the
+// corresponding Cartesian product file).
+func (f *File) NumCells() int { return len(f.dir) }
+
+// CellSizes returns the number of cells along each dimension.
+func (f *File) CellSizes() []int {
+	s := make([]int, len(f.sizes))
+	for i, v := range f.sizes {
+		s[i] = int(v)
+	}
+	return s
+}
+
+// Scales returns a copy of the interior split points along dim d.
+func (f *File) Scales(d int) []float64 {
+	out := make([]float64, len(f.scales[d]))
+	copy(out, f.scales[d])
+	return out
+}
+
+// cellIndex returns the flat directory index of a cell coordinate vector.
+func (f *File) cellIndex(cell []int32) int {
+	idx := 0
+	for d, c := range cell {
+		idx = idx*int(f.sizes[d]) + int(c)
+	}
+	return idx
+}
+
+// locateCell finds the cell containing p (per-dimension binary search over
+// the scales). p must be inside the domain.
+func (f *File) locateCell(p geom.Point, cell []int32) {
+	for d := 0; d < f.cfg.Dims; d++ {
+		// sort.SearchFloat64s returns the number of split points <= p[d]
+		// when we search for the first split point strictly greater.
+		s := f.scales[d]
+		cell[d] = int32(sort.Search(len(s), func(i int) bool { return s[i] > p[d] }))
+	}
+}
+
+// cellInterval returns the domain interval of cell index c along dim d.
+func (f *File) cellInterval(d int, c int32) geom.Interval {
+	s := f.scales[d]
+	iv := geom.Interval{Lo: f.cfg.Domain[d].Lo, Hi: f.cfg.Domain[d].Hi}
+	if c > 0 {
+		iv.Lo = s[c-1]
+	}
+	if int(c) < len(s) {
+		iv.Hi = s[c]
+	}
+	return iv
+}
+
+// bucketRegion returns the domain-space box covered by bucket b.
+func (f *File) bucketRegion(b *bucket) geom.Rect {
+	r := make(geom.Rect, f.cfg.Dims)
+	for d := 0; d < f.cfg.Dims; d++ {
+		lo := f.cellInterval(d, b.lo[d])
+		hi := f.cellInterval(d, b.hi[d])
+		r[d] = geom.Interval{Lo: lo.Lo, Hi: hi.Hi}
+	}
+	return r
+}
+
+// ErrOutOfDomain is returned by Insert for keys outside the configured domain.
+var ErrOutOfDomain = errors.New("gridfile: key outside domain")
+
+// ErrDimensionMismatch is returned when a key's dimensionality is wrong.
+var ErrDimensionMismatch = errors.New("gridfile: key dimensionality mismatch")
+
+// checkKey validates a key for insert/lookup.
+func (f *File) checkKey(p geom.Point) error {
+	if len(p) != f.cfg.Dims {
+		return fmt.Errorf("%w: got %d, want %d", ErrDimensionMismatch, len(p), f.cfg.Dims)
+	}
+	if !f.cfg.Domain.ContainsPoint(p) {
+		return fmt.Errorf("%w: %v not in %v", ErrOutOfDomain, p, f.cfg.Domain)
+	}
+	return nil
+}

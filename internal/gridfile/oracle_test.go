@@ -1,0 +1,175 @@
+package gridfile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pgridfile/internal/geom"
+)
+
+// modelFile is a trivially correct reference implementation: a flat slice of
+// records with linear scans. The oracle test drives random operation
+// sequences against both implementations and compares every answer.
+type modelFile struct {
+	recs []geom.Point
+}
+
+func (m *modelFile) insert(p geom.Point) { m.recs = append(m.recs, p.Clone()) }
+
+func (m *modelFile) delete(p geom.Point) bool {
+	for i, q := range m.recs {
+		if equalPoints(p, q) {
+			m.recs[i] = m.recs[len(m.recs)-1]
+			m.recs = m.recs[:len(m.recs)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func (m *modelFile) rangeCount(q geom.Rect) int {
+	n := 0
+	for _, p := range m.recs {
+		if q.ContainsPoint(p) {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *modelFile) lookupCount(p geom.Point) int {
+	n := 0
+	for _, q := range m.recs {
+		if equalPoints(p, q) {
+			n++
+		}
+	}
+	return n
+}
+
+func equalPoints(a, b geom.Point) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRandomOperationsAgainstOracle drives thousands of random mixed
+// operations and cross-checks every result plus the structural invariants.
+func TestRandomOperationsAgainstOracle(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		t.Run(map[int]string{1: "1d", 2: "2d", 3: "3d"}[dims], func(t *testing.T) {
+			f := newTestFile(t, dims, 5)
+			model := &modelFile{}
+			rng := rand.New(rand.NewSource(int64(900 + dims)))
+			dom := f.Domain()
+
+			randPoint := func() geom.Point {
+				p := make(geom.Point, dims)
+				for d := 0; d < dims; d++ {
+					// Snap to a lattice so deletes and duplicate keys occur.
+					p[d] = dom[d].Lo + float64(rng.Intn(50))*dom[d].Length()/50
+				}
+				return p
+			}
+
+			const ops = 4000
+			for i := 0; i < ops; i++ {
+				switch op := rng.Intn(10); {
+				case op < 6: // insert
+					p := randPoint()
+					if err := f.Insert(Record{Key: p}); err != nil {
+						t.Fatalf("op %d: Insert: %v", i, err)
+					}
+					model.insert(p)
+				case op < 8: // delete
+					var p geom.Point
+					if len(model.recs) > 0 && rng.Intn(2) == 0 {
+						p = model.recs[rng.Intn(len(model.recs))].Clone()
+					} else {
+						p = randPoint()
+					}
+					got := f.Delete(p)
+					want := model.delete(p)
+					if got != want {
+						t.Fatalf("op %d: Delete(%v) = %v, model says %v", i, p, got, want)
+					}
+				case op < 9: // range count
+					q := randomQuery(rng, dom)
+					if got, want := f.RangeCount(q), model.rangeCount(q); got != want {
+						t.Fatalf("op %d: RangeCount = %d, model %d", i, got, want)
+					}
+				default: // lookup
+					p := randPoint()
+					if got, want := len(f.Lookup(p)), model.lookupCount(p); got != want {
+						t.Fatalf("op %d: Lookup count = %d, model %d", i, got, want)
+					}
+				}
+				if f.Len() != len(model.recs) {
+					t.Fatalf("op %d: Len = %d, model %d", i, f.Len(), len(model.recs))
+				}
+				if i%500 == 499 {
+					if err := f.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: %v", i, err)
+					}
+				}
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Round-trip at the end and re-verify one query.
+			var buf bytes.Buffer
+			if _, err := f.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			g, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := randomQuery(rng, dom)
+			if g.RangeCount(q) != model.rangeCount(q) {
+				t.Fatal("reloaded file disagrees with model")
+			}
+		})
+	}
+}
+
+// TestReadNeverPanicsOnCorruption flips bytes in a valid encoding and
+// requires Read to either reject the input or return a file that passes the
+// invariant check — never panic, never return a corrupt structure.
+func TestReadNeverPanicsOnCorruption(t *testing.T) {
+	f := newTestFile(t, 2, 4)
+	insertUniform(t, f, 300, 901)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	rng := rand.New(rand.NewSource(902))
+
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte(nil), orig...)
+		// Flip 1-4 random bytes.
+		for k := 0; k <= rng.Intn(4); k++ {
+			pos := rng.Intn(len(data))
+			data[pos] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: Read panicked: %v", trial, r)
+				}
+			}()
+			g, err := Read(bytes.NewReader(data))
+			if err != nil {
+				return // rejected: fine
+			}
+			if err := g.checkInvariants(); err != nil {
+				t.Fatalf("trial %d: Read accepted a corrupt file: %v", trial, err)
+			}
+		}()
+	}
+}

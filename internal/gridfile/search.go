@@ -1,0 +1,182 @@
+package gridfile
+
+import (
+	"math"
+	"sort"
+
+	"pgridfile/internal/geom"
+)
+
+// Lookup returns all records whose key equals p exactly (duplicate keys are
+// permitted). Returned keys are copies and safe to retain.
+func (f *File) Lookup(p geom.Point) []Record {
+	if f.checkKey(p) != nil {
+		return nil
+	}
+	cell := make([]int32, f.cfg.Dims)
+	f.locateCell(p, cell)
+	b := f.bkts[f.dir[f.cellIndex(cell)]]
+	dims := f.cfg.Dims
+	var out []Record
+	for i, n := 0, b.count(dims); i < n; i++ {
+		if pointEqual(b.keys[i*dims:(i+1)*dims], p) {
+			out = append(out, copyRecord(b.record(i, dims)))
+		}
+	}
+	return out
+}
+
+func pointEqual(a []float64, b geom.Point) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func copyRecord(r Record) Record {
+	return Record{Key: r.Key.Clone(), Data: r.Data}
+}
+
+// cellRange computes the inclusive cell-index range [lo,hi] intersected by
+// the closed query interval q along dimension d. A query interval touching a
+// cell boundary includes both adjacent cells, matching the paper's counting
+// of buckets "retrieved to process" a query.
+func (f *File) cellRange(d int, q geom.Interval) (int32, int32, bool) {
+	dom := f.cfg.Domain[d]
+	if q.Hi < dom.Lo || q.Lo > dom.Hi {
+		return 0, 0, false
+	}
+	s := f.scales[d]
+	// lo: first cell whose upper boundary is >= q.Lo. Cell c covers
+	// [s[c-1], s[c]) so cells with s[c] < q.Lo are entirely below.
+	lo := int32(sort.Search(len(s), func(i int) bool { return s[i] >= q.Lo }))
+	// hi: last cell whose lower boundary is <= q.Hi, i.e. count of split
+	// points <= q.Hi.
+	hi := int32(sort.Search(len(s), func(i int) bool { return s[i] > q.Hi }))
+	return lo, hi, true
+}
+
+// queryCellBox converts a query rect to an inclusive cell-index box,
+// reporting ok=false if the query misses the domain entirely.
+func (f *File) queryCellBox(q geom.Rect) (lo, hi []int32, ok bool) {
+	lo = make([]int32, f.cfg.Dims)
+	hi = make([]int32, f.cfg.Dims)
+	for d := 0; d < f.cfg.Dims; d++ {
+		l, h, o := f.cellRange(d, q[d])
+		if !o {
+			return nil, nil, false
+		}
+		lo[d], hi[d] = l, h
+	}
+	return lo, hi, true
+}
+
+// BucketsInRange returns the ids of the distinct buckets a range query must
+// retrieve. This is what the declustering simulator charges as I/O: one
+// fetch per distinct bucket. The result is in ascending id order.
+func (f *File) BucketsInRange(q geom.Rect) []int32 {
+	if len(q) != f.cfg.Dims {
+		return nil
+	}
+	lo, hi, ok := f.queryCellBox(q)
+	if !ok {
+		return nil
+	}
+	f.beginVisit()
+	var ids []int32
+	f.forEachCellIn(lo, hi, func(idx int) {
+		id := f.dir[idx]
+		if f.visited[id] != f.visitGen {
+			f.visited[id] = f.visitGen
+			ids = append(ids, id)
+		}
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// beginVisit advances the visit generation, (re)allocating the stamp array
+// if the bucket table has grown.
+func (f *File) beginVisit() {
+	if len(f.visited) < len(f.bkts) {
+		f.visited = make([]uint32, len(f.bkts))
+		f.visitGen = 0
+	}
+	f.visitGen++
+	if f.visitGen == 0 { // wrapped: clear and restart
+		for i := range f.visited {
+			f.visited[i] = 0
+		}
+		f.visitGen = 1
+	}
+}
+
+// RangeSearch returns copies of all records whose keys lie inside the closed
+// query box.
+func (f *File) RangeSearch(q geom.Rect) []Record {
+	var out []Record
+	f.rangeSearch(q, func(r Record) { out = append(out, copyRecord(r)) })
+	return out
+}
+
+// RangeCount returns the number of records inside the closed query box
+// without materializing them.
+func (f *File) RangeCount(q geom.Rect) int {
+	n := 0
+	f.rangeSearch(q, func(Record) { n++ })
+	return n
+}
+
+func (f *File) rangeSearch(q geom.Rect, emit func(Record)) {
+	if len(q) != f.cfg.Dims {
+		return
+	}
+	for _, id := range f.BucketsInRange(q) {
+		b := f.bkts[id]
+		dims := f.cfg.Dims
+		for i, n := 0, b.count(dims); i < n; i++ {
+			key := b.keys[i*dims : (i+1)*dims]
+			if rectContains(q, key) {
+				emit(b.record(i, dims))
+			}
+		}
+	}
+}
+
+func rectContains(q geom.Rect, key []float64) bool {
+	for d := range q {
+		if key[d] < q[d].Lo || key[d] > q[d].Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// PartialMatch answers a partial match query: vals[d] gives the exact value
+// required along dimension d, and NaN marks an unspecified attribute. The
+// paper's DM optimality results are stated for this query class.
+func (f *File) PartialMatch(vals []float64) []Record {
+	if len(vals) != f.cfg.Dims {
+		return nil
+	}
+	q := make(geom.Rect, f.cfg.Dims)
+	for d, v := range vals {
+		if math.IsNaN(v) {
+			q[d] = f.cfg.Domain[d]
+		} else {
+			q[d] = geom.Interval{Lo: v, Hi: v}
+		}
+	}
+	var out []Record
+	f.rangeSearch(q, func(r Record) {
+		for d, v := range vals {
+			if !math.IsNaN(v) && r.Key[d] != v {
+				return
+			}
+		}
+		out = append(out, copyRecord(r))
+	})
+	return out
+}

@@ -1,0 +1,122 @@
+package gridfile
+
+import "pgridfile/internal/geom"
+
+// Stats summarizes the structure of a grid file, reproducing the numbers the
+// paper quotes for its sample grid files (Figure 2 and Sections 2.2/3.2):
+// total subspaces (cells), buckets, and how many buckets consist of merged
+// subspaces.
+type Stats struct {
+	Records        int
+	Cells          int     // number of grid subspaces (Cartesian cells)
+	Buckets        int     // live data buckets
+	MergedBuckets  int     // buckets whose region spans more than one cell
+	OverfullBuckets int    // buckets over capacity (unsplittable duplicates)
+	CellsPerDim    []int   // grid resolution per dimension
+	AvgOccupancy   float64 // records per bucket / capacity
+	MaxOccupancy   int     // records in the fullest bucket
+}
+
+// Stats scans the bucket table; cost is O(buckets).
+func (f *File) Stats() Stats {
+	st := Stats{
+		Records:     f.nrec,
+		Cells:       len(f.dir),
+		Buckets:     f.live,
+		CellsPerDim: f.CellSizes(),
+	}
+	dims := f.cfg.Dims
+	for _, b := range f.bkts {
+		if b == nil {
+			continue
+		}
+		n := b.count(dims)
+		if b.cellSpan() > 1 {
+			st.MergedBuckets++
+		}
+		if n > f.cfg.BucketCapacity {
+			st.OverfullBuckets++
+		}
+		if n > st.MaxOccupancy {
+			st.MaxOccupancy = n
+		}
+	}
+	if f.live > 0 {
+		st.AvgOccupancy = float64(f.nrec) / float64(f.live) / float64(f.cfg.BucketCapacity)
+	}
+	return st
+}
+
+// BucketView is the read-only projection of one bucket that the declustering
+// algorithms consume: its dense index, cell region, domain region and load.
+type BucketView struct {
+	// Index is the dense position of the bucket in the Buckets() slice;
+	// declustering output is indexed by it.
+	Index int
+	// ID is the stable internal bucket id, as returned by BucketsInRange.
+	ID int32
+	// CellLo and CellHi bound the bucket's cell region (inclusive).
+	CellLo, CellHi []int32
+	// Region is the bucket's box in domain coordinates.
+	Region geom.Rect
+	// Records is the number of records stored in the bucket.
+	Records int
+}
+
+// CellSpan returns the number of grid cells the bucket covers.
+func (v BucketView) CellSpan() int {
+	span := 1
+	for d := range v.CellLo {
+		span *= int(v.CellHi[d]-v.CellLo[d]) + 1
+	}
+	return span
+}
+
+// Buckets returns views of all live buckets in ascending id order. The
+// views' Index fields run 0..len-1; use IndexByID to translate ids from
+// BucketsInRange into dense indices.
+func (f *File) Buckets() []BucketView {
+	views := make([]BucketView, 0, f.live)
+	for id, b := range f.bkts {
+		if b == nil {
+			continue
+		}
+		lo := make([]int32, f.cfg.Dims)
+		hi := make([]int32, f.cfg.Dims)
+		copy(lo, b.lo)
+		copy(hi, b.hi)
+		views = append(views, BucketView{
+			Index:   len(views),
+			ID:      int32(id),
+			CellLo:  lo,
+			CellHi:  hi,
+			Region:  f.bucketRegion(b),
+			Records: b.count(f.cfg.Dims),
+		})
+	}
+	return views
+}
+
+// IndexByID returns a lookup table from stable bucket id to dense index in
+// Buckets(). Dead ids map to -1.
+func (f *File) IndexByID() []int {
+	table := make([]int, len(f.bkts))
+	next := 0
+	for id, b := range f.bkts {
+		if b == nil {
+			table[id] = -1
+			continue
+		}
+		table[id] = next
+		next++
+	}
+	return table
+}
+
+// CheckInvariants verifies the structural invariants listed in the package
+// comment, returning a descriptive error for the first violation. It is
+// exported for tests and for debugging corrupted files; cost is
+// O(cells + records).
+func (f *File) CheckInvariants() error {
+	return f.checkInvariants()
+}

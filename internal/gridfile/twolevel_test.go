@@ -1,0 +1,144 @@
+package gridfile
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func buildTwoLevel(t *testing.T, dims, pageCells int) (*File, *TwoLevelDirectory) {
+	t.Helper()
+	f := newTestFile(t, dims, 6)
+	insertUniform(t, f, 2000, int64(1100+dims))
+	d, err := NewTwoLevelDirectory(f, pageCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, d
+}
+
+func TestTwoLevelValidation(t *testing.T) {
+	f := newTestFile(t, 2, 4)
+	if _, err := NewTwoLevelDirectory(f, 0); err == nil {
+		t.Error("pageCells=0 accepted")
+	}
+}
+
+func TestTwoLevelBucketAtMatchesFlat(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		f, d := buildTwoLevel(t, dims, 16)
+		sizes := f.CellSizes()
+		cell := make([]int32, dims)
+		// Every cell resolves to the same bucket as the flat directory.
+		var walk func(k int)
+		var checked int
+		walk = func(k int) {
+			if k == dims {
+				want := f.dir[f.cellIndex(cell)]
+				got, err := d.BucketAt(cell)
+				if err != nil {
+					t.Fatalf("dims=%d cell %v: %v", dims, cell, err)
+				}
+				if got != want {
+					t.Fatalf("dims=%d cell %v: paged %d, flat %d", dims, cell, got, want)
+				}
+				checked++
+				return
+			}
+			for c := 0; c < sizes[k]; c++ {
+				cell[k] = int32(c)
+				walk(k + 1)
+			}
+		}
+		walk(0)
+		if checked != f.NumCells() {
+			t.Fatalf("checked %d of %d cells", checked, f.NumCells())
+		}
+	}
+}
+
+func TestTwoLevelBucketAtRejectsOutOfGrid(t *testing.T) {
+	_, d := buildTwoLevel(t, 2, 16)
+	if _, err := d.BucketAt([]int32{-1, 0}); err == nil {
+		t.Error("negative cell accepted")
+	}
+	if _, err := d.BucketAt([]int32{0, 9999}); err == nil {
+		t.Error("overflowing cell accepted")
+	}
+}
+
+func TestTwoLevelRangeMatchesFlat(t *testing.T) {
+	f, d := buildTwoLevel(t, 2, 12)
+	rng := rand.New(rand.NewSource(1201))
+	for trial := 0; trial < 80; trial++ {
+		q := randomQuery(rng, f.Domain())
+		want := f.BucketsInRange(q)
+		got := d.BucketsInRange(f, q)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: paged %d buckets, flat %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: bucket sets differ at %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTwoLevelPageAccounting(t *testing.T) {
+	f, d := buildTwoLevel(t, 2, 9) // 3x3 tiles
+	if d.NumPages() < 2 {
+		t.Skip("grid too small to page")
+	}
+	d.ResetCounters()
+	cell := []int32{0, 0}
+	if _, err := d.BucketAt(cell); err != nil {
+		t.Fatal(err)
+	}
+	if d.PageAccesses != 1 {
+		t.Errorf("point lookup cost %d page accesses, want 1", d.PageAccesses)
+	}
+
+	// A full-domain query touches every page exactly once.
+	d.ResetCounters()
+	d.BucketsInRange(f, f.Domain())
+	if d.PageAccesses != d.NumPages() {
+		t.Errorf("full scan touched %d pages, directory has %d", d.PageAccesses, d.NumPages())
+	}
+
+	// A small query touches far fewer pages than the directory holds.
+	d.ResetCounters()
+	small := f.Domain()
+	for k := range small {
+		small[k].Hi = small[k].Lo + small[k].Length()*0.05
+	}
+	d.BucketsInRange(f, small)
+	if d.PageAccesses >= d.NumPages() {
+		t.Errorf("small query touched %d of %d pages", d.PageAccesses, d.NumPages())
+	}
+}
+
+func TestTwoLevelSinglePageDegenerate(t *testing.T) {
+	f, d := buildTwoLevel(t, 2, 1<<20) // one huge page
+	if d.NumPages() != 1 {
+		t.Fatalf("expected a single page, got %d", d.NumPages())
+	}
+	want := f.BucketsInRange(f.Domain())
+	got := d.BucketsInRange(f, f.Domain())
+	if len(got) != len(want) {
+		t.Fatalf("paged %d buckets, flat %d", len(got), len(want))
+	}
+}
+
+func TestTwoLevelOutsideDomainQuery(t *testing.T) {
+	f, d := buildTwoLevel(t, 2, 16)
+	q := f.Domain()
+	for k := range q {
+		q[k].Lo = q[k].Hi + 100
+		q[k].Hi = q[k].Lo + 50
+	}
+	if got := d.BucketsInRange(f, q); got != nil {
+		t.Errorf("out-of-domain query returned %v", got)
+	}
+}

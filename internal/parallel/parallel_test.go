@@ -1,0 +1,292 @@
+package parallel
+
+import (
+	"testing"
+	"time"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/diskmodel"
+	"pgridfile/internal/gridfile"
+	"pgridfile/internal/synth"
+	"pgridfile/internal/workload"
+)
+
+// buildEngine loads a small 4-D dataset, declusters it with minimax and
+// starts an engine with the given worker count.
+func buildEngine(t *testing.T, workers int) (*Engine, *gridfile.File) {
+	t.Helper()
+	ds := synth.DSMC4D(8, 1200, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: workers, Disk: diskmodel.DefaultParams(), Cost: DefaultCostModel()}
+	e, err := New(f, alloc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e, f
+}
+
+func TestEngineValidation(t *testing.T) {
+	ds := synth.DSMC4D(2, 200, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, _ := (&core.Minimax{Seed: 1}).Decluster(g, 4)
+	if _, err := New(f, alloc, Config{Workers: 0}); err == nil {
+		t.Error("0 workers accepted")
+	}
+	if _, err := New(f, alloc, Config{Workers: 8, Disk: diskmodel.DefaultParams()}); err == nil {
+		t.Error("mismatched allocation accepted")
+	}
+}
+
+func TestAllRecordsDistributed(t *testing.T) {
+	e, f := buildEngine(t, 4)
+	totalBuckets := 0
+	for _, n := range e.BucketsPerWorker() {
+		totalBuckets += n
+	}
+	if totalBuckets != f.NumBuckets() {
+		t.Errorf("workers own %d buckets, file has %d", totalBuckets, f.NumBuckets())
+	}
+}
+
+func TestQueryReturnsCorrectRecordCount(t *testing.T) {
+	e, f := buildEngine(t, 4)
+	queries := workload.RandomRange4D(f.Domain(), 0.2, 20, 9)
+	for i, q := range queries {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.RangeCount(q)
+		if res.Records != want {
+			t.Fatalf("query %d: engine found %d records, grid file %d", i, res.Records, want)
+		}
+	}
+}
+
+func TestQueryBlockAccounting(t *testing.T) {
+	e, f := buildEngine(t, 4)
+	q := f.Domain() // full scan touches every bucket exactly once
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != f.NumBuckets() {
+		t.Errorf("full scan fetched %d blocks, want %d", res.Blocks, f.NumBuckets())
+	}
+	if res.Records != f.Len() {
+		t.Errorf("full scan found %d records, want %d", res.Records, f.Len())
+	}
+	if res.ResponseBlocks > res.Blocks {
+		t.Error("response blocks exceed total")
+	}
+	// Minimax balance: the slowest worker should fetch roughly 1/4 of the
+	// buckets on a full scan.
+	ceil := (f.NumBuckets() + 3) / 4
+	if res.ResponseBlocks > ceil {
+		t.Errorf("full-scan response %d exceeds balanced bound %d", res.ResponseBlocks, ceil)
+	}
+}
+
+func TestElapsedDropsWithWorkers(t *testing.T) {
+	ds := synth.DSMC4D(8, 1200, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	queries := workload.RandomRange4D(f.Domain(), 0.1, 40, 11)
+
+	elapsed := map[int]time.Duration{}
+	respBlocks := map[int]int{}
+	for _, workers := range []int{4, 16} {
+		alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(f, alloc, Config{Workers: workers, Disk: diskmodel.DefaultParams(), Cost: DefaultCostModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot, err := e.Run(queries)
+		e.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed[workers] = tot.Elapsed
+		respBlocks[workers] = tot.ResponseBlocks
+	}
+	if elapsed[16] >= elapsed[4] {
+		t.Errorf("elapsed did not drop: 4 workers %v, 16 workers %v", elapsed[4], elapsed[16])
+	}
+	if respBlocks[16] >= respBlocks[4] {
+		t.Errorf("response blocks did not drop: %d vs %d", respBlocks[4], respBlocks[16])
+	}
+}
+
+func TestCachingHelpsRepeatedQueries(t *testing.T) {
+	e, f := buildEngine(t, 4)
+	q := workload.RandomRange4D(f.Domain(), 0.15, 1, 13)[0]
+	first, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits <= first.CacheHits {
+		t.Errorf("second run hits %d, first %d", second.CacheHits, first.CacheHits)
+	}
+	if second.Elapsed >= first.Elapsed {
+		t.Errorf("cached run not faster: %v vs %v", second.Elapsed, first.Elapsed)
+	}
+	// Cold caches restore the original cost.
+	e.DropCaches()
+	third, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.CacheHits != first.CacheHits {
+		t.Errorf("after DropCaches hits = %d, want %d", third.CacheHits, first.CacheHits)
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	e, f := buildEngine(t, 8)
+	queries := workload.RandomRange4D(f.Domain(), 0.1, 15, 17)
+	tot, err := e.Run(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot.Queries != 15 {
+		t.Errorf("Queries = %d", tot.Queries)
+	}
+	if tot.Blocks < tot.ResponseBlocks {
+		t.Error("total blocks below response blocks")
+	}
+	if tot.Elapsed <= tot.Comm {
+		t.Error("elapsed not above communication component")
+	}
+	// Disk stats agree with block accounting.
+	reads := 0
+	for _, st := range e.DiskStats() {
+		reads += st.Reads
+	}
+	if reads != tot.Blocks {
+		t.Errorf("disk reads %d, engine counted %d", reads, tot.Blocks)
+	}
+}
+
+func TestDeterministicTimings(t *testing.T) {
+	run := func() Totals {
+		ds := synth.DSMC4D(5, 600, 3)
+		f, err := ds.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := core.FromGridFile(f)
+		alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(f, alloc, Config{Workers: 4, Disk: diskmodel.DefaultParams(), Cost: DefaultCostModel()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		tot, err := e.Run(workload.RandomRange4D(f.Domain(), 0.1, 25, 19))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tot
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("engine timings not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestClosedEngineRejectsQueries(t *testing.T) {
+	e, f := buildEngine(t, 4)
+	e.Close()
+	if _, err := e.Query(f.Domain()); err == nil {
+		t.Error("closed engine accepted a query")
+	}
+	e.Close() // double close must be safe
+}
+
+func TestMultiDiskNodesReduceDiskTime(t *testing.T) {
+	ds := synth.DSMC4D(8, 1200, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.RandomRange4D(f.Domain(), 0.2, 30, 23)
+
+	run := func(disksPerWorker int) Totals {
+		disk := diskmodel.DefaultParams()
+		disk.CacheBlocks = 0 // isolate the striping effect
+		e, err := New(f, alloc, Config{
+			Workers: 4, DisksPerWorker: disksPerWorker,
+			Disk: disk, Cost: DefaultCostModel(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		tot, err := e.Run(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tot
+	}
+
+	one := run(1)
+	seven := run(7) // the SP-2's actual configuration
+	if seven.Elapsed >= one.Elapsed {
+		t.Errorf("7 disks/node elapsed %v not below 1 disk/node %v", seven.Elapsed, one.Elapsed)
+	}
+	// Striping changes timing, not which blocks are fetched.
+	if seven.Blocks != one.Blocks || seven.ResponseBlocks != one.ResponseBlocks {
+		t.Errorf("block accounting changed: %+v vs %+v", seven, one)
+	}
+	if seven.Records != one.Records {
+		t.Errorf("record counts changed: %d vs %d", seven.Records, one.Records)
+	}
+}
+
+func TestDisksPerWorkerDefaultsToOne(t *testing.T) {
+	ds := synth.DSMC4D(2, 200, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, _ := (&core.Minimax{Seed: 1}).Decluster(g, 2)
+	e, err := New(f, alloc, Config{Workers: 2, Disk: diskmodel.DefaultParams(), Cost: DefaultCostModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Query(f.Domain()); err != nil {
+		t.Fatal(err)
+	}
+}

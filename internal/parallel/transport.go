@@ -1,0 +1,144 @@
+package parallel
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pgridfile/internal/geom"
+)
+
+// Transport selects how the coordinator exchanges messages with workers.
+type Transport int
+
+const (
+	// TransportChannel passes request/reply structs over Go channels: the
+	// fast in-process path and the default.
+	TransportChannel Transport = iota
+	// TransportWire serializes every message with encoding/gob over a
+	// net.Pipe byte stream per worker — the same coordinator/worker
+	// protocol as TransportChannel, but crossing a real wire format, as
+	// messages did on the SP-2. Useful for validating that the protocol
+	// carries everything it needs and for measuring serialization cost.
+	TransportWire
+)
+
+// wireRequest is the on-wire form of a block request.
+type wireRequest struct {
+	Blocks   []int64
+	Query    geom.Rect
+	WantKeys bool
+}
+
+// wireReply is the on-wire form of a worker's answer. The simulated disk
+// time travels as nanoseconds to keep gob encoding flat.
+type wireReply struct {
+	Worker     int
+	Blocks     int
+	Records    int
+	Hits       int
+	DiskTimeNs int64
+	Keys       []float64
+}
+
+// wireLink is the coordinator's endpoint for one worker.
+type wireLink struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// startWireWorkers launches one goroutine per worker serving the gob
+// protocol over a net.Pipe, and returns the coordinator-side links.
+func (e *Engine) startWireWorkers() {
+	e.links = make([]*wireLink, len(e.workers))
+	for i, w := range e.workers {
+		coordSide, workerSide := net.Pipe()
+		e.links[i] = &wireLink{
+			conn: coordSide,
+			enc:  gob.NewEncoder(coordSide),
+			dec:  gob.NewDecoder(coordSide),
+		}
+		e.wg.Add(1)
+		go w.serveWire(workerSide, &e.wg)
+	}
+}
+
+// serveWire is the worker loop for TransportWire: decode a request, process
+// it exactly as the channel path does, encode the reply.
+func (w *worker) serveWire(conn net.Conn, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	perDisk := make([][]int64, len(w.disks))
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			// io.EOF / ErrClosedPipe: the coordinator shut down.
+			return
+		}
+		rep := w.process(request{blocks: req.Blocks, query: req.Query, wantKeys: req.WantKeys}, perDisk)
+		if err := enc.Encode(wireReply{
+			Worker:     rep.worker,
+			Blocks:     rep.blocks,
+			Records:    rep.records,
+			Hits:       rep.hits,
+			DiskTimeNs: rep.diskTime.Nanoseconds(),
+			Keys:       rep.keys,
+		}); err != nil {
+			return
+		}
+	}
+}
+
+// queryWire runs one query over the wire transport: encode a request to
+// every active worker, then decode their replies.
+func (e *Engine) queryWire(q geom.Rect, perWorker [][]int64, wantKeys bool, coordExtra time.Duration) (QueryResult, []float64, error) {
+	type pending struct {
+		link *wireLink
+	}
+	var active []pending
+	for wid, blocks := range perWorker {
+		if len(blocks) == 0 {
+			continue
+		}
+		link := e.links[wid]
+		if err := link.enc.Encode(wireRequest{Blocks: blocks, Query: q, WantKeys: wantKeys}); err != nil {
+			return QueryResult{}, nil, fmt.Errorf("parallel: sending to worker %d: %w", wid, err)
+		}
+		active = append(active, pending{link: link})
+	}
+
+	var res QueryResult
+	var keys []float64
+	var maxDisk time.Duration
+	cm := e.cfg.Cost
+	for _, p := range active {
+		var rep wireReply
+		if err := p.link.dec.Decode(&rep); err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("worker closed connection")
+			}
+			return QueryResult{}, nil, fmt.Errorf("parallel: receiving reply: %w", err)
+		}
+		res.Blocks += rep.Blocks
+		res.Records += rep.Records
+		res.CacheHits += rep.Hits
+		keys = append(keys, rep.Keys...)
+		if rep.Blocks > res.ResponseBlocks {
+			res.ResponseBlocks = rep.Blocks
+		}
+		if d := time.Duration(rep.DiskTimeNs); d > maxDisk {
+			maxDisk = d
+		}
+		res.Comm += 2 * cm.MsgLatency
+		res.Comm += time.Duration(rep.Blocks*cm.RequestBytesPerBlock) * cm.TransferPerByte
+		res.Comm += time.Duration(rep.Records*cm.RecordBytes) * cm.TransferPerByte
+	}
+	res.Elapsed = cm.CoordPerQuery + coordExtra + maxDisk + res.Comm
+	return res, keys, nil
+}

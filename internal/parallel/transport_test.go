@@ -1,0 +1,305 @@
+package parallel
+
+import (
+	"fmt"
+	"testing"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/diskmodel"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/synth"
+	"pgridfile/internal/workload"
+)
+
+// TestWireTransportMatchesChannel runs the same workload over both
+// transports and requires identical results: the wire protocol must carry
+// exactly the information the channel path does.
+func TestWireTransportMatchesChannel(t *testing.T) {
+	ds := synth.DSMC4D(6, 900, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.RandomRange4D(f.Domain(), 0.15, 25, 31)
+
+	run := func(tr Transport) Totals {
+		e, err := New(f, alloc, Config{
+			Workers: 4, Disk: diskmodel.DefaultParams(),
+			Cost: DefaultCostModel(), Transport: tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		tot, err := e.Run(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tot
+	}
+
+	ch := run(TransportChannel)
+	wire := run(TransportWire)
+	if ch != wire {
+		t.Errorf("transports disagree:\nchannel: %+v\nwire:    %+v", ch, wire)
+	}
+}
+
+func TestWireTransportCloseAndReject(t *testing.T) {
+	ds := synth.DSMC4D(2, 200, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, _ := (&core.Minimax{Seed: 1}).Decluster(g, 2)
+	e, err := New(f, alloc, Config{
+		Workers: 2, Disk: diskmodel.DefaultParams(),
+		Cost: DefaultCostModel(), Transport: TransportWire,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(f.Domain()); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if _, err := e.Query(f.Domain()); err == nil {
+		t.Error("closed wire engine accepted a query")
+	}
+	e.Close() // idempotent
+}
+
+func TestUnknownTransportRejected(t *testing.T) {
+	ds := synth.DSMC4D(2, 200, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, _ := (&core.Minimax{Seed: 1}).Decluster(g, 2)
+	if _, err := New(f, alloc, Config{
+		Workers: 2, Disk: diskmodel.DefaultParams(), Transport: Transport(99),
+	}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}
+
+func TestRunConcurrentMatchesSequentialAccounting(t *testing.T) {
+	ds := synth.DSMC4D(6, 900, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := workload.RandomRange4D(f.Domain(), 0.15, 40, 41)
+
+	disk := diskmodel.DefaultParams()
+	disk.CacheBlocks = 0 // caching depends on arrival order; disable for exactness
+	mk := func() *Engine {
+		e, err := New(f, alloc, Config{
+			Workers: 4, Disk: disk, Cost: DefaultCostModel(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	seq := mk()
+	seqTot, err := seq.Run(queries)
+	seq.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conc := mk()
+	concTot, err := conc.RunConcurrent(queries, 8)
+	conc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if concTot.Queries != seqTot.Queries ||
+		concTot.Blocks != seqTot.Blocks ||
+		concTot.ResponseBlocks != seqTot.ResponseBlocks ||
+		concTot.Records != seqTot.Records {
+		t.Errorf("accounting differs:\nseq:  %+v\nconc: %+v", seqTot, concTot)
+	}
+}
+
+func TestRunConcurrentRejectsWireTransport(t *testing.T) {
+	ds := synth.DSMC4D(2, 200, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, _ := (&core.Minimax{Seed: 1}).Decluster(g, 2)
+	e, err := New(f, alloc, Config{
+		Workers: 2, Disk: diskmodel.DefaultParams(),
+		Cost: DefaultCostModel(), Transport: TransportWire,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.RunConcurrent(workload.RandomRange4D(f.Domain(), 0.1, 5, 3), 2); err == nil {
+		t.Error("wire transport accepted by RunConcurrent")
+	}
+}
+
+func TestConcurrentWireQueriesSerialized(t *testing.T) {
+	// Direct concurrent Query calls on the wire transport must still be
+	// correct (the engine serializes them internally).
+	ds := synth.DSMC4D(4, 500, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, _ := (&core.Minimax{Seed: 1}).Decluster(g, 4)
+	e, err := New(f, alloc, Config{
+		Workers: 4, Disk: diskmodel.DefaultParams(),
+		Cost: DefaultCostModel(), Transport: TransportWire,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	queries := workload.RandomRange4D(f.Domain(), 0.2, 16, 5)
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		want[i] = f.RangeCount(q)
+	}
+	errCh := make(chan error, len(queries))
+	for i, q := range queries {
+		go func(i int, qq geom.Rect) {
+			res, err := e.Query(qq)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if res.Records != want[i] {
+				errCh <- fmt.Errorf("query %d: %d records, want %d", i, res.Records, want[i])
+				return
+			}
+			errCh <- nil
+		}(i, q)
+	}
+	for range queries {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQueryRecordsMatchesGridFile(t *testing.T) {
+	ds := synth.DSMC4D(5, 800, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, _ := (&core.Minimax{Seed: 1}).Decluster(g, 4)
+	for _, tr := range []Transport{TransportChannel, TransportWire} {
+		e, err := New(f, alloc, Config{
+			Workers: 4, Disk: diskmodel.DefaultParams(),
+			Cost: DefaultCostModel(), Transport: tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range workload.RandomRange4D(f.Domain(), 0.2, 10, 51) {
+			got, res, err := e.QueryRecords(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := f.RangeSearch(q)
+			if len(got) != len(want) || res.Records != len(want) {
+				t.Fatalf("transport %v: %d records shipped, grid file has %d", tr, len(got), len(want))
+			}
+			// Compare as multisets of first coordinates (cheap fingerprint)
+			// plus exact containment checks.
+			var sumGot, sumWant float64
+			for _, p := range got {
+				if !q.ContainsPoint(p) {
+					t.Fatalf("shipped record %v outside query %v", p, q)
+				}
+				sumGot += p[0] + p[1]*3 + p[2]*7 + p[3]*13
+			}
+			for _, r := range want {
+				sumWant += r.Key[0] + r.Key[1]*3 + r.Key[2]*7 + r.Key[3]*13
+			}
+			if diff := sumGot - sumWant; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("transport %v: shipped record set differs (checksum %v vs %v)", tr, sumGot, sumWant)
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestPagedDirectoryCoordinator(t *testing.T) {
+	ds := synth.DSMC4D(6, 900, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, _ := (&core.Minimax{Seed: 1}).Decluster(g, 4)
+	queries := workload.RandomRange4D(f.Domain(), 0.15, 20, 61)
+
+	run := func(pageCells int) Totals {
+		e, err := New(f, alloc, Config{
+			Workers: 4, Disk: diskmodel.DefaultParams(),
+			Cost: DefaultCostModel(), DirectoryPageCells: pageCells,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		tot, err := e.Run(queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tot
+	}
+
+	flat := run(0)
+	paged := run(256)
+	// Identical block/record accounting: the paged directory changes only
+	// the coordinator's simulated cost.
+	if flat.Blocks != paged.Blocks || flat.Records != paged.Records ||
+		flat.ResponseBlocks != paged.ResponseBlocks {
+		t.Errorf("accounting differs:\nflat:  %+v\npaged: %+v", flat, paged)
+	}
+	if paged.Elapsed <= flat.Elapsed {
+		t.Errorf("paged-directory elapsed %v not above flat %v (page reads cost time)",
+			paged.Elapsed, flat.Elapsed)
+	}
+}
+
+func TestPagedDirectoryRejectsBadPageSize(t *testing.T) {
+	ds := synth.DSMC4D(2, 200, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, _ := (&core.Minimax{Seed: 1}).Decluster(g, 2)
+	if _, err := New(f, alloc, Config{
+		Workers: 2, Disk: diskmodel.DefaultParams(),
+		Cost: DefaultCostModel(), DirectoryPageCells: -5,
+	}); err != nil {
+		t.Fatalf("negative page cells should mean flat directory, got %v", err)
+	}
+}

@@ -1,0 +1,36 @@
+package quadtree_test
+
+import (
+	"fmt"
+
+	"pgridfile/internal/geom"
+	"pgridfile/internal/quadtree"
+)
+
+// ExampleTree builds a small quadtree and shows the adaptive decomposition:
+// a cluster forces deep splits near it while empty space stays coarse.
+func ExampleTree() {
+	tr, err := quadtree.New(quadtree.Config{
+		Dims:         2,
+		Domain:       geom.NewRect([]float64{0, 0}, []float64{100, 100}),
+		LeafCapacity: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// A tight cluster plus a few scattered points.
+	cluster := []geom.Point{{10, 10}, {11, 10}, {10, 11}, {11, 11}, {12, 12}, {10, 12}}
+	scattered := []geom.Point{{80, 80}, {90, 20}, {20, 90}}
+	for _, p := range append(cluster, scattered...) {
+		if err := tr.Insert(p); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("points: %d, non-empty leaves: %d, depth: %d\n",
+		tr.Len(), tr.NonEmptyLeaves(), tr.Depth())
+	q := geom.NewRect([]float64{0, 0}, []float64{15, 15})
+	fmt.Printf("range [0,15]^2: %d points\n", tr.RangeCount(q))
+	// Output:
+	// points: 9, non-empty leaves: 7, depth: 6
+	// range [0,15]^2: 6 points
+}

@@ -1,0 +1,324 @@
+// Package quadtree implements a point-region quadtree generalized to d
+// dimensions (2^d-way recursive decomposition — an octree in 3-D), the
+// second tree-based structure class the paper's introduction cites (Finkel
+// and Bentley's quad-trees). Leaf cells are the unit of declustering; like
+// grid-file buckets they partition the space into disjoint boxes, but the
+// decomposition is recursive and locally adaptive rather than driven by
+// global linear scales.
+//
+// The tree supports incremental insertion, range queries, and exposes its
+// leaves as BucketViews so the proximity-based declustering algorithms and
+// the centroid-curve allocator apply unchanged.
+package quadtree
+
+import (
+	"fmt"
+	"sort"
+
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+)
+
+// maxDepth bounds the recursion; cells at this depth are allowed to
+// overflow (duplicate-heavy data), mirroring the grid file's minimum cell
+// width guard.
+const maxDepth = 32
+
+// Tree is a d-dimensional PR quadtree.
+type Tree struct {
+	dims     int
+	domain   geom.Rect
+	capacity int
+	root     *node
+	count    int
+
+	leavesDirty bool
+	leafCache   []*node
+}
+
+type node struct {
+	region   geom.Rect
+	depth    int
+	children []*node   // nil for leaves; else 2^dims entries
+	keys     []float64 // leaf only
+}
+
+// Config describes a new tree.
+type Config struct {
+	// Dims is the key dimensionality (1..6; the fan-out is 2^Dims).
+	Dims int
+	// Domain is the covered space; keys outside it are rejected.
+	Domain geom.Rect
+	// LeafCapacity is the split threshold (>= 2).
+	LeafCapacity int
+}
+
+// New creates an empty tree.
+func New(cfg Config) (*Tree, error) {
+	if cfg.Dims < 1 || cfg.Dims > 6 {
+		return nil, fmt.Errorf("quadtree: Dims %d outside 1..6", cfg.Dims)
+	}
+	if len(cfg.Domain) != cfg.Dims {
+		return nil, fmt.Errorf("quadtree: domain has %d dims, want %d", len(cfg.Domain), cfg.Dims)
+	}
+	for d, iv := range cfg.Domain {
+		if iv.Length() <= 0 {
+			return nil, fmt.Errorf("quadtree: domain dim %d empty", d)
+		}
+	}
+	if cfg.LeafCapacity < 2 {
+		return nil, fmt.Errorf("quadtree: LeafCapacity %d < 2", cfg.LeafCapacity)
+	}
+	return &Tree{
+		dims:        cfg.Dims,
+		domain:      cfg.Domain.Clone(),
+		capacity:    cfg.LeafCapacity,
+		root:        &node{region: cfg.Domain.Clone()},
+		leavesDirty: true,
+	}, nil
+}
+
+// Dims returns the dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Domain returns the covered space.
+func (t *Tree) Domain() geom.Rect { return t.domain.Clone() }
+
+// Len returns the number of points stored.
+func (t *Tree) Len() int { return t.count }
+
+// Insert adds one point.
+func (t *Tree) Insert(p geom.Point) error {
+	if len(p) != t.dims {
+		return fmt.Errorf("quadtree: point has %d dims, want %d", len(p), t.dims)
+	}
+	if !t.domain.ContainsPoint(p) {
+		return fmt.Errorf("quadtree: point %v outside domain %v", p, t.domain)
+	}
+	n := t.root
+	for n.children != nil {
+		n = n.children[t.childIndex(n, p)]
+	}
+	n.keys = append(n.keys, p...)
+	t.count++
+	t.leavesDirty = true
+	if len(n.keys)/t.dims > t.capacity && n.depth < maxDepth {
+		t.split(n)
+	}
+	return nil
+}
+
+// InsertAll adds a batch, stopping at the first error.
+func (t *Tree) InsertAll(pts []geom.Point) error {
+	for _, p := range pts {
+		if err := t.Insert(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// childIndex returns which of the 2^dims children of n contains p: bit d of
+// the index is set when p lies in the upper half along dimension d.
+func (t *Tree) childIndex(n *node, p geom.Point) int {
+	idx := 0
+	for d := 0; d < t.dims; d++ {
+		mid := (n.region[d].Lo + n.region[d].Hi) / 2
+		if p[d] >= mid {
+			idx |= 1 << d
+		}
+	}
+	return idx
+}
+
+// split turns a leaf into an internal node with 2^dims children and
+// redistributes its points. Children that still overflow split recursively.
+func (t *Tree) split(n *node) {
+	nChildren := 1 << t.dims
+	n.children = make([]*node, nChildren)
+	for c := 0; c < nChildren; c++ {
+		region := make(geom.Rect, t.dims)
+		for d := 0; d < t.dims; d++ {
+			mid := (n.region[d].Lo + n.region[d].Hi) / 2
+			if c&(1<<d) != 0 {
+				region[d] = geom.Interval{Lo: mid, Hi: n.region[d].Hi}
+			} else {
+				region[d] = geom.Interval{Lo: n.region[d].Lo, Hi: mid}
+			}
+		}
+		n.children[c] = &node{region: region, depth: n.depth + 1}
+	}
+	keys := n.keys
+	n.keys = nil
+	for i := 0; i+t.dims <= len(keys); i += t.dims {
+		p := geom.Point(keys[i : i+t.dims])
+		child := n.children[t.childIndex(n, p)]
+		child.keys = append(child.keys, p...)
+	}
+	for _, c := range n.children {
+		if len(c.keys)/t.dims > t.capacity && c.depth < maxDepth {
+			t.split(c)
+		}
+	}
+}
+
+// leaves returns the leaf nodes in a stable depth-first order, rebuilding
+// the cache after mutations. Leaf ids are positions in this order.
+func (t *Tree) leaves() []*node {
+	if !t.leavesDirty {
+		return t.leafCache
+	}
+	t.leafCache = t.leafCache[:0]
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.children == nil {
+			t.leafCache = append(t.leafCache, n)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	t.leavesDirty = false
+	return t.leafCache
+}
+
+// NumLeaves returns the number of leaf cells (including empty ones created
+// by splits; empty cells cost no I/O but still occupy directory entries).
+func (t *Tree) NumLeaves() int { return len(t.leaves()) }
+
+// NonEmptyLeaves returns how many leaves hold at least one point.
+func (t *Tree) NonEmptyLeaves() int {
+	n := 0
+	for _, l := range t.leaves() {
+		if len(l.keys) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// BucketsInRange returns the ids of the non-empty leaves intersecting q, in
+// ascending order (empty leaves need no fetch). It satisfies sim.Source.
+func (t *Tree) BucketsInRange(q geom.Rect) []int32 {
+	if len(q) != t.dims {
+		return nil
+	}
+	ls := t.leaves()
+	idOf := make(map[*node]int32, len(ls))
+	for i, l := range ls {
+		idOf[l] = int32(i)
+	}
+	var ids []int32
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !n.region.Intersects(q) {
+			return
+		}
+		if n.children == nil {
+			if len(n.keys) > 0 {
+				ids = append(ids, idOf[n])
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RangeCount returns the number of points inside the closed box q.
+func (t *Tree) RangeCount(q geom.Rect) int {
+	if len(q) != t.dims {
+		return 0
+	}
+	count := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !n.region.Intersects(q) {
+			return
+		}
+		if n.children == nil {
+			for i := 0; i+t.dims <= len(n.keys); i += t.dims {
+				inside := true
+				for d := 0; d < t.dims; d++ {
+					v := n.keys[i+d]
+					if v < q[d].Lo || v > q[d].Hi {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					count++
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return count
+}
+
+// Leaves returns the declustering view of the non-empty leaf cells. Ids
+// match BucketsInRange; Index runs dense over the returned slice, with
+// IndexByID translating ids.
+func (t *Tree) Leaves() []gridfile.BucketView {
+	var views []gridfile.BucketView
+	for id, l := range t.leaves() {
+		if len(l.keys) == 0 {
+			continue
+		}
+		views = append(views, gridfile.BucketView{
+			Index:   len(views),
+			ID:      int32(id),
+			CellLo:  make([]int32, t.dims),
+			CellHi:  make([]int32, t.dims),
+			Region:  l.region.Clone(),
+			Records: len(l.keys) / t.dims,
+		})
+	}
+	return views
+}
+
+// IndexByID maps leaf ids (positions in the full leaf order) to dense
+// indices in Leaves(); empty leaves map to -1.
+func (t *Tree) IndexByID() []int {
+	ls := t.leaves()
+	out := make([]int, len(ls))
+	next := 0
+	for i, l := range ls {
+		if len(l.keys) == 0 {
+			out[i] = -1
+			continue
+		}
+		out[i] = next
+		next++
+	}
+	return out
+}
+
+// Depth returns the maximum leaf depth (root = 0).
+func (t *Tree) Depth() int {
+	max := 0
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.children == nil {
+			if n.depth > max {
+				max = n.depth
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return max
+}

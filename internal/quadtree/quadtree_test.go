@@ -1,0 +1,229 @@
+package quadtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/sim"
+	"pgridfile/internal/synth"
+	"pgridfile/internal/workload"
+)
+
+func newTree(t *testing.T, dims, capacity int) *Tree {
+	t.Helper()
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	for i := range hi {
+		hi[i] = 2000
+	}
+	tr, err := New(Config{Dims: dims, Domain: geom.NewRect(lo, hi), LeafCapacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func insertRandom(t *testing.T, tr *Tree, n int, seed int64) []geom.Point {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		p := make(geom.Point, tr.Dims())
+		for d := range p {
+			p[d] = rng.Float64() * 2000
+		}
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func TestNewValidation(t *testing.T) {
+	dom := geom.NewRect([]float64{0, 0}, []float64{1, 1})
+	cases := []Config{
+		{Dims: 0, Domain: dom, LeafCapacity: 4},
+		{Dims: 7, Domain: dom, LeafCapacity: 4},
+		{Dims: 2, Domain: geom.NewRect([]float64{0}, []float64{1}), LeafCapacity: 4},
+		{Dims: 2, Domain: dom, LeafCapacity: 1},
+		{Dims: 2, Domain: geom.NewRect([]float64{0, 5}, []float64{1, 5}), LeafCapacity: 4},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr := newTree(t, 2, 4)
+	if err := tr.Insert(geom.Point{1}); err == nil {
+		t.Error("wrong dims accepted")
+	}
+	if err := tr.Insert(geom.Point{-5, 10}); err == nil {
+		t.Error("out of domain accepted")
+	}
+	if tr.Len() != 0 {
+		t.Error("failed inserts counted")
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		tr := newTree(t, dims, 8)
+		insertRandom(t, tr, 2000, int64(dims))
+		if tr.Len() != 2000 {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		total := 0
+		for _, v := range tr.Leaves() {
+			if v.Records > 8 {
+				t.Fatalf("dims=%d: leaf %d holds %d points", dims, v.ID, v.Records)
+			}
+			total += v.Records
+		}
+		if total != 2000 {
+			t.Fatalf("dims=%d: leaves hold %d points", dims, total)
+		}
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	tr := newTree(t, 2, 6)
+	pts := insertRandom(t, tr, 2500, 7)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		q := make(geom.Rect, 2)
+		for d := range q {
+			a := rng.Float64() * 2000
+			b := a + rng.Float64()*700
+			q[d] = geom.Interval{Lo: a, Hi: b}
+		}
+		want := 0
+		for _, p := range pts {
+			if q.ContainsPoint(p) {
+				want++
+			}
+		}
+		if got := tr.RangeCount(q); got != want {
+			t.Fatalf("trial %d: RangeCount = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestBucketsInRangeConsistent(t *testing.T) {
+	tr := newTree(t, 2, 6)
+	insertRandom(t, tr, 1000, 9)
+	full := tr.Domain()
+	ids := tr.BucketsInRange(full)
+	if len(ids) != tr.NonEmptyLeaves() {
+		t.Fatalf("full scan hit %d leaves, tree has %d non-empty", len(ids), tr.NonEmptyLeaves())
+	}
+	// Ids translate through IndexByID onto the dense Leaves order.
+	table := tr.IndexByID()
+	views := tr.Leaves()
+	for _, id := range ids {
+		dense := table[id]
+		if dense < 0 || dense >= len(views) {
+			t.Fatalf("id %d maps to %d", id, dense)
+		}
+		if views[dense].ID != id {
+			t.Fatalf("view %d has ID %d, want %d", dense, views[dense].ID, id)
+		}
+	}
+	if tr.BucketsInRange(geom.Rect{{Lo: 0, Hi: 1}}) != nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestDuplicatePointsDepthGuard(t *testing.T) {
+	tr := newTree(t, 2, 2)
+	p := geom.Point{123.456, 789.123}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(p.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Depth() > maxDepth {
+		t.Fatalf("depth %d exceeds guard", tr.Depth())
+	}
+	q := geom.Rect{{Lo: 123, Hi: 124}, {Lo: 789, Hi: 790}}
+	if got := tr.RangeCount(q); got != 100 {
+		t.Fatalf("RangeCount = %d", got)
+	}
+}
+
+func TestDeclusterQuadtreeLeaves(t *testing.T) {
+	// The declustering ranking carries over to quadtree leaves.
+	ds := synth.Hotspot2D(6000, 11)
+	tr, err := New(Config{Dims: 2, Domain: ds.Domain, LeafCapacity: ds.BucketCapacity()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Records {
+		if err := tr.Insert(r.Key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := core.Grid{Sizes: []int{1, 1}, Domain: tr.Domain(), Buckets: tr.Leaves()}
+	const disks = 16
+	mm, err := (&core.Minimax{Seed: 1}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := (&core.CentroidCurve{}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := sim.NearestCompanions(g, nil)
+	if mmP, ccP := sim.CountSameDisk(nn, mm), sim.CountSameDisk(nn, cc); mmP > ccP {
+		t.Errorf("minimax closest pairs %d above centroid-curve %d", mmP, ccP)
+	}
+	queries := workload.SquareRange(tr.Domain(), 0.05, 300, 13)
+	rMM, err := sim.ReplaySource(tr, mm, tr.IndexByID(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rCC, err := sim.ReplaySource(tr, cc, tr.IndexByID(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rMM.MeanResponseTime > rCC.MeanResponseTime*1.1 {
+		t.Errorf("minimax response %.3f clearly above centroid-curve %.3f",
+			rMM.MeanResponseTime, rCC.MeanResponseTime)
+	}
+}
+
+func TestLeafRegionsDisjointAndCovering(t *testing.T) {
+	tr := newTree(t, 2, 5)
+	insertRandom(t, tr, 800, 17)
+	views := tr.Leaves()
+	// Volumes of ALL leaves (including empty) must sum to the domain.
+	var vol float64
+	for _, l := range tr.leaves() {
+		vol += l.region.Volume()
+	}
+	domVol := tr.Domain().Volume()
+	if diff := vol - domVol; diff > 1e-6*domVol || diff < -1e-6*domVol {
+		t.Errorf("leaf volumes sum to %.1f, domain %.1f", vol, domVol)
+	}
+	// Non-empty leaf regions must not properly overlap (they may touch).
+	for i := 0; i < len(views); i++ {
+		for j := i + 1; j < len(views); j++ {
+			a, b := views[i].Region, views[j].Region
+			overlap := 1.0
+			for d := range a {
+				overlap *= a[d].Overlap(b[d])
+			}
+			if overlap > 1e-9 {
+				t.Fatalf("leaves %d and %d properly overlap", views[i].ID, views[j].ID)
+			}
+		}
+	}
+}

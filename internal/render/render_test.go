@@ -1,0 +1,169 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/synth"
+)
+
+func TestSVGBasics(t *testing.T) {
+	f, err := synth.Hotspot2D(2000, 5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := SVG(f, SVGOptions{Width: 400, Points: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	// One rect per bucket plus the background.
+	rects := strings.Count(out, "<rect")
+	if rects != f.NumBuckets()+1 {
+		t.Errorf("%d rects for %d buckets", rects, f.NumBuckets())
+	}
+	// One circle per record.
+	if circles := strings.Count(out, "<circle"); circles != f.Len() {
+		t.Errorf("%d circles for %d records", circles, f.Len())
+	}
+	// Scale lines present.
+	if lines := strings.Count(out, "<line"); lines != len(f.Scales(0))+len(f.Scales(1)) {
+		t.Errorf("%d scale lines, want %d", lines, len(f.Scales(0))+len(f.Scales(1)))
+	}
+}
+
+func TestSVGWithAllocation(t *testing.T) {
+	f, err := synth.Hotspot2D(1500, 5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := SVG(f, SVGOptions{Allocation: &alloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disk fills appear; at least several palette colours used.
+	used := 0
+	for _, c := range diskPalette[:8] {
+		if strings.Contains(out, c) {
+			used++
+		}
+	}
+	if used < 4 {
+		t.Errorf("only %d disk colours appear in the allocation view", used)
+	}
+}
+
+func TestSVGRejectsNon2D(t *testing.T) {
+	f, err := synth.DSMC3D(500, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SVG(f, SVGOptions{}); err == nil {
+		t.Error("3-D file accepted")
+	}
+	if _, err := ASCII(f, 40); err == nil {
+		t.Error("3-D file accepted by ASCII")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	f, err := synth.Hotspot2D(2000, 5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ASCII(f, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	sizes := f.CellSizes()
+	if len(lines) != sizes[1] {
+		t.Errorf("%d rows for %d y-cells", len(lines), sizes[1])
+	}
+	for i, line := range lines {
+		if len(line) != sizes[0] {
+			t.Errorf("row %d has %d cells, want %d", i, len(line), sizes[0])
+		}
+		if strings.Contains(line, "?") {
+			t.Errorf("row %d contains an unresolvable cell", i)
+		}
+	}
+	// Merged regions show as repeated letters somewhere (hot.2d has many).
+	repeated := false
+	for _, line := range lines {
+		for j := 1; j < len(line); j++ {
+			if line[j] == line[j-1] {
+				repeated = true
+			}
+		}
+	}
+	if !repeated {
+		t.Error("no adjacent cells share a bucket; expected merged regions")
+	}
+}
+
+func TestASCIISamplesLargeGrids(t *testing.T) {
+	f, err := synth.Correl2D(10000, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ASCII(f, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) > 40 {
+		t.Errorf("sampling failed: %d rows for cols=20", len(lines))
+	}
+}
+
+func TestASCIIAllocation(t *testing.T) {
+	f, err := synth.Hotspot2D(2000, 5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ASCIIAllocation(f, alloc, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	sizes := f.CellSizes()
+	if len(lines) != sizes[1] {
+		t.Errorf("%d rows for %d y-cells", len(lines), sizes[1])
+	}
+	// Only digits 0-7 appear for 8 disks.
+	for _, line := range lines {
+		for _, ch := range line {
+			if ch < '0' || ch > '7' {
+				t.Fatalf("unexpected character %q", ch)
+			}
+		}
+	}
+	// Bad allocation rejected.
+	if _, err := ASCIIAllocation(f, core.Allocation{Disks: 2, Assign: []int{0}}, 40); err == nil {
+		t.Error("truncated allocation accepted")
+	}
+	// Non-2D rejected.
+	f3, err := synth.DSMC3D(500, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3 := core.FromGridFile(f3)
+	a3, _ := (&core.Minimax{Seed: 1}).Decluster(g3, 4)
+	if _, err := ASCIIAllocation(f3, a3, 40); err == nil {
+		t.Error("3-D file accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package sfc_test
+
+import (
+	"fmt"
+
+	"pgridfile/internal/sfc"
+)
+
+// ExampleHilbert walks the first-order 2-D Hilbert curve: four cells
+// visited by unit steps, the property HCAM's round-robin assignment relies
+// on.
+func ExampleHilbert() {
+	h := sfc.NewHilbert(2, 1)
+	coords := make([]uint32, 2)
+	for key := uint64(0); key < 4; key++ {
+		h.Coords(key, coords)
+		fmt.Printf("key %d -> cell (%d,%d)\n", key, coords[0], coords[1])
+	}
+	// Output:
+	// key 0 -> cell (0,0)
+	// key 1 -> cell (0,1)
+	// key 2 -> cell (1,1)
+	// key 3 -> cell (1,0)
+}
+
+// ExampleBitsFor shows the per-dimension bit budget needed to address a
+// grid side.
+func ExampleBitsFor() {
+	fmt.Println(sfc.BitsFor(7), sfc.BitsFor(8), sfc.BitsFor(255))
+	// Output:
+	// 3 4 8
+}

@@ -1,0 +1,200 @@
+// Package stats provides the small numeric and presentation helpers shared
+// by the experiment drivers: summary statistics, text histograms (for the
+// Figure 5 dataset-distribution views) and fixed-width tables rendered in
+// the style of the paper's tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation, or 0 for fewer than two
+// samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MinMax returns the extrema, or (0,0) for an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Histogram counts samples into equal-width bins over [lo, hi]; samples
+// outside the range are clamped into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram bins the samples. bins must be >= 1 and hi > lo.
+func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic(fmt.Sprintf("stats: %d bins", bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: empty range [%v,%v]", lo, hi))
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	for _, x := range xs {
+		i := int(float64(bins) * (x - lo) / (hi - lo))
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Render draws the histogram as rows of '#' bars, width characters wide at
+// the tallest bin.
+func (h *Histogram) Render(width int) string {
+	max := 0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	step := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&b, "%10.1f |%-*s| %d\n", h.Lo+float64(i)*step, width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Table renders fixed-width text tables in the style of the paper.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v, and float64 cells with
+// two decimals.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// CSV renders the table as RFC-4180 CSV with the title as a comment line,
+// for machine consumption (plotting the figures, diffing runs).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	writeCSVRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeCSVRow(t.Headers)
+	for _, row := range t.rows {
+		writeCSVRow(row)
+	}
+	return b.String()
+}
+
+// Render draws the table with columns padded to their widest cell.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

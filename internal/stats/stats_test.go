@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev single = %v", got)
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Errorf("MinMax(nil) = %v,%v", min, max)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 9.9, -5, 100}, 0, 10, 5)
+	// -5 clamps into bin 0, 100 into bin 4.
+	want := []int{3, 2, 0, 0, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, c, want[i], h.Counts)
+		}
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Error("render has no bars")
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 {
+		t.Errorf("render has %d lines, want 5", lines)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(nil, 0, 1, 0) },
+		func() { NewHistogram(nil, 1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Table X", "method", "disks", "rt")
+	tb.AddRow("DM/D", 4, 1.2345)
+	tb.AddRow("MiniMax", 32, 0.5)
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "Table X") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "1.23") {
+		t.Error("float not formatted to two decimals")
+	}
+	if !strings.Contains(out, "MiniMax") {
+		t.Error("row missing")
+	}
+	// Header columns aligned: "method" column width fits "MiniMax".
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %q", out)
+	}
+	header := lines[1]
+	if !strings.HasPrefix(header, "method ") {
+		t.Errorf("header = %q", header)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("My, \"quoted\" title", "a", "b")
+	tb.AddRow("plain", 1)
+	tb.AddRow("needs,quoting", 2.5)
+	tb.AddRow(`has "quotes"`, 3)
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+	if lines[0] != `# My, "quoted" title` {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if lines[1] != "a,b" {
+		t.Errorf("header = %q", lines[1])
+	}
+	if lines[3] != `"needs,quoting",2.50` {
+		t.Errorf("quoted row = %q", lines[3])
+	}
+	if lines[4] != `"has ""quotes""",3` {
+		t.Errorf("escaped row = %q", lines[4])
+	}
+}

@@ -1,0 +1,271 @@
+// Package store persists a declustered grid file the way the paper's
+// simulator does: "reads in the dataset and declusters it to separate files
+// corresponding to every disk being simulated". A layout directory holds
+//
+//	manifest.json   grid metadata, page size and the bucket placement map
+//	disk000.dat …   one page file per disk; each bucket occupies one or
+//	                more consecutive pages on its assigned disk
+//
+// Pages are fixed-size; a bucket larger than one page (possible only for
+// the overfull duplicate-key case) spans consecutive pages. The reader
+// serves individual buckets with real file I/O, so experiments can be run
+// against actual per-disk files rather than in-memory structures.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+)
+
+// pageHeaderBytes is the per-page header: bucket id (u32), record count in
+// this page (u32).
+const pageHeaderBytes = 8
+
+// Placement locates one bucket in the layout.
+type Placement struct {
+	ID    int32 `json:"id"`
+	Disk  int   `json:"disk"`
+	Page  int64 `json:"page"`  // first page index within the disk file
+	Pages int   `json:"pages"` // consecutive pages occupied
+	Recs  int   `json:"recs"`
+}
+
+// Manifest describes a layout directory.
+type Manifest struct {
+	Disks     int         `json:"disks"`
+	Dims      int         `json:"dims"`
+	PageBytes int         `json:"page_bytes"`
+	Domain    [][2]float64 `json:"domain"`
+	Buckets   []Placement `json:"buckets"`
+}
+
+// recordsPerPage returns how many dims-dimensional keys fit in a page.
+func recordsPerPage(pageBytes, dims int) int {
+	return (pageBytes - pageHeaderBytes) / (8 * dims)
+}
+
+// Write lays out the grid file's buckets over per-disk page files under
+// dir, following the allocation. It returns the manifest it wrote.
+func Write(dir string, f *gridfile.File, alloc core.Allocation, pageBytes int) (*Manifest, error) {
+	if pageBytes <= pageHeaderBytes+8*f.Dims() {
+		return nil, fmt.Errorf("store: page size %d too small for %d-D records", pageBytes, f.Dims())
+	}
+	views := f.Buckets()
+	if err := alloc.Validate(len(views)); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	dom := f.Domain()
+	m := &Manifest{
+		Disks:     alloc.Disks,
+		Dims:      f.Dims(),
+		PageBytes: pageBytes,
+	}
+	for _, iv := range dom {
+		m.Domain = append(m.Domain, [2]float64{iv.Lo, iv.Hi})
+	}
+
+	files := make([]*os.File, alloc.Disks)
+	nextPage := make([]int64, alloc.Disks)
+	for d := range files {
+		path := filepath.Join(dir, diskFileName(d))
+		fh, err := os.Create(path)
+		if err != nil {
+			closeAll(files)
+			return nil, err
+		}
+		files[d] = fh
+	}
+	defer closeAll(files)
+
+	perPage := recordsPerPage(pageBytes, f.Dims())
+	page := make([]byte, pageBytes)
+	for _, v := range views {
+		disk := alloc.Assign[v.Index]
+		var keys []float64
+		f.ForEachRecordInBucket(v.ID, func(key []float64, _ []byte) {
+			keys = append(keys, key...)
+		})
+		nrec := len(keys) / f.Dims()
+		npages := (nrec + perPage - 1) / perPage
+		if npages == 0 {
+			npages = 1 // empty buckets still own a page
+		}
+		pl := Placement{ID: v.ID, Disk: disk, Page: nextPage[disk], Pages: npages, Recs: nrec}
+		for p := 0; p < npages; p++ {
+			for i := range page {
+				page[i] = 0
+			}
+			start := p * perPage
+			end := start + perPage
+			if end > nrec {
+				end = nrec
+			}
+			binary.LittleEndian.PutUint32(page[0:], uint32(v.ID))
+			binary.LittleEndian.PutUint32(page[4:], uint32(end-start))
+			off := pageHeaderBytes
+			for _, k := range keys[start*f.Dims() : end*f.Dims()] {
+				binary.LittleEndian.PutUint64(page[off:], floatBits(k))
+				off += 8
+			}
+			if _, err := files[disk].Write(page); err != nil {
+				return nil, err
+			}
+		}
+		nextPage[disk] += int64(npages)
+		m.Buckets = append(m.Buckets, pl)
+	}
+	for _, fh := range files {
+		if err := fh.Sync(); err != nil {
+			return nil, err
+		}
+	}
+
+	manifest, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), manifest, 0o644); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Store reads buckets from a layout directory with real file I/O.
+type Store struct {
+	manifest Manifest
+	files    []*os.File
+	byID     map[int32]Placement
+}
+
+// Open loads a layout directory written by Write.
+func Open(dir string) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("store: parsing manifest: %w", err)
+	}
+	if m.Disks < 1 || m.Dims < 1 || m.PageBytes <= pageHeaderBytes {
+		return nil, fmt.Errorf("store: implausible manifest (disks=%d dims=%d page=%d)",
+			m.Disks, m.Dims, m.PageBytes)
+	}
+	s := &Store{manifest: m, byID: make(map[int32]Placement, len(m.Buckets))}
+	for _, pl := range m.Buckets {
+		if pl.Disk < 0 || pl.Disk >= m.Disks {
+			return nil, fmt.Errorf("store: bucket %d on disk %d of %d", pl.ID, pl.Disk, m.Disks)
+		}
+		s.byID[pl.ID] = pl
+	}
+	s.files = make([]*os.File, m.Disks)
+	for d := range s.files {
+		fh, err := os.Open(filepath.Join(dir, diskFileName(d)))
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.files[d] = fh
+	}
+	return s, nil
+}
+
+// Manifest returns the layout description.
+func (s *Store) Manifest() Manifest { return s.manifest }
+
+// Domain reconstructs the grid file's domain.
+func (s *Store) Domain() geom.Rect {
+	r := make(geom.Rect, len(s.manifest.Domain))
+	for i, iv := range s.manifest.Domain {
+		r[i] = geom.Interval{Lo: iv[0], Hi: iv[1]}
+	}
+	return r
+}
+
+// ReadBucket fetches one bucket's keys from its disk file. The returned
+// slice is freshly allocated. It also reports the number of pages read
+// (the I/O the paper's response-time metric charges).
+func (s *Store) ReadBucket(id int32) ([]geom.Point, int, error) {
+	pl, ok := s.byID[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("store: unknown bucket %d", id)
+	}
+	dims := s.manifest.Dims
+	page := make([]byte, s.manifest.PageBytes)
+	out := make([]geom.Point, 0, pl.Recs)
+	for p := 0; p < pl.Pages; p++ {
+		off := (pl.Page + int64(p)) * int64(s.manifest.PageBytes)
+		if _, err := s.files[pl.Disk].ReadAt(page, off); err != nil {
+			return nil, 0, fmt.Errorf("store: reading bucket %d page %d: %w", id, p, err)
+		}
+		gotID := int32(binary.LittleEndian.Uint32(page[0:]))
+		if gotID != id {
+			return nil, 0, fmt.Errorf("store: page %d of bucket %d holds bucket %d", p, id, gotID)
+		}
+		n := int(binary.LittleEndian.Uint32(page[4:]))
+		if n < 0 || pageHeaderBytes+n*8*dims > s.manifest.PageBytes {
+			return nil, 0, fmt.Errorf("store: bucket %d page %d has implausible count %d", id, p, n)
+		}
+		o := pageHeaderBytes
+		for i := 0; i < n; i++ {
+			pt := make(geom.Point, dims)
+			for d := 0; d < dims; d++ {
+				pt[d] = bitsFloat(binary.LittleEndian.Uint64(page[o:]))
+				o += 8
+			}
+			out = append(out, pt)
+		}
+	}
+	if len(out) != pl.Recs {
+		return nil, 0, fmt.Errorf("store: bucket %d holds %d records, manifest says %d",
+			id, len(out), pl.Recs)
+	}
+	return out, pl.Pages, nil
+}
+
+// DiskSizes returns every disk file's size in pages.
+func (s *Store) DiskSizes() ([]int64, error) {
+	out := make([]int64, len(s.files))
+	for d, fh := range s.files {
+		st, err := fh.Stat()
+		if err != nil {
+			return nil, err
+		}
+		out[d] = st.Size() / int64(s.manifest.PageBytes)
+	}
+	return out, nil
+}
+
+// Close releases the disk file handles.
+func (s *Store) Close() {
+	for _, fh := range s.files {
+		if fh != nil {
+			fh.Close()
+		}
+	}
+}
+
+func diskFileName(d int) string { return fmt.Sprintf("disk%03d.dat", d) }
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+func closeAll(files []*os.File) {
+	for _, fh := range files {
+		if fh != nil {
+			fh.Close()
+		}
+	}
+}

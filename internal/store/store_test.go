@@ -1,0 +1,201 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+	"pgridfile/internal/synth"
+)
+
+// buildLayout writes a declustered hot.2d layout into a temp dir.
+func buildLayout(t *testing.T, disks, pageBytes int) (string, *gridfile.File, core.Allocation) {
+	t.Helper()
+	f, err := synth.Hotspot2D(3000, 5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Write(dir, f, alloc, pageBytes); err != nil {
+		t.Fatal(err)
+	}
+	return dir, f, alloc
+}
+
+func TestWriteAndReadBackAllBuckets(t *testing.T) {
+	dir, f, _ := buildLayout(t, 8, 4096)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	totalRecs := 0
+	for _, v := range f.Buckets() {
+		pts, pages, err := s.ReadBucket(v.ID)
+		if err != nil {
+			t.Fatalf("bucket %d: %v", v.ID, err)
+		}
+		if len(pts) != v.Records {
+			t.Fatalf("bucket %d: read %d records, want %d", v.ID, len(pts), v.Records)
+		}
+		if pages < 1 {
+			t.Fatalf("bucket %d: %d pages", v.ID, pages)
+		}
+		totalRecs += len(pts)
+		// Every key read back must exist in the in-memory bucket.
+		want := map[[2]float64]int{}
+		f.ForEachRecordInBucket(v.ID, func(key []float64, _ []byte) {
+			want[[2]float64{key[0], key[1]}]++
+		})
+		for _, p := range pts {
+			k := [2]float64{p[0], p[1]}
+			if want[k] == 0 {
+				t.Fatalf("bucket %d: unexpected key %v", v.ID, p)
+			}
+			want[k]--
+		}
+	}
+	if totalRecs != f.Len() {
+		t.Fatalf("layout holds %d records, file has %d", totalRecs, f.Len())
+	}
+}
+
+func TestDiskSizesMatchPlacement(t *testing.T) {
+	dir, f, alloc := buildLayout(t, 4, 4096)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sizes, err := s.DiskSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 4 {
+		t.Fatalf("%d disks", len(sizes))
+	}
+	var totalPages int64
+	for _, n := range sizes {
+		if n == 0 {
+			t.Error("a disk file is empty despite balanced declustering")
+		}
+		totalPages += n
+	}
+	// Every bucket occupies at least one page.
+	if totalPages < int64(f.NumBuckets()) {
+		t.Errorf("%d pages for %d buckets", totalPages, f.NumBuckets())
+	}
+	// Minimax balance should keep per-disk pages within ~2x of each other.
+	var min, max int64 = sizes[0], sizes[0]
+	for _, n := range sizes {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max > 2*min {
+		t.Errorf("page counts unbalanced: %v (alloc loads %v)", sizes, alloc.DiskLoads())
+	}
+}
+
+func TestMultiPageBuckets(t *testing.T) {
+	// A tiny page forces every bucket to span multiple pages.
+	dir, f, _ := buildLayout(t, 4, 256)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	multi := 0
+	for _, v := range f.Buckets() {
+		pts, pages, err := s.ReadBucket(v.ID)
+		if err != nil {
+			t.Fatalf("bucket %d: %v", v.ID, err)
+		}
+		if len(pts) != v.Records {
+			t.Fatalf("bucket %d: %d records, want %d", v.ID, len(pts), v.Records)
+		}
+		if pages > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-page buckets with a 256-byte page")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	f, err := synth.Hotspot2D(200, 5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, _ := (&core.Minimax{Seed: 1}).Decluster(g, 2)
+	if _, err := Write(t.TempDir(), f, alloc, 16); err == nil {
+		t.Error("page smaller than one record accepted")
+	}
+	bad := core.Allocation{Disks: 2, Assign: []int{0}}
+	if _, err := Write(t.TempDir(), f, bad, 4096); err == nil {
+		t.Error("truncated allocation accepted")
+	}
+}
+
+func TestOpenRejectsBadLayouts(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("broken manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"),
+		[]byte(`{"disks":2,"dims":2,"page_bytes":4096,"buckets":[{"id":1,"disk":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("out-of-range disk accepted")
+	}
+}
+
+func TestReadUnknownBucket(t *testing.T) {
+	dir, _, _ := buildLayout(t, 2, 4096)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.ReadBucket(99999); err == nil {
+		t.Error("unknown bucket accepted")
+	}
+}
+
+func TestDomainRoundTrip(t *testing.T) {
+	dir, f, _ := buildLayout(t, 2, 4096)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got := s.Domain()
+	want := f.Domain()
+	for d := range want {
+		if got[d] != want[d] {
+			t.Errorf("domain dim %d = %v, want %v", d, got[d], want[d])
+		}
+	}
+	_ = geom.Rect(got)
+}

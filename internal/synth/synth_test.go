@@ -1,0 +1,223 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Hotspot2D(1000, 42)
+	b := Hotspot2D(1000, 42)
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		for d := range a.Records[i].Key {
+			if a.Records[i].Key[d] != b.Records[i].Key[d] {
+				t.Fatalf("record %d differs between identical seeds", i)
+			}
+		}
+	}
+	c := Hotspot2D(1000, 43)
+	same := true
+	for i := range a.Records {
+		if a.Records[i].Key[0] != c.Records[i].Key[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestAllGeneratorsInDomain(t *testing.T) {
+	sets := []*Dataset{
+		Uniform2D(2000, 1),
+		Hotspot2D(2000, 2),
+		Correl2D(2000, 3),
+		DSMC3D(3000, 4),
+		Stock3D(50, 40, 5),
+		DSMC4D(5, 500, 6),
+	}
+	for _, ds := range sets {
+		if len(ds.Records) == 0 {
+			t.Errorf("%s: no records", ds.Name)
+		}
+		for i, r := range ds.Records {
+			if len(r.Key) != ds.Domain.Dim() {
+				t.Fatalf("%s: record %d has %d dims, want %d", ds.Name, i, len(r.Key), ds.Domain.Dim())
+			}
+			if !ds.Domain.ContainsPoint(r.Key) {
+				t.Fatalf("%s: record %d key %v outside domain %v", ds.Name, i, r.Key, ds.Domain)
+			}
+		}
+		if ds.BucketCapacity() < 2 {
+			t.Errorf("%s: bucket capacity %d too small", ds.Name, ds.BucketCapacity())
+		}
+	}
+}
+
+func TestRequestedSizes(t *testing.T) {
+	if n := len(Uniform2D(12345, 1).Records); n != 12345 {
+		t.Errorf("Uniform2D made %d records", n)
+	}
+	if n := len(Hotspot2D(999, 1).Records); n != 999 {
+		t.Errorf("Hotspot2D made %d records", n)
+	}
+	if n := len(Correl2D(777, 1).Records); n != 777 {
+		t.Errorf("Correl2D made %d records", n)
+	}
+	if n := len(DSMC3D(5000, 1).Records); n != 5000 {
+		t.Errorf("DSMC3D made %d records", n)
+	}
+	if n := len(Stock3D(10, 20, 1).Records); n != 200 {
+		t.Errorf("Stock3D made %d records", n)
+	}
+	if n := len(DSMC4D(7, 100, 1).Records); n != 700 {
+		t.Errorf("DSMC4D made %d records", n)
+	}
+}
+
+func TestHotspotIsDenserInCenter(t *testing.T) {
+	ds := Hotspot2D(10000, 9)
+	center, corner := 0, 0
+	for _, r := range ds.Records {
+		if math.Abs(r.Key[0]-1000) < 250 && math.Abs(r.Key[1]-1000) < 250 {
+			center++
+		}
+		if r.Key[0] < 500 && r.Key[1] < 500 {
+			corner++
+		}
+	}
+	// Both regions have the same area; the centre must be far denser.
+	if center < 2*corner {
+		t.Errorf("centre density %d not clearly above corner density %d", center, corner)
+	}
+}
+
+func TestCorrelHugsDiagonal(t *testing.T) {
+	ds := Correl2D(5000, 10)
+	far := 0
+	for _, r := range ds.Records {
+		if math.Abs(r.Key[0]-r.Key[1]) > 800 {
+			far++
+		}
+	}
+	if far > len(ds.Records)/100 {
+		t.Errorf("%d of %d points far from the diagonal", far, len(ds.Records))
+	}
+}
+
+func TestStockStructure(t *testing.T) {
+	ds := Stock3D(20, 50, 11)
+	// Per-stock price spread must be much smaller than the global spread:
+	// this is the "one hot spot per stock" structure.
+	minP := make([]float64, 20)
+	maxP := make([]float64, 20)
+	for i := range minP {
+		minP[i] = math.Inf(1)
+		maxP[i] = math.Inf(-1)
+	}
+	globalMin, globalMax := math.Inf(1), math.Inf(-1)
+	for _, r := range ds.Records {
+		id := int(r.Key[0])
+		p := r.Key[1]
+		minP[id] = math.Min(minP[id], p)
+		maxP[id] = math.Max(maxP[id], p)
+		globalMin = math.Min(globalMin, p)
+		globalMax = math.Max(globalMax, p)
+	}
+	var avgSpread float64
+	for i := range minP {
+		avgSpread += maxP[i] - minP[i]
+	}
+	avgSpread /= 20
+	if avgSpread > (globalMax-globalMin)/4 {
+		t.Errorf("average per-stock spread %.1f too wide vs global %.1f",
+			avgSpread, globalMax-globalMin)
+	}
+}
+
+func TestDSMC4DSnapshotsOrdered(t *testing.T) {
+	ds := DSMC4D(6, 300, 12)
+	counts := make([]int, 6)
+	for _, r := range ds.Records {
+		counts[int(r.Key[0])]++
+	}
+	for t2, c := range counts {
+		if c != 300 {
+			t.Errorf("snapshot %d has %d particles, want 300", t2, c)
+		}
+	}
+}
+
+func TestBuildLoadsGridFile(t *testing.T) {
+	ds := Hotspot2D(3000, 13)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3000 {
+		t.Fatalf("grid file has %d records", f.Len())
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.MergedBuckets == 0 {
+		t.Error("hot.2d grid file has no merged buckets; conflict resolution would be vacuous")
+	}
+}
+
+func TestPaperScaleBucketCounts(t *testing.T) {
+	// The paper's grid files: uniform.2d 252 buckets, hot.2d 241,
+	// correl.2d 242 (10k records each); DSMC.3d 444 buckets (52857
+	// records). Our reproduction should land in the same regime —
+	// within a factor of two — for the experiment shapes to carry over.
+	if testing.Short() {
+		t.Skip("full-size dataset build")
+	}
+	check := func(name string, ds *Dataset, wantLo, wantHi int) {
+		f, err := ds.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := f.NumBuckets()
+		if got < wantLo || got > wantHi {
+			t.Errorf("%s: %d buckets, want within [%d,%d]", name, got, wantLo, wantHi)
+		}
+	}
+	check("uniform.2d", Uniform2D(10000, 1), 126, 504)
+	check("hot.2d", Hotspot2D(10000, 2), 120, 500)
+	check("correl.2d", Correl2D(10000, 3), 121, 500)
+	check("DSMC.3d", DSMC3D(DSMC3DSize, 4), 222, 888)
+}
+
+func TestMHD4DStructure(t *testing.T) {
+	ds := MHD4D(8, 4000, 21)
+	if len(ds.Records) != 32000 {
+		t.Fatalf("generated %d records", len(ds.Records))
+	}
+	for i, r := range ds.Records {
+		if !ds.Domain.ContainsPoint(r.Key) {
+			t.Fatalf("record %d outside domain", i)
+		}
+	}
+	// The bow-shock shell concentrates mass upstream of the obstacle
+	// (x < 1000): that half-space must be denser than the downstream one.
+	up, down := 0, 0
+	for _, r := range ds.Records {
+		if r.Key[1] < 1000 {
+			up++
+		} else {
+			down++
+		}
+	}
+	if up < down*13/10 {
+		t.Errorf("upstream %d not clearly denser than downstream %d", up, down)
+	}
+	if _, err := ds.Build(); err != nil {
+		t.Fatal(err)
+	}
+}

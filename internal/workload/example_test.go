@@ -1,0 +1,42 @@
+package workload_test
+
+import (
+	"fmt"
+	"math"
+
+	"pgridfile/internal/geom"
+	"pgridfile/internal/workload"
+)
+
+// ExampleSquareRange shows the paper's query construction: a ratio r = 0.04
+// in 2-D gives side lengths of sqrt(0.04) = 20% of each axis, so an
+// unclipped query covers 4% of the domain area; queries whose centres fall
+// near the boundary are clipped, as in the paper's simulator.
+func ExampleSquareRange() {
+	dom := geom.NewRect([]float64{0, 0}, []float64{1000, 1000})
+	qs := workload.SquareRange(dom, 0.04, 3, 42)
+	for _, q := range qs {
+		fmt.Printf("sides %.0f x %.0f (%.1f%% of the domain)\n",
+			q[0].Length(), q[1].Length(), 100*q.Volume()/dom.Volume())
+	}
+	// Output:
+	// sides 200 x 166 (3.3% of the domain)
+	// sides 200 x 200 (4.0% of the domain)
+	// sides 144 x 200 (2.9% of the domain)
+}
+
+// ExamplePartialMatch shows a partial-match query: every attribute pinned
+// except one (NaN marks the unspecified attribute).
+func ExamplePartialMatch() {
+	dom := geom.NewRect([]float64{0, 0, 0}, []float64{10, 10, 10})
+	q := workload.PartialMatch(dom, 1, 1, 7)[0]
+	unspecified := 0
+	for _, v := range q {
+		if math.IsNaN(v) {
+			unspecified++
+		}
+	}
+	fmt.Printf("attributes: %d, unspecified: %d\n", len(q), unspecified)
+	// Output:
+	// attributes: 3, unspecified: 1
+}

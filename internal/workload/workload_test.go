@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"pgridfile/internal/geom"
+)
+
+func dom2() geom.Rect  { return geom.NewRect([]float64{0, 0}, []float64{2000, 2000}) }
+func dom4() geom.Rect  { return geom.NewRect([]float64{0, 0, 0, 0}, []float64{59, 2000, 2000, 2000}) }
+
+func TestSquareRangeSizing(t *testing.T) {
+	dom := dom2()
+	const r = 0.05
+	qs := SquareRange(dom, r, 500, 1)
+	if len(qs) != 500 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	wantSide := math.Sqrt(r) * 2000
+	for i, q := range qs {
+		for k := range q {
+			if q[k].Lo < dom[k].Lo || q[k].Hi > dom[k].Hi {
+				t.Fatalf("query %d dim %d escapes domain: %v", i, k, q[k])
+			}
+			if q[k].Length() > wantSide+1e-9 {
+				t.Fatalf("query %d dim %d side %.2f exceeds %.2f", i, k, q[k].Length(), wantSide)
+			}
+		}
+	}
+	// Unclipped queries must have exactly the target side; verify at least
+	// half the queries are unclipped and exact.
+	exact := 0
+	for _, q := range qs {
+		ok := true
+		for k := range q {
+			if math.Abs(q[k].Length()-wantSide) > 1e-9 {
+				ok = false
+			}
+		}
+		if ok {
+			exact++
+		}
+	}
+	if exact < len(qs)/2 {
+		t.Errorf("only %d of %d queries have the exact target side", exact, len(qs))
+	}
+}
+
+func TestSquareRangeVolumeFraction(t *testing.T) {
+	// In 3-D with r=0.1 each side is 0.1^(1/3) of the domain, so the
+	// unclipped volume fraction is exactly r.
+	dom := geom.NewRect([]float64{0, 0, 0}, []float64{10, 20, 30})
+	qs := SquareRange(dom, 0.1, 200, 2)
+	domVol := dom.Volume()
+	found := false
+	for _, q := range qs {
+		frac := q.Volume() / domVol
+		if frac > 0.1+1e-9 {
+			t.Fatalf("query volume fraction %.4f exceeds r", frac)
+		}
+		if math.Abs(frac-0.1) < 1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no unclipped query achieved the exact volume fraction")
+	}
+}
+
+func TestSquareRangeDeterministic(t *testing.T) {
+	a := SquareRange(dom2(), 0.01, 50, 7)
+	b := SquareRange(dom2(), 0.01, 50, 7)
+	for i := range a {
+		for k := range a[i] {
+			if a[i][k] != b[i][k] {
+				t.Fatal("same seed produced different queries")
+			}
+		}
+	}
+}
+
+func TestPartialMatch(t *testing.T) {
+	dom := geom.NewRect([]float64{0, 0, 0}, []float64{10, 10, 10})
+	qs := PartialMatch(dom, 1, 100, 3)
+	for i, q := range qs {
+		nan := 0
+		for _, v := range q {
+			if math.IsNaN(v) {
+				nan++
+			} else if v < 0 || v > 10 {
+				t.Fatalf("query %d has out-of-domain value %v", i, v)
+			}
+		}
+		if nan != 1 {
+			t.Fatalf("query %d has %d unspecified attrs, want 1", i, nan)
+		}
+	}
+	// Clamping of the unspecified count.
+	qs = PartialMatch(dom, 99, 10, 4)
+	for _, q := range qs {
+		for _, v := range q {
+			if !math.IsNaN(v) {
+				t.Fatal("unspecified=99 should leave all attributes unspecified")
+			}
+		}
+	}
+	qs = PartialMatch(dom, 0, 10, 5)
+	for _, q := range qs {
+		nan := 0
+		for _, v := range q {
+			if math.IsNaN(v) {
+				nan++
+			}
+		}
+		if nan != 1 {
+			t.Fatal("unspecified=0 must be raised to 1 (partial match needs >= 1)")
+		}
+	}
+}
+
+func TestAnimationSweepCoversVolume(t *testing.T) {
+	dom := dom4()
+	qs := AnimationSweep(dom, 0.1, 59)
+	if len(qs) != 590 {
+		t.Fatalf("sweep generated %d queries, want 590", len(qs))
+	}
+	// Per time step, the x slabs must tile [0,2000] and cover full y,z.
+	for s := 0; s < 10; s++ {
+		q := qs[s]
+		if q[0].Lo != 0 || q[0].Hi != 1 {
+			t.Fatalf("slab %d temporal interval %v", s, q[0])
+		}
+		if q[2] != dom[2] || q[3] != dom[3] {
+			t.Fatalf("slab %d does not cover full y/z", s)
+		}
+		wantLo := float64(s) * 200
+		if math.Abs(q[1].Lo-wantLo) > 1e-9 {
+			t.Fatalf("slab %d x starts at %v, want %v", s, q[1].Lo, wantLo)
+		}
+	}
+	// Last step uses the right time interval.
+	last := qs[len(qs)-1]
+	if last[0].Lo != 58 || last[0].Hi != 59 {
+		t.Fatalf("last query temporal interval %v", last[0])
+	}
+}
+
+func TestAnimationSweepPanicsOnWrongDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 2-D domain")
+		}
+	}()
+	AnimationSweep(dom2(), 0.1, 5)
+}
+
+func TestRandomRange4D(t *testing.T) {
+	dom := dom4()
+	qs := RandomRange4D(dom, 0.05, 100, 9)
+	if len(qs) != 100 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if q[0].Length() > 1+1e-9 {
+			t.Fatalf("query %d temporal extent %v exceeds one snapshot", i, q[0])
+		}
+		for k := 1; k < 4; k++ {
+			if q[k].Length() > 0.05*2000+1e-9 {
+				t.Fatalf("query %d dim %d side %v too large", i, k, q[k].Length())
+			}
+			if q[k].Lo < dom[k].Lo || q[k].Hi > dom[k].Hi {
+				t.Fatalf("query %d escapes domain", i)
+			}
+		}
+	}
+}
+
+func TestParticleTrace(t *testing.T) {
+	dom := dom4()
+	qs := ParticleTrace(dom, 0.05, 200, 7)
+	if len(qs) != 200 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if q[0].Length() > 1+1e-9 {
+			t.Fatalf("query %d temporal extent %v", i, q[0])
+		}
+		for d := 1; d < 4; d++ {
+			if q[d].Lo < dom[d].Lo || q[d].Hi > dom[d].Hi {
+				t.Fatalf("query %d escapes the domain", i)
+			}
+			if q[d].Length() > 0.05*dom[d].Length()+1e-9 {
+				t.Fatalf("query %d side too large", i)
+			}
+		}
+	}
+	// Temporal wrap: with 59 snapshots in the domain, step 59 reuses
+	// snapshot 0 so long traces stay within the series.
+	if qs[59][0].Lo != 0 {
+		t.Errorf("step 59 should wrap to snapshot 0, got %v", qs[59][0])
+	}
+	// Locality: consecutive queries overlap spatially most of the time.
+	overlaps := 0
+	for i := 1; i < len(qs); i++ {
+		if qs[i][1].Intersects(qs[i-1][1]) && qs[i][2].Intersects(qs[i-1][2]) && qs[i][3].Intersects(qs[i-1][3]) {
+			overlaps++
+		}
+	}
+	if overlaps < len(qs)/2 {
+		t.Errorf("only %d of %d consecutive trace queries overlap spatially", overlaps, len(qs)-1)
+	}
+}
+
+func TestParticleTraceDeterministicAndDims(t *testing.T) {
+	a := ParticleTrace(dom4(), 0.1, 50, 3)
+	b := ParticleTrace(dom4(), 0.1, 50, 3)
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				t.Fatal("trace not deterministic")
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 2-D domain")
+		}
+	}()
+	ParticleTrace(dom2(), 0.1, 5, 1)
+}
