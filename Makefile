@@ -1,0 +1,37 @@
+# Development targets. `make check` is the full local gate (see
+# scripts/check.sh); `make test` is the quick tier-1 pass.
+
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all build test race check fmt vet fuzz bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzCodec -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/gridfile
+
+check:
+	sh scripts/check.sh $(FUZZTIME)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+clean:
+	$(GO) clean ./...

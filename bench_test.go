@@ -16,12 +16,17 @@ package pgridfile
 import (
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pgridfile/internal/core"
 	"pgridfile/internal/experiments"
+	"pgridfile/internal/server"
 	"pgridfile/internal/sim"
 	"pgridfile/internal/stats"
+	"pgridfile/internal/store"
 	"pgridfile/internal/synth"
 	"pgridfile/internal/workload"
 )
@@ -405,5 +410,78 @@ func BenchmarkReplayWorkload(b *testing.B) {
 		if _, err := sim.Replay(f, alloc, idx, queries); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServerThroughput measures end-to-end queries/second of the
+// network query service (internal/server) over real per-disk files, under
+// two declustering schemes. The workload is count-only range queries from
+// 8 closed-loop clients, so the numbers isolate how well the allocation
+// spreads bucket fetches across the per-disk I/O goroutines.
+//
+//	go test -bench=ServerThroughput -benchtime=2000x
+func BenchmarkServerThroughput(b *testing.B) {
+	for _, scheme := range []string{"minimax", "DM/D"} {
+		b.Run(strings.ReplaceAll(scheme, "/", "-"), func(b *testing.B) {
+			f, err := synth.Uniform2D(3000, 7).Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := core.FromGridFile(f)
+			var allocator core.Allocator
+			if scheme == "minimax" {
+				allocator = &core.Minimax{Seed: 1}
+			} else {
+				allocator, err = core.NewIndexBased("DM", "D", 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			alloc, err := allocator.Decluster(g, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dir := b.TempDir()
+			if _, err := store.Write(dir, f, alloc, 4096); err != nil {
+				b.Fatal(err)
+			}
+			s, err := server.OpenDir(dir, server.Config{MaxInflight: 32})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			cl, err := server.NewClient(server.ClientConfig{
+				Addr: s.Addr().String(), PoolSize: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			ranges := workload.SquareRange(f.Domain(), 0.02, 512, 3)
+
+			const clients = 8
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= b.N {
+							return
+						}
+						if _, _, err := cl.RangeCount(ranges[i%len(ranges)]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/s")
+		})
 	}
 }

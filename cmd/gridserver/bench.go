@@ -1,0 +1,276 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+	"pgridfile/internal/server"
+	"pgridfile/internal/stats"
+	"pgridfile/internal/store"
+	"pgridfile/internal/workload"
+)
+
+// parseAllocator mirrors gridtool's algorithm names: minimax, minimax-euclid,
+// ssp, mst, or scheme/resolver pairs like DM/D, FX/R, HCAM/F.
+func parseAllocator(name string, seed int64) (core.Allocator, error) {
+	switch strings.ToLower(name) {
+	case "minimax":
+		return &core.Minimax{Seed: seed}, nil
+	case "minimax-euclid":
+		return &core.Minimax{Weight: core.EuclideanWeight, WeightName: "euclid", Seed: seed}, nil
+	case "ssp":
+		return &core.SSP{Seed: seed}, nil
+	case "mst":
+		return &core.MST{Seed: seed}, nil
+	}
+	parts := strings.SplitN(name, "/", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+	return core.NewIndexBased(parts[0], parts[1], seed)
+}
+
+type benchOpts struct {
+	clients int
+	queries int
+	ratio   float64
+	k       int
+	seed    int64
+	timeout time.Duration
+}
+
+type benchRow struct {
+	scheme    string
+	queries   int
+	errors    int
+	qps       float64
+	p50, p95  float64 // client-observed latency, milliseconds
+	p99       float64
+	imbalance float64 // max/mean bucket fetches across disks (server stats)
+}
+
+func runBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	addr := fs.String("addr", "", "benchmark a running server at this address")
+	dir := fs.String("store", "", "serve this layout directory in-process and benchmark it")
+	grid := fs.String("grid", "", "grid file to lay out per scheme (with -algs)")
+	algs := fs.String("algs", "minimax,DM/D", "comma-separated schemes to compare (with -grid)")
+	disks := fs.Int("disks", 8, "disks per layout (with -grid)")
+	pageBytes := fs.Int("page", 4096, "page size in bytes (with -grid)")
+	clients := fs.Int("clients", 8, "concurrent closed-loop clients")
+	queries := fs.Int("queries", 2000, "total queries per scheme")
+	ratio := fs.Float64("r", 0.02, "range-query volume ratio")
+	k := fs.Int("k", 5, "k for k-NN queries")
+	seed := fs.Int64("seed", 1, "workload seed")
+	timeout := fs.Duration("timeout", 10*time.Second, "client request timeout")
+	fs.Parse(args)
+
+	opts := benchOpts{
+		clients: *clients, queries: *queries, ratio: *ratio,
+		k: *k, seed: *seed, timeout: *timeout,
+	}
+	modes := 0
+	for _, set := range []bool{*addr != "", *dir != "", *grid != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("bench: exactly one of -addr, -store, -grid is required")
+	}
+
+	table := stats.NewTable("gridserver bench: closed-loop, "+
+		fmt.Sprintf("%d clients, %d queries/scheme", opts.clients, opts.queries),
+		"scheme", "queries", "errors", "qps", "p50 ms", "p95 ms", "p99 ms", "fetch imbalance")
+
+	addRow := func(r benchRow) {
+		table.AddRow(r.scheme, r.queries, r.errors, r.qps, r.p50, r.p95, r.p99, r.imbalance)
+	}
+
+	switch {
+	case *addr != "":
+		row, err := benchAddr(*addr, "remote", opts)
+		if err != nil {
+			return err
+		}
+		addRow(row)
+	case *dir != "":
+		row, err := benchStore(*dir, filepath.Base(*dir), opts)
+		if err != nil {
+			return err
+		}
+		addRow(row)
+	default:
+		fh, err := os.Open(*grid)
+		if err != nil {
+			return err
+		}
+		f, err := gridfile.Read(fh)
+		fh.Close()
+		if err != nil {
+			return err
+		}
+		g := core.FromGridFile(f)
+		for _, name := range strings.Split(*algs, ",") {
+			name = strings.TrimSpace(name)
+			allocator, err := parseAllocator(name, opts.seed)
+			if err != nil {
+				return err
+			}
+			alloc, err := allocator.Decluster(g, *disks)
+			if err != nil {
+				return err
+			}
+			tmp, err := os.MkdirTemp("", "gridserver-bench-")
+			if err != nil {
+				return err
+			}
+			if _, err := store.Write(tmp, f, alloc, *pageBytes); err != nil {
+				os.RemoveAll(tmp)
+				return err
+			}
+			row, err := benchStore(tmp, name, opts)
+			os.RemoveAll(tmp)
+			if err != nil {
+				return err
+			}
+			addRow(row)
+		}
+	}
+	fmt.Fprint(out, table.Render())
+	return nil
+}
+
+// benchStore serves a layout in-process on an ephemeral port and runs the
+// load against it.
+func benchStore(dir, label string, opts benchOpts) (benchRow, error) {
+	s, err := server.OpenDir(dir, server.Config{})
+	if err != nil {
+		return benchRow{}, err
+	}
+	defer s.Close()
+	return benchAddr(s.Addr().String(), label, opts)
+}
+
+// benchAddr runs the closed-loop load against a server, learning the
+// layout's dimensionality and domain from its STATS verb.
+func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
+	c, err := server.NewClient(server.ClientConfig{
+		Addr: addr, PoolSize: opts.clients, RequestTimeout: opts.timeout,
+	})
+	if err != nil {
+		return benchRow{}, err
+	}
+	defer c.Close()
+	snap, err := c.Stats()
+	if err != nil {
+		return benchRow{}, fmt.Errorf("bench: probing %s: %w", addr, err)
+	}
+	dom := make(geom.Rect, len(snap.Domain))
+	for d, iv := range snap.Domain {
+		dom[d] = geom.Interval{Lo: iv[0], Hi: iv[1]}
+	}
+
+	// Pre-generate the mixed workload: 60% range (half count-only), 20%
+	// point, 10% k-NN, 10% partial-match.
+	ranges := workload.SquareRange(dom, opts.ratio, opts.queries, opts.seed)
+	partials := workload.PartialMatch(dom, 1, opts.queries, opts.seed+1)
+	rng := rand.New(rand.NewSource(opts.seed + 2))
+	points := make([]geom.Point, opts.queries)
+	for i := range points {
+		p := make(geom.Point, len(dom))
+		for d := range p {
+			p[d] = dom[d].Lo + rng.Float64()*dom[d].Length()
+		}
+		points[i] = p
+	}
+
+	var (
+		next   atomic.Int64
+		mu     sync.Mutex
+		lats   []float64 // milliseconds
+		errors int
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < opts.clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= opts.queries {
+					return
+				}
+				t0 := time.Now()
+				var err error
+				switch {
+				case i%10 < 3:
+					_, _, err = c.Range(ranges[i])
+				case i%10 < 6:
+					_, _, err = c.RangeCount(ranges[i])
+				case i%10 < 8:
+					_, _, err = c.Point(points[i])
+				case i%10 == 8:
+					_, _, err = c.KNN(points[i], opts.k)
+				default:
+					_, _, err = c.PartialMatch(partials[i])
+				}
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				lats = append(lats, ms)
+				if err != nil {
+					errors++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	row := benchRow{
+		scheme:  label,
+		queries: opts.queries,
+		errors:  errors,
+		qps:     float64(opts.queries) / elapsed.Seconds(),
+		p50:     stats.Percentile(lats, 50),
+		p95:     stats.Percentile(lats, 95),
+		p99:     stats.Percentile(lats, 99),
+	}
+	if after, err := c.Stats(); err == nil {
+		row.imbalance = fetchImbalance(after.DiskFetches)
+	}
+	return row, nil
+}
+
+// fetchImbalance is max/mean of per-disk bucket fetches: 1.0 means the
+// declustering spread the benchmark's I/O perfectly evenly.
+func fetchImbalance(fetches []int64) float64 {
+	if len(fetches) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, n := range fetches {
+		sum += n
+		if n > max {
+			max = n
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(fetches))
+	return float64(max) / mean
+}

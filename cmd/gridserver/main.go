@@ -1,0 +1,63 @@
+// Command gridserver serves grid-file queries from a declustered layout
+// directory over TCP, and load-tests such servers.
+//
+// Subcommands:
+//
+//	gridserver serve -store layout/ [-addr 127.0.0.1:7090] [-http :7091]
+//	gridserver bench -store layout/ [-clients 8] [-queries 2000]
+//	gridserver bench -addr host:port [-clients 8] [-queries 2000]
+//	gridserver bench -grid file.grd -algs minimax,DM/D -disks 8
+//
+// serve opens the per-disk page files written by `gridtool layout` (the
+// paper's "separate files corresponding to every disk"), loads the embedded
+// grid file as the coordinator's scales and directory, and answers point,
+// range, partial-match and k-NN queries over the binary protocol of
+// internal/server. bench is a multi-client closed-loop load generator; with
+// -grid/-algs it lays the same grid file out under several declustering
+// schemes and reports throughput and latency percentiles per scheme — the
+// paper's response-time comparison, measured through a real network stack.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "bench":
+		err = runBench(os.Args[2:], os.Stdout)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "gridserver: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridserver: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	w := bufio.NewWriter(os.Stderr)
+	defer w.Flush()
+	fmt.Fprintln(w, `usage: gridserver <subcommand> [flags]
+
+subcommands:
+  serve   serve point/range/partial-match/k-NN queries from a layout directory
+  bench   closed-loop load generator: throughput + latency percentiles,
+          optionally comparing declustering schemes on the same grid file
+
+run "gridserver <subcommand> -h" for subcommand flags`)
+}

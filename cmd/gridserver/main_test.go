@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/store"
+	"pgridfile/internal/synth"
+)
+
+// writeTestLayout builds a small minimax layout plus a standalone grid
+// file under t.TempDir.
+func writeTestLayout(t *testing.T, records, disks int) (layoutDir, gridPath string) {
+	t.Helper()
+	f, err := synth.Uniform2D(records, 11).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(core.FromGridFile(f), disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layoutDir = filepath.Join(t.TempDir(), "layout")
+	if _, err := store.Write(layoutDir, f, alloc, 4096); err != nil {
+		t.Fatal(err)
+	}
+	gridPath = filepath.Join(t.TempDir(), "test.grd")
+	gf, err := os.Create(gridPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteTo(gf); err != nil {
+		t.Fatal(err)
+	}
+	if err := gf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return layoutDir, gridPath
+}
+
+// TestBenchStoreMode serves a layout in-process and runs the closed-loop
+// load against it, asserting a clean (zero-error) report.
+func TestBenchStoreMode(t *testing.T) {
+	dir, _ := writeTestLayout(t, 600, 4)
+	var buf bytes.Buffer
+	err := runBench([]string{
+		"-store", dir, "-clients", "4", "-queries", "200", "-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, filepath.Base(dir)) {
+		t.Errorf("report does not name the layout:\n%s", out)
+	}
+	if !strings.Contains(out, "p95") || !strings.Contains(out, "fetch imbalance") {
+		t.Errorf("report missing latency/imbalance columns:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, filepath.Base(dir)) {
+			fields := strings.Fields(line)
+			// scheme queries errors qps p50 p95 p99 imbalance
+			if len(fields) < 3 || fields[2] != "0" {
+				t.Errorf("bench reported errors: %q", line)
+			}
+		}
+	}
+}
+
+// TestBenchGridMode declusters one grid file under two schemes and
+// benchmarks both layouts, producing one comparison row per scheme.
+func TestBenchGridMode(t *testing.T) {
+	_, grid := writeTestLayout(t, 500, 4)
+	var buf bytes.Buffer
+	err := runBench([]string{
+		"-grid", grid, "-algs", "minimax,DM/D", "-disks", "4",
+		"-clients", "2", "-queries", "120",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "minimax") || !strings.Contains(out, "DM/D") {
+		t.Errorf("comparison rows missing:\n%s", out)
+	}
+}
+
+func TestBenchFlagValidation(t *testing.T) {
+	if err := runBench(nil, &bytes.Buffer{}); err == nil {
+		t.Error("no mode flag accepted")
+	}
+	dir, grid := writeTestLayout(t, 200, 2)
+	if err := runBench([]string{"-store", dir, "-grid", grid}, &bytes.Buffer{}); err == nil {
+		t.Error("two mode flags accepted")
+	}
+	if err := runBench([]string{"-grid", grid, "-algs", "bogus", "-queries", "10"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := runBench([]string{"-store", filepath.Join(t.TempDir(), "nope")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing layout accepted")
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	if err := runServe([]string{"-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("serve without -store accepted")
+	}
+	if err := runServe([]string{"-store", filepath.Join(t.TempDir(), "nope"), "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("serve with missing layout accepted")
+	}
+}
+
+func TestParseAllocatorNames(t *testing.T) {
+	for _, name := range []string{"minimax", "minimax-euclid", "ssp", "mst", "DM/D", "FX/R", "HCAM/F"} {
+		if _, err := parseAllocator(name, 1); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	for _, name := range []string{"", "bogus", "DM", "DM/X/Y"} {
+		if _, err := parseAllocator(name, 1); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pgridfile/internal/server"
+)
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("store", "", "layout directory written by gridtool layout (required)")
+	addr := fs.String("addr", "127.0.0.1:7090", "TCP listen address")
+	httpAddr := fs.String("http", "", "optional HTTP address for /metrics and /healthz")
+	maxInflight := fs.Int("max-inflight", 64, "admission control: max concurrently executing queries")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-query deadline")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("serve: -store is required")
+	}
+
+	s, err := server.OpenDir(*dir, server.Config{
+		Addr:         *addr,
+		HTTPAddr:     *httpAddr,
+		MaxInflight:  *maxInflight,
+		QueryTimeout: *timeout,
+		DrainTimeout: *drain,
+	})
+	if err != nil {
+		return err
+	}
+	snap := s.Snapshot()
+	fmt.Printf("gridserver: serving %d-D layout (%d disks) from %s on %s\n",
+		snap.Dims, snap.Disks, *dir, s.Addr())
+	if h := s.HTTPAddr(); h != nil {
+		fmt.Printf("gridserver: metrics on http://%s/metrics\n", h)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("gridserver: shutting down (draining in-flight queries)")
+	if err := s.Close(); err != nil {
+		return err
+	}
+	final := s.Snapshot()
+	fmt.Printf("gridserver: served %d queries (%d errors, %d rejected), p50=%.0fµs p99=%.0fµs\n",
+		final.QueriesTotal, final.Errors, final.Rejected,
+		final.LatencyMicros.P50, final.LatencyMicros.P99)
+	return nil
+}

@@ -61,5 +61,6 @@ func runLayout(args []string) error {
 	fmt.Printf("laid out %d buckets (%d records) over %d disks with %s\n",
 		len(m.Buckets), total, *disks, allocator.Name())
 	fmt.Printf("pages per disk: %v\n", sizes)
+	fmt.Printf("layout is self-contained (grid.grd embedded); serve it with: gridserver serve -store %s\n", *out)
 	return nil
 }

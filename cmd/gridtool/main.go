@@ -69,7 +69,7 @@ subcommands:
   decluster  compute a disk assignment for a grid file's buckets
   simulate   replay a random range-query workload against a declustering
   viz        render a 2-D grid file as SVG or ASCII (the paper's Figure 2)
-  layout     decluster a grid file into per-disk page files
+  layout     decluster a grid file into per-disk page files (servable by gridserver)
   parallel   run a workload through the SPMD coordinator/worker engine
 
 run "gridtool <subcommand> -h" for subcommand flags`)

@@ -214,9 +214,9 @@ func TestWindowExpectedResponseMatchesDM(t *testing.T) {
 
 func TestWindowExpectedResponsePanics(t *testing.T) {
 	for _, f := range []func(){
-		func() { WindowExpectedResponse(make([]int, 3), 2, 1, 1) },       // size mismatch
-		func() { WindowExpectedResponse(make([]int, 4), 2, 3, 1) },       // window > grid
-		func() { WindowExpectedResponse([]int{0, 0, 0, 9}, 2, 2, 2) },    // disk out of range
+		func() { WindowExpectedResponse(make([]int, 3), 2, 1, 1) },    // size mismatch
+		func() { WindowExpectedResponse(make([]int, 4), 2, 3, 1) },    // window > grid
+		func() { WindowExpectedResponse([]int{0, 0, 0, 9}, 2, 2, 2) }, // disk out of range
 	} {
 		func() {
 			defer func() {

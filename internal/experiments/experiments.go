@@ -85,8 +85,8 @@ type built struct {
 
 // Lab memoizes datasets and grid files across the experiments of one run.
 type Lab struct {
-	opts  Options
-	cache map[string]*built
+	opts   Options
+	cache  map[string]*built
 	nnMemo map[string][]int
 }
 

@@ -243,8 +243,8 @@ func TestProximitySelfIsMaximal(t *testing.T) {
 }
 
 func TestEuclideanDistance(t *testing.T) {
-	a := NewRect([]float64{0, 0}, []float64{2, 2})   // center (1,1)
-	b := NewRect([]float64{4, 1}, []float64{4, 7})   // center (4,4)
+	a := NewRect([]float64{0, 0}, []float64{2, 2}) // center (1,1)
+	b := NewRect([]float64{4, 1}, []float64{4, 7}) // center (4,4)
 	if got := EuclideanDistance(a, b); math.Abs(got-math.Sqrt(18)) > 1e-12 {
 		t.Errorf("EuclideanDistance = %v, want %v", got, math.Sqrt(18))
 	}

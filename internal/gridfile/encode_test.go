@@ -82,8 +82,8 @@ func TestReadRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		[]byte("NOPE"),
-		[]byte("GRDF"),                      // truncated after magic
-		[]byte("GRDF\x02\x00\x00\x00"),      // bad version
+		[]byte("GRDF"),                 // truncated after magic
+		[]byte("GRDF\x02\x00\x00\x00"), // bad version
 		append([]byte("GRDF\x01\x00\x00\x00"), bytes.Repeat([]byte{0xff}, 16)...), // implausible dims
 	}
 	for i, c := range cases {

@@ -93,7 +93,7 @@ func (c Config) validate() error {
 // keep per-record overhead low (the full-scale 4-D dataset holds millions of
 // records). data is nil until a record with a payload is inserted.
 type bucket struct {
-	lo, hi []int32  // inclusive cell-index bounds per dimension
+	lo, hi []int32   // inclusive cell-index bounds per dimension
 	keys   []float64 // flat: record i occupies keys[i*dims : (i+1)*dims]
 	data   [][]byte  // nil, or parallel to records
 }

@@ -26,6 +26,20 @@ func (f *File) Lookup(p geom.Point) []Record {
 	return out
 }
 
+// BucketAt returns the id of the bucket owning the cell that contains p,
+// or ok=false when p lies outside the domain. This is the coordinator-side
+// translation a point query needs before fetching the bucket from a page
+// store; it reads only immutable structures and is safe for concurrent use
+// alongside other read-only operations.
+func (f *File) BucketAt(p geom.Point) (id int32, ok bool) {
+	if f.checkKey(p) != nil {
+		return 0, false
+	}
+	cell := make([]int32, f.cfg.Dims)
+	f.locateCell(p, cell)
+	return f.dir[f.cellIndex(cell)], true
+}
+
 func pointEqual(a []float64, b geom.Point) bool {
 	for i := range a {
 		if a[i] != b[i] {

@@ -7,14 +7,14 @@ import "pgridfile/internal/geom"
 // total subspaces (cells), buckets, and how many buckets consist of merged
 // subspaces.
 type Stats struct {
-	Records        int
-	Cells          int     // number of grid subspaces (Cartesian cells)
-	Buckets        int     // live data buckets
-	MergedBuckets  int     // buckets whose region spans more than one cell
-	OverfullBuckets int    // buckets over capacity (unsplittable duplicates)
-	CellsPerDim    []int   // grid resolution per dimension
-	AvgOccupancy   float64 // records per bucket / capacity
-	MaxOccupancy   int     // records in the fullest bucket
+	Records         int
+	Cells           int     // number of grid subspaces (Cartesian cells)
+	Buckets         int     // live data buckets
+	MergedBuckets   int     // buckets whose region spans more than one cell
+	OverfullBuckets int     // buckets over capacity (unsplittable duplicates)
+	CellsPerDim     []int   // grid resolution per dimension
+	AvgOccupancy    float64 // records per bucket / capacity
+	MaxOccupancy    int     // records in the fullest bucket
 }
 
 // Stats scans the bucket table; cost is O(buckets).

@@ -133,7 +133,7 @@ type Engine struct {
 
 	workers  []*worker
 	reqs     []chan request
-	links    []*wireLink // TransportWire only
+	links    []*wireLink                 // wire transports (gob over pipe or TCP) only
 	pagedDir *gridfile.TwoLevelDirectory // nil = flat directory
 	wg       sync.WaitGroup
 	closed   bool
@@ -249,6 +249,10 @@ func New(f *gridfile.File, alloc core.Allocation, cfg Config) (*Engine, error) {
 		}
 	case TransportWire:
 		e.startWireWorkers()
+	case TransportTCP:
+		if err := e.startTCPWorkers(); err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("parallel: unknown transport %d", cfg.Transport)
 	}
@@ -381,7 +385,7 @@ func (e *Engine) query(q geom.Rect, wantKeys bool) (QueryResult, []float64, erro
 		perWorker[w] = append(perWorker[w], int64(id))
 	}
 
-	if e.cfg.Transport == TransportWire {
+	if e.cfg.Transport.overWire() {
 		defer e.mu.Unlock()
 		return e.queryWire(q, perWorker, wantKeys, coordExtra)
 	}
@@ -544,8 +548,8 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	switch e.cfg.Transport {
-	case TransportWire:
+	switch {
+	case e.cfg.Transport.overWire():
 		for _, l := range e.links {
 			l.conn.Close()
 		}

@@ -24,7 +24,16 @@ const (
 	// messages did on the SP-2. Useful for validating that the protocol
 	// carries everything it needs and for measuring serialization cost.
 	TransportWire
+	// TransportTCP runs the same gob protocol over real loopback TCP
+	// sockets, one connection per worker, so the exchange additionally
+	// crosses the kernel's network stack — the closest the in-process
+	// engine gets to the SP-2's physical message passing, and the same
+	// listener plumbing the network query service (internal/server) uses.
+	TransportTCP
 )
+
+// overWire reports whether the transport serializes messages with gob.
+func (t Transport) overWire() bool { return t == TransportWire || t == TransportTCP }
 
 // wireRequest is the on-wire form of a block request.
 type wireRequest struct {
@@ -65,6 +74,50 @@ func (e *Engine) startWireWorkers() {
 		e.wg.Add(1)
 		go w.serveWire(workerSide, &e.wg)
 	}
+}
+
+// startTCPWorkers launches the wire workers over loopback TCP: an ephemeral
+// listener accepts one connection per worker. Dial and accept alternate, so
+// each accepted connection pairs deterministically with the worker just
+// dialed for.
+func (e *Engine) startTCPWorkers() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("parallel: tcp transport: %w", err)
+	}
+	defer ln.Close()
+	e.links = make([]*wireLink, len(e.workers))
+	for i, w := range e.workers {
+		coordSide, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			e.closeLinks()
+			return fmt.Errorf("parallel: dialing worker %d: %w", i, err)
+		}
+		workerSide, err := ln.Accept()
+		if err != nil {
+			coordSide.Close()
+			e.closeLinks()
+			return fmt.Errorf("parallel: accepting worker %d: %w", i, err)
+		}
+		e.links[i] = &wireLink{
+			conn: coordSide,
+			enc:  gob.NewEncoder(coordSide),
+			dec:  gob.NewDecoder(coordSide),
+		}
+		e.wg.Add(1)
+		go w.serveWire(workerSide, &e.wg)
+	}
+	return nil
+}
+
+// closeLinks tears down the links established so far (startup failure).
+func (e *Engine) closeLinks() {
+	for _, l := range e.links {
+		if l != nil {
+			l.conn.Close()
+		}
+	}
+	e.wg.Wait()
 }
 
 // serveWire is the worker loop for TransportWire: decode a request, process

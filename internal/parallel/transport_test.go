@@ -11,9 +11,10 @@ import (
 	"pgridfile/internal/workload"
 )
 
-// TestWireTransportMatchesChannel runs the same workload over both
-// transports and requires identical results: the wire protocol must carry
-// exactly the information the channel path does.
+// TestWireTransportMatchesChannel runs the same workload over every
+// transport and requires identical results: the wire protocols (gob over
+// net.Pipe, gob over loopback TCP) must carry exactly the information the
+// channel path does.
 func TestWireTransportMatchesChannel(t *testing.T) {
 	ds := synth.DSMC4D(6, 900, 3)
 	f, err := ds.Build()
@@ -45,9 +46,40 @@ func TestWireTransportMatchesChannel(t *testing.T) {
 
 	ch := run(TransportChannel)
 	wire := run(TransportWire)
+	tcp := run(TransportTCP)
 	if ch != wire {
 		t.Errorf("transports disagree:\nchannel: %+v\nwire:    %+v", ch, wire)
 	}
+	if ch != tcp {
+		t.Errorf("transports disagree:\nchannel: %+v\ntcp:     %+v", ch, tcp)
+	}
+}
+
+// TestTCPTransportClose proves a TCP-transport engine shuts its workers and
+// sockets down cleanly and can be closed twice.
+func TestTCPTransportClose(t *testing.T) {
+	ds := synth.DSMC4D(2, 200, 3)
+	f, err := ds.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(f, alloc, Config{
+		Workers: 2, Disk: diskmodel.DefaultParams(),
+		Cost: DefaultCostModel(), Transport: TransportTCP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(workload.RandomRange4D(f.Domain(), 0.2, 5, 17)); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
 }
 
 func TestWireTransportCloseAndReject(t *testing.T) {

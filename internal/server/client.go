@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pgridfile/internal/geom"
+)
+
+// ClientConfig tunes a Client.
+type ClientConfig struct {
+	// Addr is the server's TCP address (required).
+	Addr string
+	// PoolSize bounds pooled idle connections; connections are dialed
+	// lazily. Default 4.
+	PoolSize int
+	// DialTimeout bounds connection establishment. Default 2s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request/response round trip. Default 10s.
+	RequestTimeout time.Duration
+	// Retries is how many times a transport-level failure is retried on a
+	// fresh connection (server-reported errors are never retried).
+	// Default 2.
+	Retries int
+	// Backoff is the initial retry delay, doubling per attempt.
+	// Default 25ms.
+	Backoff time.Duration
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 25 * time.Millisecond
+	}
+	return c
+}
+
+// Client talks the gridserver protocol with connection pooling, per-request
+// deadlines and retry with exponential backoff. It is safe for concurrent
+// use; concurrent requests use distinct connections.
+type Client struct {
+	cfg    ClientConfig
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// NewClient creates a client for the given server address. No connection is
+// made until the first request.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("server: client needs an address")
+	}
+	return &Client{cfg: cfg.withDefaults()}, nil
+}
+
+func (c *Client) getConn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("server: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+}
+
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= c.cfg.PoolSize {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+// roundTrip sends one frame and reads one reply on conn.
+func (c *Client) roundTrip(conn net.Conn, req Frame) (Frame, error) {
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return Frame{}, err
+	}
+	if err := WriteFrame(conn, req); err != nil {
+		return Frame{}, err
+	}
+	return ReadFrame(conn)
+}
+
+// do runs one request with pooling and retry. A *ServerError reply is
+// returned as-is (the connection stays usable and pooled); transport
+// failures discard the connection and retry on a fresh one with backoff.
+func (c *Client) do(req Request) (Frame, error) {
+	f, err := EncodeRequest(req)
+	if err != nil {
+		return Frame{}, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Backoff << (attempt - 1))
+		}
+		conn, err := c.getConn()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.roundTrip(conn, f)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		if resp.Verb == VerbError {
+			c.putConn(conn)
+			return Frame{}, &ServerError{Msg: string(resp.Payload)}
+		}
+		c.putConn(conn)
+		return resp, nil
+	}
+	return Frame{}, fmt.Errorf("server: request failed after %d attempts: %w",
+		c.cfg.Retries+1, lastErr)
+}
+
+func (c *Client) doResult(req Request) (Result, error) {
+	resp, err := c.do(req)
+	if err != nil {
+		return Result{}, err
+	}
+	return DecodeResult(resp)
+}
+
+// Point returns all stored records whose key equals key exactly.
+func (c *Client) Point(key geom.Point) ([]geom.Point, QueryInfo, error) {
+	res, err := c.doResult(Request{Verb: VerbPoint, Key: key})
+	return res.Points, res.Info, err
+}
+
+// Range returns all stored records inside the closed query box.
+func (c *Client) Range(q geom.Rect) ([]geom.Point, QueryInfo, error) {
+	res, err := c.doResult(Request{Verb: VerbRange, Query: q})
+	return res.Points, res.Info, err
+}
+
+// RangeCount returns how many stored records lie inside the closed query
+// box, without shipping them.
+func (c *Client) RangeCount(q geom.Rect) (int, QueryInfo, error) {
+	res, err := c.doResult(Request{Verb: VerbRange, Query: q, CountOnly: true})
+	return res.Count, res.Info, err
+}
+
+// PartialMatch returns records matching vals on every specified dimension;
+// NaN marks an unspecified attribute.
+func (c *Client) PartialMatch(vals []float64) ([]geom.Point, QueryInfo, error) {
+	res, err := c.doResult(Request{Verb: VerbPartial, Vals: vals})
+	return res.Points, res.Info, err
+}
+
+// KNN returns the k stored records nearest to key, closest first.
+func (c *Client) KNN(key geom.Point, k int) ([]geom.Point, QueryInfo, error) {
+	res, err := c.doResult(Request{Verb: VerbKNN, Key: key, K: k})
+	return res.Points, res.Info, err
+}
+
+// Stats fetches the server's statistics snapshot via the STATS verb.
+func (c *Client) Stats() (Snapshot, error) {
+	resp, err := c.do(Request{Verb: VerbStats})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if resp.Verb != VerbStatsReply {
+		return Snapshot{}, fmt.Errorf("server: unexpected reply verb 0x%02x", uint8(resp.Verb))
+	}
+	var s Snapshot
+	if err := json.Unmarshal(resp.Payload, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("server: parsing stats: %w", err)
+	}
+	return s, nil
+}
+
+// Close releases all pooled connections. In-flight requests on borrowed
+// connections complete; their connections are then discarded.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// verbIndex maps request verbs to dense counter slots.
+var verbNames = []string{"point", "range", "partial", "knn", "stats"}
+
+func verbIndex(v Verb) int {
+	switch v {
+	case VerbPoint:
+		return 0
+	case VerbRange:
+		return 1
+	case VerbPartial:
+		return 2
+	case VerbKNN:
+		return 3
+	case VerbStats:
+		return 4
+	}
+	return -1
+}
+
+// hist is a log2-bucketed histogram of non-negative values: bin i holds
+// values in [2^(i-1), 2^i). Log bins keep observation O(1) and lock-light
+// while still answering the percentile questions the bench cares about
+// (p50/p95/p99 within a factor of two).
+type hist struct {
+	mu     sync.Mutex
+	counts [64]int64
+	total  int64
+	max    float64
+}
+
+func (h *hist) observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	bin := bits.Len64(uint64(v))
+	if bin >= len(h.counts) {
+		bin = len(h.counts) - 1
+	}
+	h.mu.Lock()
+	h.counts[bin]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// quantile estimates the p-th percentile (0..100) as the geometric midpoint
+// of the bin holding the target rank; the true value lies within 2x.
+func (h *hist) quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p / 100 * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := math.Exp2(float64(i - 1))
+			return lo * 1.5
+		}
+	}
+	return h.max
+}
+
+func (h *hist) snapshot() QuantileSummary {
+	s := QuantileSummary{
+		P50: h.quantile(50),
+		P90: h.quantile(90),
+		P95: h.quantile(95),
+		P99: h.quantile(99),
+	}
+	h.mu.Lock()
+	s.Count = h.total
+	s.Max = h.max
+	h.mu.Unlock()
+	return s
+}
+
+// QuantileSummary reports a histogram's percentiles.
+type QuantileSummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Metrics aggregates the server's observability counters. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	start       time.Time
+	queries     [5]atomic.Int64 // by verb
+	errors      atomic.Int64    // protocol/decode/execution errors answered
+	rejected    atomic.Int64    // admission-control and deadline rejections
+	pagesRead   atomic.Int64
+	diskFetches []atomic.Int64 // bucket fetches per disk
+	latency     hist           // service time, microseconds
+	fetches     hist           // distinct buckets fetched per data query
+}
+
+func newMetrics(disks int) *Metrics {
+	return &Metrics{start: time.Now(), diskFetches: make([]atomic.Int64, disks)}
+}
+
+// Snapshot is the exported statistics view, served by the STATS verb as
+// JSON and rendered by the HTTP endpoint. It also describes the layout
+// (dims, disks, domain) so clients can generate workloads without
+// out-of-band knowledge of the dataset.
+type Snapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Dims          int              `json:"dims"`
+	Disks         int              `json:"disks"`
+	Domain        [][2]float64     `json:"domain"`
+	Queries       map[string]int64 `json:"queries"`
+	QueriesTotal  int64            `json:"queries_total"`
+	Errors        int64            `json:"errors"`
+	Rejected      int64            `json:"rejected"`
+	InFlight      int              `json:"in_flight"`
+	DiskFetches   []int64          `json:"disk_bucket_fetches"`
+	PagesRead     int64            `json:"pages_read"`
+	LatencyMicros QuantileSummary  `json:"latency_micros"`
+	FetchesPerQry QuantileSummary  `json:"buckets_per_query"`
+}
+
+func (m *Metrics) snapshot(inflight int) Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Queries:       make(map[string]int64, len(verbNames)),
+		Errors:        m.errors.Load(),
+		Rejected:      m.rejected.Load(),
+		InFlight:      inflight,
+		PagesRead:     m.pagesRead.Load(),
+		LatencyMicros: m.latency.snapshot(),
+		FetchesPerQry: m.fetches.snapshot(),
+	}
+	for i, name := range verbNames {
+		n := m.queries[i].Load()
+		s.Queries[name] = n
+		s.QueriesTotal += n
+	}
+	s.DiskFetches = make([]int64, len(m.diskFetches))
+	for i := range m.diskFetches {
+		s.DiskFetches[i] = m.diskFetches[i].Load()
+	}
+	return s
+}
+
+// writePrometheus renders the snapshot in the Prometheus text exposition
+// format for the optional HTTP /metrics endpoint.
+func (s Snapshot) writePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, name := range verbNames {
+		fmt.Fprintf(w, "gridserver_queries_total{verb=%q} %d\n", name, s.Queries[name])
+	}
+	fmt.Fprintf(w, "gridserver_errors_total %d\n", s.Errors)
+	fmt.Fprintf(w, "gridserver_rejected_total %d\n", s.Rejected)
+	fmt.Fprintf(w, "gridserver_in_flight %d\n", s.InFlight)
+	fmt.Fprintf(w, "gridserver_pages_read_total %d\n", s.PagesRead)
+	for d, n := range s.DiskFetches {
+		fmt.Fprintf(w, "gridserver_disk_bucket_fetches_total{disk=\"%d\"} %d\n", d, n)
+	}
+	for _, q := range []struct {
+		q string
+		v float64
+	}{{"0.5", s.LatencyMicros.P50}, {"0.9", s.LatencyMicros.P90},
+		{"0.95", s.LatencyMicros.P95}, {"0.99", s.LatencyMicros.P99}} {
+		fmt.Fprintf(w, "gridserver_latency_micros{quantile=%q} %g\n", q.q, q.v)
+	}
+	fmt.Fprintf(w, "gridserver_latency_observations_total %d\n", s.LatencyMicros.Count)
+	fmt.Fprintf(w, "gridserver_uptime_seconds %g\n", s.UptimeSeconds)
+}

@@ -1,0 +1,495 @@
+// Package server puts the declustered page store behind a real network
+// front end: a TCP query service over the paper's per-disk page files
+// (internal/store), with the grid file's scales and directory acting as the
+// coordinator exactly as in the Section 3.5 SPMD design. Point, range,
+// partial-match and k-NN queries arrive over a length-prefixed binary
+// protocol; bucket fetches are executed by one I/O goroutine per disk file,
+// so a well-declustered allocation translates into genuinely parallel disk
+// I/O and the paper's response-time metric becomes observable on actual
+// hardware rather than a simulated clock.
+//
+// The package has three layers:
+//
+//   - protocol.go: the wire format — frames, request and response payloads;
+//   - server.go + metrics.go: the serving side — admission control,
+//     per-disk fetch goroutines, deadlines, graceful shutdown, counters and
+//     latency histograms exported via the STATS verb and optional HTTP;
+//   - client.go: a pooled client with request timeouts and retry/backoff.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"pgridfile/internal/geom"
+)
+
+// MaxFrameBytes bounds a single frame (verb byte + payload). Oversized
+// frames are rejected before any allocation, so a malformed or hostile
+// length prefix cannot make the server allocate unbounded memory.
+const MaxFrameBytes = 1 << 20
+
+// maxDims bounds the request dimensionality; the paper's experiments stop
+// at 4-D, and nothing in the repo builds grids beyond a few dimensions.
+const maxDims = 64
+
+// maxK bounds k-NN requests.
+const maxK = 4096
+
+// Verb identifies a frame's meaning. Requests use the low range, responses
+// the high range, so a stream desynchronization is detected immediately.
+type Verb uint8
+
+const (
+	VerbPoint   Verb = 1 // exact-match point lookup
+	VerbRange   Verb = 2 // closed-box range query
+	VerbPartial Verb = 3 // partial-match query (NaN = unspecified)
+	VerbKNN     Verb = 4 // k nearest neighbours
+	VerbStats   Verb = 5 // server statistics snapshot
+
+	VerbPoints     Verb = 0x81 // response: point set + I/O accounting
+	VerbCount      Verb = 0x82 // response: record count + I/O accounting
+	VerbStatsReply Verb = 0x83 // response: JSON statistics snapshot
+	VerbError      Verb = 0xFF // response: error message
+)
+
+var (
+	// ErrFrameTooBig reports a length prefix beyond MaxFrameBytes.
+	ErrFrameTooBig = errors.New("server: frame exceeds size limit")
+	// ErrEmptyFrame reports a zero-length frame (no verb byte).
+	ErrEmptyFrame = errors.New("server: empty frame")
+)
+
+// Frame is one protocol unit: a verb plus an opaque payload, carried on the
+// wire as u32 length (verb+payload) | u8 verb | payload, little endian.
+type Frame struct {
+	Verb    Verb
+	Payload []byte
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload)+1 > MaxFrameBytes {
+		return ErrFrameTooBig
+	}
+	hdr := make([]byte, 5, 5+len(f.Payload))
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(f.Payload)+1))
+	hdr[4] = byte(f.Verb)
+	_, err := w.Write(append(hdr, f.Payload...))
+	return err
+}
+
+// ReadFrame reads one frame from r, rejecting oversized or empty frames
+// before allocating the payload. A truncated stream yields an error rather
+// than a short frame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Frame{}, ErrEmptyFrame
+	}
+	if n > MaxFrameBytes {
+		return Frame{}, ErrFrameTooBig
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, fmt.Errorf("server: truncated frame: %w", err)
+	}
+	return Frame{Verb: Verb(buf[0]), Payload: buf[1:]}, nil
+}
+
+// Request is the decoded form of a query frame.
+type Request struct {
+	Verb      Verb
+	Key       geom.Point // VerbPoint, VerbKNN
+	Query     geom.Rect  // VerbRange
+	Vals      []float64  // VerbPartial; NaN marks an unspecified attribute
+	K         int        // VerbKNN
+	CountOnly bool       // VerbRange: return only the record count
+}
+
+// QueryInfo is the server-side execution profile shipped with every answer:
+// the paper's I/O accounting (distinct buckets fetched, pages read) plus the
+// service time observed at the server.
+type QueryInfo struct {
+	Buckets int
+	Pages   int
+	Elapsed time.Duration
+}
+
+// Result is the decoded form of an answer frame.
+type Result struct {
+	Points []geom.Point
+	Count  int
+	Info   QueryInfo
+}
+
+// buf is a cursor for encoding payloads.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wbuf) u16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) f64(v float64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, math.Float64bits(v))
+}
+
+// rbuf is a cursor for decoding payloads; the first error sticks.
+type rbuf struct {
+	b   []byte
+	err error
+}
+
+func (r *rbuf) fail(msg string) {
+	if r.err == nil {
+		r.err = errors.New("server: " + msg)
+	}
+}
+
+func (r *rbuf) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.fail("short payload")
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *rbuf) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *rbuf) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *rbuf) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *rbuf) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *rbuf) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// done verifies the payload was consumed exactly.
+func (r *rbuf) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("server: %d trailing payload bytes", len(r.b))
+	}
+	return nil
+}
+
+func checkDims(d int) error {
+	if d < 1 || d > maxDims {
+		return fmt.Errorf("server: implausible dimensionality %d", d)
+	}
+	return nil
+}
+
+func checkFinite(vs ...float64) error {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("server: non-finite coordinate %v", v)
+		}
+	}
+	return nil
+}
+
+// EncodeRequest serializes a request into a frame.
+func EncodeRequest(req Request) (Frame, error) {
+	var w wbuf
+	switch req.Verb {
+	case VerbPoint:
+		if err := checkDims(len(req.Key)); err != nil {
+			return Frame{}, err
+		}
+		w.u16(uint16(len(req.Key)))
+		for _, v := range req.Key {
+			w.f64(v)
+		}
+	case VerbRange:
+		if err := checkDims(len(req.Query)); err != nil {
+			return Frame{}, err
+		}
+		flags := uint8(0)
+		if req.CountOnly {
+			flags = 1
+		}
+		w.u8(flags)
+		w.u16(uint16(len(req.Query)))
+		for _, iv := range req.Query {
+			w.f64(iv.Lo)
+			w.f64(iv.Hi)
+		}
+	case VerbPartial:
+		if err := checkDims(len(req.Vals)); err != nil {
+			return Frame{}, err
+		}
+		w.u16(uint16(len(req.Vals)))
+		for _, v := range req.Vals {
+			if math.IsNaN(v) {
+				w.u8(0)
+				w.f64(0) // canonical placeholder for "unspecified"
+			} else {
+				w.u8(1)
+				w.f64(v)
+			}
+		}
+	case VerbKNN:
+		if err := checkDims(len(req.Key)); err != nil {
+			return Frame{}, err
+		}
+		if req.K < 1 || req.K > maxK {
+			return Frame{}, fmt.Errorf("server: k=%d out of range", req.K)
+		}
+		w.u16(uint16(len(req.Key)))
+		w.u32(uint32(req.K))
+		for _, v := range req.Key {
+			w.f64(v)
+		}
+	case VerbStats:
+		// empty payload
+	default:
+		return Frame{}, fmt.Errorf("server: not a request verb: 0x%02x", uint8(req.Verb))
+	}
+	return Frame{Verb: req.Verb, Payload: w.b}, nil
+}
+
+// DecodeRequest parses and validates a request frame. Every field is
+// bounds-checked so a malformed frame yields an error, never a panic or an
+// oversized allocation.
+func DecodeRequest(f Frame) (Request, error) {
+	req := Request{Verb: f.Verb}
+	r := rbuf{b: f.Payload}
+	switch f.Verb {
+	case VerbPoint:
+		dims := int(r.u16())
+		if r.err == nil {
+			if err := checkDims(dims); err != nil {
+				return Request{}, err
+			}
+		}
+		req.Key = make(geom.Point, 0, min(dims, maxDims))
+		for d := 0; d < dims && r.err == nil; d++ {
+			req.Key = append(req.Key, r.f64())
+		}
+		if err := r.done(); err != nil {
+			return Request{}, err
+		}
+		if err := checkFinite(req.Key...); err != nil {
+			return Request{}, err
+		}
+	case VerbRange:
+		flags := r.u8()
+		dims := int(r.u16())
+		if r.err == nil {
+			if err := checkDims(dims); err != nil {
+				return Request{}, err
+			}
+			if flags > 1 {
+				return Request{}, fmt.Errorf("server: unknown range flags 0x%02x", flags)
+			}
+		}
+		req.CountOnly = flags&1 != 0
+		req.Query = make(geom.Rect, 0, min(dims, maxDims))
+		for d := 0; d < dims && r.err == nil; d++ {
+			iv := geom.Interval{Lo: r.f64(), Hi: r.f64()}
+			req.Query = append(req.Query, iv)
+		}
+		if err := r.done(); err != nil {
+			return Request{}, err
+		}
+		for _, iv := range req.Query {
+			if err := checkFinite(iv.Lo, iv.Hi); err != nil {
+				return Request{}, err
+			}
+			if iv.Hi < iv.Lo {
+				return Request{}, fmt.Errorf("server: inverted interval [%v,%v]", iv.Lo, iv.Hi)
+			}
+		}
+	case VerbPartial:
+		dims := int(r.u16())
+		if r.err == nil {
+			if err := checkDims(dims); err != nil {
+				return Request{}, err
+			}
+		}
+		req.Vals = make([]float64, 0, min(dims, maxDims))
+		for d := 0; d < dims && r.err == nil; d++ {
+			spec := r.u8()
+			v := r.f64()
+			if r.err != nil {
+				break
+			}
+			switch spec {
+			case 0:
+				v = math.NaN()
+			case 1:
+				if err := checkFinite(v); err != nil {
+					return Request{}, err
+				}
+			default:
+				return Request{}, fmt.Errorf("server: bad partial-match flag 0x%02x", spec)
+			}
+			req.Vals = append(req.Vals, v)
+		}
+		if err := r.done(); err != nil {
+			return Request{}, err
+		}
+	case VerbKNN:
+		dims := int(r.u16())
+		k := int(r.u32())
+		if r.err == nil {
+			if err := checkDims(dims); err != nil {
+				return Request{}, err
+			}
+			if k < 1 || k > maxK {
+				return Request{}, fmt.Errorf("server: k=%d out of range", k)
+			}
+		}
+		req.K = k
+		req.Key = make(geom.Point, 0, min(dims, maxDims))
+		for d := 0; d < dims && r.err == nil; d++ {
+			req.Key = append(req.Key, r.f64())
+		}
+		if err := r.done(); err != nil {
+			return Request{}, err
+		}
+		if err := checkFinite(req.Key...); err != nil {
+			return Request{}, err
+		}
+	case VerbStats:
+		if err := r.done(); err != nil {
+			return Request{}, err
+		}
+	default:
+		return Request{}, fmt.Errorf("server: unknown request verb 0x%02x", uint8(f.Verb))
+	}
+	return req, nil
+}
+
+// EncodeResult serializes an answer. verb selects VerbPoints or VerbCount.
+func EncodeResult(verb Verb, res Result) (Frame, error) {
+	var w wbuf
+	switch verb {
+	case VerbPoints:
+		dims := 0
+		if len(res.Points) > 0 {
+			dims = len(res.Points[0])
+		}
+		if dims > maxDims {
+			return Frame{}, fmt.Errorf("server: %d-D result", dims)
+		}
+		w.u16(uint16(dims))
+		w.u32(uint32(len(res.Points)))
+		for _, p := range res.Points {
+			if len(p) != dims {
+				return Frame{}, errors.New("server: ragged result point set")
+			}
+			for _, v := range p {
+				w.f64(v)
+			}
+		}
+	case VerbCount:
+		w.u32(uint32(res.Count))
+	default:
+		return Frame{}, fmt.Errorf("server: not a result verb: 0x%02x", uint8(verb))
+	}
+	w.u32(uint32(res.Info.Buckets))
+	w.u32(uint32(res.Info.Pages))
+	w.u64(uint64(res.Info.Elapsed.Nanoseconds()))
+	if len(w.b)+1 > MaxFrameBytes {
+		return Frame{}, ErrFrameTooBig
+	}
+	return Frame{Verb: verb, Payload: w.b}, nil
+}
+
+// DecodeResult parses a VerbPoints or VerbCount answer frame.
+func DecodeResult(f Frame) (Result, error) {
+	var res Result
+	r := rbuf{b: f.Payload}
+	switch f.Verb {
+	case VerbPoints:
+		dims := int(r.u16())
+		n := int(r.u32())
+		if r.err == nil {
+			if dims > maxDims {
+				return Result{}, fmt.Errorf("server: implausible dimensionality %d", dims)
+			}
+			if dims == 0 && n > 0 {
+				return Result{}, errors.New("server: zero-dimensional points")
+			}
+			// The points must actually fit in the received payload.
+			if need := n * dims * 8; need > len(r.b) {
+				return Result{}, errors.New("server: short point payload")
+			}
+		}
+		res.Points = make([]geom.Point, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			p := make(geom.Point, dims)
+			for d := range p {
+				p[d] = r.f64()
+			}
+			res.Points = append(res.Points, p)
+		}
+		res.Count = len(res.Points)
+	case VerbCount:
+		res.Count = int(r.u32())
+	default:
+		return Result{}, fmt.Errorf("server: not a result verb: 0x%02x", uint8(f.Verb))
+	}
+	res.Info.Buckets = int(r.u32())
+	res.Info.Pages = int(r.u32())
+	res.Info.Elapsed = time.Duration(r.u64())
+	if err := r.done(); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// errorFrame wraps an error message for the client.
+func errorFrame(msg string) Frame {
+	if len(msg)+1 > MaxFrameBytes {
+		msg = msg[:MaxFrameBytes-1]
+	}
+	return Frame{Verb: VerbError, Payload: []byte(msg)}
+}
+
+// ServerError is an error reported by the server over the protocol (as
+// opposed to a transport failure). It is not retried by the client.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pgridfile/internal/geom"
+)
+
+func roundTripRequest(t *testing.T, req Request) Request {
+	t.Helper()
+	f, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatalf("encode %+v: %v", req, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRequest(got)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return dec
+}
+
+func TestRequestRoundTrips(t *testing.T) {
+	reqs := []Request{
+		{Verb: VerbPoint, Key: geom.Point{1, 2}},
+		{Verb: VerbRange, Query: geom.Rect{{Lo: 0, Hi: 10}, {Lo: -5, Hi: 5}}},
+		{Verb: VerbRange, Query: geom.Rect{{Lo: 1, Hi: 1}}, CountOnly: true},
+		{Verb: VerbPartial, Vals: []float64{3.5, math.NaN(), 7}},
+		{Verb: VerbKNN, Key: geom.Point{0.25, 0.75, 0.5}, K: 9},
+		{Verb: VerbStats},
+	}
+	for _, req := range reqs {
+		got := roundTripRequest(t, req)
+		if got.Verb != req.Verb || got.CountOnly != req.CountOnly || got.K != req.K {
+			t.Errorf("round trip changed metadata: %+v -> %+v", req, got)
+		}
+		if len(got.Key) != len(req.Key) || len(got.Query) != len(req.Query) ||
+			len(got.Vals) != len(req.Vals) {
+			t.Errorf("round trip changed shape: %+v -> %+v", req, got)
+		}
+		for i := range req.Key {
+			if got.Key[i] != req.Key[i] {
+				t.Errorf("key[%d]: %v != %v", i, got.Key[i], req.Key[i])
+			}
+		}
+		for i := range req.Query {
+			if got.Query[i] != req.Query[i] {
+				t.Errorf("query[%d]: %v != %v", i, got.Query[i], req.Query[i])
+			}
+		}
+		for i := range req.Vals {
+			same := got.Vals[i] == req.Vals[i] ||
+				(math.IsNaN(got.Vals[i]) && math.IsNaN(req.Vals[i]))
+			if !same {
+				t.Errorf("vals[%d]: %v != %v", i, got.Vals[i], req.Vals[i])
+			}
+		}
+	}
+}
+
+func TestResultRoundTrips(t *testing.T) {
+	info := QueryInfo{Buckets: 3, Pages: 7, Elapsed: 1500 * time.Microsecond}
+	res := Result{
+		Points: []geom.Point{{1, 2}, {3, 4}, {5, 6}},
+		Count:  3,
+		Info:   info,
+	}
+	f, err := EncodeResult(VerbPoints, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Points) != 3 || got.Info != info {
+		t.Errorf("points round trip: %+v", got)
+	}
+	for i := range res.Points {
+		for d := range res.Points[i] {
+			if got.Points[i][d] != res.Points[i][d] {
+				t.Errorf("point %d dim %d: %v != %v", i, d, got.Points[i][d], res.Points[i][d])
+			}
+		}
+	}
+
+	cf, err := EncodeResult(VerbCount, Result{Count: 42, Info: info})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgot, err := DecodeResult(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cgot.Count != 42 || cgot.Info != info {
+		t.Errorf("count round trip: %+v", cgot)
+	}
+}
+
+// TestMalformedFrames proves the frame reader rejects hostile input without
+// crashing or allocating unboundedly.
+func TestMalformedFrames(t *testing.T) {
+	t.Run("oversized length prefix", func(t *testing.T) {
+		var raw [4]byte
+		binary.LittleEndian.PutUint32(raw[:], MaxFrameBytes+1)
+		_, err := ReadFrame(bytes.NewReader(raw[:]))
+		if err != ErrFrameTooBig {
+			t.Errorf("got %v, want ErrFrameTooBig", err)
+		}
+	})
+	t.Run("zero length", func(t *testing.T) {
+		var raw [4]byte
+		_, err := ReadFrame(bytes.NewReader(raw[:]))
+		if err != ErrEmptyFrame {
+			t.Errorf("got %v, want ErrEmptyFrame", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		raw := make([]byte, 5)
+		binary.LittleEndian.PutUint32(raw, 100) // promises 100 bytes, delivers 1
+		raw[4] = byte(VerbPoint)
+		_, err := ReadFrame(bytes.NewReader(raw))
+		if err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("got %v, want truncated-frame error", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := ReadFrame(bytes.NewReader([]byte{1, 0})); err == nil {
+			t.Error("short header accepted")
+		}
+	})
+}
+
+// TestMalformedRequests proves the request decoder validates every field.
+func TestMalformedRequests(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Frame
+	}{
+		{"unknown verb", Frame{Verb: 0x7E}},
+		{"point with zero dims", Frame{Verb: VerbPoint, Payload: []byte{0, 0}}},
+		{"point dims beyond limit", Frame{Verb: VerbPoint, Payload: []byte{0xFF, 0xFF}}},
+		{"point short payload", Frame{Verb: VerbPoint, Payload: []byte{2, 0, 1, 2, 3}}},
+		{"range inverted interval", mustEncode(t, Request{
+			Verb: VerbRange, Query: geom.Rect{{Lo: 5, Hi: 1}}})},
+		{"range bad flags", Frame{Verb: VerbRange, Payload: []byte{9, 1, 0,
+			0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}}},
+		{"partial bad flag", Frame{Verb: VerbPartial, Payload: []byte{1, 0, 7,
+			0, 0, 0, 0, 0, 0, 0, 0}}},
+		{"knn zero k", Frame{Verb: VerbKNN, Payload: []byte{1, 0, 0, 0, 0, 0,
+			0, 0, 0, 0, 0, 0, 0, 0}}},
+		{"stats with payload", Frame{Verb: VerbStats, Payload: []byte{1}}},
+		{"trailing bytes", Frame{Verb: VerbPoint, Payload: append(
+			mustEncode(t, Request{Verb: VerbPoint, Key: geom.Point{1}}).Payload, 0xAA)}},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.f); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func mustEncode(t *testing.T, req Request) Frame {
+	t.Helper()
+	// Build the frame by hand for cases EncodeRequest itself would reject.
+	if req.Verb == VerbRange && len(req.Query) == 1 && req.Query[0].Hi < req.Query[0].Lo {
+		var w wbuf
+		w.u8(0)
+		w.u16(1)
+		w.f64(req.Query[0].Lo)
+		w.f64(req.Query[0].Hi)
+		return Frame{Verb: VerbRange, Payload: w.b}
+	}
+	f, err := EncodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestEncodeRejectsOversized(t *testing.T) {
+	big := make([]byte, MaxFrameBytes)
+	if err := WriteFrame(&bytes.Buffer{}, Frame{Verb: VerbStats, Payload: big}); err != ErrFrameTooBig {
+		t.Errorf("got %v, want ErrFrameTooBig", err)
+	}
+	// A result too large for one frame must be refused at encode time.
+	pts := make([]geom.Point, (MaxFrameBytes/16)+10)
+	for i := range pts {
+		pts[i] = geom.Point{1, 2}
+	}
+	if _, err := EncodeResult(VerbPoints, Result{Points: pts}); err == nil {
+		t.Error("oversized result encoded")
+	}
+}

@@ -1,0 +1,683 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+	"pgridfile/internal/store"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from
+// (*Config).withDefaults.
+type Config struct {
+	// Addr is the TCP listen address; default "127.0.0.1:0" (ephemeral).
+	Addr string
+	// HTTPAddr, when non-empty, additionally serves /metrics and /healthz
+	// over HTTP on that address.
+	HTTPAddr string
+	// MaxInflight bounds concurrently executing queries (admission
+	// control): excess requests wait, exerting backpressure on their
+	// connections, and are rejected when their deadline expires while
+	// queued. Default 64.
+	MaxInflight int
+	// QueryTimeout is the per-query deadline covering admission wait and
+	// execution. Default 5s.
+	QueryTimeout time.Duration
+	// IdleTimeout closes connections with no traffic. Default 2m.
+	IdleTimeout time.Duration
+	// DrainTimeout bounds how long Close waits for in-flight queries
+	// before force-closing connections. Default 5s.
+	DrainTimeout time.Duration
+
+	// slowFetch artificially delays every bucket fetch; test hook for
+	// exercising deadlines, admission control and shutdown under load.
+	slowFetch time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 5 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// fetchReq asks a disk goroutine for one bucket.
+type fetchReq struct {
+	id   int32
+	ctx  context.Context  // the owning query; cancelled fetches are skipped
+	resp chan<- fetchResp // buffered by the submitter; never blocks
+}
+
+type fetchResp struct {
+	id    int32
+	pts   []geom.Point
+	pages int
+	err   error
+}
+
+// Server is a running query service: an acceptor, one handler goroutine per
+// connection, and one I/O goroutine per disk file. The grid file acts as
+// the coordinator's scales+directory; record data is fetched from the page
+// store with real file I/O.
+type Server struct {
+	cfg  Config
+	grid *gridfile.File
+	st   *store.Store
+	met  *Metrics
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	sem     chan struct{}
+	fetchCh []chan fetchReq
+	fetchWg sync.WaitGroup
+
+	// trMu serializes directory translation: the grid file's range search
+	// reuses visit-stamp scratch space, so concurrent BucketsInRange calls
+	// must not interleave. Bucket fetching and filtering run outside it.
+	trMu sync.Mutex
+
+	mu        sync.Mutex // guards conns, closed
+	conns     map[net.Conn]struct{}
+	closed    bool
+	ownsStore bool
+
+	acceptWg sync.WaitGroup
+	connWg   sync.WaitGroup
+	done     chan struct{}
+}
+
+// New starts a server over an already-open grid file (scales + directory)
+// and page store. The grid file must be the one the layout was written
+// from: every stored bucket is cross-checked against the directory before
+// serving starts. The caller keeps ownership of grid and st.
+func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
+	m := st.Manifest()
+	if grid.Dims() != m.Dims {
+		return nil, fmt.Errorf("server: grid is %d-D, store is %d-D", grid.Dims(), m.Dims)
+	}
+	views := grid.Buckets()
+	if len(views) != len(m.Buckets) {
+		return nil, fmt.Errorf("server: grid has %d buckets, store has %d (layout from a different grid file?)",
+			len(views), len(m.Buckets))
+	}
+	for _, v := range views {
+		pl, ok := st.Placement(v.ID)
+		if !ok {
+			return nil, fmt.Errorf("server: bucket %d missing from store", v.ID)
+		}
+		if pl.Recs != v.Records {
+			return nil, fmt.Errorf("server: bucket %d holds %d records in store, %d in grid",
+				v.ID, pl.Recs, v.Records)
+		}
+	}
+
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		grid:    grid,
+		st:      st,
+		met:     newMetrics(m.Disks),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		fetchCh: make([]chan fetchReq, m.Disks),
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+
+	// One I/O goroutine per disk file: fetches on the same disk serialize
+	// (one head per spindle, as in the paper's model) while distinct disks
+	// proceed in parallel — this is where declustering quality becomes
+	// real wall-clock parallelism.
+	for d := range s.fetchCh {
+		ch := make(chan fetchReq, 4*cfg.MaxInflight)
+		s.fetchCh[d] = ch
+		s.fetchWg.Add(1)
+		go s.diskLoop(d, ch)
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		s.stopFetchers()
+		return nil, err
+	}
+	s.ln = ln
+	s.acceptWg.Add(1)
+	go s.acceptLoop()
+
+	if cfg.HTTPAddr != "" {
+		if err := s.startHTTP(cfg.HTTPAddr); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// OpenDir opens a layout directory written by store.Write (which embeds the
+// grid file as grid.grd) and serves it; Close releases the store.
+func OpenDir(dir string, cfg Config) (*Server, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := store.OpenGrid(dir)
+	if err != nil {
+		st.Close()
+		return nil, fmt.Errorf("server: %w (layouts written before grid embedding must be re-laid out)", err)
+	}
+	s, err := New(grid, st, cfg)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	s.ownsStore = true
+	return s, nil
+}
+
+// Addr returns the TCP address the server listens on.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// HTTPAddr returns the metrics endpoint address, or nil if disabled.
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+// Snapshot returns the server's current statistics.
+func (s *Server) Snapshot() Snapshot {
+	snap := s.met.snapshot(len(s.sem))
+	snap.Dims = s.grid.Dims()
+	snap.Disks = s.st.Manifest().Disks
+	snap.Domain = s.st.Manifest().Domain
+	return snap
+}
+
+func (s *Server) startHTTP(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.Snapshot().writePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(s.met.start).Seconds(),
+		})
+	})
+	s.httpLn = ln
+	s.httpSrv = &http.Server{Handler: mux}
+	go s.httpSrv.Serve(ln)
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connWg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+// handleConn serves one client connection: frames in, frames out. A
+// frame-level error (desynchronized or hostile stream) closes the
+// connection; a request-level error is answered and the connection kept.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWg.Done()
+	defer s.dropConn(c)
+	for {
+		c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		f, err := ReadFrame(c)
+		if err != nil {
+			if errors.Is(err, ErrFrameTooBig) || errors.Is(err, ErrEmptyFrame) {
+				s.met.errors.Add(1)
+				c.SetWriteDeadline(time.Now().Add(s.cfg.QueryTimeout))
+				WriteFrame(c, errorFrame(err.Error()))
+			}
+			return
+		}
+		resp := s.dispatch(f)
+		c.SetWriteDeadline(time.Now().Add(s.cfg.QueryTimeout))
+		if err := WriteFrame(c, resp); err != nil {
+			return
+		}
+		select {
+		case <-s.done:
+			return // draining: finish the in-flight reply, then hang up
+		default:
+		}
+	}
+}
+
+// dispatch decodes, admits, executes and encodes one request.
+func (s *Server) dispatch(f Frame) Frame {
+	req, err := DecodeRequest(f)
+	if err != nil {
+		s.met.errors.Add(1)
+		return errorFrame(err.Error())
+	}
+
+	// The STATS verb bypasses admission control so operators can observe a
+	// saturated server.
+	if req.Verb == VerbStats {
+		s.met.queries[verbIndex(VerbStats)].Add(1)
+		body, err := json.Marshal(s.Snapshot())
+		if err != nil {
+			s.met.errors.Add(1)
+			return errorFrame(err.Error())
+		}
+		return Frame{Verb: VerbStatsReply, Payload: body}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
+	defer cancel()
+
+	// Admission control: at most MaxInflight queries execute; the rest
+	// wait here, which backpressures their connections instead of
+	// spawning unbounded work.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.met.rejected.Add(1)
+		return errorFrame("server busy: admission queue full past deadline")
+	case <-s.done:
+		return errorFrame("server shutting down")
+	}
+
+	start := time.Now()
+	res, err := s.execute(ctx, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.met.rejected.Add(1)
+			return errorFrame("deadline exceeded: " + err.Error())
+		}
+		s.met.errors.Add(1)
+		return errorFrame(err.Error())
+	}
+	res.Info.Elapsed = time.Since(start)
+	s.met.queries[verbIndex(req.Verb)].Add(1)
+	s.met.latency.observe(float64(res.Info.Elapsed.Microseconds()))
+	s.met.fetches.observe(float64(res.Info.Buckets))
+
+	verb := VerbPoints
+	if req.Verb == VerbRange && req.CountOnly {
+		verb = VerbCount
+	}
+	out, err := EncodeResult(verb, res)
+	if err != nil {
+		s.met.errors.Add(1)
+		return errorFrame(err.Error())
+	}
+	return out
+}
+
+func (s *Server) execute(ctx context.Context, req Request) (Result, error) {
+	dims := s.grid.Dims()
+	switch req.Verb {
+	case VerbPoint:
+		if len(req.Key) != dims {
+			return Result{}, fmt.Errorf("key is %d-D, grid is %d-D", len(req.Key), dims)
+		}
+		return s.pointQuery(ctx, req.Key)
+	case VerbRange:
+		if len(req.Query) != dims {
+			return Result{}, fmt.Errorf("query is %d-D, grid is %d-D", len(req.Query), dims)
+		}
+		return s.rangeQuery(ctx, req.Query, req.CountOnly)
+	case VerbPartial:
+		if len(req.Vals) != dims {
+			return Result{}, fmt.Errorf("query is %d-D, grid is %d-D", len(req.Vals), dims)
+		}
+		return s.partialQuery(ctx, req.Vals)
+	case VerbKNN:
+		if len(req.Key) != dims {
+			return Result{}, fmt.Errorf("key is %d-D, grid is %d-D", len(req.Key), dims)
+		}
+		return s.knnQuery(ctx, req.Key, req.K)
+	}
+	return Result{}, fmt.Errorf("unhandled verb 0x%02x", uint8(req.Verb))
+}
+
+// bucketsInRange translates a query rect to bucket ids under the
+// translation lock (the coordinator step).
+func (s *Server) bucketsInRange(q geom.Rect) []int32 {
+	s.trMu.Lock()
+	defer s.trMu.Unlock()
+	return s.grid.BucketsInRange(q)
+}
+
+// diskLoop is one disk's I/O goroutine.
+func (s *Server) diskLoop(disk int, ch <-chan fetchReq) {
+	defer s.fetchWg.Done()
+	for req := range ch {
+		// A query whose deadline already expired has abandoned this fetch;
+		// skip the I/O so its backlog doesn't starve live queries.
+		if err := req.ctx.Err(); err != nil {
+			req.resp <- fetchResp{id: req.id, err: err}
+			continue
+		}
+		if s.cfg.slowFetch > 0 {
+			time.Sleep(s.cfg.slowFetch)
+		}
+		pts, pages, err := s.st.ReadBucket(req.id)
+		if err == nil {
+			s.met.diskFetches[disk].Add(1)
+			s.met.pagesRead.Add(int64(pages))
+		}
+		req.resp <- fetchResp{id: req.id, pts: pts, pages: pages, err: err}
+	}
+}
+
+// fetchBuckets routes each bucket to its disk's I/O goroutine and gathers
+// the results. The response channel is buffered for every request, so disk
+// goroutines never block on an abandoned (deadline-expired) query.
+func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geom.Point, QueryInfo, error) {
+	var info QueryInfo
+	resp := make(chan fetchResp, len(ids))
+	submitted := 0
+	for _, id := range ids {
+		pl, ok := s.st.Placement(id)
+		if !ok {
+			return nil, info, fmt.Errorf("bucket %d not in store", id)
+		}
+		select {
+		case s.fetchCh[pl.Disk] <- fetchReq{id: id, ctx: ctx, resp: resp}:
+			submitted++
+		case <-ctx.Done():
+			return nil, info, ctx.Err()
+		}
+	}
+	out := make(map[int32][]geom.Point, submitted)
+	for i := 0; i < submitted; i++ {
+		select {
+		case r := <-resp:
+			if r.err != nil {
+				return nil, info, r.err
+			}
+			out[r.id] = r.pts
+			info.Buckets++
+			info.Pages += r.pages
+		case <-ctx.Done():
+			return nil, info, ctx.Err()
+		}
+	}
+	return out, info, nil
+}
+
+func (s *Server) pointQuery(ctx context.Context, key geom.Point) (Result, error) {
+	id, ok := s.grid.BucketAt(key)
+	if !ok {
+		return Result{}, fmt.Errorf("key %v outside the domain", key)
+	}
+	got, info, err := s.fetchBuckets(ctx, []int32{id})
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	res.Info = info
+	for _, p := range got[id] {
+		if pointsEqual(p, key) {
+			res.Points = append(res.Points, p)
+		}
+	}
+	res.Count = len(res.Points)
+	return res, nil
+}
+
+func (s *Server) rangeQuery(ctx context.Context, q geom.Rect, countOnly bool) (Result, error) {
+	ids := s.bucketsInRange(q)
+	got, info, err := s.fetchBuckets(ctx, ids)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	res.Info = info
+	for _, id := range ids {
+		for _, p := range got[id] {
+			if q.ContainsPoint(p) {
+				res.Count++
+				if !countOnly {
+					res.Points = append(res.Points, p)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func (s *Server) partialQuery(ctx context.Context, vals []float64) (Result, error) {
+	dom := s.grid.Domain()
+	q := make(geom.Rect, len(vals))
+	for d, v := range vals {
+		if math.IsNaN(v) {
+			q[d] = dom[d]
+		} else {
+			q[d] = geom.Interval{Lo: v, Hi: v}
+		}
+	}
+	res, err := s.rangeQuery(ctx, q, false)
+	if err != nil {
+		return Result{}, err
+	}
+	// Range containment already requires equality on the specified
+	// (degenerate) intervals; nothing further to filter.
+	return res, nil
+}
+
+// knnQuery finds the k nearest stored points by growing a range box around
+// the key — the grid file's classic expanding-search strategy, executed
+// against the page store so every probe is real declustered I/O. Buckets
+// are fetched at most once per query.
+func (s *Server) knnQuery(ctx context.Context, key geom.Point, k int) (Result, error) {
+	dom := s.grid.Domain()
+	if err := domContains(dom, key); err != nil {
+		return Result{}, err
+	}
+	// Initial radius: one average cell extent, so the first probe touches
+	// roughly the cell neighbourhood of the key.
+	r := 0.0
+	for d, n := range s.grid.CellSizes() {
+		if ext := dom[d].Length() / float64(n); ext > r {
+			r = ext
+		}
+	}
+	if r <= 0 {
+		r = 1
+	}
+
+	type cand struct {
+		p    geom.Point
+		dist float64
+	}
+	fetched := make(map[int32][]geom.Point)
+	var info QueryInfo
+	for {
+		q := make(geom.Rect, len(key))
+		covers := true
+		for d := range key {
+			q[d] = geom.Interval{
+				Lo: math.Max(key[d]-r, dom[d].Lo),
+				Hi: math.Min(key[d]+r, dom[d].Hi),
+			}
+			if q[d].Lo > dom[d].Lo || q[d].Hi < dom[d].Hi {
+				covers = false
+			}
+		}
+		ids := s.bucketsInRange(q)
+		var fresh []int32
+		for _, id := range ids {
+			if _, ok := fetched[id]; !ok {
+				fresh = append(fresh, id)
+			}
+		}
+		got, fi, err := s.fetchBuckets(ctx, fresh)
+		if err != nil {
+			return Result{}, err
+		}
+		info.Buckets += fi.Buckets
+		info.Pages += fi.Pages
+		for id, pts := range got {
+			fetched[id] = pts
+		}
+
+		var cands []cand
+		for _, pts := range fetched {
+			for _, p := range pts {
+				cands = append(cands, cand{p: p, dist: euclid(p, key)})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+		// Done when the k-th distance is inside the probed radius (no
+		// unfetched point can be closer) or the box covers the domain.
+		if covers || (len(cands) >= k && cands[k-1].dist <= r) {
+			n := min(k, len(cands))
+			res := Result{Points: make([]geom.Point, 0, n), Info: info}
+			for _, c := range cands[:n] {
+				res.Points = append(res.Points, c.p)
+			}
+			res.Count = n
+			return res, nil
+		}
+		r *= 2
+	}
+}
+
+func pointsEqual(a, b geom.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func euclid(a, b geom.Point) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func domContains(dom geom.Rect, p geom.Point) error {
+	for d := range p {
+		if !dom[d].Contains(p[d]) {
+			return fmt.Errorf("key %v outside the domain", p)
+		}
+	}
+	return nil
+}
+
+func (s *Server) stopFetchers() {
+	for _, ch := range s.fetchCh {
+		close(ch)
+	}
+	s.fetchWg.Wait()
+}
+
+// Close shuts the server down gracefully: stop accepting, let in-flight
+// queries finish (up to DrainTimeout, then force-close), stop the disk
+// goroutines and the HTTP endpoint. Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	// Unblock handlers parked in ReadFrame; handlers mid-query keep their
+	// write path and finish their current reply.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	s.ln.Close()
+	s.acceptWg.Wait()
+
+	if !waitTimeout(&s.connWg, s.cfg.DrainTimeout) {
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.connWg.Wait()
+	}
+	s.stopFetchers()
+
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	if s.ownsStore {
+		s.st.Close()
+	}
+	return nil
+}
+
+// waitTimeout waits for wg up to d; it reports whether the wait completed.
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	ch := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	select {
+	case <-ch:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}

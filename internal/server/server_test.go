@@ -1,0 +1,538 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+	"pgridfile/internal/store"
+	"pgridfile/internal/synth"
+	"pgridfile/internal/workload"
+)
+
+// newTestLayout builds a uniform 2-D grid file, declusters it with minimax
+// over disks, and writes the layout under t.TempDir.
+func newTestLayout(t *testing.T, records, disks int) (*gridfile.File, string) {
+	t.Helper()
+	f, err := synth.Uniform2D(records, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(core.FromGridFile(f), disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := store.Write(dir, f, alloc, 4096); err != nil {
+		t.Fatal(err)
+	}
+	return f, dir
+}
+
+func newTestServer(t *testing.T, records, disks int, cfg Config) (*Server, *gridfile.File) {
+	t.Helper()
+	f, dir := newTestLayout(t, records, disks)
+	s, err := OpenDir(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, f
+}
+
+func newTestClient(t *testing.T, s *Server, cfg ClientConfig) *Client {
+	t.Helper()
+	cfg.Addr = s.Addr().String()
+	c, err := NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestServerEndToEnd is the acceptance demo: 16 concurrent clients issue
+// over 1000 mixed point/range/count/k-NN/partial queries against a
+// minimax-declustered store, every answer is validated against the
+// in-memory grid file, zero errors are tolerated, and the STATS verb must
+// report the query counts, per-disk bucket fetches and latency percentiles.
+func TestServerEndToEnd(t *testing.T) {
+	const (
+		clients   = 16
+		perClient = 64
+		total     = clients * perClient // 1024 >= 1000
+		disks     = 4
+		k         = 5
+	)
+	s, f := newTestServer(t, 900, disks, Config{MaxInflight: 32})
+	dom := f.Domain()
+
+	// Pre-generate the workload and precompute expected answers against
+	// the in-memory grid file (sequentially: the grid file's range search
+	// reuses scratch space and is not itself safe for concurrent use).
+	ranges := workload.SquareRange(dom, 0.05, total, 7)
+	partials := workload.PartialMatch(dom, 1, total, 9)
+	var keys []geom.Point
+	f.Scan(func(key []float64, _ []byte) bool {
+		keys = append(keys, geom.Point{key[0], key[1]})
+		return len(keys) < total
+	})
+	if len(keys) == 0 {
+		t.Fatal("no records")
+	}
+
+	wantRange := make([]int, total)
+	wantLookup := make([]int, total)
+	wantKNN := make([][]float64, total)
+	wantPartial := make([]int, total)
+	for i := 0; i < total; i++ {
+		wantRange[i] = f.RangeCount(ranges[i])
+		p := keys[i%len(keys)]
+		wantLookup[i] = len(f.Lookup(p))
+		nn := f.NearestNeighbors(p, k)
+		dists := make([]float64, len(nn))
+		for j, n := range nn {
+			dists[j] = n.Distance
+		}
+		wantKNN[i] = dists
+		wantPartial[i] = len(f.PartialMatch(partials[i]))
+	}
+
+	errCh := make(chan error, total)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := NewClientMust(t, s)
+			defer cl.Close()
+			for j := 0; j < perClient; j++ {
+				i := c*perClient + j
+				var err error
+				switch i % 8 {
+				case 0, 1: // range returning points
+					pts, _, e := cl.Range(ranges[i])
+					err = e
+					if e == nil && len(pts) != wantRange[i] {
+						err = fmt.Errorf("range %d: got %d points, want %d", i, len(pts), wantRange[i])
+					}
+					for _, p := range pts {
+						if err == nil && !ranges[i].ContainsPoint(p) {
+							err = fmt.Errorf("range %d: point %v outside query", i, p)
+						}
+					}
+				case 2, 3: // count-only range
+					n, info, e := cl.RangeCount(ranges[i])
+					err = e
+					if e == nil && n != wantRange[i] {
+						err = fmt.Errorf("count %d: got %d, want %d", i, n, wantRange[i])
+					}
+					if e == nil && n > 0 && info.Buckets == 0 {
+						err = fmt.Errorf("count %d: %d records from zero bucket fetches", i, n)
+					}
+				case 4, 5: // exact point lookup of a stored key
+					pts, _, e := cl.Point(keys[i%len(keys)])
+					err = e
+					if e == nil && len(pts) != wantLookup[i] {
+						err = fmt.Errorf("point %d: got %d, want %d", i, len(pts), wantLookup[i])
+					}
+				case 6: // k nearest neighbours
+					pts, _, e := cl.KNN(keys[i%len(keys)], k)
+					err = e
+					if e == nil {
+						if len(pts) != len(wantKNN[i]) {
+							err = fmt.Errorf("knn %d: got %d, want %d", i, len(pts), len(wantKNN[i]))
+						}
+						for j, p := range pts {
+							if err != nil {
+								break
+							}
+							d := euclid(p, keys[i%len(keys)])
+							if math.Abs(d-wantKNN[i][j]) > 1e-9 {
+								err = fmt.Errorf("knn %d: distance %d is %v, want %v", i, j, d, wantKNN[i][j])
+							}
+						}
+					}
+				case 7: // partial match
+					pts, _, e := cl.PartialMatch(partials[i])
+					err = e
+					if e == nil && len(pts) != wantPartial[i] {
+						err = fmt.Errorf("partial %d: got %d, want %d", i, len(pts), wantPartial[i])
+					}
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The STATS verb must account for everything the clients did.
+	cl := NewClientMust(t, s)
+	defer cl.Close()
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Errors != 0 || snap.Rejected != 0 {
+		t.Errorf("errors=%d rejected=%d, want 0/0", snap.Errors, snap.Rejected)
+	}
+	counted := snap.Queries["range"] + snap.Queries["point"] +
+		snap.Queries["knn"] + snap.Queries["partial"]
+	if counted != total {
+		t.Errorf("data queries counted = %d, want %d (%v)", counted, total, snap.Queries)
+	}
+	if snap.Queries["range"] != total/2 {
+		t.Errorf("range queries = %d, want %d", snap.Queries["range"], total/2)
+	}
+	if len(snap.DiskFetches) != disks {
+		t.Fatalf("disk fetch counters = %d, want %d", len(snap.DiskFetches), disks)
+	}
+	var fetches int64
+	for d, n := range snap.DiskFetches {
+		if n == 0 {
+			t.Errorf("disk %d served zero bucket fetches", d)
+		}
+		fetches += n
+	}
+	if fetches == 0 || snap.PagesRead < fetches {
+		t.Errorf("fetches=%d pages=%d: pages must cover fetches", fetches, snap.PagesRead)
+	}
+	lat := snap.LatencyMicros
+	if lat.Count != total {
+		t.Errorf("latency observations = %d, want %d", lat.Count, total)
+	}
+	if lat.Max <= 0 || lat.P99 < lat.P50 || lat.P50 < 0 {
+		t.Errorf("implausible latency summary: %+v", lat)
+	}
+	if snap.Dims != 2 || snap.Disks != disks || len(snap.Domain) != 2 {
+		t.Errorf("layout description wrong: %+v", snap)
+	}
+}
+
+// NewClientMust is a shorthand used by concurrent test goroutines.
+func NewClientMust(t *testing.T, s *Server) *Client {
+	c, err := NewClient(ClientConfig{Addr: s.Addr().String()})
+	if err != nil {
+		t.Error(err)
+		return nil
+	}
+	return c
+}
+
+// TestServerRejectsMalformedStream sends hostile bytes to a live server:
+// the connection must be answered with an error or closed, and the server
+// must keep serving well-formed clients afterwards.
+func TestServerRejectsMalformedStream(t *testing.T) {
+	s, f := newTestServer(t, 200, 2, Config{})
+
+	// An oversized length prefix must draw an error reply, not a crash.
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], MaxFrameBytes+1)
+	hdr[4] = byte(VerbPoint)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("no error reply to oversized frame: %v", err)
+	}
+	if fr.Verb != VerbError {
+		t.Errorf("got verb 0x%02x, want error", uint8(fr.Verb))
+	}
+	conn.Close()
+
+	// Garbage that parses as a frame but not as a request: error reply,
+	// connection stays usable.
+	conn2, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := WriteFrame(conn2, Frame{Verb: VerbPoint, Payload: []byte{0xDE, 0xAD}}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err = ReadFrame(conn2)
+	if err != nil || fr.Verb != VerbError {
+		t.Fatalf("malformed request not answered with error: %v %v", fr.Verb, err)
+	}
+
+	// The server is still healthy for a real client.
+	cl := newTestClient(t, s, ClientConfig{})
+	n, _, err := cl.RangeCount(f.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != f.Len() {
+		t.Errorf("full-domain count = %d, want %d", n, f.Len())
+	}
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Errors < 2 {
+		t.Errorf("protocol errors counted = %d, want >= 2", snap.Errors)
+	}
+}
+
+// TestServerDeadlines slows every bucket fetch down and proves a query
+// whose I/O cannot finish within the deadline is answered with an error
+// while the server stays healthy.
+func TestServerDeadlines(t *testing.T) {
+	s, f := newTestServer(t, 600, 2, Config{
+		QueryTimeout: 100 * time.Millisecond,
+		slowFetch:    25 * time.Millisecond,
+	})
+	cl := newTestClient(t, s, ClientConfig{Retries: -1})
+
+	// A full-domain range touches every bucket; two disks at 25ms per
+	// fetch cannot finish inside 60ms.
+	_, _, err := cl.Range(f.Domain())
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want a server error", err)
+	}
+	if !strings.Contains(se.Msg, "deadline") && !strings.Contains(se.Msg, "busy") {
+		t.Errorf("unexpected deadline message: %q", se.Msg)
+	}
+
+	// A single-bucket point query fits in the deadline; stats still serve.
+	var key geom.Point
+	f.Scan(func(k []float64, _ []byte) bool { key = geom.Point{k[0], k[1]}; return false })
+	if _, _, err := cl.Point(key); err != nil {
+		t.Fatalf("single-bucket query after timeout: %v", err)
+	}
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rejected == 0 {
+		t.Error("deadline expiry not counted as rejection")
+	}
+}
+
+// TestServerAdmissionControl saturates a MaxInflight=1 server: with a
+// generous deadline everything is served (backpressure, not failure); with
+// a tight one the overload is rejected rather than queued forever.
+func TestServerAdmissionControl(t *testing.T) {
+	s, f := newTestServer(t, 300, 2, Config{
+		MaxInflight:  1,
+		QueryTimeout: 2 * time.Second,
+		slowFetch:    5 * time.Millisecond,
+	})
+	var key geom.Point
+	f.Scan(func(k []float64, _ []byte) bool { key = geom.Point{k[0], k[1]}; return false })
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := NewClientMust(t, s)
+			defer cl.Close()
+			if _, _, err := cl.Point(key); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("backpressured query failed: %v", err)
+	}
+
+	tight, fTight := newTestServer(t, 300, 2, Config{
+		MaxInflight:  1,
+		QueryTimeout: 30 * time.Millisecond,
+		slowFetch:    50 * time.Millisecond,
+	})
+	var wg2 sync.WaitGroup
+	rejected := make(chan struct{}, 4)
+	for i := 0; i < 4; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			cl, err := NewClient(ClientConfig{Addr: tight.Addr().String(), Retries: -1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			if _, _, err := cl.RangeCount(fTight.Domain()); err != nil {
+				var se *ServerError
+				if errors.As(err, &se) {
+					rejected <- struct{}{}
+				} else {
+					t.Errorf("transport error under overload: %v", err)
+				}
+			}
+		}()
+	}
+	wg2.Wait()
+	if len(rejected) == 0 {
+		t.Error("overloaded server rejected nothing")
+	}
+}
+
+// TestGracefulShutdown proves Close drains: queries in flight when Close is
+// called complete and deliver their replies; new connections are refused
+// afterwards.
+func TestGracefulShutdown(t *testing.T) {
+	s, f := newTestServer(t, 400, 2, Config{
+		slowFetch:    10 * time.Millisecond,
+		DrainTimeout: 5 * time.Second,
+	})
+
+	started := make(chan struct{}, 4)
+	results := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			cl, err := NewClient(ClientConfig{Addr: s.Addr().String(), Retries: -1})
+			if err != nil {
+				results <- err
+				return
+			}
+			defer cl.Close()
+			started <- struct{}{}
+			n, _, err := cl.RangeCount(f.Domain())
+			if err == nil && n != f.Len() {
+				err = fmt.Errorf("drained query returned %d of %d records", n, f.Len())
+			}
+			results <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-started
+	}
+	time.Sleep(20 * time.Millisecond) // let the queries reach the disks
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("in-flight query during shutdown: %v", err)
+		}
+	}
+
+	if _, err := net.DialTimeout("tcp", s.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting after Close")
+	}
+	s.Close() // idempotent
+}
+
+// TestServerGridStoreMismatch proves New refuses to serve a store written
+// from a different grid file.
+func TestServerGridStoreMismatch(t *testing.T) {
+	_, dir := newTestLayout(t, 300, 2)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	other, err := synth.Uniform2D(500, 99).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(other, st, Config{}); err == nil {
+		t.Error("mismatched grid accepted")
+	}
+}
+
+// TestClientRetriesExhausted proves the client surfaces transport failures
+// after its retry budget instead of hanging.
+func TestClientRetriesExhausted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { // accept and immediately hang up, forever
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	defer ln.Close()
+
+	cl, err := NewClient(ClientConfig{
+		Addr: ln.Addr().String(), Retries: 2, Backoff: time.Millisecond,
+		RequestTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, _, err = cl.Point(geom.Point{1, 2})
+	if err == nil {
+		t.Fatal("request against hang-up server succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Errorf("retry accounting missing from error: %v", err)
+	}
+}
+
+// TestHTTPEndpoints exercises the optional /metrics and /healthz listener.
+func TestHTTPEndpoints(t *testing.T) {
+	s, f := newTestServer(t, 200, 2, Config{HTTPAddr: "127.0.0.1:0"})
+	cl := newTestClient(t, s, ClientConfig{})
+	if _, _, err := cl.RangeCount(f.Domain()); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		conn, err := net.Dial("tcp", s.HTTPAddr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		fmt.Fprintf(conn, "GET %s HTTP/1.0\r\n\r\n", path)
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		for {
+			n, err := conn.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, `gridserver_queries_total{verb="range"} 1`) {
+		t.Errorf("metrics missing range counter:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "gridserver_disk_bucket_fetches_total") {
+		t.Errorf("metrics missing per-disk fetches:\n%s", metrics)
+	}
+	health := get("/healthz")
+	if !strings.Contains(health, `"status":"ok"`) {
+		t.Errorf("healthz not ok:\n%s", health)
+	}
+}

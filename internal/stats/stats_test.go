@@ -121,3 +121,25 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("escaped row = %q", lines[4])
 	}
 }
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5} // unsorted on purpose; must not be mutated
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 9 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 150); got != 9 {
+		t.Errorf("clamped p150 = %v", got)
+	}
+	if xs[0] != 9 {
+		t.Error("Percentile mutated its input")
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+}

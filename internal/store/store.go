@@ -3,6 +3,7 @@
 // corresponding to every disk being simulated". A layout directory holds
 //
 //	manifest.json   grid metadata, page size and the bucket placement map
+//	grid.grd        the grid file's scales and directory (coordinator state)
 //	disk000.dat …   one page file per disk; each bucket occupies one or
 //	                more consecutive pages on its assigned disk
 //
@@ -10,6 +11,12 @@
 // the overfull duplicate-key case) spans consecutive pages. The reader
 // serves individual buckets with real file I/O, so experiments can be run
 // against actual per-disk files rather than in-memory structures.
+//
+// A Store is safe for concurrent readers: ReadBucket addresses pages with
+// pread-style ReadAt calls on per-disk file handles and mutates no shared
+// state, so any number of goroutines may fetch buckets simultaneously —
+// the property the network query service (internal/server) relies on for
+// its per-disk I/O goroutines.
 package store
 
 import (
@@ -40,11 +47,11 @@ type Placement struct {
 
 // Manifest describes a layout directory.
 type Manifest struct {
-	Disks     int         `json:"disks"`
-	Dims      int         `json:"dims"`
-	PageBytes int         `json:"page_bytes"`
+	Disks     int          `json:"disks"`
+	Dims      int          `json:"dims"`
+	PageBytes int          `json:"page_bytes"`
 	Domain    [][2]float64 `json:"domain"`
-	Buckets   []Placement `json:"buckets"`
+	Buckets   []Placement  `json:"buckets"`
 }
 
 // recordsPerPage returns how many dims-dimensional keys fit in a page.
@@ -132,6 +139,21 @@ func Write(dir string, f *gridfile.File, alloc core.Allocation, pageBytes int) (
 		}
 	}
 
+	// Embed the grid file itself so the layout is self-contained: a server
+	// can reopen the coordinator's scales and directory (whose bucket ids
+	// the manifest placements refer to) from the layout directory alone.
+	gf, err := os.Create(filepath.Join(dir, gridFileName))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteTo(gf); err != nil {
+		gf.Close()
+		return nil, err
+	}
+	if err := gf.Close(); err != nil {
+		return nil, err
+	}
+
 	manifest, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return nil, err
@@ -182,8 +204,29 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
+// OpenGrid loads the grid file embedded in a layout directory by Write.
+// Its bucket ids are the ones the manifest placements (and ReadBucket)
+// address.
+func OpenGrid(dir string) (*gridfile.File, error) {
+	fh, err := os.Open(filepath.Join(dir, gridFileName))
+	if err != nil {
+		return nil, fmt.Errorf("store: layout has no embedded grid file: %w", err)
+	}
+	defer fh.Close()
+	return gridfile.Read(fh)
+}
+
 // Manifest returns the layout description.
 func (s *Store) Manifest() Manifest { return s.manifest }
+
+// Placement reports where one bucket lives, and whether it exists.
+func (s *Store) Placement(id int32) (Placement, bool) {
+	pl, ok := s.byID[id]
+	return pl, ok
+}
+
+// Disks returns the number of disk files in the layout.
+func (s *Store) Disks() int { return s.manifest.Disks }
 
 // Domain reconstructs the grid file's domain.
 func (s *Store) Domain() geom.Rect {
@@ -196,7 +239,9 @@ func (s *Store) Domain() geom.Rect {
 
 // ReadBucket fetches one bucket's keys from its disk file. The returned
 // slice is freshly allocated. It also reports the number of pages read
-// (the I/O the paper's response-time metric charges).
+// (the I/O the paper's response-time metric charges). ReadBucket is safe
+// for concurrent use: it reads pages with positioned ReadAt calls (pread)
+// and touches no mutable Store state.
 func (s *Store) ReadBucket(id int32) ([]geom.Point, int, error) {
 	pl, ok := s.byID[id]
 	if !ok {
@@ -258,6 +303,9 @@ func (s *Store) Close() {
 }
 
 func diskFileName(d int) string { return fmt.Sprintf("disk%03d.dat", d) }
+
+// gridFileName is the embedded grid file within a layout directory.
+const gridFileName = "grid.grd"
 
 func floatBits(v float64) uint64 { return math.Float64bits(v) }
 func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,8 +1,10 @@
 package store
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"pgridfile/internal/core"
@@ -198,4 +200,84 @@ func TestDomainRoundTrip(t *testing.T) {
 		}
 	}
 	_ = geom.Rect(got)
+}
+
+// TestConcurrentReaders hammers ReadBucket from many goroutines at once;
+// under -race this is the regression test for the store's documented
+// concurrent-reader safety (the server's per-disk I/O goroutines depend
+// on it).
+func TestConcurrentReaders(t *testing.T) {
+	dir, f, _ := buildLayout(t, 4, 4096)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	views := f.Buckets()
+	want := make(map[int32]int, len(views))
+	for _, v := range views {
+		want[v.ID] = v.Records
+	}
+
+	const readers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				for j := range views {
+					v := views[(j+r)%len(views)] // stagger the access order
+					pts, _, err := s.ReadBucket(v.ID)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(pts) != want[v.ID] {
+						errs <- fmt.Errorf("bucket %d: %d records, want %d",
+							v.ID, len(pts), want[v.ID])
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestOpenGrid proves the grid file embedded by Write round-trips and its
+// bucket ids agree with the manifest placements.
+func TestOpenGrid(t *testing.T) {
+	dir, f, _ := buildLayout(t, 4, 4096)
+	g, err := OpenGrid(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != f.Len() || g.NumBuckets() != f.NumBuckets() {
+		t.Fatalf("embedded grid: %d recs / %d buckets, want %d / %d",
+			g.Len(), g.NumBuckets(), f.Len(), f.NumBuckets())
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, v := range g.Buckets() {
+		pl, ok := s.Placement(v.ID)
+		if !ok {
+			t.Fatalf("embedded grid bucket %d missing from manifest", v.ID)
+		}
+		if pl.Recs != v.Records {
+			t.Fatalf("bucket %d: manifest has %d records, grid %d", v.ID, pl.Recs, v.Records)
+		}
+	}
+	if _, err := OpenGrid(t.TempDir()); err == nil {
+		t.Error("OpenGrid succeeded on a directory without a layout")
+	}
 }

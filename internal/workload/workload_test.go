@@ -7,8 +7,8 @@ import (
 	"pgridfile/internal/geom"
 )
 
-func dom2() geom.Rect  { return geom.NewRect([]float64{0, 0}, []float64{2000, 2000}) }
-func dom4() geom.Rect  { return geom.NewRect([]float64{0, 0, 0, 0}, []float64{59, 2000, 2000, 2000}) }
+func dom2() geom.Rect { return geom.NewRect([]float64{0, 0}, []float64{2000, 2000}) }
+func dom4() geom.Rect { return geom.NewRect([]float64{0, 0, 0, 0}, []float64{59, 2000, 2000, 2000}) }
 
 func TestSquareRangeSizing(t *testing.T) {
 	dom := dom2()

@@ -1,0 +1,39 @@
+#!/bin/sh
+# check.sh — the full local gate. Everything a PR must pass, in order of
+# increasing cost:
+#
+#   1. gofmt       formatting drift
+#   2. go vet      static misuse
+#   3. go build    every package compiles
+#   4. go test     full suite under the race detector
+#   5. fuzz smoke  short runs of the protocol and codec fuzz targets
+#
+# The quick tier-1 gate (go build ./... && go test ./...) is a subset; run
+# this script before sending a PR. Usage: scripts/check.sh [fuzztime]
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-5s}"
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz smoke ($FUZZTIME each)"
+go test -run='^$' -fuzz=FuzzCodec -fuzztime="$FUZZTIME" ./internal/server
+go test -run='^$' -fuzz=FuzzRead -fuzztime="$FUZZTIME" ./internal/gridfile
+
+echo "check.sh: all green"
