@@ -3,8 +3,9 @@
 
 GO ?= go
 FUZZTIME ?= 5s
+BENCHTIME ?= 2000x
 
-.PHONY: all build test race check fmt vet fuzz bench clean
+.PHONY: all build test race check fmt vet fuzz bench bench-all clean
 
 all: build
 
@@ -30,7 +31,13 @@ fuzz:
 check:
 	sh scripts/check.sh $(FUZZTIME)
 
+# The serving-path suite: server throughput (baseline vs tuned) plus the
+# translation micro-benchmarks, parsed into BENCH_server.json.
 bench:
+	sh scripts/bench.sh $(BENCHTIME)
+
+# Everything, one iteration each: a smoke pass over the full benchmark set.
+bench-all:
 	$(GO) test -bench=. -benchtime=1x .
 
 clean:

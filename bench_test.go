@@ -415,73 +415,106 @@ func BenchmarkReplayWorkload(b *testing.B) {
 
 // BenchmarkServerThroughput measures end-to-end queries/second of the
 // network query service (internal/server) over real per-disk files, under
-// two declustering schemes. The workload is count-only range queries from
-// 8 closed-loop clients, so the numbers isolate how well the allocation
-// spreads bucket fetches across the per-disk I/O goroutines.
+// two declustering schemes and two server configurations: baseline (no
+// bucket cache, one read per bucket — the service's original hot path) and
+// tuned (sharded bucket cache + coalesced per-disk reads, the defaults).
+// The workload is count-only range queries from 8 closed-loop clients, so
+// the numbers isolate how well the allocation spreads bucket fetches across
+// the per-disk I/O goroutines and how much of that I/O the cache absorbs.
+// Each variant also reports client-observed p50/p95/p99 latency and the
+// run's cache hit rate.
 //
 //	go test -bench=ServerThroughput -benchtime=2000x
 func BenchmarkServerThroughput(b *testing.B) {
+	configs := []struct {
+		name string
+		cfg  server.Config
+	}{
+		{"baseline", server.Config{MaxInflight: 32, CacheBytes: -1, DisableCoalesce: true}},
+		{"tuned", server.Config{MaxInflight: 32}},
+	}
 	for _, scheme := range []string{"minimax", "DM/D"} {
-		b.Run(strings.ReplaceAll(scheme, "/", "-"), func(b *testing.B) {
-			f, err := synth.Uniform2D(3000, 7).Build()
-			if err != nil {
-				b.Fatal(err)
-			}
-			g := core.FromGridFile(f)
-			var allocator core.Allocator
-			if scheme == "minimax" {
-				allocator = &core.Minimax{Seed: 1}
-			} else {
-				allocator, err = core.NewIndexBased("DM", "D", 1)
+		for _, c := range configs {
+			b.Run(strings.ReplaceAll(scheme, "/", "-")+"/"+c.name, func(b *testing.B) {
+				f, err := synth.Uniform2D(3000, 7).Build()
 				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			alloc, err := allocator.Decluster(g, 8)
-			if err != nil {
-				b.Fatal(err)
-			}
-			dir := b.TempDir()
-			if _, err := store.Write(dir, f, alloc, 4096); err != nil {
-				b.Fatal(err)
-			}
-			s, err := server.OpenDir(dir, server.Config{MaxInflight: 32})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer s.Close()
-			cl, err := server.NewClient(server.ClientConfig{
-				Addr: s.Addr().String(), PoolSize: 8,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer cl.Close()
-			ranges := workload.SquareRange(f.Domain(), 0.02, 512, 3)
-
-			const clients = 8
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			b.ResetTimer()
-			start := time.Now()
-			for w := 0; w < clients; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						i := int(next.Add(1)) - 1
-						if i >= b.N {
-							return
-						}
-						if _, _, err := cl.RangeCount(ranges[i%len(ranges)]); err != nil {
-							b.Error(err)
-							return
-						}
+				g := core.FromGridFile(f)
+				var allocator core.Allocator
+				if scheme == "minimax" {
+					allocator = &core.Minimax{Seed: 1}
+				} else {
+					allocator, err = core.NewIndexBased("DM", "D", 1)
+					if err != nil {
+						b.Fatal(err)
 					}
-				}()
-			}
-			wg.Wait()
-			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/s")
-		})
+				}
+				alloc, err := allocator.Decluster(g, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dir := b.TempDir()
+				if _, err := store.Write(dir, f, alloc, 4096); err != nil {
+					b.Fatal(err)
+				}
+				s, err := server.OpenDir(dir, c.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				cl, err := server.NewClient(server.ClientConfig{
+					Addr: s.Addr().String(), PoolSize: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer cl.Close()
+				ranges := workload.SquareRange(f.Domain(), 0.02, 512, 3)
+
+				const clients = 8
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				lats := make([][]float64, clients) // per-worker, merged after
+				b.ResetTimer()
+				start := time.Now()
+				for w := 0; w < clients; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= b.N {
+								return
+							}
+							t0 := time.Now()
+							if _, _, err := cl.RangeCount(ranges[i%len(ranges)]); err != nil {
+								b.Error(err)
+								return
+							}
+							lats[w] = append(lats[w], float64(time.Since(t0).Microseconds())/1000)
+						}
+					}(w)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+
+				var all []float64
+				for _, l := range lats {
+					all = append(all, l...)
+				}
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+				b.ReportMetric(stats.Percentile(all, 50), "p50-ms")
+				b.ReportMetric(stats.Percentile(all, 95), "p95-ms")
+				b.ReportMetric(stats.Percentile(all, 99), "p99-ms")
+				hitRate := 0.0
+				if cs := s.Snapshot().Cache; cs != nil {
+					if total := cs.Hits + cs.Shared + cs.Misses; total > 0 {
+						hitRate = float64(cs.Hits+cs.Shared) / float64(total)
+					}
+				}
+				b.ReportMetric(hitRate, "cache-hit-rate")
+			})
+		}
 	}
 }

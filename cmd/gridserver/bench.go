@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pgridfile/internal/cache"
 	"pgridfile/internal/core"
 	"pgridfile/internal/geom"
 	"pgridfile/internal/gridfile"
@@ -42,22 +44,26 @@ func parseAllocator(name string, seed int64) (core.Allocator, error) {
 }
 
 type benchOpts struct {
-	clients int
-	queries int
-	ratio   float64
-	k       int
-	seed    int64
-	timeout time.Duration
+	clients    int
+	queries    int
+	ratio      float64
+	k          int
+	seed       int64
+	timeout    time.Duration
+	cacheBytes int64 // in-process servers only; <=0 disables
+	coalesce   bool  // in-process servers only
 }
 
 type benchRow struct {
-	scheme    string
-	queries   int
-	errors    int
-	qps       float64
-	p50, p95  float64 // client-observed latency, milliseconds
-	p99       float64
-	imbalance float64 // max/mean bucket fetches across disks (server stats)
+	Scheme    string  `json:"scheme"`
+	Queries   int     `json:"queries"`
+	Errors    int     `json:"errors"`
+	QPS       float64 `json:"qps"`
+	P50       float64 `json:"p50_ms"` // client-observed latency, milliseconds
+	P95       float64 `json:"p95_ms"`
+	P99       float64 `json:"p99_ms"`
+	Imbalance float64 `json:"fetch_imbalance"` // max/mean bucket fetches across disks
+	HitRate   float64 `json:"cache_hit_rate"`  // hits / (hits+misses+shared) over the run
 }
 
 func runBench(args []string, out io.Writer) error {
@@ -74,11 +80,15 @@ func runBench(args []string, out io.Writer) error {
 	k := fs.Int("k", 5, "k for k-NN queries")
 	seed := fs.Int64("seed", 1, "workload seed")
 	timeout := fs.Duration("timeout", 10*time.Second, "client request timeout")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "bucket cache budget for in-process servers (<=0 disables)")
+	coalesce := fs.Bool("coalesce", true, "coalesce adjacent page reads (in-process servers)")
+	jsonPath := fs.String("json", "", "also write the result rows as JSON to this file")
 	fs.Parse(args)
 
 	opts := benchOpts{
 		clients: *clients, queries: *queries, ratio: *ratio,
 		k: *k, seed: *seed, timeout: *timeout,
+		cacheBytes: *cacheBytes, coalesce: *coalesce,
 	}
 	modes := 0
 	for _, set := range []bool{*addr != "", *dir != "", *grid != ""} {
@@ -92,10 +102,12 @@ func runBench(args []string, out io.Writer) error {
 
 	table := stats.NewTable("gridserver bench: closed-loop, "+
 		fmt.Sprintf("%d clients, %d queries/scheme", opts.clients, opts.queries),
-		"scheme", "queries", "errors", "qps", "p50 ms", "p95 ms", "p99 ms", "fetch imbalance")
+		"scheme", "queries", "errors", "qps", "p50 ms", "p95 ms", "p99 ms", "fetch imbalance", "cache hit")
 
+	var rows []benchRow
 	addRow := func(r benchRow) {
-		table.AddRow(r.scheme, r.queries, r.errors, r.qps, r.p50, r.p95, r.p99, r.imbalance)
+		rows = append(rows, r)
+		table.AddRow(r.Scheme, r.Queries, r.Errors, r.QPS, r.P50, r.P95, r.P99, r.Imbalance, r.HitRate)
 	}
 
 	switch {
@@ -149,13 +161,25 @@ func runBench(args []string, out io.Writer) error {
 		}
 	}
 	fmt.Fprint(out, table.Render())
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // benchStore serves a layout in-process on an ephemeral port and runs the
 // load against it.
 func benchStore(dir, label string, opts benchOpts) (benchRow, error) {
-	s, err := server.OpenDir(dir, server.Config{})
+	s, err := server.OpenDir(dir, server.Config{
+		CacheBytes:      cacheFlag(opts.cacheBytes),
+		DisableCoalesce: !opts.coalesce,
+	})
 	if err != nil {
 		return benchRow{}, err
 	}
@@ -241,18 +265,38 @@ func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
 	elapsed := time.Since(start)
 
 	row := benchRow{
-		scheme:  label,
-		queries: opts.queries,
-		errors:  errors,
-		qps:     float64(opts.queries) / elapsed.Seconds(),
-		p50:     stats.Percentile(lats, 50),
-		p95:     stats.Percentile(lats, 95),
-		p99:     stats.Percentile(lats, 99),
+		Scheme:  label,
+		Queries: opts.queries,
+		Errors:  errors,
+		QPS:     float64(opts.queries) / elapsed.Seconds(),
+		P50:     stats.Percentile(lats, 50),
+		P95:     stats.Percentile(lats, 95),
+		P99:     stats.Percentile(lats, 99),
 	}
 	if after, err := c.Stats(); err == nil {
-		row.imbalance = fetchImbalance(after.DiskFetches)
+		row.Imbalance = fetchImbalance(after.DiskFetches)
+		row.HitRate = hitRateDelta(snap.Cache, after.Cache)
 	}
 	return row, nil
+}
+
+// hitRateDelta computes the cache hit fraction over one bench run from the
+// before/after stats snapshots; singleflight joins count as hits (they were
+// served without extra I/O). Returns 0 when the server runs uncached.
+func hitRateDelta(before, after *cache.Stats) float64 {
+	if after == nil {
+		return 0
+	}
+	var b cache.Stats
+	if before != nil {
+		b = *before
+	}
+	hits := float64(after.Hits - b.Hits + after.Shared - b.Shared)
+	total := hits + float64(after.Misses-b.Misses)
+	if total == 0 {
+		return 0
+	}
+	return hits / total
 }
 
 // fetchImbalance is max/mean of per-disk bucket fetches: 1.0 means the

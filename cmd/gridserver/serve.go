@@ -11,6 +11,15 @@ import (
 	"pgridfile/internal/server"
 )
 
+// cacheFlag maps the CLI convention (<=0 disables the cache) onto the
+// server.Config one (0 selects the default, negative disables).
+func cacheFlag(v int64) int64 {
+	if v <= 0 {
+		return -1
+	}
+	return v
+}
+
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dir := fs.String("store", "", "layout directory written by gridtool layout (required)")
@@ -19,17 +28,23 @@ func runServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 64, "admission control: max concurrently executing queries")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-query deadline")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "bucket cache budget in bytes (<=0 disables caching)")
+	coalesce := fs.Bool("coalesce", true, "coalesce adjacent page reads per disk")
+	pprof := fs.Bool("pprof", false, "expose /debug/pprof on the -http address")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -store is required")
 	}
 
 	s, err := server.OpenDir(*dir, server.Config{
-		Addr:         *addr,
-		HTTPAddr:     *httpAddr,
-		MaxInflight:  *maxInflight,
-		QueryTimeout: *timeout,
-		DrainTimeout: *drain,
+		Addr:            *addr,
+		HTTPAddr:        *httpAddr,
+		MaxInflight:     *maxInflight,
+		QueryTimeout:    *timeout,
+		DrainTimeout:    *drain,
+		CacheBytes:      cacheFlag(*cacheBytes),
+		DisableCoalesce: !*coalesce,
+		Pprof:           *pprof,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,283 @@
+// Package cache provides the byte-bounded, sharded LRU bucket cache that
+// fronts the page store on the network server's hot path. The cached unit
+// is a decoded bucket: the []geom.Point slice a store read produces, keyed
+// by bucket id. Three properties matter for the serving path:
+//
+//   - Sharding: the id space is hashed over independently locked shards, so
+//     concurrent queries rarely contend on one mutex.
+//   - Byte bound: each shard owns an equal slice of the configured budget
+//     and evicts from the cold end of its LRU list whenever an insert
+//     pushes it over; the whole cache never holds more than MaxBytes of
+//     decoded records (plus bounded per-entry overhead accounted with
+//     them).
+//   - Singleflight: when several queries miss on the same bucket at once,
+//     exactly one (the leader) performs the disk read; the rest wait for
+//     its result instead of duplicating the I/O. The Acquire/Complete pair
+//     exposes this to callers that batch their disk reads (the server
+//     groups leader misses per disk before reading), and Get wraps it for
+//     callers with a simple loader function.
+//
+// Cached point slices are shared between all readers and must be treated
+// as immutable.
+package cache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"pgridfile/internal/geom"
+)
+
+// entryOverhead approximates the bookkeeping bytes an entry costs beyond
+// its decoded records: map slot, LRU links, entry struct.
+const entryOverhead = 128
+
+// pointOverhead is the per-point slice header cost in the decoded
+// representation.
+const pointOverhead = 24
+
+// Cache is a sharded, byte-bounded LRU over decoded buckets with
+// singleflight loading. All methods are safe for concurrent use. The zero
+// value is not usable; call New.
+type Cache struct {
+	shards []shard
+	mask   uint32
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	shared    atomic.Int64 // singleflight joins: misses served by a leader's read
+	evictions atomic.Int64
+	bytes     atomic.Int64
+	entries   atomic.Int64
+	maxBytes  int64
+}
+
+type entry struct {
+	key        int32
+	pts        []geom.Point
+	pages      int
+	bytes      int64
+	prev, next *entry
+}
+
+type shard struct {
+	mu       sync.Mutex
+	m        map[int32]*entry
+	sentinel entry // circular LRU list; sentinel.next is hottest
+	bytes    int64
+	max      int64
+	inflight map[int32]*Pending
+}
+
+// Pending is an in-progress load another query is performing. Wait blocks
+// until the leader Completes it or ctx expires.
+type Pending struct {
+	done  chan struct{}
+	pts   []geom.Point
+	pages int
+	err   error
+}
+
+// Wait returns the leader's result, or ctx's error if the caller's own
+// deadline expires first.
+func (p *Pending) Wait(ctx context.Context) ([]geom.Point, int, error) {
+	select {
+	case <-p.done:
+		return p.pts, p.pages, p.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// New creates a cache bounded by maxBytes of decoded bucket data spread
+// over the given number of shards (rounded up to a power of two; <= 0
+// selects 16). maxBytes must be positive.
+func New(maxBytes int64, shards int) *Cache {
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint32(n - 1), maxBytes: maxBytes}
+	per := maxBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[int32]*entry)
+		s.inflight = make(map[int32]*Pending)
+		s.sentinel.prev = &s.sentinel
+		s.sentinel.next = &s.sentinel
+		s.max = per
+	}
+	return c
+}
+
+// shardFor hashes a bucket id onto its shard (Fibonacci hashing; bucket ids
+// are small dense integers, so multiply-shift spreads adjacent ids well).
+func (c *Cache) shardFor(id int32) *shard {
+	h := uint32(id) * 2654435761
+	return &c.shards[(h>>16)&c.mask]
+}
+
+// AcquireResult reports how an Acquire was satisfied. Exactly one of three
+// shapes comes back: a hit (Hit true, Pts/Pages valid), leadership (Leader
+// true: the caller MUST load the bucket and call Complete exactly once), or
+// a pending join (Pending non-nil: call Wait).
+type AcquireResult struct {
+	Pts     []geom.Point
+	Pages   int
+	Hit     bool
+	Leader  bool
+	Pending *Pending
+}
+
+// Acquire looks id up, joining an in-flight load when one exists and
+// electing the caller leader otherwise.
+func (c *Cache) Acquire(id int32) AcquireResult {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	if e, ok := s.m[id]; ok {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return AcquireResult{Pts: e.pts, Pages: e.pages, Hit: true}
+	}
+	if p, ok := s.inflight[id]; ok {
+		s.mu.Unlock()
+		c.shared.Add(1)
+		return AcquireResult{Pending: p}
+	}
+	p := &Pending{done: make(chan struct{})}
+	s.inflight[id] = p
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return AcquireResult{Leader: true}
+}
+
+// Complete finishes a load this caller leads: the result is published to
+// every waiter and, on success, inserted into the cache (evicting cold
+// entries past the shard's byte budget). An entry too large for its shard's
+// entire budget is returned to waiters but not cached.
+func (c *Cache) Complete(id int32, pts []geom.Point, pages int, err error) {
+	s := c.shardFor(id)
+	s.mu.Lock()
+	p, ok := s.inflight[id]
+	if ok {
+		delete(s.inflight, id)
+	}
+	if err == nil {
+		if _, dup := s.m[id]; !dup {
+			e := &entry{key: id, pts: pts, pages: pages, bytes: cost(pts)}
+			if e.bytes <= s.max {
+				s.m[id] = e
+				s.pushFront(e)
+				s.bytes += e.bytes
+				c.bytes.Add(e.bytes)
+				c.entries.Add(1)
+				c.evictLocked(s)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if ok {
+		p.pts, p.pages, p.err = pts, pages, err
+		close(p.done)
+	}
+}
+
+// Get is the one-call form: a hit returns immediately, a join waits for the
+// in-flight leader, and a miss elects this caller to run load and publish
+// its result. ctx bounds only the waiting; the load itself is the caller's.
+func (c *Cache) Get(ctx context.Context, id int32, load func() ([]geom.Point, int, error)) ([]geom.Point, int, error) {
+	r := c.Acquire(id)
+	switch {
+	case r.Hit:
+		return r.Pts, r.Pages, nil
+	case r.Pending != nil:
+		return r.Pending.Wait(ctx)
+	}
+	pts, pages, err := load()
+	c.Complete(id, pts, pages, err)
+	return pts, pages, err
+}
+
+// cost estimates the resident bytes of one decoded bucket. Store reads
+// decode all records into one flat coordinate array with per-point subslice
+// headers, which is what this mirrors.
+func cost(pts []geom.Point) int64 {
+	b := int64(entryOverhead)
+	if len(pts) > 0 {
+		b += int64(len(pts)) * int64(pointOverhead+8*len(pts[0]))
+	}
+	return b
+}
+
+// evictLocked drops cold entries until the shard is within budget. Caller
+// holds s.mu.
+func (c *Cache) evictLocked(s *shard) {
+	for s.bytes > s.max {
+		cold := s.sentinel.prev
+		if cold == &s.sentinel {
+			return
+		}
+		s.unlink(cold)
+		delete(s.m, cold.key)
+		s.bytes -= cold.bytes
+		c.bytes.Add(-cold.bytes)
+		c.entries.Add(-1)
+		c.evictions.Add(1)
+	}
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = &s.sentinel
+	e.next = s.sentinel.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (s *shard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard) moveToFront(e *entry) {
+	if s.sentinel.next == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// Stats is a point-in-time view of the cache's counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Shared    int64 `json:"shared"` // misses absorbed by an in-flight load
+	Evictions int64 `json:"evictions"`
+	Bytes     int64 `json:"bytes"`
+	Entries   int64 `json:"entries"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Shared:    c.shared.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     c.bytes.Load(),
+		Entries:   c.entries.Load(),
+		MaxBytes:  c.maxBytes,
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int { return int(c.entries.Load()) }

@@ -1,0 +1,256 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pgridfile/internal/geom"
+)
+
+// makePts builds n 2-D points; each costs entryOverhead + n*(24+16) bytes
+// in the cache's accounting.
+func makePts(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	flat := make([]float64, 2*n)
+	for i := range pts {
+		pts[i] = flat[2*i : 2*i+2]
+	}
+	return pts
+}
+
+func loadOf(pts []geom.Point, pages int) func() ([]geom.Point, int, error) {
+	return func() ([]geom.Point, int, error) { return pts, pages, nil }
+}
+
+func TestGetHitMiss(t *testing.T) {
+	c := New(1<<20, 4)
+	ctx := context.Background()
+	pts := makePts(10)
+
+	got, pages, err := c.Get(ctx, 1, loadOf(pts, 3))
+	if err != nil || len(got) != 10 || pages != 3 {
+		t.Fatalf("first get: %v %d %v", got, pages, err)
+	}
+	calls := 0
+	got, pages, err = c.Get(ctx, 1, func() ([]geom.Point, int, error) {
+		calls++
+		return nil, 0, errors.New("should not be called")
+	})
+	if err != nil || calls != 0 || len(got) != 10 || pages != 3 {
+		t.Fatalf("hit ran the loader: calls=%d err=%v", calls, err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestByteBoundAndEviction(t *testing.T) {
+	// One shard so the budget arithmetic is exact; each 100-point entry
+	// costs 128 + 100*40 = 4128 bytes, so a 20000-byte shard fits 4.
+	c := New(20000, 1)
+	ctx := context.Background()
+	const entryBytes = entryOverhead + 100*(pointOverhead+16)
+	for id := int32(0); id < 50; id++ {
+		if _, _, err := c.Get(ctx, id, loadOf(makePts(100), 1)); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Stats().Bytes; got > 20000 {
+			t.Fatalf("after insert %d: resident bytes %d exceed bound 20000", id, got)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions despite 50 inserts into a 4-entry budget")
+	}
+	if want := int64(20000 / entryBytes); st.Entries != want {
+		t.Errorf("resident entries = %d, want %d", st.Entries, want)
+	}
+	if st.Bytes != st.Entries*entryBytes {
+		t.Errorf("bytes = %d, want %d", st.Bytes, st.Entries*entryBytes)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// Budget of 3 entries in one shard; touching id 0 between inserts must
+	// keep it resident while colder ids rotate out.
+	const entryBytes = entryOverhead + 10*(pointOverhead+16)
+	c := New(3*entryBytes, 1)
+	ctx := context.Background()
+	for id := int32(0); id < 3; id++ {
+		c.Get(ctx, id, loadOf(makePts(10), 1))
+	}
+	for id := int32(3); id < 10; id++ {
+		// Touch 0, then insert a new id: the eviction victim must never be 0.
+		if _, _, err := c.Get(ctx, 0, func() ([]geom.Point, int, error) {
+			return nil, 0, errors.New("id 0 evicted despite being hot")
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c.Get(ctx, id, loadOf(makePts(10), 1))
+	}
+	if c.Len() != 3 {
+		t.Errorf("resident entries = %d, want 3", c.Len())
+	}
+}
+
+func TestOversizeEntryNotCached(t *testing.T) {
+	c := New(1000, 1) // far below one 100-point entry
+	ctx := context.Background()
+	calls := 0
+	load := func() ([]geom.Point, int, error) { calls++; return makePts(100), 1, nil }
+	if _, _, err := c.Get(ctx, 7, load); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 || c.Stats().Bytes != 0 {
+		t.Errorf("oversize entry cached: %+v", c.Stats())
+	}
+	c.Get(ctx, 7, load)
+	if calls != 2 {
+		t.Errorf("loader ran %d times, want 2 (oversize entries are never cached)", calls)
+	}
+}
+
+func TestErrorNotCached(t *testing.T) {
+	c := New(1<<20, 2)
+	ctx := context.Background()
+	boom := errors.New("disk gone")
+	if _, _, err := c.Get(ctx, 3, func() ([]geom.Point, int, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("load error not surfaced: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Error("failed load left a cache entry")
+	}
+	pts, _, err := c.Get(ctx, 3, loadOf(makePts(5), 1))
+	if err != nil || len(pts) != 5 {
+		t.Fatalf("retry after failed load: %v %v", pts, err)
+	}
+}
+
+// TestSingleflight hammers one cold id from many goroutines: the loader
+// must run exactly once, everyone must get its result, and the joiner count
+// must cover the rest.
+func TestSingleflight(t *testing.T) {
+	c := New(1<<20, 4)
+	ctx := context.Background()
+	const readers = 32
+	var calls atomic.Int64
+	release := make(chan struct{})
+	pts := makePts(8)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, pages, err := c.Get(ctx, 42, func() ([]geom.Point, int, error) {
+				calls.Add(1)
+				<-release // hold the load open so everyone else joins it
+				return pts, 2, nil
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got) != 8 || pages != 2 {
+				errs <- fmt.Errorf("joiner got %d pts / %d pages", len(got), pages)
+			}
+		}()
+	}
+	// Let every goroutine reach Acquire before releasing the leader. The
+	// shared counter converges to readers-1 only once all have joined; poll
+	// briefly rather than syncing on internals.
+	for c.Stats().Shared < readers-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("loader ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Shared != readers-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d shared", st, readers-1)
+	}
+}
+
+func TestWaitRespectsContext(t *testing.T) {
+	c := New(1<<20, 1)
+	r := c.Acquire(9)
+	if !r.Leader {
+		t.Fatal("first acquire not leader")
+	}
+	join := c.Acquire(9)
+	if join.Pending == nil {
+		t.Fatal("second acquire did not join")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := join.Pending.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("wait returned %v, want context.Canceled", err)
+	}
+	// The leader must still be able to complete and unblock future readers.
+	c.Complete(9, makePts(3), 1, nil)
+	pts, _, err := c.Get(context.Background(), 9, nil)
+	if err != nil || len(pts) != 3 {
+		t.Fatalf("completion after abandoned waiter: %v %v", pts, err)
+	}
+}
+
+// TestConcurrentMixed drives many goroutines over a small working set with
+// a tight byte budget under -race: hits, misses, joins and evictions all
+// interleave, the bound must hold throughout, and the counters must
+// reconcile with the number of operations issued.
+func TestConcurrentMixed(t *testing.T) {
+	const entryBytes = entryOverhead + 20*(pointOverhead+16)
+	c := New(8*entryBytes, 4)
+	ctx := context.Background()
+	const (
+		readers = 16
+		rounds  = 200
+		idSpace = 32
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := int32((r*7 + i) % idSpace)
+				pts, _, err := c.Get(ctx, id, loadOf(makePts(20), 1))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(pts) != 20 {
+					errs <- fmt.Errorf("id %d: %d points", id, len(pts))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := c.Stats()
+	if st.Bytes > 8*entryBytes {
+		t.Errorf("resident bytes %d exceed bound %d", st.Bytes, 8*entryBytes)
+	}
+	if st.Hits+st.Misses+st.Shared != readers*rounds {
+		t.Errorf("ops accounted = %d, want %d (%+v)",
+			st.Hits+st.Misses+st.Shared, readers*rounds, st)
+	}
+}

@@ -1,0 +1,135 @@
+package gridfile
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pgridfile/internal/geom"
+)
+
+// TestConcurrentReaders is the regression test for the File's documented
+// concurrent-reader guarantee: many goroutines translate range queries, look
+// up points and run partial matches over one shared file, and every answer
+// must equal the sequentially computed one. Run under -race this proves the
+// pooled search scratch really removed the shared visit-stamp state that
+// previously forced callers (the network server's trMu, the parallel
+// engine's coordinator mutex) to serialize translation.
+func TestConcurrentReaders(t *testing.T) {
+	f, err := New(Config{Dims: 2, Domain: domain2D(), BucketCapacity: 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]geom.Point, 10000)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64() * 2000, rng.Float64() * 2000}
+		if err := f.Insert(Record{Key: pts[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const queries = 64
+	ranges := make([]geom.Rect, queries)
+	for i := range ranges {
+		ranges[i] = randomQuery(rng, f.Domain())
+	}
+	partials := make([][]float64, queries)
+	for i := range partials {
+		partials[i] = []float64{pts[i][0], math.NaN()}
+	}
+
+	// Sequential ground truth.
+	wantIDs := make([][]int32, queries)
+	wantCount := make([]int, queries)
+	wantLookup := make([]int, queries)
+	wantPartial := make([]int, queries)
+	for i := 0; i < queries; i++ {
+		wantIDs[i] = f.BucketsInRange(ranges[i])
+		wantCount[i] = f.RangeCount(ranges[i])
+		wantLookup[i] = len(f.Lookup(pts[i]))
+		wantPartial[i] = len(f.PartialMatch(partials[i]))
+	}
+
+	const readers = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for round := 0; round < 8; round++ {
+				i := (r + round*3) % queries
+				ids := f.BucketsInRange(ranges[i])
+				if len(ids) != len(wantIDs[i]) {
+					errs <- "BucketsInRange disagrees under concurrency"
+					return
+				}
+				for j := range ids {
+					if ids[j] != wantIDs[i][j] {
+						errs <- "BucketsInRange ids disagree under concurrency"
+						return
+					}
+				}
+				if n := f.RangeCount(ranges[i]); n != wantCount[i] {
+					errs <- "RangeCount disagrees under concurrency"
+					return
+				}
+				if n := len(f.Lookup(pts[i])); n != wantLookup[i] {
+					errs <- "Lookup disagrees under concurrency"
+					return
+				}
+				if id, ok := f.BucketAt(pts[i]); !ok || id < 0 {
+					errs <- "BucketAt failed under concurrency"
+					return
+				}
+				if n := len(f.PartialMatch(partials[i])); n != wantPartial[i] {
+					errs <- "PartialMatch disagrees under concurrency"
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}
+
+// TestScratchReuseAcrossFiles proves the shared scratch pool cannot leak
+// visit stamps between files: two files queried alternately (the pool hands
+// the same scratch back and forth) must both dedup correctly.
+func TestScratchReuseAcrossFiles(t *testing.T) {
+	build := func(seed int64) *File {
+		f, err := New(Config{Dims: 2, Domain: domain2D(), BucketCapacity: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			p := geom.Point{rng.Float64() * 2000, rng.Float64() * 2000}
+			if err := f.Insert(Record{Key: p}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f
+	}
+	a, b := build(1), build(2)
+	qa := a.Domain()
+	qb := b.Domain()
+	wantA := len(a.BucketsInRange(qa))
+	wantB := len(b.BucketsInRange(qb))
+	if wantA != a.NumBuckets() || wantB != b.NumBuckets() {
+		t.Fatalf("full-domain query missed buckets: %d/%d, %d/%d",
+			wantA, a.NumBuckets(), wantB, b.NumBuckets())
+	}
+	for i := 0; i < 50; i++ {
+		if got := len(a.BucketsInRange(qa)); got != wantA {
+			t.Fatalf("iteration %d: file a returned %d buckets, want %d", i, got, wantA)
+		}
+		if got := len(b.BucketsInRange(qb)); got != wantB {
+			t.Fatalf("iteration %d: file b returned %d buckets, want %d", i, got, wantB)
+		}
+	}
+}

@@ -138,10 +138,14 @@ func (b *bucket) removeRecord(i, dims int) {
 	}
 }
 
-// File is an in-memory grid file. It is not safe for concurrent use:
-// mutation aside, range searches share visit-stamp scratch space for
-// deduplication, so even concurrent readers must be serialized by the
-// caller (the parallel engine does this with a coordinator mutex).
+// File is an in-memory grid file. The read-only query paths — Lookup,
+// BucketAt, BucketsInRange, RangeSearch, RangeCount, PartialMatch,
+// NearestNeighbors, Scan and the accessors — are safe for any number of
+// concurrent readers: they touch only structures that are immutable between
+// mutations, drawing per-call working memory (cell vectors and the
+// visit-stamp "seen" set) from a pool. Mutation (Insert, Delete, bulk
+// loading) requires exclusive access: no reads or other writes may run
+// concurrently with it.
 type File struct {
 	cfg    Config
 	scales [][]float64 // interior split points per dimension, sorted ascending
@@ -150,11 +154,6 @@ type File struct {
 	bkts   []*bucket   // nil entries are dead (after merges)
 	live   int         // number of live buckets
 	nrec   int         // number of records
-
-	// visited/visitGen implement an allocation-free "seen" set for range
-	// search deduplication across merged bucket regions.
-	visited  []uint32
-	visitGen uint32
 
 	// splitCursor rotates the dimension for SplitCyclic.
 	splitCursor int

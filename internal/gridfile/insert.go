@@ -15,9 +15,10 @@ func (f *File) Insert(rec Record) error {
 	if err := f.checkKey(rec.Key); err != nil {
 		return err
 	}
-	cell := make([]int32, f.cfg.Dims)
-	f.locateCell(rec.Key, cell)
-	id := f.dir[f.cellIndex(cell)]
+	sc := f.getScratch()
+	f.locateCell(rec.Key, sc.cell)
+	id := f.dir[f.cellIndex(sc.cell)]
+	putScratch(sc)
 	b := f.bkts[id]
 	b.appendRecord(rec, f.cfg.Dims)
 	f.nrec++
@@ -162,8 +163,6 @@ func (f *File) refineScale(d, at int, split float64) {
 		newDir[i] = f.dir[flatten(oldCell, oldSizes)]
 	}
 	f.dir = newDir
-	// The visited stamp array is sized to the bucket table, not the
-	// directory, so it remains valid.
 }
 
 // divideRegion splits bucket id's region in half along dimension d (which
@@ -185,9 +184,6 @@ func (f *File) divideRegion(id int32, d int) int32 {
 	newID := int32(len(f.bkts))
 	f.bkts = append(f.bkts, nb)
 	f.live++
-	if f.visited != nil {
-		f.visited = append(f.visited, 0)
-	}
 
 	// The split boundary in domain coordinates: records with key >= bound
 	// along d move to the new (upper) bucket.

@@ -8,14 +8,16 @@ import (
 )
 
 // Lookup returns all records whose key equals p exactly (duplicate keys are
-// permitted). Returned keys are copies and safe to retain.
+// permitted). Returned keys are copies and safe to retain. Lookup is safe
+// for concurrent readers.
 func (f *File) Lookup(p geom.Point) []Record {
 	if f.checkKey(p) != nil {
 		return nil
 	}
-	cell := make([]int32, f.cfg.Dims)
-	f.locateCell(p, cell)
-	b := f.bkts[f.dir[f.cellIndex(cell)]]
+	sc := f.getScratch()
+	f.locateCell(p, sc.cell)
+	b := f.bkts[f.dir[f.cellIndex(sc.cell)]]
+	putScratch(sc)
 	dims := f.cfg.Dims
 	var out []Record
 	for i, n := 0, b.count(dims); i < n; i++ {
@@ -29,15 +31,17 @@ func (f *File) Lookup(p geom.Point) []Record {
 // BucketAt returns the id of the bucket owning the cell that contains p,
 // or ok=false when p lies outside the domain. This is the coordinator-side
 // translation a point query needs before fetching the bucket from a page
-// store; it reads only immutable structures and is safe for concurrent use
-// alongside other read-only operations.
+// store; it reads only immutable structures plus pooled scratch and is safe
+// for concurrent readers.
 func (f *File) BucketAt(p geom.Point) (id int32, ok bool) {
 	if f.checkKey(p) != nil {
 		return 0, false
 	}
-	cell := make([]int32, f.cfg.Dims)
-	f.locateCell(p, cell)
-	return f.dir[f.cellIndex(cell)], true
+	sc := f.getScratch()
+	f.locateCell(p, sc.cell)
+	id = f.dir[f.cellIndex(sc.cell)]
+	putScratch(sc)
+	return id, true
 }
 
 func pointEqual(a []float64, b geom.Point) bool {
@@ -72,59 +76,42 @@ func (f *File) cellRange(d int, q geom.Interval) (int32, int32, bool) {
 	return lo, hi, true
 }
 
-// queryCellBox converts a query rect to an inclusive cell-index box,
-// reporting ok=false if the query misses the domain entirely.
-func (f *File) queryCellBox(q geom.Rect) (lo, hi []int32, ok bool) {
-	lo = make([]int32, f.cfg.Dims)
-	hi = make([]int32, f.cfg.Dims)
+// queryCellBox converts a query rect to an inclusive cell-index box written
+// into lo/hi, reporting ok=false if the query misses the domain entirely.
+func (f *File) queryCellBox(q geom.Rect, lo, hi []int32) bool {
 	for d := 0; d < f.cfg.Dims; d++ {
 		l, h, o := f.cellRange(d, q[d])
 		if !o {
-			return nil, nil, false
+			return false
 		}
 		lo[d], hi[d] = l, h
 	}
-	return lo, hi, true
+	return true
 }
 
 // BucketsInRange returns the ids of the distinct buckets a range query must
 // retrieve. This is what the declustering simulator charges as I/O: one
 // fetch per distinct bucket. The result is in ascending id order.
+// BucketsInRange works entirely on immutable structures plus pooled scratch,
+// so it is safe for concurrent readers — the property the network query
+// service relies on to translate queries without a coordinator lock.
 func (f *File) BucketsInRange(q geom.Rect) []int32 {
 	if len(q) != f.cfg.Dims {
 		return nil
 	}
-	lo, hi, ok := f.queryCellBox(q)
-	if !ok {
+	sc := f.getScratch()
+	defer putScratch(sc)
+	if !f.queryCellBox(q, sc.lo, sc.hi) {
 		return nil
 	}
-	f.beginVisit()
 	var ids []int32
-	f.forEachCellIn(lo, hi, func(idx int) {
-		id := f.dir[idx]
-		if f.visited[id] != f.visitGen {
-			f.visited[id] = f.visitGen
+	f.forEachCellIn(sc.lo, sc.hi, func(idx int) {
+		if id := f.dir[idx]; !sc.visit(id) {
 			ids = append(ids, id)
 		}
 	})
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
-}
-
-// beginVisit advances the visit generation, (re)allocating the stamp array
-// if the bucket table has grown.
-func (f *File) beginVisit() {
-	if len(f.visited) < len(f.bkts) {
-		f.visited = make([]uint32, len(f.bkts))
-		f.visitGen = 0
-	}
-	f.visitGen++
-	if f.visitGen == 0 { // wrapped: clear and restart
-		for i := range f.visited {
-			f.visited[i] = 0
-		}
-		f.visitGen = 1
-	}
 }
 
 // RangeSearch returns copies of all records whose keys lie inside the closed

@@ -222,11 +222,12 @@ func (d *TwoLevelDirectory) BucketsInCellBox(lo, hi []int32) []int32 {
 // directory, using the file's scales for the cell translation (the scales
 // are small and always memory-resident, as in the original design).
 func (d *TwoLevelDirectory) BucketsInRange(f *File, q geom.Rect) []int32 {
-	lo, hi, ok := f.queryCellBox(q)
-	if !ok {
+	sc := f.getScratch()
+	defer putScratch(sc)
+	if !f.queryCellBox(q, sc.lo, sc.hi) {
 		return nil
 	}
-	return d.BucketsInCellBox(lo, hi)
+	return d.BucketsInCellBox(sc.lo, sc.hi)
 }
 
 func scanBox(lo, hi []int32, fn func(cell []int32)) {

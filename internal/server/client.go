@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -26,8 +27,9 @@ type ClientConfig struct {
 	// fresh connection (server-reported errors are never retried).
 	// Default 2.
 	Retries int
-	// Backoff is the initial retry delay, doubling per attempt.
-	// Default 25ms.
+	// Backoff is the initial retry delay, doubling per attempt with full
+	// jitter (each sleep is uniform in (0, backoff]) so clients that failed
+	// together don't retry in lockstep. Default 25ms.
 	Backoff time.Duration
 }
 
@@ -120,7 +122,7 @@ func (c *Client) do(req Request) (Frame, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.cfg.Backoff << (attempt - 1))
+			time.Sleep(retryDelay(c.cfg.Backoff, attempt))
 		}
 		conn, err := c.getConn()
 		if err != nil {
@@ -142,6 +144,20 @@ func (c *Client) do(req Request) (Frame, error) {
 	}
 	return Frame{}, fmt.Errorf("server: request failed after %d attempts: %w",
 		c.cfg.Retries+1, lastErr)
+}
+
+// retryDelay computes the sleep before retry `attempt` (1-based): full
+// jitter over an exponentially growing window. A deterministic doubling
+// schedule synchronizes every client that failed at the same moment — they
+// all hammer the recovering server again in phase; sampling uniformly from
+// (0, base<<(attempt-1)] decorrelates them while keeping the same mean
+// growth.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	window := base << (attempt - 1)
+	if window <= 0 { // shift overflow on absurd attempt counts
+		window = base
+	}
+	return time.Duration(rand.Int64N(int64(window))) + 1
 }
 
 func (c *Client) doResult(req Request) (Result, error) {

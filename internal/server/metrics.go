@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pgridfile/internal/cache"
 )
 
 // verbIndex maps request verbs to dense counter slots.
@@ -142,6 +144,7 @@ type Snapshot struct {
 	PagesRead     int64            `json:"pages_read"`
 	LatencyMicros QuantileSummary  `json:"latency_micros"`
 	FetchesPerQry QuantileSummary  `json:"buckets_per_query"`
+	Cache         *cache.Stats     `json:"cache,omitempty"`
 }
 
 func (m *Metrics) snapshot(inflight int) Snapshot {
@@ -189,5 +192,14 @@ func (s Snapshot) writePrometheus(w http.ResponseWriter) {
 		fmt.Fprintf(w, "gridserver_latency_micros{quantile=%q} %g\n", q.q, q.v)
 	}
 	fmt.Fprintf(w, "gridserver_latency_observations_total %d\n", s.LatencyMicros.Count)
+	if c := s.Cache; c != nil {
+		fmt.Fprintf(w, "gridserver_cache_hits_total %d\n", c.Hits)
+		fmt.Fprintf(w, "gridserver_cache_misses_total %d\n", c.Misses)
+		fmt.Fprintf(w, "gridserver_cache_shared_total %d\n", c.Shared)
+		fmt.Fprintf(w, "gridserver_cache_evictions_total %d\n", c.Evictions)
+		fmt.Fprintf(w, "gridserver_cache_resident_bytes %d\n", c.Bytes)
+		fmt.Fprintf(w, "gridserver_cache_resident_entries %d\n", c.Entries)
+		fmt.Fprintf(w, "gridserver_cache_max_bytes %d\n", c.MaxBytes)
+	}
 	fmt.Fprintf(w, "gridserver_uptime_seconds %g\n", s.UptimeSeconds)
 }

@@ -8,10 +8,12 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"time"
 
+	"pgridfile/internal/cache"
 	"pgridfile/internal/geom"
 	"pgridfile/internal/gridfile"
 	"pgridfile/internal/store"
@@ -38,6 +40,18 @@ type Config struct {
 	// DrainTimeout bounds how long Close waits for in-flight queries
 	// before force-closing connections. Default 5s.
 	DrainTimeout time.Duration
+	// CacheBytes bounds the sharded LRU cache of decoded buckets fronting
+	// the page store. 0 selects the default (64 MiB); negative disables
+	// caching entirely.
+	CacheBytes int64
+	// DisableCoalesce turns off coalesced per-disk reads (store.ReadBuckets)
+	// and falls back to one ReadBucket call per bucket — the PR 1 behaviour,
+	// kept togglable so the bench can measure the coalescing win.
+	DisableCoalesce bool
+	// Pprof, together with HTTPAddr, additionally exposes the standard
+	// net/http/pprof profiling handlers under /debug/pprof/ on the same
+	// mux, so the serving path can be profiled in place.
+	Pprof bool
 
 	// slowFetch artificially delays every bucket fetch; test hook for
 	// exercising deadlines, admission control and shutdown under load.
@@ -60,19 +74,27 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheBytes < 0 {
+		c.CacheBytes = 0 // disabled
+	}
 	return c
 }
 
-// fetchReq asks a disk goroutine for one bucket.
+// fetchReq asks a disk goroutine for a batch of buckets, all resident on
+// that disk. Batching is what lets the disk loop coalesce adjacent pages
+// into single reads.
 type fetchReq struct {
-	id   int32
+	ids  []int32
 	ctx  context.Context  // the owning query; cancelled fetches are skipped
 	resp chan<- fetchResp // buffered by the submitter; never blocks
 }
 
 type fetchResp struct {
-	id    int32
-	pts   []geom.Point
+	ids   []int32 // the requested batch (echoed for error accounting)
+	got   map[int32][]geom.Point
 	pages int
 	err   error
 }
@@ -87,6 +109,11 @@ type Server struct {
 	st   *store.Store
 	met  *Metrics
 
+	// bcache caches decoded buckets in front of the page store (nil when
+	// disabled). Directory translation itself needs no lock: the grid
+	// file's query paths are safe for concurrent readers.
+	bcache *cache.Cache
+
 	ln      net.Listener
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -94,11 +121,6 @@ type Server struct {
 	sem     chan struct{}
 	fetchCh []chan fetchReq
 	fetchWg sync.WaitGroup
-
-	// trMu serializes directory translation: the grid file's range search
-	// reuses visit-stamp scratch space, so concurrent BucketsInRange calls
-	// must not interleave. Bucket fetching and filtering run outside it.
-	trMu sync.Mutex
 
 	mu        sync.Mutex // guards conns, closed
 	conns     map[net.Conn]struct{}
@@ -145,6 +167,9 @@ func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
 		fetchCh: make([]chan fetchReq, m.Disks),
 		conns:   make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
+	}
+	if cfg.CacheBytes > 0 {
+		s.bcache = cache.New(cfg.CacheBytes, 0)
 	}
 
 	// One I/O goroutine per disk file: fetches on the same disk serialize
@@ -214,6 +239,10 @@ func (s *Server) Snapshot() Snapshot {
 	snap.Dims = s.grid.Dims()
 	snap.Disks = s.st.Manifest().Disks
 	snap.Domain = s.st.Manifest().Domain
+	if s.bcache != nil {
+		st := s.bcache.Stats()
+		snap.Cache = &st
+	}
 	return snap
 }
 
@@ -233,6 +262,13 @@ func (s *Server) startHTTP(addr string) error {
 			"uptime_seconds": time.Since(s.met.start).Seconds(),
 		})
 	})
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.httpLn = ln
 	s.httpSrv = &http.Server{Handler: mux}
 	go s.httpSrv.Serve(ln)
@@ -386,68 +422,159 @@ func (s *Server) execute(ctx context.Context, req Request) (Result, error) {
 	return Result{}, fmt.Errorf("unhandled verb 0x%02x", uint8(req.Verb))
 }
 
-// bucketsInRange translates a query rect to bucket ids under the
-// translation lock (the coordinator step).
-func (s *Server) bucketsInRange(q geom.Rect) []int32 {
-	s.trMu.Lock()
-	defer s.trMu.Unlock()
-	return s.grid.BucketsInRange(q)
-}
-
-// diskLoop is one disk's I/O goroutine.
+// diskLoop is one disk's I/O goroutine: one head per spindle, as in the
+// paper's model. Each request is a whole batch of buckets on this disk,
+// read with coalesced I/O unless disabled.
 func (s *Server) diskLoop(disk int, ch <-chan fetchReq) {
 	defer s.fetchWg.Done()
 	for req := range ch {
-		// A query whose deadline already expired has abandoned this fetch;
-		// skip the I/O so its backlog doesn't starve live queries.
-		if err := req.ctx.Err(); err != nil {
-			req.resp <- fetchResp{id: req.id, err: err}
-			continue
-		}
-		if s.cfg.slowFetch > 0 {
-			time.Sleep(s.cfg.slowFetch)
-		}
-		pts, pages, err := s.st.ReadBucket(req.id)
+		got, pages, err := s.readBatch(req.ctx, req.ids)
 		if err == nil {
-			s.met.diskFetches[disk].Add(1)
+			s.met.diskFetches[disk].Add(int64(len(req.ids)))
 			s.met.pagesRead.Add(int64(pages))
 		}
-		req.resp <- fetchResp{id: req.id, pts: pts, pages: pages, err: err}
+		req.resp <- fetchResp{ids: req.ids, got: got, pages: pages, err: err}
 	}
 }
 
-// fetchBuckets routes each bucket to its disk's I/O goroutine and gathers
-// the results. The response channel is buffered for every request, so disk
-// goroutines never block on an abandoned (deadline-expired) query.
-func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geom.Point, QueryInfo, error) {
-	var info QueryInfo
-	resp := make(chan fetchResp, len(ids))
-	submitted := 0
-	for _, id := range ids {
-		pl, ok := s.st.Placement(id)
-		if !ok {
-			return nil, info, fmt.Errorf("bucket %d not in store", id)
-		}
-		select {
-		case s.fetchCh[pl.Disk] <- fetchReq{id: id, ctx: ctx, resp: resp}:
-			submitted++
-		case <-ctx.Done():
-			return nil, info, ctx.Err()
+// readBatch performs one disk's share of a query. A query whose deadline
+// already expired has abandoned the fetch; skipping the I/O (checked again
+// between simulated-latency sleeps) keeps its backlog from starving live
+// queries.
+func (s *Server) readBatch(ctx context.Context, ids []int32) (map[int32][]geom.Point, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if s.cfg.slowFetch > 0 {
+		for range ids {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			time.Sleep(s.cfg.slowFetch)
 		}
 	}
-	out := make(map[int32][]geom.Point, submitted)
-	for i := 0; i < submitted; i++ {
-		select {
-		case r := <-resp:
-			if r.err != nil {
-				return nil, info, r.err
-			}
-			out[r.id] = r.pts
-			info.Buckets++
-			info.Pages += r.pages
-		case <-ctx.Done():
-			return nil, info, ctx.Err()
+	if !s.cfg.DisableCoalesce {
+		return s.st.ReadBuckets(ids)
+	}
+	out := make(map[int32][]geom.Point, len(ids))
+	pages := 0
+	for _, id := range ids {
+		pts, p, err := s.st.ReadBucket(id)
+		if err != nil {
+			return nil, 0, err
 		}
+		out[id] = pts
+		pages += p
+	}
+	return out, pages, nil
+}
+
+// failLeads publishes err for every bucket this query volunteered to load,
+// so waiting followers unblock and the cache's in-flight table stays clean.
+func (s *Server) failLeads(ids []int32, err error) {
+	if s.bcache == nil {
+		return
+	}
+	for _, id := range ids {
+		s.bcache.Complete(id, nil, 0, err)
+	}
+}
+
+// fetchBuckets resolves a query's bucket set: cache hits are served
+// immediately, buckets another in-flight query is already reading are
+// joined (singleflight), and the rest are batched per disk and read by the
+// disk I/O goroutines with coalesced requests. Every bucket this query
+// leads is published to the cache exactly once — with data or with the
+// error — before fetchBuckets returns, so followers never wait on an
+// abandoned load.
+func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geom.Point, QueryInfo, error) {
+	var info QueryInfo
+	out := make(map[int32][]geom.Point, len(ids))
+	type join struct {
+		id int32
+		p  *cache.Pending
+	}
+	var joins []join
+	var leads map[int][]int32 // disk -> buckets this query must read
+	for _, id := range ids {
+		if s.bcache != nil {
+			switch r := s.bcache.Acquire(id); {
+			case r.Hit:
+				out[id] = r.Pts
+				info.Buckets++
+				continue
+			case r.Pending != nil:
+				joins = append(joins, join{id, r.Pending})
+				continue
+			}
+		}
+		pl, ok := s.st.Placement(id)
+		if !ok {
+			err := fmt.Errorf("bucket %d not in store", id)
+			s.failLeads([]int32{id}, err)
+			for _, batch := range leads {
+				s.failLeads(batch, err)
+			}
+			return nil, info, err
+		}
+		if leads == nil {
+			leads = make(map[int][]int32)
+		}
+		leads[pl.Disk] = append(leads[pl.Disk], id)
+	}
+
+	// One batch per disk. The response channel is buffered for every batch,
+	// so disk goroutines never block on an abandoned query; and the gather
+	// loop waits for every submitted batch (the disk loops answer expired
+	// contexts immediately), so every lead is completed exactly once.
+	resp := make(chan fetchResp, len(leads))
+	var err error
+	submitted := 0
+	for disk, batch := range leads {
+		if err != nil {
+			s.failLeads(batch, err)
+			continue
+		}
+		select {
+		case s.fetchCh[disk] <- fetchReq{ids: batch, ctx: ctx, resp: resp}:
+			submitted++
+		case <-ctx.Done():
+			err = ctx.Err()
+			s.failLeads(batch, err)
+		}
+	}
+	for i := 0; i < submitted; i++ {
+		r := <-resp
+		if r.err != nil {
+			s.failLeads(r.ids, r.err)
+			if err == nil {
+				err = r.err
+			}
+			continue
+		}
+		for _, id := range r.ids {
+			pts := r.got[id]
+			out[id] = pts
+			if s.bcache != nil {
+				pl, _ := s.st.Placement(id)
+				s.bcache.Complete(id, pts, pl.Pages, nil)
+			}
+			info.Buckets++
+		}
+		info.Pages += r.pages
+	}
+	if err != nil {
+		return nil, info, err
+	}
+
+	// Collect joined loads last: their leaders read in parallel with ours.
+	for _, j := range joins {
+		pts, _, werr := j.p.Wait(ctx)
+		if werr != nil {
+			return nil, info, werr
+		}
+		out[j.id] = pts
+		info.Buckets++
 	}
 	return out, info, nil
 }
@@ -473,7 +600,7 @@ func (s *Server) pointQuery(ctx context.Context, key geom.Point) (Result, error)
 }
 
 func (s *Server) rangeQuery(ctx context.Context, q geom.Rect, countOnly bool) (Result, error) {
-	ids := s.bucketsInRange(q)
+	ids := s.grid.BucketsInRange(q)
 	got, info, err := s.fetchBuckets(ctx, ids)
 	if err != nil {
 		return Result{}, err
@@ -551,7 +678,7 @@ func (s *Server) knnQuery(ctx context.Context, key geom.Point, k int) (Result, e
 				covers = false
 			}
 		}
-		ids := s.bucketsInRange(q)
+		ids := s.grid.BucketsInRange(q)
 		var fresh []int32
 		for _, id := range ids {
 			if _, ok := fetched[id]; !ok {

@@ -77,8 +77,7 @@ func TestServerEndToEnd(t *testing.T) {
 	dom := f.Domain()
 
 	// Pre-generate the workload and precompute expected answers against
-	// the in-memory grid file (sequentially: the grid file's range search
-	// reuses scratch space and is not itself safe for concurrent use).
+	// the in-memory grid file, so the concurrent phase only has to compare.
 	ranges := workload.SquareRange(dom, 0.05, total, 7)
 	partials := workload.PartialMatch(dom, 1, total, 9)
 	var keys []geom.Point
@@ -236,6 +235,127 @@ func NewClientMust(t *testing.T, s *Server) *Client {
 		return nil
 	}
 	return c
+}
+
+// TestConcurrentRangeSharedCache drives overlapping range queries from many
+// goroutines against one server under -race: every query shares the grid
+// file's directory translation (no lock) and the bucket cache (hits, leader
+// loads and singleflight joins all interleave), and every answer must match
+// the sequential ground truth.
+func TestConcurrentRangeSharedCache(t *testing.T) {
+	const (
+		goroutines = 12
+		rounds     = 20
+		disks      = 4
+	)
+	s, f := newTestServer(t, 1200, disks, Config{CacheBytes: 1 << 20})
+	dom := f.Domain()
+	queries := workload.SquareRange(dom, 0.10, 16, 3)
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		want[i] = f.RangeCount(q)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := NewClientMust(t, s)
+			defer cl.Close()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(queries) // overlap across goroutines
+				n, _, err := cl.RangeCount(queries[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n != want[i] {
+					errs <- fmt.Errorf("query %d: got %d, want %d", i, n, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	snap := s.Snapshot()
+	if snap.Cache == nil {
+		t.Fatal("cache stats missing from snapshot")
+	}
+	c := snap.Cache
+	if c.Hits == 0 {
+		t.Error("repeated overlapping queries produced zero cache hits")
+	}
+	if c.Misses == 0 {
+		t.Error("cold cache produced zero misses")
+	}
+	if c.Bytes > c.MaxBytes {
+		t.Errorf("resident bytes %d exceed bound %d", c.Bytes, c.MaxBytes)
+	}
+}
+
+// TestServerCacheDisabled proves CacheBytes < 0 turns caching off entirely:
+// queries still work, the snapshot has no cache block, and every repeat
+// fetch hits the disks again.
+func TestServerCacheDisabled(t *testing.T) {
+	s, f := newTestServer(t, 300, 2, Config{CacheBytes: -1})
+	cl := newTestClient(t, s, ClientConfig{})
+	for i := 0; i < 3; i++ {
+		n, _, err := cl.RangeCount(f.Domain())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != f.Len() {
+			t.Fatalf("full-domain count = %d, want %d", n, f.Len())
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Cache != nil {
+		t.Errorf("cache stats present despite CacheBytes<0: %+v", snap.Cache)
+	}
+	var fetches int64
+	for _, n := range snap.DiskFetches {
+		fetches += n
+	}
+	if want := int64(3 * len(f.Buckets())); fetches != want {
+		t.Errorf("disk fetches = %d, want %d (no caching)", fetches, want)
+	}
+}
+
+// TestServerCoalesceParity proves coalesced and per-bucket reads return the
+// same answers and page counts.
+func TestServerCoalesceParity(t *testing.T) {
+	_, dir := newTestLayout(t, 800, 3)
+	for _, disable := range []bool{false, true} {
+		s, err := OpenDir(dir, Config{DisableCoalesce: disable, CacheBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := NewClient(ClientConfig{Addr: s.Addr().String()})
+		if err != nil {
+			s.Close()
+			t.Fatal(err)
+		}
+		grid, _ := store.OpenGrid(dir)
+		n, info, err := cl.RangeCount(grid.Domain())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != grid.Len() {
+			t.Errorf("disableCoalesce=%v: count %d, want %d", disable, n, grid.Len())
+		}
+		if info.Buckets != len(grid.Buckets()) || info.Pages == 0 {
+			t.Errorf("disableCoalesce=%v: info %+v", disable, info)
+		}
+		cl.Close()
+		s.Close()
+	}
 }
 
 // TestServerRejectsMalformedStream sends hostile bytes to a live server:
@@ -496,9 +616,33 @@ func TestClientRetriesExhausted(t *testing.T) {
 	}
 }
 
-// TestHTTPEndpoints exercises the optional /metrics and /healthz listener.
+// TestRetryDelayJitter proves backoff sleeps stay within the exponential
+// window, never go non-positive, and actually vary between samples.
+func TestRetryDelayJitter(t *testing.T) {
+	const base = 25 * time.Millisecond
+	for attempt := 1; attempt <= 4; attempt++ {
+		window := base << (attempt - 1)
+		seen := make(map[time.Duration]bool)
+		for i := 0; i < 200; i++ {
+			d := retryDelay(base, attempt)
+			if d <= 0 || d > window {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, window)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("attempt %d: 200 samples produced no jitter", attempt)
+		}
+	}
+	if d := retryDelay(base, 200); d <= 0 || d > base {
+		t.Errorf("overflowed window not clamped: %v", d)
+	}
+}
+
+// TestHTTPEndpoints exercises the optional /metrics, /healthz and
+// /debug/pprof listener.
 func TestHTTPEndpoints(t *testing.T) {
-	s, f := newTestServer(t, 200, 2, Config{HTTPAddr: "127.0.0.1:0"})
+	s, f := newTestServer(t, 200, 2, Config{HTTPAddr: "127.0.0.1:0", Pprof: true})
 	cl := newTestClient(t, s, ClientConfig{})
 	if _, _, err := cl.RangeCount(f.Domain()); err != nil {
 		t.Fatal(err)
@@ -531,8 +675,16 @@ func TestHTTPEndpoints(t *testing.T) {
 	if !strings.Contains(metrics, "gridserver_disk_bucket_fetches_total") {
 		t.Errorf("metrics missing per-disk fetches:\n%s", metrics)
 	}
+	if !strings.Contains(metrics, "gridserver_cache_hits_total") ||
+		!strings.Contains(metrics, "gridserver_cache_resident_bytes") {
+		t.Errorf("metrics missing cache counters:\n%s", metrics)
+	}
 	health := get("/healthz")
 	if !strings.Contains(health, `"status":"ok"`) {
 		t.Errorf("healthz not ok:\n%s", health)
+	}
+	pprofOut := get("/debug/pprof/cmdline")
+	if !strings.Contains(pprofOut, "200 OK") {
+		t.Errorf("pprof endpoint not served:\n%.200s", pprofOut)
 	}
 }

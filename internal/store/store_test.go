@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -239,6 +240,227 @@ func TestConcurrentReaders(t *testing.T) {
 						errs <- fmt.Errorf("bucket %d: %d records, want %d",
 							v.ID, len(pts), want[v.ID])
 						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestReadBucketsMatchesReadBucket proves the coalesced multi-bucket read
+// returns exactly what per-bucket reads do, and charges the same page count.
+func TestReadBucketsMatchesReadBucket(t *testing.T) {
+	for _, pageBytes := range []int{4096, 256} { // 256 forces multi-page buckets
+		dir, f, _ := buildLayout(t, 4, pageBytes)
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views := f.Buckets()
+		ids := make([]int32, 0, len(views))
+		for _, v := range views {
+			ids = append(ids, v.ID)
+		}
+		got, pages, err := s.ReadBuckets(ids)
+		if err != nil {
+			t.Fatalf("page=%d: %v", pageBytes, err)
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("page=%d: %d buckets decoded, want %d", pageBytes, len(got), len(ids))
+		}
+		wantPages := 0
+		for _, id := range ids {
+			want, p, err := s.ReadBucket(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantPages += p
+			if len(got[id]) != len(want) {
+				t.Fatalf("page=%d bucket %d: %d records, want %d",
+					pageBytes, id, len(got[id]), len(want))
+			}
+			for i := range want {
+				for d := range want[i] {
+					if got[id][i][d] != want[i][d] {
+						t.Fatalf("page=%d bucket %d record %d differs", pageBytes, id, i)
+					}
+				}
+			}
+		}
+		if pages != wantPages {
+			t.Errorf("page=%d: coalesced read charged %d pages, per-bucket %d",
+				pageBytes, pages, wantPages)
+		}
+		// Duplicates are fetched once; unknown ids fail.
+		dup, pages2, err := s.ReadBuckets([]int32{ids[0], ids[0]})
+		if err != nil || len(dup) != 1 {
+			t.Errorf("duplicate ids: %d buckets, %v", len(dup), err)
+		}
+		if _, p0, _ := s.ReadBucket(ids[0]); pages2 != p0 {
+			t.Errorf("duplicate ids charged %d pages, want %d", pages2, p0)
+		}
+		if _, _, err := s.ReadBuckets([]int32{ids[0], 99999}); err == nil {
+			t.Error("unknown bucket id accepted")
+		}
+		s.Close()
+	}
+}
+
+// TestTruncatedPageFile proves both read paths surface I/O errors instead
+// of returning partial data when a disk file has been cut short.
+func TestTruncatedPageFile(t *testing.T) {
+	dir, f, _ := buildLayout(t, 2, 4096)
+	// Truncate disk 0 to one page: any multi-bucket read on it must fail.
+	path := filepath.Join(dir, diskFileName(0))
+	if err := os.Truncate(path, 4096); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var onDisk0 []int32
+	for _, v := range f.Buckets() {
+		if pl, ok := s.Placement(v.ID); ok && pl.Disk == 0 {
+			onDisk0 = append(onDisk0, v.ID)
+		}
+	}
+	if len(onDisk0) < 2 {
+		t.Fatal("layout put fewer than 2 buckets on disk 0")
+	}
+	// The bucket past the surviving page must fail in both paths.
+	victim := onDisk0[len(onDisk0)-1]
+	if _, _, err := s.ReadBucket(victim); err == nil {
+		t.Error("ReadBucket returned data from a truncated file")
+	}
+	if _, _, err := s.ReadBuckets(onDisk0); err == nil {
+		t.Error("ReadBuckets returned data from a truncated file")
+	}
+}
+
+// TestCorruptPageHeader flips a page's bucket-id header on disk and proves
+// both read paths detect the mismatch (the defence against a placement map
+// that disagrees with the page files).
+func TestCorruptPageHeader(t *testing.T) {
+	dir, f, _ := buildLayout(t, 2, 4096)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := f.Buckets()[0].ID
+	pl, ok := s.Placement(victim)
+	if !ok {
+		t.Fatal("placement missing")
+	}
+	s.Close()
+
+	// Overwrite the page's bucket-id header with a different id.
+	path := filepath.Join(dir, diskFileName(pl.Disk))
+	fh, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(victim)+100000)
+	if _, err := fh.WriteAt(hdr[:], pl.Page*4096); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.ReadBucket(victim); err == nil {
+		t.Error("ReadBucket accepted a page holding another bucket")
+	}
+	if _, _, err := s.ReadBuckets([]int32{victim}); err == nil {
+		t.Error("ReadBuckets accepted a page holding another bucket")
+	}
+
+	// An implausible record count must be rejected too.
+	fh, err = os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(hdr[:], uint32(victim))
+	if _, err := fh.WriteAt(hdr[:], pl.Page*4096); err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := fh.WriteAt(hdr[:], pl.Page*4096+4); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, _, err := s2.ReadBucket(victim); err == nil {
+		t.Error("ReadBucket accepted an implausible record count")
+	}
+}
+
+// TestConcurrentBatchReaders hammers ReadBuckets (whose pooled buffers are
+// the shared-state risk) from many goroutines under -race, interleaved with
+// single-bucket reads.
+func TestConcurrentBatchReaders(t *testing.T) {
+	dir, f, _ := buildLayout(t, 4, 512) // small pages: multi-page buckets in play
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	views := f.Buckets()
+	ids := make([]int32, 0, len(views))
+	want := make(map[int32]int, len(views))
+	for _, v := range views {
+		ids = append(ids, v.ID)
+		want[v.ID] = v.Records
+	}
+
+	const readers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if r%2 == 0 {
+					got, _, err := s.ReadBuckets(ids)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for id, pts := range got {
+						if len(pts) != want[id] {
+							errs <- fmt.Errorf("bucket %d: %d records, want %d",
+								id, len(pts), want[id])
+							return
+						}
+					}
+				} else {
+					for _, id := range ids {
+						pts, _, err := s.ReadBucket(id)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if len(pts) != want[id] {
+							errs <- fmt.Errorf("bucket %d: %d records, want %d",
+								id, len(pts), want[id])
+							return
+						}
 					}
 				}
 			}

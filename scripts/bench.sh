@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench.sh — the serving-path benchmark suite. Runs the end-to-end server
+# throughput benchmark (baseline vs tuned: bucket cache + coalesced I/O)
+# plus the grid-file translation micro-benchmarks, and writes the parsed
+# results as JSON so runs can be diffed across commits.
+#
+# Usage: scripts/bench.sh [benchtime] [output.json]
+#   benchtime    go test -benchtime value (default 2000x)
+#   output.json  where to write the parsed results (default BENCH_server.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2000x}"
+OUT="${2:-BENCH_server.json}"
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+echo "== go test -bench (benchtime $BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkServerThroughput' \
+    -benchtime "$BENCHTIME" -benchmem . | tee "$TMP"
+go test -run '^$' -bench 'BenchmarkLookup$|BenchmarkBucketsInRange5Pct' \
+    -benchtime "$BENCHTIME" -benchmem ./internal/gridfile | tee -a "$TMP"
+
+# Benchmark lines are "Name-P iters  v1 unit1  v2 unit2 ...": fold each into
+# a JSON object keyed by unit (ns/op, queries/s, p50-ms, cache-hit-rate, ...).
+awk -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    printf "%s    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", sep, name, $2
+    msep = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        printf "%s\"%s\": %s", msep, $(i + 1), $i
+        msep = ", "
+    }
+    printf "}}"
+    sep = ",\n"
+}
+END {
+    print ""
+    print "  ]"
+    print "}"
+}
+BEGIN {
+    print "{"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    print "  \"benchmarks\": ["
+    sep = ""
+}' "$TMP" > "$OUT"
+
+echo "bench.sh: wrote $OUT"

@@ -7,6 +7,7 @@
 #   3. go build    every package compiles
 #   4. go test     full suite under the race detector
 #   5. fuzz smoke  short runs of the protocol and codec fuzz targets
+#   6. bench smoke one-shot run of the serving-path benchmark suite
 #
 # The quick tier-1 gate (go build ./... && go test ./...) is a subset; run
 # this script before sending a PR. Usage: scripts/check.sh [fuzztime]
@@ -35,5 +36,10 @@ go test -race ./...
 echo "== fuzz smoke ($FUZZTIME each)"
 go test -run='^$' -fuzz=FuzzCodec -fuzztime="$FUZZTIME" ./internal/server
 go test -run='^$' -fuzz=FuzzRead -fuzztime="$FUZZTIME" ./internal/gridfile
+
+echo "== bench smoke"
+BENCH_SMOKE_OUT=$(mktemp)
+sh scripts/bench.sh 10x "$BENCH_SMOKE_OUT" >/dev/null
+rm -f "$BENCH_SMOKE_OUT"
 
 echo "check.sh: all green"
