@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 2000x
 
-.PHONY: all build test race check fmt vet fuzz bench bench-all clean
+.PHONY: all build test race check fmt vet fuzz chaos bench bench-all clean
 
 all: build
 
@@ -26,7 +26,13 @@ vet:
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzCodec -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzDegradedCodec -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/gridfile
+
+# Deterministic fault-injection smoke: bench run under the chaos profile
+# must finish with zero errors and nonzero degraded answers.
+chaos:
+	sh scripts/chaos.sh
 
 check:
 	sh scripts/check.sh $(FUZZTIME)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 
 	"pgridfile/internal/cache"
 	"pgridfile/internal/core"
+	"pgridfile/internal/fault"
 	"pgridfile/internal/geom"
 	"pgridfile/internal/gridfile"
 	"pgridfile/internal/server"
@@ -50,8 +52,11 @@ type benchOpts struct {
 	k          int
 	seed       int64
 	timeout    time.Duration
-	cacheBytes int64 // in-process servers only; <=0 disables
-	coalesce   bool  // in-process servers only
+	cacheBytes int64  // in-process servers only; <=0 disables
+	coalesce   bool   // in-process servers only
+	faultSpec  string // armed through the FAULT verb before the run
+	faultSeed  int64  // in-process servers only
+	degraded   bool   // in-process servers only: partial answers over errors
 }
 
 type benchRow struct {
@@ -64,6 +69,7 @@ type benchRow struct {
 	P99       float64 `json:"p99_ms"`
 	Imbalance float64 `json:"fetch_imbalance"` // max/mean bucket fetches across disks
 	HitRate   float64 `json:"cache_hit_rate"`  // hits / (hits+misses+shared) over the run
+	Degraded  int     `json:"degraded"`        // queries answered partially under injected faults
 }
 
 func runBench(args []string, out io.Writer) error {
@@ -83,12 +89,16 @@ func runBench(args []string, out io.Writer) error {
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "bucket cache budget for in-process servers (<=0 disables)")
 	coalesce := fs.Bool("coalesce", true, "coalesce adjacent page reads (in-process servers)")
 	jsonPath := fs.String("json", "", "also write the result rows as JSON to this file")
+	faultSpec := fs.String("fault", "", "failpoint spec armed via the FAULT verb before the run (see internal/fault)")
+	faultSeed := fs.Int64("fault-seed", 1, "fault registry seed for in-process servers")
+	degraded := fs.Bool("degraded", false, "in-process servers answer partially under faults instead of erroring")
 	fs.Parse(args)
 
 	opts := benchOpts{
 		clients: *clients, queries: *queries, ratio: *ratio,
 		k: *k, seed: *seed, timeout: *timeout,
 		cacheBytes: *cacheBytes, coalesce: *coalesce,
+		faultSpec: *faultSpec, faultSeed: *faultSeed, degraded: *degraded,
 	}
 	modes := 0
 	for _, set := range []bool{*addr != "", *dir != "", *grid != ""} {
@@ -102,12 +112,12 @@ func runBench(args []string, out io.Writer) error {
 
 	table := stats.NewTable("gridserver bench: closed-loop, "+
 		fmt.Sprintf("%d clients, %d queries/scheme", opts.clients, opts.queries),
-		"scheme", "queries", "errors", "qps", "p50 ms", "p95 ms", "p99 ms", "fetch imbalance", "cache hit")
+		"scheme", "queries", "errors", "qps", "p50 ms", "p95 ms", "p99 ms", "fetch imbalance", "cache hit", "degraded")
 
 	var rows []benchRow
 	addRow := func(r benchRow) {
 		rows = append(rows, r)
-		table.AddRow(r.Scheme, r.Queries, r.Errors, r.QPS, r.P50, r.P95, r.P99, r.Imbalance, r.HitRate)
+		table.AddRow(r.Scheme, r.Queries, r.Errors, r.QPS, r.P50, r.P95, r.P99, r.Imbalance, r.HitRate, r.Degraded)
 	}
 
 	switch {
@@ -179,6 +189,8 @@ func benchStore(dir, label string, opts benchOpts) (benchRow, error) {
 	s, err := server.OpenDir(dir, server.Config{
 		CacheBytes:      cacheFlag(opts.cacheBytes),
 		DisableCoalesce: !opts.coalesce,
+		Faults:          fault.NewRegistry(opts.faultSeed),
+		Degraded:        opts.degraded,
 	})
 	if err != nil {
 		return benchRow{}, err
@@ -201,6 +213,13 @@ func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
 	if err != nil {
 		return benchRow{}, fmt.Errorf("bench: probing %s: %w", addr, err)
 	}
+	// Arm the chaos schedule through the admin verb, so the same flag works
+	// against in-process and remote servers alike.
+	if opts.faultSpec != "" {
+		if _, err := c.Fault(context.Background(), opts.faultSpec); err != nil {
+			return benchRow{}, fmt.Errorf("bench: arming faults on %s: %w", addr, err)
+		}
+	}
 	dom := make(geom.Rect, len(snap.Domain))
 	for d, iv := range snap.Domain {
 		dom[d] = geom.Interval{Lo: iv[0], Hi: iv[1]}
@@ -221,11 +240,12 @@ func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
 	}
 
 	var (
-		next   atomic.Int64
-		mu     sync.Mutex
-		lats   []float64 // milliseconds
-		errors int
-		wg     sync.WaitGroup
+		next     atomic.Int64
+		mu       sync.Mutex
+		lats     []float64 // milliseconds
+		errors   int
+		degraded int
+		wg       sync.WaitGroup
 	)
 	start := time.Now()
 	for w := 0; w < opts.clients; w++ {
@@ -239,23 +259,27 @@ func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
 				}
 				t0 := time.Now()
 				var err error
+				var info server.QueryInfo
 				switch {
 				case i%10 < 3:
-					_, _, err = c.Range(ranges[i])
+					_, info, err = c.Range(ranges[i])
 				case i%10 < 6:
-					_, _, err = c.RangeCount(ranges[i])
+					_, info, err = c.RangeCount(ranges[i])
 				case i%10 < 8:
-					_, _, err = c.Point(points[i])
+					_, info, err = c.Point(points[i])
 				case i%10 == 8:
-					_, _, err = c.KNN(points[i], opts.k)
+					_, info, err = c.KNN(points[i], opts.k)
 				default:
-					_, _, err = c.PartialMatch(partials[i])
+					_, info, err = c.PartialMatch(partials[i])
 				}
 				ms := float64(time.Since(t0).Microseconds()) / 1000
 				mu.Lock()
 				lats = append(lats, ms)
 				if err != nil {
 					errors++
+				}
+				if info.Degraded {
+					degraded++
 				}
 				mu.Unlock()
 			}
@@ -265,13 +289,14 @@ func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
 	elapsed := time.Since(start)
 
 	row := benchRow{
-		Scheme:  label,
-		Queries: opts.queries,
-		Errors:  errors,
-		QPS:     float64(opts.queries) / elapsed.Seconds(),
-		P50:     stats.Percentile(lats, 50),
-		P95:     stats.Percentile(lats, 95),
-		P99:     stats.Percentile(lats, 99),
+		Scheme:   label,
+		Queries:  opts.queries,
+		Errors:   errors,
+		Degraded: degraded,
+		QPS:      float64(opts.queries) / elapsed.Seconds(),
+		P50:      stats.Percentile(lats, 50),
+		P95:      stats.Percentile(lats, 95),
+		P99:      stats.Percentile(lats, 99),
 	}
 	if after, err := c.Stats(); err == nil {
 		row.Imbalance = fetchImbalance(after.DiskFetches)

@@ -4,9 +4,11 @@
 // Subcommands:
 //
 //	gridserver serve -store layout/ [-addr 127.0.0.1:7090] [-http :7091]
+//	gridserver serve -store layout/ -fault "store.read:err:p=0.05" [-degraded=false]
 //	gridserver bench -store layout/ [-clients 8] [-queries 2000]
 //	gridserver bench -addr host:port [-clients 8] [-queries 2000]
 //	gridserver bench -grid file.grd -algs minimax,DM/D -disks 8
+//	gridserver bench -store layout/ -fault "store.read:err:p=0.2" -degraded
 //
 // serve opens the per-disk page files written by `gridtool layout` (the
 // paper's "separate files corresponding to every disk"), loads the embedded
@@ -16,6 +18,12 @@
 // -grid/-algs it lays the same grid file out under several declustering
 // schemes and reports throughput and latency percentiles per scheme — the
 // paper's response-time comparison, measured through a real network stack.
+//
+// Both subcommands accept -fault, a failpoint spec (see internal/fault) armed
+// through the FAULT admin verb: serve starts chaos-injected, bench measures a
+// server under injected disk errors, stalls and torn reads. With -degraded
+// the server answers such queries partially (flagged on the wire) instead of
+// erroring; scripts/chaos.sh is the deterministic smoke gate built on this.
 package main
 
 import (

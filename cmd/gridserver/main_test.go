@@ -71,6 +71,43 @@ func TestBenchStoreMode(t *testing.T) {
 	}
 }
 
+// TestBenchChaosMode runs the closed-loop load with one disk killed through
+// the -fault flag and degraded mode on: the run must finish with zero
+// errors, and the report's trailing column must count the partial answers.
+func TestBenchChaosMode(t *testing.T) {
+	dir, _ := writeTestLayout(t, 600, 4)
+	var buf bytes.Buffer
+	err := runBench([]string{
+		"-store", dir, "-clients", "4", "-queries", "200", "-seed", "7",
+		"-fault", "store.read.disk0:err", "-degraded", "-cache-bytes", "0",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "degraded") {
+		t.Errorf("report missing degraded column:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, filepath.Base(dir)) {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[2] != "0" {
+				t.Errorf("chaos bench reported errors: %q", line)
+			}
+			if fields[len(fields)-1] == "0" {
+				t.Errorf("dead disk produced zero degraded answers: %q", line)
+			}
+		}
+	}
+
+	// A malformed spec must fail the run up front.
+	if err := runBench([]string{
+		"-store", dir, "-queries", "10", "-fault", "store.read:bogus",
+	}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed -fault spec accepted")
+	}
+}
+
 // TestBenchGridMode declusters one grid file under two schemes and
 // benchmarks both layouts, producing one comparison row per scheme.
 func TestBenchGridMode(t *testing.T) {

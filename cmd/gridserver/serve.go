@@ -8,6 +8,7 @@ import (
 	"syscall"
 	"time"
 
+	"pgridfile/internal/fault"
 	"pgridfile/internal/server"
 )
 
@@ -18,6 +19,18 @@ func cacheFlag(v int64) int64 {
 		return -1
 	}
 	return v
+}
+
+// faultRegistry builds the server's failpoint registry from the CLI flags:
+// seeded for reproducible chaos schedules, optionally pre-armed with a spec.
+func faultRegistry(spec string, seed int64) (*fault.Registry, error) {
+	reg := fault.NewRegistry(seed)
+	if spec != "" {
+		if err := reg.SetSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
 }
 
 func runServe(args []string) error {
@@ -31,9 +44,19 @@ func runServe(args []string) error {
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "bucket cache budget in bytes (<=0 disables caching)")
 	coalesce := fs.Bool("coalesce", true, "coalesce adjacent page reads per disk")
 	pprof := fs.Bool("pprof", false, "expose /debug/pprof on the -http address")
+	faultSpec := fs.String("fault", "", "failpoint spec to arm at startup, e.g. store.read:err:p=0.05 (see internal/fault)")
+	faultSeed := fs.Int64("fault-seed", 1, "seed for the fault registry's reproducible schedules")
+	degraded := fs.Bool("degraded", true, "answer partially (with the degraded flag) when disks fail transiently, instead of erroring")
+	fetchTimeout := fs.Duration("fetch-timeout", 0, "per-attempt deadline for one disk batch read (0 disables)")
+	fetchRetries := fs.Int("fetch-retries", 2, "retries per transiently-failed disk batch (-1 disables)")
+	fetchBackoff := fs.Duration("fetch-backoff", 2*time.Millisecond, "base backoff between disk-batch retries")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -store is required")
+	}
+	reg, err := faultRegistry(*faultSpec, *faultSeed)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 
 	s, err := server.OpenDir(*dir, server.Config{
@@ -45,6 +68,11 @@ func runServe(args []string) error {
 		CacheBytes:      cacheFlag(*cacheBytes),
 		DisableCoalesce: !*coalesce,
 		Pprof:           *pprof,
+		Faults:          reg,
+		Degraded:        *degraded,
+		FetchTimeout:    *fetchTimeout,
+		FetchRetries:    *fetchRetries,
+		FetchBackoff:    *fetchBackoff,
 	})
 	if err != nil {
 		return err
@@ -55,6 +83,9 @@ func runServe(args []string) error {
 	if h := s.HTTPAddr(); h != nil {
 		fmt.Printf("gridserver: metrics on http://%s/metrics\n", h)
 	}
+	if *faultSpec != "" {
+		fmt.Printf("gridserver: failpoints armed (seed %d): %s\n", *faultSeed, *faultSpec)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -64,8 +95,8 @@ func runServe(args []string) error {
 		return err
 	}
 	final := s.Snapshot()
-	fmt.Printf("gridserver: served %d queries (%d errors, %d rejected), p50=%.0fµs p99=%.0fµs\n",
-		final.QueriesTotal, final.Errors, final.Rejected,
+	fmt.Printf("gridserver: served %d queries (%d errors, %d rejected, %d degraded), p50=%.0fµs p99=%.0fµs\n",
+		final.QueriesTotal, final.Errors, final.Rejected, final.Degraded,
 		final.LatencyMicros.P50, final.LatencyMicros.P99)
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -45,7 +46,7 @@ func runLayout(args []string) error {
 	defer s.Close()
 	total := 0
 	for _, pl := range m.Buckets {
-		pts, _, err := s.ReadBucket(pl.ID)
+		pts, _, err := s.ReadBucket(context.Background(), pl.ID)
 		if err != nil {
 			return fmt.Errorf("layout verification: bucket %d: %w", pl.ID, err)
 		}

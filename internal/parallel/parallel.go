@@ -21,6 +21,7 @@ import (
 
 	"pgridfile/internal/core"
 	"pgridfile/internal/diskmodel"
+	"pgridfile/internal/fault"
 	"pgridfile/internal/geom"
 	"pgridfile/internal/gridfile"
 )
@@ -80,6 +81,12 @@ type Config struct {
 	// many cells, charging Cost.DirPageRead per page touched. Zero keeps
 	// the flat in-memory directory with the constant CoordPerQuery cost.
 	DirectoryPageCells int
+	// Faults, when non-nil, is consulted for every coordinator↔worker
+	// message at the fault.SiteParallelSend / SiteParallelRecv sites: an
+	// injected delay stalls the message, an injected error drops it and
+	// fails the query. Underlying exchanges that did happen are always
+	// completed, so the engine stays usable after an injected drop.
+	Faults *fault.Registry
 }
 
 // QueryResult reports one query's execution.
@@ -391,11 +398,20 @@ func (e *Engine) query(q geom.Rect, wantKeys bool) (QueryResult, []float64, erro
 	}
 	e.mu.Unlock()
 
-	// Ship requests to the active workers and gather replies.
+	// Ship requests to the active workers and gather replies. A dropped
+	// request skips that worker entirely; a dropped reply is still taken
+	// off the channel. Either way the query fails with the injected error
+	// only after every in-flight exchange has been collected, so the
+	// engine survives the fault.
 	replyCh := make(chan reply, e.cfg.Workers)
 	active := 0
+	var injErr error
 	for w, blocks := range perWorker {
 		if len(blocks) == 0 {
+			continue
+		}
+		if err := e.evalFault(fault.SiteParallelSend); err != nil {
+			injErr = err
 			continue
 		}
 		active++
@@ -408,6 +424,12 @@ func (e *Engine) query(q geom.Rect, wantKeys bool) (QueryResult, []float64, erro
 	cm := e.cfg.Cost
 	for i := 0; i < active; i++ {
 		rep := <-replyCh
+		if err := e.evalFault(fault.SiteParallelRecv); err != nil {
+			if injErr == nil {
+				injErr = err
+			}
+			continue
+		}
 		res.Blocks += rep.blocks
 		res.Records += rep.records
 		res.CacheHits += rep.hits
@@ -423,8 +445,25 @@ func (e *Engine) query(q geom.Rect, wantKeys bool) (QueryResult, []float64, erro
 		res.Comm += time.Duration(rep.blocks*cm.RequestBytesPerBlock) * cm.TransferPerByte
 		res.Comm += time.Duration(rep.records*cm.RecordBytes) * cm.TransferPerByte
 	}
+	if injErr != nil {
+		return QueryResult{}, nil, injErr
+	}
 	res.Elapsed = cm.CoordPerQuery + coordExtra + maxDisk + res.Comm
 	return res, keys, nil
+}
+
+// evalFault consults the engine's failpoint registry at a message site: an
+// injected delay stalls the caller (modelling interconnect latency), an
+// injected error means the message was dropped.
+func (e *Engine) evalFault(site string) error {
+	inj, hit := e.cfg.Faults.Eval(site)
+	if !hit {
+		return nil
+	}
+	if inj.Delay > 0 {
+		time.Sleep(inj.Delay)
+	}
+	return inj.Err
 }
 
 // Run executes a whole workload sequentially (queries are not pipelined,

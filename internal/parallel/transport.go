@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"pgridfile/internal/fault"
 	"sync"
 	"time"
 
@@ -149,14 +150,24 @@ func (w *worker) serveWire(conn net.Conn, wg *sync.WaitGroup) {
 }
 
 // queryWire runs one query over the wire transport: encode a request to
-// every active worker, then decode their replies.
+// every active worker, then decode their replies. Failpoint semantics match
+// the channel path: a dropped request is never encoded (the worker stays
+// idle), and a dropped reply is still decoded off the gob stream — the
+// streams must stay in lockstep or the next query would read stale frames —
+// then discarded. The injected error is returned only after every pending
+// reply has been drained.
 func (e *Engine) queryWire(q geom.Rect, perWorker [][]int64, wantKeys bool, coordExtra time.Duration) (QueryResult, []float64, error) {
 	type pending struct {
 		link *wireLink
 	}
 	var active []pending
+	var injErr error
 	for wid, blocks := range perWorker {
 		if len(blocks) == 0 {
+			continue
+		}
+		if err := e.evalFault(fault.SiteParallelSend); err != nil {
+			injErr = err
 			continue
 		}
 		link := e.links[wid]
@@ -178,6 +189,12 @@ func (e *Engine) queryWire(q geom.Rect, perWorker [][]int64, wantKeys bool, coor
 			}
 			return QueryResult{}, nil, fmt.Errorf("parallel: receiving reply: %w", err)
 		}
+		if err := e.evalFault(fault.SiteParallelRecv); err != nil {
+			if injErr == nil {
+				injErr = err
+			}
+			continue
+		}
 		res.Blocks += rep.Blocks
 		res.Records += rep.Records
 		res.CacheHits += rep.Hits
@@ -191,6 +208,9 @@ func (e *Engine) queryWire(q geom.Rect, perWorker [][]int64, wantKeys bool, coor
 		res.Comm += 2 * cm.MsgLatency
 		res.Comm += time.Duration(rep.Blocks*cm.RequestBytesPerBlock) * cm.TransferPerByte
 		res.Comm += time.Duration(rep.Records*cm.RecordBytes) * cm.TransferPerByte
+	}
+	if injErr != nil {
+		return QueryResult{}, nil, injErr
 	}
 	res.Elapsed = cm.CoordPerQuery + coordExtra + maxDisk + res.Comm
 	return res, keys, nil

@@ -1,0 +1,405 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pgridfile/internal/fault"
+	"pgridfile/internal/workload"
+)
+
+// httpGet fetches one path from the server's HTTP listener over a raw
+// HTTP/1.0 exchange (no net/http client dependency in tests).
+func httpGet(t *testing.T, addr, path string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET %s HTTP/1.0\r\n\r\n", path)
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		n, err := conn.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+// chaosProfile is the satellite chaos schedule: 5% of preads fail, 5% stall
+// 10ms, 2% deliver torn pages. All three are transient, so the retry policy
+// absorbs most of them and degraded mode the rest.
+const chaosProfile = "store.read:err:p=0.05;store.read:delay=10ms:p=0.05;store.read:torn:p=0.02"
+
+// TestChaosRangeQueriesNeverErrorOut drives 1000 concurrent range queries
+// into a server whose store randomly fails, stalls and tears reads. The
+// contract under chaos: no query hangs, no query errors out — every answer
+// is either complete (and exactly correct) or explicitly degraded (and a
+// strict subset of the correct answer). Run under -race by scripts/check.sh.
+func TestChaosRangeQueriesNeverErrorOut(t *testing.T) {
+	const (
+		clients   = 8
+		perClient = 125
+		total     = clients * perClient // 1000
+		disks     = 4
+	)
+	reg := fault.NewRegistry(7)
+	if err := reg.SetSpec(chaosProfile); err != nil {
+		t.Fatal(err)
+	}
+	s, f := newTestServer(t, 900, disks, Config{
+		Faults:       reg,
+		Degraded:     true,
+		FetchRetries: 1,
+		CacheBytes:   -1, // every query does real injected I/O
+	})
+	dom := f.Domain()
+	ranges := workload.SquareRange(dom, 0.05, total, 11)
+	want := make([]int, total)
+	for i, q := range ranges {
+		want[i] = f.RangeCount(q)
+	}
+	// Membership oracle for the strict-subset check on point-returning
+	// queries: a degraded answer may miss records but must never invent one.
+	inFile := map[[2]float64]int{}
+	f.Scan(func(key []float64, _ []byte) bool {
+		inFile[[2]float64{key[0], key[1]}]++
+		return true
+	})
+
+	var wg sync.WaitGroup
+	var degraded, complete int64
+	var mu sync.Mutex
+	errCh := make(chan error, total)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := NewClientMust(t, s)
+			defer cl.Close()
+			for j := 0; j < perClient; j++ {
+				i := c*perClient + j
+				if i%2 == 0 {
+					n, info, err := cl.RangeCount(ranges[i])
+					if err != nil {
+						errCh <- fmt.Errorf("count %d errored under chaos: %w", i, err)
+						return
+					}
+					if info.Degraded {
+						if info.MissedDisks < 1 || info.MissedDisks > disks {
+							errCh <- fmt.Errorf("count %d: degraded with missed=%d", i, info.MissedDisks)
+							return
+						}
+						if n > want[i] {
+							errCh <- fmt.Errorf("count %d: degraded answer %d exceeds truth %d", i, n, want[i])
+							return
+						}
+						mu.Lock()
+						degraded++
+						mu.Unlock()
+					} else {
+						if info.MissedDisks != 0 {
+							errCh <- fmt.Errorf("count %d: missed=%d without degraded flag", i, info.MissedDisks)
+							return
+						}
+						if n != want[i] {
+							errCh <- fmt.Errorf("count %d: non-degraded answer %d, want %d", i, n, want[i])
+							return
+						}
+						mu.Lock()
+						complete++
+						mu.Unlock()
+					}
+				} else {
+					pts, info, err := cl.Range(ranges[i])
+					if err != nil {
+						errCh <- fmt.Errorf("range %d errored under chaos: %w", i, err)
+						return
+					}
+					if len(pts) > want[i] || (!info.Degraded && len(pts) != want[i]) {
+						errCh <- fmt.Errorf("range %d: %d points, want %d (degraded=%v)",
+							i, len(pts), want[i], info.Degraded)
+						return
+					}
+					mu.Lock()
+					if info.Degraded {
+						degraded++
+					} else {
+						complete++
+					}
+					mu.Unlock()
+					for _, p := range pts {
+						if !ranges[i].ContainsPoint(p) || inFile[[2]float64{p[0], p[1]}] == 0 {
+							errCh <- fmt.Errorf("range %d: invented point %v", i, p)
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("chaos workload hung")
+	}
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if complete == 0 {
+		t.Error("every query degraded — the retry policy absorbed nothing")
+	}
+
+	snap := s.Snapshot()
+	if snap.FaultInjected == 0 {
+		t.Error("chaos run injected zero faults")
+	}
+	if snap.DiskRetries == 0 {
+		t.Error("chaos run retried zero disk batches")
+	}
+	if snap.Degraded != degraded {
+		t.Errorf("server counted %d degraded queries, clients saw %d", snap.Degraded, degraded)
+	}
+	if snap.Errors != 0 {
+		t.Errorf("%d queries errored out under chaos; all failures must degrade", snap.Errors)
+	}
+}
+
+// TestDegradedDiskKill kills one whole disk via the FAULT admin verb and
+// proves: every full-domain answer is flagged degraded with exactly one
+// missed disk and exactly the surviving disks' records; clearing the fault
+// restores complete answers; and the /metrics endpoint exports nonzero
+// fault/degraded/retry counters.
+func TestDegradedDiskKill(t *testing.T) {
+	const disks = 4
+	reg := fault.NewRegistry(3)
+	s, f := newTestServer(t, 700, disks, Config{
+		Faults:       reg,
+		Degraded:     true,
+		FetchRetries: 1,
+		FetchBackoff: time.Millisecond,
+		CacheBytes:   -1,
+		HTTPAddr:     "127.0.0.1:0",
+	})
+	cl := newTestClient(t, s, ClientConfig{})
+
+	// Arm the kill through the admin verb, as an operator would.
+	const kill = 1
+	st, err := cl.Fault(context.Background(), fault.StoreReadDiskSite(kill)+":err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sites) != 1 || st.Sites[0].Site != fault.StoreReadDiskSite(kill) {
+		t.Fatalf("armed sites = %+v", st.Sites)
+	}
+
+	// Count the records the dead disk holds; the degraded answer must be
+	// everything else.
+	lost := 0
+	for _, v := range f.Buckets() {
+		if pl, ok := s.st.Placement(v.ID); ok && pl.Disk == kill {
+			lost += pl.Recs
+		}
+	}
+	if lost == 0 {
+		t.Fatalf("disk %d holds no records; kill test is vacuous", kill)
+	}
+
+	for i := 0; i < 5; i++ {
+		n, info, err := cl.RangeCount(f.Domain())
+		if err != nil {
+			t.Fatalf("full-domain count with a dead disk errored: %v", err)
+		}
+		if !info.Degraded || info.MissedDisks != 1 {
+			t.Fatalf("degraded=%v missed=%d, want true/1", info.Degraded, info.MissedDisks)
+		}
+		if n != f.Len()-lost {
+			t.Fatalf("degraded count = %d, want %d (%d total - %d on disk %d)",
+				n, f.Len()-lost, f.Len(), lost, kill)
+		}
+	}
+
+	// Status shows the rule firing; clear restores complete service.
+	st, err = cl.Fault(context.Background(), "status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Injected == 0 || len(st.Sites) != 1 || st.Sites[0].Fired == 0 {
+		t.Fatalf("status after kill: %+v", st)
+	}
+	if _, err := cl.Fault(context.Background(), "clear"); err != nil {
+		t.Fatal(err)
+	}
+	n, info, err := cl.RangeCount(f.Domain())
+	if err != nil || info.Degraded || n != f.Len() {
+		t.Fatalf("after clear: n=%d degraded=%v err=%v, want %d/false/nil", n, info.Degraded, err, f.Len())
+	}
+
+	// A malformed spec is answered with a server error, not a hang.
+	if _, err := cl.Fault(context.Background(), "store.read:bogus"); err == nil {
+		t.Error("malformed fault spec accepted")
+	} else {
+		var se *ServerError
+		if !errors.As(err, &se) {
+			t.Errorf("malformed spec drew a transport error: %v", err)
+		}
+	}
+
+	// The Prometheus endpoint must export the chaos counters, nonzero.
+	metrics := httpGet(t, s.HTTPAddr().String(), "/metrics")
+	for _, name := range []string{
+		"gridserver_fault_injected_total",
+		"gridserver_queries_degraded_total",
+		"gridserver_disk_retries_total",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics missing %s:\n%s", name, metrics)
+		}
+		if strings.Contains(metrics, name+" 0\n") {
+			t.Errorf("/metrics reports %s = 0 after the kill", name)
+		}
+	}
+}
+
+// TestDegradedOffFailsFast proves the zero-value Config keeps the original
+// fail-fast contract: with degradation off, a dead disk turns into a query
+// error, never a silent partial answer.
+func TestDegradedOffFailsFast(t *testing.T) {
+	reg := fault.NewRegistry(5)
+	reg.Set(fault.Rule{Site: fault.StoreReadDiskSite(0), Kind: fault.KindError})
+	s, f := newTestServer(t, 400, 2, Config{
+		Faults:       reg,
+		FetchRetries: -1,
+		CacheBytes:   -1,
+	})
+	cl := newTestClient(t, s, ClientConfig{Retries: -1})
+	_, info, err := cl.RangeCount(f.Domain())
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("dead disk with Degraded=false: err=%v, want a server error", err)
+	}
+	if info.Degraded {
+		t.Error("error path carried a degraded flag")
+	}
+}
+
+// TestClientCancelDuringBackoff is the client regression test: a context
+// cancelled while the client sleeps between retry attempts must abort the
+// request promptly with the context's error, not ride out the backoff.
+func TestClientCancelDuringBackoff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { // hang up on everyone: every attempt fails, forcing backoff
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	defer ln.Close()
+
+	cl, err := NewClient(ClientConfig{
+		Addr:           ln.Addr().String(),
+		Retries:        5,
+		Backoff:        10 * time.Second, // without cancellation this blocks for minutes
+		RequestTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond) // first attempt fails, then mid-backoff
+		cancel()
+	}()
+	start := time.Now()
+	_, err = cl.do(ctx, Request{Verb: VerbStats})
+	if err == nil {
+		t.Fatal("request against hang-up server succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation not surfaced: %v", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("cancel mid-backoff took %v; the 10s backoff was not interrupted", el)
+	}
+}
+
+// TestFaultCommandNotRetried proves the FAULT verb gets exactly one attempt:
+// re-sending an arm command after a lost reply could double-arm the rules,
+// so a transport failure must surface instead of being retried.
+func TestFaultCommandNotRetried(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	dials := 0
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			dials++
+			mu.Unlock()
+			c.Close()
+		}
+	}()
+	defer ln.Close()
+
+	cl, err := NewClient(ClientConfig{
+		Addr: ln.Addr().String(), Retries: 3,
+		Backoff: time.Millisecond, RequestTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Fault(context.Background(), "status"); err == nil {
+		t.Fatal("FAULT against hang-up server succeeded")
+	}
+	mu.Lock()
+	faultDials := dials
+	dials = 0
+	mu.Unlock()
+	if faultDials != 1 {
+		t.Errorf("non-idempotent FAULT used %d connection attempts, want 1", faultDials)
+	}
+
+	// Sanity: an idempotent request on the same client does retry.
+	if _, err := cl.Stats(); err == nil {
+		t.Fatal("STATS against hang-up server succeeded")
+	}
+	mu.Lock()
+	statsDials := dials
+	mu.Unlock()
+	if statsDials != 4 {
+		t.Errorf("idempotent STATS used %d connection attempts, want 4", statsDials)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -99,9 +100,14 @@ func (c *Client) putConn(conn net.Conn) {
 	c.idle = append(c.idle, conn)
 }
 
-// roundTrip sends one frame and reads one reply on conn.
-func (c *Client) roundTrip(conn net.Conn, req Frame) (Frame, error) {
+// roundTrip sends one frame and reads one reply on conn. The connection
+// deadline is the sooner of RequestTimeout and ctx's deadline, so a
+// cancelled caller is not held to the full request timeout.
+func (c *Client) roundTrip(ctx context.Context, conn net.Conn, req Frame) (Frame, error) {
 	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	if err := conn.SetDeadline(deadline); err != nil {
 		return Frame{}, err
 	}
@@ -111,25 +117,44 @@ func (c *Client) roundTrip(conn net.Conn, req Frame) (Frame, error) {
 	return ReadFrame(conn)
 }
 
+// idempotent reports whether a request may safely be re-sent when the
+// transport failed mid-flight. Queries and STATS are read-only; a FAULT
+// command is not — "arm these rules" applied twice arms them twice, and a
+// lost reply does not mean the command was lost — so it gets exactly one
+// attempt.
+func idempotent(v Verb) bool { return v != VerbFault }
+
 // do runs one request with pooling and retry. A *ServerError reply is
 // returned as-is (the connection stays usable and pooled); transport
-// failures discard the connection and retry on a fresh one with backoff.
-func (c *Client) do(req Request) (Frame, error) {
+// failures discard the connection and retry idempotent requests on a fresh
+// connection with backoff. Cancelling ctx aborts promptly, including
+// mid-backoff.
+func (c *Client) do(ctx context.Context, req Request) (Frame, error) {
 	f, err := EncodeRequest(req)
 	if err != nil {
 		return Frame{}, err
 	}
+	retries := c.cfg.Retries
+	if !idempotent(req.Verb) {
+		retries = 0
+	}
 	var lastErr error
-	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
-			time.Sleep(retryDelay(c.cfg.Backoff, attempt))
+			if err := sleepCtx(ctx, retryDelay(c.cfg.Backoff, attempt)); err != nil {
+				return Frame{}, fmt.Errorf("server: request cancelled during retry backoff: %w (last error: %v)",
+					err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return Frame{}, err
 		}
 		conn, err := c.getConn()
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		resp, err := c.roundTrip(conn, f)
+		resp, err := c.roundTrip(ctx, conn, f)
 		if err != nil {
 			conn.Close()
 			lastErr = err
@@ -143,7 +168,19 @@ func (c *Client) do(req Request) (Frame, error) {
 		return resp, nil
 	}
 	return Frame{}, fmt.Errorf("server: request failed after %d attempts: %w",
-		c.cfg.Retries+1, lastErr)
+		retries+1, lastErr)
+}
+
+// sleepCtx pauses for d unless ctx is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // retryDelay computes the sleep before retry `attempt` (1-based): full
@@ -161,7 +198,7 @@ func retryDelay(base time.Duration, attempt int) time.Duration {
 }
 
 func (c *Client) doResult(req Request) (Result, error) {
-	resp, err := c.do(req)
+	resp, err := c.do(context.Background(), req)
 	if err != nil {
 		return Result{}, err
 	}
@@ -202,7 +239,7 @@ func (c *Client) KNN(key geom.Point, k int) ([]geom.Point, QueryInfo, error) {
 
 // Stats fetches the server's statistics snapshot via the STATS verb.
 func (c *Client) Stats() (Snapshot, error) {
-	resp, err := c.do(Request{Verb: VerbStats})
+	resp, err := c.do(context.Background(), Request{Verb: VerbStats})
 	if err != nil {
 		return Snapshot{}, err
 	}
@@ -214,6 +251,25 @@ func (c *Client) Stats() (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("server: parsing stats: %w", err)
 	}
 	return s, nil
+}
+
+// Fault runs one FAULT admin command — "status", "clear", or a fault spec
+// to arm (see internal/fault for the grammar) — and returns the registry's
+// post-command status. FAULT is not idempotent, so transport failures are
+// never retried; ctx cancels the round trip.
+func (c *Client) Fault(ctx context.Context, cmd string) (FaultStatus, error) {
+	resp, err := c.do(ctx, Request{Verb: VerbFault, FaultCmd: cmd})
+	if err != nil {
+		return FaultStatus{}, err
+	}
+	if resp.Verb != VerbFaultReply {
+		return FaultStatus{}, fmt.Errorf("server: unexpected reply verb 0x%02x", uint8(resp.Verb))
+	}
+	var st FaultStatus
+	if err := json.Unmarshal(resp.Payload, &st); err != nil {
+		return FaultStatus{}, fmt.Errorf("server: parsing fault status: %w", err)
+	}
+	return st, nil
 }
 
 // Close releases all pooled connections. In-flight requests on borrowed

@@ -20,6 +20,8 @@ func FuzzCodec(f *testing.F) {
 		{Verb: VerbPartial, Vals: []float64{math.NaN(), 4}},
 		{Verb: VerbKNN, Key: geom.Point{0.5}, K: 3},
 		{Verb: VerbStats},
+		{Verb: VerbFault, FaultCmd: "status"},
+		{Verb: VerbFault, FaultCmd: "store.read:err:p=0.05;store.read:delay=10ms"},
 	}
 	for _, req := range seed {
 		fr, err := EncodeRequest(req)
@@ -68,7 +70,8 @@ func FuzzCodec(f *testing.F) {
 }
 
 func requestsEqual(a, b Request) bool {
-	if a.Verb != b.Verb || a.K != b.K || a.CountOnly != b.CountOnly {
+	if a.Verb != b.Verb || a.K != b.K || a.CountOnly != b.CountOnly ||
+		a.FaultCmd != b.FaultCmd {
 		return false
 	}
 	if len(a.Key) != len(b.Key) || len(a.Query) != len(b.Query) || len(a.Vals) != len(b.Vals) {
@@ -88,6 +91,81 @@ func requestsEqual(a, b Request) bool {
 		if a.Vals[i] != b.Vals[i] &&
 			!(math.IsNaN(a.Vals[i]) && math.IsNaN(b.Vals[i])) {
 			return false
+		}
+	}
+	return true
+}
+
+// FuzzDegradedCodec hammers the result decoder — in particular the degraded
+// trailer (flags + missed-disk count) appended for fault-tolerant serving —
+// with arbitrary payloads: whatever decodes must satisfy the degraded ⟺
+// missed>0 invariant and re-encode to a fixed point; inconsistent trailers
+// must error, never panic or leak through.
+func FuzzDegradedCodec(f *testing.F) {
+	seeds := []struct {
+		verb Verb
+		res  Result
+	}{
+		{VerbCount, Result{Count: 42, Info: QueryInfo{Buckets: 3, Pages: 7, Elapsed: 1500}}},
+		{VerbCount, Result{Count: 10, Info: QueryInfo{Buckets: 2, Pages: 2, Degraded: true, MissedDisks: 1}}},
+		{VerbPoints, Result{Points: []geom.Point{{1, 2}, {3, 4}}, Count: 2,
+			Info: QueryInfo{Buckets: 1, Pages: 1, Degraded: true, MissedDisks: 3}}},
+		{VerbPoints, Result{}},
+	}
+	for _, s := range seeds {
+		fr, err := EncodeResult(s.verb, s.res)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(uint8(s.verb), fr.Payload)
+	}
+	// Hand-corrupted trailers: degraded flag without a missed count, and an
+	// unknown flag bit. Both must be rejected by the decoder.
+	base, err := EncodeResult(VerbCount, Result{Count: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, flag := range []byte{1, 2} {
+		bad := append([]byte(nil), base.Payload...)
+		bad[len(bad)-3] = flag
+		f.Add(uint8(VerbCount), bad)
+	}
+
+	f.Fuzz(func(t *testing.T, verb uint8, payload []byte) {
+		res, err := DecodeResult(Frame{Verb: Verb(verb), Payload: payload})
+		if err != nil {
+			return // malformed results must error, never panic
+		}
+		if res.Info.Degraded != (res.Info.MissedDisks > 0) {
+			t.Fatalf("decoder let an inconsistent degraded trailer through: %+v", res.Info)
+		}
+		fr2, err := EncodeResult(Verb(verb), res)
+		if err != nil {
+			t.Fatalf("decoded result does not re-encode: %+v: %v", res, err)
+		}
+		res2, err := DecodeResult(fr2)
+		if err != nil {
+			t.Fatalf("re-encoded result does not decode: %v", err)
+		}
+		if !resultsEqual(res, res2) {
+			t.Fatalf("round trip not a fixed point:\n%+v\n%+v", res, res2)
+		}
+	})
+}
+
+func resultsEqual(a, b Result) bool {
+	if a.Count != b.Count || a.Info != b.Info || len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if len(a.Points[i]) != len(b.Points[i]) {
+			return false
+		}
+		for d := range a.Points[i] {
+			av, bv := a.Points[i][d], b.Points[i][d]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				return false
+			}
 		}
 	}
 	return true

@@ -13,7 +13,7 @@ import (
 )
 
 // verbIndex maps request verbs to dense counter slots.
-var verbNames = []string{"point", "range", "partial", "knn", "stats"}
+var verbNames = []string{"point", "range", "partial", "knn", "stats", "fault"}
 
 func verbIndex(v Verb) int {
 	switch v {
@@ -27,6 +27,8 @@ func verbIndex(v Verb) int {
 		return 3
 	case VerbStats:
 		return 4
+	case VerbFault:
+		return 5
 	}
 	return -1
 }
@@ -113,9 +115,11 @@ type QuantileSummary struct {
 // safe for concurrent use.
 type Metrics struct {
 	start       time.Time
-	queries     [5]atomic.Int64 // by verb
+	queries     [6]atomic.Int64 // by verb
 	errors      atomic.Int64    // protocol/decode/execution errors answered
 	rejected    atomic.Int64    // admission-control and deadline rejections
+	degraded    atomic.Int64    // queries answered partially (missed disks)
+	diskRetries atomic.Int64    // disk-batch retry attempts
 	pagesRead   atomic.Int64
 	diskFetches []atomic.Int64 // bucket fetches per disk
 	latency     hist           // service time, microseconds
@@ -139,6 +143,9 @@ type Snapshot struct {
 	QueriesTotal  int64            `json:"queries_total"`
 	Errors        int64            `json:"errors"`
 	Rejected      int64            `json:"rejected"`
+	Degraded      int64            `json:"queries_degraded"`
+	DiskRetries   int64            `json:"disk_retries"`
+	FaultInjected int64            `json:"fault_injected"`
 	InFlight      int              `json:"in_flight"`
 	DiskFetches   []int64          `json:"disk_bucket_fetches"`
 	PagesRead     int64            `json:"pages_read"`
@@ -153,6 +160,8 @@ func (m *Metrics) snapshot(inflight int) Snapshot {
 		Queries:       make(map[string]int64, len(verbNames)),
 		Errors:        m.errors.Load(),
 		Rejected:      m.rejected.Load(),
+		Degraded:      m.degraded.Load(),
+		DiskRetries:   m.diskRetries.Load(),
 		InFlight:      inflight,
 		PagesRead:     m.pagesRead.Load(),
 		LatencyMicros: m.latency.snapshot(),
@@ -179,6 +188,9 @@ func (s Snapshot) writePrometheus(w http.ResponseWriter) {
 	}
 	fmt.Fprintf(w, "gridserver_errors_total %d\n", s.Errors)
 	fmt.Fprintf(w, "gridserver_rejected_total %d\n", s.Rejected)
+	fmt.Fprintf(w, "gridserver_queries_degraded_total %d\n", s.Degraded)
+	fmt.Fprintf(w, "gridserver_disk_retries_total %d\n", s.DiskRetries)
+	fmt.Fprintf(w, "gridserver_fault_injected_total %d\n", s.FaultInjected)
 	fmt.Fprintf(w, "gridserver_in_flight %d\n", s.InFlight)
 	fmt.Fprintf(w, "gridserver_pages_read_total %d\n", s.PagesRead)
 	for d, n := range s.DiskFetches {

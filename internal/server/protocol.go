@@ -50,10 +50,12 @@ const (
 	VerbPartial Verb = 3 // partial-match query (NaN = unspecified)
 	VerbKNN     Verb = 4 // k nearest neighbours
 	VerbStats   Verb = 5 // server statistics snapshot
+	VerbFault   Verb = 6 // admin: inspect/arm/clear failpoints
 
 	VerbPoints     Verb = 0x81 // response: point set + I/O accounting
 	VerbCount      Verb = 0x82 // response: record count + I/O accounting
 	VerbStatsReply Verb = 0x83 // response: JSON statistics snapshot
+	VerbFaultReply Verb = 0x84 // response: JSON failpoint status
 	VerbError      Verb = 0xFF // response: error message
 )
 
@@ -113,15 +115,23 @@ type Request struct {
 	Vals      []float64  // VerbPartial; NaN marks an unspecified attribute
 	K         int        // VerbKNN
 	CountOnly bool       // VerbRange: return only the record count
+	FaultCmd  string     // VerbFault: "status" | "clear" | a fault spec
 }
 
 // QueryInfo is the server-side execution profile shipped with every answer:
 // the paper's I/O accounting (distinct buckets fetched, pages read) plus the
-// service time observed at the server.
+// service time observed at the server. Degraded marks a partial answer —
+// MissedDisks of the layout's disks could not be read before the fetch
+// deadline/retry budget ran out, so the result covers only the surviving
+// disks (always a subset of the full answer, never wrong data). The two
+// fields travel together: a response is degraded iff MissedDisks > 0, and
+// both codec directions enforce that invariant.
 type QueryInfo struct {
-	Buckets int
-	Pages   int
-	Elapsed time.Duration
+	Buckets     int
+	Pages       int
+	Elapsed     time.Duration
+	Degraded    bool
+	MissedDisks int
 }
 
 // Result is the decoded form of an answer frame.
@@ -282,6 +292,11 @@ func EncodeRequest(req Request) (Frame, error) {
 		}
 	case VerbStats:
 		// empty payload
+	case VerbFault:
+		if req.FaultCmd == "" {
+			return Frame{}, errors.New("server: empty FAULT command")
+		}
+		w.b = append(w.b, req.FaultCmd...)
 	default:
 		return Frame{}, fmt.Errorf("server: not a request verb: 0x%02x", uint8(req.Verb))
 	}
@@ -395,6 +410,11 @@ func DecodeRequest(f Frame) (Request, error) {
 		if err := r.done(); err != nil {
 			return Request{}, err
 		}
+	case VerbFault:
+		if len(f.Payload) == 0 {
+			return Request{}, errors.New("server: empty FAULT command")
+		}
+		req.FaultCmd = string(f.Payload)
 	default:
 		return Request{}, fmt.Errorf("server: unknown request verb 0x%02x", uint8(f.Verb))
 	}
@@ -431,6 +451,22 @@ func EncodeResult(verb Verb, res Result) (Frame, error) {
 	w.u32(uint32(res.Info.Buckets))
 	w.u32(uint32(res.Info.Pages))
 	w.u64(uint64(res.Info.Elapsed.Nanoseconds()))
+	// Degraded-mode trailer: flags u8 (bit 0 = degraded) + missed-disk u16.
+	// The pair is validated on both codec directions so a flag without a
+	// missed count (or vice versa) can never cross the wire.
+	if res.Info.Degraded != (res.Info.MissedDisks > 0) {
+		return Frame{}, fmt.Errorf("server: inconsistent degraded info (degraded=%v missed=%d)",
+			res.Info.Degraded, res.Info.MissedDisks)
+	}
+	if res.Info.MissedDisks < 0 || res.Info.MissedDisks > math.MaxUint16 {
+		return Frame{}, fmt.Errorf("server: missed-disk count %d out of range", res.Info.MissedDisks)
+	}
+	flags := uint8(0)
+	if res.Info.Degraded {
+		flags = 1
+	}
+	w.u8(flags)
+	w.u16(uint16(res.Info.MissedDisks))
 	if len(w.b)+1 > MaxFrameBytes {
 		return Frame{}, ErrFrameTooBig
 	}
@@ -474,8 +510,19 @@ func DecodeResult(f Frame) (Result, error) {
 	res.Info.Buckets = int(r.u32())
 	res.Info.Pages = int(r.u32())
 	res.Info.Elapsed = time.Duration(r.u64())
+	flags := r.u8()
+	missed := int(r.u16())
 	if err := r.done(); err != nil {
 		return Result{}, err
+	}
+	if flags > 1 {
+		return Result{}, fmt.Errorf("server: unknown result flags 0x%02x", flags)
+	}
+	res.Info.Degraded = flags&1 != 0
+	res.Info.MissedDisks = missed
+	if res.Info.Degraded != (missed > 0) {
+		return Result{}, fmt.Errorf("server: inconsistent degraded info (flags=0x%02x missed=%d)",
+			flags, missed)
 	}
 	return res, nil
 }

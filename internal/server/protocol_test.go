@@ -40,10 +40,13 @@ func TestRequestRoundTrips(t *testing.T) {
 		{Verb: VerbPartial, Vals: []float64{3.5, math.NaN(), 7}},
 		{Verb: VerbKNN, Key: geom.Point{0.25, 0.75, 0.5}, K: 9},
 		{Verb: VerbStats},
+		{Verb: VerbFault, FaultCmd: "status"},
+		{Verb: VerbFault, FaultCmd: "store.read:err:p=0.05;parallel.send:err:n=40"},
 	}
 	for _, req := range reqs {
 		got := roundTripRequest(t, req)
-		if got.Verb != req.Verb || got.CountOnly != req.CountOnly || got.K != req.K {
+		if got.Verb != req.Verb || got.CountOnly != req.CountOnly || got.K != req.K ||
+			got.FaultCmd != req.FaultCmd {
 			t.Errorf("round trip changed metadata: %+v -> %+v", req, got)
 		}
 		if len(got.Key) != len(req.Key) || len(got.Query) != len(req.Query) ||
@@ -107,6 +110,73 @@ func TestResultRoundTrips(t *testing.T) {
 	if cgot.Count != 42 || cgot.Info != info {
 		t.Errorf("count round trip: %+v", cgot)
 	}
+
+	// The degraded trailer must survive both result verbs.
+	dinfo := QueryInfo{Buckets: 1, Pages: 2, Elapsed: time.Millisecond,
+		Degraded: true, MissedDisks: 2}
+	for _, verb := range []Verb{VerbPoints, VerbCount} {
+		res := Result{Count: 1, Info: dinfo}
+		if verb == VerbPoints {
+			res.Points = []geom.Point{{1, 2}}
+		}
+		df, err := EncodeResult(verb, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dgot, err := DecodeResult(df)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dgot.Info != dinfo {
+			t.Errorf("verb 0x%02x degraded round trip: %+v, want %+v", uint8(verb), dgot.Info, dinfo)
+		}
+	}
+}
+
+// TestDegradedTrailerValidation proves the degraded ⟺ missed>0 invariant is
+// enforced on both codec directions: an inconsistent pair can neither be
+// encoded nor smuggled past the decoder in raw bytes.
+func TestDegradedTrailerValidation(t *testing.T) {
+	bad := []QueryInfo{
+		{Degraded: true, MissedDisks: 0},
+		{Degraded: false, MissedDisks: 3},
+		{Degraded: true, MissedDisks: -1},
+		{Degraded: true, MissedDisks: math.MaxUint16 + 1},
+	}
+	for _, info := range bad {
+		if _, err := EncodeResult(VerbCount, Result{Info: info}); err == nil {
+			t.Errorf("encoded inconsistent degraded info %+v", info)
+		}
+	}
+
+	// Corrupt the trailer of a well-formed frame byte by byte.
+	f, err := EncodeResult(VerbCount, Result{Count: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagOff := len(f.Payload) - 3
+	cases := []struct {
+		name  string
+		flags byte
+		m0    byte // low byte of the missed count
+	}{
+		{"degraded flag without missed count", 1, 0},
+		{"missed count without degraded flag", 0, 2},
+		{"unknown flag bit", 2, 0},
+	}
+	for _, tc := range cases {
+		p := append([]byte(nil), f.Payload...)
+		p[flagOff] = tc.flags
+		p[flagOff+1] = tc.m0
+		if _, err := DecodeResult(Frame{Verb: VerbCount, Payload: p}); err == nil {
+			t.Errorf("%s: decoded", tc.name)
+		}
+	}
+	// A frame without the trailer at all (the pre-degraded wire format) is
+	// a short payload, not a silent default.
+	if _, err := DecodeResult(Frame{Verb: VerbCount, Payload: f.Payload[:flagOff]}); err == nil {
+		t.Error("trailerless result frame decoded")
+	}
 }
 
 // TestMalformedFrames proves the frame reader rejects hostile input without
@@ -162,6 +232,7 @@ func TestMalformedRequests(t *testing.T) {
 		{"knn zero k", Frame{Verb: VerbKNN, Payload: []byte{1, 0, 0, 0, 0, 0,
 			0, 0, 0, 0, 0, 0, 0, 0}}},
 		{"stats with payload", Frame{Verb: VerbStats, Payload: []byte{1}}},
+		{"fault with empty command", Frame{Verb: VerbFault}},
 		{"trailing bytes", Frame{Verb: VerbPoint, Payload: append(
 			mustEncode(t, Request{Verb: VerbPoint, Key: geom.Point{1}}).Payload, 0xAA)}},
 	}

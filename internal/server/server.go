@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pgridfile/internal/cache"
+	"pgridfile/internal/fault"
 	"pgridfile/internal/geom"
 	"pgridfile/internal/gridfile"
 	"pgridfile/internal/store"
@@ -53,6 +54,28 @@ type Config struct {
 	// mux, so the serving path can be profiled in place.
 	Pprof bool
 
+	// Faults is the failpoint registry threaded into the store's read path
+	// and the FAULT admin verb. nil gets a fresh (disarmed) registry, so
+	// the admin verb always works; injection costs one atomic load until a
+	// rule is armed.
+	Faults *fault.Registry
+	// FetchTimeout bounds one disk-batch read attempt, so a stalled disk
+	// is abandoned (and possibly retried) instead of holding the query to
+	// its full deadline. 0 disables the per-attempt bound.
+	FetchTimeout time.Duration
+	// FetchRetries is how many times a failed disk batch is retried when
+	// the failure is transient (injected faults, per-attempt timeouts).
+	// Default 2; -1 disables retries.
+	FetchRetries int
+	// FetchBackoff is the base of the exponential full-jitter backoff
+	// between batch retries. Default 2ms.
+	FetchBackoff time.Duration
+	// Degraded turns disk-level transient failures (after retries) into
+	// partial answers — the response carries the degraded flag and a
+	// missed-disk count instead of an error. Off by default: the zero
+	// value preserves fail-fast behaviour.
+	Degraded bool
+
 	// slowFetch artificially delays every bucket fetch; test hook for
 	// exercising deadlines, admission control and shutdown under load.
 	slowFetch time.Duration
@@ -80,6 +103,18 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes < 0 {
 		c.CacheBytes = 0 // disabled
 	}
+	if c.Faults == nil {
+		c.Faults = fault.NewRegistry(1)
+	}
+	if c.FetchRetries == 0 {
+		c.FetchRetries = 2
+	}
+	if c.FetchRetries < 0 {
+		c.FetchRetries = 0 // disabled
+	}
+	if c.FetchBackoff <= 0 {
+		c.FetchBackoff = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -94,6 +129,7 @@ type fetchReq struct {
 
 type fetchResp struct {
 	ids   []int32 // the requested batch (echoed for error accounting)
+	disk  int     // which disk served (or failed) the batch
 	got   map[int32][]geom.Point
 	pages int
 	err   error
@@ -104,10 +140,11 @@ type fetchResp struct {
 // the coordinator's scales+directory; record data is fetched from the page
 // store with real file I/O.
 type Server struct {
-	cfg  Config
-	grid *gridfile.File
-	st   *store.Store
-	met  *Metrics
+	cfg    Config
+	grid   *gridfile.File
+	st     *store.Store
+	met    *Metrics
+	faults *fault.Registry
 
 	// bcache caches decoded buckets in front of the page store (nil when
 	// disabled). Directory translation itself needs no lock: the grid
@@ -163,11 +200,13 @@ func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
 		grid:    grid,
 		st:      st,
 		met:     newMetrics(m.Disks),
+		faults:  cfg.Faults,
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		fetchCh: make([]chan fetchReq, m.Disks),
 		conns:   make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
 	}
+	st.SetFaults(s.faults)
 	if cfg.CacheBytes > 0 {
 		s.bcache = cache.New(cfg.CacheBytes, 0)
 	}
@@ -239,11 +278,41 @@ func (s *Server) Snapshot() Snapshot {
 	snap.Dims = s.grid.Dims()
 	snap.Disks = s.st.Manifest().Disks
 	snap.Domain = s.st.Manifest().Domain
+	snap.FaultInjected = s.faults.Total()
 	if s.bcache != nil {
 		st := s.bcache.Stats()
 		snap.Cache = &st
 	}
 	return snap
+}
+
+// FaultStatus is the JSON payload of a VerbFaultReply: the registry's seed,
+// lifetime injection count, and every armed rule with its counters.
+type FaultStatus struct {
+	Seed     int64              `json:"seed"`
+	Injected int64              `json:"injected_total"`
+	Sites    []fault.SiteStatus `json:"sites,omitempty"`
+}
+
+// handleFault executes one FAULT admin command: "status" reports the armed
+// rules, "clear" disarms them all, and anything else is parsed as a fault
+// spec and armed on top of the current rules. Every command answers with
+// the post-command status.
+func (s *Server) handleFault(cmd string) ([]byte, error) {
+	switch cmd {
+	case "status":
+	case "clear":
+		s.faults.Clear()
+	default:
+		if err := s.faults.SetSpec(cmd); err != nil {
+			return nil, err
+		}
+	}
+	return json.Marshal(FaultStatus{
+		Seed:     s.faults.Seed(),
+		Injected: s.faults.Total(),
+		Sites:    s.faults.Status(),
+	})
 }
 
 func (s *Server) startHTTP(addr string) error {
@@ -340,8 +409,8 @@ func (s *Server) dispatch(f Frame) Frame {
 		return errorFrame(err.Error())
 	}
 
-	// The STATS verb bypasses admission control so operators can observe a
-	// saturated server.
+	// The STATS and FAULT verbs bypass admission control so operators can
+	// observe — and heal — a saturated or fault-wedged server.
 	if req.Verb == VerbStats {
 		s.met.queries[verbIndex(VerbStats)].Add(1)
 		body, err := json.Marshal(s.Snapshot())
@@ -350,6 +419,15 @@ func (s *Server) dispatch(f Frame) Frame {
 			return errorFrame(err.Error())
 		}
 		return Frame{Verb: VerbStatsReply, Payload: body}
+	}
+	if req.Verb == VerbFault {
+		s.met.queries[verbIndex(VerbFault)].Add(1)
+		body, err := s.handleFault(req.FaultCmd)
+		if err != nil {
+			s.met.errors.Add(1)
+			return errorFrame(err.Error())
+		}
+		return Frame{Verb: VerbFaultReply, Payload: body}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
@@ -380,6 +458,9 @@ func (s *Server) dispatch(f Frame) Frame {
 	}
 	res.Info.Elapsed = time.Since(start)
 	s.met.queries[verbIndex(req.Verb)].Add(1)
+	if res.Info.Degraded {
+		s.met.degraded.Add(1)
+	}
 	s.met.latency.observe(float64(res.Info.Elapsed.Microseconds()))
 	s.met.fetches.observe(float64(res.Info.Buckets))
 
@@ -424,16 +505,50 @@ func (s *Server) execute(ctx context.Context, req Request) (Result, error) {
 
 // diskLoop is one disk's I/O goroutine: one head per spindle, as in the
 // paper's model. Each request is a whole batch of buckets on this disk,
-// read with coalesced I/O unless disabled.
+// read with coalesced I/O unless disabled. The loop — not the submitting
+// query — publishes the batch's outcome to the bucket cache, so a degraded
+// query that stops waiting on this disk still leaves the cache's in-flight
+// table clean for followers.
 func (s *Server) diskLoop(disk int, ch <-chan fetchReq) {
 	defer s.fetchWg.Done()
 	for req := range ch {
-		got, pages, err := s.readBatch(req.ctx, req.ids)
+		got, pages, err := s.fetchBatch(req.ctx, req.ids)
 		if err == nil {
 			s.met.diskFetches[disk].Add(int64(len(req.ids)))
 			s.met.pagesRead.Add(int64(pages))
 		}
-		req.resp <- fetchResp{ids: req.ids, got: got, pages: pages, err: err}
+		s.publishLeads(req.ids, got, err)
+		req.resp <- fetchResp{ids: req.ids, disk: disk, got: got, pages: pages, err: err}
+	}
+}
+
+// fetchBatch runs one disk batch with the per-attempt deadline and the
+// bounded retry/backoff policy. Only transient failures are retried:
+// injected faults (including torn reads, which wrap fault.ErrInjected) and
+// per-attempt timeouts. Real corruption or unknown buckets fail immediately,
+// and an expired query stops retrying at once.
+func (s *Server) fetchBatch(ctx context.Context, ids []int32) (map[int32][]geom.Point, int, error) {
+	for attempt := 1; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if s.cfg.FetchTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, s.cfg.FetchTimeout)
+		}
+		got, pages, err := s.readBatch(actx, ids)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return got, pages, nil
+		}
+		transient := fault.IsInjected(err) ||
+			(s.cfg.FetchTimeout > 0 && errors.Is(err, context.DeadlineExceeded))
+		if !transient || attempt > s.cfg.FetchRetries || ctx.Err() != nil {
+			return nil, 0, err
+		}
+		s.met.diskRetries.Add(1)
+		if fault.Sleep(ctx, retryDelay(s.cfg.FetchBackoff, attempt)) != nil {
+			return nil, 0, err
+		}
 	}
 }
 
@@ -454,12 +569,12 @@ func (s *Server) readBatch(ctx context.Context, ids []int32) (map[int32][]geom.P
 		}
 	}
 	if !s.cfg.DisableCoalesce {
-		return s.st.ReadBuckets(ids)
+		return s.st.ReadBuckets(ctx, ids)
 	}
 	out := make(map[int32][]geom.Point, len(ids))
 	pages := 0
 	for _, id := range ids {
-		pts, p, err := s.st.ReadBucket(id)
+		pts, p, err := s.st.ReadBucket(ctx, id)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -469,8 +584,27 @@ func (s *Server) readBatch(ctx context.Context, ids []int32) (map[int32][]geom.P
 	return out, pages, nil
 }
 
+// publishLeads completes every bucket of a finished batch in the cache —
+// with its data on success, with the error on failure — so followers
+// blocked in Pending.Wait always unblock.
+func (s *Server) publishLeads(ids []int32, got map[int32][]geom.Point, err error) {
+	if s.bcache == nil {
+		return
+	}
+	for _, id := range ids {
+		if err != nil {
+			s.bcache.Complete(id, nil, 0, err)
+			continue
+		}
+		pl, _ := s.st.Placement(id)
+		s.bcache.Complete(id, got[id], pl.Pages, nil)
+	}
+}
+
 // failLeads publishes err for every bucket this query volunteered to load,
 // so waiting followers unblock and the cache's in-flight table stays clean.
+// Used only for batches never handed to a disk goroutine; submitted batches
+// are published by diskLoop.
 func (s *Server) failLeads(ids []int32, err error) {
 	if s.bcache == nil {
 		return
@@ -526,7 +660,8 @@ func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geo
 	// One batch per disk. The response channel is buffered for every batch,
 	// so disk goroutines never block on an abandoned query; and the gather
 	// loop waits for every submitted batch (the disk loops answer expired
-	// contexts immediately), so every lead is completed exactly once.
+	// contexts immediately). Leads of submitted batches are completed by
+	// diskLoop; only batches never handed off are failed here.
 	resp := make(chan fetchResp, len(leads))
 	var err error
 	submitted := 0
@@ -543,22 +678,31 @@ func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geo
 			s.failLeads(batch, err)
 		}
 	}
+	// missedDisks records disks whose batches failed transiently while
+	// degraded mode absorbs the failure; the answer then covers only the
+	// surviving disks (a strict subset of the full result, never wrong
+	// records, because buckets are whole-disk resident).
+	var missedDisks map[int]bool
+	degrade := func(disk int) {
+		if missedDisks == nil {
+			missedDisks = make(map[int]bool)
+		}
+		missedDisks[disk] = true
+	}
 	for i := 0; i < submitted; i++ {
 		r := <-resp
 		if r.err != nil {
-			s.failLeads(r.ids, r.err)
+			if s.degradable(ctx, r.err) {
+				degrade(r.disk)
+				continue
+			}
 			if err == nil {
 				err = r.err
 			}
 			continue
 		}
 		for _, id := range r.ids {
-			pts := r.got[id]
-			out[id] = pts
-			if s.bcache != nil {
-				pl, _ := s.st.Placement(id)
-				s.bcache.Complete(id, pts, pl.Pages, nil)
-			}
+			out[id] = r.got[id]
 			info.Buckets++
 		}
 		info.Pages += r.pages
@@ -568,15 +712,39 @@ func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geo
 	}
 
 	// Collect joined loads last: their leaders read in parallel with ours.
+	// A leader's transient failure degrades this query too — the bucket's
+	// disk is what actually failed.
 	for _, j := range joins {
 		pts, _, werr := j.p.Wait(ctx)
 		if werr != nil {
+			if s.degradable(ctx, werr) {
+				if pl, ok := s.st.Placement(j.id); ok {
+					degrade(pl.Disk)
+					continue
+				}
+			}
 			return nil, info, werr
 		}
 		out[j.id] = pts
 		info.Buckets++
 	}
+	if len(missedDisks) > 0 {
+		info.Degraded = true
+		info.MissedDisks = len(missedDisks)
+	}
 	return out, info, nil
+}
+
+// degradable reports whether a fetch error may be absorbed into a partial
+// answer: degraded mode is on, the query itself is still live, and the
+// failure is transient (injected or a per-attempt fetch timeout) rather
+// than real corruption or a missing bucket.
+func (s *Server) degradable(ctx context.Context, err error) bool {
+	if !s.cfg.Degraded || ctx.Err() != nil {
+		return false
+	}
+	return fault.IsInjected(err) ||
+		(s.cfg.FetchTimeout > 0 && errors.Is(err, context.DeadlineExceeded))
 }
 
 func (s *Server) pointQuery(ctx context.Context, key geom.Point) (Result, error) {
@@ -691,6 +859,16 @@ func (s *Server) knnQuery(ctx context.Context, key geom.Point, k int) (Result, e
 		}
 		info.Buckets += fi.Buckets
 		info.Pages += fi.Pages
+		if fi.Degraded {
+			// Part of the probe is gone; the distance bound no longer
+			// proves anything, so stop expanding and return the best
+			// candidates the surviving disks gave us, flagged degraded.
+			info.Degraded = true
+			if fi.MissedDisks > info.MissedDisks {
+				info.MissedDisks = fi.MissedDisks
+			}
+			covers = true
+		}
 		for id, pts := range got {
 			fetched[id] = pts
 		}

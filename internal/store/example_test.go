@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -39,7 +40,7 @@ func ExampleWrite() {
 	}
 	defer s.Close()
 
-	pts, pages, err := s.ReadBucket(m.Buckets[0].ID)
+	pts, pages, err := s.ReadBucket(context.Background(), m.Buckets[0].ID)
 	if err != nil {
 		panic(err)
 	}

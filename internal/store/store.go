@@ -22,6 +22,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"sync"
 
 	"pgridfile/internal/core"
+	"pgridfile/internal/fault"
 	"pgridfile/internal/geom"
 	"pgridfile/internal/gridfile"
 )
@@ -173,6 +175,12 @@ type Store struct {
 	manifest Manifest
 	files    []*os.File
 	byID     map[int32]Placement
+
+	// faults, when non-nil, is consulted before every positioned read at
+	// the fault.SiteStoreRead and per-disk sites. diskSites precomputes the
+	// per-disk names so the hot path never formats strings.
+	faults    *fault.Registry
+	diskSites []string
 }
 
 // Open loads a layout directory written by Write.
@@ -293,24 +301,90 @@ func (s *Store) decodeBucket(data []byte, pl Placement) ([]geom.Point, error) {
 	return out, nil
 }
 
+// SetFaults attaches a failpoint registry consulted before every positioned
+// read, at both fault.SiteStoreRead and the per-disk site for the disk being
+// read. A nil registry (the default) disables injection entirely. Call this
+// before handing the Store to concurrent readers.
+func (s *Store) SetFaults(reg *fault.Registry) {
+	s.faults = reg
+	s.diskSites = make([]string, s.manifest.Disks)
+	for d := range s.diskSites {
+		s.diskSites[d] = fault.StoreReadDiskSite(d)
+	}
+}
+
+// Faults returns the registry attached with SetFaults, or nil.
+func (s *Store) Faults() *fault.Registry { return s.faults }
+
+// readAt performs one positioned read against a disk file, first consulting
+// the failpoint registry. An injected delay stalls (bounded by ctx), an
+// injected error aborts the read, and a torn injection lets the read
+// complete but destroys the last page's header so decode validation fails —
+// modelling a partial write/read that delivered garbage past some point.
+// It reports whether the buffer was torn so callers can classify the decode
+// failure as transient.
+func (s *Store) readAt(ctx context.Context, disk int, buf []byte, off int64) (torn bool, err error) {
+	if s.faults.Enabled() {
+		inj, hit := s.faults.Eval(fault.SiteStoreRead)
+		if inj2, hit2 := s.faults.Eval(s.diskSites[disk]); hit2 {
+			hit = true
+			inj.Delay += inj2.Delay
+			inj.Torn = inj.Torn || inj2.Torn
+			if inj.Err == nil {
+				inj.Err = inj2.Err
+			}
+		}
+		if hit {
+			if inj.Delay > 0 {
+				if err := fault.Sleep(ctx, inj.Delay); err != nil {
+					return false, err
+				}
+			}
+			if inj.Err != nil {
+				return false, inj.Err
+			}
+			torn = inj.Torn
+		}
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+	}
+	if _, err := s.files[disk].ReadAt(buf, off); err != nil {
+		return false, err
+	}
+	if torn && len(buf) >= s.manifest.PageBytes {
+		// Stamp an impossible bucket id into the final page header; the
+		// decode pass rejects it the way it rejects real corruption.
+		binary.LittleEndian.PutUint32(buf[len(buf)-s.manifest.PageBytes:], ^uint32(0))
+	}
+	return torn, nil
+}
+
 // ReadBucket fetches one bucket's keys from its disk file. The returned
 // slice is freshly allocated. It also reports the number of pages read
 // (the I/O the paper's response-time metric charges). ReadBucket is safe
 // for concurrent use: it reads with positioned ReadAt calls (pread) and
 // touches no mutable Store state. A bucket's pages are consecutive, so the
-// read is a single ReadAt regardless of bucket size.
-func (s *Store) ReadBucket(id int32) ([]geom.Point, int, error) {
+// read is a single ReadAt regardless of bucket size. ctx bounds injected
+// stalls; a nil ctx is treated as background.
+func (s *Store) ReadBucket(ctx context.Context, id int32) ([]geom.Point, int, error) {
 	pl, ok := s.byID[id]
 	if !ok {
 		return nil, 0, fmt.Errorf("store: unknown bucket %d", id)
 	}
 	buf := getBuf(pl.Pages * s.manifest.PageBytes)
 	defer putBuf(buf)
-	if _, err := s.files[pl.Disk].ReadAt(buf, pl.Page*int64(s.manifest.PageBytes)); err != nil {
+	torn, err := s.readAt(ctx, pl.Disk, buf, pl.Page*int64(s.manifest.PageBytes))
+	if err != nil {
 		return nil, 0, fmt.Errorf("store: reading bucket %d: %w", id, err)
 	}
 	out, err := s.decodeBucket(buf, pl)
 	if err != nil {
+		if torn {
+			return nil, 0, fmt.Errorf("store: torn read of bucket %d: %w (%v)", id, fault.ErrInjected, err)
+		}
 		return nil, 0, err
 	}
 	return out, pl.Pages, nil
@@ -326,8 +400,9 @@ const maxCoalesceBytes = 1 << 20
 // disk-directed trick that turns a query's scattered per-bucket reads into
 // a few large sequential requests. It returns each bucket's decoded records
 // and the total number of pages read. Like ReadBucket it is safe for
-// concurrent use. Duplicate ids are fetched once.
-func (s *Store) ReadBuckets(ids []int32) (map[int32][]geom.Point, int, error) {
+// concurrent use. Duplicate ids are fetched once. ctx bounds injected
+// stalls; a nil ctx is treated as background.
+func (s *Store) ReadBuckets(ctx context.Context, ids []int32) (map[int32][]geom.Point, int, error) {
 	out := make(map[int32][]geom.Point, len(ids))
 	pls := make([]Placement, 0, len(ids))
 	for _, id := range ids {
@@ -363,7 +438,8 @@ func (s *Store) ReadBuckets(ids []int32) (map[int32][]geom.Point, int, error) {
 			hi++
 		}
 		buf := getBuf(runPages * s.manifest.PageBytes)
-		if _, err := s.files[pls[lo].Disk].ReadAt(buf, pls[lo].Page*pageBytes); err != nil {
+		torn, err := s.readAt(ctx, pls[lo].Disk, buf, pls[lo].Page*pageBytes)
+		if err != nil {
 			putBuf(buf)
 			return nil, 0, fmt.Errorf("store: reading buckets %d..%d: %w",
 				pls[lo].ID, pls[hi-1].ID, err)
@@ -373,6 +449,10 @@ func (s *Store) ReadBuckets(ids []int32) (map[int32][]geom.Point, int, error) {
 			pts, err := s.decodeBucket(buf[off:off+pl.Pages*s.manifest.PageBytes], pl)
 			if err != nil {
 				putBuf(buf)
+				if torn {
+					return nil, 0, fmt.Errorf("store: torn read of bucket %d: %w (%v)",
+						pl.ID, fault.ErrInjected, err)
+				}
 				return nil, 0, err
 			}
 			out[pl.ID] = pts

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -43,7 +44,7 @@ func TestWriteAndReadBackAllBuckets(t *testing.T) {
 
 	totalRecs := 0
 	for _, v := range f.Buckets() {
-		pts, pages, err := s.ReadBucket(v.ID)
+		pts, pages, err := s.ReadBucket(context.Background(), v.ID)
 		if err != nil {
 			t.Fatalf("bucket %d: %v", v.ID, err)
 		}
@@ -122,7 +123,7 @@ func TestMultiPageBuckets(t *testing.T) {
 	defer s.Close()
 	multi := 0
 	for _, v := range f.Buckets() {
-		pts, pages, err := s.ReadBucket(v.ID)
+		pts, pages, err := s.ReadBucket(context.Background(), v.ID)
 		if err != nil {
 			t.Fatalf("bucket %d: %v", v.ID, err)
 		}
@@ -181,7 +182,7 @@ func TestReadUnknownBucket(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, _, err := s.ReadBucket(99999); err == nil {
+	if _, _, err := s.ReadBucket(context.Background(), 99999); err == nil {
 		t.Error("unknown bucket accepted")
 	}
 }
@@ -231,7 +232,7 @@ func TestConcurrentReaders(t *testing.T) {
 			for i := 0; i < 3; i++ {
 				for j := range views {
 					v := views[(j+r)%len(views)] // stagger the access order
-					pts, _, err := s.ReadBucket(v.ID)
+					pts, _, err := s.ReadBucket(context.Background(), v.ID)
 					if err != nil {
 						errs <- err
 						return
@@ -266,7 +267,7 @@ func TestReadBucketsMatchesReadBucket(t *testing.T) {
 		for _, v := range views {
 			ids = append(ids, v.ID)
 		}
-		got, pages, err := s.ReadBuckets(ids)
+		got, pages, err := s.ReadBuckets(context.Background(), ids)
 		if err != nil {
 			t.Fatalf("page=%d: %v", pageBytes, err)
 		}
@@ -275,7 +276,7 @@ func TestReadBucketsMatchesReadBucket(t *testing.T) {
 		}
 		wantPages := 0
 		for _, id := range ids {
-			want, p, err := s.ReadBucket(id)
+			want, p, err := s.ReadBucket(context.Background(), id)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -297,14 +298,14 @@ func TestReadBucketsMatchesReadBucket(t *testing.T) {
 				pageBytes, pages, wantPages)
 		}
 		// Duplicates are fetched once; unknown ids fail.
-		dup, pages2, err := s.ReadBuckets([]int32{ids[0], ids[0]})
+		dup, pages2, err := s.ReadBuckets(context.Background(), []int32{ids[0], ids[0]})
 		if err != nil || len(dup) != 1 {
 			t.Errorf("duplicate ids: %d buckets, %v", len(dup), err)
 		}
-		if _, p0, _ := s.ReadBucket(ids[0]); pages2 != p0 {
+		if _, p0, _ := s.ReadBucket(context.Background(), ids[0]); pages2 != p0 {
 			t.Errorf("duplicate ids charged %d pages, want %d", pages2, p0)
 		}
-		if _, _, err := s.ReadBuckets([]int32{ids[0], 99999}); err == nil {
+		if _, _, err := s.ReadBuckets(context.Background(), []int32{ids[0], 99999}); err == nil {
 			t.Error("unknown bucket id accepted")
 		}
 		s.Close()
@@ -337,10 +338,10 @@ func TestTruncatedPageFile(t *testing.T) {
 	}
 	// The bucket past the surviving page must fail in both paths.
 	victim := onDisk0[len(onDisk0)-1]
-	if _, _, err := s.ReadBucket(victim); err == nil {
+	if _, _, err := s.ReadBucket(context.Background(), victim); err == nil {
 		t.Error("ReadBucket returned data from a truncated file")
 	}
-	if _, _, err := s.ReadBuckets(onDisk0); err == nil {
+	if _, _, err := s.ReadBuckets(context.Background(), onDisk0); err == nil {
 		t.Error("ReadBuckets returned data from a truncated file")
 	}
 }
@@ -379,10 +380,10 @@ func TestCorruptPageHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, _, err := s.ReadBucket(victim); err == nil {
+	if _, _, err := s.ReadBucket(context.Background(), victim); err == nil {
 		t.Error("ReadBucket accepted a page holding another bucket")
 	}
-	if _, _, err := s.ReadBuckets([]int32{victim}); err == nil {
+	if _, _, err := s.ReadBuckets(context.Background(), []int32{victim}); err == nil {
 		t.Error("ReadBuckets accepted a page holding another bucket")
 	}
 
@@ -405,7 +406,7 @@ func TestCorruptPageHeader(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if _, _, err := s2.ReadBucket(victim); err == nil {
+	if _, _, err := s2.ReadBucket(context.Background(), victim); err == nil {
 		t.Error("ReadBucket accepted an implausible record count")
 	}
 }
@@ -437,7 +438,7 @@ func TestConcurrentBatchReaders(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
 				if r%2 == 0 {
-					got, _, err := s.ReadBuckets(ids)
+					got, _, err := s.ReadBuckets(context.Background(), ids)
 					if err != nil {
 						errs <- err
 						return
@@ -451,7 +452,7 @@ func TestConcurrentBatchReaders(t *testing.T) {
 					}
 				} else {
 					for _, id := range ids {
-						pts, _, err := s.ReadBucket(id)
+						pts, _, err := s.ReadBucket(context.Background(), id)
 						if err != nil {
 							errs <- err
 							return

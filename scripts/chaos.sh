@@ -1,0 +1,56 @@
+#!/bin/sh
+# chaos.sh — the fault-injection smoke gate. Builds a small declustered
+# layout, then runs the closed-loop bench against it with the standard chaos
+# profile armed (random disk-read errors, stalls and torn reads) and degraded
+# serving on. The run must finish with ZERO query errors: every fault is
+# either retried away or absorbed into a flagged partial answer. The degraded
+# column must be nonzero, proving the faults actually fired.
+#
+# The schedule is fully deterministic: CHAOS_SEED seeds both the workload and
+# the failpoint registry, so a failure here reproduces exactly.
+#
+# Usage: scripts/chaos.sh [queries]
+#   queries      total queries for the run (default 1000)
+# Env:
+#   CHAOS_SEED     registry + workload seed (default 1)
+#   CHAOS_PROFILE  failpoint spec (default: 20% errors, 5% 2ms stalls, 5% torn)
+set -eu
+cd "$(dirname "$0")/.."
+
+QUERIES="${1:-1000}"
+SEED="${CHAOS_SEED:-1}"
+PROFILE="${CHAOS_PROFILE:-store.read:err:p=0.2;store.read:delay=2ms:p=0.05;store.read:torn:p=0.05}"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== chaos: building layout (hot.2d, 4 disks)"
+go run ./cmd/datagen -dataset hot.2d -n 4000 -seed "$SEED" -out "$WORK/hot.csv"
+go run ./cmd/gridtool build -in "$WORK/hot.csv" -out "$WORK/hot.grd" -capacity 56
+go run ./cmd/gridtool layout -file "$WORK/hot.grd" -alg minimax -disks 4 \
+    -seed "$SEED" -out "$WORK/layout"
+
+echo "== chaos: bench under profile '$PROFILE' (seed $SEED)"
+go run ./cmd/gridserver bench -store "$WORK/layout" \
+    -clients 8 -queries "$QUERIES" -seed "$SEED" \
+    -fault "$PROFILE" -fault-seed "$SEED" -degraded -cache-bytes 0 \
+    -json "$WORK/chaos.json"
+
+# The JSON row is the machine-checkable verdict: zero errors, nonzero
+# degraded answers.
+ERRORS=$(sed -n 's/.*"errors": *\([0-9][0-9]*\).*/\1/p' "$WORK/chaos.json" | head -1)
+DEGRADED=$(sed -n 's/.*"degraded": *\([0-9][0-9]*\).*/\1/p' "$WORK/chaos.json" | head -1)
+if [ -z "$ERRORS" ] || [ -z "$DEGRADED" ]; then
+    echo "chaos.sh: could not parse bench JSON:" >&2
+    cat "$WORK/chaos.json" >&2
+    exit 1
+fi
+if [ "$ERRORS" -ne 0 ]; then
+    echo "chaos.sh: FAIL — $ERRORS queries errored out under faults" >&2
+    exit 1
+fi
+if [ "$DEGRADED" -eq 0 ]; then
+    echo "chaos.sh: FAIL — no degraded answers; did the faults fire?" >&2
+    exit 1
+fi
+echo "chaos.sh: PASS — $QUERIES queries, 0 errors, $DEGRADED degraded"

@@ -7,7 +7,8 @@
 #   3. go build    every package compiles
 #   4. go test     full suite under the race detector
 #   5. fuzz smoke  short runs of the protocol and codec fuzz targets
-#   6. bench smoke one-shot run of the serving-path benchmark suite
+#   6. chaos smoke fault-injected bench run: zero errors, degraded answers
+#   7. bench smoke one-shot run of the serving-path benchmark suite
 #
 # The quick tier-1 gate (go build ./... && go test ./...) is a subset; run
 # this script before sending a PR. Usage: scripts/check.sh [fuzztime]
@@ -35,7 +36,11 @@ go test -race ./...
 
 echo "== fuzz smoke ($FUZZTIME each)"
 go test -run='^$' -fuzz=FuzzCodec -fuzztime="$FUZZTIME" ./internal/server
+go test -run='^$' -fuzz=FuzzDegradedCodec -fuzztime="$FUZZTIME" ./internal/server
 go test -run='^$' -fuzz=FuzzRead -fuzztime="$FUZZTIME" ./internal/gridfile
+
+echo "== chaos smoke"
+CHAOS_SEED="${CHAOS_SEED:-1}" sh scripts/chaos.sh 1000
 
 echo "== bench smoke"
 BENCH_SMOKE_OUT=$(mktemp)
