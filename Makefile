@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 2000x
 
-.PHONY: all build test race check fmt vet fuzz chaos bench bench-all clean
+.PHONY: all build test race check fmt vet fuzz chaos trace bench bench-all clean
 
 all: build
 
@@ -33,6 +33,11 @@ fuzz:
 # must finish with zero errors and nonzero degraded answers.
 chaos:
 	sh scripts/chaos.sh
+
+# Observability smoke: traced bench run must emit a complete per-stage
+# breakdown in the bench JSON and one slow-query log line per query.
+trace:
+	sh scripts/trace.sh
 
 check:
 	sh scripts/check.sh $(FUZZTIME)

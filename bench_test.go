@@ -432,6 +432,10 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}{
 		{"baseline", server.Config{MaxInflight: 32, CacheBytes: -1, DisableCoalesce: true}},
 		{"tuned", server.Config{MaxInflight: 32}},
+		// Tuned defaults with every query stage-traced: quantifies the
+		// observability overhead and lands the per-stage medians
+		// (<stage>-p50-us) in BENCH_server.json for regression bisection.
+		{"traced", server.Config{MaxInflight: 32, TraceSample: 1}},
 	}
 	for _, scheme := range []string{"minimax", "DM/D"} {
 		for _, c := range configs {
@@ -507,13 +511,17 @@ func BenchmarkServerThroughput(b *testing.B) {
 				b.ReportMetric(stats.Percentile(all, 50), "p50-ms")
 				b.ReportMetric(stats.Percentile(all, 95), "p95-ms")
 				b.ReportMetric(stats.Percentile(all, 99), "p99-ms")
+				snap := s.Snapshot()
 				hitRate := 0.0
-				if cs := s.Snapshot().Cache; cs != nil {
+				if cs := snap.Cache; cs != nil {
 					if total := cs.Hits + cs.Shared + cs.Misses; total > 0 {
 						hitRate = float64(cs.Hits+cs.Shared) / float64(total)
 					}
 				}
 				b.ReportMetric(hitRate, "cache-hit-rate")
+				for name, q := range snap.Stages {
+					b.ReportMetric(q.P50, name+"-p50-us")
+				}
 			})
 		}
 	}

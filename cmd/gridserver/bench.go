@@ -57,6 +57,9 @@ type benchOpts struct {
 	faultSpec  string // armed through the FAULT verb before the run
 	faultSeed  int64  // in-process servers only
 	degraded   bool   // in-process servers only: partial answers over errors
+
+	trace     bool          // in-process servers only: stage-trace every query
+	traceSlow time.Duration // in-process servers only: slow-query log threshold (<0 disables)
 }
 
 type benchRow struct {
@@ -70,6 +73,11 @@ type benchRow struct {
 	Imbalance float64 `json:"fetch_imbalance"` // max/mean bucket fetches across disks
 	HitRate   float64 `json:"cache_hit_rate"`  // hits / (hits+misses+shared) over the run
 	Degraded  int     `json:"degraded"`        // queries answered partially under injected faults
+
+	// Stages holds the server-side per-stage latency medians (µs) of the
+	// run's traced queries, keyed by stage name — the DESIGN S23 breakdown
+	// that makes a latency regression bisectable from BENCH JSON alone.
+	Stages map[string]float64 `json:"stage_p50_us,omitempty"`
 }
 
 func runBench(args []string, out io.Writer) error {
@@ -92,6 +100,8 @@ func runBench(args []string, out io.Writer) error {
 	faultSpec := fs.String("fault", "", "failpoint spec armed via the FAULT verb before the run (see internal/fault)")
 	faultSeed := fs.Int64("fault-seed", 1, "fault registry seed for in-process servers")
 	degraded := fs.Bool("degraded", false, "in-process servers answer partially under faults instead of erroring")
+	trace := fs.Bool("trace", true, "stage-trace every query on in-process servers (stage_p50_us in -json)")
+	traceSlow := fs.Duration("trace-slow", -1, "in-process servers log traced queries at least this slow to stderr (0 logs all, <0 disables)")
 	fs.Parse(args)
 
 	opts := benchOpts{
@@ -99,6 +109,7 @@ func runBench(args []string, out io.Writer) error {
 		k: *k, seed: *seed, timeout: *timeout,
 		cacheBytes: *cacheBytes, coalesce: *coalesce,
 		faultSpec: *faultSpec, faultSeed: *faultSeed, degraded: *degraded,
+		trace: *trace, traceSlow: *traceSlow,
 	}
 	modes := 0
 	for _, set := range []bool{*addr != "", *dir != "", *grid != ""} {
@@ -186,12 +197,18 @@ func runBench(args []string, out io.Writer) error {
 // benchStore serves a layout in-process on an ephemeral port and runs the
 // load against it.
 func benchStore(dir, label string, opts benchOpts) (benchRow, error) {
-	s, err := server.OpenDir(dir, server.Config{
+	cfg := server.Config{
 		CacheBytes:      cacheFlag(opts.cacheBytes),
 		DisableCoalesce: !opts.coalesce,
 		Faults:          fault.NewRegistry(opts.faultSeed),
 		Degraded:        opts.degraded,
-	})
+	}
+	if opts.trace {
+		cfg.TraceSample = 1
+		cfg.TraceSlowLog = opts.traceSlow >= 0
+		cfg.TraceSlow = max(opts.traceSlow, 0)
+	}
+	s, err := server.OpenDir(dir, cfg)
 	if err != nil {
 		return benchRow{}, err
 	}
@@ -301,6 +318,12 @@ func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
 	if after, err := c.Stats(); err == nil {
 		row.Imbalance = fetchImbalance(after.DiskFetches)
 		row.HitRate = hitRateDelta(snap.Cache, after.Cache)
+		if len(after.Stages) > 0 {
+			row.Stages = make(map[string]float64, len(after.Stages))
+			for name, q := range after.Stages {
+				row.Stages[name] = q.P50
+			}
+		}
 	}
 	return row, nil
 }

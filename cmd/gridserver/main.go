@@ -5,10 +5,12 @@
 //
 //	gridserver serve -store layout/ [-addr 127.0.0.1:7090] [-http :7091]
 //	gridserver serve -store layout/ -fault "store.read:err:p=0.05" [-degraded=false]
+//	gridserver serve -store layout/ -trace-sample 100 -trace-slow 50ms
 //	gridserver bench -store layout/ [-clients 8] [-queries 2000]
 //	gridserver bench -addr host:port [-clients 8] [-queries 2000]
 //	gridserver bench -grid file.grd -algs minimax,DM/D -disks 8
 //	gridserver bench -store layout/ -fault "store.read:err:p=0.2" -degraded
+//	gridserver bench -store layout/ -trace -trace-slow 0 -json out.json
 //
 // serve opens the per-disk page files written by `gridtool layout` (the
 // paper's "separate files corresponding to every disk"), loads the embedded
@@ -24,6 +26,13 @@
 // server under injected disk errors, stalls and torn reads. With -degraded
 // the server answers such queries partially (flagged on the wire) instead of
 // erroring; scripts/chaos.sh is the deterministic smoke gate built on this.
+//
+// Both subcommands also expose the per-query stage trace: -trace-sample N
+// (serve) traces every Nth query, feeding per-stage latency histograms into
+// STATS and /metrics, while -trace-slow logs traced queries at or above the
+// threshold as structured one-liners on stderr (0 logs every traced query).
+// bench traces its in-process servers by default (-trace), so -json rows
+// carry a stage_p50_us breakdown; scripts/trace.sh is the smoke gate.
 package main
 
 import (

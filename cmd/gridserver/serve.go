@@ -50,6 +50,8 @@ func runServe(args []string) error {
 	fetchTimeout := fs.Duration("fetch-timeout", 0, "per-attempt deadline for one disk batch read (0 disables)")
 	fetchRetries := fs.Int("fetch-retries", 2, "retries per transiently-failed disk batch (-1 disables)")
 	fetchBackoff := fs.Duration("fetch-backoff", 2*time.Millisecond, "base backoff between disk-batch retries")
+	traceSample := fs.Int("trace-sample", 0, "stage-trace every Nth query (1 traces all, 0 disables tracing)")
+	traceSlow := fs.Duration("trace-slow", -1, "log traced queries at least this slow to stderr (0 logs every traced query, <0 disables the log)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -store is required")
@@ -73,6 +75,9 @@ func runServe(args []string) error {
 		FetchTimeout:    *fetchTimeout,
 		FetchRetries:    *fetchRetries,
 		FetchBackoff:    *fetchBackoff,
+		TraceSample:     *traceSample,
+		TraceSlowLog:    *traceSlow >= 0,
+		TraceSlow:       max(*traceSlow, 0),
 	})
 	if err != nil {
 		return err
@@ -86,6 +91,13 @@ func runServe(args []string) error {
 	if *faultSpec != "" {
 		fmt.Printf("gridserver: failpoints armed (seed %d): %s\n", *faultSeed, *faultSpec)
 	}
+	if *traceSample > 0 {
+		fmt.Printf("gridserver: tracing 1/%d queries", *traceSample)
+		if *traceSlow >= 0 {
+			fmt.Printf(", slow-query log at >=%s", *traceSlow)
+		}
+		fmt.Println()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -95,8 +107,8 @@ func runServe(args []string) error {
 		return err
 	}
 	final := s.Snapshot()
-	fmt.Printf("gridserver: served %d queries (%d errors, %d rejected, %d degraded), p50=%.0fµs p99=%.0fµs\n",
-		final.QueriesTotal, final.Errors, final.Rejected, final.Degraded,
+	fmt.Printf("gridserver: served %d queries (%d errors, %d rejected, %d deadline-exceeded, %d degraded), p50=%.0fµs p99=%.0fµs\n",
+		final.QueriesTotal, final.Errors, final.Rejected, final.DeadlineExceeded, final.Degraded,
 		final.LatencyMicros.P50, final.LatencyMicros.P99)
 	return nil
 }

@@ -23,6 +23,7 @@ package cache
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -193,6 +194,9 @@ func (c *Cache) Complete(id int32, pts []geom.Point, pages int, err error) {
 // Get is the one-call form: a hit returns immediately, a join waits for the
 // in-flight leader, and a miss elects this caller to run load and publish
 // its result. ctx bounds only the waiting; the load itself is the caller's.
+// A load that panics still Completes the entry (with an error) before the
+// panic propagates, so waiters and later acquirers of the id are not wedged
+// behind an inflight entry that can never finish.
 func (c *Cache) Get(ctx context.Context, id int32, load func() ([]geom.Point, int, error)) ([]geom.Point, int, error) {
 	r := c.Acquire(id)
 	switch {
@@ -201,7 +205,14 @@ func (c *Cache) Get(ctx context.Context, id int32, load func() ([]geom.Point, in
 	case r.Pending != nil:
 		return r.Pending.Wait(ctx)
 	}
+	completed := false
+	defer func() {
+		if !completed {
+			c.Complete(id, nil, 0, fmt.Errorf("cache: leader load for bucket %d panicked", id))
+		}
+	}()
 	pts, pages, err := load()
+	completed = true
 	c.Complete(id, pts, pages, err)
 	return pts, pages, err
 }

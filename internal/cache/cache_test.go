@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"pgridfile/internal/geom"
 )
@@ -181,6 +182,81 @@ func TestSingleflight(t *testing.T) {
 	st := c.Stats()
 	if st.Misses != 1 || st.Shared != readers-1 {
 		t.Errorf("stats = %+v, want 1 miss and %d shared", st, readers-1)
+	}
+}
+
+// TestPanickingLeaderDoesNotWedge is the regression test for the inflight
+// leak: a leader whose loader panicked never called Complete, so every later
+// Acquire of the id joined a Pending that could not finish. The fixed Get
+// completes with an error before rethrowing, so a waiter blocked on the
+// doomed load gets that error and a fresh Get can re-load the bucket.
+func TestPanickingLeaderDoesNotWedge(t *testing.T) {
+	c := New(1<<20, 1)
+	ctx := context.Background()
+
+	// The panic must still escape Get — completion is a side effect of the
+	// unwind, not a swallow.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Get swallowed the loader's panic")
+			}
+		}()
+		c.Get(ctx, 5, func() ([]geom.Point, int, error) { panic("torn header") })
+	}()
+
+	// Before the fix this Get joined the leaked Pending and hung forever;
+	// after it, the id is free and a fresh load succeeds.
+	done := make(chan error, 1)
+	go func() {
+		pts, _, err := c.Get(ctx, 5, loadOf(makePts(4), 1))
+		if err == nil && len(pts) != 4 {
+			err = fmt.Errorf("reload got %d points, want 4", len(pts))
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("bucket wedged: reload after panicking leader never finished")
+	}
+
+	// A waiter already parked on the doomed load must be released with an
+	// error rather than waiting out its own ctx.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.Get(ctx, 6, func() ([]geom.Point, int, error) {
+			close(entered)
+			<-release
+			panic("torn header")
+		})
+	}()
+	<-entered
+	join := c.Acquire(6)
+	if join.Pending == nil {
+		t.Fatalf("expected to join the in-flight load, got %+v", join)
+	}
+	close(release)
+	waitErr := make(chan error, 1)
+	go func() {
+		_, _, err := join.Pending.Wait(ctx)
+		waitErr <- err
+	}()
+	select {
+	case err := <-waitErr:
+		if err == nil {
+			t.Error("waiter behind panicking leader got a nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter wedged behind panicking leader")
+	}
+	if c.Len() != 1 { // only id 5's reload should be resident
+		t.Errorf("resident entries = %d, want 1 (panicked loads must not cache)", c.Len())
 	}
 }
 

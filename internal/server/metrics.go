@@ -48,9 +48,16 @@ func (h *hist) observe(v float64) {
 	if v < 0 || math.IsNaN(v) {
 		v = 0
 	}
-	bin := bits.Len64(uint64(v))
-	if bin >= len(h.counts) {
+	// float64→uint64 conversion is undefined for values ≥ 2^63; clamp into
+	// the top bin explicitly rather than trusting the conversion result.
+	var bin int
+	if v >= math.Exp2(63) {
 		bin = len(h.counts) - 1
+	} else {
+		bin = bits.Len64(uint64(v))
+		if bin >= len(h.counts) {
+			bin = len(h.counts) - 1
+		}
 	}
 	h.mu.Lock()
 	h.counts[bin]++
@@ -62,7 +69,10 @@ func (h *hist) observe(v float64) {
 }
 
 // quantile estimates the p-th percentile (0..100) as the geometric midpoint
-// of the bin holding the target rank; the true value lies within 2x.
+// lo*√2 of the bin [lo, 2*lo) holding the target rank; the true value lies
+// within a factor of √2 either way. Bin 0 holds [0, 1) and has no geometric
+// midpoint, so it reports the arithmetic one, 0.5, rather than collapsing
+// every sub-unit observation to 0.
 func (h *hist) quantile(p float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -78,10 +88,10 @@ func (h *hist) quantile(p float64) float64 {
 		cum += c
 		if cum >= target {
 			if i == 0 {
-				return 0
+				return 0.5
 			}
 			lo := math.Exp2(float64(i - 1))
-			return lo * 1.5
+			return lo * math.Sqrt2
 		}
 	}
 	return h.max
@@ -114,16 +124,19 @@ type QuantileSummary struct {
 // Metrics aggregates the server's observability counters. All methods are
 // safe for concurrent use.
 type Metrics struct {
-	start       time.Time
-	queries     [6]atomic.Int64 // by verb
-	errors      atomic.Int64    // protocol/decode/execution errors answered
-	rejected    atomic.Int64    // admission-control and deadline rejections
-	degraded    atomic.Int64    // queries answered partially (missed disks)
-	diskRetries atomic.Int64    // disk-batch retry attempts
-	pagesRead   atomic.Int64
-	diskFetches []atomic.Int64 // bucket fetches per disk
-	latency     hist           // service time, microseconds
-	fetches     hist           // distinct buckets fetched per data query
+	start            time.Time
+	queries          [6]atomic.Int64 // by verb
+	errors           atomic.Int64    // protocol/decode/execution errors answered
+	rejected         atomic.Int64    // admission-control rejections (never admitted)
+	deadlineExceeded atomic.Int64    // admitted queries that expired mid-flight
+	degraded         atomic.Int64    // queries answered partially (missed disks)
+	diskRetries      atomic.Int64    // disk-batch retry attempts
+	pagesRead        atomic.Int64
+	traced           atomic.Int64    // queries that carried a stage trace
+	diskFetches      []atomic.Int64  // bucket fetches per disk
+	latency          hist            // service time, microseconds
+	fetches          hist            // distinct buckets fetched per data query
+	stageLat         [numStages]hist // per-stage time of traced queries, microseconds
 }
 
 func newMetrics(disks int) *Metrics {
@@ -135,37 +148,48 @@ func newMetrics(disks int) *Metrics {
 // (dims, disks, domain) so clients can generate workloads without
 // out-of-band knowledge of the dataset.
 type Snapshot struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Dims          int              `json:"dims"`
-	Disks         int              `json:"disks"`
-	Domain        [][2]float64     `json:"domain"`
-	Queries       map[string]int64 `json:"queries"`
-	QueriesTotal  int64            `json:"queries_total"`
-	Errors        int64            `json:"errors"`
-	Rejected      int64            `json:"rejected"`
-	Degraded      int64            `json:"queries_degraded"`
-	DiskRetries   int64            `json:"disk_retries"`
-	FaultInjected int64            `json:"fault_injected"`
-	InFlight      int              `json:"in_flight"`
-	DiskFetches   []int64          `json:"disk_bucket_fetches"`
-	PagesRead     int64            `json:"pages_read"`
-	LatencyMicros QuantileSummary  `json:"latency_micros"`
-	FetchesPerQry QuantileSummary  `json:"buckets_per_query"`
-	Cache         *cache.Stats     `json:"cache,omitempty"`
+	UptimeSeconds    float64                    `json:"uptime_seconds"`
+	Dims             int                        `json:"dims"`
+	Disks            int                        `json:"disks"`
+	Domain           [][2]float64               `json:"domain"`
+	Queries          map[string]int64           `json:"queries"`
+	QueriesTotal     int64                      `json:"queries_total"`
+	Errors           int64                      `json:"errors"`
+	Rejected         int64                      `json:"rejected"`
+	DeadlineExceeded int64                      `json:"deadline_exceeded"`
+	Degraded         int64                      `json:"queries_degraded"`
+	DiskRetries      int64                      `json:"disk_retries"`
+	FaultInjected    int64                      `json:"fault_injected"`
+	InFlight         int                        `json:"in_flight"`
+	DiskFetches      []int64                    `json:"disk_bucket_fetches"`
+	PagesRead        int64                      `json:"pages_read"`
+	LatencyMicros    QuantileSummary            `json:"latency_micros"`
+	FetchesPerQry    QuantileSummary            `json:"buckets_per_query"`
+	Traced           int64                      `json:"queries_traced,omitempty"`
+	Stages           map[string]QuantileSummary `json:"stage_micros,omitempty"`
+	Cache            *cache.Stats               `json:"cache,omitempty"`
 }
 
 func (m *Metrics) snapshot(inflight int) Snapshot {
 	s := Snapshot{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Queries:       make(map[string]int64, len(verbNames)),
-		Errors:        m.errors.Load(),
-		Rejected:      m.rejected.Load(),
-		Degraded:      m.degraded.Load(),
-		DiskRetries:   m.diskRetries.Load(),
-		InFlight:      inflight,
-		PagesRead:     m.pagesRead.Load(),
-		LatencyMicros: m.latency.snapshot(),
-		FetchesPerQry: m.fetches.snapshot(),
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		Queries:          make(map[string]int64, len(verbNames)),
+		Errors:           m.errors.Load(),
+		Rejected:         m.rejected.Load(),
+		DeadlineExceeded: m.deadlineExceeded.Load(),
+		Degraded:         m.degraded.Load(),
+		DiskRetries:      m.diskRetries.Load(),
+		InFlight:         inflight,
+		PagesRead:        m.pagesRead.Load(),
+		LatencyMicros:    m.latency.snapshot(),
+		FetchesPerQry:    m.fetches.snapshot(),
+		Traced:           m.traced.Load(),
+	}
+	if s.Traced > 0 {
+		s.Stages = make(map[string]QuantileSummary, numStages)
+		for i := range m.stageLat {
+			s.Stages[stageNames[i]] = m.stageLat[i].snapshot()
+		}
 	}
 	for i, name := range verbNames {
 		n := m.queries[i].Load()
@@ -188,6 +212,7 @@ func (s Snapshot) writePrometheus(w http.ResponseWriter) {
 	}
 	fmt.Fprintf(w, "gridserver_errors_total %d\n", s.Errors)
 	fmt.Fprintf(w, "gridserver_rejected_total %d\n", s.Rejected)
+	fmt.Fprintf(w, "gridserver_deadline_exceeded_total %d\n", s.DeadlineExceeded)
 	fmt.Fprintf(w, "gridserver_queries_degraded_total %d\n", s.Degraded)
 	fmt.Fprintf(w, "gridserver_disk_retries_total %d\n", s.DiskRetries)
 	fmt.Fprintf(w, "gridserver_fault_injected_total %d\n", s.FaultInjected)
@@ -204,6 +229,24 @@ func (s Snapshot) writePrometheus(w http.ResponseWriter) {
 		fmt.Fprintf(w, "gridserver_latency_micros{quantile=%q} %g\n", q.q, q.v)
 	}
 	fmt.Fprintf(w, "gridserver_latency_observations_total %d\n", s.LatencyMicros.Count)
+	fmt.Fprintf(w, "gridserver_queries_traced_total %d\n", s.Traced)
+	if s.Stages != nil {
+		// Iterate stageNames, not the map, for a deterministic exposition.
+		for _, name := range stageNames {
+			q, ok := s.Stages[name]
+			if !ok {
+				continue
+			}
+			for _, pq := range []struct {
+				q string
+				v float64
+			}{{"0.5", q.P50}, {"0.9", q.P90}, {"0.95", q.P95}, {"0.99", q.P99}} {
+				fmt.Fprintf(w, "gridserver_stage_micros{stage=%q,quantile=%q} %g\n",
+					name, pq.q, pq.v)
+			}
+			fmt.Fprintf(w, "gridserver_stage_observations_total{stage=%q} %d\n", name, q.Count)
+		}
+	}
 	if c := s.Cache; c != nil {
 		fmt.Fprintf(w, "gridserver_cache_hits_total %d\n", c.Hits)
 		fmt.Fprintf(w, "gridserver_cache_misses_total %d\n", c.Misses)

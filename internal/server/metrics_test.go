@@ -1,0 +1,134 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistObserveBinning drives observe across the bin edges and checks each
+// value lands where the [2^(i-1), 2^i) bin definition says it must.
+func TestHistObserveBinning(t *testing.T) {
+	cases := []struct {
+		v   float64
+		bin int
+	}{
+		{0, 0},
+		{0.25, 0},
+		{0.5, 0},
+		{0.999, 0},
+		{1, 1},
+		{1.5, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{math.Exp2(32) - 1, 32},
+		{math.Exp2(32), 33},
+		{math.Exp2(32) + 1, 33},
+		{math.Exp2(62), 63},
+		{math.Exp2(63), 63},     // conversion edge: must clamp, not wrap
+		{math.Exp2(64) * 4, 63}, // far past the top bin
+		{math.MaxFloat64, 63},   // clamped, never undefined behaviour
+		{-5, 0},                 // negatives are floored to 0
+		{math.NaN(), 0},         // NaN is floored to 0
+	}
+	for _, tc := range cases {
+		var h hist
+		h.observe(tc.v)
+		for i, c := range h.counts {
+			want := int64(0)
+			if i == tc.bin {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("observe(%g): bin %d count = %d, want %d", tc.v, i, c, want)
+			}
+		}
+		if h.total != 1 {
+			t.Errorf("observe(%g): total = %d, want 1", tc.v, h.total)
+		}
+	}
+}
+
+// TestHistQuantileGeometricMidpoint is the regression test for the lo*1.5
+// midpoint bug: the estimate for bin [lo, 2*lo) must be the geometric
+// midpoint lo*√2, and bin 0 (values in [0,1)) must report 0.5, not collapse
+// to 0.
+func TestHistQuantileGeometricMidpoint(t *testing.T) {
+	cases := []struct {
+		name string
+		obs  []float64
+		p    float64
+		want float64
+	}{
+		{"sub-unit values report 0.5", []float64{0, 0.3, 0.9}, 50, 0.5},
+		{"bin 1 midpoint", []float64{1, 1.2, 1.9}, 50, math.Sqrt2},
+		{"bin 2 midpoint", []float64{2, 3}, 50, 2 * math.Sqrt2},
+		{"bin 3 midpoint", []float64{4, 5, 6, 7}, 50, 4 * math.Sqrt2},
+		{"p99 in top occupied bin", []float64{1, 1, 1, 1000}, 99, 512 * math.Sqrt2},
+		{"huge values clamp to bin 63", []float64{math.Exp2(63)}, 50, math.Exp2(62) * math.Sqrt2},
+	}
+	for _, tc := range cases {
+		var h hist
+		for _, v := range tc.obs {
+			h.observe(v)
+		}
+		if got := h.quantile(tc.p); math.Abs(got-tc.want) > 1e-9*tc.want+1e-12 {
+			t.Errorf("%s: quantile(%g) = %g, want %g", tc.name, tc.p, got, tc.want)
+		}
+	}
+
+	// The estimate must bracket the true value within √2 either way — the
+	// property the old arithmetic midpoint silently broke for the low edge.
+	var h hist
+	for v := 1.0; v < 1e6; v *= 1.7 {
+		h.observe(v)
+		q := h.quantile(100)
+		lo, hi := v/math.Sqrt2, v*math.Sqrt2
+		if q < lo-1e-9 || q > hi+1e-9 {
+			t.Errorf("quantile(100) after observing %g = %g, want within [%g, %g]", v, q, lo, hi)
+		}
+		h = hist{}
+	}
+}
+
+func TestHistQuantileEmpty(t *testing.T) {
+	var h hist
+	if got := h.quantile(50); got != 0 {
+		t.Errorf("empty hist quantile = %g, want 0", got)
+	}
+	if s := h.snapshot(); s.Count != 0 || s.P50 != 0 || s.Max != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+// TestSnapshotStageSummaries proves the per-stage histograms only appear in
+// a snapshot once something was traced, and then cover every stage name.
+func TestSnapshotStageSummaries(t *testing.T) {
+	m := newMetrics(2)
+	if s := m.snapshot(0); s.Stages != nil || s.Traced != 0 {
+		t.Errorf("untraced snapshot exposes stages: %+v", s)
+	}
+	m.traced.Add(1)
+	m.stageLat[stageTranslate].observe(12)
+	m.stageLat[stagePread].observe(300)
+	s := m.snapshot(0)
+	if s.Traced != 1 {
+		t.Errorf("traced = %d, want 1", s.Traced)
+	}
+	if len(s.Stages) != numStages {
+		t.Fatalf("snapshot has %d stages, want %d: %v", len(s.Stages), numStages, s.Stages)
+	}
+	for _, name := range stageNames {
+		if _, ok := s.Stages[name]; !ok {
+			t.Errorf("stage %q missing from snapshot", name)
+		}
+	}
+	if got := s.Stages["translate"].Count; got != 1 {
+		t.Errorf("translate count = %d, want 1", got)
+	}
+	if got := s.Stages["pread"].P50; math.Abs(got-256*math.Sqrt2) > 1e-9 {
+		t.Errorf("pread p50 = %g, want %g", got, 256*math.Sqrt2)
+	}
+}

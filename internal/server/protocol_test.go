@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -130,6 +131,69 @@ func TestResultRoundTrips(t *testing.T) {
 		if dgot.Info != dinfo {
 			t.Errorf("verb 0x%02x degraded round trip: %+v, want %+v", uint8(verb), dgot.Info, dinfo)
 		}
+	}
+}
+
+// TestSnapshotStatsRoundTrip proves the stage-trace summaries survive the
+// STATS wire path: a Snapshot with per-stage histograms marshals to the
+// JSON the STATS verb serves and unmarshals back (the client side) with
+// every stage and counter intact.
+func TestSnapshotStatsRoundTrip(t *testing.T) {
+	m := newMetrics(2)
+	m.rejected.Add(3)
+	m.deadlineExceeded.Add(2)
+	m.traced.Add(5)
+	for i := range m.stageLat {
+		for j := 0; j <= i; j++ {
+			m.stageLat[i].observe(float64(int64(1) << i))
+		}
+	}
+	snap := m.snapshot(1)
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rejected != 3 || got.DeadlineExceeded != 2 || got.Traced != 5 {
+		t.Errorf("counters changed in flight: rejected=%d deadline_exceeded=%d traced=%d",
+			got.Rejected, got.DeadlineExceeded, got.Traced)
+	}
+	if len(got.Stages) != numStages {
+		t.Fatalf("%d stages survived, want %d: %v", len(got.Stages), numStages, got.Stages)
+	}
+	for i, name := range stageNames {
+		g, ok := got.Stages[name]
+		if !ok {
+			t.Errorf("stage %q lost in flight", name)
+			continue
+		}
+		if want := snap.Stages[name]; g != want {
+			t.Errorf("stage %q changed in flight: %+v -> %+v", name, want, g)
+		}
+		if g.Count != int64(i)+1 {
+			t.Errorf("stage %q count = %d, want %d", name, g.Count, i+1)
+		}
+	}
+
+	// The wire field names are part of the protocol: the ISSUE-specified
+	// keys must appear verbatim in the STATS JSON.
+	for _, key := range []string{`"rejected"`, `"deadline_exceeded"`, `"queries_traced"`, `"stage_micros"`} {
+		if !bytes.Contains(raw, []byte(key)) {
+			t.Errorf("STATS JSON lacks %s:\n%s", key, raw)
+		}
+	}
+
+	// Untraced snapshots stay lean: no stage block at all on the wire.
+	lean, err := json.Marshal(newMetrics(2).snapshot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(lean, []byte("stage_micros")) || bytes.Contains(lean, []byte("queries_traced")) {
+		t.Errorf("untraced STATS JSON carries trace fields:\n%s", lean)
 	}
 }
 

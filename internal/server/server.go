@@ -5,12 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	rpprof "runtime/pprof"
+	rtrace "runtime/trace"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pgridfile/internal/cache"
@@ -76,6 +81,22 @@ type Config struct {
 	// value preserves fail-fast behaviour.
 	Degraded bool
 
+	// TraceSample enables per-query stage tracing (DESIGN S23) for every
+	// n-th data query: 1 traces everything, 0 (the default) disables
+	// tracing, and the disabled path allocates nothing. Traced queries feed
+	// the per-stage histograms in STATS//metrics, carry pprof labels, and
+	// qualify for the slow-query log.
+	TraceSample int
+	// TraceSlowLog enables the slow-query log: every traced query whose
+	// elapsed time is at least TraceSlow prints one structured line to
+	// TraceLog. It is a separate switch so a zero TraceSlow ("log every
+	// traced query") is expressible while the zero Config stays silent.
+	TraceSlowLog bool
+	// TraceSlow is the slow-query log threshold.
+	TraceSlow time.Duration
+	// TraceLog receives slow-query lines; default os.Stderr.
+	TraceLog io.Writer
+
 	// slowFetch artificially delays every bucket fetch; test hook for
 	// exercising deadlines, admission control and shutdown under load.
 	slowFetch time.Duration
@@ -115,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.FetchBackoff <= 0 {
 		c.FetchBackoff = 2 * time.Millisecond
 	}
+	if c.TraceLog == nil {
+		c.TraceLog = os.Stderr
+	}
 	return c
 }
 
@@ -125,6 +149,8 @@ type fetchReq struct {
 	ids  []int32
 	ctx  context.Context  // the owning query; cancelled fetches are skipped
 	resp chan<- fetchResp // buffered by the submitter; never blocks
+	tr   *Trace           // the owning query's stage trace; nil when untraced
+	enq  time.Time        // submit time, for the fetch_wait stage (zero when untraced)
 }
 
 type fetchResp struct {
@@ -158,6 +184,9 @@ type Server struct {
 	sem     chan struct{}
 	fetchCh []chan fetchReq
 	fetchWg sync.WaitGroup
+
+	traceSeq atomic.Uint64 // data-query counter driving trace sampling
+	traceMu  sync.Mutex    // serializes slow-query log lines
 
 	mu        sync.Mutex // guards conns, closed
 	conns     map[net.Conn]struct{}
@@ -433,24 +462,33 @@ func (s *Server) dispatch(f Frame) Frame {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
 	defer cancel()
 
+	tr := s.acquireTrace()
+	admitStart := traceNow(tr)
+
 	// Admission control: at most MaxInflight queries execute; the rest
 	// wait here, which backpressures their connections instead of
-	// spawning unbounded work.
+	// spawning unbounded work. A query turned away here was never
+	// admitted — that is a rejection, distinct from the deadline_exceeded
+	// counter below, which covers queries that ran and expired mid-flight.
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
+		releaseTrace(tr)
 		s.met.rejected.Add(1)
 		return errorFrame("server busy: admission queue full past deadline")
 	case <-s.done:
+		releaseTrace(tr)
 		return errorFrame("server shutting down")
 	}
+	tr.addSince(stageAdmission, admitStart)
 
 	start := time.Now()
-	res, err := s.execute(ctx, req)
+	res, err := s.executeTraced(ctx, req, tr)
 	if err != nil {
+		s.finishTrace(tr, req.Verb, time.Since(start), res.Info, err)
 		if ctx.Err() != nil {
-			s.met.rejected.Add(1)
+			s.met.deadlineExceeded.Add(1)
 			return errorFrame("deadline exceeded: " + err.Error())
 		}
 		s.met.errors.Add(1)
@@ -468,37 +506,60 @@ func (s *Server) dispatch(f Frame) Frame {
 	if req.Verb == VerbRange && req.CountOnly {
 		verb = VerbCount
 	}
+	encStart := traceNow(tr)
 	out, err := EncodeResult(verb, res)
+	tr.addSince(stageEncode, encStart)
 	if err != nil {
+		s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, err)
 		s.met.errors.Add(1)
 		return errorFrame(err.Error())
 	}
+	s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, nil)
 	return out
 }
 
-func (s *Server) execute(ctx context.Context, req Request) (Result, error) {
+// executeTraced runs execute, and — only when the query carries a trace —
+// under pprof labels (verb, degraded-mode) so CPU profiles of a live server
+// split by query shape. Untraced queries take the plain path and pay for
+// neither the labels nor the context allocation behind them.
+func (s *Server) executeTraced(ctx context.Context, req Request, tr *Trace) (res Result, err error) {
+	if tr == nil {
+		return s.execute(ctx, req, nil)
+	}
+	deg := "off"
+	if s.cfg.Degraded {
+		deg = "on"
+	}
+	rpprof.Do(ctx, rpprof.Labels("verb", verbName(req.Verb), "degraded", deg),
+		func(ctx context.Context) {
+			res, err = s.execute(ctx, req, tr)
+		})
+	return res, err
+}
+
+func (s *Server) execute(ctx context.Context, req Request, tr *Trace) (Result, error) {
 	dims := s.grid.Dims()
 	switch req.Verb {
 	case VerbPoint:
 		if len(req.Key) != dims {
 			return Result{}, fmt.Errorf("key is %d-D, grid is %d-D", len(req.Key), dims)
 		}
-		return s.pointQuery(ctx, req.Key)
+		return s.pointQuery(ctx, tr, req.Key)
 	case VerbRange:
 		if len(req.Query) != dims {
 			return Result{}, fmt.Errorf("query is %d-D, grid is %d-D", len(req.Query), dims)
 		}
-		return s.rangeQuery(ctx, req.Query, req.CountOnly)
+		return s.rangeQuery(ctx, tr, req.Query, req.CountOnly)
 	case VerbPartial:
 		if len(req.Vals) != dims {
 			return Result{}, fmt.Errorf("query is %d-D, grid is %d-D", len(req.Vals), dims)
 		}
-		return s.partialQuery(ctx, req.Vals)
+		return s.partialQuery(ctx, tr, req.Vals)
 	case VerbKNN:
 		if len(req.Key) != dims {
 			return Result{}, fmt.Errorf("key is %d-D, grid is %d-D", len(req.Key), dims)
 		}
-		return s.knnQuery(ctx, req.Key, req.K)
+		return s.knnQuery(ctx, tr, req.Key, req.K)
 	}
 	return Result{}, fmt.Errorf("unhandled verb 0x%02x", uint8(req.Verb))
 }
@@ -512,7 +573,23 @@ func (s *Server) execute(ctx context.Context, req Request) (Result, error) {
 func (s *Server) diskLoop(disk int, ch <-chan fetchReq) {
 	defer s.fetchWg.Done()
 	for req := range ch {
-		got, pages, err := s.fetchBatch(req.ctx, req.ids)
+		var tm *store.Timing
+		if req.tr != nil {
+			// Queue wait: submit to dequeue, i.e. time spent behind other
+			// batches on this spindle.
+			req.tr.addSince(stageFetchWait, req.enq)
+			tm = new(store.Timing)
+		}
+		// The runtime/trace region brackets the whole batch (retries and
+		// backoff included) so `go tool trace` shows each disk goroutine's
+		// duty cycle. StartRegion is a no-op unless tracing is active.
+		region := rtrace.StartRegion(req.ctx, "gridserver.fetchBatch")
+		got, pages, err := s.fetchBatch(req.ctx, req.ids, req.tr, tm)
+		region.End()
+		if tm != nil {
+			req.tr.add(stagePread, tm.Pread)
+			req.tr.add(stageDecode, tm.Decode)
+		}
 		if err == nil {
 			s.met.diskFetches[disk].Add(int64(len(req.ids)))
 			s.met.pagesRead.Add(int64(pages))
@@ -527,13 +604,13 @@ func (s *Server) diskLoop(disk int, ch <-chan fetchReq) {
 // injected faults (including torn reads, which wrap fault.ErrInjected) and
 // per-attempt timeouts. Real corruption or unknown buckets fail immediately,
 // and an expired query stops retrying at once.
-func (s *Server) fetchBatch(ctx context.Context, ids []int32) (map[int32][]geom.Point, int, error) {
+func (s *Server) fetchBatch(ctx context.Context, ids []int32, tr *Trace, tm *store.Timing) (map[int32][]geom.Point, int, error) {
 	for attempt := 1; ; attempt++ {
 		actx, cancel := ctx, context.CancelFunc(nil)
 		if s.cfg.FetchTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, s.cfg.FetchTimeout)
 		}
-		got, pages, err := s.readBatch(actx, ids)
+		got, pages, err := s.readBatch(actx, ids, tm)
 		if cancel != nil {
 			cancel()
 		}
@@ -546,7 +623,10 @@ func (s *Server) fetchBatch(ctx context.Context, ids []int32) (map[int32][]geom.
 			return nil, 0, err
 		}
 		s.met.diskRetries.Add(1)
-		if fault.Sleep(ctx, retryDelay(s.cfg.FetchBackoff, attempt)) != nil {
+		backoffStart := traceNow(tr)
+		serr := fault.Sleep(ctx, retryDelay(s.cfg.FetchBackoff, attempt))
+		tr.addSince(stageBackoff, backoffStart)
+		if serr != nil {
 			return nil, 0, err
 		}
 	}
@@ -556,7 +636,7 @@ func (s *Server) fetchBatch(ctx context.Context, ids []int32) (map[int32][]geom.
 // already expired has abandoned the fetch; skipping the I/O (checked again
 // between simulated-latency sleeps) keeps its backlog from starving live
 // queries.
-func (s *Server) readBatch(ctx context.Context, ids []int32) (map[int32][]geom.Point, int, error) {
+func (s *Server) readBatch(ctx context.Context, ids []int32, tm *store.Timing) (map[int32][]geom.Point, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
@@ -569,12 +649,12 @@ func (s *Server) readBatch(ctx context.Context, ids []int32) (map[int32][]geom.P
 		}
 	}
 	if !s.cfg.DisableCoalesce {
-		return s.st.ReadBuckets(ctx, ids)
+		return s.st.ReadBucketsTimed(ctx, ids, tm)
 	}
 	out := make(map[int32][]geom.Point, len(ids))
 	pages := 0
 	for _, id := range ids {
-		pts, p, err := s.st.ReadBucket(ctx, id)
+		pts, p, err := s.st.ReadBucketTimed(ctx, id, tm)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -621,7 +701,7 @@ func (s *Server) failLeads(ids []int32, err error) {
 // leads is published to the cache exactly once — with data or with the
 // error — before fetchBuckets returns, so followers never wait on an
 // abandoned load.
-func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geom.Point, QueryInfo, error) {
+func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[int32][]geom.Point, QueryInfo, error) {
 	var info QueryInfo
 	out := make(map[int32][]geom.Point, len(ids))
 	type join struct {
@@ -630,6 +710,8 @@ func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geo
 	}
 	var joins []join
 	var leads map[int][]int32 // disk -> buckets this query must read
+	nleads := 0
+	cacheStart := traceNow(tr)
 	for _, id := range ids {
 		if s.bcache != nil {
 			switch r := s.bcache.Acquire(id); {
@@ -649,13 +731,17 @@ func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geo
 			for _, batch := range leads {
 				s.failLeads(batch, err)
 			}
+			tr.addSince(stageCache, cacheStart)
 			return nil, info, err
 		}
 		if leads == nil {
 			leads = make(map[int][]int32)
 		}
 		leads[pl.Disk] = append(leads[pl.Disk], id)
+		nleads++
 	}
+	tr.addSince(stageCache, cacheStart)
+	tr.noteCache(len(out), len(joins), nleads)
 
 	// One batch per disk. The response channel is buffered for every batch,
 	// so disk goroutines never block on an abandoned query; and the gather
@@ -671,7 +757,7 @@ func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geo
 			continue
 		}
 		select {
-		case s.fetchCh[disk] <- fetchReq{ids: batch, ctx: ctx, resp: resp}:
+		case s.fetchCh[disk] <- fetchReq{ids: batch, ctx: ctx, resp: resp, tr: tr, enq: traceNow(tr)}:
 			submitted++
 		case <-ctx.Done():
 			err = ctx.Err()
@@ -713,7 +799,11 @@ func (s *Server) fetchBuckets(ctx context.Context, ids []int32) (map[int32][]geo
 
 	// Collect joined loads last: their leaders read in parallel with ours.
 	// A leader's transient failure degrades this query too — the bucket's
-	// disk is what actually failed.
+	// disk is what actually failed. Waiting on a leader counts as cache
+	// time: the bucket is being materialized by the cache's singleflight,
+	// not by this query's own I/O.
+	joinStart := traceNow(tr)
+	defer tr.addSince(stageCache, joinStart)
 	for _, j := range joins {
 		pts, _, werr := j.p.Wait(ctx)
 		if werr != nil {
@@ -747,12 +837,14 @@ func (s *Server) degradable(ctx context.Context, err error) bool {
 		(s.cfg.FetchTimeout > 0 && errors.Is(err, context.DeadlineExceeded))
 }
 
-func (s *Server) pointQuery(ctx context.Context, key geom.Point) (Result, error) {
+func (s *Server) pointQuery(ctx context.Context, tr *Trace, key geom.Point) (Result, error) {
+	tstart := traceNow(tr)
 	id, ok := s.grid.BucketAt(key)
+	tr.addSince(stageTranslate, tstart)
 	if !ok {
 		return Result{}, fmt.Errorf("key %v outside the domain", key)
 	}
-	got, info, err := s.fetchBuckets(ctx, []int32{id})
+	got, info, err := s.fetchBuckets(ctx, tr, []int32{id})
 	if err != nil {
 		return Result{}, err
 	}
@@ -767,9 +859,11 @@ func (s *Server) pointQuery(ctx context.Context, key geom.Point) (Result, error)
 	return res, nil
 }
 
-func (s *Server) rangeQuery(ctx context.Context, q geom.Rect, countOnly bool) (Result, error) {
+func (s *Server) rangeQuery(ctx context.Context, tr *Trace, q geom.Rect, countOnly bool) (Result, error) {
+	tstart := traceNow(tr)
 	ids := s.grid.BucketsInRange(q)
-	got, info, err := s.fetchBuckets(ctx, ids)
+	tr.addSince(stageTranslate, tstart)
+	got, info, err := s.fetchBuckets(ctx, tr, ids)
 	if err != nil {
 		return Result{}, err
 	}
@@ -788,7 +882,7 @@ func (s *Server) rangeQuery(ctx context.Context, q geom.Rect, countOnly bool) (R
 	return res, nil
 }
 
-func (s *Server) partialQuery(ctx context.Context, vals []float64) (Result, error) {
+func (s *Server) partialQuery(ctx context.Context, tr *Trace, vals []float64) (Result, error) {
 	dom := s.grid.Domain()
 	q := make(geom.Rect, len(vals))
 	for d, v := range vals {
@@ -798,7 +892,7 @@ func (s *Server) partialQuery(ctx context.Context, vals []float64) (Result, erro
 			q[d] = geom.Interval{Lo: v, Hi: v}
 		}
 	}
-	res, err := s.rangeQuery(ctx, q, false)
+	res, err := s.rangeQuery(ctx, tr, q, false)
 	if err != nil {
 		return Result{}, err
 	}
@@ -811,7 +905,7 @@ func (s *Server) partialQuery(ctx context.Context, vals []float64) (Result, erro
 // the key — the grid file's classic expanding-search strategy, executed
 // against the page store so every probe is real declustered I/O. Buckets
 // are fetched at most once per query.
-func (s *Server) knnQuery(ctx context.Context, key geom.Point, k int) (Result, error) {
+func (s *Server) knnQuery(ctx context.Context, tr *Trace, key geom.Point, k int) (Result, error) {
 	dom := s.grid.Domain()
 	if err := domContains(dom, key); err != nil {
 		return Result{}, err
@@ -846,14 +940,16 @@ func (s *Server) knnQuery(ctx context.Context, key geom.Point, k int) (Result, e
 				covers = false
 			}
 		}
+		tstart := traceNow(tr)
 		ids := s.grid.BucketsInRange(q)
+		tr.addSince(stageTranslate, tstart)
 		var fresh []int32
 		for _, id := range ids {
 			if _, ok := fetched[id]; !ok {
 				fresh = append(fresh, id)
 			}
 		}
-		got, fi, err := s.fetchBuckets(ctx, fresh)
+		got, fi, err := s.fetchBuckets(ctx, tr, fresh)
 		if err != nil {
 			return Result{}, err
 		}

@@ -448,8 +448,14 @@ func TestServerDeadlines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.Rejected == 0 {
-		t.Error("deadline expiry not counted as rejection")
+	// The query above was admitted (the admission queue was empty) and then
+	// expired mid-flight: that must land in deadline_exceeded, not in the
+	// admission-control rejection counter.
+	if snap.DeadlineExceeded == 0 {
+		t.Error("mid-flight deadline expiry not counted as deadline_exceeded")
+	}
+	if snap.Rejected != 0 {
+		t.Errorf("mid-flight deadline expiry counted as %d admission rejections", snap.Rejected)
 	}
 }
 
@@ -514,6 +520,11 @@ func TestServerAdmissionControl(t *testing.T) {
 	wg2.Wait()
 	if len(rejected) == 0 {
 		t.Error("overloaded server rejected nothing")
+	}
+	// Queries that expired while queued for admission are rejections; they
+	// must be visible on the admission counter, not only as error replies.
+	if snap := tight.Snapshot(); snap.Rejected == 0 {
+		t.Errorf("admission-queue expiry not counted as rejected (snapshot %+v)", snap)
 	}
 }
 

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The observability layer (DESIGN S23): a per-query stage trace threaded
+// through the whole hot path. Stage indices name where a traced query's
+// nanoseconds went; stageNames is their order in STATS, /metrics and the
+// slow-query log.
+//
+// The stages partition the path a data query takes:
+//
+//	admission   waiting for an admission-control slot
+//	translate   grid-directory translation (BucketAt / BucketsInRange)
+//	cache       bucket-cache acquire plus waiting on joined in-flight loads
+//	fetch_wait  batches queued behind other work on their disk goroutine
+//	pread       positioned disk reads, including injected stalls
+//	decode      page validation and record decoding
+//	backoff     sleeps between disk-batch retry attempts
+//	encode      result encoding to the wire frame
+//
+// Disk-side stages (fetch_wait, pread, decode, backoff) sum over the disks a
+// query touched, which run in parallel — their sum can legitimately exceed
+// the query's elapsed wall clock.
+const (
+	stageAdmission = iota
+	stageTranslate
+	stageCache
+	stageFetchWait
+	stagePread
+	stageDecode
+	stageBackoff
+	stageEncode
+	numStages
+)
+
+var stageNames = [numStages]string{
+	stageAdmission: "admission",
+	stageTranslate: "translate",
+	stageCache:     "cache",
+	stageFetchWait: "fetch_wait",
+	stagePread:     "pread",
+	stageDecode:    "decode",
+	stageBackoff:   "backoff",
+	stageEncode:    "encode",
+}
+
+// Trace accumulates one query's per-stage durations. Stage cells are atomic
+// because disk goroutines record their share (fetch_wait, pread, decode,
+// backoff) concurrently with the query goroutine; the cache-outcome counters
+// are touched by the query goroutine only. fetchBuckets gathers every
+// submitted batch before returning, so all disk-side writes happen before
+// the trace is read and released.
+//
+// Traces are pooled: a query that isn't sampled carries a nil *Trace, and
+// every recording helper is nil-safe, so the disabled path costs one nil
+// check and allocates nothing.
+type Trace struct {
+	stages [numStages]atomic.Int64 // nanoseconds per stage
+
+	// Cache outcome of the query's bucket set.
+	hits  int32 // served from the bucket cache
+	joins int32 // waited on another query's in-flight load
+	leads int32 // loaded by this query via a disk batch
+}
+
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+// acquireTrace returns a pooled Trace when this query is sampled, nil
+// otherwise. TraceSample n traces every n-th data query; 0 disables.
+func (s *Server) acquireTrace() *Trace {
+	n := s.cfg.TraceSample
+	if n <= 0 {
+		return nil
+	}
+	if n > 1 && s.traceSeq.Add(1)%uint64(n) != 0 {
+		return nil
+	}
+	return tracePool.Get().(*Trace)
+}
+
+// releaseTrace resets t and returns it to the pool; nil-safe.
+func releaseTrace(t *Trace) {
+	if t == nil {
+		return
+	}
+	for i := range t.stages {
+		t.stages[i].Store(0)
+	}
+	t.hits, t.joins, t.leads = 0, 0, 0
+	tracePool.Put(t)
+}
+
+// traceNow reads the clock only when a trace is attached, so untraced
+// queries skip the call entirely. Pairs with addSince.
+func traceNow(t *Trace) time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// add records d on a stage; nil-safe, negative durations are dropped.
+func (t *Trace) add(stage int, d time.Duration) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.stages[stage].Add(int64(d))
+}
+
+// addSince records the time since a traceNow mark; nil-safe on both ends.
+func (t *Trace) addSince(stage int, start time.Time) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	t.stages[stage].Add(int64(time.Since(start)))
+}
+
+// noteCache accumulates the cache outcome of one fetchBuckets pass (k-NN
+// runs several per query).
+func (t *Trace) noteCache(hits, joins, leads int) {
+	if t == nil {
+		return
+	}
+	t.hits += int32(hits)
+	t.joins += int32(joins)
+	t.leads += int32(leads)
+}
+
+// verbName names a verb for labels and the slow-query log.
+func verbName(v Verb) string {
+	if i := verbIndex(v); i >= 0 {
+		return verbNames[i]
+	}
+	return fmt.Sprintf("0x%02x", uint8(v))
+}
+
+// finishTrace folds a completed query's trace into the per-stage histograms,
+// emits the slow-query log line when the query qualifies, and returns the
+// trace to the pool. Must be called exactly once per acquired trace, after
+// every disk batch has been gathered.
+func (s *Server) finishTrace(t *Trace, verb Verb, elapsed time.Duration, info QueryInfo, qerr error) {
+	if t == nil {
+		return
+	}
+	s.met.traced.Add(1)
+	for i := range t.stages {
+		s.met.stageLat[i].observe(float64(t.stages[i].Load()) / 1e3) // ns → µs
+	}
+	if s.cfg.TraceSlowLog && elapsed >= s.cfg.TraceSlow {
+		var b strings.Builder
+		fmt.Fprintf(&b, "gridserver trace verb=%s elapsed=%s", verbName(verb), elapsed)
+		for i := range t.stages {
+			fmt.Fprintf(&b, " %s=%s", stageNames[i], time.Duration(t.stages[i].Load()))
+		}
+		fmt.Fprintf(&b, " buckets=%d pages=%d hits=%d joins=%d leads=%d degraded=%v",
+			info.Buckets, info.Pages, t.hits, t.joins, t.leads, info.Degraded)
+		if qerr != nil {
+			fmt.Fprintf(&b, " err=%q", qerr.Error())
+		}
+		b.WriteByte('\n')
+		s.traceMu.Lock()
+		io.WriteString(s.cfg.TraceLog, b.String())
+		s.traceMu.Unlock()
+	}
+	releaseTrace(t)
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pgridfile/internal/workload"
+)
+
+// syncBuffer is a goroutine-safe log sink for the slow-query log.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestTracingEndToEnd serves a traced workload and checks the full S23
+// surface: every data query is traced, the stage histograms cover the hot
+// path, the slow-query log emits one well-formed line per query, and the
+// stage sum is commensurate with the measured latencies.
+func TestTracingEndToEnd(t *testing.T) {
+	var log syncBuffer
+	s, f := newTestServer(t, 900, 4, Config{
+		TraceSample:  1,
+		TraceSlowLog: true,
+		TraceSlow:    0, // log every traced query
+		TraceLog:     &log,
+	})
+	cl := newTestClient(t, s, ClientConfig{})
+
+	dom := f.Domain()
+	const queries = 40
+	for i, q := range workload.SquareRange(dom, 0.1, queries, 3) {
+		n, _, err := cl.RangeCount(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if want := f.RangeCount(q); n != want {
+			t.Fatalf("query %d returned %d records, want %d", i, n, want)
+		}
+	}
+	var key [2]float64
+	f.Scan(func(k []float64, _ []byte) bool { key = [2]float64{k[0], k[1]}; return false })
+	if _, _, err := cl.Point(key[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Traced != queries+1 {
+		t.Errorf("traced = %d, want %d", snap.Traced, queries+1)
+	}
+	if snap.Stages == nil {
+		t.Fatal("snapshot carries no stage summaries despite tracing")
+	}
+	for _, name := range stageNames {
+		q, ok := snap.Stages[name]
+		if !ok {
+			t.Errorf("stage %q missing from STATS", name)
+			continue
+		}
+		if q.Count != snap.Traced {
+			t.Errorf("stage %q observed %d queries, want %d", name, q.Count, snap.Traced)
+		}
+	}
+	// The hot path really ran: translation, cache bookkeeping and encode
+	// take nonzero time on every query; pread touched the disk at least once.
+	for _, name := range []string{"translate", "cache", "encode", "pread"} {
+		if snap.Stages[name].Max == 0 {
+			t.Errorf("stage %q never recorded any time", name)
+		}
+	}
+	// Stage sums must explain the measured latency within the acceptance
+	// bound: sum of stage p50s within 2x of the end-to-end p50 (disk stages
+	// overlap across spindles, so the sum may exceed elapsed).
+	sum := 0.0
+	for _, name := range stageNames {
+		sum += snap.Stages[name].P50
+	}
+	if p50 := snap.LatencyMicros.P50; sum < p50/2 {
+		t.Errorf("stage p50 sum %.1fµs explains less than half of end-to-end p50 %.1fµs", sum, p50)
+	}
+
+	// One slow-log line per traced query, structured and parseable.
+	lines := strings.Split(strings.TrimSpace(log.String()), "\n")
+	if int64(len(lines)) != snap.Traced {
+		t.Fatalf("slow log has %d lines, want %d:\n%s", len(lines), snap.Traced, log.String())
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "gridserver trace verb=") {
+			t.Fatalf("malformed slow-log line: %q", ln)
+		}
+		for _, field := range []string{"elapsed=", "buckets=", "pages=", "degraded=", "leads="} {
+			if !strings.Contains(ln, " "+field) {
+				t.Errorf("slow-log line missing %s: %q", field, ln)
+			}
+		}
+		for _, name := range stageNames {
+			if !strings.Contains(ln, " "+name+"=") {
+				t.Errorf("slow-log line missing stage %s: %q", name, ln)
+			}
+		}
+	}
+}
+
+// TestTraceSampling checks the 1-in-N sampler: with TraceSample=4 roughly a
+// quarter of queries are traced — exactly every 4th, since the counter is
+// deterministic under a single client.
+func TestTraceSampling(t *testing.T) {
+	s, f := newTestServer(t, 300, 2, Config{TraceSample: 4})
+	cl := newTestClient(t, s, ClientConfig{})
+	var key [2]float64
+	f.Scan(func(k []float64, _ []byte) bool { key = [2]float64{k[0], k[1]}; return false })
+	const queries = 40
+	for i := 0; i < queries; i++ {
+		if _, _, err := cl.Point(key[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(queries / 4); snap.Traced != want {
+		t.Errorf("traced = %d of %d, want %d", snap.Traced, queries, want)
+	}
+}
+
+// TestTraceSlowThreshold: with a high threshold, queries are traced (stage
+// histograms fill) but nothing is logged.
+func TestTraceSlowThreshold(t *testing.T) {
+	var log syncBuffer
+	s, f := newTestServer(t, 300, 2, Config{
+		TraceSample:  1,
+		TraceSlowLog: true,
+		TraceSlow:    time.Hour,
+		TraceLog:     &log,
+	})
+	cl := newTestClient(t, s, ClientConfig{})
+	if _, _, err := cl.RangeCount(f.Domain()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Traced == 0 {
+		t.Error("nothing traced despite TraceSample=1")
+	}
+	if got := log.String(); got != "" {
+		t.Errorf("sub-threshold query logged: %q", got)
+	}
+}
+
+// TestTracingOffByDefault: the zero config neither traces nor logs.
+func TestTracingOffByDefault(t *testing.T) {
+	var log syncBuffer
+	s, f := newTestServer(t, 300, 2, Config{TraceLog: &log})
+	cl := newTestClient(t, s, ClientConfig{})
+	if _, _, err := cl.RangeCount(f.Domain()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Traced != 0 || snap.Stages != nil {
+		t.Errorf("untraced server reported traced=%d stages=%v", snap.Traced, snap.Stages)
+	}
+	if got := log.String(); got != "" {
+		t.Errorf("untraced server logged: %q", got)
+	}
+}

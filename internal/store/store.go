@@ -31,6 +31,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"pgridfile/internal/core"
 	"pgridfile/internal/fault"
@@ -362,6 +363,15 @@ func (s *Store) readAt(ctx context.Context, disk int, buf []byte, off int64) (to
 	return torn, nil
 }
 
+// Timing splits a read's cost between raw positioned I/O (including injected
+// stalls) and page validation/decoding. The timed read variants accumulate
+// into it, so one Timing can cover a whole batch of calls. Callers that pass
+// nil pay no clock reads at all.
+type Timing struct {
+	Pread  time.Duration
+	Decode time.Duration
+}
+
 // ReadBucket fetches one bucket's keys from its disk file. The returned
 // slice is freshly allocated. It also reports the number of pages read
 // (the I/O the paper's response-time metric charges). ReadBucket is safe
@@ -370,17 +380,35 @@ func (s *Store) readAt(ctx context.Context, disk int, buf []byte, off int64) (to
 // read is a single ReadAt regardless of bucket size. ctx bounds injected
 // stalls; a nil ctx is treated as background.
 func (s *Store) ReadBucket(ctx context.Context, id int32) ([]geom.Point, int, error) {
+	return s.ReadBucketTimed(ctx, id, nil)
+}
+
+// ReadBucketTimed is ReadBucket with an optional pread/decode time split
+// accumulated into tm (nil disables timing).
+func (s *Store) ReadBucketTimed(ctx context.Context, id int32, tm *Timing) ([]geom.Point, int, error) {
 	pl, ok := s.byID[id]
 	if !ok {
 		return nil, 0, fmt.Errorf("store: unknown bucket %d", id)
 	}
 	buf := getBuf(pl.Pages * s.manifest.PageBytes)
 	defer putBuf(buf)
+	var t0 time.Time
+	if tm != nil {
+		t0 = time.Now()
+	}
 	torn, err := s.readAt(ctx, pl.Disk, buf, pl.Page*int64(s.manifest.PageBytes))
+	if tm != nil {
+		now := time.Now()
+		tm.Pread += now.Sub(t0)
+		t0 = now
+	}
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: reading bucket %d: %w", id, err)
 	}
 	out, err := s.decodeBucket(buf, pl)
+	if tm != nil {
+		tm.Decode += time.Since(t0)
+	}
 	if err != nil {
 		if torn {
 			return nil, 0, fmt.Errorf("store: torn read of bucket %d: %w (%v)", id, fault.ErrInjected, err)
@@ -403,6 +431,12 @@ const maxCoalesceBytes = 1 << 20
 // concurrent use. Duplicate ids are fetched once. ctx bounds injected
 // stalls; a nil ctx is treated as background.
 func (s *Store) ReadBuckets(ctx context.Context, ids []int32) (map[int32][]geom.Point, int, error) {
+	return s.ReadBucketsTimed(ctx, ids, nil)
+}
+
+// ReadBucketsTimed is ReadBuckets with an optional pread/decode time split
+// accumulated into tm (nil disables timing).
+func (s *Store) ReadBucketsTimed(ctx context.Context, ids []int32, tm *Timing) (map[int32][]geom.Point, int, error) {
 	out := make(map[int32][]geom.Point, len(ids))
 	pls := make([]Placement, 0, len(ids))
 	for _, id := range ids {
@@ -438,7 +472,16 @@ func (s *Store) ReadBuckets(ctx context.Context, ids []int32) (map[int32][]geom.
 			hi++
 		}
 		buf := getBuf(runPages * s.manifest.PageBytes)
+		var t0 time.Time
+		if tm != nil {
+			t0 = time.Now()
+		}
 		torn, err := s.readAt(ctx, pls[lo].Disk, buf, pls[lo].Page*pageBytes)
+		if tm != nil {
+			now := time.Now()
+			tm.Pread += now.Sub(t0)
+			t0 = now
+		}
 		if err != nil {
 			putBuf(buf)
 			return nil, 0, fmt.Errorf("store: reading buckets %d..%d: %w",
@@ -459,6 +502,9 @@ func (s *Store) ReadBuckets(ctx context.Context, ids []int32) (map[int32][]geom.
 			off += pl.Pages * s.manifest.PageBytes
 		}
 		putBuf(buf)
+		if tm != nil {
+			tm.Decode += time.Since(t0)
+		}
 		pages += runPages
 		lo = hi
 	}

@@ -474,6 +474,59 @@ func TestConcurrentBatchReaders(t *testing.T) {
 	}
 }
 
+// TestReadTiming proves the timed read variants split their cost into
+// pread and decode, return identical data to the untimed forms, and that a
+// nil Timing is accepted everywhere.
+func TestReadTiming(t *testing.T) {
+	dir, f, _ := buildLayout(t, 4, 4096)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	views := f.Buckets()
+	ids := make([]int32, 0, len(views))
+	for _, v := range views {
+		ids = append(ids, v.ID)
+	}
+
+	var tm Timing
+	got, pages, err := s.ReadBucketsTimed(context.Background(), ids, &tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) || pages < len(ids) {
+		t.Fatalf("timed batch read: %d buckets / %d pages", len(got), pages)
+	}
+	if tm.Pread <= 0 || tm.Decode <= 0 {
+		t.Errorf("batch Timing not populated: %+v", tm)
+	}
+
+	// The single-bucket form accumulates into the same Timing.
+	before := tm
+	pts, _, err := s.ReadBucketTimed(context.Background(), ids[0], &tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(got[ids[0]]) {
+		t.Errorf("timed single read returned %d records, batch %d", len(pts), len(got[ids[0]]))
+	}
+	if tm.Pread <= before.Pread || tm.Decode <= before.Decode {
+		t.Errorf("single-read Timing did not accumulate: %+v -> %+v", before, tm)
+	}
+
+	// nil Timing: same data, no timing requirement.
+	got2, pages2, err := s.ReadBucketsTimed(context.Background(), ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != len(got) || pages2 != pages {
+		t.Errorf("nil-Timing read diverged: %d buckets / %d pages, want %d / %d",
+			len(got2), pages2, len(got), pages)
+	}
+}
+
 // TestOpenGrid proves the grid file embedded by Write round-trips and its
 // bucket ids agree with the manifest placements.
 func TestOpenGrid(t *testing.T) {

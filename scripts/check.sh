@@ -7,8 +7,9 @@
 #   3. go build    every package compiles
 #   4. go test     full suite under the race detector
 #   5. fuzz smoke  short runs of the protocol and codec fuzz targets
-#   6. chaos smoke fault-injected bench run: zero errors, degraded answers
-#   7. bench smoke one-shot run of the serving-path benchmark suite
+#   6. trace smoke traced bench run: stage breakdown + slow-query log
+#   7. chaos smoke fault-injected bench run: zero errors, degraded answers
+#   8. bench smoke one-shot run of the serving-path benchmark suite
 #
 # The quick tier-1 gate (go build ./... && go test ./...) is a subset; run
 # this script before sending a PR. Usage: scripts/check.sh [fuzztime]
@@ -38,6 +39,9 @@ echo "== fuzz smoke ($FUZZTIME each)"
 go test -run='^$' -fuzz=FuzzCodec -fuzztime="$FUZZTIME" ./internal/server
 go test -run='^$' -fuzz=FuzzDegradedCodec -fuzztime="$FUZZTIME" ./internal/server
 go test -run='^$' -fuzz=FuzzRead -fuzztime="$FUZZTIME" ./internal/gridfile
+
+echo "== trace smoke"
+TRACE_SEED="${TRACE_SEED:-1}" sh scripts/trace.sh 200
 
 echo "== chaos smoke"
 CHAOS_SEED="${CHAOS_SEED:-1}" sh scripts/chaos.sh 1000

@@ -1,0 +1,63 @@
+#!/bin/sh
+# trace.sh — the observability smoke gate. Builds a small declustered layout,
+# runs the closed-loop bench against it with per-query stage tracing on and
+# the slow-query threshold at 0 (log every traced query), then checks the two
+# machine-readable surfaces of DESIGN S23:
+#
+#   1. the bench JSON row carries a stage_p50_us breakdown covering every
+#      pipeline stage, and
+#   2. stderr carries exactly one well-formed "gridserver trace" line per
+#      query.
+#
+# Usage: scripts/trace.sh [queries]
+#   queries      total queries for the run (default 500)
+# Env:
+#   TRACE_SEED   workload seed (default 1)
+set -eu
+cd "$(dirname "$0")/.."
+
+QUERIES="${1:-500}"
+SEED="${TRACE_SEED:-1}"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== trace: building layout (hot.2d, 4 disks)"
+go run ./cmd/datagen -dataset hot.2d -n 4000 -seed "$SEED" -out "$WORK/hot.csv"
+go run ./cmd/gridtool build -in "$WORK/hot.csv" -out "$WORK/hot.grd" -capacity 56
+go run ./cmd/gridtool layout -file "$WORK/hot.grd" -alg minimax -disks 4 \
+    -seed "$SEED" -out "$WORK/layout"
+
+echo "== trace: bench with stage tracing + slow-query log (seed $SEED)"
+go run ./cmd/gridserver bench -store "$WORK/layout" \
+    -clients 8 -queries "$QUERIES" -seed "$SEED" \
+    -trace -trace-slow 0 -json "$WORK/trace.json" 2>"$WORK/trace.log"
+
+# Surface 1: the JSON row must break the run down by stage.
+if ! grep -q '"stage_p50_us"' "$WORK/trace.json"; then
+    echo "trace.sh: FAIL — bench JSON carries no stage_p50_us breakdown:" >&2
+    cat "$WORK/trace.json" >&2
+    exit 1
+fi
+for stage in admission translate cache fetch_wait pread decode backoff encode; do
+    P50=$(sed -n 's/.*"'"$stage"'": *\([0-9.][0-9.]*\).*/\1/p' "$WORK/trace.json" | head -1)
+    if [ -z "$P50" ]; then
+        echo "trace.sh: FAIL — stage '$stage' missing from stage_p50_us:" >&2
+        cat "$WORK/trace.json" >&2
+        exit 1
+    fi
+done
+
+# Surface 2: one slow-log line per query, in the structured format.
+LINES=$(grep -c '^gridserver trace verb=' "$WORK/trace.log" || true)
+if [ "$LINES" -ne "$QUERIES" ]; then
+    echo "trace.sh: FAIL — slow-query log has $LINES lines, want $QUERIES" >&2
+    head -5 "$WORK/trace.log" >&2
+    exit 1
+fi
+if ! grep -q '^gridserver trace verb=.* elapsed=.* pread=.* buckets=' "$WORK/trace.log"; then
+    echo "trace.sh: FAIL — slow-query log lines are malformed:" >&2
+    head -3 "$WORK/trace.log" >&2
+    exit 1
+fi
+echo "trace.sh: PASS — $QUERIES queries traced, $LINES slow-log lines, all 8 stages in JSON"
