@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 2000x
 
-.PHONY: all build test race check fmt vet fuzz chaos trace bench bench-all clean
+.PHONY: all build test race check fmt vet fuzz chaos trace bench bench-decluster bench-all clean
 
 all: build
 
@@ -46,6 +46,13 @@ check:
 # translation micro-benchmarks, parsed into BENCH_server.json.
 bench:
 	sh scripts/bench.sh $(BENCHTIME)
+
+# The build-path suite: BenchmarkDecluster serial vs parallel, parsed into
+# BENCH_decluster.json. One iteration per variant by default (the N=16k
+# serial points dominate the runtime); override with DECL_BENCHTIME.
+DECL_BENCHTIME ?= 1x
+bench-decluster:
+	BENCH_SUITE=decluster sh scripts/bench.sh $(DECL_BENCHTIME)
 
 # Everything, one iteration each: a smoke pass over the full benchmark set.
 bench-all:

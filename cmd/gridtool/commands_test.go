@@ -92,7 +92,7 @@ func TestParseAllocator(t *testing.T) {
 		"GDM/F":          "GDM/F",
 	}
 	for in, want := range cases {
-		alg, err := parseAllocator(in, 1)
+		alg, err := parseAllocator(in, 1, 0)
 		if err != nil {
 			t.Errorf("parseAllocator(%q): %v", in, err)
 			continue
@@ -102,7 +102,7 @@ func TestParseAllocator(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{"", "nope", "DM", "DM/Z", "XX/D"} {
-		if _, err := parseAllocator(bad, 1); err == nil {
+		if _, err := parseAllocator(bad, 1, 0); err == nil {
 			t.Errorf("parseAllocator(%q) accepted", bad)
 		}
 	}

@@ -17,6 +17,7 @@ func runLayout(args []string) error {
 	pageBytes := fs.Int("page", 4096, "page size in bytes")
 	seed := fs.Int64("seed", 1, "seed for randomized phases")
 	out := fs.String("out", "", "layout directory (required)")
+	workers := fs.Int("workers", 0, "build worker goroutines for proximity-based algorithms (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if *path == "" || *out == "" {
 		return fmt.Errorf("layout: -file and -out are required")
@@ -25,7 +26,7 @@ func runLayout(args []string) error {
 	if err != nil {
 		return err
 	}
-	allocator, err := parseAllocator(*alg, *seed)
+	allocator, err := parseAllocator(*alg, *seed, *workers)
 	if err != nil {
 		return err
 	}

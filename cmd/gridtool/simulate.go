@@ -11,18 +11,20 @@ import (
 	"pgridfile/internal/workload"
 )
 
-// parseAllocator resolves an algorithm name shared by decluster and
-// simulate: minimax, ssp, mst, or a scheme/resolver pair like HCAM/D.
-func parseAllocator(name string, seed int64) (core.Allocator, error) {
+// parseAllocator resolves an algorithm name shared by decluster, layout,
+// simulate and viz: minimax, ssp, mst, or a scheme/resolver pair like
+// HCAM/D. workers bounds the proximity-based algorithms' build parallelism
+// (0 means GOMAXPROCS); index-based schemes ignore it.
+func parseAllocator(name string, seed int64, workers int) (core.Allocator, error) {
 	switch strings.ToLower(name) {
 	case "minimax":
-		return &core.Minimax{Seed: seed}, nil
+		return &core.Minimax{Seed: seed, Workers: workers}, nil
 	case "minimax-euclid":
-		return &core.Minimax{Weight: core.EuclideanWeight, WeightName: "euclid", Seed: seed}, nil
+		return &core.Minimax{Weight: core.EuclideanWeight, WeightName: "euclid", Seed: seed, Workers: workers}, nil
 	case "ssp":
-		return &core.SSP{Seed: seed}, nil
+		return &core.SSP{Seed: seed, Workers: workers}, nil
 	case "mst":
-		return &core.MST{Seed: seed}, nil
+		return &core.MST{Seed: seed, Workers: workers}, nil
 	}
 	parts := strings.SplitN(name, "/", 2)
 	if len(parts) != 2 {
@@ -39,6 +41,7 @@ func runSimulate(args []string) error {
 	ratio := fs.Float64("r", 0.05, "query volume ratio")
 	queries := fs.Int("queries", 1000, "number of random square range queries")
 	seed := fs.Int64("seed", 1, "workload and heuristic seed")
+	workers := fs.Int("workers", 0, "build worker goroutines for proximity-based algorithms (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if *path == "" {
 		return fmt.Errorf("simulate: -file is required")
@@ -53,9 +56,9 @@ func runSimulate(args []string) error {
 
 	fmt.Printf("%-12s %-14s %-12s %-10s %-14s\n",
 		"method", "mean response", "optimal", "balance", "closest pairs")
-	nn := sim.NearestCompanions(g, nil)
+	nn := sim.NearestCompanionsWorkers(g, nil, *workers)
 	for _, name := range strings.Split(*algs, ",") {
-		alg, err := parseAllocator(strings.TrimSpace(name), *seed)
+		alg, err := parseAllocator(strings.TrimSpace(name), *seed, *workers)
 		if err != nil {
 			return err
 		}

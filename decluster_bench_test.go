@@ -1,0 +1,122 @@
+package pgridfile
+
+// BenchmarkDecluster tracks the declustering *build* path the way
+// BenchmarkServerThroughput tracks the serving path: serial (the pre-engine
+// reference: a Weight closure over geom.Proximity per edge) versus parallel
+// (the flattened pairwise-weight engine at Workers=GOMAXPROCS) across grid
+// and disk sizes. scripts/bench.sh parses the output into
+// BENCH_decluster.json.
+//
+// Every parallel variant also re-runs the serial reference once outside the
+// timed loop and asserts the engine assignment is byte-identical — the
+// determinism contract that makes the parallel path safe to enable by
+// default.
+//
+// Run: go test -bench='^BenchmarkDecluster$' -benchtime 1x .
+
+import (
+	"strconv"
+	"testing"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+)
+
+// declusterBenchGrid builds a side×side Cartesian grid over the synthetic
+// datasets' [0,2000]² domain: exact bucket counts (1024/4096/16384) without
+// the cost of inserting records.
+func declusterBenchGrid(tb testing.TB, side int) core.Grid {
+	tb.Helper()
+	dom := geom.Rect{{Lo: 0, Hi: 2000}, {Lo: 0, Hi: 2000}}
+	cf, err := gridfile.NewCartesian([]int{side, side}, dom)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return core.FromCartesian(cf)
+}
+
+// legacyProximity is ProximityWeight hidden behind a closure so the engine's
+// built-in weight detection does not fire: allocators fall back to the
+// serial reference path, giving the pre-engine baseline.
+func legacyProximity(a, b gridfile.BucketView, dom geom.Rect) float64 {
+	return geom.Proximity(a.Region, b.Region, dom)
+}
+
+// declusterBenchAlloc returns the allocator under test. Serial mode uses the
+// legacy closure path; parallel mode uses the engine with Workers=GOMAXPROCS
+// (Workers: 0).
+func declusterBenchAlloc(alg string, serial bool) core.Allocator {
+	var w core.Weight
+	if serial {
+		w = func(a, b gridfile.BucketView, dom geom.Rect) float64 {
+			return legacyProximity(a, b, dom)
+		}
+	}
+	switch alg {
+	case "minimax":
+		return &core.Minimax{Weight: w, Seed: 1}
+	case "ssp":
+		return &core.SSP{Weight: w, Seed: 1}
+	case "mst":
+		return &core.MST{Weight: w, Seed: 1}
+	}
+	panic("unknown algorithm " + alg)
+}
+
+func BenchmarkDecluster(b *testing.B) {
+	type cfg struct {
+		alg   string
+		side  int // N = side²
+		disks int
+	}
+	var cfgs []cfg
+	for _, side := range []int{32, 64, 128} {
+		for _, disks := range []int{16, 64} {
+			cfgs = append(cfgs, cfg{"minimax", side, disks})
+		}
+	}
+	// SSP walks one path (no per-tree state) and serial MST's global scan is
+	// O(N·M) per step; one mid-size point each tracks them without
+	// dominating the suite.
+	cfgs = append(cfgs, cfg{"ssp", 64, 16}, cfg{"mst", 64, 16})
+
+	for _, c := range cfgs {
+		n := c.side * c.side
+		g := declusterBenchGrid(b, c.side)
+		name := c.alg + "/N=" + strconv.Itoa(n) + "/M=" + strconv.Itoa(c.disks)
+		b.Run(name+"/serial", func(b *testing.B) {
+			alloc := declusterBenchAlloc(c.alg, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := alloc.Decluster(g, c.disks); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n), "buckets")
+		})
+		b.Run(name+"/parallel", func(b *testing.B) {
+			alloc := declusterBenchAlloc(c.alg, false)
+			var got core.Allocation
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if got, err = alloc.Decluster(g, c.disks); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n), "buckets")
+			want, err := declusterBenchAlloc(c.alg, true).Decluster(g, c.disks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for x := range want.Assign {
+				if got.Assign[x] != want.Assign[x] {
+					b.Fatalf("engine assignment diverges from serial reference at bucket %d: got disk %d, want %d",
+						x, got.Assign[x], want.Assign[x])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,631 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+)
+
+// This file implements the parallel pairwise-weight engine shared by every
+// proximity-based algorithm in the package (Minimax, SSP, MST) and by the
+// simulator's nearest-companion computation. All of them have the same
+// Θ(N²) shape — evaluate an edge weight between one "pivot" bucket and every
+// other live bucket, then reduce (max-merge, min-merge, arg-min, arg-max) —
+// so they share one engine instead of each calling a Weight closure over
+// geom.Proximity per edge.
+//
+// The engine gains its speed from three sources:
+//
+//  1. Flattened geometry. Bucket regions are copied once per Decluster into
+//     a contiguous []float64 (lo/hi interleaved per axis) and the per-axis
+//     inverse domain lengths are precomputed, so the proximity kernel is a
+//     devirtualized, zero-alloc inner loop: no BucketView struct copies, no
+//     Rect slice-header chasing, no closure call, no per-edge division by a
+//     recomputed domain length.
+//
+//  2. Sharded sweeps. Each O(N) sweep over the unassigned vertices is split
+//     into contiguous shards executed by a persistent worker pool
+//     (Workers goroutines; Workers <= 0 means GOMAXPROCS).
+//
+//  3. Deterministic reductions. Every reduction uses a total order —
+//     (value, vertex index) for arg-min/arg-max, plus tree index for MST's
+//     global pick — and shard results are merged in shard order, so the
+//     result is byte-identical for ANY worker count. Shards write disjoint
+//     vertex entries, so sweeps are race-free by construction.
+//
+// Custom Weight functions keep the existing serial slow path: the engine
+// only recognizes the package's built-in weights (a nil Weight,
+// ProximityWeight and EuclideanWeight), because only those are known to be
+// pure and safe to evaluate concurrently.
+
+// weightKind identifies the built-in edge weights the engine can inline.
+type weightKind int
+
+const (
+	kindGeneric weightKind = iota
+	kindProximity
+	kindEuclid
+)
+
+// kindOf recognizes the package's built-in weight functions by identity.
+// Closures and user functions map to kindGeneric and take the slow path.
+func kindOf(w Weight) weightKind {
+	if w == nil {
+		return kindProximity
+	}
+	switch reflect.ValueOf(w).Pointer() {
+	case reflect.ValueOf(ProximityWeight).Pointer():
+		return kindProximity
+	case reflect.ValueOf(EuclideanWeight).Pointer():
+		return kindEuclid
+	}
+	return kindGeneric
+}
+
+// PairEngine is the shared pairwise-weight engine: a flattened copy of a
+// grid's bucket geometry plus a sharded sweep executor. Construct one per
+// Decluster (or per NearestCompanions run) and Close it when done. A
+// PairEngine must be driven from a single goroutine; the parallelism lives
+// inside each sweep, not across calls.
+type PairEngine struct {
+	n       int
+	dims    int
+	kind    weightKind
+	boxes   []float64 // n × 2·dims: lo,hi interleaved per axis
+	centers []float64 // n × dims, euclid kernel only
+	lens    []float64 // per-axis domain length, 0 for degenerate axes
+	diag    float64   // euclid: domain diagonal, 0 for a degenerate domain
+
+	workers int
+	pool    *workerPool
+	scratch [][]float64 // one weight buffer per shard
+	resX    []int32     // per-shard reduction results
+	resV    []float64
+}
+
+// NewPairEngine builds an engine for g and w with the given worker count
+// (<= 0 means GOMAXPROCS). It returns nil when w is not one of the built-in
+// weights; callers must then use their serial slow path.
+func NewPairEngine(g Grid, w Weight, workers int) *PairEngine {
+	kind := kindOf(w)
+	if kind == kindGeneric {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(g.Buckets)
+	dims := len(g.Domain)
+	e := &PairEngine{
+		n:       n,
+		dims:    dims,
+		kind:    kind,
+		workers: workers,
+		lens:    make([]float64, dims),
+		scratch: make([][]float64, workers),
+		resX:    make([]int32, workers),
+		resV:    make([]float64, workers),
+	}
+	for d, iv := range g.Domain {
+		if l := iv.Length(); l > 0 {
+			e.lens[d] = l
+		}
+	}
+	switch kind {
+	case kindProximity:
+		e.boxes = make([]float64, n*2*dims)
+		for i, b := range g.Buckets {
+			base := i * 2 * dims
+			for d, iv := range b.Region {
+				e.boxes[base+2*d] = iv.Lo
+				e.boxes[base+2*d+1] = iv.Hi
+			}
+		}
+	case kindEuclid:
+		e.centers = make([]float64, n*dims)
+		for i, b := range g.Buckets {
+			base := i * dims
+			for d, iv := range b.Region {
+				e.centers[base+d] = (iv.Lo + iv.Hi) / 2
+			}
+		}
+		diag := 0.0
+		for _, iv := range g.Domain {
+			diag += iv.Length() * iv.Length()
+		}
+		e.diag = math.Sqrt(diag)
+	}
+	for i := range e.scratch {
+		e.scratch[i] = make([]float64, sweepTile)
+	}
+	return e
+}
+
+// Close releases the engine's worker pool, if one was started.
+func (e *PairEngine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+}
+
+// Weigh evaluates the engine's edge weight for one bucket pair. It exists
+// for tests and spot checks; the sweeps below are the hot path.
+func (e *PairEngine) Weigh(i, j int) float64 {
+	var out [1]float64
+	e.weighBatch(int32(i), []int32{int32(j)}, out[:])
+	return out[0]
+}
+
+// weighBatch computes the weight between the fixed bucket and each bucket in
+// xs, writing results into out (indexed like xs). Dispatch happens once per
+// batch, not per edge.
+func (e *PairEngine) weighBatch(fixed int32, xs []int32, out []float64) {
+	switch {
+	case e.kind == kindEuclid:
+		e.euclidBatch(fixed, xs, out)
+	case e.dims == 2:
+		e.proxBatch2(fixed, xs, out)
+	default:
+		e.proxBatch(fixed, xs, out)
+	}
+}
+
+// proxBatch is the Kamel–Faloutsos proximity kernel over the flattened
+// layout. It performs the exact floating-point operations of geom.Proximity
+// (including the per-axis division by the domain length), so its results —
+// and therefore every assignment built from them — are bit-identical to the
+// closure path it replaces.
+func (e *PairEngine) proxBatch(fixed int32, xs []int32, out []float64) {
+	d2 := 2 * e.dims
+	boxes := e.boxes
+	lens := e.lens
+	fb := boxes[int(fixed)*d2 : int(fixed)*d2+d2 : int(fixed)*d2+d2]
+	for i, x := range xs {
+		bb := boxes[int(x)*d2 : int(x)*d2+d2 : int(x)*d2+d2]
+		prox := 1.0
+		for d := 0; d < len(lens); d++ {
+			length := lens[d]
+			if length == 0 {
+				// Degenerate domain axis: carries no spatial information.
+				continue
+			}
+			alo, ahi := fb[2*d], fb[2*d+1]
+			blo, bhi := bb[2*d], bb[2*d+1]
+			if alo <= bhi && blo <= ahi {
+				olo, ohi := alo, ahi
+				if blo > olo {
+					olo = blo
+				}
+				if bhi < ohi {
+					ohi = bhi
+				}
+				delta := 0.0
+				if ohi > olo {
+					delta = (ohi - olo) / length
+				}
+				prox *= (1 + 2*delta) / 3
+			} else {
+				var gap float64
+				if blo > ahi {
+					gap = blo - ahi
+				} else {
+					gap = alo - bhi
+				}
+				dd := 1 - gap/length
+				prox *= dd * dd / 3
+			}
+		}
+		out[i] = prox
+	}
+}
+
+// proxBatch2 is proxBatch specialized for two dimensions — the fixed box and
+// both domain lengths live in registers across the whole batch, and the
+// per-axis loop is unrolled. The floating-point operation sequence is
+// unchanged, so results stay bit-identical to geom.Proximity.
+func (e *PairEngine) proxBatch2(fixed int32, xs []int32, out []float64) {
+	boxes := e.boxes
+	len0, len1 := e.lens[0], e.lens[1]
+	fi := int(fixed) * 4
+	fb := boxes[fi : fi+4 : fi+4]
+	alo0, ahi0, alo1, ahi1 := fb[0], fb[1], fb[2], fb[3]
+	for i, x := range xs {
+		bi := int(x) * 4
+		bb := boxes[bi : bi+4 : bi+4]
+		blo0, bhi0, blo1, bhi1 := bb[0], bb[1], bb[2], bb[3]
+		prox := 1.0
+		if len0 != 0 {
+			if alo0 <= bhi0 && blo0 <= ahi0 {
+				olo, ohi := alo0, ahi0
+				if blo0 > olo {
+					olo = blo0
+				}
+				if bhi0 < ohi {
+					ohi = bhi0
+				}
+				delta := 0.0
+				if ohi > olo {
+					delta = (ohi - olo) / len0
+				}
+				prox = (1 + 2*delta) / 3
+			} else {
+				var gap float64
+				if blo0 > ahi0 {
+					gap = blo0 - ahi0
+				} else {
+					gap = alo0 - bhi0
+				}
+				dd := 1 - gap/len0
+				prox = dd * dd / 3
+			}
+		}
+		if len1 != 0 {
+			if alo1 <= bhi1 && blo1 <= ahi1 {
+				olo, ohi := alo1, ahi1
+				if blo1 > olo {
+					olo = blo1
+				}
+				if bhi1 < ohi {
+					ohi = bhi1
+				}
+				delta := 0.0
+				if ohi > olo {
+					delta = (ohi - olo) / len1
+				}
+				prox *= (1 + 2*delta) / 3
+			} else {
+				var gap float64
+				if blo1 > ahi1 {
+					gap = blo1 - ahi1
+				} else {
+					gap = alo1 - bhi1
+				}
+				dd := 1 - gap/len1
+				prox *= dd * dd / 3
+			}
+		}
+		out[i] = prox
+	}
+}
+
+// euclidBatch is the center-distance similarity kernel (EuclideanWeight)
+// over precomputed bucket centers, operation-for-operation identical to the
+// closure path.
+func (e *PairEngine) euclidBatch(fixed int32, xs []int32, out []float64) {
+	if e.diag == 0 {
+		for i := range xs {
+			out[i] = 1
+		}
+		return
+	}
+	dims := e.dims
+	centers := e.centers
+	fc := centers[int(fixed)*dims : int(fixed)*dims+dims : int(fixed)*dims+dims]
+	for i, x := range xs {
+		bc := centers[int(x)*dims : int(x)*dims+dims : int(x)*dims+dims]
+		sum := 0.0
+		for d := 0; d < dims; d++ {
+			df := fc[d] - bc[d]
+			sum += df * df
+		}
+		out[i] = 1 - math.Sqrt(sum)/e.diag
+	}
+}
+
+// minShard is the smallest per-shard sweep length worth dispatching to the
+// pool; below it the channel round-trip costs more than the work.
+const minShard = 256
+
+// sweepTile bounds how many weights a sweep computes before folding them
+// into its reduction, so the scratch buffer stays L1-resident instead of
+// being streamed through the cache once per step.
+const sweepTile = 512
+
+// runShards executes fn over contiguous shards of [0, m) and returns the
+// number of shards used. Shard boundaries never influence results: every
+// reduction merged across shards uses a total order on (value, index).
+func (e *PairEngine) runShards(m int, fn func(shard, lo, hi int)) int {
+	w := e.workers
+	if max := m / minShard; w > max {
+		w = max
+	}
+	if w <= 1 {
+		fn(0, 0, m)
+		return 1
+	}
+	if e.pool == nil {
+		e.pool = newWorkerPool(e.workers - 1)
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for s := 1; s < w; s++ {
+		e.pool.work <- poolTask{fn: fn, shard: s, lo: s * m / w, hi: (s + 1) * m / w, wg: &wg}
+	}
+	fn(0, 0, m/w)
+	wg.Wait()
+	return w
+}
+
+// workerPool runs sweep shards on persistent goroutines so the per-step
+// dispatch cost is two channel operations rather than a goroutine spawn.
+type workerPool struct {
+	work chan poolTask
+}
+
+type poolTask struct {
+	fn     func(shard, lo, hi int)
+	shard  int
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{work: make(chan poolTask)}
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range p.work {
+				t.fn(t.shard, t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) close() { close(p.work) }
+
+// initRows fills rows[k·n : (k+1)·n] with the weight of every active vertex
+// against seeds[k], and returns the arg-min of row selRow over the active
+// set (ties to the lowest vertex index) — the first selection of the
+// round-robin expansion, computed during the same pass.
+func (e *PairEngine) initRows(seeds []int, active []int32, rows []float64, selRow int) (int32, float64) {
+	shards := e.runShards(len(active), func(shard, lo, hi int) {
+		scratch := e.scratch[shard]
+		for t := lo; t < hi; t += sweepTile {
+			te := t + sweepTile
+			if te > hi {
+				te = hi
+			}
+			xs := active[t:te]
+			out := scratch[:len(xs)]
+			for k, seed := range seeds {
+				row := rows[k*e.n : (k+1)*e.n]
+				e.weighBatch(int32(seed), xs, out)
+				for i, x := range xs {
+					row[x] = out[i]
+				}
+			}
+		}
+		row := rows[selRow*e.n : (selRow+1)*e.n]
+		e.resX[shard], e.resV[shard] = argminOver(row, active[lo:hi])
+	})
+	return e.mergeMin(shards)
+}
+
+// stepMinimax performs one round-robin expansion step's sweep: max-merge
+// the weight of every active vertex against the newly assigned member into
+// upd (MAX_x(k) maintenance), while simultaneously computing the arg-min of
+// sel — the row of the NEXT tree in the round-robin order — over the same
+// active set. Selection therefore never rescans the vertices on its own;
+// it rides along the update sweep that must touch them anyway.
+func (e *PairEngine) stepMinimax(newMember int32, active []int32, upd, sel []float64) (int32, float64) {
+	shards := e.runShards(len(active), func(shard, lo, hi int) {
+		scratch := e.scratch[shard]
+		bx, bv := int32(-1), math.Inf(1)
+		for t := lo; t < hi; t += sweepTile {
+			te := t + sweepTile
+			if te > hi {
+				te = hi
+			}
+			xs := active[t:te]
+			out := scratch[:len(xs)]
+			e.weighBatch(newMember, xs, out)
+			for i, x := range xs {
+				if out[i] > upd[x] {
+					upd[x] = out[i]
+				}
+				if v := sel[x]; v < bv || (v == bv && x < bx) {
+					bx, bv = x, v
+				}
+			}
+		}
+		e.resX[shard], e.resV[shard] = bx, bv
+	})
+	return e.mergeMin(shards)
+}
+
+// stepMST min-merges the weight of every active vertex against the newly
+// assigned member into row (Prim's frontier maintenance for one tree) and
+// returns the row's new arg-min over the active set.
+func (e *PairEngine) stepMST(newMember int32, active []int32, row []float64) (int32, float64) {
+	shards := e.runShards(len(active), func(shard, lo, hi int) {
+		scratch := e.scratch[shard]
+		bx, bv := int32(-1), math.Inf(1)
+		for t := lo; t < hi; t += sweepTile {
+			te := t + sweepTile
+			if te > hi {
+				te = hi
+			}
+			xs := active[t:te]
+			out := scratch[:len(xs)]
+			e.weighBatch(newMember, xs, out)
+			for i, x := range xs {
+				if out[i] < row[x] {
+					row[x] = out[i]
+				}
+				if v := row[x]; v < bv || (v == bv && x < bx) {
+					bx, bv = x, v
+				}
+			}
+		}
+		e.resX[shard], e.resV[shard] = bx, bv
+	})
+	return e.mergeMin(shards)
+}
+
+// argminRow returns the arg-min of row over the active set without touching
+// the weights (used when a removal invalidates a cached arg-min).
+func (e *PairEngine) argminRow(row []float64, active []int32) (int32, float64) {
+	shards := e.runShards(len(active), func(shard, lo, hi int) {
+		e.resX[shard], e.resV[shard] = argminOver(row, active[lo:hi])
+	})
+	return e.mergeMin(shards)
+}
+
+// argmaxTo returns the active vertex with the largest weight to the fixed
+// bucket (ties to the lowest vertex index) — SSP's path-growth step.
+func (e *PairEngine) argmaxTo(fixed int32, active []int32) (int32, float64) {
+	shards := e.runShards(len(active), func(shard, lo, hi int) {
+		scratch := e.scratch[shard]
+		bx, bv := int32(-1), math.Inf(-1)
+		for t := lo; t < hi; t += sweepTile {
+			te := t + sweepTile
+			if te > hi {
+				te = hi
+			}
+			xs := active[t:te]
+			out := scratch[:len(xs)]
+			e.weighBatch(fixed, xs, out)
+			for i, x := range xs {
+				if v := out[i]; v > bv || (v == bv && x < bx) {
+					bx, bv = x, v
+				}
+			}
+		}
+		e.resX[shard], e.resV[shard] = bx, bv
+	})
+	// Merge in shard order under the same total order as the shard scan.
+	bx, bv := e.resX[0], e.resV[0]
+	for s := 1; s < shards; s++ {
+		if x, v := e.resX[s], e.resV[s]; x >= 0 && (v > bv || (v == bv && x < bx)) {
+			bx, bv = x, v
+		}
+	}
+	return bx, bv
+}
+
+// NearestCompanions returns, for every bucket, the index of its closest
+// companion under the engine's weight (ties to the lower index), or -1 for
+// a single-bucket grid. Rows are independent, so the sweep shards over rows
+// and the result is identical for any worker count.
+func (e *PairEngine) NearestCompanions() []int {
+	n := e.n
+	nn := make([]int, n)
+	if n == 1 {
+		nn[0] = -1
+		return nn
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	e.runShards(n, func(shard, lo, hi int) {
+		scratch := e.scratch[shard]
+		for i := lo; i < hi; i++ {
+			best, bestVal := -1, math.Inf(-1)
+			for t := 0; t < n; t += sweepTile {
+				te := t + sweepTile
+				if te > n {
+					te = n
+				}
+				xs := all[t:te]
+				out := scratch[:len(xs)]
+				e.weighBatch(int32(i), xs, out)
+				for j, x := range xs {
+					if int(x) == i {
+						continue
+					}
+					if v := out[j]; v > bestVal {
+						best, bestVal = int(x), v
+					}
+				}
+			}
+			nn[i] = best
+		}
+	})
+	return nn
+}
+
+// argminOver scans row at the given vertex indices; ties go to the lowest
+// vertex index, matching the serial reference loops.
+func argminOver(row []float64, xs []int32) (int32, float64) {
+	bx, bv := int32(-1), math.Inf(1)
+	for _, x := range xs {
+		if v := row[x]; v < bv || (v == bv && x < bx) {
+			bx, bv = x, v
+		}
+	}
+	return bx, bv
+}
+
+// mergeMin folds the per-shard arg-min results in shard order.
+func (e *PairEngine) mergeMin(shards int) (int32, float64) {
+	bx, bv := e.resX[0], e.resV[0]
+	for s := 1; s < shards; s++ {
+		if x, v := e.resX[s], e.resV[s]; x >= 0 && (v < bv || (v == bv && x < bx)) {
+			bx, bv = x, v
+		}
+	}
+	return bx, bv
+}
+
+// activeSet is the shrinking unassigned-vertex list shared by the engine
+// paths: O(1) removal by swapping with the last element. Reductions use a
+// total order on (value, index), so the resulting element order is free to
+// change without affecting any outcome.
+type activeSet struct {
+	list []int32
+	pos  []int32 // vertex -> index in list
+}
+
+func newActiveSetAll(n int) *activeSet {
+	a := &activeSet{list: make([]int32, n), pos: make([]int32, n)}
+	for i := range a.list {
+		a.list[i] = int32(i)
+		a.pos[i] = int32(i)
+	}
+	return a
+}
+
+func newActiveSet(assign []int) *activeSet {
+	a := &activeSet{pos: make([]int32, len(assign))}
+	a.list = make([]int32, 0, len(assign))
+	for x, d := range assign {
+		if d < 0 {
+			a.pos[x] = int32(len(a.list))
+			a.list = append(a.list, int32(x))
+		}
+	}
+	return a
+}
+
+func (a *activeSet) remove(x int32) {
+	i := a.pos[x]
+	last := a.list[len(a.list)-1]
+	a.list[i] = last
+	a.pos[last] = i
+	a.list = a.list[:len(a.list)-1]
+}
+
+// permPrefix returns the first m elements of rand.Perm(n) while allocating
+// only m ints: it replays the same Fisher–Yates shuffle and RNG draws but
+// tracks only the positions that end up in the prefix, so the chosen seed
+// sequence for a given Seed is identical to the full-permutation code it
+// replaces. Requires m <= n.
+func permPrefix(rng *rand.Rand, n, m int) []int {
+	p := make([]int, m)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		switch {
+		case i < m:
+			p[i] = p[j]
+			p[j] = i
+		case j < m:
+			p[j] = i
+		}
+	}
+	return p
+}

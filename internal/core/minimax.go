@@ -42,6 +42,11 @@ func EuclideanWeight(a, b gridfile.BucketView, domain geom.Rect) float64 {
 // smallest. Properties (Section 3.1): O(N²) edge-weight evaluations,
 // perfectly balanced partitions (at most ⌈N/M⌉ buckets per disk), and a very
 // low likelihood that a bucket shares a disk with its closest companion.
+//
+// When Weight is nil, ProximityWeight or EuclideanWeight, Decluster runs on
+// the parallel pairwise-weight engine (see engine.go); the assignment is
+// byte-identical to the serial algorithm for any Workers value. Custom
+// weights take the serial reference path.
 type Minimax struct {
 	// Weight is the edge weight; nil means ProximityWeight.
 	Weight Weight
@@ -49,6 +54,10 @@ type Minimax struct {
 	WeightName string
 	// Seed drives the random seeding phase.
 	Seed int64
+	// Workers bounds the engine's sweep parallelism: 0 (or negative) means
+	// GOMAXPROCS, 1 forces single-threaded sweeps. The assignment does not
+	// depend on it.
+	Workers int
 }
 
 // Name implements Allocator.
@@ -72,7 +81,6 @@ func (m *Minimax) Decluster(g Grid, disks int) (Allocation, error) {
 		return Allocation{}, err
 	}
 	n := len(g.Buckets)
-	w := m.weight()
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
@@ -88,10 +96,58 @@ func (m *Minimax) Decluster(g Grid, disks int) (Allocation, error) {
 
 	// Phase 1: random seeding with M mutually distinct vertices.
 	rng := rand.New(rand.NewSource(m.Seed))
-	seeds := rng.Perm(n)[:disks]
+	seeds := permPrefix(rng, n, disks)
 	for k, v := range seeds {
 		assign[v] = k
 	}
+
+	if e := NewPairEngine(g, m.Weight, m.Workers); e != nil {
+		defer e.Close()
+		m.declusterEngine(e, seeds, assign, disks)
+		return Allocation{Disks: disks, Assign: assign}, nil
+	}
+	m.declusterSlow(g, seeds, assign, disks)
+	return Allocation{Disks: disks, Assign: assign}, nil
+}
+
+// declusterEngine is Phase 2 on the pairwise-weight engine. The selection
+// arg-min for the next tree in the round-robin order is maintained
+// incrementally: it is computed during the update sweep of the current tree
+// (which must touch every unassigned vertex anyway), so each step costs one
+// sharded O(N) sweep instead of two serial ones.
+func (m *Minimax) declusterEngine(e *PairEngine, seeds []int, assign []int, disks int) {
+	n := e.n
+	act := newActiveSet(assign)
+	// maxTo[k*n+x] is MAX_x(k), laid out row-major per tree so each step's
+	// sweep walks two contiguous rows.
+	maxTo := make([]float64, disks*n)
+	bestX, _ := e.initRows(seeds, act.list, maxTo, 0)
+	k := 0
+	for {
+		assign[bestX] = k
+		act.remove(bestX)
+		if len(act.list) == 0 {
+			return
+		}
+		next := k + 1
+		if next == disks {
+			next = 0
+		}
+		// Update tree k's row against its new member while selecting the
+		// arg-min of tree next's row. For disks == 1 the two rows coincide;
+		// stepMinimax updates each entry before reading it, matching the
+		// serial update-then-select order.
+		bestX, _ = e.stepMinimax(bestX, act.list,
+			maxTo[k*n:(k+1)*n], maxTo[next*n:(next+1)*n])
+		k = next
+	}
+}
+
+// declusterSlow is the serial reference Phase 2, kept for custom Weight
+// functions (which may be neither pure nor safe to call concurrently).
+func (m *Minimax) declusterSlow(g Grid, seeds []int, assign []int, disks int) {
+	n := len(g.Buckets)
+	w := m.weight()
 
 	// maxTo[x*disks+k] is MAX_x(k): the largest edge weight between
 	// unassigned vertex x and the members of tree k.
@@ -136,5 +192,4 @@ func (m *Minimax) Decluster(g Grid, disks int) (Allocation, error) {
 			k = 0
 		}
 	}
-	return Allocation{Disks: disks, Assign: assign}, nil
 }

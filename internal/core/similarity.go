@@ -14,11 +14,17 @@ import (
 // O(N²) edge-weight evaluations. Partitions are balanced to within one
 // bucket, but unlike minimax the path heuristic bounds only each bucket's
 // similarity to its path predecessor, not to the whole partition.
+//
+// Built-in weights run on the pairwise-weight engine with deterministic
+// output for any Workers value; custom weights take the serial path.
 type SSP struct {
 	// Weight is the edge weight; nil means ProximityWeight.
 	Weight Weight
 	// Seed selects the path's starting bucket.
 	Seed int64
+	// Workers bounds the engine's sweep parallelism: 0 (or negative) means
+	// GOMAXPROCS, 1 forces single-threaded sweeps.
+	Workers int
 }
 
 // Name implements Allocator.
@@ -37,27 +43,42 @@ func (s *SSP) Decluster(g Grid, disks int) (Allocation, error) {
 		return Allocation{}, err
 	}
 	n := len(g.Buckets)
-	w := s.weight()
 	rng := rand.New(rand.NewSource(s.Seed))
+	start := rng.Intn(n)
 
-	visited := make([]bool, n)
 	order := make([]int, 0, n)
-	cur := rng.Intn(n)
-	visited[cur] = true
-	order = append(order, cur)
-	for len(order) < n {
-		best, bestVal := -1, math.Inf(-1)
-		for x := 0; x < n; x++ {
-			if visited[x] {
-				continue
-			}
-			if v := w(g.Buckets[cur], g.Buckets[x], g.Domain); v > bestVal {
-				best, bestVal = x, v
-			}
+	order = append(order, start)
+
+	if e := NewPairEngine(g, s.Weight, s.Workers); e != nil {
+		defer e.Close()
+		act := newActiveSetAll(n)
+		act.remove(int32(start))
+		cur := int32(start)
+		for len(act.list) > 0 {
+			best, _ := e.argmaxTo(cur, act.list)
+			act.remove(best)
+			order = append(order, int(best))
+			cur = best
 		}
-		visited[best] = true
-		order = append(order, best)
-		cur = best
+	} else {
+		w := s.weight()
+		visited := make([]bool, n)
+		visited[start] = true
+		cur := start
+		for len(order) < n {
+			best, bestVal := -1, math.Inf(-1)
+			for x := 0; x < n; x++ {
+				if visited[x] {
+					continue
+				}
+				if v := w(g.Buckets[cur], g.Buckets[x], g.Domain); v > bestVal {
+					best, bestVal = x, v
+				}
+			}
+			visited[best] = true
+			order = append(order, best)
+			cur = best
+		}
 	}
 
 	assign := make([]int, n)
@@ -75,11 +96,17 @@ func (s *SSP) Decluster(g Grid, disks int) (Allocation, error) {
 // rather than round-robin, a tree sitting in a sparse region can absorb many
 // buckets: MST does not guarantee balanced partitions, the drawback the
 // paper cites. Cost is O(N²·M).
+//
+// Built-in weights run on the pairwise-weight engine with deterministic
+// output for any Workers value; custom weights take the serial path.
 type MST struct {
 	// Weight is the edge weight; nil means ProximityWeight.
 	Weight Weight
 	// Seed drives the random seeding phase.
 	Seed int64
+	// Workers bounds the engine's sweep parallelism: 0 (or negative) means
+	// GOMAXPROCS, 1 forces single-threaded sweeps.
+	Workers int
 }
 
 // Name implements Allocator.
@@ -98,7 +125,6 @@ func (m *MST) Decluster(g Grid, disks int) (Allocation, error) {
 		return Allocation{}, err
 	}
 	n := len(g.Buckets)
-	w := m.weight()
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
@@ -111,10 +137,72 @@ func (m *MST) Decluster(g Grid, disks int) (Allocation, error) {
 	}
 
 	rng := rand.New(rand.NewSource(m.Seed))
-	seeds := rng.Perm(n)[:disks]
+	seeds := permPrefix(rng, n, disks)
 	for k, v := range seeds {
 		assign[v] = k
 	}
+
+	if e := NewPairEngine(g, m.Weight, m.Workers); e != nil {
+		defer e.Close()
+		m.declusterEngine(e, seeds, assign, disks)
+		return Allocation{Disks: disks, Assign: assign}, nil
+	}
+	m.declusterSlow(g, seeds, assign, disks)
+	return Allocation{Disks: disks, Assign: assign}, nil
+}
+
+// declusterEngine runs the greedy expansion on the pairwise-weight engine
+// with per-tree cached arg-mins: each step picks the globally cheapest
+// cached (value, x, k) triple, min-merges only the winning tree's row
+// against its new member (recomputing that cached arg-min in the same
+// sweep), and rescans — without any weight evaluations — the rows of trees
+// whose cached arg-min was the vertex just removed. The serial reference
+// rescans every tree's full row each step.
+func (m *MST) declusterEngine(e *PairEngine, seeds []int, assign []int, disks int) {
+	n := e.n
+	act := newActiveSet(assign)
+	// minTo[k*n+x] is Prim's frontier value of vertex x for tree k.
+	minTo := make([]float64, disks*n)
+	bestXk := make([]int32, disks)
+	bestVk := make([]float64, disks)
+	bestXk[0], bestVk[0] = e.initRows(seeds, act.list, minTo, 0)
+	for k := 1; k < disks; k++ {
+		bestXk[k], bestVk[k] = e.argminRow(minTo[k*n:(k+1)*n], act.list)
+	}
+	for {
+		// Global pick over the cached per-tree arg-mins, lexicographic on
+		// (value, vertex, tree) — the order the serial x-outer/k-inner scan
+		// with strict < discovers minima in.
+		bestK := 0
+		for k := 1; k < disks; k++ {
+			if bestVk[k] < bestVk[bestK] ||
+				(bestVk[k] == bestVk[bestK] && bestXk[k] < bestXk[bestK]) {
+				bestK = k
+			}
+		}
+		bestX := bestXk[bestK]
+		assign[bestX] = bestK
+		act.remove(bestX)
+		if len(act.list) == 0 {
+			return
+		}
+		bestXk[bestK], bestVk[bestK] = e.stepMST(bestX, act.list,
+			minTo[bestK*n:(bestK+1)*n])
+		// Other trees' rows are unchanged and the active set only shrank, so
+		// their cached arg-mins stay valid unless they pointed at bestX.
+		for k := 0; k < disks; k++ {
+			if k != bestK && bestXk[k] == bestX {
+				bestXk[k], bestVk[k] = e.argminRow(minTo[k*n:(k+1)*n], act.list)
+			}
+		}
+	}
+}
+
+// declusterSlow is the serial reference expansion, kept for custom Weight
+// functions (which may be neither pure nor safe to call concurrently).
+func (m *MST) declusterSlow(g Grid, seeds []int, assign []int, disks int) {
+	n := len(g.Buckets)
+	w := m.weight()
 
 	// minTo[x*disks+k] is the smallest edge weight between unassigned x and
 	// tree k (Prim's frontier value per tree).
@@ -150,5 +238,4 @@ func (m *MST) Decluster(g Grid, disks int) (Allocation, error) {
 			}
 		}
 	}
-	return Allocation{Disks: disks, Assign: assign}, nil
 }

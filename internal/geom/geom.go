@@ -13,6 +13,7 @@ package geom
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -32,7 +33,7 @@ func (p Point) Clone() Point {
 func (p Point) String() string {
 	parts := make([]string, len(p))
 	for i, v := range p {
-		parts[i] = trimFloat(v)
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
 	}
 	return "(" + strings.Join(parts, ", ") + ")"
 }
@@ -176,7 +177,8 @@ func (r Rect) Union(other Rect) Rect {
 func (r Rect) String() string {
 	parts := make([]string, len(r))
 	for i, iv := range r {
-		parts[i] = fmt.Sprintf("[%s,%s]", trimFloat(iv.Lo), trimFloat(iv.Hi))
+		parts[i] = "[" + strconv.FormatFloat(iv.Lo, 'g', -1, 64) +
+			"," + strconv.FormatFloat(iv.Hi, 'g', -1, 64) + "]"
 	}
 	return strings.Join(parts, "x")
 }
@@ -229,9 +231,4 @@ func Proximity(r, s, domain Rect) float64 {
 		}
 	}
 	return prox
-}
-
-func trimFloat(v float64) string {
-	s := fmt.Sprintf("%g", v)
-	return s
 }

@@ -253,3 +253,55 @@ func TestMeanActiveDisks(t *testing.T) {
 		t.Errorf("all-on-one-disk MeanActiveDisks = %v, want 1", res.MeanActiveDisks)
 	}
 }
+
+// serialNearestCompanions is the pre-engine reference scan, kept in the test
+// to pin NearestCompanions' parallel output against.
+func serialNearestCompanions(g core.Grid, w core.Weight) []int {
+	if w == nil {
+		w = core.ProximityWeight
+	}
+	n := len(g.Buckets)
+	nn := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bestVal := -1, -1.0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if v := w(g.Buckets[i], g.Buckets[j], g.Domain); v > bestVal {
+				best, bestVal = j, v
+			}
+		}
+		nn[i] = best
+	}
+	return nn
+}
+
+// TestNearestCompanionsParallelMatchesSerial is the regression test for the
+// engine-backed NearestCompanions: on the paper's uniform.2d and hot.2d
+// grids, every worker count must reproduce the serial reference exactly.
+func TestNearestCompanionsParallelMatchesSerial(t *testing.T) {
+	datasets := map[string]*synth.Dataset{
+		"uniform.2d": synth.Uniform2D(3000, 5),
+		"hot.2d":     synth.Hotspot2D(3000, 5),
+	}
+	for name, ds := range datasets {
+		f, err := ds.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := core.FromGridFile(f)
+		for _, w := range []core.Weight{nil, core.EuclideanWeight} {
+			want := serialNearestCompanions(g, w)
+			for _, workers := range []int{0, 1, 2, 8} {
+				got := NearestCompanionsWorkers(g, w, workers)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s workers=%d: companion[%d] = %d, want %d",
+							name, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

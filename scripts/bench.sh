@@ -1,29 +1,29 @@
 #!/bin/sh
-# bench.sh — the serving-path benchmark suite. Runs the end-to-end server
-# throughput benchmark (baseline vs tuned: bucket cache + coalesced I/O)
-# plus the grid-file translation micro-benchmarks, and writes the parsed
-# results as JSON so runs can be diffed across commits.
+# bench.sh — the tracked benchmark suites, parsed into JSON so runs can be
+# diffed across commits. Two suites:
 #
-# Usage: scripts/bench.sh [benchtime] [output.json]
-#   benchtime    go test -benchtime value (default 2000x)
-#   output.json  where to write the parsed results (default BENCH_server.json)
+#   server     (default) the serving path: end-to-end server throughput
+#              (baseline vs tuned: bucket cache + coalesced I/O) plus the
+#              grid-file translation micro-benchmarks → BENCH_server.json
+#   decluster  the build path: BenchmarkDecluster, serial (pre-engine
+#              closure reference) vs parallel (pairwise-weight engine at
+#              GOMAXPROCS) across grid and disk sizes → BENCH_decluster.json
+#
+# Usage: [BENCH_SUITE=server|decluster|all] scripts/bench.sh [benchtime] [output.json]
+#   benchtime    go test -benchtime value (default: 2000x server, 1x decluster)
+#   output.json  parsed results (default: BENCH_<suite>.json)
+# With BENCH_SUITE=all both suites run with their own defaults and the
+# positional arguments are ignored.
 set -eu
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${1:-2000x}"
-OUT="${2:-BENCH_server.json}"
-TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+SUITE="${BENCH_SUITE:-server}"
 
-echo "== go test -bench (benchtime $BENCHTIME)"
-go test -run '^$' -bench 'BenchmarkServerThroughput' \
-    -benchtime "$BENCHTIME" -benchmem . | tee "$TMP"
-go test -run '^$' -bench 'BenchmarkLookup$|BenchmarkBucketsInRange5Pct' \
-    -benchtime "$BENCHTIME" -benchmem ./internal/gridfile | tee -a "$TMP"
-
-# Benchmark lines are "Name-P iters  v1 unit1  v2 unit2 ...": fold each into
-# a JSON object keyed by unit (ns/op, queries/s, p50-ms, cache-hit-rate, ...).
-awk -v benchtime="$BENCHTIME" '
+# parse_bench raw.txt benchtime out.json — benchmark lines are
+# "Name-P iters  v1 unit1  v2 unit2 ...": fold each into a JSON object keyed
+# by unit (ns/op, queries/s, p50-ms, cache-hit-rate, buckets, ...).
+parse_bench() {
+    awk -v benchtime="$2" '
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     printf "%s    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", sep, name, $2
@@ -45,6 +45,39 @@ BEGIN {
     printf "  \"benchtime\": \"%s\",\n", benchtime
     print "  \"benchmarks\": ["
     sep = ""
-}' "$TMP" > "$OUT"
+}' "$1" > "$3"
+    echo "bench.sh: wrote $3"
+}
 
-echo "bench.sh: wrote $OUT"
+case "$SUITE" in
+server)
+    BENCHTIME="${1:-2000x}"
+    OUT="${2:-BENCH_server.json}"
+    TMP=$(mktemp)
+    trap 'rm -f "$TMP"' EXIT
+    echo "== go test -bench: server suite (benchtime $BENCHTIME)"
+    go test -run '^$' -bench 'BenchmarkServerThroughput' \
+        -benchtime "$BENCHTIME" -benchmem . | tee "$TMP"
+    go test -run '^$' -bench 'BenchmarkLookup$|BenchmarkBucketsInRange5Pct' \
+        -benchtime "$BENCHTIME" -benchmem ./internal/gridfile | tee -a "$TMP"
+    parse_bench "$TMP" "$BENCHTIME" "$OUT"
+    ;;
+decluster)
+    BENCHTIME="${1:-1x}"
+    OUT="${2:-BENCH_decluster.json}"
+    TMP=$(mktemp)
+    trap 'rm -f "$TMP"' EXIT
+    echo "== go test -bench: decluster suite (benchtime $BENCHTIME)"
+    go test -run '^$' -bench '^BenchmarkDecluster$' \
+        -benchtime "$BENCHTIME" -timeout 60m . | tee "$TMP"
+    parse_bench "$TMP" "$BENCHTIME" "$OUT"
+    ;;
+all)
+    BENCH_SUITE=server sh "$0"
+    BENCH_SUITE=decluster sh "$0"
+    ;;
+*)
+    echo "bench.sh: unknown BENCH_SUITE \"$SUITE\" (server, decluster, all)" >&2
+    exit 1
+    ;;
+esac

@@ -10,6 +10,10 @@
 #   6. trace smoke traced bench run: stage breakdown + slow-query log
 #   7. chaos smoke fault-injected bench run: zero errors, degraded answers
 #   8. bench smoke one-shot run of the serving-path benchmark suite
+#   9. decluster smoke
+#                  one iteration of the build-path benchmark; its parallel
+#                  variant asserts the engine assignment is byte-identical
+#                  to the serial reference
 #
 # The quick tier-1 gate (go build ./... && go test ./...) is a subset; run
 # this script before sending a PR. Usage: scripts/check.sh [fuzztime]
@@ -48,7 +52,11 @@ CHAOS_SEED="${CHAOS_SEED:-1}" sh scripts/chaos.sh 1000
 
 echo "== bench smoke"
 BENCH_SMOKE_OUT=$(mktemp)
-sh scripts/bench.sh 10x "$BENCH_SMOKE_OUT" >/dev/null
+BENCH_SUITE=server sh scripts/bench.sh 10x "$BENCH_SMOKE_OUT" >/dev/null
 rm -f "$BENCH_SMOKE_OUT"
+
+echo "== decluster smoke"
+go test -run '^$' -bench '^BenchmarkDecluster$/^minimax$/^N=1024$/^M=16$' \
+    -benchtime 1x .
 
 echo "check.sh: all green"
