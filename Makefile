@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 2000x
 
-.PHONY: all build test race check fmt vet fuzz chaos trace bench bench-decluster bench-all clean
+.PHONY: all build test race check fmt vet fuzz chaos replica trace bench bench-decluster bench-all clean
 
 all: build
 
@@ -30,9 +30,15 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/gridfile
 
 # Deterministic fault-injection smoke: bench run under the chaos profile
-# must finish with zero errors and nonzero degraded answers.
+# must finish with zero errors and nonzero degraded answers; the replicated
+# phase must finish with zero degraded answers and nonzero failovers.
 chaos:
 	sh scripts/chaos.sh
+
+# Deterministic replication smoke: r=2 layout with one disk hard-killed must
+# serve every query completely (0 errors, 0 degraded, failovers > 0).
+replica:
+	sh scripts/replica.sh
 
 # Observability smoke: traced bench run must emit a complete per-stage
 # breakdown in the bench JSON and one slow-query log line per query.

@@ -23,6 +23,7 @@ import (
 
 	"pgridfile/internal/core"
 	"pgridfile/internal/experiments"
+	"pgridfile/internal/replica"
 	"pgridfile/internal/server"
 	"pgridfile/internal/sim"
 	"pgridfile/internal/stats"
@@ -421,21 +422,30 @@ func BenchmarkReplayWorkload(b *testing.B) {
 // The workload is count-only range queries from 8 closed-loop clients, so
 // the numbers isolate how well the allocation spreads bucket fetches across
 // the per-disk I/O goroutines and how much of that I/O the cache absorbs.
-// Each variant also reports client-observed p50/p95/p99 latency and the
-// run's cache hit rate.
+// Each variant also reports client-observed p50/p95/p99 latency, the run's
+// cache hit rate, and the replication overhead gauges (disk-bytes,
+// write-amp); the tuned-r2 variant repeats the tuned configuration over an
+// r=2 replicated layout so the r=1 vs r=2 qps and storage cost land in
+// BENCH_server.json.
 //
 //	go test -bench=ServerThroughput -benchtime=2000x
 func BenchmarkServerThroughput(b *testing.B) {
 	configs := []struct {
-		name string
-		cfg  server.Config
+		name     string
+		replicas int
+		cfg      server.Config
 	}{
-		{"baseline", server.Config{MaxInflight: 32, CacheBytes: -1, DisableCoalesce: true}},
-		{"tuned", server.Config{MaxInflight: 32}},
+		{"baseline", 1, server.Config{MaxInflight: 32, CacheBytes: -1, DisableCoalesce: true}},
+		{"tuned", 1, server.Config{MaxInflight: 32}},
 		// Tuned defaults with every query stage-traced: quantifies the
 		// observability overhead and lands the per-stage medians
 		// (<stage>-p50-us) in BENCH_server.json for regression bisection.
-		{"traced", server.Config{MaxInflight: 32, TraceSample: 1}},
+		{"traced", 1, server.Config{MaxInflight: 32, TraceSample: 1}},
+		// Tuned defaults over an r=2 replicated layout with no disk failed:
+		// together with the disk-bytes and write-amp gauges this lands the
+		// replication overhead (storage and fault-free qps cost of load-aware
+		// owner selection) in BENCH_server.json next to the r=1 rows.
+		{"tuned-r2", 2, server.Config{MaxInflight: 32}},
 	}
 	for _, scheme := range []string{"minimax", "DM/D"} {
 		for _, c := range configs {
@@ -459,7 +469,16 @@ func BenchmarkServerThroughput(b *testing.B) {
 					b.Fatal(err)
 				}
 				dir := b.TempDir()
-				if _, err := store.Write(dir, f, alloc, 4096); err != nil {
+				if c.replicas > 1 {
+					p := replica.Placer{Replicas: c.replicas}
+					rm, err := p.Place(g, alloc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := store.WriteReplicated(dir, f, rm, 4096); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := store.Write(dir, f, alloc, 4096); err != nil {
 					b.Fatal(err)
 				}
 				s, err := server.OpenDir(dir, c.cfg)
@@ -519,6 +538,11 @@ func BenchmarkServerThroughput(b *testing.B) {
 					}
 				}
 				b.ReportMetric(hitRate, "cache-hit-rate")
+				// Replication overhead: total bytes across per-disk files and
+				// the write amplification factor (total/unique pages). 1.0 at
+				// r=1; the r=2 row shows the storage price of failover.
+				b.ReportMetric(float64(snap.DiskBytes), "disk-bytes")
+				b.ReportMetric(snap.WriteAmp, "write-amp")
 				for name, q := range snap.Stages {
 					b.ReportMetric(q.P50, name+"-p50-us")
 				}

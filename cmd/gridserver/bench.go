@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,6 +20,7 @@ import (
 	"pgridfile/internal/fault"
 	"pgridfile/internal/geom"
 	"pgridfile/internal/gridfile"
+	"pgridfile/internal/replica"
 	"pgridfile/internal/server"
 	"pgridfile/internal/stats"
 	"pgridfile/internal/store"
@@ -46,17 +48,18 @@ func parseAllocator(name string, seed int64) (core.Allocator, error) {
 }
 
 type benchOpts struct {
-	clients    int
-	queries    int
-	ratio      float64
-	k          int
-	seed       int64
-	timeout    time.Duration
-	cacheBytes int64  // in-process servers only; <=0 disables
-	coalesce   bool   // in-process servers only
-	faultSpec  string // armed through the FAULT verb before the run
-	faultSeed  int64  // in-process servers only
-	degraded   bool   // in-process servers only: partial answers over errors
+	clients      int
+	queries      int
+	ratio        float64
+	k            int
+	seed         int64
+	timeout      time.Duration
+	cacheBytes   int64  // in-process servers only; <=0 disables
+	coalesce     bool   // in-process servers only
+	faultSpec    string // armed through the FAULT verb before the run
+	faultSeed    int64  // in-process servers only
+	degraded     bool   // in-process servers only: partial answers over errors
+	fetchRetries int    // in-process servers only: disk-batch retries (0 = server default)
 
 	trace     bool          // in-process servers only: stage-trace every query
 	traceSlow time.Duration // in-process servers only: slow-query log threshold (<0 disables)
@@ -64,6 +67,7 @@ type benchOpts struct {
 
 type benchRow struct {
 	Scheme    string  `json:"scheme"`
+	Replicas  int     `json:"replicas"` // copies per bucket in the benchmarked layout
 	Queries   int     `json:"queries"`
 	Errors    int     `json:"errors"`
 	QPS       float64 `json:"qps"`
@@ -73,6 +77,16 @@ type benchRow struct {
 	Imbalance float64 `json:"fetch_imbalance"` // max/mean bucket fetches across disks
 	HitRate   float64 `json:"cache_hit_rate"`  // hits / (hits+misses+shared) over the run
 	Degraded  int     `json:"degraded"`        // queries answered partially under injected faults
+
+	// Replica overhead and serving counters (DESIGN S25): what r-way
+	// replication costs in bytes and buys in failover, from the server's
+	// stats snapshot. DiskBytes/WriteAmp describe the layout; the counters
+	// are deltas over this run.
+	DiskBytes        int64   `json:"disk_bytes,omitempty"`
+	WriteAmp         float64 `json:"write_amplification,omitempty"`
+	ReplicaFailover  int64   `json:"replica_failover"`
+	ReplicaPrimary   int64   `json:"replica_reads_primary"`
+	ReplicaSecondary int64   `json:"replica_reads_secondary"`
 
 	// Stages holds the server-side per-stage latency medians (µs) of the
 	// run's traced queries, keyed by stage name — the DESIGN S23 breakdown
@@ -87,6 +101,7 @@ func runBench(args []string, out io.Writer) error {
 	grid := fs.String("grid", "", "grid file to lay out per scheme (with -algs)")
 	algs := fs.String("algs", "minimax,DM/D", "comma-separated schemes to compare (with -grid)")
 	disks := fs.Int("disks", 8, "disks per layout (with -grid)")
+	replicasFlag := fs.String("replicas", "1", "comma-separated replication factors to compare per scheme (with -grid)")
 	pageBytes := fs.Int("page", 4096, "page size in bytes (with -grid)")
 	clients := fs.Int("clients", 8, "concurrent closed-loop clients")
 	queries := fs.Int("queries", 2000, "total queries per scheme")
@@ -100,6 +115,7 @@ func runBench(args []string, out io.Writer) error {
 	faultSpec := fs.String("fault", "", "failpoint spec armed via the FAULT verb before the run (see internal/fault)")
 	faultSeed := fs.Int64("fault-seed", 1, "fault registry seed for in-process servers")
 	degraded := fs.Bool("degraded", false, "in-process servers answer partially under faults instead of erroring")
+	fetchRetries := fs.Int("fetch-retries", 0, "disk-batch retry budget for in-process servers (0 = server default, <0 disables)")
 	trace := fs.Bool("trace", true, "stage-trace every query on in-process servers (stage_p50_us in -json)")
 	traceSlow := fs.Duration("trace-slow", -1, "in-process servers log traced queries at least this slow to stderr (0 logs all, <0 disables)")
 	fs.Parse(args)
@@ -109,7 +125,8 @@ func runBench(args []string, out io.Writer) error {
 		k: *k, seed: *seed, timeout: *timeout,
 		cacheBytes: *cacheBytes, coalesce: *coalesce,
 		faultSpec: *faultSpec, faultSeed: *faultSeed, degraded: *degraded,
-		trace: *trace, traceSlow: *traceSlow,
+		fetchRetries: *fetchRetries,
+		trace:        *trace, traceSlow: *traceSlow,
 	}
 	modes := 0
 	for _, set := range []bool{*addr != "", *dir != "", *grid != ""} {
@@ -121,14 +138,19 @@ func runBench(args []string, out io.Writer) error {
 		return fmt.Errorf("bench: exactly one of -addr, -store, -grid is required")
 	}
 
+	rlist, err := parseReplicaList(*replicasFlag)
+	if err != nil {
+		return err
+	}
+
 	table := stats.NewTable("gridserver bench: closed-loop, "+
 		fmt.Sprintf("%d clients, %d queries/scheme", opts.clients, opts.queries),
-		"scheme", "queries", "errors", "qps", "p50 ms", "p95 ms", "p99 ms", "fetch imbalance", "cache hit", "degraded")
+		"scheme", "r", "queries", "errors", "qps", "p50 ms", "p95 ms", "p99 ms", "fetch imbalance", "cache hit", "degraded", "failover")
 
 	var rows []benchRow
 	addRow := func(r benchRow) {
 		rows = append(rows, r)
-		table.AddRow(r.Scheme, r.Queries, r.Errors, r.QPS, r.P50, r.P95, r.P99, r.Imbalance, r.HitRate, r.Degraded)
+		table.AddRow(r.Scheme, r.Replicas, r.Queries, r.Errors, r.QPS, r.P50, r.P95, r.P99, r.Imbalance, r.HitRate, r.Degraded, r.ReplicaFailover)
 	}
 
 	switch {
@@ -165,20 +187,37 @@ func runBench(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			tmp, err := os.MkdirTemp("", "gridserver-bench-")
-			if err != nil {
-				return err
-			}
-			if _, err := store.Write(tmp, f, alloc, *pageBytes); err != nil {
+			for _, r := range rlist {
+				tmp, err := os.MkdirTemp("", "gridserver-bench-")
+				if err != nil {
+					return err
+				}
+				if r > 1 {
+					placer := &replica.Placer{Replicas: r}
+					rm, err := placer.Place(g, alloc)
+					if err != nil {
+						os.RemoveAll(tmp)
+						return err
+					}
+					if _, err := store.WriteReplicated(tmp, f, rm, *pageBytes); err != nil {
+						os.RemoveAll(tmp)
+						return err
+					}
+				} else if _, err := store.Write(tmp, f, alloc, *pageBytes); err != nil {
+					os.RemoveAll(tmp)
+					return err
+				}
+				label := name
+				if len(rlist) > 1 {
+					label = fmt.Sprintf("%s r=%d", name, r)
+				}
+				row, err := benchStore(tmp, label, opts)
 				os.RemoveAll(tmp)
-				return err
+				if err != nil {
+					return err
+				}
+				addRow(row)
 			}
-			row, err := benchStore(tmp, name, opts)
-			os.RemoveAll(tmp)
-			if err != nil {
-				return err
-			}
-			addRow(row)
 		}
 	}
 	fmt.Fprint(out, table.Render())
@@ -202,6 +241,7 @@ func benchStore(dir, label string, opts benchOpts) (benchRow, error) {
 		DisableCoalesce: !opts.coalesce,
 		Faults:          fault.NewRegistry(opts.faultSeed),
 		Degraded:        opts.degraded,
+		FetchRetries:    opts.fetchRetries,
 	}
 	if opts.trace {
 		cfg.TraceSample = 1
@@ -318,6 +358,12 @@ func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
 	if after, err := c.Stats(); err == nil {
 		row.Imbalance = fetchImbalance(after.DiskFetches)
 		row.HitRate = hitRateDelta(snap.Cache, after.Cache)
+		row.Replicas = after.Replicas
+		row.DiskBytes = after.DiskBytes
+		row.WriteAmp = after.WriteAmp
+		row.ReplicaFailover = after.ReplicaFailover - snap.ReplicaFailover
+		row.ReplicaPrimary = after.ReplicaPrimary - snap.ReplicaPrimary
+		row.ReplicaSecondary = after.ReplicaSecondary - snap.ReplicaSecondary
 		if len(after.Stages) > 0 {
 			row.Stages = make(map[string]float64, len(after.Stages))
 			for name, q := range after.Stages {
@@ -326,6 +372,27 @@ func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
 		}
 	}
 	return row, nil
+}
+
+// parseReplicaList parses the -replicas comma list ("1,2") into a sorted-as-
+// given slice of replication factors.
+func parseReplicaList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := strconv.Atoi(part)
+		if err != nil || r < 1 {
+			return nil, fmt.Errorf("bench: bad -replicas entry %q", part)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: -replicas needs at least one factor")
+	}
+	return out, nil
 }
 
 // hitRateDelta computes the cache hit fraction over one bench run from the

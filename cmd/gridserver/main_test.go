@@ -63,8 +63,8 @@ func TestBenchStoreMode(t *testing.T) {
 	for _, line := range strings.Split(out, "\n") {
 		if strings.Contains(line, filepath.Base(dir)) {
 			fields := strings.Fields(line)
-			// scheme queries errors qps p50 p95 p99 imbalance
-			if len(fields) < 3 || fields[2] != "0" {
+			// scheme r queries errors qps p50 p95 p99 imbalance ...
+			if len(fields) < 4 || fields[3] != "0" {
 				t.Errorf("bench reported errors: %q", line)
 			}
 		}
@@ -91,10 +91,11 @@ func TestBenchChaosMode(t *testing.T) {
 	for _, line := range strings.Split(out, "\n") {
 		if strings.Contains(line, filepath.Base(dir)) {
 			fields := strings.Fields(line)
-			if len(fields) < 4 || fields[2] != "0" {
+			// scheme r queries errors ... degraded failover
+			if len(fields) < 5 || fields[3] != "0" {
 				t.Errorf("chaos bench reported errors: %q", line)
 			}
-			if fields[len(fields)-1] == "0" {
+			if fields[len(fields)-2] == "0" {
 				t.Errorf("dead disk produced zero degraded answers: %q", line)
 			}
 		}

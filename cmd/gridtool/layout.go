@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"pgridfile/internal/core"
+	"pgridfile/internal/replica"
 	"pgridfile/internal/store"
 )
 
@@ -18,6 +19,7 @@ func runLayout(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for randomized phases")
 	out := fs.String("out", "", "layout directory (required)")
 	workers := fs.Int("workers", 0, "build worker goroutines for proximity-based algorithms (0 = GOMAXPROCS)")
+	replicas := fs.Int("replicas", 1, "copies of every bucket, each on a distinct disk (1 = no replication)")
 	fs.Parse(args)
 	if *path == "" || *out == "" {
 		return fmt.Errorf("layout: -file and -out are required")
@@ -30,16 +32,32 @@ func runLayout(args []string) error {
 	if err != nil {
 		return err
 	}
-	alloc, err := allocator.Decluster(core.FromGridFile(f), *disks)
+	g := core.FromGridFile(f)
+	alloc, err := allocator.Decluster(g, *disks)
 	if err != nil {
 		return err
 	}
-	m, err := store.Write(*out, f, alloc, *pageBytes)
-	if err != nil {
-		return err
+	var m *store.Manifest
+	if *replicas > 1 {
+		placer := &replica.Placer{Replicas: *replicas, Workers: *workers}
+		rm, err := placer.Place(g, alloc)
+		if err != nil {
+			return err
+		}
+		m, err = store.WriteReplicated(*out, f, rm, *pageBytes)
+		if err != nil {
+			return err
+		}
+	} else {
+		m, err = store.Write(*out, f, alloc, *pageBytes)
+		if err != nil {
+			return err
+		}
 	}
 
-	// Verify the layout reads back correctly before declaring success.
+	// Verify the layout reads back correctly before declaring success: every
+	// bucket from every owning disk, so a torn replica copy fails the build
+	// rather than the first failover that routes to it.
 	s, err := store.Open(*out)
 	if err != nil {
 		return fmt.Errorf("layout verification: %w", err)
@@ -52,6 +70,16 @@ func runLayout(args []string) error {
 			return fmt.Errorf("layout verification: bucket %d: %w", pl.ID, err)
 		}
 		total += len(pts)
+		for _, d := range s.Owners(pl.ID)[1:] {
+			copyPts, _, err := s.ReadBucketFrom(context.Background(), d, pl.ID)
+			if err != nil {
+				return fmt.Errorf("layout verification: bucket %d copy on disk %d: %w", pl.ID, d, err)
+			}
+			if len(copyPts) != len(pts) {
+				return fmt.Errorf("layout verification: bucket %d copy on disk %d has %d records, primary has %d",
+					pl.ID, d, len(copyPts), len(pts))
+			}
+		}
 	}
 	if total != f.Len() {
 		return fmt.Errorf("layout verification: %d records read back, file has %d", total, f.Len())
@@ -60,8 +88,13 @@ func runLayout(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("laid out %d buckets (%d records) over %d disks with %s\n",
-		len(m.Buckets), total, *disks, allocator.Name())
+	if *replicas > 1 {
+		fmt.Printf("laid out %d buckets (%d records) over %d disks with %s, %d copies each\n",
+			len(m.Buckets), total, *disks, allocator.Name(), *replicas)
+	} else {
+		fmt.Printf("laid out %d buckets (%d records) over %d disks with %s\n",
+			len(m.Buckets), total, *disks, allocator.Name())
+	}
 	fmt.Printf("pages per disk: %v\n", sizes)
 	fmt.Printf("layout is self-contained (grid.grd embedded); serve it with: gridserver serve -store %s\n", *out)
 	return nil

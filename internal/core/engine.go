@@ -78,11 +78,12 @@ type PairEngine struct {
 	lens    []float64 // per-axis domain length, 0 for degenerate axes
 	diag    float64   // euclid: domain diagonal, 0 for a degenerate domain
 
-	workers int
-	pool    *workerPool
-	scratch [][]float64 // one weight buffer per shard
-	resX    []int32     // per-shard reduction results
-	resV    []float64
+	workers  int
+	pool     *workerPool
+	scratch  [][]float64 // one weight buffer per shard
+	resX     []int32     // per-shard reduction results
+	resV     []float64
+	rangeIdx []int32 // identity vertex list for weighRange, built lazily
 }
 
 // NewPairEngine builds an engine for g and w with the given worker count
@@ -464,6 +465,77 @@ func (e *PairEngine) stepMST(newMember int32, active []int32, row []float64) (in
 		e.resX[shard], e.resV[shard] = bx, bv
 	})
 	return e.mergeMin(shards)
+}
+
+// maxInto max-merges the weight of every active vertex against the fixed
+// bucket into row, with no selection riding along — the residual-allocation
+// row-maintenance sweep. Shards write disjoint vertex entries, so the sweep
+// is race-free and the resulting row is identical for any worker count.
+func (e *PairEngine) maxInto(fixed int32, active []int32, row []float64) {
+	e.runShards(len(active), func(shard, lo, hi int) {
+		scratch := e.scratch[shard]
+		for t := lo; t < hi; t += sweepTile {
+			te := t + sweepTile
+			if te > hi {
+				te = hi
+			}
+			xs := active[t:te]
+			out := scratch[:len(xs)]
+			e.weighBatch(fixed, xs, out)
+			for i, x := range xs {
+				if out[i] > row[x] {
+					row[x] = out[i]
+				}
+			}
+		}
+	})
+}
+
+// initResidualRows fills rows[k·n : (k+1)·n] with the maximum weight between
+// each vertex x and any bucket already owned by disk k, per the owners lists
+// (owners[y] = disks that already hold a copy of bucket y). The sweep shards
+// over the destination vertices x, so each shard writes disjoint row entries
+// and the max over each owner set is order-independent — identical for any
+// worker count.
+func (e *PairEngine) initResidualRows(owners [][]int, rows []float64) {
+	n := e.n
+	if e.rangeIdx == nil {
+		e.rangeIdx = make([]int32, n)
+		for i := range e.rangeIdx {
+			e.rangeIdx[i] = int32(i)
+		}
+	}
+	e.runShards(n, func(shard, lo, hi int) {
+		scratch := e.scratch[shard]
+		for t := lo; t < hi; t += sweepTile {
+			te := t + sweepTile
+			if te > hi {
+				te = hi
+			}
+			out := scratch[: te-t : te-t]
+			for y := 0; y < n; y++ {
+				if len(owners[y]) == 0 {
+					continue
+				}
+				e.weighRange(int32(y), t, te, out)
+				for _, k := range owners[y] {
+					row := rows[k*n : (k+1)*n : (k+1)*n]
+					for i := t; i < te; i++ {
+						if v := out[i-t]; v > row[i] {
+							row[i] = v
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// weighRange computes the weight between the fixed bucket and every vertex in
+// [lo, hi), writing results into out (indexed from lo). The caller must have
+// populated rangeIdx (initResidualRows does) before dispatching shards.
+func (e *PairEngine) weighRange(fixed int32, lo, hi int, out []float64) {
+	e.weighBatch(fixed, e.rangeIdx[lo:hi], out)
 }
 
 // argminRow returns the arg-min of row over the active set without touching

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements residual allocation: declustering a grid a second (or
+// r-th) time against the copies that already exist. It is the scoring core of
+// the replica placer (internal/replica): given the owner disks every bucket
+// already has, assign each bucket ONE more disk so that
+//
+//   - the new disk is distinct from all existing owners of that bucket
+//     (a replica on the same spindle buys no availability),
+//   - buckets that are spatially close to copies already on a disk avoid
+//     that disk (minimax criterion over the pairwise weight), so the
+//     secondary layout declusters well on its own, and
+//   - the per-disk load of the new level stays balanced (at most ⌈N/M⌉
+//     buckets per disk, relaxed only if the distinct-disk constraint forces
+//     it).
+//
+// The algorithm is the minimax round-robin expansion of minimax.go with two
+// changes: the per-disk rows are seeded from the EXISTING copies instead of
+// from fresh random seeds (so level r sees levels 0..r−1), and each disk's
+// selection skips buckets it already owns. Selection ties break to the
+// lowest bucket index and the row maintenance runs on the pairwise-weight
+// engine, so the output is byte-identical for any Workers value.
+
+// ResidualAssign computes the next replica level: one additional disk per
+// bucket, distinct from that bucket's existing owners. owners[x] lists the
+// disks that already hold a copy of bucket x (at least one, all in
+// [0, disks)); the returned slice has one new disk per bucket. w selects the
+// edge weight (nil means ProximityWeight); workers bounds the engine's sweep
+// parallelism exactly as in Minimax and does not affect the result.
+func ResidualAssign(g Grid, disks int, owners [][]int, w Weight, workers int) ([]int, error) {
+	if err := checkArgs(g, disks); err != nil {
+		return nil, err
+	}
+	n := len(g.Buckets)
+	if len(owners) != n {
+		return nil, fmt.Errorf("core: residual owners cover %d buckets, want %d", len(owners), n)
+	}
+	for x, own := range owners {
+		if len(own) == 0 {
+			return nil, fmt.Errorf("core: bucket %d has no existing owner", x)
+		}
+		if len(own) >= disks {
+			return nil, fmt.Errorf("core: bucket %d already owned by %d of %d disks", x, len(own), disks)
+		}
+		for _, k := range own {
+			if k < 0 || k >= disks {
+				return nil, fmt.Errorf("core: bucket %d owned by disk %d of %d", x, k, disks)
+			}
+		}
+	}
+
+	rows := make([]float64, disks*n)
+	var merge func(newMember int32, active []int32, row []float64)
+	if e := NewPairEngine(g, w, workers); e != nil {
+		defer e.Close()
+		e.initResidualRows(owners, rows)
+		merge = func(newMember int32, active []int32, row []float64) {
+			e.maxInto(newMember, active, row)
+		}
+	} else {
+		// Custom weight: serial reference path, like declusterSlow.
+		wf := w
+		if wf == nil {
+			wf = ProximityWeight
+		}
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				v := wf(g.Buckets[y], g.Buckets[x], g.Domain)
+				for _, k := range owners[y] {
+					if v > rows[k*n+x] {
+						rows[k*n+x] = v
+					}
+				}
+			}
+		}
+		merge = func(newMember int32, active []int32, row []float64) {
+			for _, x := range active {
+				if v := wf(g.Buckets[newMember], g.Buckets[x], g.Domain); v > row[x] {
+					row[x] = v
+				}
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	act := newActiveSet(assign)
+	quota := (n + disks - 1) / disks
+	loads := make([]int, disks)
+
+	// Round-robin expansion under the distinct-disk constraint. A disk at
+	// quota, or with no eligible bucket left, passes its turn; when a full
+	// cycle makes no progress the quota is relaxed for the leftover pass.
+	remaining := n
+	stalled := 0
+	for k := 0; remaining > 0 && stalled < disks; k = (k + 1) % disks {
+		if loads[k] >= quota {
+			stalled++
+			continue
+		}
+		row := rows[k*n : (k+1)*n]
+		best, bestVal := int32(-1), math.Inf(1)
+		for _, x := range act.list {
+			if ownedBy(owners[x], k) {
+				continue
+			}
+			if v := row[x]; v < bestVal || (v == bestVal && x < best) {
+				best, bestVal = x, v
+			}
+		}
+		if best < 0 {
+			stalled++
+			continue
+		}
+		stalled = 0
+		assign[best] = k
+		loads[k]++
+		act.remove(best)
+		remaining--
+		if remaining > 0 {
+			merge(best, act.list, row)
+		}
+	}
+
+	// Leftover pass: the distinct-disk constraint starved the round-robin.
+	// Assign the stragglers in index order to their least-loaded eligible
+	// disk (ties to the lowest disk index) with the quota relaxed.
+	if remaining > 0 {
+		for x := 0; x < n; x++ {
+			if assign[x] >= 0 {
+				continue
+			}
+			best := -1
+			for k := 0; k < disks; k++ {
+				if ownedBy(owners[x], k) {
+					continue
+				}
+				if best < 0 || loads[k] < loads[best] {
+					best = k
+				}
+			}
+			assign[x] = best
+			loads[best]++
+		}
+	}
+	return assign, nil
+}
+
+func ownedBy(owners []int, disk int) bool {
+	for _, k := range owners {
+		if k == disk {
+			return true
+		}
+	}
+	return false
+}

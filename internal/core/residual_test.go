@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+	"pgridfile/internal/synth"
+)
+
+func residualFixture(t *testing.T, disks int) (Grid, [][]int, int) {
+	t.Helper()
+	f, err := synth.Hotspot2D(2000, 5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := FromGridFile(f)
+	base, err := (&Minimax{Seed: 1}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(base.Assign)
+	owners := make([][]int, n)
+	for x := range owners {
+		owners[x] = []int{base.Assign[x]}
+	}
+	return g, owners, n
+}
+
+// TestResidualAssignDistinctAndBalanced proves the residual level is a valid
+// placement for a second copy: every bucket lands on a disk it does not
+// already own, and the level's per-disk loads respect the ⌈n/disks⌉ quota
+// (up to the leftover pass's relaxation).
+func TestResidualAssignDistinctAndBalanced(t *testing.T) {
+	const disks = 4
+	g, owners, n := residualFixture(t, disks)
+	assign, err := ResidualAssign(g, disks, owners, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != n {
+		t.Fatalf("got %d assignments, want %d", len(assign), n)
+	}
+	quota := (n + disks - 1) / disks
+	loads := make([]int, disks)
+	for x, d := range assign {
+		if d < 0 || d >= disks {
+			t.Fatalf("bucket %d assigned to disk %d, want [0,%d)", x, d, disks)
+		}
+		if d == owners[x][0] {
+			t.Fatalf("bucket %d: secondary copy on its own primary disk %d", x, d)
+		}
+		loads[d]++
+	}
+	for d, l := range loads {
+		if l > quota+disks {
+			t.Fatalf("disk %d holds %d secondaries, quota %d", d, l, quota)
+		}
+	}
+}
+
+// TestResidualAssignDeterministicAcrossWorkers pins the scalability contract
+// inherited from the pairwise-weight engine: the residual level is
+// byte-identical at any worker count.
+func TestResidualAssignDeterministicAcrossWorkers(t *testing.T) {
+	const disks = 4
+	g, owners, _ := residualFixture(t, disks)
+	var ref []int
+	for _, w := range []int{1, 2, 4, 8} {
+		assign, err := ResidualAssign(g, disks, owners, nil, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if ref == nil {
+			ref = assign
+			continue
+		}
+		for x := range ref {
+			if assign[x] != ref[x] {
+				t.Fatalf("workers=%d: bucket %d on disk %d, workers=1 chose %d",
+					w, x, assign[x], ref[x])
+			}
+		}
+	}
+}
+
+// TestResidualAssignSerialFallback exercises the custom-weight path (no
+// engine) and its distinct-disk guarantee, including a third level where
+// each bucket already owns two of the four disks.
+func TestResidualAssignSerialFallback(t *testing.T) {
+	const disks = 4
+	g, owners, n := residualFixture(t, disks)
+	custom := func(a, b gridfile.BucketView, dom geom.Rect) float64 {
+		return ProximityWeight(a, b, dom)
+	}
+	second, err := ResidualAssign(g, disks, owners, custom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := range owners {
+		owners[x] = append(owners[x], second[x])
+	}
+	third, err := ResidualAssign(g, disks, owners, custom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < n; x++ {
+		if third[x] == owners[x][0] || third[x] == owners[x][1] {
+			t.Fatalf("bucket %d: third copy on already-owned disk %d (owners %v)",
+				x, third[x], owners[x])
+		}
+	}
+}
+
+// TestResidualAssignRejectsBadOwners pins the argument contract: owner lists
+// must be present, in range, and leave at least one free disk per bucket.
+func TestResidualAssignRejectsBadOwners(t *testing.T) {
+	const disks = 2
+	g, owners, _ := residualFixture(t, disks)
+
+	saved := owners[0]
+	owners[0] = nil
+	if _, err := ResidualAssign(g, disks, owners, nil, 0); err == nil {
+		t.Error("empty owner list accepted")
+	}
+	owners[0] = []int{0, 1}
+	if _, err := ResidualAssign(g, disks, owners, nil, 0); err == nil {
+		t.Error("fully-owned bucket accepted — no disk left for another copy")
+	}
+	owners[0] = []int{disks}
+	if _, err := ResidualAssign(g, disks, owners, nil, 0); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+	owners[0] = saved
+	if _, err := ResidualAssign(g, disks, owners[:1], nil, 0); err == nil {
+		t.Error("short owners slice accepted")
+	}
+}

@@ -63,6 +63,11 @@ const (
 	// SiteParallelRecv guards worker→coordinator reply messages (an
 	// injected error models a dropped reply).
 	SiteParallelRecv = "parallel.recv"
+	// SiteServerFailover guards the server's replica-failover redirect: it
+	// is evaluated once per batch rerouted to a surviving owner disk, so
+	// chaos runs can stall the failover path or fail it outright (forcing
+	// the degraded fallback even on a replicated layout).
+	SiteServerFailover = "server.failover"
 )
 
 // StoreReadDiskSite names the per-disk store read failpoint for one disk.

@@ -1,0 +1,102 @@
+package replica
+
+import (
+	"bytes"
+	"testing"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/synth"
+)
+
+func placeFixture(t *testing.T, disks int) (core.Grid, core.Allocation) {
+	t.Helper()
+	f, err := synth.Hotspot2D(2000, 5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	base, err := (&core.Minimax{Seed: 1}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, base
+}
+
+// TestPlacerDeterministicAcrossWorkers is the acceptance-criteria pin: the
+// replica map is byte-identical at any worker count, so a layout built on a
+// 32-core build box equals one built single-threaded.
+func TestPlacerDeterministicAcrossWorkers(t *testing.T) {
+	g, base := placeFixture(t, 4)
+	var ref []byte
+	for _, w := range []int{1, 2, 4, 8} {
+		m, err := (&Placer{Replicas: 2, Workers: w}).Place(g, base)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		enc := m.Encode()
+		if ref == nil {
+			ref = enc
+			continue
+		}
+		if !bytes.Equal(ref, enc) {
+			t.Fatalf("workers=%d produced a different replica map than workers=1", w)
+		}
+	}
+}
+
+// TestPlaceOwnersDistinct proves the structural invariants at r=3 over 4
+// disks: owner 0 is the base assignment, all owners are distinct and in
+// range, and every disk's total load stays near n*r/disks.
+func TestPlaceOwnersDistinct(t *testing.T) {
+	const disks, r = 4, 3
+	g, base := placeFixture(t, disks)
+	m, err := (&Placer{Replicas: r}).Place(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(base.Assign)
+	if err := m.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	if m.Disks != disks || m.Replicas != r {
+		t.Fatalf("map is %d disks × %d replicas, want %d × %d", m.Disks, m.Replicas, disks, r)
+	}
+	for x, own := range m.Owners {
+		if own[0] != base.Assign[x] {
+			t.Fatalf("bucket %d: primary %d, base assigned %d", x, own[0], base.Assign[x])
+		}
+	}
+	quota := (n + disks - 1) / disks
+	for d, l := range m.DiskLoads() {
+		if l > r*quota+disks {
+			t.Fatalf("disk %d holds %d copies, per-level quota %d × %d levels", d, l, quota, r)
+		}
+	}
+}
+
+// TestPlaceSingleReplicaMirrorsBase: r=1 must reproduce the base allocation
+// exactly — replication off is not a special case for callers.
+func TestPlaceSingleReplicaMirrorsBase(t *testing.T) {
+	g, base := placeFixture(t, 4)
+	m, err := (&Placer{Replicas: 1}).Place(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x, own := range m.Owners {
+		if len(own) != 1 || own[0] != base.Assign[x] {
+			t.Fatalf("bucket %d: owners %v, want [%d]", x, own, base.Assign[x])
+		}
+	}
+}
+
+// TestPlaceRejectsBadReplicas pins the argument contract: r must be in
+// [1, disks].
+func TestPlaceRejectsBadReplicas(t *testing.T) {
+	g, base := placeFixture(t, 4)
+	if _, err := (&Placer{Replicas: 0}).Place(g, base); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := (&Placer{Replicas: 5}).Place(g, base); err == nil {
+		t.Error("r=5 over 4 disks accepted — cannot place distinct copies")
+	}
+}

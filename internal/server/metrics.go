@@ -132,11 +132,18 @@ type Metrics struct {
 	degraded         atomic.Int64    // queries answered partially (missed disks)
 	diskRetries      atomic.Int64    // disk-batch retry attempts
 	pagesRead        atomic.Int64
-	traced           atomic.Int64    // queries that carried a stage trace
-	diskFetches      []atomic.Int64  // bucket fetches per disk
-	latency          hist            // service time, microseconds
-	fetches          hist            // distinct buckets fetched per data query
-	stageLat         [numStages]hist // per-stage time of traced queries, microseconds
+	// Replica serving counters: buckets rerouted to a surviving owner after
+	// a transient disk failure, and buckets read from primary vs secondary
+	// copies (replicated layouts only; an unreplicated server leaves all
+	// three at zero).
+	replicaFailover       atomic.Int64
+	replicaReadsPrimary   atomic.Int64
+	replicaReadsSecondary atomic.Int64
+	traced                atomic.Int64    // queries that carried a stage trace
+	diskFetches           []atomic.Int64  // bucket fetches per disk
+	latency               hist            // service time, microseconds
+	fetches               hist            // distinct buckets fetched per data query
+	stageLat              [numStages]hist // per-stage time of traced queries, microseconds
 }
 
 func newMetrics(disks int) *Metrics {
@@ -159,6 +166,12 @@ type Snapshot struct {
 	DeadlineExceeded int64                      `json:"deadline_exceeded"`
 	Degraded         int64                      `json:"queries_degraded"`
 	DiskRetries      int64                      `json:"disk_retries"`
+	Replicas         int                        `json:"replicas,omitempty"`
+	ReplicaFailover  int64                      `json:"replica_failover"`
+	ReplicaPrimary   int64                      `json:"replica_reads_primary"`
+	ReplicaSecondary int64                      `json:"replica_reads_secondary"`
+	DiskBytes        int64                      `json:"disk_bytes,omitempty"`
+	WriteAmp         float64                    `json:"write_amplification,omitempty"`
 	FaultInjected    int64                      `json:"fault_injected"`
 	InFlight         int                        `json:"in_flight"`
 	DiskFetches      []int64                    `json:"disk_bucket_fetches"`
@@ -179,6 +192,9 @@ func (m *Metrics) snapshot(inflight int) Snapshot {
 		DeadlineExceeded: m.deadlineExceeded.Load(),
 		Degraded:         m.degraded.Load(),
 		DiskRetries:      m.diskRetries.Load(),
+		ReplicaFailover:  m.replicaFailover.Load(),
+		ReplicaPrimary:   m.replicaReadsPrimary.Load(),
+		ReplicaSecondary: m.replicaReadsSecondary.Load(),
 		InFlight:         inflight,
 		PagesRead:        m.pagesRead.Load(),
 		LatencyMicros:    m.latency.snapshot(),
@@ -215,6 +231,12 @@ func (s Snapshot) writePrometheus(w http.ResponseWriter) {
 	fmt.Fprintf(w, "gridserver_deadline_exceeded_total %d\n", s.DeadlineExceeded)
 	fmt.Fprintf(w, "gridserver_queries_degraded_total %d\n", s.Degraded)
 	fmt.Fprintf(w, "gridserver_disk_retries_total %d\n", s.DiskRetries)
+	fmt.Fprintf(w, "gridserver_replicas %d\n", s.Replicas)
+	fmt.Fprintf(w, "gridserver_replica_failover_total %d\n", s.ReplicaFailover)
+	fmt.Fprintf(w, "gridserver_replica_reads_total{copy=\"primary\"} %d\n", s.ReplicaPrimary)
+	fmt.Fprintf(w, "gridserver_replica_reads_total{copy=\"secondary\"} %d\n", s.ReplicaSecondary)
+	fmt.Fprintf(w, "gridserver_disk_bytes %d\n", s.DiskBytes)
+	fmt.Fprintf(w, "gridserver_write_amplification %g\n", s.WriteAmp)
 	fmt.Fprintf(w, "gridserver_fault_injected_total %d\n", s.FaultInjected)
 	fmt.Fprintf(w, "gridserver_in_flight %d\n", s.InFlight)
 	fmt.Fprintf(w, "gridserver_pages_read_total %d\n", s.PagesRead)

@@ -423,7 +423,19 @@ func DecodeRequest(f Frame) (Request, error) {
 
 // EncodeResult serializes an answer. verb selects VerbPoints or VerbCount.
 func EncodeResult(verb Verb, res Result) (Frame, error) {
-	var w wbuf
+	payload, err := AppendResult(nil, verb, res)
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{Verb: verb, Payload: payload}, nil
+}
+
+// AppendResult encodes an answer's payload onto buf and returns the extended
+// buffer — the allocation-free form of EncodeResult for callers that reuse a
+// response buffer across frames (the server's per-connection response path).
+func AppendResult(buf []byte, verb Verb, res Result) ([]byte, error) {
+	start := len(buf)
+	w := wbuf{b: buf}
 	switch verb {
 	case VerbPoints:
 		dims := 0
@@ -431,13 +443,13 @@ func EncodeResult(verb Verb, res Result) (Frame, error) {
 			dims = len(res.Points[0])
 		}
 		if dims > maxDims {
-			return Frame{}, fmt.Errorf("server: %d-D result", dims)
+			return nil, fmt.Errorf("server: %d-D result", dims)
 		}
 		w.u16(uint16(dims))
 		w.u32(uint32(len(res.Points)))
 		for _, p := range res.Points {
 			if len(p) != dims {
-				return Frame{}, errors.New("server: ragged result point set")
+				return nil, errors.New("server: ragged result point set")
 			}
 			for _, v := range p {
 				w.f64(v)
@@ -446,7 +458,7 @@ func EncodeResult(verb Verb, res Result) (Frame, error) {
 	case VerbCount:
 		w.u32(uint32(res.Count))
 	default:
-		return Frame{}, fmt.Errorf("server: not a result verb: 0x%02x", uint8(verb))
+		return nil, fmt.Errorf("server: not a result verb: 0x%02x", uint8(verb))
 	}
 	w.u32(uint32(res.Info.Buckets))
 	w.u32(uint32(res.Info.Pages))
@@ -455,11 +467,11 @@ func EncodeResult(verb Verb, res Result) (Frame, error) {
 	// The pair is validated on both codec directions so a flag without a
 	// missed count (or vice versa) can never cross the wire.
 	if res.Info.Degraded != (res.Info.MissedDisks > 0) {
-		return Frame{}, fmt.Errorf("server: inconsistent degraded info (degraded=%v missed=%d)",
+		return nil, fmt.Errorf("server: inconsistent degraded info (degraded=%v missed=%d)",
 			res.Info.Degraded, res.Info.MissedDisks)
 	}
 	if res.Info.MissedDisks < 0 || res.Info.MissedDisks > math.MaxUint16 {
-		return Frame{}, fmt.Errorf("server: missed-disk count %d out of range", res.Info.MissedDisks)
+		return nil, fmt.Errorf("server: missed-disk count %d out of range", res.Info.MissedDisks)
 	}
 	flags := uint8(0)
 	if res.Info.Degraded {
@@ -467,10 +479,32 @@ func EncodeResult(verb Verb, res Result) (Frame, error) {
 	}
 	w.u8(flags)
 	w.u16(uint16(res.Info.MissedDisks))
-	if len(w.b)+1 > MaxFrameBytes {
-		return Frame{}, ErrFrameTooBig
+	if len(w.b)-start+1 > MaxFrameBytes {
+		return nil, ErrFrameTooBig
 	}
-	return Frame{Verb: verb, Payload: w.b}, nil
+	return w.b, nil
+}
+
+// writeFrameBuf writes one frame through a caller-owned scratch buffer:
+// header and payload are assembled once and go out in a single Write call,
+// and a long-lived connection reuses the same buffer for every response, so
+// the steady-state frame-write path allocates nothing.
+func writeFrameBuf(w io.Writer, f Frame, scratch *[]byte) error {
+	if len(f.Payload)+1 > MaxFrameBytes {
+		return ErrFrameTooBig
+	}
+	n := 5 + len(f.Payload)
+	b := *scratch
+	if cap(b) < n {
+		b = make([]byte, n)
+		*scratch = b
+	}
+	b = b[:n]
+	binary.LittleEndian.PutUint32(b, uint32(len(f.Payload)+1))
+	b[4] = byte(f.Verb)
+	copy(b[5:], f.Payload)
+	_, err := w.Write(b)
+	return err
 }
 
 // DecodeResult parses a VerbPoints or VerbCount answer frame.

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/fault"
+	"pgridfile/internal/gridfile"
+	"pgridfile/internal/replica"
+	"pgridfile/internal/store"
+	"pgridfile/internal/synth"
+)
+
+// replicaAllocators mirrors the store package's single-disk-failure matrix:
+// one of each allocator family.
+func replicaAllocators(t *testing.T) map[string]core.Allocator {
+	t.Helper()
+	m := map[string]core.Allocator{
+		"minimax": &core.Minimax{Seed: 1},
+		"ssp":     &core.SSP{Seed: 1},
+		"mst":     &core.MST{Seed: 1},
+	}
+	for _, name := range []struct{ scheme, resolver string }{
+		{"DM", "D"}, {"FX", "R"}, {"HCAM", "F"},
+	} {
+		a, err := core.NewIndexBased(name.scheme, name.resolver, 1)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", name.scheme, name.resolver, err)
+		}
+		m[name.scheme+"/"+name.resolver] = a
+	}
+	return m
+}
+
+// newReplicatedServer lays out f with alloc at replication factor r and
+// serves it with the given config.
+func newReplicatedServer(t *testing.T, f *gridfile.File, g core.Grid, alloc core.Allocation, r int, cfg Config) *Server {
+	t.Helper()
+	rm, err := (&replica.Placer{Replicas: r}).Place(g, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := store.WriteReplicated(dir, f, rm, 4096); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenDir(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestReplicatedKillAnyDiskFullAnswers is the acceptance property of the
+// replication subsystem: for every allocator family, both workload shapes
+// and EVERY single killed disk, an r=2 layout keeps serving 100% complete
+// (non-degraded) answers — the failover path reroutes every batch that hits
+// the dead disk to the surviving owner. Degraded mode is ON, so a partial
+// answer would be a silent pass for the old behavior; the test demands the
+// stronger outcome.
+func TestReplicatedKillAnyDiskFullAnswers(t *testing.T) {
+	const disks = 4
+	datasets := map[string]*synth.Dataset{
+		"uniform.2d": synth.Uniform2D(1200, 3),
+		"hot.2d":     synth.Hotspot2D(1200, 5),
+	}
+	for dsName, ds := range datasets {
+		f, err := ds.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := core.FromGridFile(f)
+		want := f.Len()
+		for algName, alg := range replicaAllocators(t) {
+			alloc, err := alg.Decluster(g, disks)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", dsName, algName, err)
+			}
+			reg := fault.NewRegistry(1)
+			s := newReplicatedServer(t, f, g, alloc, 2, Config{
+				Faults:       reg,
+				Degraded:     true,
+				FetchRetries: 1,
+				FetchBackoff: time.Millisecond,
+				CacheBytes:   -1, // every query does real injected I/O
+			})
+			cl := newTestClient(t, s, ClientConfig{})
+			for kill := 0; kill < disks; kill++ {
+				reg.Clear()
+				reg.Set(fault.Rule{Site: fault.StoreReadDiskSite(kill), Kind: fault.KindError})
+				for i := 0; i < 3; i++ {
+					n, info, err := cl.RangeCount(f.Domain())
+					if err != nil {
+						t.Fatalf("%s/%s kill=%d: full-domain count errored: %v",
+							dsName, algName, kill, err)
+					}
+					if info.Degraded || info.MissedDisks != 0 {
+						t.Fatalf("%s/%s kill=%d: degraded=%v missed=%d — failover did not cover the dead disk",
+							dsName, algName, kill, info.Degraded, info.MissedDisks)
+					}
+					if n != want {
+						t.Fatalf("%s/%s kill=%d: count = %d, want %d",
+							dsName, algName, kill, n, want)
+					}
+				}
+			}
+			reg.Clear()
+			snap := s.Snapshot()
+			if snap.Replicas != 2 {
+				t.Errorf("%s/%s: snapshot replicas = %d, want 2", dsName, algName, snap.Replicas)
+			}
+			if snap.ReplicaFailover == 0 {
+				t.Errorf("%s/%s: zero failovers across %d disk kills — did the faults fire?",
+					dsName, algName, disks)
+			}
+			if snap.Degraded != 0 || snap.Errors != 0 {
+				t.Errorf("%s/%s: degraded=%d errors=%d, want 0/0",
+					dsName, algName, snap.Degraded, snap.Errors)
+			}
+			if snap.WriteAmp != 2 {
+				t.Errorf("%s/%s: write amplification %g, want 2", dsName, algName, snap.WriteAmp)
+			}
+		}
+	}
+}
+
+// TestReplicatedFailoverWithoutDegradedMode proves failover is not a feature
+// of degraded serving: with Degraded off, a dead disk in an r=2 layout still
+// yields complete answers instead of hard errors.
+func TestReplicatedFailoverWithoutDegradedMode(t *testing.T) {
+	const disks = 4
+	f, err := synth.Uniform2D(900, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := fault.NewRegistry(1)
+	reg.Set(fault.Rule{Site: fault.StoreReadDiskSite(2), Kind: fault.KindError})
+	s := newReplicatedServer(t, f, g, alloc, 2, Config{
+		Faults:       reg,
+		FetchRetries: 1,
+		FetchBackoff: time.Millisecond,
+		CacheBytes:   -1,
+	})
+	cl := newTestClient(t, s, ClientConfig{})
+	n, info, err := cl.RangeCount(f.Domain())
+	if err != nil {
+		t.Fatalf("full-domain count with Degraded=false errored: %v", err)
+	}
+	if info.Degraded || n != f.Len() {
+		t.Fatalf("count = %d degraded=%v, want %d/false", n, info.Degraded, f.Len())
+	}
+	if snap := s.Snapshot(); snap.ReplicaFailover == 0 {
+		t.Error("no failovers recorded")
+	}
+}
+
+// TestReplicaMetricsExposition checks the new counters reach both the STATS
+// snapshot and the Prometheus endpoint with plausible values, including the
+// replica-overhead gauges.
+func TestReplicaMetricsExposition(t *testing.T) {
+	const disks = 4
+	f, err := synth.Uniform2D(900, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := fault.NewRegistry(1)
+	reg.Set(fault.Rule{Site: fault.StoreReadDiskSite(0), Kind: fault.KindError})
+	s := newReplicatedServer(t, f, g, alloc, 2, Config{
+		Faults:       reg,
+		Degraded:     true,
+		FetchRetries: 1,
+		FetchBackoff: time.Millisecond,
+		CacheBytes:   -1,
+		HTTPAddr:     "127.0.0.1:0",
+	})
+	cl := newTestClient(t, s, ClientConfig{})
+	if _, _, err := cl.RangeCount(f.Domain()); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.ReplicaFailover == 0 || snap.ReplicaPrimary == 0 {
+		t.Fatalf("failover=%d primary=%d, want both nonzero", snap.ReplicaFailover, snap.ReplicaPrimary)
+	}
+	if snap.DiskBytes == 0 || snap.WriteAmp != 2 {
+		t.Fatalf("disk_bytes=%d write_amp=%g, want nonzero/2", snap.DiskBytes, snap.WriteAmp)
+	}
+	metrics := httpGet(t, s.HTTPAddr().String(), "/metrics")
+	for _, line := range []string{
+		"gridserver_replicas 2",
+		"gridserver_replica_failover_total",
+		`gridserver_replica_reads_total{copy="primary"}`,
+		`gridserver_replica_reads_total{copy="secondary"}`,
+		"gridserver_write_amplification 2",
+	} {
+		if !strings.Contains(metrics, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+	if strings.Contains(metrics, "gridserver_replica_failover_total 0\n") {
+		t.Error("/metrics reports zero failovers after a disk kill")
+	}
+}

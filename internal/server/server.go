@@ -185,6 +185,14 @@ type Server struct {
 	fetchCh []chan fetchReq
 	fetchWg sync.WaitGroup
 
+	// replicated is st.Replicas() > 1: bucket reads choose the least-loaded
+	// owner disk and transient per-disk failures fail over to surviving
+	// owners before degrading. diskBytes/writeAmp describe the layout's
+	// storage overhead (computed once at startup, reported in STATS).
+	replicated bool
+	diskBytes  int64
+	writeAmp   float64
+
 	traceSeq atomic.Uint64 // data-query counter driving trace sampling
 	traceMu  sync.Mutex    // serializes slow-query log lines
 
@@ -238,6 +246,20 @@ func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
 	st.SetFaults(s.faults)
 	if cfg.CacheBytes > 0 {
 		s.bcache = cache.New(cfg.CacheBytes, 0)
+	}
+	s.replicated = st.Replicas() > 1
+	if sizes, err := st.DiskSizes(); err == nil {
+		var totalPages, uniquePages int64
+		for _, n := range sizes {
+			totalPages += n
+		}
+		for _, pl := range m.Buckets {
+			uniquePages += int64(pl.Pages)
+		}
+		s.diskBytes = totalPages * int64(m.PageBytes)
+		if uniquePages > 0 {
+			s.writeAmp = float64(totalPages) / float64(uniquePages)
+		}
 	}
 
 	// One I/O goroutine per disk file: fetches on the same disk serialize
@@ -307,6 +329,9 @@ func (s *Server) Snapshot() Snapshot {
 	snap.Dims = s.grid.Dims()
 	snap.Disks = s.st.Manifest().Disks
 	snap.Domain = s.st.Manifest().Domain
+	snap.Replicas = s.st.Replicas()
+	snap.DiskBytes = s.diskBytes
+	snap.WriteAmp = s.writeAmp
 	snap.FaultInjected = s.faults.Total()
 	if s.bcache != nil {
 		st := s.bcache.Stats()
@@ -406,6 +431,12 @@ func (s *Server) dropConn(c net.Conn) {
 func (s *Server) handleConn(c net.Conn) {
 	defer s.connWg.Done()
 	defer s.dropConn(c)
+	// Per-connection reusable response buffers: payload encoding (pbuf, via
+	// AppendResult in dispatch) and frame assembly (fbuf, via writeFrameBuf)
+	// each reuse one buffer for every response on this connection, so the
+	// steady-state encode+write path performs zero allocations and one Write
+	// syscall per frame.
+	var pbuf, fbuf []byte
 	for {
 		c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		f, err := ReadFrame(c)
@@ -417,9 +448,9 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 			return
 		}
-		resp := s.dispatch(f)
+		resp := s.dispatch(f, &pbuf)
 		c.SetWriteDeadline(time.Now().Add(s.cfg.QueryTimeout))
-		if err := WriteFrame(c, resp); err != nil {
+		if err := writeFrameBuf(c, resp, &fbuf); err != nil {
 			return
 		}
 		select {
@@ -430,8 +461,10 @@ func (s *Server) handleConn(c net.Conn) {
 	}
 }
 
-// dispatch decodes, admits, executes and encodes one request.
-func (s *Server) dispatch(f Frame) Frame {
+// dispatch decodes, admits, executes and encodes one request. pbuf is the
+// connection's reusable payload buffer; the returned frame's payload may
+// alias it and is only valid until the next dispatch on this connection.
+func (s *Server) dispatch(f Frame, pbuf *[]byte) Frame {
 	req, err := DecodeRequest(f)
 	if err != nil {
 		s.met.errors.Add(1)
@@ -507,15 +540,16 @@ func (s *Server) dispatch(f Frame) Frame {
 		verb = VerbCount
 	}
 	encStart := traceNow(tr)
-	out, err := EncodeResult(verb, res)
+	payload, err := AppendResult((*pbuf)[:0], verb, res)
 	tr.addSince(stageEncode, encStart)
 	if err != nil {
 		s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, err)
 		s.met.errors.Add(1)
 		return errorFrame(err.Error())
 	}
+	*pbuf = payload
 	s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, nil)
-	return out
+	return Frame{Verb: verb, Payload: payload}
 }
 
 // executeTraced runs execute, and — only when the query carries a trace —
@@ -584,17 +618,21 @@ func (s *Server) diskLoop(disk int, ch <-chan fetchReq) {
 		// backoff included) so `go tool trace` shows each disk goroutine's
 		// duty cycle. StartRegion is a no-op unless tracing is active.
 		region := rtrace.StartRegion(req.ctx, "gridserver.fetchBatch")
-		got, pages, err := s.fetchBatch(req.ctx, req.ids, req.tr, tm)
+		got, pages, err := s.fetchBatch(req.ctx, disk, req.ids, req.tr, tm)
 		region.End()
 		if tm != nil {
 			req.tr.add(stagePread, tm.Pread)
 			req.tr.add(stageDecode, tm.Decode)
 		}
+		// Success is published to the cache here; a failed batch's leads stay
+		// pending because the gather loop may still fail the batch over to a
+		// surviving owner disk — only when every route is exhausted does the
+		// gather loop complete them with the error.
 		if err == nil {
 			s.met.diskFetches[disk].Add(int64(len(req.ids)))
 			s.met.pagesRead.Add(int64(pages))
+			s.publishLeads(req.ids, got, nil)
 		}
-		s.publishLeads(req.ids, got, err)
 		req.resp <- fetchResp{ids: req.ids, disk: disk, got: got, pages: pages, err: err}
 	}
 }
@@ -604,13 +642,13 @@ func (s *Server) diskLoop(disk int, ch <-chan fetchReq) {
 // injected faults (including torn reads, which wrap fault.ErrInjected) and
 // per-attempt timeouts. Real corruption or unknown buckets fail immediately,
 // and an expired query stops retrying at once.
-func (s *Server) fetchBatch(ctx context.Context, ids []int32, tr *Trace, tm *store.Timing) (map[int32][]geom.Point, int, error) {
+func (s *Server) fetchBatch(ctx context.Context, disk int, ids []int32, tr *Trace, tm *store.Timing) (map[int32][]geom.Point, int, error) {
 	for attempt := 1; ; attempt++ {
 		actx, cancel := ctx, context.CancelFunc(nil)
 		if s.cfg.FetchTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, s.cfg.FetchTimeout)
 		}
-		got, pages, err := s.readBatch(actx, ids, tm)
+		got, pages, err := s.readBatch(actx, disk, ids, tm)
 		if cancel != nil {
 			cancel()
 		}
@@ -636,7 +674,7 @@ func (s *Server) fetchBatch(ctx context.Context, ids []int32, tr *Trace, tm *sto
 // already expired has abandoned the fetch; skipping the I/O (checked again
 // between simulated-latency sleeps) keeps its backlog from starving live
 // queries.
-func (s *Server) readBatch(ctx context.Context, ids []int32, tm *store.Timing) (map[int32][]geom.Point, int, error) {
+func (s *Server) readBatch(ctx context.Context, disk int, ids []int32, tm *store.Timing) (map[int32][]geom.Point, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
@@ -649,12 +687,12 @@ func (s *Server) readBatch(ctx context.Context, ids []int32, tm *store.Timing) (
 		}
 	}
 	if !s.cfg.DisableCoalesce {
-		return s.st.ReadBucketsTimed(ctx, ids, tm)
+		return s.st.ReadBucketsFromTimed(ctx, disk, ids, tm)
 	}
 	out := make(map[int32][]geom.Point, len(ids))
 	pages := 0
 	for _, id := range ids {
-		pts, p, err := s.st.ReadBucketTimed(ctx, id, tm)
+		pts, p, err := s.st.ReadBucketFromTimed(ctx, disk, id, tm)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -734,21 +772,33 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 			tr.addSince(stageCache, cacheStart)
 			return nil, info, err
 		}
+		disk := pl.Disk
+		if s.replicated {
+			// Load-aware read selection: route the lead to the least-loaded
+			// live owner. Ties prefer the primary, so an idle server reads
+			// like an unreplicated one.
+			if d, live := s.st.PickOwner(id, nil); live {
+				disk = d
+			}
+		}
 		if leads == nil {
 			leads = make(map[int][]int32)
 		}
-		leads[pl.Disk] = append(leads[pl.Disk], id)
+		leads[disk] = append(leads[disk], id)
 		nleads++
 	}
 	tr.addSince(stageCache, cacheStart)
 	tr.noteCache(len(out), len(joins), nleads)
 
-	// One batch per disk. The response channel is buffered for every batch,
-	// so disk goroutines never block on an abandoned query; and the gather
-	// loop waits for every submitted batch (the disk loops answer expired
-	// contexts immediately). Leads of submitted batches are completed by
-	// diskLoop; only batches never handed off are failed here.
-	resp := make(chan fetchResp, len(leads))
+	// One batch per disk. The response channel is buffered for every lead
+	// bucket: outstanding batches always hold disjoint lead sets (a failed
+	// batch is regrouped only after its response is drained), so at most
+	// nleads responses can ever be in flight and disk goroutines never block
+	// on an abandoned query. The gather loop waits for every submitted batch
+	// (the disk loops answer expired contexts immediately). Leads of
+	// successful batches are completed by diskLoop; failed or never-submitted
+	// batches are completed here, after failover is exhausted.
+	resp := make(chan fetchResp, nleads)
 	var err error
 	submitted := 0
 	for disk, batch := range leads {
@@ -758,6 +808,7 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 		}
 		select {
 		case s.fetchCh[disk] <- fetchReq{ids: batch, ctx: ctx, resp: resp, tr: tr, enq: traceNow(tr)}:
+			s.st.AddLoad(disk, int64(len(batch)))
 			submitted++
 		case <-ctx.Done():
 			err = ctx.Err()
@@ -767,7 +818,15 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 	// missedDisks records disks whose batches failed transiently while
 	// degraded mode absorbs the failure; the answer then covers only the
 	// surviving disks (a strict subset of the full result, never wrong
-	// records, because buckets are whole-disk resident).
+	// records, because buckets are whole-disk resident). On a replicated
+	// layout failover comes first: bucketFailed tracks, PER BUCKET, the
+	// disks it has already failed on, and each failed bucket is rerouted to
+	// its least-loaded remaining owner. The exclusion set is per bucket, not
+	// per query: two unrelated batches failing on different disks must not
+	// condemn a third bucket that owns copies on both but never tried either
+	// — with transient (probabilistic) faults that would lose buckets a live
+	// owner could still serve. Each reroute excludes one more distinct owner,
+	// so a bucket fails over at most r-1 times before it is lost.
 	var missedDisks map[int]bool
 	degrade := func(disk int) {
 		if missedDisks == nil {
@@ -775,23 +834,57 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 		}
 		missedDisks[disk] = true
 	}
-	for i := 0; i < submitted; i++ {
+	var bucketFailed map[int32][]int
+	var nPrimary, nSecondary int64
+	for outstanding := submitted; outstanding > 0; {
 		r := <-resp
-		if r.err != nil {
-			if s.degradable(ctx, r.err) {
-				degrade(r.disk)
-				continue
+		outstanding--
+		s.st.AddLoad(r.disk, -int64(len(r.ids)))
+		if r.err == nil {
+			for _, id := range r.ids {
+				out[id] = r.got[id]
+				info.Buckets++
 			}
-			if err == nil {
-				err = r.err
+			info.Pages += r.pages
+			if s.replicated {
+				for _, id := range r.ids {
+					if own := s.st.Owners(id); len(own) > 0 && own[0] != r.disk {
+						nSecondary++
+					} else {
+						nPrimary++
+					}
+				}
 			}
 			continue
 		}
-		for _, id := range r.ids {
-			out[id] = r.got[id]
-			info.Buckets++
+		if s.replicated && err == nil && s.transientErr(ctx, r.err) {
+			if bucketFailed == nil {
+				bucketFailed = make(map[int32][]int)
+			}
+			for _, id := range r.ids {
+				bucketFailed[id] = append(bucketFailed[id], r.disk)
+			}
+			if resubmitted := s.failOver(ctx, tr, resp, r, bucketFailed, degrade, &err); resubmitted > 0 {
+				outstanding += resubmitted
+			}
+			continue
 		}
-		info.Pages += r.pages
+		// No failover route: complete the leads with the error so followers
+		// unblock, then absorb the failure (degraded) or surface it.
+		s.failLeads(r.ids, r.err)
+		if s.degradable(ctx, r.err) {
+			degrade(r.disk)
+			continue
+		}
+		if err == nil {
+			err = r.err
+		}
+	}
+	if nPrimary > 0 {
+		s.met.replicaReadsPrimary.Add(nPrimary)
+	}
+	if nSecondary > 0 {
+		s.met.replicaReadsSecondary.Add(nSecondary)
 	}
 	if err != nil {
 		return nil, info, err
@@ -825,16 +918,87 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 	return out, info, nil
 }
 
-// degradable reports whether a fetch error may be absorbed into a partial
-// answer: degraded mode is on, the query itself is still live, and the
-// failure is transient (injected or a per-attempt fetch timeout) rather
-// than real corruption or a missing bucket.
-func (s *Server) degradable(ctx context.Context, err error) bool {
-	if !s.cfg.Degraded || ctx.Err() != nil {
+// failOver reroutes one transiently failed batch to surviving owner disks:
+// each bucket is resubmitted to its least-loaded owner it has not yet failed
+// on (per bucketFailed) as its OWN single-bucket batch with a fresh retry
+// budget. The split is deliberate — failover is the last stop before losing
+// the bucket, and in the original coalesced batch one unlucky injected pread
+// fails every bucket riding along; independent retries make the per-bucket
+// survival odds (1-p)^attempts instead of (1-p)^(attempts·runs). Buckets
+// whose every owner already failed — and reroutes the failover failpoint
+// kills — are completed with the original error and absorbed as degraded (or
+// surfaced via *errp). It returns the number of batches resubmitted, which
+// the gather loop must keep waiting for.
+func (s *Server) failOver(ctx context.Context, tr *Trace, resp chan fetchResp,
+	r fetchResp, bucketFailed map[int32][]int, degrade func(int), errp *error) int {
+	var lost []int32
+	resubmitted := 0
+	for _, id := range r.ids {
+		tried := bucketFailed[id]
+		disk, ok := s.st.PickOwner(id, func(d int) bool {
+			for _, fd := range tried {
+				if fd == d {
+					return true
+				}
+			}
+			return false
+		})
+		if !ok {
+			lost = append(lost, id)
+			continue
+		}
+		// The failover redirect is itself a failpoint site: chaos runs can
+		// stall it or kill it, forcing the pre-replication degraded fallback.
+		redirected := true
+		if inj, hit := s.faults.Eval(fault.SiteServerFailover); hit {
+			if inj.Delay > 0 && fault.Sleep(ctx, inj.Delay) != nil {
+				redirected = false
+			}
+			if inj.Err != nil {
+				redirected = false
+			}
+		}
+		if !redirected {
+			lost = append(lost, id)
+			continue
+		}
+		select {
+		case s.fetchCh[disk] <- fetchReq{ids: []int32{id}, ctx: ctx, resp: resp, tr: tr, enq: traceNow(tr)}:
+			s.st.AddLoad(disk, 1)
+			s.met.replicaFailover.Add(1)
+			resubmitted++
+		case <-ctx.Done():
+			lost = append(lost, id)
+		}
+	}
+	if len(lost) > 0 {
+		s.failLeads(lost, r.err)
+		if s.degradable(ctx, r.err) {
+			degrade(r.disk)
+		} else if *errp == nil {
+			*errp = r.err
+		}
+	}
+	return resubmitted
+}
+
+// transientErr reports whether a fetch failure is transient — injected or a
+// per-attempt fetch timeout, with the query itself still live — and thus a
+// candidate for replica failover or degraded absorption, rather than real
+// corruption or a missing bucket.
+func (s *Server) transientErr(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
 		return false
 	}
 	return fault.IsInjected(err) ||
 		(s.cfg.FetchTimeout > 0 && errors.Is(err, context.DeadlineExceeded))
+}
+
+// degradable reports whether a fetch error may be absorbed into a partial
+// answer: degraded mode is on, the query itself is still live, and the
+// failure is transient.
+func (s *Server) degradable(ctx context.Context, err error) bool {
+	return s.cfg.Degraded && s.transientErr(ctx, err)
 }
 
 func (s *Server) pointQuery(ctx context.Context, tr *Trace, key geom.Point) (Result, error) {

@@ -31,25 +31,33 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pgridfile/internal/core"
 	"pgridfile/internal/fault"
 	"pgridfile/internal/geom"
 	"pgridfile/internal/gridfile"
+	"pgridfile/internal/replica"
 )
 
 // pageHeaderBytes is the per-page header: bucket id (u32), record count in
 // this page (u32).
 const pageHeaderBytes = 8
 
-// Placement locates one bucket in the layout.
+// Placement locates one bucket in the layout. A replicated layout stores a
+// copy of the bucket on every owner disk: OwnerDisks[i] holds a copy whose
+// pages start at OwnerPages[i]. Disk and Page always mirror owner 0 (the
+// primary copy), so code that predates replication keeps addressing a valid
+// copy. Legacy r=1 manifests omit the owner lists; Open normalizes them.
 type Placement struct {
-	ID    int32 `json:"id"`
-	Disk  int   `json:"disk"`
-	Page  int64 `json:"page"`  // first page index within the disk file
-	Pages int   `json:"pages"` // consecutive pages occupied
-	Recs  int   `json:"recs"`
+	ID         int32   `json:"id"`
+	Disk       int     `json:"disk"`
+	Page       int64   `json:"page"`  // first page index within the disk file
+	Pages      int     `json:"pages"` // consecutive pages occupied
+	Recs       int     `json:"recs"`
+	OwnerDisks []int   `json:"owner_disks,omitempty"`
+	OwnerPages []int64 `json:"owner_pages,omitempty"`
 }
 
 // Manifest describes a layout directory.
@@ -57,9 +65,26 @@ type Manifest struct {
 	Disks     int          `json:"disks"`
 	Dims      int          `json:"dims"`
 	PageBytes int          `json:"page_bytes"`
+	Replicas  int          `json:"replicas,omitempty"` // copies per bucket; 0/absent means 1
 	Domain    [][2]float64 `json:"domain"`
 	Buckets   []Placement  `json:"buckets"`
 }
+
+// manifestVersion is the envelope a replicated layout's manifest.json is
+// wrapped in: {"version": 2, "layout": {…}}. Readers that predate the
+// envelope unmarshal it into the flat Manifest shape, find every required
+// field zero, and reject the directory with the "implausible manifest"
+// error — a clean refusal rather than a silent half-read of a replicated
+// layout. Unversioned manifests (no "version" key) are the legacy r=1
+// format and stay readable.
+type manifestVersion struct {
+	Version int             `json:"version"`
+	Layout  json.RawMessage `json:"layout"`
+}
+
+// manifestVersionCurrent is the newest envelope version this reader writes
+// and understands.
+const manifestVersionCurrent = 2
 
 // recordsPerPage returns how many dims-dimensional keys fit in a page.
 func recordsPerPage(pageBytes, dims int) int {
@@ -67,31 +92,64 @@ func recordsPerPage(pageBytes, dims int) int {
 }
 
 // Write lays out the grid file's buckets over per-disk page files under
-// dir, following the allocation. It returns the manifest it wrote.
+// dir, following the allocation. It returns the manifest it wrote. The
+// manifest stays in the legacy unversioned (r=1) format, so layouts written
+// by Write remain readable by any reader vintage.
 func Write(dir string, f *gridfile.File, alloc core.Allocation, pageBytes int) (*Manifest, error) {
-	if pageBytes <= pageHeaderBytes+8*f.Dims() {
-		return nil, fmt.Errorf("store: page size %d too small for %d-D records", pageBytes, f.Dims())
-	}
 	views := f.Buckets()
 	if err := alloc.Validate(len(views)); err != nil {
 		return nil, err
 	}
+	owners := make([][]int, len(views))
+	backing := make([]int, len(views))
+	for i, d := range alloc.Assign {
+		backing[i] = d
+		owners[i] = backing[i : i+1 : i+1]
+	}
+	return writeLayout(dir, f, owners, alloc.Disks, 1, pageBytes)
+}
+
+// WriteReplicated lays out the grid file with each bucket written to every
+// disk in its owner list, following a replica map (see internal/replica).
+// The manifest is wrapped in the version-2 envelope so readers that predate
+// replication reject the directory cleanly instead of serving only primary
+// copies.
+func WriteReplicated(dir string, f *gridfile.File, rm *replica.Map, pageBytes int) (*Manifest, error) {
+	views := f.Buckets()
+	if err := rm.Validate(len(views)); err != nil {
+		return nil, err
+	}
+	return writeLayout(dir, f, rm.Owners, rm.Disks, rm.Replicas, pageBytes)
+}
+
+// writeLayout is the shared layout writer: owners[i] lists the disks that
+// receive a copy of bucket views[i] (the first entry is the primary).
+// replicas == 1 emits the legacy flat manifest; anything higher emits the
+// version-2 envelope with per-copy owner page lists.
+func writeLayout(dir string, f *gridfile.File, owners [][]int, disks, replicas, pageBytes int) (*Manifest, error) {
+	if pageBytes <= pageHeaderBytes+8*f.Dims() {
+		return nil, fmt.Errorf("store: page size %d too small for %d-D records", pageBytes, f.Dims())
+	}
+	views := f.Buckets()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 
 	dom := f.Domain()
 	m := &Manifest{
-		Disks:     alloc.Disks,
+		Disks:     disks,
 		Dims:      f.Dims(),
 		PageBytes: pageBytes,
+	}
+	if replicas > 1 {
+		m.Replicas = replicas
 	}
 	for _, iv := range dom {
 		m.Domain = append(m.Domain, [2]float64{iv.Lo, iv.Hi})
 	}
 
-	files := make([]*os.File, alloc.Disks)
-	nextPage := make([]int64, alloc.Disks)
+	files := make([]*os.File, disks)
+	nextPage := make([]int64, disks)
 	for d := range files {
 		path := filepath.Join(dir, diskFileName(d))
 		fh, err := os.Create(path)
@@ -106,7 +164,6 @@ func Write(dir string, f *gridfile.File, alloc core.Allocation, pageBytes int) (
 	perPage := recordsPerPage(pageBytes, f.Dims())
 	page := make([]byte, pageBytes)
 	for _, v := range views {
-		disk := alloc.Assign[v.Index]
 		var keys []float64
 		f.ForEachRecordInBucket(v.ID, func(key []float64, _ []byte) {
 			keys = append(keys, key...)
@@ -116,7 +173,15 @@ func Write(dir string, f *gridfile.File, alloc core.Allocation, pageBytes int) (
 		if npages == 0 {
 			npages = 1 // empty buckets still own a page
 		}
-		pl := Placement{ID: v.ID, Disk: disk, Page: nextPage[disk], Pages: npages, Recs: nrec}
+		own := owners[v.Index]
+		pl := Placement{ID: v.ID, Disk: own[0], Page: nextPage[own[0]], Pages: npages, Recs: nrec}
+		if replicas > 1 {
+			pl.OwnerDisks = append([]int(nil), own...)
+			pl.OwnerPages = make([]int64, len(own))
+			for i, d := range own {
+				pl.OwnerPages[i] = nextPage[d]
+			}
+		}
 		for p := 0; p < npages; p++ {
 			for i := range page {
 				page[i] = 0
@@ -133,11 +198,15 @@ func Write(dir string, f *gridfile.File, alloc core.Allocation, pageBytes int) (
 				binary.LittleEndian.PutUint64(page[off:], floatBits(k))
 				off += 8
 			}
-			if _, err := files[disk].Write(page); err != nil {
-				return nil, err
+			for _, d := range own {
+				if _, err := files[d].Write(page); err != nil {
+					return nil, err
+				}
 			}
 		}
-		nextPage[disk] += int64(npages)
+		for _, d := range own {
+			nextPage[d] += int64(npages)
+		}
 		m.Buckets = append(m.Buckets, pl)
 	}
 	for _, fh := range files {
@@ -165,6 +234,16 @@ func Write(dir string, f *gridfile.File, alloc core.Allocation, pageBytes int) (
 	if err != nil {
 		return nil, err
 	}
+	if replicas > 1 {
+		env, err := json.MarshalIndent(manifestVersion{
+			Version: manifestVersionCurrent,
+			Layout:  manifest,
+		}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		manifest = env
+	}
 	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), manifest, 0o644); err != nil {
 		return nil, err
 	}
@@ -177,6 +256,12 @@ type Store struct {
 	files    []*os.File
 	byID     map[int32]Placement
 
+	// loads counts in-flight reads per disk. readAt maintains a baseline
+	// (each positioned read counts while it runs, stalls included) and the
+	// server adds queued batch depth via AddLoad, so PickOwner's load-aware
+	// replica selection sees pressure before the pread even starts.
+	loads []atomic.Int64
+
 	// faults, when non-nil, is consulted before every positioned read at
 	// the fault.SiteStoreRead and per-disk sites. diskSites precomputes the
 	// per-disk names so the hot path never formats strings.
@@ -184,27 +269,56 @@ type Store struct {
 	diskSites []string
 }
 
-// Open loads a layout directory written by Write.
+// Open loads a layout directory written by Write or WriteReplicated. It
+// accepts the legacy unversioned (r=1) manifest and the version-2 replicated
+// envelope, and rejects versions it does not understand.
 func Open(dir string) (*Store, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, err
 	}
+	var env manifestVersion
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("store: parsing manifest: %w", err)
+	}
+	switch {
+	case env.Version == 0 && env.Layout == nil:
+		// Legacy unversioned manifest: the whole document is the layout.
+		env.Layout = raw
+	case env.Version != manifestVersionCurrent:
+		return nil, fmt.Errorf("store: manifest version %d not supported by this reader (want %d)",
+			env.Version, manifestVersionCurrent)
+	case env.Layout == nil:
+		return nil, fmt.Errorf("store: version %d manifest has no layout", env.Version)
+	}
 	var m Manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
+	if err := json.Unmarshal(env.Layout, &m); err != nil {
 		return nil, fmt.Errorf("store: parsing manifest: %w", err)
 	}
 	if m.Disks < 1 || m.Dims < 1 || m.PageBytes <= pageHeaderBytes {
 		return nil, fmt.Errorf("store: implausible manifest (disks=%d dims=%d page=%d)",
 			m.Disks, m.Dims, m.PageBytes)
 	}
-	s := &Store{manifest: m, byID: make(map[int32]Placement, len(m.Buckets))}
-	for _, pl := range m.Buckets {
-		if pl.Disk < 0 || pl.Disk >= m.Disks {
-			return nil, fmt.Errorf("store: bucket %d on disk %d of %d", pl.ID, pl.Disk, m.Disks)
-		}
-		s.byID[pl.ID] = pl
+	if m.Replicas == 0 {
+		m.Replicas = 1
 	}
+	if m.Replicas < 1 || m.Replicas > m.Disks {
+		return nil, fmt.Errorf("store: manifest has %d replicas on %d disks", m.Replicas, m.Disks)
+	}
+	s := &Store{manifest: m, byID: make(map[int32]Placement, len(m.Buckets))}
+	for i := range m.Buckets {
+		pl := &m.Buckets[i]
+		if len(pl.OwnerDisks) == 0 {
+			// Legacy placement: the primary is the only owner.
+			pl.OwnerDisks = []int{pl.Disk}
+			pl.OwnerPages = []int64{pl.Page}
+		}
+		if err := validatePlacement(*pl, m.Disks, m.Replicas); err != nil {
+			return nil, err
+		}
+		s.byID[pl.ID] = *pl
+	}
+	s.loads = make([]atomic.Int64, m.Disks)
 	s.files = make([]*os.File, m.Disks)
 	for d := range s.files {
 		fh, err := os.Open(filepath.Join(dir, diskFileName(d)))
@@ -215,6 +329,30 @@ func Open(dir string) (*Store, error) {
 		s.files[d] = fh
 	}
 	return s, nil
+}
+
+// validatePlacement checks one placement's owner lists against the manifest:
+// exactly replicas distinct in-range owner disks, one copy page per owner,
+// and a primary that mirrors owner 0.
+func validatePlacement(pl Placement, disks, replicas int) error {
+	if len(pl.OwnerDisks) != replicas || len(pl.OwnerPages) != replicas {
+		return fmt.Errorf("store: bucket %d has %d/%d owner disks/pages, want %d",
+			pl.ID, len(pl.OwnerDisks), len(pl.OwnerPages), replicas)
+	}
+	if pl.OwnerDisks[0] != pl.Disk || pl.OwnerPages[0] != pl.Page {
+		return fmt.Errorf("store: bucket %d primary disagrees with owner 0", pl.ID)
+	}
+	for i, d := range pl.OwnerDisks {
+		if d < 0 || d >= disks {
+			return fmt.Errorf("store: bucket %d on disk %d of %d", pl.ID, d, disks)
+		}
+		for j := 0; j < i; j++ {
+			if pl.OwnerDisks[j] == d {
+				return fmt.Errorf("store: bucket %d owns disk %d twice", pl.ID, d)
+			}
+		}
+	}
+	return nil
 }
 
 // OpenGrid loads the grid file embedded in a layout directory by Write.
@@ -240,6 +378,54 @@ func (s *Store) Placement(id int32) (Placement, bool) {
 
 // Disks returns the number of disk files in the layout.
 func (s *Store) Disks() int { return s.manifest.Disks }
+
+// Replicas returns the number of copies of each bucket in the layout
+// (1 for an unreplicated layout).
+func (s *Store) Replicas() int { return s.manifest.Replicas }
+
+// Owners returns one bucket's ordered owner-disk list (primary first), or
+// nil for an unknown bucket. The returned slice must not be modified.
+func (s *Store) Owners(id int32) []int {
+	pl, ok := s.byID[id]
+	if !ok {
+		return nil
+	}
+	return pl.OwnerDisks
+}
+
+// PickOwner returns the least-loaded owner disk for one bucket, skipping
+// disks for which exclude returns true (nil excludes nothing). Load is the
+// in-flight read count maintained by readAt plus whatever queue depth the
+// caller registered with AddLoad; ties prefer the earlier replica level, so
+// an idle store reads primaries. ok is false when the bucket is unknown or
+// every owner is excluded.
+func (s *Store) PickOwner(id int32, exclude func(disk int) bool) (disk int, ok bool) {
+	pl, found := s.byID[id]
+	if !found {
+		return 0, false
+	}
+	best, bestLoad := -1, int64(0)
+	for _, d := range pl.OwnerDisks {
+		if exclude != nil && exclude(d) {
+			continue
+		}
+		if l := s.loads[d].Load(); best < 0 || l < bestLoad {
+			best, bestLoad = d, l
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// AddLoad adjusts one disk's in-flight load counter by delta. The server
+// registers queued batch depth here so replica selection reacts to pressure
+// that has not reached the pread yet; calls must be balanced.
+func (s *Store) AddLoad(disk int, delta int64) { s.loads[disk].Add(delta) }
+
+// DiskLoad reports one disk's current in-flight load counter.
+func (s *Store) DiskLoad(disk int) int64 { return s.loads[disk].Load() }
 
 // Domain reconstructs the grid file's domain.
 func (s *Store) Domain() geom.Rect {
@@ -325,6 +511,8 @@ func (s *Store) Faults() *fault.Registry { return s.faults }
 // It reports whether the buffer was torn so callers can classify the decode
 // failure as transient.
 func (s *Store) readAt(ctx context.Context, disk int, buf []byte, off int64) (torn bool, err error) {
+	s.loads[disk].Add(1)
+	defer s.loads[disk].Add(-1)
 	if s.faults.Enabled() {
 		inj, hit := s.faults.Eval(fault.SiteStoreRead)
 		if inj2, hit2 := s.faults.Eval(s.diskSites[disk]); hit2 {
@@ -390,6 +578,12 @@ func (s *Store) ReadBucketTimed(ctx context.Context, id int32, tm *Timing) ([]ge
 	if !ok {
 		return nil, 0, fmt.Errorf("store: unknown bucket %d", id)
 	}
+	return s.readOne(ctx, pl, tm)
+}
+
+// readOne reads and decodes a single placement (whichever copy pl points
+// at).
+func (s *Store) readOne(ctx context.Context, pl Placement, tm *Timing) ([]geom.Point, int, error) {
 	buf := getBuf(pl.Pages * s.manifest.PageBytes)
 	defer putBuf(buf)
 	var t0 time.Time
@@ -403,7 +597,7 @@ func (s *Store) ReadBucketTimed(ctx context.Context, id int32, tm *Timing) ([]ge
 		t0 = now
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: reading bucket %d: %w", id, err)
+		return nil, 0, fmt.Errorf("store: reading bucket %d: %w", pl.ID, err)
 	}
 	out, err := s.decodeBucket(buf, pl)
 	if tm != nil {
@@ -411,7 +605,7 @@ func (s *Store) ReadBucketTimed(ctx context.Context, id int32, tm *Timing) ([]ge
 	}
 	if err != nil {
 		if torn {
-			return nil, 0, fmt.Errorf("store: torn read of bucket %d: %w (%v)", id, fault.ErrInjected, err)
+			return nil, 0, fmt.Errorf("store: torn read of bucket %d: %w (%v)", pl.ID, fault.ErrInjected, err)
 		}
 		return nil, 0, err
 	}
@@ -450,6 +644,87 @@ func (s *Store) ReadBucketsTimed(ctx context.Context, ids []int32, tm *Timing) (
 		out[id] = nil
 		pls = append(pls, pl)
 	}
+	pages, err := s.readPlacements(ctx, pls, out, tm)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, pages, nil
+}
+
+// ReadBucketsFrom fetches a set of buckets from ONE specific owner disk with
+// the same coalescing as ReadBuckets. Every id must have a copy on that
+// disk; a replicated layout's secondary copies are addressed by their own
+// page offsets. This is the read path the server's per-disk I/O goroutines
+// use, so a failover retry against a surviving owner reads that owner's
+// copy rather than re-touching the failed disk.
+func (s *Store) ReadBucketsFrom(ctx context.Context, disk int, ids []int32) (map[int32][]geom.Point, int, error) {
+	return s.ReadBucketsFromTimed(ctx, disk, ids, nil)
+}
+
+// ReadBucketsFromTimed is ReadBucketsFrom with an optional pread/decode time
+// split accumulated into tm (nil disables timing).
+func (s *Store) ReadBucketsFromTimed(ctx context.Context, disk int, ids []int32, tm *Timing) (map[int32][]geom.Point, int, error) {
+	out := make(map[int32][]geom.Point, len(ids))
+	pls := make([]Placement, 0, len(ids))
+	for _, id := range ids {
+		pl, ok := s.byID[id]
+		if !ok {
+			return nil, 0, fmt.Errorf("store: unknown bucket %d", id)
+		}
+		pl, ok = placementOn(pl, disk)
+		if !ok {
+			return nil, 0, fmt.Errorf("store: bucket %d has no copy on disk %d", id, disk)
+		}
+		if _, dup := out[id]; dup {
+			continue
+		}
+		out[id] = nil
+		pls = append(pls, pl)
+	}
+	pages, err := s.readPlacements(ctx, pls, out, tm)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, pages, nil
+}
+
+// ReadBucketFrom fetches one bucket's keys from a specific owner disk.
+func (s *Store) ReadBucketFrom(ctx context.Context, disk int, id int32) ([]geom.Point, int, error) {
+	return s.ReadBucketFromTimed(ctx, disk, id, nil)
+}
+
+// ReadBucketFromTimed fetches one bucket's keys from a specific owner disk,
+// with the same contract as ReadBucketTimed.
+func (s *Store) ReadBucketFromTimed(ctx context.Context, disk int, id int32, tm *Timing) ([]geom.Point, int, error) {
+	pl, ok := s.byID[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("store: unknown bucket %d", id)
+	}
+	pl, ok = placementOn(pl, disk)
+	if !ok {
+		return nil, 0, fmt.Errorf("store: bucket %d has no copy on disk %d", id, disk)
+	}
+	return s.readOne(ctx, pl, tm)
+}
+
+// placementOn rebinds a placement to the copy held by one specific owner
+// disk, reporting whether that disk owns the bucket at all.
+func placementOn(pl Placement, disk int) (Placement, bool) {
+	for i, d := range pl.OwnerDisks {
+		if d == disk {
+			pl.Disk = disk
+			pl.Page = pl.OwnerPages[i]
+			return pl, true
+		}
+	}
+	return pl, false
+}
+
+// readPlacements is the shared coalescing read core: placements are grouped
+// per disk, sorted by page offset, and contiguous runs are read with single
+// ReadAt calls. Results land in out keyed by bucket id; the return value is
+// the total number of pages read.
+func (s *Store) readPlacements(ctx context.Context, pls []Placement, out map[int32][]geom.Point, tm *Timing) (int, error) {
 	sort.Slice(pls, func(i, j int) bool {
 		if pls[i].Disk != pls[j].Disk {
 			return pls[i].Disk < pls[j].Disk
@@ -484,7 +759,7 @@ func (s *Store) ReadBucketsTimed(ctx context.Context, ids []int32, tm *Timing) (
 		}
 		if err != nil {
 			putBuf(buf)
-			return nil, 0, fmt.Errorf("store: reading buckets %d..%d: %w",
+			return 0, fmt.Errorf("store: reading buckets %d..%d: %w",
 				pls[lo].ID, pls[hi-1].ID, err)
 		}
 		off := 0
@@ -493,10 +768,10 @@ func (s *Store) ReadBucketsTimed(ctx context.Context, ids []int32, tm *Timing) (
 			if err != nil {
 				putBuf(buf)
 				if torn {
-					return nil, 0, fmt.Errorf("store: torn read of bucket %d: %w (%v)",
+					return 0, fmt.Errorf("store: torn read of bucket %d: %w (%v)",
 						pl.ID, fault.ErrInjected, err)
 				}
-				return nil, 0, err
+				return 0, err
 			}
 			out[pl.ID] = pts
 			off += pl.Pages * s.manifest.PageBytes
@@ -508,7 +783,7 @@ func (s *Store) ReadBucketsTimed(ctx context.Context, ids []int32, tm *Timing) (
 		pages += runPages
 		lo = hi
 	}
-	return out, pages, nil
+	return pages, nil
 }
 
 // DiskSizes returns every disk file's size in pages.

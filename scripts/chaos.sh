@@ -6,6 +6,12 @@
 # either retried away or absorbed into a flagged partial answer. The degraded
 # column must be nonzero, proving the faults actually fired.
 #
+# A second phase repeats the identical chaos schedule against an r=2
+# replicated layout of the same dataset, where the bar is higher: replica
+# failover must absorb what degraded mode absorbed before, so the run must
+# finish with zero errors AND zero degraded answers, and a nonzero
+# replica_failover count proving the reroutes happened.
+#
 # The schedule is fully deterministic: CHAOS_SEED seeds both the workload and
 # the failpoint registry, so a failure here reproduces exactly.
 #
@@ -54,3 +60,39 @@ if [ "$DEGRADED" -eq 0 ]; then
     exit 1
 fi
 echo "chaos.sh: PASS — $QUERIES queries, 0 errors, $DEGRADED degraded"
+
+echo "== chaos: building r=2 layout of the same dataset"
+go run ./cmd/gridtool layout -file "$WORK/hot.grd" -alg minimax -disks 4 \
+    -seed "$SEED" -replicas 2 -out "$WORK/layout2"
+
+# The failover target is under the same random profile as the disk that just
+# failed, so this phase runs with a deeper per-generation retry budget: each
+# owner gets 7 attempts, and a batch degrades only when both owners exhaust
+# theirs — vanishingly rare, and deterministic under the seeded registry.
+echo "== chaos: replicated bench under the same profile (seed $SEED)"
+go run ./cmd/gridserver bench -store "$WORK/layout2" \
+    -clients 8 -queries "$QUERIES" -seed "$SEED" \
+    -fault "$PROFILE" -fault-seed "$SEED" -degraded -cache-bytes 0 \
+    -fetch-retries 6 -json "$WORK/chaos2.json"
+
+ERRORS=$(sed -n 's/.*"errors": *\([0-9][0-9]*\).*/\1/p' "$WORK/chaos2.json" | head -1)
+DEGRADED=$(sed -n 's/.*"degraded": *\([0-9][0-9]*\).*/\1/p' "$WORK/chaos2.json" | head -1)
+FAILOVER=$(sed -n 's/.*"replica_failover": *\([0-9][0-9]*\).*/\1/p' "$WORK/chaos2.json" | head -1)
+if [ -z "$ERRORS" ] || [ -z "$DEGRADED" ] || [ -z "$FAILOVER" ]; then
+    echo "chaos.sh: could not parse replicated bench JSON:" >&2
+    cat "$WORK/chaos2.json" >&2
+    exit 1
+fi
+if [ "$ERRORS" -ne 0 ]; then
+    echo "chaos.sh: FAIL — $ERRORS queries errored on the r=2 layout" >&2
+    exit 1
+fi
+if [ "$DEGRADED" -ne 0 ]; then
+    echo "chaos.sh: FAIL — $DEGRADED degraded answers on the r=2 layout; failover should absorb the profile" >&2
+    exit 1
+fi
+if [ "$FAILOVER" -eq 0 ]; then
+    echo "chaos.sh: FAIL — replicated run recorded zero failovers" >&2
+    exit 1
+fi
+echo "chaos.sh: PASS — replicated: $QUERIES queries, 0 errors, 0 degraded, $FAILOVER failovers"

@@ -8,9 +8,14 @@
 #   4. go test     full suite under the race detector
 #   5. fuzz smoke  short runs of the protocol and codec fuzz targets
 #   6. trace smoke traced bench run: stage breakdown + slow-query log
-#   7. chaos smoke fault-injected bench run: zero errors, degraded answers
-#   8. bench smoke one-shot run of the serving-path benchmark suite
-#   9. decluster smoke
+#   7. chaos smoke fault-injected bench run: zero errors, degraded answers;
+#                  then the same profile on an r=2 layout: zero errors, zero
+#                  degraded, nonzero failovers
+#   8. replica smoke
+#                  r=2 layout with one disk hard-killed: zero errors, zero
+#                  degraded, nonzero failovers
+#   9. bench smoke one-shot run of the serving-path benchmark suite
+#  10. decluster smoke
 #                  one iteration of the build-path benchmark; its parallel
 #                  variant asserts the engine assignment is byte-identical
 #                  to the serial reference
@@ -49,6 +54,9 @@ TRACE_SEED="${TRACE_SEED:-1}" sh scripts/trace.sh 200
 
 echo "== chaos smoke"
 CHAOS_SEED="${CHAOS_SEED:-1}" sh scripts/chaos.sh 1000
+
+echo "== replica smoke"
+REPLICA_SEED="${REPLICA_SEED:-1}" sh scripts/replica.sh 500
 
 echo "== bench smoke"
 BENCH_SMOKE_OUT=$(mktemp)

@@ -1,0 +1,58 @@
+#!/bin/sh
+# replica.sh — the replication smoke gate. Builds a small r=2 declustered
+# layout, hard-kills one disk (every read from it fails, deterministically),
+# and runs the closed-loop bench against the survivor set. The contract is
+# strictly stronger than chaos.sh's: with a replica of every bucket on a
+# second disk, the run must finish with ZERO errors AND ZERO degraded
+# answers — every batch that hits the dead disk is rerouted to the surviving
+# owner — and the replica_failover counter must be nonzero, proving the
+# rerouting actually happened rather than the kill never firing.
+#
+# Usage: scripts/replica.sh [queries]
+#   queries      total queries for the run (default 500)
+# Env:
+#   REPLICA_SEED   workload + layout seed (default 1)
+#   REPLICA_KILL   disk to kill (default 0)
+set -eu
+cd "$(dirname "$0")/.."
+
+QUERIES="${1:-500}"
+SEED="${REPLICA_SEED:-1}"
+KILL="${REPLICA_KILL:-0}"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== replica: building r=2 layout (hot.2d, 4 disks)"
+go run ./cmd/datagen -dataset hot.2d -n 4000 -seed "$SEED" -out "$WORK/hot.csv"
+go run ./cmd/gridtool build -in "$WORK/hot.csv" -out "$WORK/hot.grd" -capacity 56
+go run ./cmd/gridtool layout -file "$WORK/hot.grd" -alg minimax -disks 4 \
+    -seed "$SEED" -replicas 2 -out "$WORK/layout"
+
+echo "== replica: bench with disk $KILL killed (seed $SEED)"
+go run ./cmd/gridserver bench -store "$WORK/layout" \
+    -clients 8 -queries "$QUERIES" -seed "$SEED" \
+    -fault "store.read.disk$KILL:err" -fault-seed "$SEED" -degraded \
+    -cache-bytes 0 -json "$WORK/replica.json"
+
+ERRORS=$(sed -n 's/.*"errors": *\([0-9][0-9]*\).*/\1/p' "$WORK/replica.json" | head -1)
+DEGRADED=$(sed -n 's/.*"degraded": *\([0-9][0-9]*\).*/\1/p' "$WORK/replica.json" | head -1)
+FAILOVER=$(sed -n 's/.*"replica_failover": *\([0-9][0-9]*\).*/\1/p' "$WORK/replica.json" | head -1)
+if [ -z "$ERRORS" ] || [ -z "$DEGRADED" ] || [ -z "$FAILOVER" ]; then
+    echo "replica.sh: could not parse bench JSON:" >&2
+    cat "$WORK/replica.json" >&2
+    exit 1
+fi
+if [ "$ERRORS" -ne 0 ]; then
+    echo "replica.sh: FAIL — $ERRORS queries errored with a dead disk" >&2
+    exit 1
+fi
+if [ "$DEGRADED" -ne 0 ]; then
+    echo "replica.sh: FAIL — $DEGRADED degraded answers; failover should have covered disk $KILL" >&2
+    exit 1
+fi
+if [ "$FAILOVER" -eq 0 ]; then
+    echo "replica.sh: FAIL — zero failovers; did the kill fire?" >&2
+    exit 1
+fi
+echo "replica.sh: PASS — $QUERIES queries, 0 errors, 0 degraded, $FAILOVER failovers"
