@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 2000x
 
-.PHONY: all build test race check fmt vet fuzz chaos replica trace bench bench-decluster bench-all clean
+.PHONY: all build test race check fmt vet fuzz chaos replica trace bench bench-open bench-decluster bench-all clean
 
 all: build
 
@@ -48,10 +48,19 @@ trace:
 check:
 	sh scripts/check.sh $(FUZZTIME)
 
-# The serving-path suite: server throughput (baseline vs tuned) plus the
-# translation micro-benchmarks, parsed into BENCH_server.json.
+# The serving-path suite: server throughput (baseline vs tuned vs pipelined),
+# the open-loop offered-vs-achieved rows, plus the translation
+# micro-benchmarks, parsed into BENCH_server.json.
 bench:
 	sh scripts/bench.sh $(BENCHTIME)
+
+# Open-loop load smoke: drive a fixed offered rate on a deterministic Poisson
+# schedule; the server must sustain it (0 errors, achieved >= 95% of offered)
+# with latency measured from intended send times.
+bench-open:
+	sh scripts/openloop.sh $(OPENLOOP_RATE)
+
+OPENLOOP_RATE ?= 2000
 
 # The build-path suite: BenchmarkDecluster serial vs parallel, parsed into
 # BENCH_decluster.json. One iteration per variant by default (the N=16k

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -20,6 +21,7 @@ import (
 	"pgridfile/internal/fault"
 	"pgridfile/internal/geom"
 	"pgridfile/internal/gridfile"
+	"pgridfile/internal/loadgen"
 	"pgridfile/internal/replica"
 	"pgridfile/internal/server"
 	"pgridfile/internal/stats"
@@ -63,6 +65,20 @@ type benchOpts struct {
 
 	trace     bool          // in-process servers only: stage-trace every query
 	traceSlow time.Duration // in-process servers only: slow-query log threshold (<0 disables)
+
+	// Open-loop mode (DESIGN S26): offer load on a deterministic schedule
+	// and measure latency from intended send times.
+	openLoop bool
+	rate     float64          // offered rate, queries/sec
+	duration time.Duration    // run length; N = rate × duration
+	arrivals loadgen.Arrivals // poisson or fixed
+	hot      float64          // fraction of queries aimed at the hot spot
+	hotFrac  float64          // hot-spot extent per dimension
+	sweep    string           // "start:factor:steps" rate escalation
+	slo      time.Duration    // p99 bound for a sweep step to count as sustained
+
+	pipeline int  // requests in flight per connection (closed and open loop)
+	nodelay  bool // TCP_NODELAY on both ends
 }
 
 type benchRow struct {
@@ -92,6 +108,20 @@ type benchRow struct {
 	// run's traced queries, keyed by stage name — the DESIGN S23 breakdown
 	// that makes a latency regression bisectable from BENCH JSON alone.
 	Stages map[string]float64 `json:"stage_p50_us,omitempty"`
+
+	// Open-loop fields (DESIGN S26). Offered is the configured arrival
+	// rate; Achieved is what the server completed; the latency percentiles
+	// above are then measured from intended send times, so queueing under
+	// saturation counts against the server (no coordinated omission).
+	Mode      string  `json:"mode,omitempty"` // "open" on open-loop rows
+	Arrivals  string  `json:"arrivals,omitempty"`
+	Pipeline  int     `json:"pipeline,omitempty"`
+	Offered   float64 `json:"offered_qps,omitempty"`
+	Achieved  float64 `json:"achieved_qps,omitempty"`
+	P999      float64 `json:"p999_ms,omitempty"`
+	MaxLagMs  float64 `json:"max_lag_ms,omitempty"` // worst pacer lateness
+	Sustained bool    `json:"sustained,omitempty"`  // sweep: step met the criteria
+	Knee      bool    `json:"knee,omitempty"`       // sweep: last sustained step
 }
 
 func runBench(args []string, out io.Writer) error {
@@ -118,8 +148,22 @@ func runBench(args []string, out io.Writer) error {
 	fetchRetries := fs.Int("fetch-retries", 0, "disk-batch retry budget for in-process servers (0 = server default, <0 disables)")
 	trace := fs.Bool("trace", true, "stage-trace every query on in-process servers (stage_p50_us in -json)")
 	traceSlow := fs.Duration("trace-slow", -1, "in-process servers log traced queries at least this slow to stderr (0 logs all, <0 disables)")
+	openLoop := fs.Bool("open-loop", false, "offer load on a deterministic schedule instead of closed-loop; latency measured from intended send times")
+	rate := fs.Float64("rate", 5000, "open-loop offered rate, queries/sec")
+	duration := fs.Duration("duration", 2*time.Second, "open-loop run length (query count = rate x duration)")
+	arrivalsFlag := fs.String("arrivals", "poisson", "open-loop arrival process: poisson or fixed")
+	hot := fs.Float64("hot", 0, "fraction of open-loop queries aimed at a hot spot (0 = uniform keys)")
+	hotFrac := fs.Float64("hot-frac", 0.1, "hot-spot extent per dimension, as a fraction of the domain")
+	sweep := fs.String("sweep", "", "open-loop rate sweep start:factor:steps, e.g. 1000:2:6 (implies -open-loop)")
+	slo := fs.Duration("slo", 0, "p99 bound a sweep step must meet to count as sustained (0 disables)")
+	pipeline := fs.Int("pipeline", 1, "requests kept in flight per connection (1 = one-at-a-time)")
+	nodelay := fs.Bool("nodelay", true, "set TCP_NODELAY on bench connections (and the in-process server)")
 	fs.Parse(args)
 
+	arrivals, err := loadgen.ParseArrivals(*arrivalsFlag)
+	if err != nil {
+		return err
+	}
 	opts := benchOpts{
 		clients: *clients, queries: *queries, ratio: *ratio,
 		k: *k, seed: *seed, timeout: *timeout,
@@ -127,6 +171,10 @@ func runBench(args []string, out io.Writer) error {
 		faultSpec: *faultSpec, faultSeed: *faultSeed, degraded: *degraded,
 		fetchRetries: *fetchRetries,
 		trace:        *trace, traceSlow: *traceSlow,
+		openLoop: *openLoop || *sweep != "", rate: *rate, duration: *duration,
+		arrivals: arrivals, hot: *hot, hotFrac: *hotFrac,
+		sweep: *sweep, slo: *slo,
+		pipeline: *pipeline, nodelay: *nodelay,
 	}
 	modes := 0
 	for _, set := range []bool{*addr != "", *dir != "", *grid != ""} {
@@ -143,29 +191,46 @@ func runBench(args []string, out io.Writer) error {
 		return err
 	}
 
-	table := stats.NewTable("gridserver bench: closed-loop, "+
-		fmt.Sprintf("%d clients, %d queries/scheme", opts.clients, opts.queries),
-		"scheme", "r", "queries", "errors", "qps", "p50 ms", "p95 ms", "p99 ms", "fetch imbalance", "cache hit", "degraded", "failover")
+	var table *stats.Table
+	if opts.openLoop {
+		table = stats.NewTable("gridserver bench: open-loop "+
+			fmt.Sprintf("(%s arrivals, pipeline %d), latency from intended send times", opts.arrivals, opts.pipeline),
+			"scheme", "r", "offered qps", "achieved qps", "sent", "errors", "p50 ms", "p99 ms", "p999 ms", "max lag ms", "sustained")
+	} else {
+		table = stats.NewTable("gridserver bench: closed-loop, "+
+			fmt.Sprintf("%d clients, %d queries/scheme", opts.clients, opts.queries),
+			"scheme", "r", "queries", "errors", "qps", "p50 ms", "p95 ms", "p99 ms", "fetch imbalance", "cache hit", "degraded", "failover")
+	}
 
 	var rows []benchRow
-	addRow := func(r benchRow) {
-		rows = append(rows, r)
-		table.AddRow(r.Scheme, r.Replicas, r.Queries, r.Errors, r.QPS, r.P50, r.P95, r.P99, r.Imbalance, r.HitRate, r.Degraded, r.ReplicaFailover)
+	addRows := func(rs []benchRow) {
+		for _, r := range rs {
+			rows = append(rows, r)
+			if opts.openLoop {
+				sustained := fmt.Sprintf("%v", r.Sustained)
+				if r.Knee {
+					sustained += " (knee)"
+				}
+				table.AddRow(r.Scheme, r.Replicas, r.Offered, r.Achieved, r.Queries, r.Errors, r.P50, r.P99, r.P999, r.MaxLagMs, sustained)
+			} else {
+				table.AddRow(r.Scheme, r.Replicas, r.Queries, r.Errors, r.QPS, r.P50, r.P95, r.P99, r.Imbalance, r.HitRate, r.Degraded, r.ReplicaFailover)
+			}
+		}
 	}
 
 	switch {
 	case *addr != "":
-		row, err := benchAddr(*addr, "remote", opts)
+		rs, err := benchAddr(*addr, "remote", opts)
 		if err != nil {
 			return err
 		}
-		addRow(row)
+		addRows(rs)
 	case *dir != "":
-		row, err := benchStore(*dir, filepath.Base(*dir), opts)
+		rs, err := benchStore(*dir, filepath.Base(*dir), opts)
 		if err != nil {
 			return err
 		}
-		addRow(row)
+		addRows(rs)
 	default:
 		fh, err := os.Open(*grid)
 		if err != nil {
@@ -211,12 +276,12 @@ func runBench(args []string, out io.Writer) error {
 				if len(rlist) > 1 {
 					label = fmt.Sprintf("%s r=%d", name, r)
 				}
-				row, err := benchStore(tmp, label, opts)
+				rs, err := benchStore(tmp, label, opts)
 				os.RemoveAll(tmp)
 				if err != nil {
 					return err
 				}
-				addRow(row)
+				addRows(rs)
 			}
 		}
 	}
@@ -235,10 +300,11 @@ func runBench(args []string, out io.Writer) error {
 
 // benchStore serves a layout in-process on an ephemeral port and runs the
 // load against it.
-func benchStore(dir, label string, opts benchOpts) (benchRow, error) {
+func benchStore(dir, label string, opts benchOpts) ([]benchRow, error) {
 	cfg := server.Config{
 		CacheBytes:      cacheFlag(opts.cacheBytes),
 		DisableCoalesce: !opts.coalesce,
+		DisableNoDelay:  !opts.nodelay,
 		Faults:          fault.NewRegistry(opts.faultSeed),
 		Degraded:        opts.degraded,
 		FetchRetries:    opts.fetchRetries,
@@ -250,37 +316,51 @@ func benchStore(dir, label string, opts benchOpts) (benchRow, error) {
 	}
 	s, err := server.OpenDir(dir, cfg)
 	if err != nil {
-		return benchRow{}, err
+		return nil, err
 	}
 	defer s.Close()
 	return benchAddr(s.Addr().String(), label, opts)
 }
 
-// benchAddr runs the closed-loop load against a server, learning the
-// layout's dimensionality and domain from its STATS verb.
-func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
+// benchAddr dials a server and runs the configured load shape against it —
+// one closed-loop row, or one open-loop row per offered rate.
+func benchAddr(addr, label string, opts benchOpts) ([]benchRow, error) {
 	c, err := server.NewClient(server.ClientConfig{
 		Addr: addr, PoolSize: opts.clients, RequestTimeout: opts.timeout,
+		Pipeline: opts.pipeline, DisableNoDelay: !opts.nodelay,
 	})
 	if err != nil {
-		return benchRow{}, err
+		return nil, err
 	}
 	defer c.Close()
 	snap, err := c.Stats()
 	if err != nil {
-		return benchRow{}, fmt.Errorf("bench: probing %s: %w", addr, err)
+		return nil, fmt.Errorf("bench: probing %s: %w", addr, err)
 	}
 	// Arm the chaos schedule through the admin verb, so the same flag works
 	// against in-process and remote servers alike.
 	if opts.faultSpec != "" {
 		if _, err := c.Fault(context.Background(), opts.faultSpec); err != nil {
-			return benchRow{}, fmt.Errorf("bench: arming faults on %s: %w", addr, err)
+			return nil, fmt.Errorf("bench: arming faults on %s: %w", addr, err)
 		}
 	}
 	dom := make(geom.Rect, len(snap.Domain))
 	for d, iv := range snap.Domain {
 		dom[d] = geom.Interval{Lo: iv[0], Hi: iv[1]}
 	}
+	if opts.openLoop {
+		return openAddr(c, snap, dom, label, opts)
+	}
+	row, err := closedAddr(c, snap, dom, label, opts)
+	if err != nil {
+		return nil, err
+	}
+	return []benchRow{row}, nil
+}
+
+// closedAddr runs the classic closed-loop load: opts.clients workers, each
+// waiting for its response before sending the next query.
+func closedAddr(c *server.Client, snap server.Snapshot, dom geom.Rect, label string, opts benchOpts) (benchRow, error) {
 
 	// Pre-generate the mixed workload: 60% range (half count-only), 20%
 	// point, 10% k-NN, 10% partial-match.
@@ -355,23 +435,152 @@ func benchAddr(addr, label string, opts benchOpts) (benchRow, error) {
 		P95:      stats.Percentile(lats, 95),
 		P99:      stats.Percentile(lats, 99),
 	}
-	if after, err := c.Stats(); err == nil {
-		row.Imbalance = fetchImbalance(after.DiskFetches)
-		row.HitRate = hitRateDelta(snap.Cache, after.Cache)
-		row.Replicas = after.Replicas
-		row.DiskBytes = after.DiskBytes
-		row.WriteAmp = after.WriteAmp
-		row.ReplicaFailover = after.ReplicaFailover - snap.ReplicaFailover
-		row.ReplicaPrimary = after.ReplicaPrimary - snap.ReplicaPrimary
-		row.ReplicaSecondary = after.ReplicaSecondary - snap.ReplicaSecondary
-		if len(after.Stages) > 0 {
-			row.Stages = make(map[string]float64, len(after.Stages))
-			for name, q := range after.Stages {
-				row.Stages[name] = q.P50
-			}
+	attachServerStats(&row, c, snap)
+	return row, nil
+}
+
+// attachServerStats decorates a finished row with the server-side deltas:
+// fetch balance, cache behaviour, replica counters and the traced stage
+// medians (µs, from the ns histograms' derived view).
+func attachServerStats(row *benchRow, c *server.Client, before server.Snapshot) {
+	after, err := c.Stats()
+	if err != nil {
+		return
+	}
+	row.Imbalance = fetchImbalance(after.DiskFetches)
+	row.HitRate = hitRateDelta(before.Cache, after.Cache)
+	row.Replicas = after.Replicas
+	row.DiskBytes = after.DiskBytes
+	row.WriteAmp = after.WriteAmp
+	row.ReplicaFailover = after.ReplicaFailover - before.ReplicaFailover
+	row.ReplicaPrimary = after.ReplicaPrimary - before.ReplicaPrimary
+	row.ReplicaSecondary = after.ReplicaSecondary - before.ReplicaSecondary
+	if len(after.StagesMicros) > 0 {
+		row.Stages = make(map[string]float64, len(after.StagesMicros))
+		for name, q := range after.StagesMicros {
+			row.Stages[name] = q.P50
 		}
 	}
-	return row, nil
+}
+
+// openAddr runs the open-loop harness (DESIGN S26) against an established
+// client: a deterministic arrival schedule at the offered rate (or a
+// geometric rate sweep), queries synthesized per the workload mix with
+// optional hot-spot skew, latency measured from intended send times.
+func openAddr(c *server.Client, snap server.Snapshot, dom geom.Rect, label string, opts benchOpts) ([]benchRow, error) {
+	sopts, err := parseSweep(opts.sweep, opts)
+	if err != nil {
+		return nil, err
+	}
+	// The op pool repeats via modulo when a run needs more queries than the
+	// pool holds — determinism is preserved, memory stays bounded.
+	poolSize := int(opts.rate * opts.duration.Seconds())
+	if opts.sweep != "" {
+		last := sopts.Start * math.Pow(sopts.Factor, float64(sopts.MaxSteps-1))
+		poolSize = int(last * sopts.StepDuration.Seconds())
+	}
+	poolSize = min(max(poolSize, 1024), 1<<16)
+	ops := loadgen.Synthesize(dom, loadgen.SynthOptions{
+		Skew:       loadgen.Skew{Hot: opts.hot, HotFrac: opts.hotFrac},
+		RangeRatio: opts.ratio,
+		K:          opts.k,
+	}, poolSize, opts.seed)
+	do := func(ctx context.Context, i int) error {
+		var err error
+		switch op := ops[i%len(ops)]; op.Kind {
+		case loadgen.OpPoint:
+			_, _, err = c.PointCtx(ctx, op.Key)
+		case loadgen.OpRange:
+			_, _, err = c.RangeCtx(ctx, op.Rect)
+		case loadgen.OpRangeCount:
+			_, _, err = c.RangeCountCtx(ctx, op.Rect)
+		case loadgen.OpPartialMatch:
+			_, _, err = c.PartialMatchCtx(ctx, op.Key)
+		case loadgen.OpKNN:
+			_, _, err = c.KNNCtx(ctx, op.Key, op.K)
+		}
+		return err
+	}
+	base := loadgen.Options{
+		Arrivals: opts.arrivals,
+		Seed:     opts.seed,
+		// Bound outstanding requests at 4× the client's own in-flight
+		// capacity: enough queueing headroom to see saturation in the
+		// latencies, without unbounded goroutine pile-up on a dead server.
+		MaxInFlight: 4 * opts.clients * max(opts.pipeline, 1),
+	}
+	ctx := context.Background()
+
+	var rows []benchRow
+	if opts.sweep != "" {
+		results, knee, err := loadgen.Sweep(ctx, sopts, base, do)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			row := openRow(label, r, opts)
+			row.Replicas = max(snap.Replicas, 1)
+			row.Sustained = sopts.Sustained(r)
+			row.Knee = i == knee
+			rows = append(rows, row)
+		}
+	} else {
+		base.Rate = opts.rate
+		base.N = max(int(opts.rate*opts.duration.Seconds()), 1)
+		r, err := loadgen.Run(ctx, base, do)
+		if err != nil {
+			return nil, err
+		}
+		row := openRow(label, r, opts)
+		row.Replicas = max(snap.Replicas, 1)
+		row.Sustained = sopts.Sustained(r)
+		rows = append(rows, row)
+	}
+	// The server-side deltas cover the whole run set; attach them to the
+	// last row (the heaviest load, the one worth bisecting).
+	attachServerStats(&rows[len(rows)-1], c, snap)
+	return rows, nil
+}
+
+// openRow converts one loadgen result into a bench row (durations in ms).
+func openRow(label string, r loadgen.Result, opts benchOpts) benchRow {
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	return benchRow{
+		Scheme:   label,
+		Mode:     "open",
+		Arrivals: opts.arrivals.String(),
+		Pipeline: max(opts.pipeline, 1),
+		Offered:  r.Offered,
+		Achieved: r.Achieved,
+		Queries:  r.Sent,
+		Errors:   r.Errors,
+		P50:      ms(r.Latency.P50),
+		P95:      ms(r.Latency.P95),
+		P99:      ms(r.Latency.P99),
+		P999:     ms(r.Latency.P999),
+		MaxLagMs: ms(r.MaxLag),
+	}
+}
+
+// parseSweep parses -sweep "start:factor:steps". With an empty spec it still
+// returns usable SweepOptions (for Sustained on single runs).
+func parseSweep(spec string, opts benchOpts) (loadgen.SweepOptions, error) {
+	sopts := loadgen.SweepOptions{SLO: opts.slo, StepDuration: opts.duration}
+	if spec == "" {
+		return sopts, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return sopts, fmt.Errorf("bench: -sweep wants start:factor:steps, got %q", spec)
+	}
+	start, err1 := strconv.ParseFloat(parts[0], 64)
+	factor, err2 := strconv.ParseFloat(parts[1], 64)
+	steps, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil || start <= 0 || factor <= 1 || steps < 1 {
+		return sopts, fmt.Errorf("bench: bad -sweep %q (want start>0, factor>1, steps>=1)", spec)
+	}
+	sopts.Start, sopts.Factor, sopts.MaxSteps = start, factor, steps
+	return sopts, nil
 }
 
 // parseReplicaList parses the -replicas comma list ("1,2") into a sorted-as-

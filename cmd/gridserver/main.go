@@ -11,6 +11,8 @@
 //	gridserver bench -grid file.grd -algs minimax,DM/D -disks 8
 //	gridserver bench -store layout/ -fault "store.read:err:p=0.2" -degraded
 //	gridserver bench -store layout/ -trace -trace-slow 0 -json out.json
+//	gridserver bench -store layout/ -open-loop -rate 10000 -pipeline 16
+//	gridserver bench -store layout/ -sweep 2000:2:6 -slo 50ms -hot 0.5
 //
 // serve opens the per-disk page files written by `gridtool layout` (the
 // paper's "separate files corresponding to every disk"), loads the embedded
@@ -33,6 +35,17 @@
 // threshold as structured one-liners on stderr (0 logs every traced query).
 // bench traces its in-process servers by default (-trace), so -json rows
 // carry a stage_p50_us breakdown; scripts/trace.sh is the smoke gate.
+//
+// With -open-loop, bench switches from the closed loop to the honest load
+// model of DESIGN S26: requests arrive on a deterministic seeded schedule
+// (-arrivals poisson|fixed) at -rate queries/sec for -duration, the workload
+// mix is synthesized with optional hot-spot skew (-hot, -hot-frac), and every
+// latency is measured from the request's *intended* send time, so server
+// stalls penalize the whole queue behind them instead of being omitted.
+// -sweep start:factor:steps escalates the offered rate geometrically and
+// marks the knee: the last rate served with zero errors, >=95% of the offered
+// throughput and (optionally) p99 <= -slo. -pipeline N keeps N requests in
+// flight per connection via tagged frames; scripts/openloop.sh is the gate.
 package main
 
 import (
@@ -73,7 +86,8 @@ func usage() {
 
 subcommands:
   serve   serve point/range/partial-match/k-NN queries from a layout directory
-  bench   closed-loop load generator: throughput + latency percentiles,
+  bench   load generator: closed-loop by default, open-loop with -open-loop /
+          -sweep (offered vs achieved rate, latency from intended send times),
           optionally comparing declustering schemes on the same grid file
 
 run "gridserver <subcommand> -h" for subcommand flags`)

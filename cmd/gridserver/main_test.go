@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -106,6 +107,101 @@ func TestBenchChaosMode(t *testing.T) {
 		"-store", dir, "-queries", "10", "-fault", "store.read:bogus",
 	}, &bytes.Buffer{}); err == nil {
 		t.Error("malformed -fault spec accepted")
+	}
+}
+
+// TestBenchOpenLoopMode drives the open-loop harness against an in-process
+// server with pipelining on, and checks the report (table and JSON) carries
+// the offered/achieved rates and intended-send-time percentiles.
+func TestBenchOpenLoopMode(t *testing.T) {
+	dir, _ := writeTestLayout(t, 600, 4)
+	jsonPath := filepath.Join(t.TempDir(), "rows.json")
+	var buf bytes.Buffer
+	err := runBench([]string{
+		"-store", dir, "-open-loop", "-rate", "500", "-duration", "500ms",
+		"-pipeline", "8", "-clients", "2", "-seed", "7", "-json", jsonPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"offered qps", "achieved qps", "p999 ms", "max lag ms", "sustained"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("open-loop report missing %q column:\n%s", col, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r["mode"] != "open" || r["arrivals"] != "poisson" || r["pipeline"] != float64(8) {
+		t.Errorf("row metadata wrong: %v", r)
+	}
+	if off := r["offered_qps"].(float64); off != 500 {
+		t.Errorf("offered_qps = %v, want 500", off)
+	}
+	// Elapsed includes draining the in-flight tail after the last arrival,
+	// which is a visible fraction of a 500ms run; the strict 95% bound is
+	// scripts/openloop.sh's job on a 2s run.
+	if ach := r["achieved_qps"].(float64); ach < 0.8*500 {
+		t.Errorf("achieved_qps = %v: tiny layout could not sustain 500 qps", ach)
+	}
+	if errs := r["errors"].(float64); errs != 0 {
+		t.Errorf("open-loop run had %v errors", errs)
+	}
+	for _, k := range []string{"p50_ms", "p99_ms", "p999_ms"} {
+		if v, ok := r[k].(float64); !ok || v <= 0 {
+			t.Errorf("%s = %v, want positive latency", k, r[k])
+		}
+	}
+}
+
+// TestBenchSweepMode runs a two-step rate sweep and checks each step yields
+// a row with the sustained/knee annotations.
+func TestBenchSweepMode(t *testing.T) {
+	dir, _ := writeTestLayout(t, 400, 4)
+	jsonPath := filepath.Join(t.TempDir(), "rows.json")
+	var buf bytes.Buffer
+	err := runBench([]string{
+		"-store", dir, "-sweep", "200:2:2", "-duration", "400ms",
+		"-pipeline", "4", "-clients", "2", "-seed", "7", "-json", jsonPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(rows) > 2 {
+		t.Fatalf("sweep produced %d rows, want 1-2", len(rows))
+	}
+	if off := rows[0]["offered_qps"].(float64); off != 200 {
+		t.Errorf("first step offered %v, want 200", off)
+	}
+	if len(rows) == 2 {
+		if off := rows[1]["offered_qps"].(float64); off != 400 {
+			t.Errorf("second step offered %v, want 400", off)
+		}
+	}
+
+	// Malformed sweep specs fail up front.
+	for _, bad := range []string{"200", "0:2:3", "200:1:3", "200:2:0", "a:b:c"} {
+		if err := runBench([]string{"-store", dir, "-sweep", bad}, &bytes.Buffer{}); err == nil {
+			t.Errorf("malformed -sweep %q accepted", bad)
+		}
 	}
 }
 

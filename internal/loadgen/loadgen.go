@@ -1,0 +1,283 @@
+// Package loadgen is the open-loop load harness (DESIGN S26): it offers
+// requests to a server at a configured arrival rate on a deterministic,
+// seeded schedule, instead of waiting for each response before sending the
+// next request the way a closed-loop bench does.
+//
+// The distinction matters for honesty. A closed-loop generator self-throttles
+// — when the server stalls, the generator stops offering load, so the stall
+// barely registers in the recorded latencies (coordinated omission). Here
+// every request has an *intended* send time fixed before the run starts, and
+// its latency is measured from that intended time regardless of when the
+// pacer actually got it onto the wire; a stall therefore penalizes every
+// request scheduled behind it, exactly as it would penalize real clients.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Arrivals selects the arrival process of the schedule.
+type Arrivals uint8
+
+const (
+	// Poisson arrivals: exponential inter-arrival gaps with mean 1/rate —
+	// the memoryless open-system model, and the one that actually exercises
+	// queueing (bursts arrive with the full burstiness of independence).
+	Poisson Arrivals = iota
+	// Fixed arrivals: a metronome at exactly 1/rate intervals. Useful as a
+	// best-case comparison — no burst ever exceeds the offered rate.
+	Fixed
+)
+
+func (a Arrivals) String() string {
+	switch a {
+	case Poisson:
+		return "poisson"
+	case Fixed:
+		return "fixed"
+	}
+	return fmt.Sprintf("arrivals(%d)", uint8(a))
+}
+
+// ParseArrivals parses "poisson" or "fixed".
+func ParseArrivals(s string) (Arrivals, error) {
+	switch s {
+	case "poisson":
+		return Poisson, nil
+	case "fixed":
+		return Fixed, nil
+	}
+	return 0, fmt.Errorf("loadgen: unknown arrival process %q (want poisson or fixed)", s)
+}
+
+// Schedule returns n arrival offsets from the start of the run, at the given
+// offered rate (arrivals per second). The schedule is fully determined by
+// (kind, rate, n, seed): the same inputs yield the identical schedule, so a
+// run can be reproduced bit-for-bit.
+func Schedule(kind Arrivals, rate float64, n int, seed int64) []time.Duration {
+	if rate <= 0 || n <= 0 {
+		return nil
+	}
+	out := make([]time.Duration, n)
+	switch kind {
+	case Fixed:
+		per := float64(time.Second) / rate
+		for i := range out {
+			out[i] = time.Duration(float64(i) * per)
+		}
+	default: // Poisson
+		rng := rand.New(rand.NewSource(seed))
+		t := 0.0
+		for i := range out {
+			t += rng.ExpFloat64() / rate * float64(time.Second)
+			out[i] = time.Duration(t)
+		}
+	}
+	return out
+}
+
+// Options configures one open-loop run.
+type Options struct {
+	// Rate is the offered arrival rate in requests per second (required).
+	Rate float64
+	// N is the number of requests in the run (required).
+	N int
+	// Arrivals selects the arrival process; default Poisson.
+	Arrivals Arrivals
+	// Seed determines the schedule (and nothing else); same seed, same
+	// schedule.
+	Seed int64
+	// MaxInFlight bounds concurrently outstanding requests so a collapsed
+	// server cannot make the harness spawn unbounded goroutines. The bound
+	// is accounted honestly: a request that waits for a slot is still
+	// measured from its intended send time. Default 4096.
+	MaxInFlight int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4096
+	}
+	return o
+}
+
+// Result summarizes one open-loop run.
+type Result struct {
+	// Offered is the configured arrival rate; Achieved is completions per
+	// second of wall clock, the throughput the server actually sustained.
+	// Achieved falling visibly below Offered is the signature of
+	// saturation — the knee the rate sweep looks for.
+	Offered  float64       `json:"offered_qps"`
+	Achieved float64       `json:"achieved_qps"`
+	Sent     int           `json:"sent"`
+	Errors   int           `json:"errors"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	// Latency is measured from each request's intended send time — pacer
+	// lag and in-flight queueing count against the server, never for it.
+	Latency LatencySummary `json:"latency"`
+	// MaxLag is the worst pacer lateness (intended vs actual dispatch):
+	// small lag means the generator itself kept up and the latencies are
+	// trustworthy; lag commensurate with the latencies means the harness —
+	// not the server — was the bottleneck.
+	MaxLag time.Duration `json:"max_lag_ns"`
+}
+
+// Run executes one open-loop run: do(ctx, i) is invoked once per scheduled
+// arrival i (concurrently, up to MaxInFlight at once), and its latency is
+// recorded from the arrival's intended time. A do error counts toward
+// Errors; cancelling ctx abandons the remaining schedule.
+func Run(ctx context.Context, opts Options, do func(ctx context.Context, i int) error) (Result, error) {
+	opts = opts.withDefaults()
+	if opts.Rate <= 0 {
+		return Result{}, fmt.Errorf("loadgen: offered rate %g must be positive", opts.Rate)
+	}
+	if opts.N <= 0 {
+		return Result{}, fmt.Errorf("loadgen: request count %d must be positive", opts.N)
+	}
+	sched := Schedule(opts.Arrivals, opts.Rate, opts.N, opts.Seed)
+	rec := NewRecorder()
+	slots := make(chan struct{}, opts.MaxInFlight)
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	var maxLag time.Duration
+
+	start := time.Now()
+	sent := 0
+pace:
+	for i, off := range sched {
+		target := start.Add(off)
+		if d := time.Until(target); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				break pace
+			}
+		} else if lag := -d; lag > maxLag {
+			maxLag = lag
+		}
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+			break pace
+		}
+		sent++
+		wg.Add(1)
+		go func(i int, target time.Time) {
+			defer wg.Done()
+			err := do(ctx, i)
+			rec.Record(time.Since(target))
+			if err != nil {
+				errs.Add(1)
+			}
+			<-slots
+		}(i, target)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Offered: opts.Rate,
+		Sent:    sent,
+		Errors:  int(errs.Load()),
+		Elapsed: elapsed,
+		Latency: rec.Summary(),
+		MaxLag:  maxLag,
+	}
+	if elapsed > 0 {
+		res.Achieved = float64(sent-res.Errors) / elapsed.Seconds()
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// SweepOptions configures a rate sweep.
+type SweepOptions struct {
+	// Start is the first offered rate; each step multiplies by Factor
+	// (default 2) for up to MaxSteps steps (default 8).
+	Start    float64
+	Factor   float64
+	MaxSteps int
+	// StepDuration sizes each step's request count as rate×duration.
+	// Default 2s.
+	StepDuration time.Duration
+	// SLO is the p99 bound (from intended send time) a step must meet to
+	// count as sustained; 0 disables the latency criterion.
+	SLO time.Duration
+	// MinAchieved is the fraction of the offered rate a step must complete
+	// to count as sustained. Default 0.95.
+	MinAchieved float64
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if o.Factor <= 1 {
+		o.Factor = 2
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 8
+	}
+	if o.StepDuration <= 0 {
+		o.StepDuration = 2 * time.Second
+	}
+	if o.MinAchieved <= 0 || o.MinAchieved > 1 {
+		o.MinAchieved = 0.95
+	}
+	return o
+}
+
+// Sustained reports whether r met the sweep's acceptance criteria.
+func (o SweepOptions) Sustained(r Result) bool {
+	o = o.withDefaults()
+	if r.Errors > 0 {
+		return false
+	}
+	if r.Achieved < o.MinAchieved*r.Offered {
+		return false
+	}
+	if o.SLO > 0 && r.Latency.P99 > o.SLO {
+		return false
+	}
+	return true
+}
+
+// Sweep escalates the offered rate geometrically until a step fails the
+// acceptance criteria (the knee) or MaxSteps is exhausted. It returns every
+// step's result and the index of the last sustained step, or -1 if even the
+// first rate was not sustained.
+func Sweep(ctx context.Context, sopts SweepOptions, base Options,
+	do func(ctx context.Context, i int) error) ([]Result, int, error) {
+	sopts = sopts.withDefaults()
+	if sopts.Start <= 0 {
+		return nil, -1, fmt.Errorf("loadgen: sweep start rate %g must be positive", sopts.Start)
+	}
+	var results []Result
+	knee := -1
+	rate := sopts.Start
+	for step := 0; step < sopts.MaxSteps; step++ {
+		opts := base
+		opts.Rate = rate
+		opts.N = int(math.Ceil(rate * sopts.StepDuration.Seconds()))
+		// Each step gets a distinct schedule stream, still deterministic.
+		opts.Seed = base.Seed + int64(step)
+		r, err := Run(ctx, opts, do)
+		results = append(results, r)
+		if err != nil {
+			return results, knee, err
+		}
+		if !sopts.Sustained(r) {
+			break
+		}
+		knee = step
+		rate *= sopts.Factor
+	}
+	return results, knee, nil
+}

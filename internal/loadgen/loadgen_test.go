@@ -1,0 +1,371 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pgridfile/internal/geom"
+)
+
+// TestScheduleDeterminism is the ISSUE's reproducibility requirement: the
+// same (kind, rate, n, seed) must yield the identical schedule, and a
+// different seed a different one.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, kind := range []Arrivals{Poisson, Fixed} {
+		a := Schedule(kind, 5000, 1000, 42)
+		b := Schedule(kind, 5000, 1000, 42)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: same seed produced different schedules", kind)
+		}
+		if len(a) != 1000 {
+			t.Fatalf("%v: schedule has %d entries, want 1000", kind, len(a))
+		}
+		for i := 1; i < len(a); i++ {
+			if a[i] < a[i-1] {
+				t.Fatalf("%v: schedule not monotone at %d: %v < %v", kind, i, a[i], a[i-1])
+			}
+		}
+	}
+	a := Schedule(Poisson, 5000, 1000, 42)
+	c := Schedule(Poisson, 5000, 1000, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical Poisson schedules")
+	}
+}
+
+// TestScheduleRates checks both processes actually offer the configured
+// rate: n arrivals should span about n/rate seconds.
+func TestScheduleRates(t *testing.T) {
+	const rate, n = 10000.0, 20000
+	for _, kind := range []Arrivals{Poisson, Fixed} {
+		s := Schedule(kind, rate, n, 7)
+		span := s[n-1].Seconds()
+		want := float64(n) / rate
+		if math.Abs(span-want) > 0.1*want {
+			t.Errorf("%v: %d arrivals span %.3fs, want ≈%.3fs", kind, n, span, want)
+		}
+	}
+	// Fixed is exactly a metronome.
+	s := Schedule(Fixed, 1000, 10, 0)
+	for i, off := range s {
+		if want := time.Duration(i) * time.Millisecond; off != want {
+			t.Errorf("fixed[%d] = %v, want %v", i, off, want)
+		}
+	}
+}
+
+func TestParseArrivals(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		want Arrivals
+	}{{"poisson", Poisson}, {"fixed", Fixed}} {
+		got, err := ParseArrivals(tc.s)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseArrivals(%q) = %v, %v", tc.s, got, err)
+		}
+		if got.String() != tc.s {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.s)
+		}
+	}
+	if _, err := ParseArrivals("bursty"); err == nil {
+		t.Error("ParseArrivals accepted unknown process")
+	}
+}
+
+// TestRecorderQuantiles feeds a known distribution and checks the log-linear
+// buckets resolve quantiles within their ~1.6% design error.
+func TestRecorderQuantiles(t *testing.T) {
+	r := NewRecorder()
+	// 1..10000 µs uniformly: p50 ≈ 5000µs, p99 ≈ 9900µs, p999 ≈ 9990µs.
+	for i := 1; i <= 10000; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := r.Summary()
+	if s.Count != 10000 {
+		t.Fatalf("count = %d, want 10000", s.Count)
+	}
+	checks := []struct {
+		name string
+		got  time.Duration
+		want time.Duration
+	}{
+		{"p50", s.P50, 5000 * time.Microsecond},
+		{"p95", s.P95, 9500 * time.Microsecond},
+		{"p99", s.P99, 9900 * time.Microsecond},
+		{"p999", s.P999, 9990 * time.Microsecond},
+		{"mean", s.Mean, 5000 * time.Microsecond},
+	}
+	for _, c := range checks {
+		if relErr := math.Abs(float64(c.got-c.want)) / float64(c.want); relErr > 0.02 {
+			t.Errorf("%s = %v, want %v ±2%% (err %.2f%%)", c.name, c.got, c.want, 100*relErr)
+		}
+	}
+	if s.Max != 10000*time.Microsecond {
+		t.Errorf("max = %v, want 10ms", s.Max)
+	}
+}
+
+// TestRecorderBucketRoundTrip: for any value, the bucket midpoint must be
+// within 1/64 relative error (values ≥ 64) or exact (values < 64).
+func TestRecorderBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		v := int64(rng.Uint64() >> uint(1+rng.Intn(40)))
+		idx := bucketOf(v)
+		mid := int64(bucketMid(idx))
+		if v < subBuckets {
+			if mid != v {
+				t.Fatalf("value %d: midpoint %d, want exact", v, mid)
+			}
+			continue
+		}
+		if relErr := math.Abs(float64(mid-v)) / float64(v); relErr > 1.0/subBuckets {
+			t.Fatalf("value %d → bucket %d midpoint %d: rel err %.4f > 1/%d", v, idx, mid, relErr, subBuckets)
+		}
+	}
+	if r := NewRecorder(); r.Quantile(50) != 0 || r.Summary().Count != 0 {
+		t.Error("empty recorder must report zeros")
+	}
+	r := NewRecorder()
+	r.Record(-time.Second) // clamps, never panics
+	if got := r.Summary().Max; got != 0 {
+		t.Errorf("negative observation recorded max %v, want 0", got)
+	}
+}
+
+// TestRunOpenLoop drives a fast fake server and checks the harness meters
+// the offered rate and counts errors.
+func TestRunOpenLoop(t *testing.T) {
+	var calls atomic.Int64
+	res, err := Run(context.Background(), Options{Rate: 20000, N: 2000, Seed: 1},
+		func(ctx context.Context, i int) error {
+			calls.Add(1)
+			if i%100 == 17 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 2000 {
+		t.Errorf("do invoked %d times, want 2000", got)
+	}
+	if res.Sent != 2000 || res.Errors != 20 {
+		t.Errorf("sent=%d errors=%d, want 2000/20", res.Sent, res.Errors)
+	}
+	// A no-op server trivially keeps up: achieved ≈ offered.
+	if res.Achieved < 0.5*res.Offered {
+		t.Errorf("achieved %.0f qps vs offered %.0f: harness could not keep up with a no-op", res.Achieved, res.Offered)
+	}
+	if res.Latency.Count != 2000 {
+		t.Errorf("latency count = %d, want 2000", res.Latency.Count)
+	}
+}
+
+// TestRunMeasuresFromIntendedSend is the coordinated-omission guard: one
+// early request stalls the (single-slot) pipeline, and every request
+// scheduled behind the stall must absorb the queueing delay in its measured
+// latency even though its handler was instant.
+func TestRunMeasuresFromIntendedSend(t *testing.T) {
+	const stall = 80 * time.Millisecond
+	res, err := Run(context.Background(), Options{Rate: 1000, N: 50, Seed: 2, MaxInFlight: 1},
+		func(ctx context.Context, i int) error {
+			if i == 0 {
+				time.Sleep(stall)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 50 arrivals in ~50ms all scheduled during the stall, the median
+	// latency must reflect the stall, not the instant handlers.
+	if res.Latency.P50 < stall/4 {
+		t.Errorf("p50 = %v after a %v stall: latencies are not measured from intended send time", res.Latency.P50, stall)
+	}
+}
+
+func TestRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	go func() {
+		for calls.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	res, err := Run(ctx, Options{Rate: 100, N: 1000, Seed: 3},
+		func(ctx context.Context, i int) error { calls.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Sent >= 1000 {
+		t.Errorf("cancel did not abandon the schedule: sent %d", res.Sent)
+	}
+}
+
+// TestSweepFindsKnee: a fake server whose capacity is bounded by slow
+// handlers must yield a knee at the last rate it could sustain. With 8
+// in-flight slots and a 5ms handler the capacity is ~1600 qps, so 1000
+// sustains and 2000 must fail the 95% criterion.
+func TestSweepFindsKnee(t *testing.T) {
+	do := func(ctx context.Context, i int) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	}
+	sopts := SweepOptions{Start: 1000, Factor: 2, MaxSteps: 4, StepDuration: 400 * time.Millisecond}
+	base := Options{Seed: 4, MaxInFlight: 8}
+	results, knee, err := Sweep(context.Background(), sopts, base, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knee != 0 {
+		t.Errorf("knee at step %d, want 0 (1000 qps sustained, 2000 not)", knee)
+	}
+	// The sweep stops at the first unsustained step: exactly knee+2 results.
+	if len(results) != 2 {
+		t.Errorf("sweep ran %d steps, want 2", len(results))
+	}
+	if r := results[0]; r.Offered != 1000 || r.Achieved < 950 {
+		t.Errorf("step 0: offered %.0f achieved %.0f, want sustained 1000", r.Offered, r.Achieved)
+	}
+	if r := results[1]; r.Offered != 2000 || r.Achieved >= 0.95*2000 {
+		t.Errorf("step 1: offered %.0f achieved %.0f, want collapse below 1900", r.Offered, r.Achieved)
+	}
+}
+
+// TestSweepKneeDetection exercises the real knee logic with a do that reads
+// the offered rate from the closed-over step counter.
+func TestSweepKneeDetection(t *testing.T) {
+	var offered atomic.Int64
+	do := func(ctx context.Context, i int) error {
+		if offered.Load() > 2500 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		return nil
+	}
+	sopts := SweepOptions{Start: 1000, Factor: 2, MaxSteps: 4, StepDuration: 200 * time.Millisecond, MinAchieved: 0.95}
+	// Run the sweep manually so each step can publish its rate first.
+	rate := sopts.Start
+	knee := -1
+	for step := 0; step < sopts.MaxSteps; step++ {
+		offered.Store(int64(rate))
+		opts := Options{Rate: rate, N: int(rate * sopts.StepDuration.Seconds()), Seed: 5, MaxInFlight: 16}
+		r, err := Run(context.Background(), opts, do)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sopts.Sustained(r) {
+			break
+		}
+		knee = step
+		rate *= sopts.Factor
+	}
+	// 1000 and 2000 sustained; 4000 exceeds the 2500 capacity (16 slots ×
+	// 20ms ≈ 800 qps max) and must fail the 95% criterion.
+	if knee != 1 {
+		t.Errorf("knee at step %d, want 1 (last sustained rate 2000)", knee)
+	}
+}
+
+func TestSustainedCriteria(t *testing.T) {
+	o := SweepOptions{SLO: 10 * time.Millisecond}
+	good := Result{Offered: 1000, Achieved: 990, Latency: LatencySummary{P99: 5 * time.Millisecond}}
+	if !o.Sustained(good) {
+		t.Error("healthy step not sustained")
+	}
+	for name, r := range map[string]Result{
+		"errors":   {Offered: 1000, Achieved: 990, Errors: 1, Latency: LatencySummary{P99: time.Millisecond}},
+		"achieved": {Offered: 1000, Achieved: 900, Latency: LatencySummary{P99: time.Millisecond}},
+		"slo":      {Offered: 1000, Achieved: 990, Latency: LatencySummary{P99: 50 * time.Millisecond}},
+	} {
+		if o.Sustained(r) {
+			t.Errorf("%s violation still counted as sustained", name)
+		}
+	}
+}
+
+// TestSynthesizeDeterministicMix: the op stream is seed-deterministic and
+// respects the mix weights and the hot-spot skew.
+func TestSynthesizeDeterministicMix(t *testing.T) {
+	dom := geom.Rect{{Lo: 0, Hi: 100}, {Lo: 0, Hi: 100}}
+	opts := SynthOptions{Skew: Skew{Hot: 0.5, HotFrac: 0.1}, RangeRatio: 0.01}
+	a := Synthesize(dom, opts, 4000, 9)
+	b := Synthesize(dom, opts, 4000, 9)
+	// DeepEqual can't compare the NaN markers in partial-match keys, so
+	// compare through a NaN-preserving rendering.
+	if fmt.Sprintf("%v", a) != fmt.Sprintf("%v", b) {
+		t.Fatal("same seed produced different op streams")
+	}
+	counts := map[OpKind]int{}
+	hotPoints, points := 0, 0
+	hot := hotRegion(dom, 0.1)
+	for _, op := range a {
+		counts[op.Kind]++
+		switch op.Kind {
+		case OpPoint:
+			points++
+			if hot.ContainsPoint(op.Key) {
+				hotPoints++
+			}
+			if len(op.Key) != 2 {
+				t.Fatalf("point key has %d dims, want 2", len(op.Key))
+			}
+		case OpRange, OpRangeCount:
+			if op.Rect.Dim() != 2 {
+				t.Fatalf("range rect has %d dims", op.Rect.Dim())
+			}
+			for k := range op.Rect {
+				if op.Rect[k].Lo < dom[k].Lo || op.Rect[k].Hi > dom[k].Hi {
+					t.Fatalf("range %v escapes domain", op.Rect)
+				}
+			}
+		case OpPartialMatch:
+			nan := 0
+			for _, v := range op.Key {
+				if math.IsNaN(v) {
+					nan++
+				}
+			}
+			if nan != 1 {
+				t.Fatalf("partial-match has %d unspecified attrs, want 1", nan)
+			}
+		case OpKNN:
+			if op.K != 8 {
+				t.Fatalf("knn k = %d, want default 8", op.K)
+			}
+		}
+	}
+	// Every kind of the default mix appears, in roughly its weighted share.
+	want := map[OpKind]float64{OpPoint: 0.2, OpRange: 0.3, OpRangeCount: 0.3, OpPartialMatch: 0.1, OpKNN: 0.1}
+	for kind, frac := range want {
+		got := float64(counts[kind]) / 4000
+		if math.Abs(got-frac) > 0.05 {
+			t.Errorf("kind %v: %.3f of ops, want ≈%.2f", kind, got, frac)
+		}
+	}
+	// The hot spot covers 1% of the domain area; with Hot=0.5 about half the
+	// point centres must land in it — orders of magnitude above uniform.
+	if frac := float64(hotPoints) / float64(points); frac < 0.3 {
+		t.Errorf("only %.2f of points hit the hot region, want ≈0.5", frac)
+	}
+	// Uniform (zero Skew) stays uniform: ≈1% of points in that region.
+	uni := Synthesize(dom, SynthOptions{}, 4000, 9)
+	hotUni := 0
+	for _, op := range uni {
+		if op.Kind == OpPoint && hot.ContainsPoint(op.Key) {
+			hotUni++
+		}
+	}
+	if frac := float64(hotUni) / float64(counts[OpPoint]); frac > 0.1 {
+		t.Errorf("uniform synthesis put %.2f of points in the hot region", frac)
+	}
+}

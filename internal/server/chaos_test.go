@@ -336,7 +336,7 @@ func TestClientCancelDuringBackoff(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, err = cl.do(ctx, Request{Verb: VerbStats})
+	err = cl.exchange(ctx, Request{Verb: VerbStats}, func(Frame) error { return nil })
 	if err == nil {
 		t.Fatal("request against hang-up server succeeded")
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -17,8 +18,9 @@ import (
 type ClientConfig struct {
 	// Addr is the server's TCP address (required).
 	Addr string
-	// PoolSize bounds pooled idle connections; connections are dialed
-	// lazily. Default 4.
+	// PoolSize bounds pooled idle connections (and, when pipelining,
+	// the number of pipelined connections requests round-robin over);
+	// connections are dialed lazily. Default 4.
 	PoolSize int
 	// DialTimeout bounds connection establishment. Default 2s.
 	DialTimeout time.Duration
@@ -32,6 +34,17 @@ type ClientConfig struct {
 	// jitter (each sleep is uniform in (0, backoff]) so clients that failed
 	// together don't retry in lockstep. Default 25ms.
 	Backoff time.Duration
+	// Pipeline, when > 1, keeps up to that many requests in flight per
+	// connection: requests are wrapped in tagged envelopes (VerbTagged)
+	// carrying a request id the server echoes, so responses may complete
+	// out of order and one connection carries many concurrent callers.
+	// 0 or 1 disables pipelining — the client then speaks the exact PR 1–6
+	// protocol, which is what keeps it compatible with older servers.
+	Pipeline int
+	// DisableNoDelay leaves Nagle's algorithm enabled on client
+	// connections. Off by default for the same reason as the server's
+	// flag: small latency-sensitive frames (see DESIGN S26).
+	DisableNoDelay bool
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -52,16 +65,22 @@ func (c ClientConfig) withDefaults() ClientConfig {
 	if c.Backoff <= 0 {
 		c.Backoff = 25 * time.Millisecond
 	}
+	if c.Pipeline < 1 {
+		c.Pipeline = 1
+	}
 	return c
 }
 
 // Client talks the gridserver protocol with connection pooling, per-request
-// deadlines and retry with exponential backoff. It is safe for concurrent
-// use; concurrent requests use distinct connections.
+// deadlines and retry with exponential backoff; with Pipeline > 1 it
+// multiplexes concurrent requests over tagged connections instead. It is
+// safe for concurrent use.
 type Client struct {
 	cfg    ClientConfig
 	mu     sync.Mutex
-	idle   []net.Conn
+	idle   []*clientConn // non-pipelined pool
+	pipes  []*pipeConn   // pipelined conns, round-robined; nil slots dial lazily
+	rr     uint64
 	closed bool
 }
 
@@ -74,47 +93,56 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	return &Client{cfg: cfg.withDefaults()}, nil
 }
 
-func (c *Client) getConn() (net.Conn, error) {
+// clientConn is one pooled non-pipelined connection with its read/write
+// scratch: requests are framed into wbuf and responses read into rbuf, so
+// the steady-state transport path allocates nothing and issues one write
+// and (typically) one buffered read syscall per round trip.
+type clientConn struct {
+	c    net.Conn
+	br   *bufio.Reader
+	wbuf []byte
+	rbuf []byte
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(!c.cfg.DisableNoDelay)
+	}
+	return conn, nil
+}
+
+func (c *Client) getConn() (*clientConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, errors.New("server: client closed")
 	}
 	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
+		cc := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
-		return conn, nil
+		return cc, nil
 	}
 	c.mu.Unlock()
-	return net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	return &clientConn{c: conn, br: bufio.NewReaderSize(conn, 16<<10)}, nil
 }
 
-func (c *Client) putConn(conn net.Conn) {
+func (c *Client) putConn(cc *clientConn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed || len(c.idle) >= c.cfg.PoolSize {
-		conn.Close()
+		cc.c.Close()
 		return
 	}
-	c.idle = append(c.idle, conn)
-}
-
-// roundTrip sends one frame and reads one reply on conn. The connection
-// deadline is the sooner of RequestTimeout and ctx's deadline, so a
-// cancelled caller is not held to the full request timeout.
-func (c *Client) roundTrip(ctx context.Context, conn net.Conn, req Frame) (Frame, error) {
-	deadline := time.Now().Add(c.cfg.RequestTimeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
-	if err := conn.SetDeadline(deadline); err != nil {
-		return Frame{}, err
-	}
-	if err := WriteFrame(conn, req); err != nil {
-		return Frame{}, err
-	}
-	return ReadFrame(conn)
+	c.idle = append(c.idle, cc)
 }
 
 // idempotent reports whether a request may safely be re-sent when the
@@ -124,16 +152,21 @@ func (c *Client) roundTrip(ctx context.Context, conn net.Conn, req Frame) (Frame
 // attempt.
 func idempotent(v Verb) bool { return v != VerbFault }
 
-// do runs one request with pooling and retry. A *ServerError reply is
-// returned as-is (the connection stays usable and pooled); transport
-// failures discard the connection and retry idempotent requests on a fresh
-// connection with backoff. Cancelling ctx aborts promptly, including
-// mid-backoff.
-func (c *Client) do(ctx context.Context, req Request) (Frame, error) {
-	f, err := EncodeRequest(req)
-	if err != nil {
-		return Frame{}, err
-	}
+// encodeError marks a request-validation failure from the encoder: it is
+// deterministic, so retrying is pointless and the connection is unharmed.
+type encodeError struct{ err error }
+
+func (e *encodeError) Error() string { return e.err.Error() }
+func (e *encodeError) Unwrap() error { return e.err }
+
+// exchange runs one request end to end: pooling or pipelining, per-request
+// deadline, retry with backoff. On success it calls handle exactly once with
+// the response frame (never VerbError — that becomes a *ServerError) while
+// the frame is still valid; handle must copy anything it keeps, because on
+// pooled connections the payload aliases the connection's read buffer. A
+// handle error discards the connection (a malformed response means the
+// stream can't be trusted) and is returned without retry.
+func (c *Client) exchange(ctx context.Context, req Request, handle func(Frame) error) error {
 	retries := c.cfg.Retries
 	if !idempotent(req.Verb) {
 		retries = 0
@@ -142,33 +175,344 @@ func (c *Client) do(ctx context.Context, req Request) (Frame, error) {
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			if err := sleepCtx(ctx, retryDelay(c.cfg.Backoff, attempt)); err != nil {
-				return Frame{}, fmt.Errorf("server: request cancelled during retry backoff: %w (last error: %v)",
+				return fmt.Errorf("server: request cancelled during retry backoff: %w (last error: %v)",
 					err, lastErr)
 			}
 		}
 		if err := ctx.Err(); err != nil {
-			return Frame{}, err
+			return err
 		}
-		conn, err := c.getConn()
-		if err != nil {
-			lastErr = err
-			continue
+		var err error
+		if c.cfg.Pipeline > 1 {
+			err = c.exchangePipelined(ctx, req, handle)
+		} else {
+			err = c.exchangePooled(ctx, req, handle)
 		}
-		resp, err := c.roundTrip(ctx, conn, f)
-		if err != nil {
-			conn.Close()
-			lastErr = err
-			continue
+		if err == nil {
+			return nil
 		}
-		if resp.Verb == VerbError {
-			c.putConn(conn)
-			return Frame{}, &ServerError{Msg: string(resp.Payload)}
+		var ee *encodeError
+		var se *ServerError
+		if errors.As(err, &ee) || errors.As(err, &se) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			return err // deterministic, server-reported, or caller-aborted: no retry
 		}
-		c.putConn(conn)
-		return resp, nil
+		lastErr = err
 	}
-	return Frame{}, fmt.Errorf("server: request failed after %d attempts: %w",
+	return fmt.Errorf("server: request failed after %d attempts: %w",
 		retries+1, lastErr)
+}
+
+// deadlineFor is the sooner of RequestTimeout from now and ctx's deadline,
+// so a cancelled caller is not held to the full request timeout.
+func (c *Client) deadlineFor(ctx context.Context) time.Time {
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	return deadline
+}
+
+// exchangePooled is one attempt over a pooled (unpipelined) connection.
+func (c *Client) exchangePooled(ctx context.Context, req Request, handle func(Frame) error) error {
+	cc, err := c.getConn()
+	if err != nil {
+		return err
+	}
+	if err := cc.c.SetDeadline(c.deadlineFor(ctx)); err != nil {
+		cc.c.Close()
+		return err
+	}
+	cc.wbuf, err = AppendRequestFrame(cc.wbuf[:0], req, 0, false)
+	if err != nil {
+		c.putConn(cc) // nothing was written; the connection is fine
+		return &encodeError{err}
+	}
+	if _, err := cc.c.Write(cc.wbuf); err != nil {
+		cc.c.Close()
+		return err
+	}
+	resp, err := readFrameBuf(cc.br, &cc.rbuf)
+	if err != nil {
+		cc.c.Close()
+		return err
+	}
+	if resp.Verb == VerbError {
+		err := &ServerError{Msg: string(resp.Payload)}
+		c.putConn(cc)
+		return err
+	}
+	if err := handle(resp); err != nil {
+		cc.c.Close()
+		return err
+	}
+	c.putConn(cc)
+	return nil
+}
+
+// waiter carries one pipelined request's reply from the connection's read
+// loop to the caller. Waiters — and the buffers backing the reply payloads —
+// are pooled: on the happy path both go straight back for the next request,
+// so the steady-state pipelined exchange allocates nothing here. The failure
+// paths (connection death, timeout, cancellation) deliberately let them leak
+// to the collector: a closed channel cannot be reused, and after a caller
+// abandons its id a late reply may still race into the waiter.
+type waiter struct {
+	ch  chan Frame
+	buf *[]byte // backing store of the delivered frame's payload
+}
+
+var waiterPool = sync.Pool{New: func() any { return &waiter{ch: make(chan Frame, 1)} }}
+
+// timerPool recycles the per-request timeout timers. Only timers whose Stop
+// reports "never fired" are returned (see putTimer): under the pre-1.23 timer
+// semantics this module targets, a fired timer may still have its tick in
+// flight, and reusing it would hand the stale tick to the next request as a
+// spurious timeout.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if t.Stop() {
+		timerPool.Put(t)
+	}
+	// Already fired or stopped: expiry is the rare path; let it go.
+}
+
+// pipeConn is one pipelined connection: a single writer lock frames tagged
+// requests into a reused buffer, a reader goroutine matches tagged replies
+// to waiting callers by request id, and a semaphore bounds requests in
+// flight. Any transport error fails the whole connection — every pending
+// caller gets the error and the next request dials a replacement.
+type pipeConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	sem  chan struct{}
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu     sync.Mutex
+	pend   map[uint32]*waiter
+	nextID uint32
+	err    error // terminal error; set once, before failing pend
+}
+
+func newPipeConn(conn net.Conn, depth int) *pipeConn {
+	pc := &pipeConn{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		sem:  make(chan struct{}, depth),
+		pend: make(map[uint32]*waiter),
+	}
+	go pc.readLoop()
+	return pc
+}
+
+// readLoop dispatches tagged replies to their waiting callers. Replies for
+// ids nobody waits on (caller gave up via ctx) are dropped; any read error
+// or protocol violation fails the connection. Each reply is read into a
+// pooled buffer whose ownership passes to the caller with the frame; dropped
+// replies keep the buffer for the next read.
+func (pc *pipeConn) readLoop() {
+	buf := getRespBuf()
+	defer func() { putRespBuf(buf) }()
+	for {
+		f, err := readFrameBuf(pc.br, buf)
+		if err != nil {
+			pc.fail(err)
+			return
+		}
+		id, inner, err := UnwrapTagged(f)
+		if err != nil {
+			if f.Verb == VerbError {
+				// An untagged error reply on a pipelined stream is a
+				// stream-level failure (e.g. a hostile frame was read): it
+				// answers no particular request, so it fails them all.
+				pc.fail(&ServerError{Msg: string(f.Payload)})
+				return
+			}
+			pc.fail(fmt.Errorf("server: unpipelined reply on pipelined connection: %w", err))
+			return
+		}
+		pc.mu.Lock()
+		w, ok := pc.pend[id]
+		if ok {
+			delete(pc.pend, id)
+		}
+		pc.mu.Unlock()
+		if ok {
+			w.buf = buf
+			w.ch <- inner // buffered; never blocks
+			buf = getRespBuf()
+		}
+	}
+}
+
+// fail marks the connection dead, closes it, and unblocks every pending
+// caller by closing their channels; pc.err carries the cause.
+func (pc *pipeConn) fail(err error) {
+	pc.mu.Lock()
+	if pc.err == nil {
+		pc.err = err
+		for id, w := range pc.pend {
+			delete(pc.pend, id)
+			close(w.ch)
+		}
+	}
+	pc.mu.Unlock()
+	pc.conn.Close()
+}
+
+// register allocates a request id and its reply waiter.
+func (pc *pipeConn) register() (uint32, *waiter, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.err != nil {
+		return 0, nil, pc.err
+	}
+	pc.nextID++
+	id := pc.nextID
+	w := waiterPool.Get().(*waiter)
+	pc.pend[id] = w
+	return id, w, nil
+}
+
+// deregister abandons a request (caller cancelled); the eventual reply is
+// dropped by readLoop.
+func (pc *pipeConn) deregister(id uint32) {
+	pc.mu.Lock()
+	delete(pc.pend, id)
+	pc.mu.Unlock()
+}
+
+// send frames and writes one tagged request under the writer lock.
+func (pc *pipeConn) send(id uint32, req Request, deadline time.Time) error {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	var err error
+	pc.wbuf, err = AppendRequestFrame(pc.wbuf[:0], req, id, true)
+	if err != nil {
+		return &encodeError{err}
+	}
+	pc.conn.SetWriteDeadline(deadline)
+	_, werr := pc.conn.Write(pc.wbuf)
+	return werr
+}
+
+func (pc *pipeConn) failed() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.err != nil
+}
+
+// getPipe returns a live pipelined connection, dialing a replacement for a
+// dead or missing round-robin slot.
+func (c *Client) getPipe() (*pipeConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("server: client closed")
+	}
+	if c.pipes == nil {
+		c.pipes = make([]*pipeConn, c.cfg.PoolSize)
+	}
+	c.rr++
+	slot := int(c.rr % uint64(len(c.pipes)))
+	if pc := c.pipes[slot]; pc != nil && !pc.failed() {
+		c.mu.Unlock()
+		return pc, nil
+	}
+	c.mu.Unlock()
+
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	pc := newPipeConn(conn, c.cfg.Pipeline)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		pc.fail(errors.New("server: client closed"))
+		return nil, errors.New("server: client closed")
+	}
+	// Another caller may have replaced the slot while we dialed; keep the
+	// winner with the live connection.
+	if cur := c.pipes[slot]; cur != nil && !cur.failed() {
+		c.mu.Unlock()
+		pc.fail(errors.New("server: superseded"))
+		return cur, nil
+	}
+	c.pipes[slot] = pc
+	c.mu.Unlock()
+	return pc, nil
+}
+
+// exchangePipelined is one attempt over a tagged (pipelined) connection. A
+// request that outlives its deadline fails the whole connection rather than
+// waiting forever: on a multiplexed stream a missing reply cannot be
+// distinguished from a desynchronized one, and the retry path dials fresh.
+func (c *Client) exchangePipelined(ctx context.Context, req Request, handle func(Frame) error) error {
+	pc, err := c.getPipe()
+	if err != nil {
+		return err
+	}
+	deadline := c.deadlineFor(ctx)
+	select {
+	case pc.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-pc.sem }()
+
+	id, w, err := pc.register()
+	if err != nil {
+		return err
+	}
+	if err := pc.send(id, req, deadline); err != nil {
+		pc.deregister(id)
+		var ee *encodeError
+		if !errors.As(err, &ee) {
+			pc.fail(err) // a partial write poisons the stream for everyone
+		}
+		return err
+	}
+	timer := getTimer(time.Until(deadline))
+	select {
+	case resp, ok := <-w.ch:
+		putTimer(timer)
+		if !ok {
+			pc.mu.Lock()
+			err := pc.err
+			pc.mu.Unlock()
+			return fmt.Errorf("server: pipelined connection failed: %w", err)
+		}
+		var herr error
+		if resp.Verb == VerbError {
+			herr = &ServerError{Msg: string(resp.Payload)}
+		} else {
+			herr = handle(resp)
+		}
+		// The reply is consumed; recycle its buffer and the waiter.
+		putRespBuf(w.buf)
+		w.buf = nil
+		waiterPool.Put(w)
+		return herr
+	case <-timer.C:
+		pc.fail(fmt.Errorf("server: request %d timed out after %s", id, c.cfg.RequestTimeout))
+		return errors.New("server: pipelined request timed out")
+	case <-ctx.Done():
+		pc.deregister(id)
+		putTimer(timer)
+		return ctx.Err()
+	}
 }
 
 // sleepCtx pauses for d unless ctx is cancelled first.
@@ -197,58 +541,90 @@ func retryDelay(base time.Duration, attempt int) time.Duration {
 	return time.Duration(rand.Int64N(int64(window))) + 1
 }
 
-func (c *Client) doResult(req Request) (Result, error) {
-	resp, err := c.do(context.Background(), req)
-	if err != nil {
-		return Result{}, err
-	}
-	return DecodeResult(resp)
+func (c *Client) doResult(ctx context.Context, req Request) (Result, error) {
+	var res Result
+	err := c.exchange(ctx, req, func(f Frame) error {
+		r, derr := DecodeResult(f)
+		if derr == nil {
+			res = r // DecodeResult copies out of the frame payload
+		}
+		return derr
+	})
+	return res, err
 }
 
 // Point returns all stored records whose key equals key exactly.
 func (c *Client) Point(key geom.Point) ([]geom.Point, QueryInfo, error) {
-	res, err := c.doResult(Request{Verb: VerbPoint, Key: key})
+	return c.PointCtx(context.Background(), key)
+}
+
+// PointCtx is Point with a caller context: cancellation or a context
+// deadline sooner than RequestTimeout bounds the request.
+func (c *Client) PointCtx(ctx context.Context, key geom.Point) ([]geom.Point, QueryInfo, error) {
+	res, err := c.doResult(ctx, Request{Verb: VerbPoint, Key: key})
 	return res.Points, res.Info, err
 }
 
 // Range returns all stored records inside the closed query box.
 func (c *Client) Range(q geom.Rect) ([]geom.Point, QueryInfo, error) {
-	res, err := c.doResult(Request{Verb: VerbRange, Query: q})
+	return c.RangeCtx(context.Background(), q)
+}
+
+// RangeCtx is Range with a caller context.
+func (c *Client) RangeCtx(ctx context.Context, q geom.Rect) ([]geom.Point, QueryInfo, error) {
+	res, err := c.doResult(ctx, Request{Verb: VerbRange, Query: q})
 	return res.Points, res.Info, err
 }
 
 // RangeCount returns how many stored records lie inside the closed query
 // box, without shipping them.
 func (c *Client) RangeCount(q geom.Rect) (int, QueryInfo, error) {
-	res, err := c.doResult(Request{Verb: VerbRange, Query: q, CountOnly: true})
+	return c.RangeCountCtx(context.Background(), q)
+}
+
+// RangeCountCtx is RangeCount with a caller context.
+func (c *Client) RangeCountCtx(ctx context.Context, q geom.Rect) (int, QueryInfo, error) {
+	res, err := c.doResult(ctx, Request{Verb: VerbRange, Query: q, CountOnly: true})
 	return res.Count, res.Info, err
 }
 
 // PartialMatch returns records matching vals on every specified dimension;
 // NaN marks an unspecified attribute.
 func (c *Client) PartialMatch(vals []float64) ([]geom.Point, QueryInfo, error) {
-	res, err := c.doResult(Request{Verb: VerbPartial, Vals: vals})
+	return c.PartialMatchCtx(context.Background(), vals)
+}
+
+// PartialMatchCtx is PartialMatch with a caller context.
+func (c *Client) PartialMatchCtx(ctx context.Context, vals []float64) ([]geom.Point, QueryInfo, error) {
+	res, err := c.doResult(ctx, Request{Verb: VerbPartial, Vals: vals})
 	return res.Points, res.Info, err
 }
 
 // KNN returns the k stored records nearest to key, closest first.
 func (c *Client) KNN(key geom.Point, k int) ([]geom.Point, QueryInfo, error) {
-	res, err := c.doResult(Request{Verb: VerbKNN, Key: key, K: k})
+	return c.KNNCtx(context.Background(), key, k)
+}
+
+// KNNCtx is KNN with a caller context.
+func (c *Client) KNNCtx(ctx context.Context, key geom.Point, k int) ([]geom.Point, QueryInfo, error) {
+	res, err := c.doResult(ctx, Request{Verb: VerbKNN, Key: key, K: k})
 	return res.Points, res.Info, err
 }
 
 // Stats fetches the server's statistics snapshot via the STATS verb.
 func (c *Client) Stats() (Snapshot, error) {
-	resp, err := c.do(context.Background(), Request{Verb: VerbStats})
+	var s Snapshot
+	err := c.exchange(context.Background(), Request{Verb: VerbStats}, func(f Frame) error {
+		if f.Verb != VerbStatsReply {
+			return fmt.Errorf("server: unexpected reply verb 0x%02x", uint8(f.Verb))
+		}
+		if err := json.Unmarshal(f.Payload, &s); err != nil {
+			return fmt.Errorf("server: parsing stats: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
 		return Snapshot{}, err
-	}
-	if resp.Verb != VerbStatsReply {
-		return Snapshot{}, fmt.Errorf("server: unexpected reply verb 0x%02x", uint8(resp.Verb))
-	}
-	var s Snapshot
-	if err := json.Unmarshal(resp.Payload, &s); err != nil {
-		return Snapshot{}, fmt.Errorf("server: parsing stats: %w", err)
 	}
 	return s, nil
 }
@@ -258,28 +634,38 @@ func (c *Client) Stats() (Snapshot, error) {
 // post-command status. FAULT is not idempotent, so transport failures are
 // never retried; ctx cancels the round trip.
 func (c *Client) Fault(ctx context.Context, cmd string) (FaultStatus, error) {
-	resp, err := c.do(ctx, Request{Verb: VerbFault, FaultCmd: cmd})
+	var st FaultStatus
+	err := c.exchange(ctx, Request{Verb: VerbFault, FaultCmd: cmd}, func(f Frame) error {
+		if f.Verb != VerbFaultReply {
+			return fmt.Errorf("server: unexpected reply verb 0x%02x", uint8(f.Verb))
+		}
+		if err := json.Unmarshal(f.Payload, &st); err != nil {
+			return fmt.Errorf("server: parsing fault status: %w", err)
+		}
+		return nil
+	})
 	if err != nil {
 		return FaultStatus{}, err
-	}
-	if resp.Verb != VerbFaultReply {
-		return FaultStatus{}, fmt.Errorf("server: unexpected reply verb 0x%02x", uint8(resp.Verb))
-	}
-	var st FaultStatus
-	if err := json.Unmarshal(resp.Payload, &st); err != nil {
-		return FaultStatus{}, fmt.Errorf("server: parsing fault status: %w", err)
 	}
 	return st, nil
 }
 
-// Close releases all pooled connections. In-flight requests on borrowed
-// connections complete; their connections are then discarded.
+// Close releases all pooled and pipelined connections. In-flight requests
+// on borrowed pooled connections complete; pipelined requests fail with a
+// closed-client error.
 func (c *Client) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	for _, conn := range c.idle {
-		conn.Close()
+	idle := c.idle
+	pipes := c.pipes
+	c.idle, c.pipes = nil, nil
+	c.mu.Unlock()
+	for _, cc := range idle {
+		cc.c.Close()
 	}
-	c.idle = nil
+	for _, pc := range pipes {
+		if pc != nil {
+			pc.fail(errors.New("server: client closed"))
+		}
+	}
 }

@@ -66,6 +66,85 @@ func FuzzCodec(f *testing.F) {
 		if !requestsEqual(req, req2) {
 			t.Fatalf("round trip not a fixed point:\n%+v\n%+v", req, req2)
 		}
+		// The pipelining envelope must also be a fixed point around any
+		// decodable request, for any id.
+		id := uint32(len(raw)) * 2654435761
+		w, err := WrapTagged(id, fr2)
+		if err != nil {
+			t.Fatalf("valid request does not wrap: %v", err)
+		}
+		gotID, inner, err := UnwrapTagged(w)
+		if err != nil {
+			t.Fatalf("wrapped request does not unwrap: %v", err)
+		}
+		if gotID != id || inner.Verb != fr2.Verb || !bytes.Equal(inner.Payload, fr2.Payload) {
+			t.Fatalf("tagged round trip drifted: id %d→%d verb %#x→%#x", id, gotID, fr2.Verb, inner.Verb)
+		}
+	})
+}
+
+// FuzzBatchFraming models the server's writev path: however a byte stream
+// splits into frames, re-emitting those frames as one concatenated batch
+// (exactly what net.Buffers delivers to the socket) must parse back to the
+// identical sequence — tagged envelopes included. A framing bug here would
+// desynchronize every pipelined client mid-batch.
+func FuzzBatchFraming(f *testing.F) {
+	var seedBatch []byte
+	for i, req := range []Request{
+		{Verb: VerbStats},
+		{Verb: VerbPoint, Key: geom.Point{1.5, -2.5}},
+		{Verb: VerbRange, Query: geom.Rect{{Lo: 0, Hi: 1}}, CountOnly: true},
+	} {
+		var err error
+		seedBatch, err = AppendRequestFrame(seedBatch, req, uint32(i), i%2 == 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(seedBatch)
+	f.Add([]byte{1, 0, 0, 0, 5, 1, 0, 0, 0, 5})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// First pass: split the input into as many well-formed frames as it
+		// yields (stopping at the first malformed one, as the reader would).
+		r := bytes.NewReader(raw)
+		var frames []Frame
+		for {
+			fr, err := ReadFrame(r)
+			if err != nil {
+				break
+			}
+			frames = append(frames, Frame{Verb: fr.Verb, Payload: append([]byte(nil), fr.Payload...)})
+			if len(frames) >= 64 {
+				break // maxWriteBatch-sized batches are the real workload
+			}
+		}
+		if len(frames) == 0 {
+			return
+		}
+		// Re-emit as one batch the way connWriter does: each frame encoded
+		// into its own buffer, buffers concatenated verbatim.
+		var batch bytes.Buffer
+		for _, fr := range frames {
+			if err := WriteFrame(&batch, fr); err != nil {
+				return // unencodable (e.g. oversized) frames never reach the writer
+			}
+		}
+		// The concatenation must parse back to the same frame sequence.
+		br := bytes.NewReader(batch.Bytes())
+		for i, want := range frames {
+			got, err := ReadFrame(br)
+			if err != nil {
+				t.Fatalf("frame %d of %d lost in the batch: %v", i, len(frames), err)
+			}
+			if got.Verb != want.Verb || !bytes.Equal(got.Payload, want.Payload) {
+				t.Fatalf("frame %d drifted: verb %#x→%#x payload %d→%d bytes",
+					i, want.Verb, got.Verb, len(want.Payload), len(got.Payload))
+			}
+		}
+		if _, err := ReadFrame(br); err == nil {
+			t.Fatal("batch parsed to more frames than were written")
+		}
 	})
 }
 

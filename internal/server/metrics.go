@@ -121,6 +121,17 @@ type QuantileSummary struct {
 	Max   float64 `json:"max"`
 }
 
+// scaled returns the summary with every quantile multiplied by f — used to
+// derive the µs stage view from the ns histograms.
+func (q QuantileSummary) scaled(f float64) QuantileSummary {
+	q.P50 *= f
+	q.P90 *= f
+	q.P95 *= f
+	q.P99 *= f
+	q.Max *= f
+	return q
+}
+
 // Metrics aggregates the server's observability counters. All methods are
 // safe for concurrent use.
 type Metrics struct {
@@ -140,10 +151,12 @@ type Metrics struct {
 	replicaReadsPrimary   atomic.Int64
 	replicaReadsSecondary atomic.Int64
 	traced                atomic.Int64    // queries that carried a stage trace
+	writeBatches          atomic.Int64    // writev submissions by connection writers
+	writeFrames           atomic.Int64    // response frames carried by those writes
 	diskFetches           []atomic.Int64  // bucket fetches per disk
 	latency               hist            // service time, microseconds
 	fetches               hist            // distinct buckets fetched per data query
-	stageLat              [numStages]hist // per-stage time of traced queries, microseconds
+	stageLat              [numStages]hist // per-stage time of traced queries, nanoseconds
 }
 
 func newMetrics(disks int) *Metrics {
@@ -155,32 +168,40 @@ func newMetrics(disks int) *Metrics {
 // (dims, disks, domain) so clients can generate workloads without
 // out-of-band knowledge of the dataset.
 type Snapshot struct {
-	UptimeSeconds    float64                    `json:"uptime_seconds"`
-	Dims             int                        `json:"dims"`
-	Disks            int                        `json:"disks"`
-	Domain           [][2]float64               `json:"domain"`
-	Queries          map[string]int64           `json:"queries"`
-	QueriesTotal     int64                      `json:"queries_total"`
-	Errors           int64                      `json:"errors"`
-	Rejected         int64                      `json:"rejected"`
-	DeadlineExceeded int64                      `json:"deadline_exceeded"`
-	Degraded         int64                      `json:"queries_degraded"`
-	DiskRetries      int64                      `json:"disk_retries"`
-	Replicas         int                        `json:"replicas,omitempty"`
-	ReplicaFailover  int64                      `json:"replica_failover"`
-	ReplicaPrimary   int64                      `json:"replica_reads_primary"`
-	ReplicaSecondary int64                      `json:"replica_reads_secondary"`
-	DiskBytes        int64                      `json:"disk_bytes,omitempty"`
-	WriteAmp         float64                    `json:"write_amplification,omitempty"`
-	FaultInjected    int64                      `json:"fault_injected"`
-	InFlight         int                        `json:"in_flight"`
-	DiskFetches      []int64                    `json:"disk_bucket_fetches"`
-	PagesRead        int64                      `json:"pages_read"`
-	LatencyMicros    QuantileSummary            `json:"latency_micros"`
-	FetchesPerQry    QuantileSummary            `json:"buckets_per_query"`
-	Traced           int64                      `json:"queries_traced,omitempty"`
-	Stages           map[string]QuantileSummary `json:"stage_micros,omitempty"`
-	Cache            *cache.Stats               `json:"cache,omitempty"`
+	UptimeSeconds    float64          `json:"uptime_seconds"`
+	Dims             int              `json:"dims"`
+	Disks            int              `json:"disks"`
+	Domain           [][2]float64     `json:"domain"`
+	Queries          map[string]int64 `json:"queries"`
+	QueriesTotal     int64            `json:"queries_total"`
+	Errors           int64            `json:"errors"`
+	Rejected         int64            `json:"rejected"`
+	DeadlineExceeded int64            `json:"deadline_exceeded"`
+	Degraded         int64            `json:"queries_degraded"`
+	DiskRetries      int64            `json:"disk_retries"`
+	Replicas         int              `json:"replicas,omitempty"`
+	ReplicaFailover  int64            `json:"replica_failover"`
+	ReplicaPrimary   int64            `json:"replica_reads_primary"`
+	ReplicaSecondary int64            `json:"replica_reads_secondary"`
+	DiskBytes        int64            `json:"disk_bytes,omitempty"`
+	WriteAmp         float64          `json:"write_amplification,omitempty"`
+	FaultInjected    int64            `json:"fault_injected"`
+	InFlight         int              `json:"in_flight"`
+	DiskFetches      []int64          `json:"disk_bucket_fetches"`
+	PagesRead        int64            `json:"pages_read"`
+	LatencyMicros    QuantileSummary  `json:"latency_micros"`
+	FetchesPerQry    QuantileSummary  `json:"buckets_per_query"`
+	WriteBatches     int64            `json:"write_batches"`
+	WriteFrames      int64            `json:"write_frames"`
+	Traced           int64            `json:"queries_traced,omitempty"`
+	// Stages holds the per-stage histograms in nanoseconds — the stages are
+	// sub-microsecond on a warm cache, so recording in µs collapsed every
+	// quantile into bin 0 (a flat 0.5). StagesMicros is the same summary
+	// divided down to µs, kept as a derived column for dashboards and older
+	// tooling keyed on "stage_micros".
+	Stages       map[string]QuantileSummary `json:"stage_nanos,omitempty"`
+	StagesMicros map[string]QuantileSummary `json:"stage_micros,omitempty"`
+	Cache        *cache.Stats               `json:"cache,omitempty"`
 }
 
 func (m *Metrics) snapshot(inflight int) Snapshot {
@@ -199,12 +220,17 @@ func (m *Metrics) snapshot(inflight int) Snapshot {
 		PagesRead:        m.pagesRead.Load(),
 		LatencyMicros:    m.latency.snapshot(),
 		FetchesPerQry:    m.fetches.snapshot(),
+		WriteBatches:     m.writeBatches.Load(),
+		WriteFrames:      m.writeFrames.Load(),
 		Traced:           m.traced.Load(),
 	}
 	if s.Traced > 0 {
 		s.Stages = make(map[string]QuantileSummary, numStages)
+		s.StagesMicros = make(map[string]QuantileSummary, numStages)
 		for i := range m.stageLat {
-			s.Stages[stageNames[i]] = m.stageLat[i].snapshot()
+			q := m.stageLat[i].snapshot()
+			s.Stages[stageNames[i]] = q
+			s.StagesMicros[stageNames[i]] = q.scaled(1e-3)
 		}
 	}
 	for i, name := range verbNames {
@@ -251,9 +277,13 @@ func (s Snapshot) writePrometheus(w http.ResponseWriter) {
 		fmt.Fprintf(w, "gridserver_latency_micros{quantile=%q} %g\n", q.q, q.v)
 	}
 	fmt.Fprintf(w, "gridserver_latency_observations_total %d\n", s.LatencyMicros.Count)
+	fmt.Fprintf(w, "gridserver_write_batches_total %d\n", s.WriteBatches)
+	fmt.Fprintf(w, "gridserver_write_frames_total %d\n", s.WriteFrames)
 	fmt.Fprintf(w, "gridserver_queries_traced_total %d\n", s.Traced)
 	if s.Stages != nil {
 		// Iterate stageNames, not the map, for a deterministic exposition.
+		// stage_nanos is the measured histogram; stage_micros is the same
+		// data scaled down, kept for dashboards built against PR 4.
 		for _, name := range stageNames {
 			q, ok := s.Stages[name]
 			if !ok {
@@ -263,8 +293,10 @@ func (s Snapshot) writePrometheus(w http.ResponseWriter) {
 				q string
 				v float64
 			}{{"0.5", q.P50}, {"0.9", q.P90}, {"0.95", q.P95}, {"0.99", q.P99}} {
-				fmt.Fprintf(w, "gridserver_stage_micros{stage=%q,quantile=%q} %g\n",
+				fmt.Fprintf(w, "gridserver_stage_nanos{stage=%q,quantile=%q} %g\n",
 					name, pq.q, pq.v)
+				fmt.Fprintf(w, "gridserver_stage_micros{stage=%q,quantile=%q} %g\n",
+					name, pq.q, pq.v/1e3)
 			}
 			fmt.Fprintf(w, "gridserver_stage_observations_total{stage=%q} %d\n", name, q.Count)
 		}

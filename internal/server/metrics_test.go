@@ -131,4 +131,8 @@ func TestSnapshotStageSummaries(t *testing.T) {
 	if got := s.Stages["pread"].P50; math.Abs(got-256*math.Sqrt2) > 1e-9 {
 		t.Errorf("pread p50 = %g, want %g", got, 256*math.Sqrt2)
 	}
+	// The µs view is derived from the ns histogram by scaling.
+	if got := s.StagesMicros["pread"].P50; math.Abs(got-256*math.Sqrt2/1e3) > 1e-12 {
+		t.Errorf("pread micros p50 = %g, want %g", got, 256*math.Sqrt2/1e3)
+	}
 }

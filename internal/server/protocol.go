@@ -57,7 +57,21 @@ const (
 	VerbStatsReply Verb = 0x83 // response: JSON statistics snapshot
 	VerbFaultReply Verb = 0x84 // response: JSON failpoint status
 	VerbError      Verb = 0xFF // response: error message
+
+	// Pipelining envelopes (DESIGN S26). A tagged frame wraps an ordinary
+	// request or response as u32 request id | u8 inner verb | inner payload,
+	// letting a client keep many requests in flight per connection and match
+	// out-of-order completions by id. The server echoes the id verbatim —
+	// including on error replies, so failures stay matchable. Envelopes never
+	// nest, and a client that does not pipeline never sends one, which is what
+	// keeps the protocol backward compatible in both directions.
+	VerbTagged      Verb = 0x40 // envelope: pipelined request
+	VerbTaggedReply Verb = 0xC0 // envelope: pipelined response
 )
+
+// taggedHdrLen is the envelope overhead inside a tagged frame's payload:
+// u32 request id + u8 inner verb.
+const taggedHdrLen = 5
 
 var (
 	// ErrFrameTooBig reports a length prefix beyond MaxFrameBytes.
@@ -105,6 +119,130 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		return Frame{}, fmt.Errorf("server: truncated frame: %w", err)
 	}
 	return Frame{Verb: Verb(buf[0]), Payload: buf[1:]}, nil
+}
+
+// readFrameBuf is ReadFrame with a caller-owned scratch buffer: a long-lived
+// connection reads every frame into the same buffer, so the steady-state read
+// path allocates nothing. The returned frame's payload aliases *scratch and
+// is only valid until the next call with the same buffer.
+func readFrameBuf(r io.Reader, scratch *[]byte) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Frame{}, ErrEmptyFrame
+	}
+	if n > MaxFrameBytes {
+		return Frame{}, ErrFrameTooBig
+	}
+	b := *scratch
+	if cap(b) < int(n) {
+		b = make([]byte, n)
+		*scratch = b
+	}
+	b = b[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		return Frame{}, fmt.Errorf("server: truncated frame: %w", err)
+	}
+	return Frame{Verb: Verb(b[0]), Payload: b[1:]}, nil
+}
+
+// isEnvelope reports whether v is one of the pipelining envelope verbs.
+func isEnvelope(v Verb) bool { return v == VerbTagged || v == VerbTaggedReply }
+
+// envelopeFor picks the envelope verb matching an inner verb's direction:
+// responses have the high bit set (VerbError included), requests do not.
+func envelopeFor(inner Verb) Verb {
+	if inner&0x80 != 0 {
+		return VerbTaggedReply
+	}
+	return VerbTagged
+}
+
+// WrapTagged wraps a request or response frame in a pipelining envelope
+// carrying the given request id. Envelopes never nest.
+func WrapTagged(id uint32, f Frame) (Frame, error) {
+	if isEnvelope(f.Verb) {
+		return Frame{}, errors.New("server: nested tagged envelope")
+	}
+	if len(f.Payload)+1+taggedHdrLen+1 > MaxFrameBytes {
+		return Frame{}, ErrFrameTooBig
+	}
+	p := make([]byte, 0, taggedHdrLen+len(f.Payload))
+	p = binary.LittleEndian.AppendUint32(p, id)
+	p = append(p, byte(f.Verb))
+	p = append(p, f.Payload...)
+	return Frame{Verb: envelopeFor(f.Verb), Payload: p}, nil
+}
+
+// UnwrapTagged opens a pipelining envelope, returning the request id and the
+// inner frame. The inner payload aliases the envelope's. The envelope verb
+// must match the inner verb's direction, and envelopes never nest, so a
+// round trip through WrapTagged/UnwrapTagged is a fixed point.
+func UnwrapTagged(f Frame) (uint32, Frame, error) {
+	if !isEnvelope(f.Verb) {
+		return 0, Frame{}, fmt.Errorf("server: not a tagged envelope: 0x%02x", uint8(f.Verb))
+	}
+	if len(f.Payload) < taggedHdrLen {
+		return 0, Frame{}, errors.New("server: short tagged envelope")
+	}
+	id := binary.LittleEndian.Uint32(f.Payload[:4])
+	inner := Frame{Verb: Verb(f.Payload[4]), Payload: f.Payload[taggedHdrLen:]}
+	if isEnvelope(inner.Verb) {
+		return 0, Frame{}, errors.New("server: nested tagged envelope")
+	}
+	if envelopeFor(inner.Verb) != f.Verb {
+		return 0, Frame{}, fmt.Errorf("server: envelope 0x%02x wraps wrong-direction verb 0x%02x",
+			uint8(f.Verb), uint8(inner.Verb))
+	}
+	return id, inner, nil
+}
+
+// beginFrame appends a frame header onto buf — the u32 length placeholder,
+// the envelope header when tagged, and the inner verb — and returns the
+// extended buffer plus the frame's start offset. The caller appends the
+// payload and seals the frame with endFrame, so a complete wire frame is
+// assembled in place with no intermediate copies.
+func beginFrame(buf []byte, inner Verb, id uint32, tagged bool) ([]byte, int) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length, patched by endFrame
+	if tagged {
+		buf = append(buf, byte(envelopeFor(inner)))
+		buf = binary.LittleEndian.AppendUint32(buf, id)
+	}
+	buf = append(buf, byte(inner))
+	return buf, start
+}
+
+// endFrame patches the length prefix of a frame opened by beginFrame and
+// validates the frame size. On error the buffer is returned truncated back
+// to the frame's start, so the caller can reuse it.
+func endFrame(buf []byte, start int) ([]byte, error) {
+	n := len(buf) - start - 4
+	if n <= 0 {
+		return buf[:start], ErrEmptyFrame
+	}
+	if n > MaxFrameBytes {
+		return buf[:start], ErrFrameTooBig
+	}
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(n))
+	return buf, nil
+}
+
+// appendErrorFrame appends a complete error-response frame onto buf,
+// preserving the request id of a pipelined request so the failure stays
+// matchable. The message is truncated rather than rejected: an error reply
+// must always be expressible.
+func appendErrorFrame(buf []byte, msg string, id uint32, tagged bool) []byte {
+	if max := MaxFrameBytes - 1 - taggedHdrLen; len(msg) > max {
+		msg = msg[:max]
+	}
+	buf, start := beginFrame(buf, VerbError, id, tagged)
+	buf = append(buf, msg...)
+	buf, _ = endFrame(buf, start)
+	return buf
 }
 
 // Request is the decoded form of a query frame.
@@ -240,11 +378,33 @@ func checkFinite(vs ...float64) error {
 
 // EncodeRequest serializes a request into a frame.
 func EncodeRequest(req Request) (Frame, error) {
-	var w wbuf
+	p, err := appendRequestPayload(nil, req)
+	if err != nil {
+		return Frame{}, err
+	}
+	return Frame{Verb: req.Verb, Payload: p}, nil
+}
+
+// AppendRequestFrame appends a complete, optionally tagged wire frame for req
+// onto buf — the allocation-free form of EncodeRequest+WriteFrame for callers
+// that reuse a write buffer across requests (the client's connection paths).
+// On error the buffer is returned truncated back to its original length.
+func AppendRequestFrame(buf []byte, req Request, id uint32, tagged bool) ([]byte, error) {
+	buf, start := beginFrame(buf, req.Verb, id, tagged)
+	buf, err := appendRequestPayload(buf, req)
+	if err != nil {
+		return buf[:start], err
+	}
+	return endFrame(buf, start)
+}
+
+// appendRequestPayload encodes a request's payload onto buf.
+func appendRequestPayload(buf []byte, req Request) ([]byte, error) {
+	w := wbuf{b: buf}
 	switch req.Verb {
 	case VerbPoint:
 		if err := checkDims(len(req.Key)); err != nil {
-			return Frame{}, err
+			return buf, err
 		}
 		w.u16(uint16(len(req.Key)))
 		for _, v := range req.Key {
@@ -252,7 +412,7 @@ func EncodeRequest(req Request) (Frame, error) {
 		}
 	case VerbRange:
 		if err := checkDims(len(req.Query)); err != nil {
-			return Frame{}, err
+			return buf, err
 		}
 		flags := uint8(0)
 		if req.CountOnly {
@@ -266,7 +426,7 @@ func EncodeRequest(req Request) (Frame, error) {
 		}
 	case VerbPartial:
 		if err := checkDims(len(req.Vals)); err != nil {
-			return Frame{}, err
+			return buf, err
 		}
 		w.u16(uint16(len(req.Vals)))
 		for _, v := range req.Vals {
@@ -280,10 +440,10 @@ func EncodeRequest(req Request) (Frame, error) {
 		}
 	case VerbKNN:
 		if err := checkDims(len(req.Key)); err != nil {
-			return Frame{}, err
+			return buf, err
 		}
 		if req.K < 1 || req.K > maxK {
-			return Frame{}, fmt.Errorf("server: k=%d out of range", req.K)
+			return buf, fmt.Errorf("server: k=%d out of range", req.K)
 		}
 		w.u16(uint16(len(req.Key)))
 		w.u32(uint32(req.K))
@@ -294,13 +454,13 @@ func EncodeRequest(req Request) (Frame, error) {
 		// empty payload
 	case VerbFault:
 		if req.FaultCmd == "" {
-			return Frame{}, errors.New("server: empty FAULT command")
+			return buf, errors.New("server: empty FAULT command")
 		}
 		w.b = append(w.b, req.FaultCmd...)
 	default:
-		return Frame{}, fmt.Errorf("server: not a request verb: 0x%02x", uint8(req.Verb))
+		return buf, fmt.Errorf("server: not a request verb: 0x%02x", uint8(req.Verb))
 	}
-	return Frame{Verb: req.Verb, Payload: w.b}, nil
+	return w.b, nil
 }
 
 // DecodeRequest parses and validates a request frame. Every field is
@@ -485,28 +645,6 @@ func AppendResult(buf []byte, verb Verb, res Result) ([]byte, error) {
 	return w.b, nil
 }
 
-// writeFrameBuf writes one frame through a caller-owned scratch buffer:
-// header and payload are assembled once and go out in a single Write call,
-// and a long-lived connection reuses the same buffer for every response, so
-// the steady-state frame-write path allocates nothing.
-func writeFrameBuf(w io.Writer, f Frame, scratch *[]byte) error {
-	if len(f.Payload)+1 > MaxFrameBytes {
-		return ErrFrameTooBig
-	}
-	n := 5 + len(f.Payload)
-	b := *scratch
-	if cap(b) < n {
-		b = make([]byte, n)
-		*scratch = b
-	}
-	b = b[:n]
-	binary.LittleEndian.PutUint32(b, uint32(len(f.Payload)+1))
-	b[4] = byte(f.Verb)
-	copy(b[5:], f.Payload)
-	_, err := w.Write(b)
-	return err
-}
-
 // DecodeResult parses a VerbPoints or VerbCount answer frame.
 func DecodeResult(f Frame) (Result, error) {
 	var res Result
@@ -559,14 +697,6 @@ func DecodeResult(f Frame) (Result, error) {
 			flags, missed)
 	}
 	return res, nil
-}
-
-// errorFrame wraps an error message for the client.
-func errorFrame(msg string) Frame {
-	if len(msg)+1 > MaxFrameBytes {
-		msg = msg[:MaxFrameBytes-1]
-	}
-	return Frame{Verb: VerbError, Payload: []byte(msg)}
 }
 
 // ServerError is an error reported by the server over the protocol (as

@@ -181,7 +181,7 @@ func TestSnapshotStatsRoundTrip(t *testing.T) {
 
 	// The wire field names are part of the protocol: the ISSUE-specified
 	// keys must appear verbatim in the STATS JSON.
-	for _, key := range []string{`"rejected"`, `"deadline_exceeded"`, `"queries_traced"`, `"stage_micros"`} {
+	for _, key := range []string{`"rejected"`, `"deadline_exceeded"`, `"queries_traced"`, `"stage_nanos"`, `"stage_micros"`} {
 		if !bytes.Contains(raw, []byte(key)) {
 			t.Errorf("STATS JSON lacks %s:\n%s", key, raw)
 		}
@@ -192,7 +192,8 @@ func TestSnapshotStatsRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bytes.Contains(lean, []byte("stage_micros")) || bytes.Contains(lean, []byte("queries_traced")) {
+	if bytes.Contains(lean, []byte("stage_micros")) || bytes.Contains(lean, []byte("stage_nanos")) ||
+		bytes.Contains(lean, []byte("queries_traced")) {
 		t.Errorf("untraced STATS JSON carries trace fields:\n%s", lean)
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -54,6 +55,17 @@ type Config struct {
 	// and falls back to one ReadBucket call per bucket — the PR 1 behaviour,
 	// kept togglable so the bench can measure the coalescing win.
 	DisableCoalesce bool
+	// DisableNoDelay leaves Nagle's algorithm enabled on accepted
+	// connections. By default the server sets TCP_NODELAY explicitly: the
+	// protocol's frames are small and latency-sensitive, and the batched
+	// writev path already coalesces adjacent responses into one syscall, so
+	// Nagle only adds delayed-ACK stalls on top (see DESIGN S26).
+	DisableNoDelay bool
+	// PipelineDepth bounds, per connection, both the response queue between
+	// the read and write sides and the number of tagged (pipelined) requests
+	// executing concurrently. Beyond it the reader stops draining the
+	// socket, backpressuring the client. Default 64.
+	PipelineDepth int
 	// Pprof, together with HTTPAddr, additionally exposes the standard
 	// net/http/pprof profiling handlers under /debug/pprof/ on the same
 	// mux, so the serving path can be profiled in place.
@@ -123,6 +135,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheBytes < 0 {
 		c.CacheBytes = 0 // disabled
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 64
 	}
 	if c.Faults == nil {
 		c.Faults = fault.NewRegistry(1)
@@ -425,50 +440,242 @@ func (s *Server) dropConn(c net.Conn) {
 	c.Close()
 }
 
-// handleConn serves one client connection: frames in, frames out. A
-// frame-level error (desynchronized or hostile stream) closes the
-// connection; a request-level error is answered and the connection kept.
+// respBufPool pools fully encoded response frames on their way from a
+// dispatching goroutine to the connection writer. Buffers above
+// maxPooledRespBuf are dropped on return so one huge point-set reply cannot
+// pin memory for the life of the pool.
+var respBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+const maxPooledRespBuf = 64 << 10
+
+func getRespBuf() *[]byte { return respBufPool.Get().(*[]byte) }
+
+func putRespBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledRespBuf {
+		return
+	}
+	respBufPool.Put(bp)
+}
+
+// connReadBufBytes sizes the per-connection buffered reader. Requests are
+// tens of bytes, so one read syscall typically drains a whole pipeline
+// window instead of paying two syscalls (header + payload) per frame.
+const connReadBufBytes = 16 << 10
+
+// maxWriteBatch bounds how many queued responses one writev submits.
+const maxWriteBatch = 64
+
+// handleConn serves one client connection with decoupled read and write
+// sides (DESIGN S26). The reader decodes frames and dispatches them; fully
+// encoded responses flow through a bounded queue to a writer goroutine that
+// coalesces adjacent responses into a single writev. Untagged requests are
+// executed inline in the reader, which preserves the strict
+// one-request/one-response ordering pre-pipelining clients rely on; tagged
+// (pipelined) requests execute concurrently — up to PipelineDepth per
+// connection — and may complete out of order, which is exactly what the
+// echoed request id is for.
+//
+// A frame-level error (desynchronized or hostile stream) is answered and
+// closes the connection; a request-level error is answered and the
+// connection kept.
 func (s *Server) handleConn(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok && !s.cfg.DisableNoDelay {
+		tc.SetNoDelay(true)
+	}
+	depth := s.cfg.PipelineDepth
+	respCh := make(chan *[]byte, depth)
+	writerDone := make(chan struct{})
+	var writeFailed atomic.Bool
+	go s.connWriter(c, respCh, &writeFailed, writerDone)
+
+	// Tagged requests execute on a per-connection worker pool, grown lazily
+	// up to depth goroutines. The work channel is unbuffered, so when every
+	// worker is busy the reader blocks here — that bounds both concurrent
+	// execution and (since each worker holds at most one encoded response)
+	// the number of responses ever in flight, and enqueueing can never
+	// deadlock against the queue bound.
+	work := make(chan taggedWork)
+	workers := 0
+	var inflight sync.WaitGroup
+
 	defer s.connWg.Done()
 	defer s.dropConn(c)
-	// Per-connection reusable response buffers: payload encoding (pbuf, via
-	// AppendResult in dispatch) and frame assembly (fbuf, via writeFrameBuf)
-	// each reuse one buffer for every response on this connection, so the
-	// steady-state encode+write path performs zero allocations and one Write
-	// syscall per frame.
-	var pbuf, fbuf []byte
+	defer func() {
+		// Teardown order matters: release the workers (they hold references
+		// to respCh), wait for them to drain, close the queue, and only
+		// after the writer has flushed and exited close the connection.
+		close(work)
+		inflight.Wait()
+		close(respCh)
+		<-writerDone
+	}()
+
+	// sendError enqueues an error reply for stream-level failures that have
+	// no decodable request behind them.
+	sendError := func(msg string) {
+		bp := getRespBuf()
+		*bp = appendErrorFrame((*bp)[:0], msg, 0, false)
+		respCh <- bp
+	}
+
+	br := bufio.NewReaderSize(c, connReadBufBytes)
+	// Frames are read into pooled buffers. An untagged frame is served inline
+	// and its buffer reused for the next read; a tagged frame's buffer moves
+	// to the worker, which recycles it once the request is decoded and served.
+	rbuf := getRespBuf()
+	defer func() { putRespBuf(rbuf) }()
 	for {
 		c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		f, err := ReadFrame(c)
+		f, err := readFrameBuf(br, rbuf)
 		if err != nil {
 			if errors.Is(err, ErrFrameTooBig) || errors.Is(err, ErrEmptyFrame) {
 				s.met.errors.Add(1)
-				c.SetWriteDeadline(time.Now().Add(s.cfg.QueryTimeout))
-				WriteFrame(c, errorFrame(err.Error()))
+				sendError(err.Error())
 			}
 			return
 		}
-		resp := s.dispatch(f, &pbuf)
-		c.SetWriteDeadline(time.Now().Add(s.cfg.QueryTimeout))
-		if err := writeFrameBuf(c, resp, &fbuf); err != nil {
+		if writeFailed.Load() {
 			return
+		}
+		if f.Verb == VerbTagged {
+			id, inner, uerr := UnwrapTagged(f)
+			if uerr != nil {
+				// A malformed envelope means ids can no longer be trusted;
+				// treat it like a desynchronized stream.
+				s.met.errors.Add(1)
+				sendError(uerr.Error())
+				return
+			}
+			tw := taggedWork{id: id, f: inner, buf: rbuf}
+			select {
+			case work <- tw:
+			default:
+				if workers < depth {
+					workers++
+					inflight.Add(1)
+					go s.taggedWorker(work, respCh, &inflight)
+				}
+				select {
+				case work <- tw:
+				case <-s.done:
+					return
+				}
+			}
+			rbuf = getRespBuf() // the worker owns the old buffer now
+		} else {
+			bp := getRespBuf()
+			*bp = s.serveFrame((*bp)[:0], f, 0, false)
+			respCh <- bp
 		}
 		select {
 		case <-s.done:
-			return // draining: finish the in-flight reply, then hang up
+			return // draining: finish the in-flight replies, then hang up
 		default:
 		}
 	}
 }
 
-// dispatch decodes, admits, executes and encodes one request. pbuf is the
-// connection's reusable payload buffer; the returned frame's payload may
-// alias it and is only valid until the next dispatch on this connection.
-func (s *Server) dispatch(f Frame, pbuf *[]byte) Frame {
+// taggedWork is one pipelined request in flight from a connection's reader to
+// its worker pool: the decoded envelope plus the pooled buffer backing the
+// frame's payload, recycled by the worker after serving.
+type taggedWork struct {
+	id  uint32
+	f   Frame
+	buf *[]byte
+}
+
+// taggedWorker serves tagged requests for one connection until the work
+// channel closes. Workers never block each other: each serves one request at
+// a time and parks on the (bounded) response queue only while the writer
+// drains.
+func (s *Server) taggedWorker(work <-chan taggedWork, respCh chan<- *[]byte, inflight *sync.WaitGroup) {
+	defer inflight.Done()
+	for tw := range work {
+		bp := getRespBuf()
+		*bp = s.serveFrame((*bp)[:0], tw.f, tw.id, true)
+		putRespBuf(tw.buf)
+		respCh <- bp
+	}
+}
+
+// connWriter drains one connection's response queue. Each pass takes
+// everything immediately available (up to maxWriteBatch) and submits it as a
+// single writev via net.Buffers, so under pipelined load adjacent responses
+// coalesce into one syscall instead of one each. After a write error the
+// writer keeps draining and recycling buffers — dispatchers must never block
+// on a dead connection — and closes the conn to unblock the reader.
+func (s *Server) connWriter(c net.Conn, respCh <-chan *[]byte, failed *atomic.Bool, done chan<- struct{}) {
+	defer close(done)
+	batch := make([]*[]byte, 0, maxWriteBatch)
+	iov := make(net.Buffers, 0, maxWriteBatch)
+	for {
+		bp, ok := <-respCh
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], bp)
+		open := true
+	drain:
+		for len(batch) < maxWriteBatch {
+			select {
+			case bp, ok := <-respCh:
+				if !ok {
+					open = false
+					break drain
+				}
+				batch = append(batch, bp)
+			default:
+				break drain
+			}
+		}
+		if !failed.Load() {
+			// WriteTo consumes its receiver, so rebuild the iovec from the
+			// batch each pass; the buffers themselves are not copied.
+			iov = iov[:0]
+			for _, b := range batch {
+				iov = append(iov, *b)
+			}
+			c.SetWriteDeadline(time.Now().Add(s.cfg.QueryTimeout))
+			if _, err := iov.WriteTo(c); err != nil {
+				failed.Store(true)
+				c.Close()
+			} else {
+				s.met.writeBatches.Add(1)
+				s.met.writeFrames.Add(int64(len(batch)))
+			}
+		}
+		for _, b := range batch {
+			putRespBuf(b)
+		}
+		if !open {
+			return
+		}
+	}
+}
+
+// serveFrame decodes, admits, executes and encodes one request, appending
+// the complete wire-ready response frame onto buf — tagged with the echoed
+// request id when the request arrived in a pipelining envelope.
+func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte {
 	req, err := DecodeRequest(f)
 	if err != nil {
 		s.met.errors.Add(1)
-		return errorFrame(err.Error())
+		return appendErrorFrame(buf, err.Error(), id, tagged)
+	}
+
+	// appendReply frames a pre-marshalled admin reply body.
+	appendReply := func(verb Verb, body []byte) []byte {
+		out, start := beginFrame(buf, verb, id, tagged)
+		out = append(out, body...)
+		out, err := endFrame(out, start)
+		if err != nil {
+			s.met.errors.Add(1)
+			return appendErrorFrame(out, err.Error(), id, tagged)
+		}
+		return out
 	}
 
 	// The STATS and FAULT verbs bypass admission control so operators can
@@ -478,18 +685,18 @@ func (s *Server) dispatch(f Frame, pbuf *[]byte) Frame {
 		body, err := json.Marshal(s.Snapshot())
 		if err != nil {
 			s.met.errors.Add(1)
-			return errorFrame(err.Error())
+			return appendErrorFrame(buf, err.Error(), id, tagged)
 		}
-		return Frame{Verb: VerbStatsReply, Payload: body}
+		return appendReply(VerbStatsReply, body)
 	}
 	if req.Verb == VerbFault {
 		s.met.queries[verbIndex(VerbFault)].Add(1)
 		body, err := s.handleFault(req.FaultCmd)
 		if err != nil {
 			s.met.errors.Add(1)
-			return errorFrame(err.Error())
+			return appendErrorFrame(buf, err.Error(), id, tagged)
 		}
-		return Frame{Verb: VerbFaultReply, Payload: body}
+		return appendReply(VerbFaultReply, body)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
@@ -509,10 +716,10 @@ func (s *Server) dispatch(f Frame, pbuf *[]byte) Frame {
 	case <-ctx.Done():
 		releaseTrace(tr)
 		s.met.rejected.Add(1)
-		return errorFrame("server busy: admission queue full past deadline")
+		return appendErrorFrame(buf, "server busy: admission queue full past deadline", id, tagged)
 	case <-s.done:
 		releaseTrace(tr)
-		return errorFrame("server shutting down")
+		return appendErrorFrame(buf, "server shutting down", id, tagged)
 	}
 	tr.addSince(stageAdmission, admitStart)
 
@@ -522,10 +729,10 @@ func (s *Server) dispatch(f Frame, pbuf *[]byte) Frame {
 		s.finishTrace(tr, req.Verb, time.Since(start), res.Info, err)
 		if ctx.Err() != nil {
 			s.met.deadlineExceeded.Add(1)
-			return errorFrame("deadline exceeded: " + err.Error())
+			return appendErrorFrame(buf, "deadline exceeded: "+err.Error(), id, tagged)
 		}
 		s.met.errors.Add(1)
-		return errorFrame(err.Error())
+		return appendErrorFrame(buf, err.Error(), id, tagged)
 	}
 	res.Info.Elapsed = time.Since(start)
 	s.met.queries[verbIndex(req.Verb)].Add(1)
@@ -539,17 +746,23 @@ func (s *Server) dispatch(f Frame, pbuf *[]byte) Frame {
 	if req.Verb == VerbRange && req.CountOnly {
 		verb = VerbCount
 	}
+	out, fstart := beginFrame(buf, verb, id, tagged)
 	encStart := traceNow(tr)
-	payload, err := AppendResult((*pbuf)[:0], verb, res)
+	out, err = AppendResult(out, verb, res)
 	tr.addSince(stageEncode, encStart)
 	if err != nil {
 		s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, err)
 		s.met.errors.Add(1)
-		return errorFrame(err.Error())
+		return appendErrorFrame(buf[:fstart], err.Error(), id, tagged)
 	}
-	*pbuf = payload
+	out, err = endFrame(out, fstart)
+	if err != nil {
+		s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, err)
+		s.met.errors.Add(1)
+		return appendErrorFrame(out, err.Error(), id, tagged)
+	}
 	s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, nil)
-	return Frame{Verb: verb, Payload: payload}
+	return out
 }
 
 // executeTraced runs execute, and — only when the query carries a trace —

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -87,18 +88,40 @@ func TestTracingEndToEnd(t *testing.T) {
 		}
 	}
 	// Stage sums must explain the measured latency within the acceptance
-	// bound: sum of stage p50s within 4x of the end-to-end p50 (disk stages
-	// overlap across spindles, so the sum may exceed elapsed). The bound is
-	// loose on purpose: both sides are log2-bin quantiles (each only √2
-	// accurate), and under the race detector the untraced dispatch path
-	// (scheduling, instrumentation) inflates end-to-end latency far more
-	// than the traced stages — a 2x bound flakes there.
+	// bound: sum of stage p50s (nanoseconds, converted to µs) within 4x of
+	// the end-to-end p50 (disk stages overlap across spindles, so the sum
+	// may exceed elapsed). The bound is loose on purpose: both sides are
+	// log2-bin quantiles (each only √2 accurate), and under the race
+	// detector the untraced dispatch path (scheduling, instrumentation)
+	// inflates end-to-end latency far more than the traced stages — a 2x
+	// bound flakes there.
 	sum := 0.0
 	for _, name := range stageNames {
-		sum += snap.Stages[name].P50
+		sum += snap.Stages[name].P50 / 1e3 // stage histograms are ns
 	}
 	if p50 := snap.LatencyMicros.P50; sum < p50/4 {
 		t.Errorf("stage p50 sum %.1fµs explains less than a quarter of end-to-end p50 %.1fµs", sum, p50)
+	}
+	// The derived µs view must be the ns view scaled, not a second histogram
+	// that could drift. Compare with a 1-ulp tolerance: ×1e-3 and ÷1e3
+	// round differently.
+	sameScaled := func(us, ns float64) bool {
+		return math.Abs(us-ns/1e3) <= 1e-12*math.Abs(us)
+	}
+	for _, name := range stageNames {
+		ns, us := snap.Stages[name], snap.StagesMicros[name]
+		if us.Count != ns.Count || !sameScaled(us.P50, ns.P50) || !sameScaled(us.Max, ns.Max) {
+			t.Errorf("stage %q micros view %+v is not nanos %+v / 1e3", name, us, ns)
+		}
+	}
+	// Nanosecond resolution is the point of the change: with a µs histogram
+	// every sub-µs stage collapsed into bin 0 and reported a flat 0.5. The
+	// cheap always-run stages (translate, encode) must now resolve to
+	// something a real clock could produce — at least tens of ns.
+	for _, name := range []string{"translate", "encode"} {
+		if p50 := snap.Stages[name].P50; p50 < 1 {
+			t.Errorf("stage %q p50 = %gns: ns histograms should resolve sub-µs stages", name, p50)
+		}
 	}
 
 	// One slow-log line per traced query, structured and parseable.

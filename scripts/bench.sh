@@ -3,8 +3,11 @@
 # diffed across commits. Two suites:
 #
 #   server     (default) the serving path: end-to-end server throughput
-#              (baseline vs tuned: bucket cache + coalesced I/O) plus the
-#              grid-file translation micro-benchmarks → BENCH_server.json
+#              (baseline vs tuned: bucket cache + coalesced I/O; pipelined
+#              variant), the open-loop rows (offered vs achieved qps and
+#              intended-send-time percentiles per scheme and replication
+#              factor) plus the grid-file translation micro-benchmarks
+#              → BENCH_server.json
 #   decluster  the build path: BenchmarkDecluster, serial (pre-engine
 #              closure reference) vs parallel (pairwise-weight engine at
 #              GOMAXPROCS) across grid and disk sizes → BENCH_decluster.json
@@ -56,7 +59,7 @@ server)
     TMP=$(mktemp)
     trap 'rm -f "$TMP"' EXIT
     echo "== go test -bench: server suite (benchtime $BENCHTIME)"
-    go test -run '^$' -bench 'BenchmarkServerThroughput' \
+    go test -run '^$' -bench 'BenchmarkServerThroughput|BenchmarkServerOpenLoop' \
         -benchtime "$BENCHTIME" -benchmem . | tee "$TMP"
     go test -run '^$' -bench 'BenchmarkLookup$|BenchmarkBucketsInRange5Pct' \
         -benchtime "$BENCHTIME" -benchmem ./internal/gridfile | tee -a "$TMP"

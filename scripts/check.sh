@@ -14,8 +14,11 @@
 #   8. replica smoke
 #                  r=2 layout with one disk hard-killed: zero errors, zero
 #                  degraded, nonzero failovers
-#   9. bench smoke one-shot run of the serving-path benchmark suite
-#  10. decluster smoke
+#   9. open-loop smoke
+#                  open-loop run at a fixed offered rate: zero errors,
+#                  achieved qps >= 95% of offered
+#  10. bench smoke one-shot run of the serving-path benchmark suite
+#  11. decluster smoke
 #                  one iteration of the build-path benchmark; its parallel
 #                  variant asserts the engine assignment is byte-identical
 #                  to the serial reference
@@ -57,6 +60,9 @@ CHAOS_SEED="${CHAOS_SEED:-1}" sh scripts/chaos.sh 1000
 
 echo "== replica smoke"
 REPLICA_SEED="${REPLICA_SEED:-1}" sh scripts/replica.sh 500
+
+echo "== open-loop smoke"
+OPENLOOP_SEED="${OPENLOOP_SEED:-1}" sh scripts/openloop.sh 2000
 
 echo "== bench smoke"
 BENCH_SMOKE_OUT=$(mktemp)

@@ -1,0 +1,69 @@
+#!/bin/sh
+# openloop.sh — the open-loop load smoke gate. Builds a small declustered
+# layout, then drives it with the open-loop harness: requests are released on
+# a deterministic seeded Poisson schedule at a fixed offered rate regardless
+# of how fast responses come back, and every latency is measured from the
+# *intended* send time. Unlike the closed-loop bench, a slow server cannot
+# quietly throttle the load — it shows up as achieved qps falling below the
+# offered rate and as queueing delay in the percentiles (DESIGN S26).
+#
+# The run must sustain the offered rate: zero errors, and achieved qps at or
+# above ACHIEVED_MIN (default 95%) of offered. The client pipelines requests
+# over its connections so the harness itself cannot be the bottleneck.
+#
+# The schedule is fully deterministic: OPENLOOP_SEED seeds the arrival
+# process, the workload mix and the dataset, so a failure here reproduces
+# exactly.
+#
+# Usage: scripts/openloop.sh [rate]
+#   rate         offered request rate in qps (default 2000)
+# Env:
+#   OPENLOOP_SEED      arrival + workload + dataset seed (default 1)
+#   OPENLOOP_DURATION  run length (default 2s)
+#   OPENLOOP_PIPELINE  requests in flight per connection (default 16)
+#   ACHIEVED_MIN       minimum achieved/offered ratio, in percent (default 95)
+set -eu
+cd "$(dirname "$0")/.."
+
+RATE="${1:-2000}"
+SEED="${OPENLOOP_SEED:-1}"
+DURATION="${OPENLOOP_DURATION:-2s}"
+PIPELINE="${OPENLOOP_PIPELINE:-16}"
+MIN_PCT="${ACHIEVED_MIN:-95}"
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== openloop: building layout (hot.2d, 4 disks)"
+go run ./cmd/datagen -dataset hot.2d -n 4000 -seed "$SEED" -out "$WORK/hot.csv"
+go run ./cmd/gridtool build -in "$WORK/hot.csv" -out "$WORK/hot.grd" -capacity 56
+go run ./cmd/gridtool layout -file "$WORK/hot.grd" -alg minimax -disks 4 \
+    -seed "$SEED" -out "$WORK/layout"
+
+echo "== openloop: $RATE qps offered for $DURATION (poisson, pipeline $PIPELINE, seed $SEED)"
+go run ./cmd/gridserver bench -store "$WORK/layout" \
+    -open-loop -rate "$RATE" -duration "$DURATION" -pipeline "$PIPELINE" \
+    -clients 4 -seed "$SEED" -json "$WORK/open.json"
+
+# The JSON row is the machine-checkable verdict: zero errors, and achieved
+# qps within ACHIEVED_MIN% of offered. Rates are floats; compare in awk.
+ERRORS=$(sed -n 's/.*"errors": *\([0-9][0-9]*\).*/\1/p' "$WORK/open.json" | head -1)
+OFFERED=$(sed -n 's/.*"offered_qps": *\([0-9.][0-9.]*\).*/\1/p' "$WORK/open.json" | head -1)
+ACHIEVED=$(sed -n 's/.*"achieved_qps": *\([0-9.][0-9.]*\).*/\1/p' "$WORK/open.json" | head -1)
+P99=$(sed -n 's/.*"p99_ms": *\([0-9.][0-9.]*\).*/\1/p' "$WORK/open.json" | head -1)
+if [ -z "$ERRORS" ] || [ -z "$OFFERED" ] || [ -z "$ACHIEVED" ]; then
+    echo "openloop.sh: could not parse bench JSON:" >&2
+    cat "$WORK/open.json" >&2
+    exit 1
+fi
+if [ "$ERRORS" -ne 0 ]; then
+    echo "openloop.sh: FAIL — $ERRORS requests errored at $RATE qps" >&2
+    exit 1
+fi
+if ! awk -v a="$ACHIEVED" -v o="$OFFERED" -v m="$MIN_PCT" \
+    'BEGIN { exit !(a >= o * m / 100) }'; then
+    echo "openloop.sh: FAIL — achieved $ACHIEVED qps < ${MIN_PCT}% of offered $OFFERED qps" >&2
+    cat "$WORK/open.json" >&2
+    exit 1
+fi
+echo "openloop.sh: PASS — offered $OFFERED qps, achieved $ACHIEVED qps, 0 errors, p99 ${P99}ms"
