@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 2000x
 
-.PHONY: all build test race check fmt vet fuzz chaos replica trace bench bench-open bench-decluster bench-all clean
+.PHONY: all build test race check fmt vet fuzz chaos replica trace campaign bench bench-open bench-decluster bench-all clean
 
 all: build
 
@@ -44,6 +44,12 @@ replica:
 # breakdown in the bench JSON and one slow-query log line per query.
 trace:
 	sh scripts/trace.sh
+
+# Scenario-campaign regression gate: the deterministic fault × scheme ×
+# workload × replication matrix must reproduce byte-identically and match
+# the committed CAMPAIGN.json baseline exactly.
+campaign:
+	sh scripts/campaign.sh
 
 check:
 	sh scripts/check.sh $(FUZZTIME)

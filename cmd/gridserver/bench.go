@@ -29,24 +29,11 @@ import (
 	"pgridfile/internal/workload"
 )
 
-// parseAllocator mirrors gridtool's algorithm names: minimax, minimax-euclid,
-// ssp, mst, or scheme/resolver pairs like DM/D, FX/R, HCAM/F.
+// parseAllocator resolves gridtool's algorithm names: minimax,
+// minimax-euclid, ssp, mst, or scheme/resolver pairs like DM/D, FX/R,
+// HCAM/F; the name grammar lives in core.ParseAllocator.
 func parseAllocator(name string, seed int64) (core.Allocator, error) {
-	switch strings.ToLower(name) {
-	case "minimax":
-		return &core.Minimax{Seed: seed}, nil
-	case "minimax-euclid":
-		return &core.Minimax{Weight: core.EuclideanWeight, WeightName: "euclid", Seed: seed}, nil
-	case "ssp":
-		return &core.SSP{Seed: seed}, nil
-	case "mst":
-		return &core.MST{Seed: seed}, nil
-	}
-	parts := strings.SplitN(name, "/", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
-	return core.NewIndexBased(parts[0], parts[1], seed)
+	return core.ParseAllocator(name, seed, 0)
 }
 
 type benchOpts struct {

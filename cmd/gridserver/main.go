@@ -65,6 +65,8 @@ func main() {
 		err = runServe(os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:], os.Stdout)
+	case "campaign":
+		err = runCampaign(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -85,10 +87,12 @@ func usage() {
 	fmt.Fprintln(w, `usage: gridserver <subcommand> [flags]
 
 subcommands:
-  serve   serve point/range/partial-match/k-NN queries from a layout directory
-  bench   load generator: closed-loop by default, open-loop with -open-loop /
-          -sweep (offered vs achieved rate, latency from intended send times),
-          optionally comparing declustering schemes on the same grid file
+  serve     serve point/range/partial-match/k-NN queries from a layout directory
+  bench     load generator: closed-loop by default, open-loop with -open-loop /
+            -sweep (offered vs achieved rate, latency from intended send times),
+            optionally comparing declustering schemes on the same grid file
+  campaign  deterministic scenario matrix: faults x schemes x workloads x
+            replication, gated against a committed baseline report
 
 run "gridserver <subcommand> -h" for subcommand flags`)
 }

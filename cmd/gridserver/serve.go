@@ -54,6 +54,9 @@ func runServe(args []string) error {
 	traceSlow := fs.Duration("trace-slow", -1, "log traced queries at least this slow to stderr (0 logs every traced query, <0 disables the log)")
 	nodelay := fs.Bool("nodelay", true, "set TCP_NODELAY on accepted connections (disable to let Nagle batch small frames)")
 	pipelineDepth := fs.Int("pipeline-depth", 0, "per-connection bound on queued responses and concurrent tagged requests (0 = default 64)")
+	verify := fs.Bool("verify-checksums", false, "verify per-page checksums on every read (layout must carry page format 2)")
+	scrubInterval := fs.Duration("scrub-interval", 0, "background checksum scrub period; repairs corrupt pages from replicas (0 disables)")
+	scrubPause := fs.Duration("scrub-pause", 10*time.Millisecond, "pause between buckets during a scrub pass (lowers scrub I/O priority)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -store is required")
@@ -82,6 +85,9 @@ func runServe(args []string) error {
 		TraceSlow:       max(*traceSlow, 0),
 		DisableNoDelay:  !*nodelay,
 		PipelineDepth:   *pipelineDepth,
+		VerifyChecksums: *verify,
+		ScrubInterval:   *scrubInterval,
+		ScrubPause:      *scrubPause,
 	})
 	if err != nil {
 		return err
@@ -101,6 +107,9 @@ func runServe(args []string) error {
 			fmt.Printf(", slow-query log at >=%s", *traceSlow)
 		}
 		fmt.Println()
+	}
+	if *scrubInterval > 0 {
+		fmt.Printf("gridserver: background scrub every %s (pause %s between buckets)\n", *scrubInterval, *scrubPause)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -12,25 +12,9 @@ import (
 )
 
 // parseAllocator resolves an algorithm name shared by decluster, layout,
-// simulate and viz: minimax, ssp, mst, or a scheme/resolver pair like
-// HCAM/D. workers bounds the proximity-based algorithms' build parallelism
-// (0 means GOMAXPROCS); index-based schemes ignore it.
+// simulate and viz; the name grammar lives in core.ParseAllocator.
 func parseAllocator(name string, seed int64, workers int) (core.Allocator, error) {
-	switch strings.ToLower(name) {
-	case "minimax":
-		return &core.Minimax{Seed: seed, Workers: workers}, nil
-	case "minimax-euclid":
-		return &core.Minimax{Weight: core.EuclideanWeight, WeightName: "euclid", Seed: seed, Workers: workers}, nil
-	case "ssp":
-		return &core.SSP{Seed: seed, Workers: workers}, nil
-	case "mst":
-		return &core.MST{Seed: seed, Workers: workers}, nil
-	}
-	parts := strings.SplitN(name, "/", 2)
-	if len(parts) != 2 {
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
-	return core.NewIndexBased(parts[0], parts[1], seed)
+	return core.ParseAllocator(name, seed, workers)
 }
 
 func runSimulate(args []string) error {

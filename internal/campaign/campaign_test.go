@@ -1,0 +1,180 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallOpts is a reduced matrix that still spans every axis kind: a healthy
+// baseline, a dead disk, physical corruption; two allocator families; both
+// replication factors.
+func smallOpts() Options {
+	return Options{
+		Records:   300,
+		Disks:     4,
+		Queries:   20,
+		Trials:    1,
+		Seed:      1,
+		Schemes:   []string{"minimax", "DM/D"},
+		Replicas:  []int{1, 2},
+		Faults:    []string{"none", "kill-disk0", "corrupt"},
+		Workloads: []string{"uniform"},
+	}
+}
+
+func cellsByKey(r *Report) map[string]Cell {
+	m := make(map[string]Cell, len(r.Cells))
+	for _, c := range r.Cells {
+		m[c.key()] = c
+	}
+	return m
+}
+
+// TestCampaignDeterministicAndSound runs the reduced matrix twice and pins
+// the two load-bearing properties: the marshaled reports are byte-identical
+// (the determinism contract the baseline gate rests on), and the cells tell
+// the fault story they are supposed to — failover under replication,
+// degraded answers without it, scrubber repair only when a replica exists,
+// and zero surfaced errors anywhere.
+func TestCampaignDeterministicAndSound(t *testing.T) {
+	a, err := Run(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("same options, different reports:\n--- run A ---\n%s\n--- run B ---\n%s", aj, bj)
+	}
+	if want := 3 * 2 * 1 * 2; len(a.Cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(a.Cells), want)
+	}
+
+	cells := cellsByKey(a)
+	for key, c := range cells {
+		if c.Errors != 0 || c.ClientErrors != 0 {
+			t.Errorf("%s: errors=%d client_errors=%d, degraded mode should absorb every fault", key, c.Errors, c.ClientErrors)
+		}
+		if c.Queries != int64(a.Queries*a.Trials) {
+			t.Errorf("%s: served %d queries, want %d", key, c.Queries, a.Queries*a.Trials)
+		}
+		if c.ScrubPages == 0 {
+			t.Errorf("%s: scrub verified no pages", key)
+		}
+		switch {
+		case strings.HasPrefix(key, "none|"):
+			if c.Degraded != 0 || c.Failover != 0 || c.ScrubCorrupt != 0 {
+				t.Errorf("%s: healthy cell shows degraded=%d failover=%d corrupt=%d", key, c.Degraded, c.Failover, c.ScrubCorrupt)
+			}
+		case strings.HasPrefix(key, "kill-disk0|") && c.Replicas == 2:
+			if c.Failover == 0 {
+				t.Errorf("%s: dead disk with a replica never failed over", key)
+			}
+			if c.Degraded != 0 {
+				t.Errorf("%s: replicated cell degraded %d queries", key, c.Degraded)
+			}
+		case strings.HasPrefix(key, "kill-disk0|") && c.Replicas == 1:
+			if c.Degraded == 0 {
+				t.Errorf("%s: dead disk without a replica never degraded", key)
+			}
+		case strings.HasPrefix(key, "corrupt|"):
+			if c.ScrubCorrupt == 0 {
+				t.Errorf("%s: scrubber missed the injected corruption", key)
+			}
+			if c.Replicas == 2 && c.ScrubRepaired != c.ScrubCorrupt {
+				t.Errorf("%s: repaired %d of %d corrupt pages", key, c.ScrubRepaired, c.ScrubCorrupt)
+			}
+			if c.Replicas == 1 && c.ScrubRepaired != 0 {
+				t.Errorf("%s: repaired %d pages with no replica to heal from", key, c.ScrubRepaired)
+			}
+		}
+	}
+	// Corruption must also be *served* through: replicated cells reroute
+	// around bad pages (failover), unreplicated ones degrade.
+	for _, c := range a.Cells {
+		if c.Fault != "corrupt" {
+			continue
+		}
+		if c.Replicas == 2 && c.Failover == 0 {
+			t.Errorf("%s: corrupt primary never triggered checksum failover", c.key())
+		}
+		if c.Replicas == 1 && c.Degraded == 0 {
+			t.Errorf("%s: corrupt page never degraded an answer", c.key())
+		}
+	}
+}
+
+// TestCompareGating pins the baseline gate: a report matches itself, a
+// drifted counter is a violation unless tolerance covers it, and shape or
+// config mismatches are refused loudly.
+func TestCompareGating(t *testing.T) {
+	base := &Report{Seed: 1, Records: 300, Disks: 4, Queries: 20, Trials: 1,
+		Cells: []Cell{
+			{Fault: "none", Scheme: "minimax", Workload: "uniform", Replicas: 1, Queries: 20, ScrubPages: 16},
+			{Fault: "corrupt", Scheme: "minimax", Workload: "uniform", Replicas: 2, Queries: 20, Failover: 7, ScrubPages: 32, ScrubCorrupt: 3, ScrubRepaired: 3},
+		}}
+	if v := Compare(base, base, 0); len(v) != 0 {
+		t.Fatalf("report does not match itself: %v", v)
+	}
+
+	drift := *base
+	drift.Cells = append([]Cell(nil), base.Cells...)
+	drift.Cells[1].Failover = 8
+	if v := Compare(&drift, base, 0); len(v) != 1 || !strings.Contains(v[0], "failover") {
+		t.Errorf("off-by-one failover at tolerance 0: %v", v)
+	}
+	if v := Compare(&drift, base, 0.2); len(v) != 0 {
+		t.Errorf("20%% tolerance should absorb 7→8: %v", v)
+	}
+
+	missing := *base
+	missing.Cells = base.Cells[:1]
+	if v := Compare(&missing, base, 0); len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Errorf("dropped cell: %v", v)
+	}
+	if v := Compare(base, &missing, 0); len(v) != 1 || !strings.Contains(v[0], "not in baseline") {
+		t.Errorf("extra cell: %v", v)
+	}
+
+	cfg := *base
+	cfg.Seed = 2
+	if v := Compare(&cfg, base, 0); len(v) != 1 || !strings.Contains(v[0], "config mismatch") {
+		t.Errorf("config mismatch: %v", v)
+	}
+}
+
+// TestAxisParsing pins the axis-name grammar, including raw fault specs
+// passing through to internal/fault.
+func TestAxisParsing(t *testing.T) {
+	for _, name := range []string{"none", "corrupt", "kill-disk3", "torn-disk0", "store.read:err:p=0.5"} {
+		if _, err := parseFaultAxis(name); err != nil {
+			t.Errorf("fault axis %q rejected: %v", name, err)
+		}
+	}
+	for _, name := range []string{"kill-diskX", "bogus", "store.read:maybe"} {
+		if _, err := parseFaultAxis(name); err == nil {
+			t.Errorf("fault axis %q accepted", name)
+		}
+	}
+	for _, name := range []string{"uniform", "hotspot", "points", "scans"} {
+		if _, err := parseWorkloadAxis(name); err != nil {
+			t.Errorf("workload axis %q rejected: %v", name, err)
+		}
+	}
+	if _, err := parseWorkloadAxis("zipf"); err == nil {
+		t.Error("workload axis \"zipf\" accepted")
+	}
+	if _, err := Run(Options{Records: 10, Replicas: []int{9}, Disks: 4}); err == nil {
+		t.Error("replicas > disks accepted")
+	}
+}

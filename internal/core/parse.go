@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseAllocator resolves an allocator name the way every CLI spells it:
+// the weight-based engines by lowercase name ("minimax", "minimax-euclid",
+// "ssp", "mst") or an index-based scheme/resolver pair ("DM/D", "HCAM/F").
+// seed drives each allocator's randomized choices; workers bounds the
+// pairwise-weight engine's sweep parallelism for the weight-based engines
+// (0 means GOMAXPROCS; index-based schemes have no engine and ignore it).
+func ParseAllocator(name string, seed int64, workers int) (Allocator, error) {
+	switch strings.ToLower(name) {
+	case "minimax":
+		return &Minimax{Seed: seed, Workers: workers}, nil
+	case "minimax-euclid":
+		return &Minimax{Weight: EuclideanWeight, WeightName: "euclid", Seed: seed, Workers: workers}, nil
+	case "ssp":
+		return &SSP{Seed: seed, Workers: workers}, nil
+	case "mst":
+		return &MST{Seed: seed, Workers: workers}, nil
+	}
+	scheme, resolver, ok := strings.Cut(name, "/")
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+	return NewIndexBased(scheme, resolver, seed)
+}

@@ -150,13 +150,19 @@ type Metrics struct {
 	replicaFailover       atomic.Int64
 	replicaReadsPrimary   atomic.Int64
 	replicaReadsSecondary atomic.Int64
-	traced                atomic.Int64    // queries that carried a stage trace
-	writeBatches          atomic.Int64    // writev submissions by connection writers
-	writeFrames           atomic.Int64    // response frames carried by those writes
-	diskFetches           []atomic.Int64  // bucket fetches per disk
-	latency               hist            // service time, microseconds
-	fetches               hist            // distinct buckets fetched per data query
-	stageLat              [numStages]hist // per-stage time of traced queries, nanoseconds
+	// Integrity-scrub counters (ScrubNow / the ScrubInterval loop): page
+	// copies verified, copies that failed their checksum, and copies
+	// rewritten from an intact replica.
+	scrubPages    atomic.Int64
+	scrubCorrupt  atomic.Int64
+	scrubRepaired atomic.Int64
+	traced        atomic.Int64    // queries that carried a stage trace
+	writeBatches  atomic.Int64    // writev submissions by connection writers
+	writeFrames   atomic.Int64    // response frames carried by those writes
+	diskFetches   []atomic.Int64  // bucket fetches per disk
+	latency       hist            // service time, microseconds
+	fetches       hist            // distinct buckets fetched per data query
+	stageLat      [numStages]hist // per-stage time of traced queries, nanoseconds
 }
 
 func newMetrics(disks int) *Metrics {
@@ -183,6 +189,9 @@ type Snapshot struct {
 	ReplicaFailover  int64            `json:"replica_failover"`
 	ReplicaPrimary   int64            `json:"replica_reads_primary"`
 	ReplicaSecondary int64            `json:"replica_reads_secondary"`
+	ScrubPages       int64            `json:"scrub_pages"`
+	ScrubCorrupt     int64            `json:"scrub_corrupt"`
+	ScrubRepaired    int64            `json:"scrub_repaired"`
 	DiskBytes        int64            `json:"disk_bytes,omitempty"`
 	WriteAmp         float64          `json:"write_amplification,omitempty"`
 	FaultInjected    int64            `json:"fault_injected"`
@@ -216,6 +225,9 @@ func (m *Metrics) snapshot(inflight int) Snapshot {
 		ReplicaFailover:  m.replicaFailover.Load(),
 		ReplicaPrimary:   m.replicaReadsPrimary.Load(),
 		ReplicaSecondary: m.replicaReadsSecondary.Load(),
+		ScrubPages:       m.scrubPages.Load(),
+		ScrubCorrupt:     m.scrubCorrupt.Load(),
+		ScrubRepaired:    m.scrubRepaired.Load(),
 		InFlight:         inflight,
 		PagesRead:        m.pagesRead.Load(),
 		LatencyMicros:    m.latency.snapshot(),
@@ -261,6 +273,9 @@ func (s Snapshot) writePrometheus(w http.ResponseWriter) {
 	fmt.Fprintf(w, "gridserver_replica_failover_total %d\n", s.ReplicaFailover)
 	fmt.Fprintf(w, "gridserver_replica_reads_total{copy=\"primary\"} %d\n", s.ReplicaPrimary)
 	fmt.Fprintf(w, "gridserver_replica_reads_total{copy=\"secondary\"} %d\n", s.ReplicaSecondary)
+	fmt.Fprintf(w, "gridserver_scrub_pages_total %d\n", s.ScrubPages)
+	fmt.Fprintf(w, "gridserver_scrub_corrupt_total %d\n", s.ScrubCorrupt)
+	fmt.Fprintf(w, "gridserver_scrub_repaired_total %d\n", s.ScrubRepaired)
 	fmt.Fprintf(w, "gridserver_disk_bytes %d\n", s.DiskBytes)
 	fmt.Fprintf(w, "gridserver_write_amplification %g\n", s.WriteAmp)
 	fmt.Fprintf(w, "gridserver_fault_injected_total %d\n", s.FaultInjected)

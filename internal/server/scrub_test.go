@@ -1,0 +1,279 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/gridfile"
+	"pgridfile/internal/replica"
+	"pgridfile/internal/store"
+	"pgridfile/internal/synth"
+)
+
+// writeReplicatedDir lays out f at replication factor r and returns the
+// layout directory plus the manifest (whose placements locate every page
+// copy on disk).
+func writeReplicatedDir(t *testing.T, f *gridfile.File, r int) (string, *store.Manifest) {
+	t.Helper()
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if r == 1 {
+		m, err := store.Write(dir, f, alloc, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, m
+	}
+	rm, err := (&replica.Placer{Replicas: r}).Place(g, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.WriteReplicated(dir, f, rm, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, m
+}
+
+// flipPage XOR-damages one byte in the middle of a page file's page.
+func flipPage(t *testing.T, dir string, disk int, page int64, pageBytes int) {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("disk%03d.dat", disk))
+	fh, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	off := page*int64(pageBytes) + int64(pageBytes)/2
+	var b [1]byte
+	if _, err := fh.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x08
+	if _, err := fh.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChecksumFailoverAndScrubRepair is the end-to-end integrity story on a
+// replicated layout: with read-time verification on, a query that hits a
+// corrupt primary copy fails over to the intact replica and still serves a
+// complete (non-degraded) answer; a scrub pass then detects and repairs the
+// corruption, the counters surface all of it, and a second pass finds the
+// layout clean.
+func TestChecksumFailoverAndScrubRepair(t *testing.T) {
+	f, err := synth.Uniform2D(900, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, m := writeReplicatedDir(t, f, 2)
+
+	// Corrupt the primary copy of the first bucket: an idle server's
+	// load-aware read selection prefers primaries, so queries will hit it.
+	victim := m.Buckets[0]
+	flipPage(t, dir, victim.OwnerDisks[0], victim.OwnerPages[0], m.PageBytes)
+
+	s, err := OpenDir(dir, Config{
+		Degraded:        true,
+		VerifyChecksums: true,
+		CacheBytes:      -1,
+		FetchBackoff:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cl := newTestClient(t, s, ClientConfig{})
+
+	for i := 0; i < 3; i++ {
+		n, info, err := cl.RangeCount(f.Domain())
+		if err != nil {
+			t.Fatalf("query %d over corrupt primary: %v", i, err)
+		}
+		if info.Degraded {
+			t.Fatalf("query %d degraded despite an intact replica", i)
+		}
+		if n != f.Len() {
+			t.Fatalf("query %d count = %d, want %d", i, n, f.Len())
+		}
+	}
+	snap := s.Snapshot()
+	if snap.ReplicaFailover == 0 {
+		t.Error("no failovers recorded — did verification miss the corrupt copy?")
+	}
+	if snap.Errors != 0 || snap.Degraded != 0 {
+		t.Errorf("errors=%d degraded=%d, want 0/0", snap.Errors, snap.Degraded)
+	}
+
+	st, err := s.ScrubNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrupt != 1 || st.Repaired != 1 {
+		t.Fatalf("scrub corrupt=%d repaired=%d, want 1/1", st.Corrupt, st.Repaired)
+	}
+	snap = s.Snapshot()
+	if snap.ScrubPages == 0 || snap.ScrubCorrupt != 1 || snap.ScrubRepaired != 1 {
+		t.Fatalf("snapshot scrub counters pages=%d corrupt=%d repaired=%d, want >0/1/1",
+			snap.ScrubPages, snap.ScrubCorrupt, snap.ScrubRepaired)
+	}
+
+	st, err = s.ScrubNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrupt != 0 {
+		t.Fatalf("layout still corrupt after repair: %+v", st)
+	}
+	// The repaired primary serves again without failover or degradation.
+	if n, info, err := cl.RangeCount(f.Domain()); err != nil || info.Degraded || n != f.Len() {
+		t.Fatalf("post-repair query: n=%d degraded=%v err=%v", n, info.Degraded, err)
+	}
+}
+
+// TestChecksumCorruptionDegradesUnreplicated pins the r=1 contract: a
+// corrupt page cannot be healed or rerouted, so with degraded mode on the
+// answer is partial — never an error, never silently wrong records.
+func TestChecksumCorruptionDegradesUnreplicated(t *testing.T) {
+	f, err := synth.Uniform2D(900, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, m := writeReplicatedDir(t, f, 1)
+	victim := m.Buckets[0]
+	flipPage(t, dir, victim.Disk, victim.Page, m.PageBytes)
+
+	s, err := OpenDir(dir, Config{
+		Degraded:        true,
+		VerifyChecksums: true,
+		CacheBytes:      -1,
+		FetchBackoff:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cl := newTestClient(t, s, ClientConfig{})
+	n, info, err := cl.RangeCount(f.Domain())
+	if err != nil {
+		t.Fatalf("query over corrupt page errored despite degraded mode: %v", err)
+	}
+	if !info.Degraded {
+		t.Fatal("corrupt page served without the degraded flag")
+	}
+	if n >= f.Len() {
+		t.Fatalf("degraded count %d not a strict subset of %d", n, f.Len())
+	}
+	// Detection without replication: counted, not hidden — and not repaired.
+	st, err := s.ScrubNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrupt != 1 || st.Repaired != 0 {
+		t.Fatalf("scrub corrupt=%d repaired=%d, want 1/0", st.Corrupt, st.Repaired)
+	}
+}
+
+// TestBackgroundScrubLoopRepairs proves the ScrubInterval loop heals
+// corruption without any explicit call: arm a fast interval, damage a page,
+// and the counters show detection and repair shortly after.
+func TestBackgroundScrubLoopRepairs(t *testing.T) {
+	f, err := synth.Uniform2D(600, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, m := writeReplicatedDir(t, f, 2)
+	victim := m.Buckets[0]
+	flipPage(t, dir, victim.OwnerDisks[0], victim.OwnerPages[0], m.PageBytes)
+
+	s, err := OpenDir(dir, Config{
+		VerifyChecksums: true,
+		ScrubInterval:   5 * time.Millisecond,
+		CacheBytes:      -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := s.Snapshot()
+		if snap.ScrubRepaired >= 1 {
+			if snap.ScrubCorrupt < 1 || snap.ScrubPages == 0 {
+				t.Fatalf("inconsistent scrub counters: %+v", snap)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background scrub never repaired the page: %+v", s.Snapshot())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestVerifyRequiresChecksummedLayout pins the config cross-check: asking
+// for verification or scrubbing on a checksum-free layout is refused at
+// startup instead of silently doing nothing.
+func TestVerifyRequiresChecksummedLayout(t *testing.T) {
+	f, err := synth.Uniform2D(300, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, m := writeReplicatedDir(t, f, 1)
+	stripChecksums(t, dir, m)
+	if _, err := OpenDir(dir, Config{VerifyChecksums: true}); err == nil {
+		t.Error("VerifyChecksums accepted on a checksum-free layout")
+	}
+	if _, err := OpenDir(dir, Config{ScrubInterval: time.Second}); err == nil {
+		t.Error("ScrubInterval accepted on a checksum-free layout")
+	}
+	if s, err := OpenDir(dir, Config{}); err != nil {
+		t.Errorf("plain serving of a legacy layout refused: %v", err)
+	} else {
+		s.Close()
+	}
+}
+
+// stripChecksums downgrades a layout to the legacy page format the way old
+// writers produced it: 8-byte headers, flat unversioned manifest.
+func stripChecksums(t *testing.T, dir string, m *store.Manifest) {
+	t.Helper()
+	for d := 0; d < m.Disks; d++ {
+		path := filepath.Join(dir, fmt.Sprintf("disk%03d.dat", d))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(data); off += m.PageBytes {
+			page := data[off : off+m.PageBytes]
+			body := append([]byte(nil), page[16:]...)
+			copy(page[8:], body)
+			for i := m.PageBytes - 8; i < m.PageBytes; i++ {
+				page[i] = 0
+			}
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	legacy := *m
+	legacy.PageFormat = 0
+	// Re-marshal as the flat legacy schema (no envelope, no page_format).
+	raw, err := json.MarshalIndent(legacy, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

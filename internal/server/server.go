@@ -92,6 +92,21 @@ type Config struct {
 	// missed-disk count instead of an error. Off by default: the zero
 	// value preserves fail-fast behaviour.
 	Degraded bool
+	// VerifyChecksums validates every page's CRC-32C during decode. A
+	// detected mismatch is treated like a transient disk failure: the read
+	// fails over to a surviving replica (r >= 2) or is absorbed as a
+	// degraded answer, instead of silently serving corrupt records.
+	// Requires a checksummed layout.
+	VerifyChecksums bool
+	// ScrubInterval, when positive, runs a background integrity scrub of
+	// the whole layout every interval: each pass verifies every page copy
+	// against its checksum and repairs corrupt copies from an intact
+	// replica (see store.Scrub). Requires a checksummed layout. ScrubNow
+	// runs one pass synchronously regardless of this setting.
+	ScrubInterval time.Duration
+	// ScrubPause is slept between buckets within one scrub pass, keeping a
+	// background scrub low-priority next to live queries. 0 scrubs flat out.
+	ScrubPause time.Duration
 
 	// TraceSample enables per-query stage tracing (DESIGN S23) for every
 	// n-th data query: 1 traces everything, 0 (the default) disables
@@ -112,6 +127,9 @@ type Config struct {
 	// slowFetch artificially delays every bucket fetch; test hook for
 	// exercising deadlines, admission control and shutdown under load.
 	slowFetch time.Duration
+	// clock is the time source behind latency and stage-trace measurement;
+	// test hook for deterministic timing assertions. Defaults to time.Now.
+	clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +171,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceLog == nil {
 		c.TraceLog = os.Stderr
+	}
+	if c.clock == nil {
+		c.clock = time.Now
 	}
 	return c
 }
@@ -218,6 +239,7 @@ type Server struct {
 
 	acceptWg sync.WaitGroup
 	connWg   sync.WaitGroup
+	scrubWg  sync.WaitGroup
 	done     chan struct{}
 }
 
@@ -247,6 +269,9 @@ func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
 	}
 
 	cfg = cfg.withDefaults()
+	if (cfg.VerifyChecksums || cfg.ScrubInterval > 0) && !st.Checksummed() {
+		return nil, fmt.Errorf("server: layout has no page checksums to verify (re-lay it out with a current gridtool)")
+	}
 	s := &Server{
 		cfg:     cfg,
 		grid:    grid,
@@ -259,6 +284,9 @@ func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
 		done:    make(chan struct{}),
 	}
 	st.SetFaults(s.faults)
+	if cfg.VerifyChecksums {
+		st.SetVerify(true)
+	}
 	if cfg.CacheBytes > 0 {
 		s.bcache = cache.New(cfg.CacheBytes, 0)
 	}
@@ -288,9 +316,16 @@ func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
 		go s.diskLoop(d, ch)
 	}
 
+	if cfg.ScrubInterval > 0 {
+		s.scrubWg.Add(1)
+		go s.scrubLoop()
+	}
+
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		s.stopFetchers()
+		close(s.done)
+		s.scrubWg.Wait()
 		return nil, err
 	}
 	s.ln = ln
@@ -353,6 +388,41 @@ func (s *Server) Snapshot() Snapshot {
 		snap.Cache = &st
 	}
 	return snap
+}
+
+// ScrubNow runs one synchronous integrity scrub over the layout (see
+// store.Scrub) and folds its counts into the scrub_pages / scrub_corrupt /
+// scrub_repaired counters. The background loop started by ScrubInterval
+// calls it on every tick; tests and harnesses call it directly for a
+// deterministic pass.
+func (s *Server) ScrubNow(ctx context.Context) (store.ScrubStats, error) {
+	st, err := s.st.Scrub(ctx, s.cfg.ScrubPause)
+	s.met.scrubPages.Add(st.Pages)
+	s.met.scrubCorrupt.Add(st.Corrupt)
+	s.met.scrubRepaired.Add(st.Repaired)
+	return st, err
+}
+
+// scrubLoop is the low-priority background scrubber: one full pass per
+// ScrubInterval tick, cancelled promptly on shutdown.
+func (s *Server) scrubLoop() {
+	defer s.scrubWg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-s.done
+		cancel()
+	}()
+	t := time.NewTicker(s.cfg.ScrubInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.ScrubNow(ctx)
+		}
+	}
 }
 
 // FaultStatus is the JSON payload of a VerbFaultReply: the registry's seed,
@@ -703,7 +773,7 @@ func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte 
 	defer cancel()
 
 	tr := s.acquireTrace()
-	admitStart := traceNow(tr)
+	admitStart := s.traceNow(tr)
 
 	// Admission control: at most MaxInflight queries execute; the rest
 	// wait here, which backpressures their connections instead of
@@ -721,12 +791,12 @@ func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte 
 		releaseTrace(tr)
 		return appendErrorFrame(buf, "server shutting down", id, tagged)
 	}
-	tr.addSince(stageAdmission, admitStart)
+	s.traceSince(tr, stageAdmission, admitStart)
 
-	start := time.Now()
+	start := s.cfg.clock()
 	res, err := s.executeTraced(ctx, req, tr)
 	if err != nil {
-		s.finishTrace(tr, req.Verb, time.Since(start), res.Info, err)
+		s.finishTrace(tr, req.Verb, s.cfg.clock().Sub(start), res.Info, err)
 		if ctx.Err() != nil {
 			s.met.deadlineExceeded.Add(1)
 			return appendErrorFrame(buf, "deadline exceeded: "+err.Error(), id, tagged)
@@ -734,7 +804,7 @@ func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte 
 		s.met.errors.Add(1)
 		return appendErrorFrame(buf, err.Error(), id, tagged)
 	}
-	res.Info.Elapsed = time.Since(start)
+	res.Info.Elapsed = s.cfg.clock().Sub(start)
 	s.met.queries[verbIndex(req.Verb)].Add(1)
 	if res.Info.Degraded {
 		s.met.degraded.Add(1)
@@ -747,9 +817,9 @@ func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte 
 		verb = VerbCount
 	}
 	out, fstart := beginFrame(buf, verb, id, tagged)
-	encStart := traceNow(tr)
+	encStart := s.traceNow(tr)
 	out, err = AppendResult(out, verb, res)
-	tr.addSince(stageEncode, encStart)
+	s.traceSince(tr, stageEncode, encStart)
 	if err != nil {
 		s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, err)
 		s.met.errors.Add(1)
@@ -824,7 +894,7 @@ func (s *Server) diskLoop(disk int, ch <-chan fetchReq) {
 		if req.tr != nil {
 			// Queue wait: submit to dequeue, i.e. time spent behind other
 			// batches on this spindle.
-			req.tr.addSince(stageFetchWait, req.enq)
+			s.traceSince(req.tr, stageFetchWait, req.enq)
 			tm = new(store.Timing)
 		}
 		// The runtime/trace region brackets the whole batch (retries and
@@ -853,8 +923,11 @@ func (s *Server) diskLoop(disk int, ch <-chan fetchReq) {
 // fetchBatch runs one disk batch with the per-attempt deadline and the
 // bounded retry/backoff policy. Only transient failures are retried:
 // injected faults (including torn reads, which wrap fault.ErrInjected) and
-// per-attempt timeouts. Real corruption or unknown buckets fail immediately,
-// and an expired query stops retrying at once.
+// per-attempt timeouts. Checksum mismatches are deliberately NOT retried
+// here — rereading the same corrupt copy returns the same bytes — but they
+// are transient to the gather loop, which fails them over to a surviving
+// replica. Structural corruption or unknown buckets fail immediately, and
+// an expired query stops retrying at once.
 func (s *Server) fetchBatch(ctx context.Context, disk int, ids []int32, tr *Trace, tm *store.Timing) (map[int32][]geom.Point, int, error) {
 	for attempt := 1; ; attempt++ {
 		actx, cancel := ctx, context.CancelFunc(nil)
@@ -874,9 +947,9 @@ func (s *Server) fetchBatch(ctx context.Context, disk int, ids []int32, tr *Trac
 			return nil, 0, err
 		}
 		s.met.diskRetries.Add(1)
-		backoffStart := traceNow(tr)
+		backoffStart := s.traceNow(tr)
 		serr := fault.Sleep(ctx, retryDelay(s.cfg.FetchBackoff, attempt))
-		tr.addSince(stageBackoff, backoffStart)
+		s.traceSince(tr, stageBackoff, backoffStart)
 		if serr != nil {
 			return nil, 0, err
 		}
@@ -962,7 +1035,7 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 	var joins []join
 	var leads map[int][]int32 // disk -> buckets this query must read
 	nleads := 0
-	cacheStart := traceNow(tr)
+	cacheStart := s.traceNow(tr)
 	for _, id := range ids {
 		if s.bcache != nil {
 			switch r := s.bcache.Acquire(id); {
@@ -982,7 +1055,7 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 			for _, batch := range leads {
 				s.failLeads(batch, err)
 			}
-			tr.addSince(stageCache, cacheStart)
+			s.traceSince(tr, stageCache, cacheStart)
 			return nil, info, err
 		}
 		disk := pl.Disk
@@ -1000,7 +1073,7 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 		leads[disk] = append(leads[disk], id)
 		nleads++
 	}
-	tr.addSince(stageCache, cacheStart)
+	s.traceSince(tr, stageCache, cacheStart)
 	tr.noteCache(len(out), len(joins), nleads)
 
 	// One batch per disk. The response channel is buffered for every lead
@@ -1020,7 +1093,7 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 			continue
 		}
 		select {
-		case s.fetchCh[disk] <- fetchReq{ids: batch, ctx: ctx, resp: resp, tr: tr, enq: traceNow(tr)}:
+		case s.fetchCh[disk] <- fetchReq{ids: batch, ctx: ctx, resp: resp, tr: tr, enq: s.traceNow(tr)}:
 			s.st.AddLoad(disk, int64(len(batch)))
 			submitted++
 		case <-ctx.Done():
@@ -1108,8 +1181,8 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 	// disk is what actually failed. Waiting on a leader counts as cache
 	// time: the bucket is being materialized by the cache's singleflight,
 	// not by this query's own I/O.
-	joinStart := traceNow(tr)
-	defer tr.addSince(stageCache, joinStart)
+	joinStart := s.traceNow(tr)
+	defer s.traceSince(tr, stageCache, joinStart)
 	for _, j := range joins {
 		pts, _, werr := j.p.Wait(ctx)
 		if werr != nil {
@@ -1176,7 +1249,7 @@ func (s *Server) failOver(ctx context.Context, tr *Trace, resp chan fetchResp,
 			continue
 		}
 		select {
-		case s.fetchCh[disk] <- fetchReq{ids: []int32{id}, ctx: ctx, resp: resp, tr: tr, enq: traceNow(tr)}:
+		case s.fetchCh[disk] <- fetchReq{ids: []int32{id}, ctx: ctx, resp: resp, tr: tr, enq: s.traceNow(tr)}:
 			s.st.AddLoad(disk, 1)
 			s.met.replicaFailover.Add(1)
 			resubmitted++
@@ -1195,15 +1268,19 @@ func (s *Server) failOver(ctx context.Context, tr *Trace, resp chan fetchResp,
 	return resubmitted
 }
 
-// transientErr reports whether a fetch failure is transient — injected or a
-// per-attempt fetch timeout, with the query itself still live — and thus a
-// candidate for replica failover or degraded absorption, rather than real
-// corruption or a missing bucket.
+// transientErr reports whether a fetch failure is recoverable by reading
+// elsewhere — injected, a per-attempt fetch timeout, or a detected page
+// checksum mismatch, with the query itself still live — and thus a
+// candidate for replica failover or degraded absorption. A checksum
+// failure is corruption of ONE copy, not of the bucket: a surviving
+// replica (or the scrubber's repair) still holds the records, which is
+// exactly what failover routes to. Structural failures (unknown buckets, a
+// manifest that disagrees with the page files) stay fatal.
 func (s *Server) transientErr(ctx context.Context, err error) bool {
 	if ctx.Err() != nil {
 		return false
 	}
-	return fault.IsInjected(err) ||
+	return fault.IsInjected(err) || store.IsChecksum(err) ||
 		(s.cfg.FetchTimeout > 0 && errors.Is(err, context.DeadlineExceeded))
 }
 
@@ -1215,9 +1292,9 @@ func (s *Server) degradable(ctx context.Context, err error) bool {
 }
 
 func (s *Server) pointQuery(ctx context.Context, tr *Trace, key geom.Point) (Result, error) {
-	tstart := traceNow(tr)
+	tstart := s.traceNow(tr)
 	id, ok := s.grid.BucketAt(key)
-	tr.addSince(stageTranslate, tstart)
+	s.traceSince(tr, stageTranslate, tstart)
 	if !ok {
 		return Result{}, fmt.Errorf("key %v outside the domain", key)
 	}
@@ -1237,9 +1314,9 @@ func (s *Server) pointQuery(ctx context.Context, tr *Trace, key geom.Point) (Res
 }
 
 func (s *Server) rangeQuery(ctx context.Context, tr *Trace, q geom.Rect, countOnly bool) (Result, error) {
-	tstart := traceNow(tr)
+	tstart := s.traceNow(tr)
 	ids := s.grid.BucketsInRange(q)
-	tr.addSince(stageTranslate, tstart)
+	s.traceSince(tr, stageTranslate, tstart)
 	got, info, err := s.fetchBuckets(ctx, tr, ids)
 	if err != nil {
 		return Result{}, err
@@ -1317,9 +1394,9 @@ func (s *Server) knnQuery(ctx context.Context, tr *Trace, key geom.Point, k int)
 				covers = false
 			}
 		}
-		tstart := traceNow(tr)
+		tstart := s.traceNow(tr)
 		ids := s.grid.BucketsInRange(q)
-		tr.addSince(stageTranslate, tstart)
+		s.traceSince(tr, stageTranslate, tstart)
 		var fresh []int32
 		for _, id := range ids {
 			if _, ok := fetched[id]; !ok {
@@ -1435,6 +1512,7 @@ func (s *Server) Close() error {
 		s.connWg.Wait()
 	}
 	s.stopFetchers()
+	s.scrubWg.Wait()
 
 	if s.httpSrv != nil {
 		s.httpSrv.Close()

@@ -97,13 +97,15 @@ func releaseTrace(t *Trace) {
 	tracePool.Put(t)
 }
 
-// traceNow reads the clock only when a trace is attached, so untraced
-// queries skip the call entirely. Pairs with addSince.
-func traceNow(t *Trace) time.Time {
+// traceNow reads the server clock only when a trace is attached, so
+// untraced queries skip the call entirely. Pairs with traceSince. Going
+// through cfg.clock keeps every stage measurement on the same (injectable)
+// time source as the end-to-end latency.
+func (s *Server) traceNow(t *Trace) time.Time {
 	if t == nil {
 		return time.Time{}
 	}
-	return time.Now()
+	return s.cfg.clock()
 }
 
 // add records d on a stage; nil-safe, negative durations are dropped.
@@ -114,12 +116,12 @@ func (t *Trace) add(stage int, d time.Duration) {
 	t.stages[stage].Add(int64(d))
 }
 
-// addSince records the time since a traceNow mark; nil-safe on both ends.
-func (t *Trace) addSince(stage int, start time.Time) {
+// traceSince records the time since a traceNow mark; nil-safe on both ends.
+func (s *Server) traceSince(t *Trace, stage int, start time.Time) {
 	if t == nil || start.IsZero() {
 		return
 	}
-	t.stages[stage].Add(int64(time.Since(start)))
+	t.stages[stage].Add(int64(s.cfg.clock().Sub(start)))
 }
 
 // noteCache accumulates the cache outcome of one fetchBuckets pass (k-NN

@@ -3,6 +3,7 @@ package store
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -144,10 +145,13 @@ func TestReadBucketsFromCoalesced(t *testing.T) {
 	}
 }
 
-// TestManifestVersioning pins the compatibility contract of the v2 envelope:
-// a replicated manifest carries "version": 2 and reads as implausible to the
-// flat pre-replication schema (so old readers reject it cleanly), a future
-// version is refused by name, and flat legacy manifests still open as r=1.
+// TestManifestVersioning pins the compatibility contract of the manifest
+// envelope: every new layout (replicated or not) carries "version": 3 with
+// "page_format": 2 and reads as implausible to the flat pre-replication
+// schema (so old readers reject it cleanly); a future version is refused by
+// name; and both older on-disk vintages — the v2 replicated envelope and
+// the flat unversioned r=1 layout, each with checksum-free 8-byte page
+// headers — still open and serve correctly.
 func TestManifestVersioning(t *testing.T) {
 	dir, _, _ := buildReplicatedLayout(t, 4, 2)
 	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
@@ -157,22 +161,36 @@ func TestManifestVersioning(t *testing.T) {
 	var env struct {
 		Version int `json:"version"`
 	}
-	if err := json.Unmarshal(raw, &env); err != nil || env.Version != 2 {
-		t.Fatalf("replicated manifest version = %d (err %v), want 2", env.Version, err)
+	if err := json.Unmarshal(raw, &env); err != nil || env.Version != 3 {
+		t.Fatalf("new manifest version = %d (err %v), want 3", env.Version, err)
 	}
-	// The old reader parsed the whole document as a flat Manifest and
+	if !strings.Contains(string(raw), `"page_format": 2`) {
+		t.Error("new manifest does not declare the checksummed page format")
+	}
+	// The oldest reader parsed the whole document as a flat Manifest and
 	// rejected zero disks/dims/page as implausible; the envelope hides the
 	// layout behind an unknown key, so that is exactly what it sees.
 	var flat Manifest
 	if err := json.Unmarshal(raw, &flat); err == nil {
 		if flat.Disks != 0 || flat.PageBytes != 0 {
-			t.Fatalf("v2 envelope leaks layout fields into the flat schema: disks=%d page=%d",
+			t.Fatalf("v3 envelope leaks layout fields into the flat schema: disks=%d page=%d",
 				flat.Disks, flat.PageBytes)
 		}
 	}
 
+	// r=1 layouts carry the same version bump: their pages are checksummed
+	// too, so older readers must refuse them rather than misparse records.
+	soloDir, _, _ := buildLayout(t, 2, 4096)
+	soloRaw, err := os.ReadFile(filepath.Join(soloDir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(soloRaw), `"version": 3`) {
+		t.Error("r=1 layout lacks the version-3 envelope; old readers would misread its pages")
+	}
+
 	// A version this reader does not know is refused explicitly.
-	doctored := []byte(strings.Replace(string(raw), `"version": 2`, `"version": 3`, 1))
+	doctored := []byte(strings.Replace(string(raw), `"version": 3`, `"version": 4`, 1))
 	if string(doctored) == string(raw) {
 		t.Fatal("could not doctor the manifest version")
 	}
@@ -180,25 +198,94 @@ func TestManifestVersioning(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "not supported") {
-		t.Fatalf("version 3 manifest opened: err=%v", err)
+		t.Fatalf("version 4 manifest opened: err=%v", err)
 	}
 
-	// Unreplicated layouts keep the flat legacy schema and open as r=1.
-	legacyDir, _, _ := buildLayout(t, 2, 4096)
-	legacyRaw, err := os.ReadFile(filepath.Join(legacyDir, "manifest.json"))
+	// Both pre-checksum vintages still open and read back correctly.
+	for _, vintage := range []string{"flat", "v2"} {
+		legacyDir, f, _ := buildLayout(t, 2, 4096)
+		downgradeLayout(t, legacyDir, vintage)
+		s, err := Open(legacyDir)
+		if err != nil {
+			t.Fatalf("%s legacy layout: %v", vintage, err)
+		}
+		if s.Replicas() != 1 {
+			t.Fatalf("%s legacy layout Replicas() = %d, want 1", vintage, s.Replicas())
+		}
+		if s.Checksummed() {
+			t.Fatalf("%s legacy layout reports checksummed pages", vintage)
+		}
+		for _, v := range f.Buckets() {
+			pts, _, err := s.ReadBucket(context.Background(), v.ID)
+			if err != nil {
+				t.Fatalf("%s legacy bucket %d: %v", vintage, v.ID, err)
+			}
+			if len(pts) != v.Records {
+				t.Fatalf("%s legacy bucket %d: %d records, want %d", vintage, v.ID, len(pts), v.Records)
+			}
+		}
+		s.Close()
+	}
+}
+
+// downgradeLayout rewrites a freshly-written checksummed layout into an
+// older on-disk vintage: every page's 16-byte format-2 header is squeezed
+// to the legacy 8-byte header (records slide forward, checksum dropped) and
+// the manifest loses its page_format — emitted either as the flat
+// unversioned schema ("flat") or wrapped in the v2 envelope ("v2"),
+// producing a valid instance of each pre-checksum on-disk vintage.
+func downgradeLayout(t *testing.T, dir, vintage string) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(string(legacyRaw), `"version"`) {
-		t.Error("r=1 layout gained a version envelope; old readers would reject it")
+	var env struct {
+		Version int             `json:"version"`
+		Layout  json.RawMessage `json:"layout"`
 	}
-	s, err := Open(legacyDir)
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(env.Layout, &m); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < m.Disks; d++ {
+		path := filepath.Join(dir, "disk"+fmt.Sprintf("%03d", d)+".dat")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < len(data); off += m.PageBytes {
+			page := data[off : off+m.PageBytes]
+			body := append([]byte(nil), page[16:]...)
+			copy(page[8:], body)
+			for i := m.PageBytes - 8; i < m.PageBytes; i++ {
+				page[i] = 0
+			}
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.PageFormat = 0
+	flat, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer s.Close()
-	if s.Replicas() != 1 {
-		t.Fatalf("legacy layout Replicas() = %d, want 1", s.Replicas())
+	out := flat
+	if vintage == "v2" {
+		out, err = json.MarshalIndent(struct {
+			Version int             `json:"version"`
+			Layout  json.RawMessage `json:"layout"`
+		}{Version: 2, Layout: flat}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), out, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

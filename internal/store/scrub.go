@@ -1,0 +1,168 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// ScrubStats summarizes one scrub pass over a layout.
+type ScrubStats struct {
+	Pages    int64 // page copies whose checksum was verified
+	Corrupt  int64 // page copies that failed verification
+	Repaired int64 // corrupt copies rewritten from an intact replica and re-verified
+}
+
+// Add accumulates another pass's counts.
+func (st *ScrubStats) Add(o ScrubStats) {
+	st.Pages += o.Pages
+	st.Corrupt += o.Corrupt
+	st.Repaired += o.Repaired
+}
+
+// Scrub verifies every page copy of every bucket against its stored
+// CRC-32C and, where a copy is corrupt but another owner holds an intact
+// one, rewrites the damaged pages from the good copy in place — the repair
+// path that makes r >= 2 replication worth its write amplification. It is
+// the background-integrity analogue of the read-time verify flag: reads
+// catch corruption on the pages queries happen to touch, the scrubber
+// sweeps the rest.
+//
+// Buckets are visited in ascending id order; pause, when positive, is slept
+// between buckets so a background scrub stays low-priority next to live
+// queries. Scrub reads the disk files directly (bypassing the failpoint
+// registry — it verifies the real bytes on disk, not the fault model) but
+// still registers per-disk load so replica selection steers queries away
+// from a disk being scrubbed. Concurrent readers are safe: pages are
+// fixed-size and repair rewrites a page with its own correct contents, so
+// a racing read sees either the torn page (and fails verification or
+// header validation the way it already would) or the repaired one.
+//
+// A copy that cannot be read at all (truncated or missing file regions)
+// counts as corrupt in full and is repaired the same way, which also heals
+// a disk file that was cut short. Corrupt pages with no intact sibling
+// (r=1, or all copies damaged) are counted but left in place.
+func (s *Store) Scrub(ctx context.Context, pause time.Duration) (ScrubStats, error) {
+	var st ScrubStats
+	if s.manifest.PageFormat != pageFormatChecksum {
+		return st, fmt.Errorf("store: layout has no page checksums to scrub (format %d)", s.manifest.PageFormat)
+	}
+	pls := make([]Placement, 0, len(s.byID))
+	for _, pl := range s.byID {
+		pls = append(pls, pl)
+	}
+	sort.Slice(pls, func(i, j int) bool { return pls[i].ID < pls[j].ID })
+
+	// Repair handles are opened lazily, once per disk per pass.
+	rw := make(map[int]*os.File)
+	defer func() {
+		for _, fh := range rw {
+			fh.Close()
+		}
+	}()
+	repairHandle := func(disk int) (*os.File, error) {
+		if fh, ok := rw[disk]; ok {
+			return fh, nil
+		}
+		fh, err := os.OpenFile(filepath.Join(s.dir, DiskFileName(disk)), os.O_RDWR, 0)
+		if err != nil {
+			return nil, err
+		}
+		rw[disk] = fh
+		return fh, nil
+	}
+
+	pageBytes := s.manifest.PageBytes
+	buf := make([]byte, pageBytes)
+	good := make([]byte, pageBytes)
+	for _, pl := range pls {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		// bad[p] lists the owner indices whose copy of page p failed.
+		var bad map[int][]int
+		for i, d := range pl.OwnerDisks {
+			for p := 0; p < pl.Pages; p++ {
+				st.Pages++
+				if s.scrubReadPage(d, pl.OwnerPages[i]+int64(p), buf) {
+					continue
+				}
+				st.Corrupt++
+				if bad == nil {
+					bad = make(map[int][]int)
+				}
+				bad[p] = append(bad[p], i)
+			}
+		}
+		for p, owners := range bad {
+			// Find an intact sibling copy of this page.
+			src := -1
+			for i, d := range pl.OwnerDisks {
+				if containsInt(owners, i) {
+					continue
+				}
+				if s.scrubReadPage(d, pl.OwnerPages[i]+int64(p), good) {
+					src = i
+					break
+				}
+			}
+			if src < 0 {
+				continue // no intact copy to repair from
+			}
+			for _, i := range owners {
+				d := pl.OwnerDisks[i]
+				fh, err := repairHandle(d)
+				if err != nil {
+					return st, fmt.Errorf("store: opening disk %d for repair: %w", d, err)
+				}
+				off := (pl.OwnerPages[i] + int64(p)) * int64(pageBytes)
+				if _, err := fh.WriteAt(good, off); err != nil {
+					return st, fmt.Errorf("store: repairing bucket %d page %d on disk %d: %w", pl.ID, p, d, err)
+				}
+				if s.scrubReadPage(d, pl.OwnerPages[i]+int64(p), buf) {
+					st.Repaired++
+				}
+			}
+		}
+		if pause > 0 {
+			t := time.NewTimer(pause)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return st, ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	for _, fh := range rw {
+		if err := fh.Sync(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// scrubReadPage reads one page copy directly from its disk file and reports
+// whether it is intact: readable, carrying the expected checksum. Short or
+// failed reads report false (the copy is unusable as-is).
+func (s *Store) scrubReadPage(disk int, page int64, buf []byte) bool {
+	s.loads[disk].Add(1)
+	defer s.loads[disk].Add(-1)
+	if _, err := s.files[disk].ReadAt(buf, page*int64(s.manifest.PageBytes)); err != nil {
+		return false
+	}
+	return binary.LittleEndian.Uint32(buf[8:]) == pageChecksum(buf)
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

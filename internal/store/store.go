@@ -25,7 +25,9 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
@@ -41,9 +43,39 @@ import (
 	"pgridfile/internal/replica"
 )
 
-// pageHeaderBytes is the per-page header: bucket id (u32), record count in
-// this page (u32).
-const pageHeaderBytes = 8
+// Per-page header layouts. Format 1 (legacy) carries bucket id (u32) and
+// record count (u32). Format 2 extends it with a CRC-32C of the page (u32,
+// computed with the crc field itself zeroed) and a reserved word that keeps
+// the record array 8-byte aligned. The checksum covers the whole page —
+// header, records and padding — so torn writes and bit rot anywhere in the
+// page are detectable, not just in the fields decode happens to validate.
+const (
+	pageHeaderV1 = 8
+	pageHeaderV2 = 16
+
+	pageFormatLegacy   = 1 // 8-byte header, no checksum
+	pageFormatChecksum = 2 // 16-byte header with CRC-32C
+)
+
+// pageChecksum computes the CRC-32C of a format-2 page with the crc field
+// (bytes 8..12) treated as zero.
+func pageChecksum(page []byte) uint32 {
+	var zero [4]byte
+	c := crc32.Update(0, crcTable, page[:8])
+	c = crc32.Update(c, crcTable, zero[:])
+	return crc32.Update(c, crcTable, page[12:])
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum reports a page whose stored CRC-32C does not match its
+// contents. It is wrapped by decode errors so callers can distinguish
+// detected corruption (recoverable from another replica) from structural
+// manifest/layout disagreements.
+var ErrChecksum = errors.New("page checksum mismatch")
+
+// IsChecksum reports whether err stems from a page checksum mismatch.
+func IsChecksum(err error) bool { return errors.Is(err, ErrChecksum) }
 
 // Placement locates one bucket in the layout. A replicated layout stores a
 // copy of the bucket on every owner disk: OwnerDisks[i] holds a copy whose
@@ -60,41 +92,61 @@ type Placement struct {
 	OwnerPages []int64 `json:"owner_pages,omitempty"`
 }
 
-// Manifest describes a layout directory.
+// Manifest describes a layout directory. PageFormat selects the per-page
+// header layout (0/absent means the legacy checksum-free format 1; new
+// layouts are always written with the checksummed format 2).
 type Manifest struct {
-	Disks     int          `json:"disks"`
-	Dims      int          `json:"dims"`
-	PageBytes int          `json:"page_bytes"`
-	Replicas  int          `json:"replicas,omitempty"` // copies per bucket; 0/absent means 1
-	Domain    [][2]float64 `json:"domain"`
-	Buckets   []Placement  `json:"buckets"`
+	Disks      int          `json:"disks"`
+	Dims       int          `json:"dims"`
+	PageBytes  int          `json:"page_bytes"`
+	Replicas   int          `json:"replicas,omitempty"`    // copies per bucket; 0/absent means 1
+	PageFormat int          `json:"page_format,omitempty"` // 0/1 legacy, 2 checksummed
+	Domain     [][2]float64 `json:"domain"`
+	Buckets    []Placement  `json:"buckets"`
 }
 
-// manifestVersion is the envelope a replicated layout's manifest.json is
-// wrapped in: {"version": 2, "layout": {…}}. Readers that predate the
-// envelope unmarshal it into the flat Manifest shape, find every required
-// field zero, and reject the directory with the "implausible manifest"
-// error — a clean refusal rather than a silent half-read of a replicated
-// layout. Unversioned manifests (no "version" key) are the legacy r=1
-// format and stay readable.
+// headerBytes returns the per-page header size for the manifest's page
+// format.
+func (m *Manifest) headerBytes() int {
+	if m.PageFormat == pageFormatChecksum {
+		return pageHeaderV2
+	}
+	return pageHeaderV1
+}
+
+// manifestVersion is the envelope a layout's manifest.json is wrapped in:
+// {"version": N, "layout": {…}}. Readers that predate the envelope
+// unmarshal it into the flat Manifest shape, find every required field
+// zero, and reject the directory with the "implausible manifest" error — a
+// clean refusal rather than a silent half-read of a layout they cannot
+// serve correctly. Unversioned manifests (no "version" key) are the legacy
+// checksum-free r=1 format and stay readable, as are version-2 envelopes
+// (replicated, checksum-free). Version 3 marks the checksummed page format;
+// every new layout is written at version 3 regardless of replication
+// factor, because the page header change alone makes the files unreadable
+// to older vintages.
 type manifestVersion struct {
 	Version int             `json:"version"`
 	Layout  json.RawMessage `json:"layout"`
 }
 
-// manifestVersionCurrent is the newest envelope version this reader writes
-// and understands.
-const manifestVersionCurrent = 2
+// Envelope versions this reader understands. manifestVersionCurrent is what
+// the writer emits.
+const (
+	manifestVersionReplicated = 2
+	manifestVersionCurrent    = 3
+)
 
-// recordsPerPage returns how many dims-dimensional keys fit in a page.
-func recordsPerPage(pageBytes, dims int) int {
-	return (pageBytes - pageHeaderBytes) / (8 * dims)
+// recordsPerPage returns how many dims-dimensional keys fit in a page with
+// the given header size.
+func recordsPerPage(pageBytes, dims, header int) int {
+	return (pageBytes - header) / (8 * dims)
 }
 
 // Write lays out the grid file's buckets over per-disk page files under
-// dir, following the allocation. It returns the manifest it wrote. The
-// manifest stays in the legacy unversioned (r=1) format, so layouts written
-// by Write remain readable by any reader vintage.
+// dir, following the allocation. It returns the manifest it wrote. Pages
+// are written in the checksummed format and the manifest carries the
+// version-3 envelope (see manifestVersion).
 func Write(dir string, f *gridfile.File, alloc core.Allocation, pageBytes int) (*Manifest, error) {
 	views := f.Buckets()
 	if err := alloc.Validate(len(views)); err != nil {
@@ -111,9 +163,9 @@ func Write(dir string, f *gridfile.File, alloc core.Allocation, pageBytes int) (
 
 // WriteReplicated lays out the grid file with each bucket written to every
 // disk in its owner list, following a replica map (see internal/replica).
-// The manifest is wrapped in the version-2 envelope so readers that predate
-// replication reject the directory cleanly instead of serving only primary
-// copies.
+// The manifest is wrapped in the version-3 envelope so readers that predate
+// replication or page checksums reject the directory cleanly instead of
+// misreading it.
 func WriteReplicated(dir string, f *gridfile.File, rm *replica.Map, pageBytes int) (*Manifest, error) {
 	views := f.Buckets()
 	if err := rm.Validate(len(views)); err != nil {
@@ -124,10 +176,11 @@ func WriteReplicated(dir string, f *gridfile.File, rm *replica.Map, pageBytes in
 
 // writeLayout is the shared layout writer: owners[i] lists the disks that
 // receive a copy of bucket views[i] (the first entry is the primary).
-// replicas == 1 emits the legacy flat manifest; anything higher emits the
-// version-2 envelope with per-copy owner page lists.
+// Every page carries the checksummed format-2 header and the manifest is
+// wrapped in the version-3 envelope; replicated layouts additionally record
+// per-copy owner page lists.
 func writeLayout(dir string, f *gridfile.File, owners [][]int, disks, replicas, pageBytes int) (*Manifest, error) {
-	if pageBytes <= pageHeaderBytes+8*f.Dims() {
+	if pageBytes <= pageHeaderV2+8*f.Dims() {
 		return nil, fmt.Errorf("store: page size %d too small for %d-D records", pageBytes, f.Dims())
 	}
 	views := f.Buckets()
@@ -137,9 +190,10 @@ func writeLayout(dir string, f *gridfile.File, owners [][]int, disks, replicas, 
 
 	dom := f.Domain()
 	m := &Manifest{
-		Disks:     disks,
-		Dims:      f.Dims(),
-		PageBytes: pageBytes,
+		Disks:      disks,
+		Dims:       f.Dims(),
+		PageBytes:  pageBytes,
+		PageFormat: pageFormatChecksum,
 	}
 	if replicas > 1 {
 		m.Replicas = replicas
@@ -151,7 +205,7 @@ func writeLayout(dir string, f *gridfile.File, owners [][]int, disks, replicas, 
 	files := make([]*os.File, disks)
 	nextPage := make([]int64, disks)
 	for d := range files {
-		path := filepath.Join(dir, diskFileName(d))
+		path := filepath.Join(dir, DiskFileName(d))
 		fh, err := os.Create(path)
 		if err != nil {
 			closeAll(files)
@@ -161,7 +215,7 @@ func writeLayout(dir string, f *gridfile.File, owners [][]int, disks, replicas, 
 	}
 	defer closeAll(files)
 
-	perPage := recordsPerPage(pageBytes, f.Dims())
+	perPage := recordsPerPage(pageBytes, f.Dims(), pageHeaderV2)
 	page := make([]byte, pageBytes)
 	for _, v := range views {
 		var keys []float64
@@ -193,11 +247,12 @@ func writeLayout(dir string, f *gridfile.File, owners [][]int, disks, replicas, 
 			}
 			binary.LittleEndian.PutUint32(page[0:], uint32(v.ID))
 			binary.LittleEndian.PutUint32(page[4:], uint32(end-start))
-			off := pageHeaderBytes
+			off := pageHeaderV2
 			for _, k := range keys[start*f.Dims() : end*f.Dims()] {
 				binary.LittleEndian.PutUint64(page[off:], floatBits(k))
 				off += 8
 			}
+			binary.LittleEndian.PutUint32(page[8:], pageChecksum(page))
 			for _, d := range own {
 				if _, err := files[d].Write(page); err != nil {
 					return nil, err
@@ -234,17 +289,14 @@ func writeLayout(dir string, f *gridfile.File, owners [][]int, disks, replicas, 
 	if err != nil {
 		return nil, err
 	}
-	if replicas > 1 {
-		env, err := json.MarshalIndent(manifestVersion{
-			Version: manifestVersionCurrent,
-			Layout:  manifest,
-		}, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		manifest = env
+	env, err := json.MarshalIndent(manifestVersion{
+		Version: manifestVersionCurrent,
+		Layout:  manifest,
+	}, "", "  ")
+	if err != nil {
+		return nil, err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), manifest, 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), env, 0o644); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -253,8 +305,20 @@ func writeLayout(dir string, f *gridfile.File, owners [][]int, disks, replicas, 
 // Store reads buckets from a layout directory with real file I/O.
 type Store struct {
 	manifest Manifest
+	dir      string
 	files    []*os.File
 	byID     map[int32]Placement
+
+	// header is the per-page header size for the layout's page format.
+	header int
+
+	// verify, when true, checks every page's CRC-32C during decode (only
+	// meaningful for checksummed layouts). Set before concurrent use.
+	verify bool
+
+	// now is the clock used by the timed read variants; a test hook
+	// (SetClock) can replace it.
+	now func() time.Time
 
 	// loads counts in-flight reads per disk. readAt maintains a baseline
 	// (each positioned read counts while it runs, stalls included) and the
@@ -270,7 +334,8 @@ type Store struct {
 }
 
 // Open loads a layout directory written by Write or WriteReplicated. It
-// accepts the legacy unversioned (r=1) manifest and the version-2 replicated
+// accepts the legacy unversioned (r=1, checksum-free) manifest, the
+// version-2 replicated envelope, and the current version-3 checksummed
 // envelope, and rejects versions it does not understand.
 func Open(dir string) (*Store, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
@@ -285,8 +350,8 @@ func Open(dir string) (*Store, error) {
 	case env.Version == 0 && env.Layout == nil:
 		// Legacy unversioned manifest: the whole document is the layout.
 		env.Layout = raw
-	case env.Version != manifestVersionCurrent:
-		return nil, fmt.Errorf("store: manifest version %d not supported by this reader (want %d)",
+	case env.Version != manifestVersionReplicated && env.Version != manifestVersionCurrent:
+		return nil, fmt.Errorf("store: manifest version %d not supported by this reader (want <= %d)",
 			env.Version, manifestVersionCurrent)
 	case env.Layout == nil:
 		return nil, fmt.Errorf("store: version %d manifest has no layout", env.Version)
@@ -295,7 +360,14 @@ func Open(dir string) (*Store, error) {
 	if err := json.Unmarshal(env.Layout, &m); err != nil {
 		return nil, fmt.Errorf("store: parsing manifest: %w", err)
 	}
-	if m.Disks < 1 || m.Dims < 1 || m.PageBytes <= pageHeaderBytes {
+	switch m.PageFormat {
+	case 0:
+		m.PageFormat = pageFormatLegacy
+	case pageFormatLegacy, pageFormatChecksum:
+	default:
+		return nil, fmt.Errorf("store: page format %d not supported by this reader", m.PageFormat)
+	}
+	if m.Disks < 1 || m.Dims < 1 || m.PageBytes <= m.headerBytes() {
 		return nil, fmt.Errorf("store: implausible manifest (disks=%d dims=%d page=%d)",
 			m.Disks, m.Dims, m.PageBytes)
 	}
@@ -305,7 +377,13 @@ func Open(dir string) (*Store, error) {
 	if m.Replicas < 1 || m.Replicas > m.Disks {
 		return nil, fmt.Errorf("store: manifest has %d replicas on %d disks", m.Replicas, m.Disks)
 	}
-	s := &Store{manifest: m, byID: make(map[int32]Placement, len(m.Buckets))}
+	s := &Store{
+		manifest: m,
+		dir:      dir,
+		byID:     make(map[int32]Placement, len(m.Buckets)),
+		header:   m.headerBytes(),
+		now:      time.Now,
+	}
 	for i := range m.Buckets {
 		pl := &m.Buckets[i]
 		if len(pl.OwnerDisks) == 0 {
@@ -321,7 +399,7 @@ func Open(dir string) (*Store, error) {
 	s.loads = make([]atomic.Int64, m.Disks)
 	s.files = make([]*os.File, m.Disks)
 	for d := range s.files {
-		fh, err := os.Open(filepath.Join(dir, diskFileName(d)))
+		fh, err := os.Open(filepath.Join(dir, DiskFileName(d)))
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -463,15 +541,21 @@ func (s *Store) decodeBucket(data []byte, pl Placement) ([]geom.Point, error) {
 	flat := make([]float64, 0, pl.Recs*dims)
 	for p := 0; p < pl.Pages; p++ {
 		page := data[p*pageBytes : (p+1)*pageBytes]
+		if s.verify && s.manifest.PageFormat == pageFormatChecksum {
+			if got, want := binary.LittleEndian.Uint32(page[8:]), pageChecksum(page); got != want {
+				return nil, fmt.Errorf("store: bucket %d page %d: %w (stored %08x, computed %08x)",
+					pl.ID, p, ErrChecksum, got, want)
+			}
+		}
 		gotID := int32(binary.LittleEndian.Uint32(page[0:]))
 		if gotID != pl.ID {
 			return nil, fmt.Errorf("store: page %d of bucket %d holds bucket %d", p, pl.ID, gotID)
 		}
 		n := int(binary.LittleEndian.Uint32(page[4:]))
-		if n < 0 || pageHeaderBytes+n*8*dims > pageBytes {
+		if n < 0 || s.header+n*8*dims > pageBytes {
 			return nil, fmt.Errorf("store: bucket %d page %d has implausible count %d", pl.ID, p, n)
 		}
-		o := pageHeaderBytes
+		o := s.header
 		for i := 0; i < n*dims; i++ {
 			flat = append(flat, bitsFloat(binary.LittleEndian.Uint64(page[o:])))
 			o += 8
@@ -502,6 +586,20 @@ func (s *Store) SetFaults(reg *fault.Registry) {
 
 // Faults returns the registry attached with SetFaults, or nil.
 func (s *Store) Faults() *fault.Registry { return s.faults }
+
+// SetVerify enables (or disables) CRC-32C validation of every page during
+// decode. It only has an effect on checksummed layouts. Call before handing
+// the Store to concurrent readers.
+func (s *Store) SetVerify(on bool) { s.verify = on }
+
+// Checksummed reports whether the layout's pages carry CRC-32C checksums
+// (the format every new layout is written in).
+func (s *Store) Checksummed() bool { return s.manifest.PageFormat == pageFormatChecksum }
+
+// SetClock replaces the clock used by the timed read variants. Test hook:
+// a deterministic step clock makes pread/decode timings exact. Call before
+// handing the Store to concurrent readers.
+func (s *Store) SetClock(now func() time.Time) { s.now = now }
 
 // readAt performs one positioned read against a disk file, first consulting
 // the failpoint registry. An injected delay stalls (bounded by ctx), an
@@ -588,11 +686,11 @@ func (s *Store) readOne(ctx context.Context, pl Placement, tm *Timing) ([]geom.P
 	defer putBuf(buf)
 	var t0 time.Time
 	if tm != nil {
-		t0 = time.Now()
+		t0 = s.now()
 	}
 	torn, err := s.readAt(ctx, pl.Disk, buf, pl.Page*int64(s.manifest.PageBytes))
 	if tm != nil {
-		now := time.Now()
+		now := s.now()
 		tm.Pread += now.Sub(t0)
 		t0 = now
 	}
@@ -601,7 +699,7 @@ func (s *Store) readOne(ctx context.Context, pl Placement, tm *Timing) ([]geom.P
 	}
 	out, err := s.decodeBucket(buf, pl)
 	if tm != nil {
-		tm.Decode += time.Since(t0)
+		tm.Decode += s.now().Sub(t0)
 	}
 	if err != nil {
 		if torn {
@@ -749,11 +847,11 @@ func (s *Store) readPlacements(ctx context.Context, pls []Placement, out map[int
 		buf := getBuf(runPages * s.manifest.PageBytes)
 		var t0 time.Time
 		if tm != nil {
-			t0 = time.Now()
+			t0 = s.now()
 		}
 		torn, err := s.readAt(ctx, pls[lo].Disk, buf, pls[lo].Page*pageBytes)
 		if tm != nil {
-			now := time.Now()
+			now := s.now()
 			tm.Pread += now.Sub(t0)
 			t0 = now
 		}
@@ -778,7 +876,7 @@ func (s *Store) readPlacements(ctx context.Context, pls []Placement, out map[int
 		}
 		putBuf(buf)
 		if tm != nil {
-			tm.Decode += time.Since(t0)
+			tm.Decode += s.now().Sub(t0)
 		}
 		pages += runPages
 		lo = hi
@@ -808,7 +906,10 @@ func (s *Store) Close() {
 	}
 }
 
-func diskFileName(d int) string { return fmt.Sprintf("disk%03d.dat", d) }
+// DiskFileName names disk d's page file within a layout directory. Exported
+// so tooling that manipulates layouts physically (fault campaigns, tests)
+// agrees with the writer on spelling.
+func DiskFileName(d int) string { return fmt.Sprintf("disk%03d.dat", d) }
 
 // gridFileName is the embedded grid file within a layout directory.
 const gridFileName = "grid.grd"

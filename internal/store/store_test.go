@@ -317,7 +317,7 @@ func TestReadBucketsMatchesReadBucket(t *testing.T) {
 func TestTruncatedPageFile(t *testing.T) {
 	dir, f, _ := buildLayout(t, 2, 4096)
 	// Truncate disk 0 to one page: any multi-bucket read on it must fail.
-	path := filepath.Join(dir, diskFileName(0))
+	path := filepath.Join(dir, DiskFileName(0))
 	if err := os.Truncate(path, 4096); err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +363,7 @@ func TestCorruptPageHeader(t *testing.T) {
 	s.Close()
 
 	// Overwrite the page's bucket-id header with a different id.
-	path := filepath.Join(dir, diskFileName(pl.Disk))
+	path := filepath.Join(dir, DiskFileName(pl.Disk))
 	fh, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		t.Fatal(err)

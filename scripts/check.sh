@@ -17,8 +17,12 @@
 #   9. open-loop smoke
 #                  open-loop run at a fixed offered rate: zero errors,
 #                  achieved qps >= 95% of offered
-#  10. bench smoke one-shot run of the serving-path benchmark suite
-#  11. decluster smoke
+#  10. campaign gate
+#                  deterministic fault x scheme x workload x replication
+#                  matrix: byte-identical across runs, zero surfaced errors,
+#                  and exactly matching the committed CAMPAIGN.json
+#  11. bench smoke one-shot run of the serving-path benchmark suite
+#  12. decluster smoke
 #                  one iteration of the build-path benchmark; its parallel
 #                  variant asserts the engine assignment is byte-identical
 #                  to the serial reference
@@ -63,6 +67,9 @@ REPLICA_SEED="${REPLICA_SEED:-1}" sh scripts/replica.sh 500
 
 echo "== open-loop smoke"
 OPENLOOP_SEED="${OPENLOOP_SEED:-1}" sh scripts/openloop.sh 2000
+
+echo "== campaign gate"
+sh scripts/campaign.sh
 
 echo "== bench smoke"
 BENCH_SMOKE_OUT=$(mktemp)
