@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 2000x
 
-.PHONY: all build test race check fmt vet fuzz chaos replica trace campaign bench bench-open bench-decluster bench-all clean
+.PHONY: all build test race check fmt vet fuzz chaos replica write trace campaign bench bench-open bench-decluster bench-all clean
 
 all: build
 
@@ -39,6 +39,12 @@ chaos:
 # serve every query completely (0 errors, 0 degraded, failovers > 0).
 replica:
 	sh scripts/replica.sh
+
+# Online-write durability smoke: ingest at r=2 with one disk's page writes
+# killed, crash without a checkpoint, replay the journals; zero lost acks,
+# bucket splits observed, scrub clean.
+write:
+	sh scripts/write.sh
 
 # Observability smoke: traced bench run must emit a complete per-stage
 # breakdown in the bench JSON and one slow-query log line per query.

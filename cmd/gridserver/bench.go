@@ -66,6 +66,11 @@ type benchOpts struct {
 
 	pipeline int  // requests in flight per connection (closed and open loop)
 	nodelay  bool // TCP_NODELAY on both ends
+
+	// writeFrac mixes INSERTs into the closed loop: that fraction of the
+	// ops become writes with fresh keys. In-process servers open writable
+	// automatically when it is nonzero.
+	writeFrac float64
 }
 
 type benchRow struct {
@@ -100,6 +105,17 @@ type benchRow struct {
 	// rate; Achieved is what the server completed; the latency percentiles
 	// above are then measured from intended send times, so queueing under
 	// saturation counts against the server (no coordinated omission).
+	// Write-mix fields (-write-frac): what the clients sent and what the
+	// server's journaled write path recorded over the run. WritesSent counts
+	// the INSERTs issued, WritesAcked the ones acknowledged as applied; the
+	// counter deltas come from the server's STATS snapshot.
+	WritesSent     int   `json:"writes_sent,omitempty"`
+	WritesAcked    int   `json:"writes_acked,omitempty"`
+	Inserts        int64 `json:"inserts,omitempty"`
+	Deletes        int64 `json:"deletes,omitempty"`
+	JournalAppends int64 `json:"journal_appends,omitempty"`
+	BucketSplits   int64 `json:"bucket_splits,omitempty"`
+
 	Mode      string  `json:"mode,omitempty"` // "open" on open-loop rows
 	Arrivals  string  `json:"arrivals,omitempty"`
 	Pipeline  int     `json:"pipeline,omitempty"`
@@ -144,6 +160,7 @@ func runBench(args []string, out io.Writer) error {
 	sweep := fs.String("sweep", "", "open-loop rate sweep start:factor:steps, e.g. 1000:2:6 (implies -open-loop)")
 	slo := fs.Duration("slo", 0, "p99 bound a sweep step must meet to count as sustained (0 disables)")
 	pipeline := fs.Int("pipeline", 1, "requests kept in flight per connection (1 = one-at-a-time)")
+	writeFrac := fs.Float64("write-frac", 0, "fraction of closed-loop ops sent as INSERTs (in-process servers open writable; remote servers need -writable)")
 	nodelay := fs.Bool("nodelay", true, "set TCP_NODELAY on bench connections (and the in-process server)")
 	fs.Parse(args)
 
@@ -162,6 +179,13 @@ func runBench(args []string, out io.Writer) error {
 		arrivals: arrivals, hot: *hot, hotFrac: *hotFrac,
 		sweep: *sweep, slo: *slo,
 		pipeline: *pipeline, nodelay: *nodelay,
+		writeFrac: *writeFrac,
+	}
+	if opts.writeFrac < 0 || opts.writeFrac >= 1 {
+		return fmt.Errorf("bench: -write-frac wants [0,1), got %g", opts.writeFrac)
+	}
+	if opts.writeFrac > 0 && opts.openLoop {
+		return fmt.Errorf("bench: -write-frac is a closed-loop mix (not usable with -open-loop/-sweep)")
 	}
 	modes := 0
 	for _, set := range []bool{*addr != "", *dir != "", *grid != ""} {
@@ -295,6 +319,7 @@ func benchStore(dir, label string, opts benchOpts) ([]benchRow, error) {
 		Faults:          fault.NewRegistry(opts.faultSeed),
 		Degraded:        opts.degraded,
 		FetchRetries:    opts.fetchRetries,
+		Writable:        opts.writeFrac > 0,
 	}
 	if opts.trace {
 		cfg.TraceSample = 1
@@ -362,14 +387,33 @@ func closedAddr(c *server.Client, snap server.Snapshot, dom geom.Rect, label str
 		}
 		points[i] = p
 	}
+	// -write-frac: a deterministic subset of the ops become INSERTs with
+	// fresh keys (own seed stream, so the read workload is unchanged).
+	var isWrite []bool
+	var writeKeys []geom.Point
+	if opts.writeFrac > 0 {
+		wrng := rand.New(rand.NewSource(opts.seed + 3))
+		isWrite = make([]bool, opts.queries)
+		writeKeys = make([]geom.Point, opts.queries)
+		for i := range isWrite {
+			isWrite[i] = wrng.Float64() < opts.writeFrac
+			p := make(geom.Point, len(dom))
+			for d := range p {
+				p[d] = dom[d].Lo + wrng.Float64()*dom[d].Length()
+			}
+			writeKeys[i] = p
+		}
+	}
 
 	var (
-		next     atomic.Int64
-		mu       sync.Mutex
-		lats     []float64 // milliseconds
-		errors   int
-		degraded int
-		wg       sync.WaitGroup
+		next        atomic.Int64
+		mu          sync.Mutex
+		lats        []float64 // milliseconds
+		errors      int
+		degraded    int
+		writesSent  int
+		writesAcked int
+		wg          sync.WaitGroup
 	)
 	start := time.Now()
 	for w := 0; w < opts.clients; w++ {
@@ -384,7 +428,13 @@ func closedAddr(c *server.Client, snap server.Snapshot, dom geom.Rect, label str
 				t0 := time.Now()
 				var err error
 				var info server.QueryInfo
+				wrote, applied := false, false
 				switch {
+				case isWrite != nil && isWrite[i]:
+					wrote = true
+					var res server.Result
+					res, err = c.Insert(writeKeys[i])
+					info, applied = res.Info, res.Applied
 				case i%10 < 3:
 					_, info, err = c.Range(ranges[i])
 				case i%10 < 6:
@@ -405,6 +455,12 @@ func closedAddr(c *server.Client, snap server.Snapshot, dom geom.Rect, label str
 				if info.Degraded {
 					degraded++
 				}
+				if wrote {
+					writesSent++
+					if applied {
+						writesAcked++
+					}
+				}
 				mu.Unlock()
 			}
 		}()
@@ -421,6 +477,9 @@ func closedAddr(c *server.Client, snap server.Snapshot, dom geom.Rect, label str
 		P50:      stats.Percentile(lats, 50),
 		P95:      stats.Percentile(lats, 95),
 		P99:      stats.Percentile(lats, 99),
+
+		WritesSent:  writesSent,
+		WritesAcked: writesAcked,
 	}
 	attachServerStats(&row, c, snap)
 	return row, nil
@@ -442,6 +501,16 @@ func attachServerStats(row *benchRow, c *server.Client, before server.Snapshot) 
 	row.ReplicaFailover = after.ReplicaFailover - before.ReplicaFailover
 	row.ReplicaPrimary = after.ReplicaPrimary - before.ReplicaPrimary
 	row.ReplicaSecondary = after.ReplicaSecondary - before.ReplicaSecondary
+	if after.Writes != nil {
+		var b store.WriteCounters
+		if before.Writes != nil {
+			b = *before.Writes
+		}
+		row.Inserts = after.Writes.Inserts - b.Inserts
+		row.Deletes = after.Writes.Deletes - b.Deletes
+		row.JournalAppends = after.Writes.JournalAppends - b.JournalAppends
+		row.BucketSplits = after.Writes.BucketSplits - b.BucketSplits
+	}
 	if len(after.StagesMicros) > 0 {
 		row.Stages = make(map[string]float64, len(after.StagesMicros))
 		for name, q := range after.StagesMicros {

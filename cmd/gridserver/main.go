@@ -4,6 +4,9 @@
 // Subcommands:
 //
 //	gridserver serve -store layout/ [-addr 127.0.0.1:7090] [-http :7091]
+//	gridserver serve -store layout/ -writable
+//	gridserver ingest -store layout/ -n 2000 -fault "store.write.disk0:err"
+//	gridserver bench -store layout/ -write-frac 0.2 -writable
 //	gridserver serve -store layout/ -fault "store.read:err:p=0.05" [-degraded=false]
 //	gridserver serve -store layout/ -trace-sample 100 -trace-slow 50ms
 //	gridserver bench -store layout/ [-clients 8] [-queries 2000]
@@ -67,6 +70,8 @@ func main() {
 		err = runBench(os.Args[2:], os.Stdout)
 	case "campaign":
 		err = runCampaign(os.Args[2:], os.Stdout)
+	case "ingest":
+		err = runIngest(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -93,6 +98,9 @@ subcommands:
             optionally comparing declustering schemes on the same grid file
   campaign  deterministic scenario matrix: faults x schemes x workloads x
             replication, gated against a committed baseline report
+  ingest    online-write crash/replay smoke: insert under optional write-path
+            faults, hard-crash without a checkpoint, reopen, verify zero lost
+            acks and a clean scrub (JSON report)
 
 run "gridserver <subcommand> -h" for subcommand flags`)
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pgridfile/internal/core"
+	"pgridfile/internal/replica"
 	"pgridfile/internal/store"
 	"pgridfile/internal/synth"
 )
@@ -258,5 +259,110 @@ func TestParseAllocatorNames(t *testing.T) {
 		if _, err := parseAllocator(name, 1); err == nil {
 			t.Errorf("%s accepted", name)
 		}
+	}
+}
+
+// writeReplicatedTestLayout builds a small r-way replicated minimax layout
+// (checksummed pages, so it is writable).
+func writeReplicatedTestLayout(t *testing.T, records, disks, r int) string {
+	t.Helper()
+	f, err := synth.Uniform2D(records, 11).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := (&replica.Placer{Replicas: r}).Place(g, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "layout")
+	if _, err := store.WriteReplicated(dir, f, rm, 4096); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestIngestCrashReplay runs the ingest subcommand with one disk's page
+// writes killed: the JSON report must show zero lost acks, a clean scrub,
+// and a replay that actually happened.
+func TestIngestCrashReplay(t *testing.T) {
+	dir := writeReplicatedTestLayout(t, 600, 4, 2)
+	var buf bytes.Buffer
+	err := runIngest([]string{
+		"-store", dir, "-n", "500", "-seed", "3",
+		"-fault", "store.write.disk0:err",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("ingest: %v\n%s", err, buf.String())
+	}
+	var rep ingestReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, buf.String())
+	}
+	if !rep.OK || rep.LostAcks != 0 || rep.ScrubCorrupt != 0 {
+		t.Fatalf("ingest report not clean: %+v", rep)
+	}
+	if rep.Acked == 0 || rep.Replayed == 0 {
+		t.Fatalf("ingest did not exercise the journal: %+v", rep)
+	}
+}
+
+func TestIngestFlagValidation(t *testing.T) {
+	if err := runIngest(nil, &bytes.Buffer{}); err == nil {
+		t.Error("ingest without -store accepted")
+	}
+	if err := runIngest([]string{"-store", filepath.Join(t.TempDir(), "nope")}, &bytes.Buffer{}); err == nil {
+		t.Error("ingest with missing layout accepted")
+	}
+}
+
+// TestBenchWriteFrac mixes INSERTs into the closed loop against an
+// in-process writable server; the JSON rows must carry the acked write and
+// journal counters.
+func TestBenchWriteFrac(t *testing.T) {
+	dir := writeReplicatedTestLayout(t, 600, 4, 2)
+	jsonPath := filepath.Join(t.TempDir(), "rows.json")
+	var buf bytes.Buffer
+	err := runBench([]string{
+		"-store", dir, "-clients", "4", "-queries", "300", "-seed", "5",
+		"-write-frac", "0.3", "-json", jsonPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(rows))
+	}
+	row := rows[0]
+	if row.Errors != 0 {
+		t.Errorf("write-mix bench reported %d errors", row.Errors)
+	}
+	if row.WritesSent == 0 || row.WritesAcked != row.WritesSent {
+		t.Errorf("writes sent %d, acked %d; want all acked", row.WritesSent, row.WritesAcked)
+	}
+	if row.Inserts != int64(row.WritesAcked) {
+		t.Errorf("server inserts %d, client acked %d", row.Inserts, row.WritesAcked)
+	}
+	if row.JournalAppends != 2*row.Inserts {
+		t.Errorf("journal appends %d, want %d (r=2)", row.JournalAppends, 2*row.Inserts)
+	}
+	// Invalid fractions and open-loop combinations are rejected.
+	if err := runBench([]string{"-store", dir, "-write-frac", "1.5"}, &bytes.Buffer{}); err == nil {
+		t.Error("-write-frac 1.5 accepted")
+	}
+	if err := runBench([]string{"-store", dir, "-write-frac", "0.2", "-open-loop"}, &bytes.Buffer{}); err == nil {
+		t.Error("-write-frac with -open-loop accepted")
 	}
 }

@@ -57,6 +57,7 @@ func runServe(args []string) error {
 	verify := fs.Bool("verify-checksums", false, "verify per-page checksums on every read (layout must carry page format 2)")
 	scrubInterval := fs.Duration("scrub-interval", 0, "background checksum scrub period; repairs corrupt pages from replicas (0 disables)")
 	scrubPause := fs.Duration("scrub-pause", 10*time.Millisecond, "pause between buckets during a scrub pass (lowers scrub I/O priority)")
+	writable := fs.Bool("writable", false, "accept INSERT/DELETE (layout must carry checksummed pages; mutations are journaled per disk)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -store is required")
@@ -88,6 +89,7 @@ func runServe(args []string) error {
 		VerifyChecksums: *verify,
 		ScrubInterval:   *scrubInterval,
 		ScrubPause:      *scrubPause,
+		Writable:        *writable,
 	})
 	if err != nil {
 		return err
@@ -110,6 +112,9 @@ func runServe(args []string) error {
 	}
 	if *scrubInterval > 0 {
 		fmt.Printf("gridserver: background scrub every %s (pause %s between buckets)\n", *scrubInterval, *scrubPause)
+	}
+	if *writable {
+		fmt.Println("gridserver: online writes enabled (INSERT/DELETE journaled to every owner disk)")
 	}
 
 	sig := make(chan os.Signal, 1)

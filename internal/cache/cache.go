@@ -45,13 +45,14 @@ type Cache struct {
 	shards []shard
 	mask   uint32
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	shared    atomic.Int64 // singleflight joins: misses served by a leader's read
-	evictions atomic.Int64
-	bytes     atomic.Int64
-	entries   atomic.Int64
-	maxBytes  int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	shared        atomic.Int64 // singleflight joins: misses served by a leader's read
+	evictions     atomic.Int64
+	invalidations atomic.Int64 // write-path drops (distinct from budget evictions)
+	bytes         atomic.Int64
+	entries       atomic.Int64
+	maxBytes      int64
 }
 
 type entry struct {
@@ -69,15 +70,25 @@ type shard struct {
 	bytes    int64
 	max      int64
 	inflight map[int32]*Pending
+
+	// versions stamps ids that have been invalidated at least once. A
+	// leader records the stamp at Acquire; Complete caches its result only
+	// if the stamp is unchanged, so a load that raced with an Invalidate
+	// (read the old pages, completed after the write) can never park stale
+	// data in the cache. Waiters still receive the leader's (possibly old)
+	// result — their reads began before the write completed, so that is
+	// linearizable.
+	versions map[int32]uint64
 }
 
 // Pending is an in-progress load another query is performing. Wait blocks
 // until the leader Completes it or ctx expires.
 type Pending struct {
-	done  chan struct{}
-	pts   []geom.Point
-	pages int
-	err   error
+	done    chan struct{}
+	pts     []geom.Point
+	pages   int
+	err     error
+	version uint64 // invalidation stamp observed when the leader was elected
 }
 
 // Wait returns the leader's result, or ctx's error if the caller's own
@@ -111,6 +122,7 @@ func New(maxBytes int64, shards int) *Cache {
 		s := &c.shards[i]
 		s.m = make(map[int32]*entry)
 		s.inflight = make(map[int32]*Pending)
+		s.versions = make(map[int32]uint64)
 		s.sentinel.prev = &s.sentinel
 		s.sentinel.next = &s.sentinel
 		s.max = per
@@ -153,11 +165,32 @@ func (c *Cache) Acquire(id int32) AcquireResult {
 		c.shared.Add(1)
 		return AcquireResult{Pending: p}
 	}
-	p := &Pending{done: make(chan struct{})}
+	p := &Pending{done: make(chan struct{}), version: s.versions[id]}
 	s.inflight[id] = p
 	s.mu.Unlock()
 	c.misses.Add(1)
 	return AcquireResult{Leader: true}
+}
+
+// Invalidate drops the given buckets from the cache and stamps their ids so
+// any in-flight leader load started before this call completes without
+// caching its (now stale) result. The write path calls this after swapping
+// a mutated bucket's placement, making reads-after-write see fresh pages.
+func (c *Cache) Invalidate(ids ...int32) {
+	for _, id := range ids {
+		s := c.shardFor(id)
+		s.mu.Lock()
+		s.versions[id]++
+		if e, ok := s.m[id]; ok {
+			s.unlink(e)
+			delete(s.m, id)
+			s.bytes -= e.bytes
+			c.bytes.Add(-e.bytes)
+			c.entries.Add(-1)
+		}
+		s.mu.Unlock()
+		c.invalidations.Add(1)
+	}
 }
 
 // Complete finishes a load this caller leads: the result is published to
@@ -171,7 +204,8 @@ func (c *Cache) Complete(id int32, pts []geom.Point, pages int, err error) {
 	if ok {
 		delete(s.inflight, id)
 	}
-	if err == nil {
+	stale := ok && p.version != s.versions[id]
+	if err == nil && !stale {
 		if _, dup := s.m[id]; !dup {
 			e := &entry{key: id, pts: pts, pages: pages, bytes: cost(pts)}
 			if e.bytes <= s.max {
@@ -268,25 +302,27 @@ func (s *shard) moveToFront(e *entry) {
 
 // Stats is a point-in-time view of the cache's counters.
 type Stats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Shared    int64 `json:"shared"` // misses absorbed by an in-flight load
-	Evictions int64 `json:"evictions"`
-	Bytes     int64 `json:"bytes"`
-	Entries   int64 `json:"entries"`
-	MaxBytes  int64 `json:"max_bytes"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Shared        int64 `json:"shared"` // misses absorbed by an in-flight load
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"` // write-path drops
+	Bytes         int64 `json:"bytes"`
+	Entries       int64 `json:"entries"`
+	MaxBytes      int64 `json:"max_bytes"`
 }
 
 // Stats returns the current counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Shared:    c.shared.Load(),
-		Evictions: c.evictions.Load(),
-		Bytes:     c.bytes.Load(),
-		Entries:   c.entries.Load(),
-		MaxBytes:  c.maxBytes,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Shared:        c.shared.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Bytes:         c.bytes.Load(),
+		Entries:       c.entries.Load(),
+		MaxBytes:      c.maxBytes,
 	}
 }
 

@@ -330,3 +330,71 @@ func TestConcurrentMixed(t *testing.T) {
 			st.Hits+st.Misses+st.Shared, readers*rounds, st)
 	}
 }
+
+func TestInvalidateDropsResidentEntry(t *testing.T) {
+	c := New(1<<20, 4)
+	ctx := context.Background()
+	if _, _, err := c.Get(ctx, 7, loadOf(makePts(10), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("entries = %d, want 1", c.Len())
+	}
+	c.Invalidate(7, 8) // 8 is absent: must still be a safe no-op drop
+	if c.Len() != 0 || c.Stats().Bytes != 0 {
+		t.Fatalf("after invalidate: %d entries, %d bytes", c.Len(), c.Stats().Bytes)
+	}
+	if got := c.Stats().Invalidations; got != 2 {
+		t.Fatalf("invalidations = %d, want 2", got)
+	}
+	calls := 0
+	if _, _, err := c.Get(ctx, 7, func() ([]geom.Point, int, error) {
+		calls++
+		return makePts(5), 1, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("read after invalidate did not reload (calls=%d)", calls)
+	}
+}
+
+// TestInvalidateRacingLeader pins the stale-reinsert race: a leader elected
+// before an Invalidate must not cache the result it loaded from the old
+// pages, though its waiters still receive that value.
+func TestInvalidateRacingLeader(t *testing.T) {
+	c := New(1<<20, 4)
+	ctx := context.Background()
+
+	r := c.Acquire(3)
+	if !r.Leader {
+		t.Fatal("expected leadership on empty cache")
+	}
+	// A waiter joins the in-flight load.
+	w := c.Acquire(3)
+	if w.Pending == nil {
+		t.Fatal("expected second acquire to join the in-flight load")
+	}
+	// The bucket mutates while the leader's disk read is in flight.
+	c.Invalidate(3)
+
+	stale := makePts(9)
+	c.Complete(3, stale, 2, nil)
+
+	pts, pages, err := w.Pending.Wait(ctx)
+	if err != nil || len(pts) != 9 || pages != 2 {
+		t.Fatalf("waiter result: %d pts, %d pages, %v", len(pts), pages, err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale leader result was cached (%d entries)", c.Len())
+	}
+	// The next read re-elects a leader and its (fresh) result does cache.
+	r2 := c.Acquire(3)
+	if !r2.Leader {
+		t.Fatal("expected fresh leadership after invalidate")
+	}
+	c.Complete(3, makePts(4), 1, nil)
+	if c.Len() != 1 {
+		t.Fatalf("fresh result not cached (%d entries)", c.Len())
+	}
+}

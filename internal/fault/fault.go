@@ -68,11 +68,36 @@ const (
 	// chaos runs can stall the failover path or fail it outright (forcing
 	// the degraded fallback even on a replicated layout).
 	SiteServerFailover = "server.failover"
+	// SiteStoreWAL guards every journal append on the store's write path
+	// (one evaluation per owner-disk journal, before the fsync). An injected
+	// error aborts the mutation before it is acknowledged.
+	SiteStoreWAL = "store.wal"
+	// SiteStoreWALDisk is the per-disk journal-append variant; see
+	// StoreWALDiskSite.
+	SiteStoreWALDisk = "store.wal.disk"
+	// SiteStoreWrite guards every shadow page write of a mutated bucket
+	// copy. Because the journal is already committed when pages are written,
+	// an injected error does NOT un-acknowledge the mutation: the stale copy
+	// is healed by replay on the next open (or by the scrubber).
+	SiteStoreWrite = "store.write"
+	// SiteStoreWriteDisk is the per-disk page-write variant; see
+	// StoreWriteDiskSite.
+	SiteStoreWriteDisk = "store.write.disk"
 )
 
 // StoreReadDiskSite names the per-disk store read failpoint for one disk.
 func StoreReadDiskSite(disk int) string {
 	return SiteStoreReadDisk + strconv.Itoa(disk)
+}
+
+// StoreWALDiskSite names the per-disk journal-append failpoint for one disk.
+func StoreWALDiskSite(disk int) string {
+	return SiteStoreWALDisk + strconv.Itoa(disk)
+}
+
+// StoreWriteDiskSite names the per-disk page-write failpoint for one disk.
+func StoreWriteDiskSite(disk int) string {
+	return SiteStoreWriteDisk + strconv.Itoa(disk)
 }
 
 // ErrInjected is the sentinel every injected error wraps. Injected errors

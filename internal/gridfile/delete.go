@@ -31,22 +31,26 @@ func (f *File) Delete(p geom.Point) bool {
 	return false
 }
 
-// maybeMerge merges bucket id with a buddy if both are lightly loaded.
-func (f *File) maybeMerge(id int32) {
+// maybeMerge merges bucket id with a buddy if both are lightly loaded. It
+// reports whether a merge happened and, if so, which bucket survived (keep)
+// and which slot died (drop) — the bookkeeping the store's write path needs
+// to retire the dead bucket's placement.
+func (f *File) maybeMerge(id int32) (keep, drop int32, merged bool) {
 	b := f.bkts[id]
 	threshold := int(float64(f.cfg.BucketCapacity) * mergeFillFraction)
 	if b.count(f.cfg.Dims) > threshold {
-		return
+		return 0, 0, false
 	}
 	buddy, d, ok := f.findBuddy(id)
 	if !ok {
-		return
+		return 0, 0, false
 	}
 	bb := f.bkts[buddy]
 	if b.count(f.cfg.Dims)+bb.count(f.cfg.Dims) > threshold {
-		return
+		return 0, 0, false
 	}
-	f.mergeInto(id, buddy, d)
+	keep, drop = f.mergeInto(id, buddy, d)
+	return keep, drop, true
 }
 
 // findBuddy looks for a live bucket adjacent to id along exactly one
@@ -99,8 +103,8 @@ func (f *File) regionsFormBox(a, b *bucket, d int) bool {
 
 // mergeInto moves all of src's records into dst... both directions are
 // equivalent; we keep the lower id alive to keep ids dense-ish. The dead
-// bucket's slot becomes nil.
-func (f *File) mergeInto(idA, idB int32, d int) {
+// bucket's slot becomes nil. Returns the surviving and dead ids.
+func (f *File) mergeInto(idA, idB int32, d int) (int32, int32) {
 	keep, drop := idA, idB
 	if keep > drop {
 		keep, drop = drop, keep
@@ -122,6 +126,7 @@ func (f *File) mergeInto(idA, idB int32, d int) {
 	})
 	f.bkts[drop] = nil
 	f.live--
+	return keep, drop
 }
 
 // Clear removes every record but keeps the grid structure (scales and

@@ -146,11 +146,20 @@ func (c *Client) putConn(cc *clientConn) {
 }
 
 // idempotent reports whether a request may safely be re-sent when the
-// transport failed mid-flight. Queries and STATS are read-only; a FAULT
-// command is not — "arm these rules" applied twice arms them twice, and a
-// lost reply does not mean the command was lost — so it gets exactly one
-// attempt.
-func idempotent(v Verb) bool { return v != VerbFault }
+// transport failed mid-flight. Only the read-only verbs qualify — this is an
+// allowlist, not a denylist, so any verb added later defaults to the safe
+// single-attempt behaviour. A torn connection leaves the first attempt's fate
+// unknown: the server may have applied it and the ack was lost. Re-sending a
+// query just re-reads; re-sending INSERT would double-apply it, re-sending
+// DELETE could remove a second identical record, and re-sending a FAULT spec
+// would arm it twice. Mutations and admin commands get exactly one attempt.
+func idempotent(v Verb) bool {
+	switch v {
+	case VerbPoint, VerbRange, VerbPartial, VerbKNN, VerbStats:
+		return true
+	}
+	return false
+}
 
 // encodeError marks a request-validation failure from the encoder: it is
 // deterministic, so retrying is pointless and the connection is unharmed.
@@ -609,6 +618,46 @@ func (c *Client) KNN(key geom.Point, k int) ([]geom.Point, QueryInfo, error) {
 func (c *Client) KNNCtx(ctx context.Context, key geom.Point, k int) ([]geom.Point, QueryInfo, error) {
 	res, err := c.doResult(ctx, Request{Verb: VerbKNN, Key: key, K: k})
 	return res.Points, res.Info, err
+}
+
+// Insert stores one record on a writable server. The returned Splits counts
+// bucket splits the insert triggered. Writes are not idempotent, so a
+// transport failure is never retried: an error means the insert's fate is
+// unknown (it may or may not have been applied and journaled).
+func (c *Client) Insert(key geom.Point) (Result, error) {
+	return c.InsertCtx(context.Background(), key)
+}
+
+// InsertCtx is Insert with a caller context.
+func (c *Client) InsertCtx(ctx context.Context, key geom.Point) (Result, error) {
+	return c.doWrite(ctx, Request{Verb: VerbInsert, Key: key})
+}
+
+// Delete removes one record with exactly the given key from a writable
+// server. Applied is false when no matching record existed. Like Insert,
+// transport failures are never retried.
+func (c *Client) Delete(key geom.Point) (Result, error) {
+	return c.DeleteCtx(context.Background(), key)
+}
+
+// DeleteCtx is Delete with a caller context.
+func (c *Client) DeleteCtx(ctx context.Context, key geom.Point) (Result, error) {
+	return c.doWrite(ctx, Request{Verb: VerbDelete, Key: key})
+}
+
+func (c *Client) doWrite(ctx context.Context, req Request) (Result, error) {
+	var res Result
+	err := c.exchange(ctx, req, func(f Frame) error {
+		if f.Verb != VerbWriteOK {
+			return fmt.Errorf("server: unexpected reply verb 0x%02x", uint8(f.Verb))
+		}
+		r, derr := DecodeResult(f)
+		if derr == nil {
+			res = r
+		}
+		return derr
+	})
+	return res, err
 }
 
 // Stats fetches the server's statistics snapshot via the STATS verb.

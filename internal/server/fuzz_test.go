@@ -22,6 +22,8 @@ func FuzzCodec(f *testing.F) {
 		{Verb: VerbStats},
 		{Verb: VerbFault, FaultCmd: "status"},
 		{Verb: VerbFault, FaultCmd: "store.read:err:p=0.05;store.read:delay=10ms"},
+		{Verb: VerbInsert, Key: geom.Point{0.25, 0.75}},
+		{Verb: VerbDelete, Key: geom.Point{-3.5, 42}},
 	}
 	for _, req := range seed {
 		fr, err := EncodeRequest(req)
@@ -190,6 +192,8 @@ func FuzzDegradedCodec(f *testing.F) {
 		{VerbPoints, Result{Points: []geom.Point{{1, 2}, {3, 4}}, Count: 2,
 			Info: QueryInfo{Buckets: 1, Pages: 1, Degraded: true, MissedDisks: 3}}},
 		{VerbPoints, Result{}},
+		{VerbWriteOK, Result{Applied: true, Splits: 2, Info: QueryInfo{Buckets: 3, Elapsed: 900}}},
+		{VerbWriteOK, Result{Applied: false}},
 	}
 	for _, s := range seeds {
 		fr, err := EncodeResult(s.verb, s.res)
@@ -233,7 +237,8 @@ func FuzzDegradedCodec(f *testing.F) {
 }
 
 func resultsEqual(a, b Result) bool {
-	if a.Count != b.Count || a.Info != b.Info || len(a.Points) != len(b.Points) {
+	if a.Count != b.Count || a.Info != b.Info || len(a.Points) != len(b.Points) ||
+		a.Applied != b.Applied || a.Splits != b.Splits {
 		return false
 	}
 	for i := range a.Points {

@@ -10,10 +10,11 @@ import (
 	"time"
 
 	"pgridfile/internal/cache"
+	"pgridfile/internal/store"
 )
 
 // verbIndex maps request verbs to dense counter slots.
-var verbNames = []string{"point", "range", "partial", "knn", "stats", "fault"}
+var verbNames = []string{"point", "range", "partial", "knn", "stats", "fault", "insert", "delete"}
 
 func verbIndex(v Verb) int {
 	switch v {
@@ -29,6 +30,10 @@ func verbIndex(v Verb) int {
 		return 4
 	case VerbFault:
 		return 5
+	case VerbInsert:
+		return 6
+	case VerbDelete:
+		return 7
 	}
 	return -1
 }
@@ -136,7 +141,7 @@ func (q QuantileSummary) scaled(f float64) QuantileSummary {
 // safe for concurrent use.
 type Metrics struct {
 	start            time.Time
-	queries          [6]atomic.Int64 // by verb
+	queries          [8]atomic.Int64 // by verb
 	errors           atomic.Int64    // protocol/decode/execution errors answered
 	rejected         atomic.Int64    // admission-control rejections (never admitted)
 	deadlineExceeded atomic.Int64    // admitted queries that expired mid-flight
@@ -211,6 +216,9 @@ type Snapshot struct {
 	Stages       map[string]QuantileSummary `json:"stage_nanos,omitempty"`
 	StagesMicros map[string]QuantileSummary `json:"stage_micros,omitempty"`
 	Cache        *cache.Stats               `json:"cache,omitempty"`
+	// Writes reports the store's mutation counters on writable servers
+	// (absent on read-only ones).
+	Writes *store.WriteCounters `json:"writes,omitempty"`
 }
 
 func (m *Metrics) snapshot(inflight int) Snapshot {
@@ -321,9 +329,17 @@ func (s Snapshot) writePrometheus(w http.ResponseWriter) {
 		fmt.Fprintf(w, "gridserver_cache_misses_total %d\n", c.Misses)
 		fmt.Fprintf(w, "gridserver_cache_shared_total %d\n", c.Shared)
 		fmt.Fprintf(w, "gridserver_cache_evictions_total %d\n", c.Evictions)
+		fmt.Fprintf(w, "gridserver_cache_invalidations_total %d\n", c.Invalidations)
 		fmt.Fprintf(w, "gridserver_cache_resident_bytes %d\n", c.Bytes)
 		fmt.Fprintf(w, "gridserver_cache_resident_entries %d\n", c.Entries)
 		fmt.Fprintf(w, "gridserver_cache_max_bytes %d\n", c.MaxBytes)
+	}
+	if wc := s.Writes; wc != nil {
+		fmt.Fprintf(w, "gridserver_inserts_total %d\n", wc.Inserts)
+		fmt.Fprintf(w, "gridserver_deletes_total %d\n", wc.Deletes)
+		fmt.Fprintf(w, "gridserver_journal_appends_total %d\n", wc.JournalAppends)
+		fmt.Fprintf(w, "gridserver_journal_replays_total %d\n", wc.JournalReplays)
+		fmt.Fprintf(w, "gridserver_bucket_splits_total %d\n", wc.BucketSplits)
 	}
 	fmt.Fprintf(w, "gridserver_uptime_seconds %g\n", s.UptimeSeconds)
 }

@@ -51,11 +51,14 @@ const (
 	VerbKNN     Verb = 4 // k nearest neighbours
 	VerbStats   Verb = 5 // server statistics snapshot
 	VerbFault   Verb = 6 // admin: inspect/arm/clear failpoints
+	VerbInsert  Verb = 7 // mutation: insert one record (writable servers only)
+	VerbDelete  Verb = 8 // mutation: delete one record (writable servers only)
 
 	VerbPoints     Verb = 0x81 // response: point set + I/O accounting
 	VerbCount      Verb = 0x82 // response: record count + I/O accounting
 	VerbStatsReply Verb = 0x83 // response: JSON statistics snapshot
 	VerbFaultReply Verb = 0x84 // response: JSON failpoint status
+	VerbWriteOK    Verb = 0x85 // response: mutation acknowledged + accounting
 	VerbError      Verb = 0xFF // response: error message
 
 	// Pipelining envelopes (DESIGN S26). A tagged frame wraps an ordinary
@@ -277,6 +280,12 @@ type Result struct {
 	Points []geom.Point
 	Count  int
 	Info   QueryInfo
+
+	// Write-acknowledgement fields (VerbWriteOK). Applied is false when a
+	// DELETE found no matching record (the op was a durable no-op); Splits
+	// counts bucket splits the mutation triggered.
+	Applied bool
+	Splits  int
 }
 
 // buf is a cursor for encoding payloads.
@@ -402,7 +411,7 @@ func AppendRequestFrame(buf []byte, req Request, id uint32, tagged bool) ([]byte
 func appendRequestPayload(buf []byte, req Request) ([]byte, error) {
 	w := wbuf{b: buf}
 	switch req.Verb {
-	case VerbPoint:
+	case VerbPoint, VerbInsert, VerbDelete:
 		if err := checkDims(len(req.Key)); err != nil {
 			return buf, err
 		}
@@ -470,7 +479,7 @@ func DecodeRequest(f Frame) (Request, error) {
 	req := Request{Verb: f.Verb}
 	r := rbuf{b: f.Payload}
 	switch f.Verb {
-	case VerbPoint:
+	case VerbPoint, VerbInsert, VerbDelete:
 		dims := int(r.u16())
 		if r.err == nil {
 			if err := checkDims(dims); err != nil {
@@ -617,6 +626,16 @@ func AppendResult(buf []byte, verb Verb, res Result) ([]byte, error) {
 		}
 	case VerbCount:
 		w.u32(uint32(res.Count))
+	case VerbWriteOK:
+		if res.Splits < 0 || res.Splits > math.MaxUint16 {
+			return nil, fmt.Errorf("server: split count %d out of range", res.Splits)
+		}
+		applied := uint8(0)
+		if res.Applied {
+			applied = 1
+		}
+		w.u8(applied)
+		w.u16(uint16(res.Splits))
 	default:
 		return nil, fmt.Errorf("server: not a result verb: 0x%02x", uint8(verb))
 	}
@@ -676,6 +695,13 @@ func DecodeResult(f Frame) (Result, error) {
 		res.Count = len(res.Points)
 	case VerbCount:
 		res.Count = int(r.u32())
+	case VerbWriteOK:
+		applied := r.u8()
+		res.Splits = int(r.u16())
+		if r.err == nil && applied > 1 {
+			return Result{}, fmt.Errorf("server: bad applied flag 0x%02x", applied)
+		}
+		res.Applied = applied == 1
 	default:
 		return Result{}, fmt.Errorf("server: not a result verb: 0x%02x", uint8(f.Verb))
 	}

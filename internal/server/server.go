@@ -70,6 +70,12 @@ type Config struct {
 	// net/http/pprof profiling handlers under /debug/pprof/ on the same
 	// mux, so the serving path can be profiled in place.
 	Pprof bool
+	// Writable opens the layout for online mutation (OpenDir only): the
+	// store is opened via store.OpenWritable — replaying any write-ahead
+	// journals left by a crash — and the INSERT/DELETE verbs are accepted.
+	// Requires a checksummed layout. Read-only servers reject the write
+	// verbs with a protocol error.
+	Writable bool
 
 	// Faults is the failpoint registry threaded into the store's read path
 	// and the FAULT admin verb. nil gets a fresh (disarmed) registry, so
@@ -229,6 +235,11 @@ type Server struct {
 	diskBytes  int64
 	writeAmp   float64
 
+	// writable mirrors st.Writable(): the INSERT/DELETE verbs are accepted
+	// and every directory translation runs under the store's grid read-lock,
+	// since the grid mutates underneath concurrent queries.
+	writable bool
+
 	traceSeq atomic.Uint64 // data-query counter driving trace sampling
 	traceMu  sync.Mutex    // serializes slow-query log lines
 
@@ -287,6 +298,10 @@ func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
 	if cfg.VerifyChecksums {
 		st.SetVerify(true)
 	}
+	s.writable = st.Writable()
+	if s.writable && st.Grid() != grid {
+		return nil, errors.New("server: a writable store must be served from its own grid (store.Grid())")
+	}
 	if cfg.CacheBytes > 0 {
 		s.bcache = cache.New(cfg.CacheBytes, 0)
 	}
@@ -342,16 +357,28 @@ func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
 }
 
 // OpenDir opens a layout directory written by store.Write (which embeds the
-// grid file as grid.grd) and serves it; Close releases the store.
+// grid file as grid.grd) and serves it; Close releases the store. With
+// cfg.Writable the store is opened for online mutation — crash-left journals
+// are replayed before serving starts — and the server serves directly from
+// the store's own (mutable) grid.
 func OpenDir(dir string, cfg Config) (*Server, error) {
-	st, err := store.Open(dir)
+	var st *store.Store
+	var err error
+	if cfg.Writable {
+		st, err = store.OpenWritable(dir)
+	} else {
+		st, err = store.Open(dir)
+	}
 	if err != nil {
 		return nil, err
 	}
-	grid, err := store.OpenGrid(dir)
-	if err != nil {
-		st.Close()
-		return nil, fmt.Errorf("server: %w (layouts written before grid embedding must be re-laid out)", err)
+	grid := st.Grid()
+	if grid == nil {
+		grid, err = store.OpenGrid(dir)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("server: %w (layouts written before grid embedding must be re-laid out)", err)
+		}
 	}
 	s, err := New(grid, st, cfg)
 	if err != nil {
@@ -386,6 +413,10 @@ func (s *Server) Snapshot() Snapshot {
 	if s.bcache != nil {
 		st := s.bcache.Stats()
 		snap.Cache = &st
+	}
+	if s.writable {
+		wc := s.st.WriteCounters()
+		snap.Writes = &wc
 	}
 	return snap
 }
@@ -813,8 +844,11 @@ func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte 
 	s.met.fetches.observe(float64(res.Info.Buckets))
 
 	verb := VerbPoints
-	if req.Verb == VerbRange && req.CountOnly {
+	switch {
+	case req.Verb == VerbRange && req.CountOnly:
 		verb = VerbCount
+	case req.Verb == VerbInsert || req.Verb == VerbDelete:
+		verb = VerbWriteOK
 	}
 	out, fstart := beginFrame(buf, verb, id, tagged)
 	encStart := s.traceNow(tr)
@@ -877,8 +911,52 @@ func (s *Server) execute(ctx context.Context, req Request, tr *Trace) (Result, e
 			return Result{}, fmt.Errorf("key is %d-D, grid is %d-D", len(req.Key), dims)
 		}
 		return s.knnQuery(ctx, tr, req.Key, req.K)
+	case VerbInsert, VerbDelete:
+		if len(req.Key) != dims {
+			return Result{}, fmt.Errorf("key is %d-D, grid is %d-D", len(req.Key), dims)
+		}
+		return s.writeOp(ctx, req.Verb, req.Key)
 	}
 	return Result{}, fmt.Errorf("unhandled verb 0x%02x", uint8(req.Verb))
+}
+
+// writeOp executes one INSERT or DELETE against the writable store and
+// invalidates every bucket the mutation touched in the bucket cache — only
+// after the store has journaled the op and swapped the rewritten placements,
+// so a read admitted after the ack can never see pre-write data through a
+// stale cache entry (a concurrent leader that loaded the old pages is fenced
+// by the cache's invalidation stamp). The store serializes mutations
+// internally; concurrent INSERTs from many connections are safe.
+func (s *Server) writeOp(ctx context.Context, verb Verb, key geom.Point) (Result, error) {
+	if !s.writable {
+		return Result{}, errors.New("server is read-only (restart with writes enabled)")
+	}
+	var res Result
+	var dirty []int32
+	if verb == VerbInsert {
+		ir, err := s.st.Insert(ctx, key)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Applied = true
+		res.Splits = ir.Splits
+		dirty = ir.Dirty()
+	} else {
+		dr, err := s.st.Delete(ctx, key)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Applied = dr.Removed
+		dirty = dr.Dirty()
+		if dr.Merged {
+			dirty = append(dirty, dr.Dead)
+		}
+	}
+	if s.bcache != nil && len(dirty) > 0 {
+		s.bcache.Invalidate(dirty...)
+	}
+	res.Info.Buckets = len(dirty)
+	return res, nil
 }
 
 // diskLoop is one disk's I/O goroutine: one head per spindle, as in the
@@ -1291,9 +1369,18 @@ func (s *Server) degradable(ctx context.Context, err error) bool {
 	return s.cfg.Degraded && s.transientErr(ctx, err)
 }
 
+// Translation locking: on a writable server the grid's scales and directory
+// mutate underneath concurrent queries, so every directory translation runs
+// under the store's grid read-lock. The store only takes the corresponding
+// write-lock for the in-memory apply step of a mutation (journal fsyncs
+// happen before it), so readers are never blocked on disk I/O. On read-only
+// stores RLockGrid is a no-op and translation stays lock-free.
+
 func (s *Server) pointQuery(ctx context.Context, tr *Trace, key geom.Point) (Result, error) {
 	tstart := s.traceNow(tr)
+	s.st.RLockGrid()
 	id, ok := s.grid.BucketAt(key)
+	s.st.RUnlockGrid()
 	s.traceSince(tr, stageTranslate, tstart)
 	if !ok {
 		return Result{}, fmt.Errorf("key %v outside the domain", key)
@@ -1315,7 +1402,9 @@ func (s *Server) pointQuery(ctx context.Context, tr *Trace, key geom.Point) (Res
 
 func (s *Server) rangeQuery(ctx context.Context, tr *Trace, q geom.Rect, countOnly bool) (Result, error) {
 	tstart := s.traceNow(tr)
+	s.st.RLockGrid()
 	ids := s.grid.BucketsInRange(q)
+	s.st.RUnlockGrid()
 	s.traceSince(tr, stageTranslate, tstart)
 	got, info, err := s.fetchBuckets(ctx, tr, ids)
 	if err != nil {
@@ -1367,7 +1456,10 @@ func (s *Server) knnQuery(ctx context.Context, tr *Trace, key geom.Point, k int)
 	// Initial radius: one average cell extent, so the first probe touches
 	// roughly the cell neighbourhood of the key.
 	r := 0.0
-	for d, n := range s.grid.CellSizes() {
+	s.st.RLockGrid()
+	cells := s.grid.CellSizes()
+	s.st.RUnlockGrid()
+	for d, n := range cells {
 		if ext := dom[d].Length() / float64(n); ext > r {
 			r = ext
 		}
@@ -1395,7 +1487,9 @@ func (s *Server) knnQuery(ctx context.Context, tr *Trace, key geom.Point, k int)
 			}
 		}
 		tstart := s.traceNow(tr)
+		s.st.RLockGrid()
 		ids := s.grid.BucketsInRange(q)
+		s.st.RUnlockGrid()
 		s.traceSince(tr, stageTranslate, tstart)
 		var fresh []int32
 		for _, id := range ids {

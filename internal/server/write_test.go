@@ -1,0 +1,315 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pgridfile/internal/core"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/replica"
+	"pgridfile/internal/store"
+	"pgridfile/internal/synth"
+)
+
+// newWritableServer lays out a uniform 2-D dataset at replication factor r
+// and serves it writable.
+func newWritableServer(t *testing.T, records, disks, r int, cfg Config) *Server {
+	t.Helper()
+	f, err := synth.Uniform2D(records, 3).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.FromGridFile(f)
+	alloc, err := (&core.Minimax{Seed: 1}).Decluster(g, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := (&replica.Placer{Replicas: r}).Place(g, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := store.WriteReplicated(dir, f, rm, 4096); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Writable = true
+	s, err := OpenDir(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// testKeys draws n in-domain keys distinct from the synthetic dataset (which
+// only generates coordinates in [0,1) from its own seed).
+func testKeys(dom geom.Rect, n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, n)
+	for i := range out {
+		p := make(geom.Point, len(dom))
+		for d, iv := range dom {
+			p[d] = iv.Lo + rng.Float64()*(iv.Hi-iv.Lo)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// TestServerOnlineWrites drives INSERT and DELETE over the network: every
+// acknowledged insert is immediately visible to a point query (read-after-
+// write through the cache invalidation path), deletes remove exactly the
+// written records, and the STATS snapshot carries the write counters.
+func TestServerOnlineWrites(t *testing.T) {
+	s := newWritableServer(t, 800, 4, 2, Config{})
+	cl := newTestClient(t, s, ClientConfig{Pipeline: 8})
+
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := make(geom.Rect, len(snap.Domain))
+	for d, iv := range snap.Domain {
+		dom[d] = geom.Interval{Lo: iv[0], Hi: iv[1]}
+	}
+
+	keys := testKeys(dom, 300, 21)
+	splits := 0
+	for _, key := range keys {
+		res, err := cl.Insert(key)
+		if err != nil {
+			t.Fatalf("insert %v: %v", key, err)
+		}
+		if !res.Applied {
+			t.Fatalf("insert %v not applied", key)
+		}
+		splits += res.Splits
+		// Read-after-write: the ack means the record is queryable NOW.
+		pts, _, err := cl.Point(key)
+		if err != nil {
+			t.Fatalf("point after insert %v: %v", key, err)
+		}
+		if len(pts) == 0 {
+			t.Fatalf("acknowledged insert %v invisible to a point query", key)
+		}
+	}
+
+	snap, err = cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Writes == nil {
+		t.Fatal("writable server reports no write counters")
+	}
+	if snap.Writes.Inserts != int64(len(keys)) {
+		t.Errorf("inserts counter %d, want %d", snap.Writes.Inserts, len(keys))
+	}
+	if snap.Writes.JournalAppends != int64(2*len(keys)) {
+		t.Errorf("journal appends %d, want %d (r=2)", snap.Writes.JournalAppends, 2*len(keys))
+	}
+	if splits > 0 && snap.Writes.BucketSplits != int64(splits) {
+		t.Errorf("split counter %d, acks reported %d", snap.Writes.BucketSplits, splits)
+	}
+	if snap.Cache != nil && snap.Cache.Invalidations == 0 {
+		t.Error("writes invalidated nothing in the cache")
+	}
+
+	for _, key := range keys {
+		res, err := cl.Delete(key)
+		if err != nil {
+			t.Fatalf("delete %v: %v", key, err)
+		}
+		if !res.Applied {
+			t.Fatalf("delete %v found nothing", key)
+		}
+		pts, _, err := cl.Point(key)
+		if err != nil {
+			t.Fatalf("point after delete %v: %v", key, err)
+		}
+		if len(pts) != 0 {
+			t.Fatalf("deleted key %v still answered by a point query", key)
+		}
+	}
+	// Deleting an absent key acks with Applied=false.
+	res, err := cl.Delete(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied {
+		t.Error("second delete of the same key applied")
+	}
+}
+
+// TestReadOnlyServerRejectsWrites pins the compatibility contract: a server
+// opened without Writable answers INSERT with a protocol error, not a hang
+// or a crash, and the connection survives for further queries.
+func TestReadOnlyServerRejectsWrites(t *testing.T) {
+	s, f := newTestServer(t, 300, 4, Config{})
+	cl := newTestClient(t, s, ClientConfig{})
+	_, err := cl.Insert(geom.Point{0.5, 0.5})
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected a server error, got %v", err)
+	}
+	// The connection is still serviceable.
+	if _, _, err := cl.Range(f.Domain()); err != nil {
+		t.Fatalf("query after rejected write: %v", err)
+	}
+}
+
+// TestConcurrentWritesAndReads hammers a writable server with parallel
+// writers and readers; under -race this doubles as the locking proof for the
+// grid translation / mutation split.
+func TestConcurrentWritesAndReads(t *testing.T) {
+	s := newWritableServer(t, 600, 4, 2, Config{})
+	cl := newTestClient(t, s, ClientConfig{Pipeline: 16})
+	snap, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := make(geom.Rect, len(snap.Domain))
+	for d, iv := range snap.Domain {
+		dom[d] = geom.Interval{Lo: iv[0], Hi: iv[1]}
+	}
+
+	const writers, readers, per = 4, 4, 120
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, key := range testKeys(dom, per, int64(100+w)) {
+				if _, err := cl.Insert(key); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q := geom.Rect{
+					{Lo: 0.1 * float64(r), Hi: 0.1*float64(r) + 0.2},
+					{Lo: 0.3, Hi: 0.6},
+				}
+				if _, _, err := cl.Range(q); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	snap, err = cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Writes == nil || snap.Writes.Inserts != writers*per {
+		t.Fatalf("write counters after concurrent load: %+v", snap.Writes)
+	}
+}
+
+// tornProxy forwards client bytes to the backend but cuts both connections
+// the moment the backend produces its reply, so the client observes a torn
+// connection on every request: sent, possibly applied, never acknowledged.
+func tornProxy(t *testing.T, backend string) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				b, err := net.Dial("tcp", backend)
+				if err != nil {
+					return
+				}
+				defer b.Close()
+				go io.Copy(b, c) // requests flow through
+				// Swallow the first reply byte, then hang up: the request
+				// reached (and was executed by) the server, the ack did not
+				// reach the client.
+				var one [1]byte
+				io.ReadFull(b, one[:])
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// TestTornConnectionNeverDoubleAppliesWrite is the retry-safety regression
+// test for the idempotent() allowlist: a write whose connection dies before
+// the ack arrives must NOT be re-sent by the client. With the old denylist
+// (everything but FAULT retried) the insert below would be applied up to
+// Retries+1 times; the allowlist caps it at exactly one server-side apply.
+func TestTornConnectionNeverDoubleAppliesWrite(t *testing.T) {
+	s := newWritableServer(t, 400, 4, 2, Config{})
+	proxy := tornProxy(t, s.Addr().String())
+	cl, err := NewClient(ClientConfig{
+		Addr:           proxy.Addr().String(),
+		Retries:        3,
+		Backoff:        time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	key := geom.Point{0.123456, 0.654321}
+	if _, err := cl.Insert(key); err == nil {
+		t.Fatal("insert through the torn proxy reported success")
+	}
+
+	// Give the server a beat to finish executing the request it received.
+	deadline := time.Now().Add(2 * time.Second)
+	var applied int64
+	for {
+		applied = s.st.WriteCounters().Inserts
+		if applied > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if applied != 1 {
+		t.Fatalf("torn-connection insert applied %d times, want exactly 1", applied)
+	}
+	// Exactly one copy of the record exists — ask the server directly.
+	direct := newTestClient(t, s, ClientConfig{})
+	pts, _, err := direct.Point(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("%d copies of the record stored, want 1", len(pts))
+	}
+
+	// Sanity: a read-only query through the same torn proxy IS retried —
+	// every attempt fails here, but each one opens a fresh connection.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, _, err := cl.PointCtx(ctx, key); err == nil {
+		t.Fatal("query through the torn proxy reported success")
+	}
+}

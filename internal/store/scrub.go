@@ -36,8 +36,11 @@ func (st *ScrubStats) Add(o ScrubStats) {
 // between buckets so a background scrub stays low-priority next to live
 // queries. Scrub reads the disk files directly (bypassing the failpoint
 // registry — it verifies the real bytes on disk, not the fault model) but
-// still registers per-disk load so replica selection steers queries away
-// from a disk being scrubbed. Concurrent readers are safe: pages are
+// registers per-disk load on every owner disk for the whole of each
+// bucket's scan (verification and repair included), so replica read
+// selection steers queries away from the disks being scrubbed for the full
+// time their heads are busy, not just during each individual pread.
+// Concurrent readers are safe: pages are
 // fixed-size and repair rewrites a page with its own correct contents, so
 // a racing read sees either the torn page (and fails verification or
 // header validation the way it already would) or the repaired one.
@@ -46,21 +49,31 @@ func (st *ScrubStats) Add(o ScrubStats) {
 // counts as corrupt in full and is repaired the same way, which also heals
 // a disk file that was cut short. Corrupt pages with no intact sibling
 // (r=1, or all copies damaged) are counted but left in place.
-func (s *Store) Scrub(ctx context.Context, pause time.Duration) (ScrubStats, error) {
-	var st ScrubStats
-	if s.manifest.PageFormat != pageFormatChecksum {
-		return st, fmt.Errorf("store: layout has no page checksums to scrub (format %d)", s.manifest.PageFormat)
-	}
+func (s *Store) Scrub(ctx context.Context, pause time.Duration) (st ScrubStats, err error) {
+	s.pmu.RLock()
+	format := s.manifest.PageFormat
 	pls := make([]Placement, 0, len(s.byID))
 	for _, pl := range s.byID {
 		pls = append(pls, pl)
 	}
+	s.pmu.RUnlock()
+	if format != pageFormatChecksum {
+		return st, fmt.Errorf("store: layout has no page checksums to scrub (format %d)", format)
+	}
 	sort.Slice(pls, func(i, j int) bool { return pls[i].ID < pls[j].ID })
 
-	// Repair handles are opened lazily, once per disk per pass.
+	// Repair handles are opened lazily, once per disk per pass, and synced
+	// in this deferred block so that EVERY exit path — completion, context
+	// cancellation between buckets or during a pause, a failed repair write
+	// — flushes whatever repairs were already written. A cancelled pass must
+	// not leave its repairs sitting unsynced in the page cache, where a
+	// crash would silently undo them.
 	rw := make(map[int]*os.File)
 	defer func() {
 		for _, fh := range rw {
+			if serr := fh.Sync(); serr != nil && err == nil {
+				err = serr
+			}
 			fh.Close()
 		}
 	}()
@@ -79,10 +92,20 @@ func (s *Store) Scrub(ctx context.Context, pause time.Duration) (ScrubStats, err
 	pageBytes := s.manifest.PageBytes
 	buf := make([]byte, pageBytes)
 	good := make([]byte, pageBytes)
-	for _, pl := range pls {
-		if err := ctx.Err(); err != nil {
-			return st, err
+
+	// scanBucket verifies and repairs one bucket's copies while holding one
+	// unit of load on each owner disk — the steering promised in the package
+	// comment. The deferred release keeps the load accounting balanced on
+	// every exit path, including failed repairs.
+	scanBucket := func(pl Placement) error {
+		for _, d := range pl.OwnerDisks {
+			s.loads[d].Add(1)
 		}
+		defer func() {
+			for _, d := range pl.OwnerDisks {
+				s.loads[d].Add(-1)
+			}
+		}()
 		// bad[p] lists the owner indices whose copy of page p failed.
 		var bad map[int][]int
 		for i, d := range pl.OwnerDisks {
@@ -117,16 +140,26 @@ func (s *Store) Scrub(ctx context.Context, pause time.Duration) (ScrubStats, err
 				d := pl.OwnerDisks[i]
 				fh, err := repairHandle(d)
 				if err != nil {
-					return st, fmt.Errorf("store: opening disk %d for repair: %w", d, err)
+					return fmt.Errorf("store: opening disk %d for repair: %w", d, err)
 				}
 				off := (pl.OwnerPages[i] + int64(p)) * int64(pageBytes)
 				if _, err := fh.WriteAt(good, off); err != nil {
-					return st, fmt.Errorf("store: repairing bucket %d page %d on disk %d: %w", pl.ID, p, d, err)
+					return fmt.Errorf("store: repairing bucket %d page %d on disk %d: %w", pl.ID, p, d, err)
 				}
 				if s.scrubReadPage(d, pl.OwnerPages[i]+int64(p), buf) {
 					st.Repaired++
 				}
 			}
+		}
+		return nil
+	}
+
+	for _, pl := range pls {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		if err := scanBucket(pl); err != nil {
+			return st, err
 		}
 		if pause > 0 {
 			t := time.NewTimer(pause)
@@ -138,20 +171,15 @@ func (s *Store) Scrub(ctx context.Context, pause time.Duration) (ScrubStats, err
 			}
 		}
 	}
-	for _, fh := range rw {
-		if err := fh.Sync(); err != nil {
-			return st, err
-		}
-	}
 	return st, nil
 }
 
 // scrubReadPage reads one page copy directly from its disk file and reports
 // whether it is intact: readable, carrying the expected checksum. Short or
-// failed reads report false (the copy is unusable as-is).
+// failed reads report false (the copy is unusable as-is). Load accounting is
+// the caller's job — Scrub holds a load unit per owner disk for the whole
+// bucket scan rather than per pread.
 func (s *Store) scrubReadPage(disk int, page int64, buf []byte) bool {
-	s.loads[disk].Add(1)
-	defer s.loads[disk].Add(-1)
 	if _, err := s.files[disk].ReadAt(buf, page*int64(s.manifest.PageBytes)); err != nil {
 		return false
 	}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -235,5 +236,129 @@ func TestScrubPauseHonorsContext(t *testing.T) {
 	cancel()
 	if _, err := s.Scrub(ctx, time.Hour); err == nil {
 		t.Fatal("cancelled scrub ran to completion")
+	}
+}
+
+// errAfterCtx is a context whose Err() starts reporting Canceled after the
+// first n calls — a deterministic stand-in for "the caller cancelled midway
+// through the pass" without racing a timer against the scrubber.
+type errAfterCtx struct {
+	context.Context
+	calls, n int
+}
+
+func (c *errAfterCtx) Err() error {
+	c.calls++
+	if c.calls > c.n {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestScrubCancelledPassSyncsRepairs pins the durability fix: a pass that
+// exits early (here: cancellation after the first bucket) must still fsync
+// the repairs it already wrote — the sync runs in a deferred block on every
+// exit path, not only at the natural end of the pass. The test corrupts one
+// copy in the first bucket, cancels before the second, and requires the
+// repair to be both counted and intact on disk afterwards.
+func TestScrubCancelledPassSyncsRepairs(t *testing.T) {
+	dir, _, _ := buildReplicatedLayout(t, 4, 2)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m := s.Manifest()
+	copies := layoutPageCopies(m)
+	// Corrupt one copy of the lowest-id bucket (scrubbed first).
+	var target pageCopy
+	for _, c := range copies {
+		if c.bucket == copies[0].bucket {
+			target = c
+			break
+		}
+	}
+	path := filepath.Join(dir, DiskFileName(target.disk))
+	fh, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := target.page*int64(m.PageBytes) + 100
+	if _, err := fh.WriteAt([]byte{0xAB}, off); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	ctx := &errAfterCtx{Context: context.Background(), n: 1}
+	st, serr := s.Scrub(ctx, 0)
+	if serr == nil {
+		t.Fatal("cancelled pass ran to completion")
+	}
+	if st.Corrupt != 1 || st.Repaired != 1 {
+		t.Fatalf("partial pass: corrupt=%d repaired=%d, want 1/1", st.Corrupt, st.Repaired)
+	}
+	// The repair must be on disk — reread through a fresh handle.
+	buf := make([]byte, m.PageBytes)
+	fh, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	if _, err := fh.ReadAt(buf, target.page*int64(m.PageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[8:]), pageChecksum(buf); got != want {
+		t.Fatalf("repaired page checksum %08x, want %08x — repair lost on early exit", got, want)
+	}
+}
+
+// TestScrubHoldsLoadForBucketScan pins the steering fix: while a bucket is
+// being scrubbed, EVERY owner disk of that bucket must carry scrub load
+// simultaneously (so PickOwner steers replica reads elsewhere for the whole
+// scan). The old code registered load only inside each individual pread, so
+// at most one disk ever showed load at a time; sampling the load counters
+// during an r=2 scrub must now observe >= 2 loaded disks at once.
+func TestScrubHoldsLoadForBucketScan(t *testing.T) {
+	dir, _, _ := buildReplicatedLayout(t, 4, 2)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stop := make(chan struct{})
+	scrubErr := make(chan error, 1)
+	go func() {
+		defer close(scrubErr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Scrub(context.Background(), 0); err != nil {
+				scrubErr <- err
+				return
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	seen := false
+	for !seen && time.Now().Before(deadline) {
+		loaded := 0
+		for d := range s.loads {
+			if s.loads[d].Load() > 0 {
+				loaded++
+			}
+		}
+		seen = loaded >= 2
+	}
+	close(stop)
+	if err := <-scrubErr; err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("scrub never held load on both owner disks of a bucket simultaneously")
 	}
 }

@@ -96,13 +96,20 @@ type Placement struct {
 // header layout (0/absent means the legacy checksum-free format 1; new
 // layouts are always written with the checksummed format 2).
 type Manifest struct {
-	Disks      int          `json:"disks"`
-	Dims       int          `json:"dims"`
-	PageBytes  int          `json:"page_bytes"`
-	Replicas   int          `json:"replicas,omitempty"`    // copies per bucket; 0/absent means 1
-	PageFormat int          `json:"page_format,omitempty"` // 0/1 legacy, 2 checksummed
-	Domain     [][2]float64 `json:"domain"`
-	Buckets    []Placement  `json:"buckets"`
+	Disks      int `json:"disks"`
+	Dims       int `json:"dims"`
+	PageBytes  int `json:"page_bytes"`
+	Replicas   int `json:"replicas,omitempty"`    // copies per bucket; 0/absent means 1
+	PageFormat int `json:"page_format,omitempty"` // 0/1 legacy, 2 checksummed
+	// CheckpointLSN is the last journaled operation whose effects are
+	// captured by this manifest and its grid/page files. Replay skips
+	// journal records at or below it, which makes a crash between the
+	// checkpoint's manifest rename and its journal truncation harmless
+	// (the stale journal records are simply ignored). Zero on read-only
+	// layouts that never saw a write.
+	CheckpointLSN uint64       `json:"checkpoint_lsn,omitempty"`
+	Domain        [][2]float64 `json:"domain"`
+	Buckets       []Placement  `json:"buckets"`
 }
 
 // headerBytes returns the per-page header size for the manifest's page
@@ -307,7 +314,16 @@ type Store struct {
 	manifest Manifest
 	dir      string
 	files    []*os.File
-	byID     map[int32]Placement
+
+	// pmu guards byID (and the manifest's bucket list) against the write
+	// path's placement swaps. Read-only stores never take the write lock,
+	// so the read path pays only an uncontended RLock.
+	pmu  sync.RWMutex
+	byID map[int32]Placement
+
+	// w holds the mutable-store state (grid, journals, allocation cursors);
+	// nil unless the store was opened with OpenWritable.
+	w *writer
 
 	// header is the per-page header size for the layout's page format.
 	header int
@@ -337,7 +353,11 @@ type Store struct {
 // accepts the legacy unversioned (r=1, checksum-free) manifest, the
 // version-2 replicated envelope, and the current version-3 checksummed
 // envelope, and rejects versions it does not understand.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return open(dir, false) }
+
+// open is the shared Open/OpenWritable core; writable selects read-write
+// disk file handles.
+func open(dir string, writable bool) (*Store, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, err
@@ -398,8 +418,12 @@ func Open(dir string) (*Store, error) {
 	}
 	s.loads = make([]atomic.Int64, m.Disks)
 	s.files = make([]*os.File, m.Disks)
+	flags := os.O_RDONLY
+	if writable {
+		flags = os.O_RDWR
+	}
 	for d := range s.files {
-		fh, err := os.Open(filepath.Join(dir, DiskFileName(d)))
+		fh, err := os.OpenFile(filepath.Join(dir, DiskFileName(d)), flags, 0)
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -446,12 +470,26 @@ func OpenGrid(dir string) (*gridfile.File, error) {
 }
 
 // Manifest returns the layout description.
-func (s *Store) Manifest() Manifest { return s.manifest }
+func (s *Store) Manifest() Manifest {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	return s.manifest
+}
+
+// lookup fetches one placement under the read lock. Placement values are
+// copied out and their owner slices are copy-on-write (the write path
+// builds fresh slices instead of mutating), so the copy stays valid after
+// the lock is released even while mutations land.
+func (s *Store) lookup(id int32) (Placement, bool) {
+	s.pmu.RLock()
+	pl, ok := s.byID[id]
+	s.pmu.RUnlock()
+	return pl, ok
+}
 
 // Placement reports where one bucket lives, and whether it exists.
 func (s *Store) Placement(id int32) (Placement, bool) {
-	pl, ok := s.byID[id]
-	return pl, ok
+	return s.lookup(id)
 }
 
 // Disks returns the number of disk files in the layout.
@@ -464,7 +502,7 @@ func (s *Store) Replicas() int { return s.manifest.Replicas }
 // Owners returns one bucket's ordered owner-disk list (primary first), or
 // nil for an unknown bucket. The returned slice must not be modified.
 func (s *Store) Owners(id int32) []int {
-	pl, ok := s.byID[id]
+	pl, ok := s.lookup(id)
 	if !ok {
 		return nil
 	}
@@ -478,7 +516,7 @@ func (s *Store) Owners(id int32) []int {
 // an idle store reads primaries. ok is false when the bucket is unknown or
 // every owner is excluded.
 func (s *Store) PickOwner(id int32, exclude func(disk int) bool) (disk int, ok bool) {
-	pl, found := s.byID[id]
+	pl, found := s.lookup(id)
 	if !found {
 		return 0, false
 	}
@@ -672,7 +710,7 @@ func (s *Store) ReadBucket(ctx context.Context, id int32) ([]geom.Point, int, er
 // ReadBucketTimed is ReadBucket with an optional pread/decode time split
 // accumulated into tm (nil disables timing).
 func (s *Store) ReadBucketTimed(ctx context.Context, id int32, tm *Timing) ([]geom.Point, int, error) {
-	pl, ok := s.byID[id]
+	pl, ok := s.lookup(id)
 	if !ok {
 		return nil, 0, fmt.Errorf("store: unknown bucket %d", id)
 	}
@@ -732,7 +770,7 @@ func (s *Store) ReadBucketsTimed(ctx context.Context, ids []int32, tm *Timing) (
 	out := make(map[int32][]geom.Point, len(ids))
 	pls := make([]Placement, 0, len(ids))
 	for _, id := range ids {
-		pl, ok := s.byID[id]
+		pl, ok := s.lookup(id)
 		if !ok {
 			return nil, 0, fmt.Errorf("store: unknown bucket %d", id)
 		}
@@ -765,7 +803,7 @@ func (s *Store) ReadBucketsFromTimed(ctx context.Context, disk int, ids []int32,
 	out := make(map[int32][]geom.Point, len(ids))
 	pls := make([]Placement, 0, len(ids))
 	for _, id := range ids {
-		pl, ok := s.byID[id]
+		pl, ok := s.lookup(id)
 		if !ok {
 			return nil, 0, fmt.Errorf("store: unknown bucket %d", id)
 		}
@@ -794,7 +832,7 @@ func (s *Store) ReadBucketFrom(ctx context.Context, disk int, id int32) ([]geom.
 // ReadBucketFromTimed fetches one bucket's keys from a specific owner disk,
 // with the same contract as ReadBucketTimed.
 func (s *Store) ReadBucketFromTimed(ctx context.Context, disk int, id int32, tm *Timing) ([]geom.Point, int, error) {
-	pl, ok := s.byID[id]
+	pl, ok := s.lookup(id)
 	if !ok {
 		return nil, 0, fmt.Errorf("store: unknown bucket %d", id)
 	}
@@ -897,8 +935,21 @@ func (s *Store) DiskSizes() ([]int64, error) {
 	return out, nil
 }
 
-// Close releases the disk file handles.
+// Close releases the disk file handles. A writable store first attempts a
+// final checkpoint (best-effort — replay covers whatever it could not
+// flush) and closes its journals; use Checkpoint directly when the caller
+// needs the error.
 func (s *Store) Close() {
+	if w := s.w; w != nil {
+		w.mu.Lock()
+		_ = s.checkpointLocked(false)
+		for _, j := range w.journals {
+			if j != nil {
+				j.Close()
+			}
+		}
+		w.mu.Unlock()
+	}
 	for _, fh := range s.files {
 		if fh != nil {
 			fh.Close()

@@ -1,0 +1,846 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pgridfile/internal/fault"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/gridfile"
+)
+
+// The mutable store. OpenWritable loads a layout directory for serving AND
+// mutation: Insert and Delete route through the grid file's split/merge
+// machinery and persist the affected buckets to every replica copy, guarded
+// by the per-disk write-ahead journal (journal.go). The write protocol is
+//
+//  1. locate the target bucket and its owner disks (grid translation);
+//  2. append the operation to every owner disk's journal, fsyncing each —
+//     only now is the operation committed (and acknowledgeable);
+//  3. apply the operation to the in-memory grid file (splits, merges and
+//     directory refinements happen here), holding the grid write lock so
+//     concurrent readers never observe a half-mutated directory;
+//  4. rewrite every dirty bucket's pages — to *fresh* extents appended at
+//     the end of each owner's page file (shadow paging), never over live
+//     pages, so a concurrent reader holding the old placement still reads
+//     intact old bytes — then swap the placements.
+//
+// Data pages are not fsynced per operation; the journal is the durability
+// story. A checkpoint (periodic, and on Close) fsyncs the page files,
+// atomically rewrites manifest.json and grid.grd, and truncates the
+// journals. Dead extents left behind by shadow rewrites are reclaimed only
+// by a full layout rebuild — space amplification traded for never blocking
+// readers.
+//
+// Failure semantics: a journal append failure aborts the operation before
+// it is acknowledged (partially appended records are discarded by replay's
+// all-owner-journals commit rule). A page-write failure after the journal
+// committed does NOT un-acknowledge the operation — the stale copy is
+// healed by read failover and the scrubber, checkpoints are withheld so the
+// journals keep the redo, and replay rewrites every copy on the next open.
+
+// DefaultCheckpointEvery is how many committed mutations a writable store
+// absorbs before checkpointing on its own. SetCheckpointEvery overrides it;
+// zero disables automatic checkpoints (Close and Checkpoint still flush).
+const DefaultCheckpointEvery = 1024
+
+// WriteCounters are the write path's monotonic counters, surfaced in the
+// server's STATS verb and /metrics.
+type WriteCounters struct {
+	Inserts        int64 `json:"inserts"`         // acknowledged inserts
+	Deletes        int64 `json:"deletes"`         // acknowledged deletes that removed a record
+	JournalAppends int64 `json:"journal_appends"` // per-owner-journal record appends (fsynced)
+	JournalReplays int64 `json:"journal_replays"` // journaled operations re-applied by OpenWritable
+	BucketSplits   int64 `json:"bucket_splits"`   // bucket splits triggered by inserts
+}
+
+// errSimulatedCrash is returned by the crash test hook; the store refuses
+// further writes once it fires, modelling a kill -9 at that exact point.
+var errSimulatedCrash = errors.New("store: simulated crash")
+
+// writer is the mutable-store state hanging off a Store opened with
+// OpenWritable.
+type writer struct {
+	// mu serializes every mutation and checkpoint end-to-end. Readers
+	// never take it.
+	mu sync.Mutex
+
+	// gridMu guards the in-memory grid file: queries translate under
+	// RLock, the apply step of a mutation (grid mutation + page rewrite +
+	// placement swap) runs under Lock. The slow part of a write — the
+	// journal fsyncs — happens before this lock is taken, so readers are
+	// blocked only for the in-memory apply and buffered page writes.
+	gridMu sync.RWMutex
+	grid   *gridfile.File
+
+	journals   []*os.File
+	walSites   []string // per-disk fault sites for journal appends
+	writeSites []string // per-disk fault sites for page writes
+
+	nextPage      []int64 // per-disk end-of-file page cursor (shadow allocation)
+	nextLSN       uint64
+	checkpointLSN uint64
+
+	pendingOps      int // committed ops since the last checkpoint
+	checkpointEvery int
+
+	// failed records that some replica copy write (or data fsync) failed
+	// since the last checkpoint; while set, checkpoints are withheld so
+	// the journals keep the redo for the stale copies.
+	failed bool
+	// dead is set when the crash hook fires or a committed operation could
+	// not be applied; every subsequent write is refused, forcing recovery
+	// through replay.
+	dead bool
+
+	// crash, when non-nil, is consulted at every crash point on the write
+	// path (before/after each journal fsync and each page write); returning
+	// true simulates a kill -9 there. Test hook.
+	crash func() bool
+
+	inserts, deletes, appends, replays, splits atomic.Int64
+}
+
+// OpenWritable loads a layout directory for serving and mutation. It opens
+// the page files read-write, loads the embedded grid file as the mutable
+// coordinator state, replays any journaled operations that survived a crash,
+// and checkpoints the replayed state. Only checksummed (format-2) layouts
+// are writable.
+func OpenWritable(dir string) (*Store, error) {
+	s, err := open(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if s.manifest.PageFormat != pageFormatChecksum {
+		s.Close()
+		return nil, fmt.Errorf("store: layout page format %d is not writable (rebuild the layout to get checksummed pages)",
+			s.manifest.PageFormat)
+	}
+	grid, err := OpenGrid(dir)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	w := &writer{
+		grid:            grid,
+		checkpointEvery: DefaultCheckpointEvery,
+		nextPage:        make([]int64, s.manifest.Disks),
+		walSites:        make([]string, s.manifest.Disks),
+		writeSites:      make([]string, s.manifest.Disks),
+		checkpointLSN:   s.manifest.CheckpointLSN,
+		nextLSN:         s.manifest.CheckpointLSN + 1,
+		journals:        make([]*os.File, s.manifest.Disks),
+	}
+	for d := 0; d < s.manifest.Disks; d++ {
+		w.walSites[d] = fault.StoreWALDiskSite(d)
+		w.writeSites[d] = fault.StoreWriteDiskSite(d)
+	}
+	for _, pl := range s.manifest.Buckets {
+		for i, d := range pl.OwnerDisks {
+			if end := pl.OwnerPages[i] + int64(pl.Pages); end > w.nextPage[d] {
+				w.nextPage[d] = end
+			}
+		}
+	}
+	for d := range w.journals {
+		jh, err := os.OpenFile(filepath.Join(dir, JournalFileName(d)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			closeAll(w.journals)
+			s.Close()
+			return nil, err
+		}
+		w.journals[d] = jh
+	}
+	s.w = w
+	if err := s.replay(); err != nil {
+		s.CloseNoCheckpoint()
+		return nil, fmt.Errorf("store: journal replay: %w", err)
+	}
+	return s, nil
+}
+
+// Writable reports whether the store was opened with OpenWritable.
+func (s *Store) Writable() bool { return s.w != nil }
+
+// Grid returns the mutable store's in-memory grid file (the coordinator's
+// scales, directory and records), or nil for a read-only store. Callers
+// translating queries against it must hold the grid read lock (RLockGrid)
+// so mutations cannot rewrite the directory mid-translation.
+func (s *Store) Grid() *gridfile.File {
+	if s.w == nil {
+		return nil
+	}
+	return s.w.grid
+}
+
+// RLockGrid takes the grid translation read lock. A no-op on read-only
+// stores, whose grid never changes.
+func (s *Store) RLockGrid() {
+	if s.w != nil {
+		s.w.gridMu.RLock()
+	}
+}
+
+// RUnlockGrid releases RLockGrid.
+func (s *Store) RUnlockGrid() {
+	if s.w != nil {
+		s.w.gridMu.RUnlock()
+	}
+}
+
+// SetCheckpointEvery sets how many committed mutations may accumulate
+// before the store checkpoints on its own; 0 disables automatic
+// checkpoints. Call before handing the store to concurrent writers.
+func (s *Store) SetCheckpointEvery(n int) {
+	if s.w != nil {
+		s.w.checkpointEvery = n
+	}
+}
+
+// WriteCounters returns the write path's counters (zero for a read-only
+// store).
+func (s *Store) WriteCounters() WriteCounters {
+	w := s.w
+	if w == nil {
+		return WriteCounters{}
+	}
+	return WriteCounters{
+		Inserts:        w.inserts.Load(),
+		Deletes:        w.deletes.Load(),
+		JournalAppends: w.appends.Load(),
+		JournalReplays: w.replays.Load(),
+		BucketSplits:   w.splits.Load(),
+	}
+}
+
+// CloseNoCheckpoint releases every file handle WITHOUT checkpointing, so
+// the journals keep every operation since the last checkpoint. This is the
+// crash stand-in the recovery tests and the ingest smoke gate reopen from.
+func (s *Store) CloseNoCheckpoint() {
+	if w := s.w; w != nil {
+		closeAll(w.journals)
+	}
+	closeAll(s.files)
+}
+
+// crashPoint fires the crash hook, if armed. Once it fires the store is
+// dead: every later write is refused.
+func (w *writer) crashPoint() error {
+	if w.crash != nil && w.crash() {
+		w.dead = true
+		return errSimulatedCrash
+	}
+	return nil
+}
+
+// Insert adds one record to the layout: journaled to every owner disk of
+// the target bucket, applied through the grid file's split machinery, and
+// persisted to every replica copy via shadow page rewrites. On success the
+// result lists the buckets whose cached contents are now stale (Dirty) —
+// the caller owns invalidating any cache layered above the store. ctx
+// bounds injected stalls only; the journal fsyncs themselves are not
+// cancellable (aborting between owner journals would leave a committed-on-
+// some-disks record that replay must then disambiguate — simpler to finish).
+func (s *Store) Insert(ctx context.Context, key geom.Point) (gridfile.InsertResult, error) {
+	w := s.w
+	if w == nil {
+		return gridfile.InsertResult{}, errors.New("store: not opened writable")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return gridfile.InsertResult{}, errSimulatedCrash
+	}
+	id, err := w.grid.LocateBucket(key)
+	if err != nil {
+		return gridfile.InsertResult{}, err
+	}
+	owners := s.ownerDisks(id)
+	if owners == nil {
+		return gridfile.InsertResult{}, fmt.Errorf("store: bucket %d has no placement", id)
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	if err := s.journalAppend(ctx, owners, lsn, journalOpInsert, key); err != nil {
+		return gridfile.InsertResult{}, err
+	}
+
+	// Committed. Apply under the grid write lock: directory mutation, page
+	// rewrites to fresh extents, and placement swaps become visible to
+	// readers atomically when the lock is released.
+	w.gridMu.Lock()
+	res, err := w.grid.InsertTracked(gridfile.Record{Key: key})
+	if err == nil {
+		for _, nid := range res.Created {
+			s.addPlacementLocked(nid, owners)
+		}
+		for _, did := range res.Dirty() {
+			if err = s.rewriteBucket(ctx, did); err != nil {
+				break
+			}
+		}
+	}
+	w.gridMu.Unlock()
+	if err != nil {
+		// A committed operation failed to apply (simulated crash, or an
+		// impossibility): refuse further writes, recover through replay.
+		w.dead = true
+		return gridfile.InsertResult{}, err
+	}
+	w.inserts.Add(1)
+	w.splits.Add(int64(res.Splits))
+	s.noteCommitted()
+	return res, nil
+}
+
+// Delete removes one record whose key equals key exactly, with the same
+// journal/apply/rewrite protocol as Insert. A key with no matching record
+// is a no-op (Removed=false) and is not journaled.
+func (s *Store) Delete(ctx context.Context, key geom.Point) (gridfile.DeleteResult, error) {
+	w := s.w
+	if w == nil {
+		return gridfile.DeleteResult{}, errors.New("store: not opened writable")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return gridfile.DeleteResult{}, errSimulatedCrash
+	}
+	id, err := w.grid.LocateBucket(key)
+	if err != nil {
+		return gridfile.DeleteResult{}, err
+	}
+	if len(w.grid.Lookup(key)) == 0 {
+		return gridfile.DeleteResult{}, nil
+	}
+	owners := s.ownerDisks(id)
+	if owners == nil {
+		return gridfile.DeleteResult{}, fmt.Errorf("store: bucket %d has no placement", id)
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	if err := s.journalAppend(ctx, owners, lsn, journalOpDelete, key); err != nil {
+		return gridfile.DeleteResult{}, err
+	}
+
+	w.gridMu.Lock()
+	res := w.grid.DeleteTracked(key)
+	for _, did := range res.Dirty() {
+		if err = s.rewriteBucket(ctx, did); err != nil {
+			break
+		}
+	}
+	w.gridMu.Unlock()
+	if err != nil {
+		w.dead = true
+		return gridfile.DeleteResult{}, err
+	}
+	// A merged-away bucket's placement is kept as a tombstone (its old
+	// extent is still intact, so a reader that translated before the merge
+	// reads a consistent pre-delete copy); checkpoints rebuild the manifest
+	// from the grid's live buckets, so tombstones never persist.
+	if res.Removed {
+		w.deletes.Add(1)
+		s.noteCommitted()
+	}
+	return res, nil
+}
+
+// noteCommitted bumps the ops-since-checkpoint counter and runs an
+// automatic checkpoint when the threshold is reached (best-effort: a
+// withheld checkpoint just means the journals keep growing until the
+// condition clears or the store restarts).
+func (s *Store) noteCommitted() {
+	w := s.w
+	w.pendingOps++
+	if w.checkpointEvery > 0 && w.pendingOps >= w.checkpointEvery {
+		_ = s.checkpointLocked(false)
+	}
+}
+
+// ownerDisks returns a copy-safe owner list for one bucket (nil if the
+// bucket has no placement).
+func (s *Store) ownerDisks(id int32) []int {
+	pl, ok := s.lookup(id)
+	if !ok {
+		return nil
+	}
+	return pl.OwnerDisks
+}
+
+// addPlacementLocked registers a placement stub for a split-born bucket; the
+// following rewriteBucket assigns its pages. Caller holds w.mu and gridMu.
+func (s *Store) addPlacementLocked(id int32, owners []int) {
+	pl := Placement{
+		ID:         id,
+		Disk:       owners[0],
+		OwnerDisks: append([]int(nil), owners...),
+		OwnerPages: make([]int64, len(owners)),
+	}
+	s.pmu.Lock()
+	s.byID[id] = pl
+	s.pmu.Unlock()
+}
+
+// journalAppend appends one operation record to every owner disk's journal,
+// fsyncing each append. The operation is committed once every append has
+// synced; any failure aborts the (unacknowledged) operation, and replay's
+// all-owner-journals rule discards the partial appends.
+func (s *Store) journalAppend(ctx context.Context, owners []int, lsn uint64, op uint8, key geom.Point) error {
+	w := s.w
+	rec := appendJournalRec(make([]byte, 0, journalRecSize(len(key))), lsn, op, key)
+	for _, d := range owners {
+		if s.faults.Enabled() {
+			inj, hit := s.faults.Eval(fault.SiteStoreWAL)
+			if inj2, hit2 := s.faults.Eval(w.walSites[d]); hit2 {
+				hit = true
+				inj.Delay += inj2.Delay
+				if inj.Err == nil {
+					inj.Err = inj2.Err
+				}
+			}
+			if hit {
+				if inj.Delay > 0 {
+					if err := fault.Sleep(ctx, inj.Delay); err != nil {
+						return err
+					}
+				}
+				if inj.Err != nil {
+					return fmt.Errorf("store: journal append disk %d: %w", d, inj.Err)
+				}
+			}
+		}
+		if err := w.crashPoint(); err != nil {
+			return err
+		}
+		if _, err := w.journals[d].Write(rec); err != nil {
+			return fmt.Errorf("store: journal append disk %d: %w", d, err)
+		}
+		if err := w.journals[d].Sync(); err != nil {
+			return fmt.Errorf("store: journal fsync disk %d: %w", d, err)
+		}
+		w.appends.Add(1)
+		if err := w.crashPoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rewriteBucket re-encodes one bucket's records from the grid file and
+// writes them to fresh extents on every owner disk, then swaps the
+// placement. Page-write failures on individual copies are absorbed (the
+// journal keeps the redo and checkpoints are withheld); only a simulated
+// crash propagates. Caller holds w.mu and, online, gridMu.
+func (s *Store) rewriteBucket(ctx context.Context, id int32) error {
+	w := s.w
+	pl, ok := s.lookup(id)
+	if !ok {
+		return fmt.Errorf("store: rewrite of unplaced bucket %d", id)
+	}
+	dims := s.manifest.Dims
+	pageBytes := s.manifest.PageBytes
+	var keys []float64
+	w.grid.ForEachRecordInBucket(id, func(key []float64, _ []byte) {
+		keys = append(keys, key...)
+	})
+	nrec := len(keys) / dims
+	perPage := recordsPerPage(pageBytes, dims, pageHeaderV2)
+	npages := (nrec + perPage - 1) / perPage
+	if npages == 0 {
+		npages = 1
+	}
+
+	newPages := make([]int64, len(pl.OwnerDisks))
+	for i, d := range pl.OwnerDisks {
+		newPages[i] = w.nextPage[d]
+		w.nextPage[d] += int64(npages)
+	}
+
+	page := getBuf(pageBytes)
+	defer putBuf(page)
+	skip := make([]bool, len(pl.OwnerDisks))
+	for p := 0; p < npages; p++ {
+		for i := range page {
+			page[i] = 0
+		}
+		start := p * perPage
+		end := start + perPage
+		if end > nrec {
+			end = nrec
+		}
+		binary.LittleEndian.PutUint32(page[0:], uint32(id))
+		binary.LittleEndian.PutUint32(page[4:], uint32(end-start))
+		off := pageHeaderV2
+		for _, k := range keys[start*dims : end*dims] {
+			binary.LittleEndian.PutUint64(page[off:], floatBits(k))
+			off += 8
+		}
+		binary.LittleEndian.PutUint32(page[8:], pageChecksum(page))
+		for i, d := range pl.OwnerDisks {
+			if skip[i] {
+				continue
+			}
+			err := s.writePage(ctx, d, page, (newPages[i]+int64(p))*int64(pageBytes))
+			if errors.Is(err, errSimulatedCrash) {
+				return err
+			}
+			if err != nil {
+				// This copy is stale; leave the rest of it unwritten,
+				// withhold checkpoints so the journal keeps its redo.
+				skip[i] = true
+				w.failed = true
+			}
+		}
+	}
+
+	pl.OwnerPages = newPages
+	pl.Disk = pl.OwnerDisks[0]
+	pl.Page = newPages[0]
+	pl.Pages = npages
+	pl.Recs = nrec
+	s.pmu.Lock()
+	s.byID[id] = pl
+	s.pmu.Unlock()
+	return nil
+}
+
+// writePage performs one positioned page write, consulting the failpoint
+// registry (fault.SiteStoreWrite and the per-disk site) and the crash hook.
+func (s *Store) writePage(ctx context.Context, disk int, buf []byte, off int64) error {
+	w := s.w
+	if s.faults.Enabled() {
+		inj, hit := s.faults.Eval(fault.SiteStoreWrite)
+		if inj2, hit2 := s.faults.Eval(w.writeSites[disk]); hit2 {
+			hit = true
+			inj.Delay += inj2.Delay
+			if inj.Err == nil {
+				inj.Err = inj2.Err
+			}
+		}
+		if hit {
+			if inj.Delay > 0 {
+				if err := fault.Sleep(ctx, inj.Delay); err != nil {
+					return err
+				}
+			}
+			if inj.Err != nil {
+				return inj.Err
+			}
+		}
+	}
+	if err := w.crashPoint(); err != nil {
+		return err
+	}
+	if _, err := s.files[disk].WriteAt(buf, off); err != nil {
+		return err
+	}
+	return w.crashPoint()
+}
+
+// replay re-applies journaled operations after a crash. An operation is
+// committed — and therefore replayed — iff a valid record for its LSN is
+// present in the journal of EVERY disk owning its target bucket (located
+// against the deterministically replayed grid state). Anything less was
+// never acknowledged and is discarded. Replay finishes with a forced
+// checkpoint, so a successfully opened store is always clean.
+func (s *Store) replay() error {
+	w := s.w
+	dims := s.manifest.Dims
+	type pendOp struct {
+		rec  journalRec
+		have []bool
+		bad  bool
+	}
+	pending := make(map[uint64]*pendOp)
+	journalBytes := false
+	for d := 0; d < s.manifest.Disks; d++ {
+		recs, err := readJournal(filepath.Join(s.dir, JournalFileName(d)), dims)
+		if err != nil {
+			return err
+		}
+		if len(recs) > 0 {
+			journalBytes = true
+		}
+		for _, r := range recs {
+			if r.lsn >= w.nextLSN {
+				w.nextLSN = r.lsn + 1
+			}
+			if r.lsn <= w.checkpointLSN {
+				continue // already captured by the checkpoint
+			}
+			p := pending[r.lsn]
+			if p == nil {
+				p = &pendOp{rec: r, have: make([]bool, s.manifest.Disks)}
+				pending[r.lsn] = p
+			} else if p.rec.op != r.op || !keysEqual(p.rec.key, r.key) {
+				p.bad = true // same LSN, different payloads: never committed
+			}
+			p.have[d] = true
+		}
+	}
+	if len(pending) == 0 {
+		if journalBytes {
+			// Stale journals from a crash mid-checkpoint: truncate them.
+			return s.checkpointLocked(true)
+		}
+		return nil
+	}
+
+	lsns := make([]uint64, 0, len(pending))
+	for lsn := range pending {
+		lsns = append(lsns, lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+
+	dirty := make(map[int32]bool)
+	dead := make(map[int32]bool)
+	for _, lsn := range lsns {
+		p := pending[lsn]
+		if p.bad {
+			continue
+		}
+		key := geom.Point(p.rec.key)
+		id, err := w.grid.LocateBucket(key)
+		if err != nil {
+			continue // key no longer plausible: cannot have been committed
+		}
+		pl, ok := s.byID[id]
+		if !ok {
+			continue
+		}
+		committed := true
+		for _, d := range pl.OwnerDisks {
+			if !p.have[d] {
+				committed = false
+				break
+			}
+		}
+		if !committed {
+			continue
+		}
+		switch p.rec.op {
+		case journalOpInsert:
+			res, err := w.grid.InsertTracked(gridfile.Record{Key: key})
+			if err != nil {
+				continue
+			}
+			for _, nid := range res.Created {
+				s.addPlacementLocked(nid, pl.OwnerDisks)
+				dirty[nid] = true
+			}
+			dirty[res.Target] = true
+			w.splits.Add(int64(res.Splits))
+		case journalOpDelete:
+			res := w.grid.DeleteTracked(key)
+			if !res.Removed {
+				continue
+			}
+			for _, did := range res.Dirty() {
+				dirty[did] = true
+			}
+			if res.Merged {
+				dead[res.Dead] = true
+			}
+		}
+		w.replays.Add(1)
+		w.pendingOps++
+	}
+
+	for id := range dead {
+		delete(dirty, id)
+		s.pmu.Lock()
+		delete(s.byID, id)
+		s.pmu.Unlock()
+	}
+	ids := make([]int32, 0, len(dirty))
+	for id := range dirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := s.rewriteBucket(context.Background(), id); err != nil {
+			return err
+		}
+	}
+	return s.checkpointLocked(true)
+}
+
+// Checkpoint makes every committed mutation durable in the data files,
+// atomically rewrites manifest.json and grid.grd, and truncates the
+// journals. It is withheld (with an error) while any replica copy write has
+// failed since the last checkpoint — truncating the journals then would
+// drop the only redo for the stale copies.
+func (s *Store) Checkpoint() error {
+	w := s.w
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return s.checkpointLocked(true)
+}
+
+// checkpointLocked is Checkpoint with w.mu held; force checkpoints even
+// when no operations are pending (used by replay to truncate stale
+// journals and refresh the manifest).
+func (s *Store) checkpointLocked(force bool) error {
+	w := s.w
+	if w.pendingOps == 0 && !force {
+		return nil
+	}
+	if w.failed {
+		return errors.New("store: checkpoint withheld: a replica copy write failed since the last checkpoint (journals retained for replay)")
+	}
+	for d, fh := range s.files {
+		if err := fh.Sync(); err != nil {
+			w.failed = true
+			return fmt.Errorf("store: checkpoint fsync disk %d: %w", d, err)
+		}
+	}
+
+	// grid.grd: the coordinator state every future open replays from.
+	if err := s.atomicWriteGrid(); err != nil {
+		return err
+	}
+
+	// manifest.json: placements for exactly the grid's live buckets
+	// (merged-away tombstones drop out here).
+	views := w.grid.Buckets()
+	bks := make([]Placement, 0, len(views))
+	for _, v := range views {
+		pl, ok := s.byID[v.ID]
+		if !ok {
+			return fmt.Errorf("store: checkpoint: live bucket %d has no placement", v.ID)
+		}
+		bks = append(bks, pl)
+	}
+	m := s.manifest
+	m.Buckets = bks
+	m.CheckpointLSN = w.nextLSN - 1
+	layout, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	env, err := json.MarshalIndent(manifestVersion{
+		Version: manifestVersionCurrent,
+		Layout:  layout,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := atomicWriteFile(s.dir, "manifest.json", env); err != nil {
+		return err
+	}
+	s.pmu.Lock()
+	s.manifest = m
+	s.pmu.Unlock()
+
+	for d, j := range w.journals {
+		if err := j.Truncate(0); err != nil {
+			return fmt.Errorf("store: truncating journal %d: %w", d, err)
+		}
+		if err := j.Sync(); err != nil {
+			return fmt.Errorf("store: syncing journal %d: %w", d, err)
+		}
+	}
+	w.checkpointLSN = m.CheckpointLSN
+	w.pendingOps = 0
+	return nil
+}
+
+// atomicWriteGrid rewrites the layout's embedded grid file via tmp+rename.
+func (s *Store) atomicWriteGrid() error {
+	tmp := filepath.Join(s.dir, "."+gridFileName+".tmp")
+	fh, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.grid.WriteTo(fh); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, gridFileName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// atomicWriteFile writes name under dir via a synced temp file and rename,
+// then syncs the directory so the rename itself is durable.
+func atomicWriteFile(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, "."+name+".tmp")
+	fh, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := fh.Write(data); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	dh, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = dh.Sync()
+	if cerr := dh.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func keysEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if floatBits(a[i]) != floatBits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

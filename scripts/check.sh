@@ -14,15 +14,18 @@
 #   8. replica smoke
 #                  r=2 layout with one disk hard-killed: zero errors, zero
 #                  degraded, nonzero failovers
-#   9. open-loop smoke
+#   9. write smoke  online-write durability: ingest under a killed disk's
+#                  page writes at r=2, crash without checkpoint, replay;
+#                  zero lost acks, splits observed, scrub clean
+#  10. open-loop smoke
 #                  open-loop run at a fixed offered rate: zero errors,
 #                  achieved qps >= 95% of offered
-#  10. campaign gate
+#  11. campaign gate
 #                  deterministic fault x scheme x workload x replication
 #                  matrix: byte-identical across runs, zero surfaced errors,
 #                  and exactly matching the committed CAMPAIGN.json
-#  11. bench smoke one-shot run of the serving-path benchmark suite
-#  12. decluster smoke
+#  12. bench smoke one-shot run of the serving-path benchmark suite
+#  13. decluster smoke
 #                  one iteration of the build-path benchmark; its parallel
 #                  variant asserts the engine assignment is byte-identical
 #                  to the serial reference
@@ -64,6 +67,9 @@ CHAOS_SEED="${CHAOS_SEED:-1}" sh scripts/chaos.sh 1000
 
 echo "== replica smoke"
 REPLICA_SEED="${REPLICA_SEED:-1}" sh scripts/replica.sh 500
+
+echo "== write smoke"
+WRITE_SEED="${WRITE_SEED:-1}" sh scripts/write.sh 2000
 
 echo "== open-loop smoke"
 OPENLOOP_SEED="${OPENLOOP_SEED:-1}" sh scripts/openloop.sh 2000
