@@ -5,7 +5,7 @@ GO ?= go
 FUZZTIME ?= 5s
 BENCHTIME ?= 2000x
 
-.PHONY: all build test race check fmt vet fuzz chaos replica write trace campaign bench bench-open bench-decluster bench-all clean
+.PHONY: all build test race check fmt vet fuzz chaos replica write trace campaign bench bench-alloc bench-open bench-decluster bench-all clean
 
 all: build
 
@@ -65,6 +65,12 @@ check:
 # micro-benchmarks, parsed into BENCH_server.json.
 bench:
 	sh scripts/bench.sh $(BENCHTIME)
+
+# Allocation regression gate: the tuned and tuned-pipelined throughput rows
+# with -benchmem, checked against the committed allocs/op budget (see
+# ALLOC_BUDGET in scripts/bench.sh).
+bench-alloc:
+	BENCH_SUITE=alloc sh scripts/bench.sh $(BENCHTIME)
 
 # Open-loop load smoke: drive a fixed offered rate on a deterministic Poisson
 # schedule; the server must sustain it (0 errors, achieved >= 95% of offered)

@@ -1,7 +1,8 @@
 // Package cache provides the byte-bounded, sharded LRU bucket cache that
 // fronts the page store on the network server's hot path. The cached unit
-// is a decoded bucket: the []geom.Point slice a store read produces, keyed
-// by bucket id. Three properties matter for the serving path:
+// is a decoded bucket in arena form: one geom.Flat — a contiguous []float64
+// coordinate array plus a dimension header — keyed by bucket id. Three
+// properties matter for the serving path:
 //
 //   - Sharding: the id space is hashed over independently locked shards, so
 //     concurrent queries rarely contend on one mutex.
@@ -17,8 +18,13 @@
 //     groups leader misses per disk before reading), and Get wraps it for
 //     callers with a simple loader function.
 //
-// Cached point slices are shared between all readers and must be treated
-// as immutable.
+// Cached arenas are shared between all readers and must be treated as
+// immutable. Lifetime under writes is version-pinned, not refcounted:
+// Invalidate unlinks the entry and stamps the id, but never frees or
+// reuses the arena — a reader that acquired the Flat before the
+// invalidation keeps a consistent old snapshot for as long as it holds the
+// slice (the garbage collector pins the arena), while readers arriving
+// after see the rewritten bucket. Old-or-new, never torn.
 package cache
 
 import (
@@ -33,10 +39,6 @@ import (
 // entryOverhead approximates the bookkeeping bytes an entry costs beyond
 // its decoded records: map slot, LRU links, entry struct.
 const entryOverhead = 128
-
-// pointOverhead is the per-point slice header cost in the decoded
-// representation.
-const pointOverhead = 24
 
 // Cache is a sharded, byte-bounded LRU over decoded buckets with
 // singleflight loading. All methods are safe for concurrent use. The zero
@@ -57,7 +59,7 @@ type Cache struct {
 
 type entry struct {
 	key        int32
-	pts        []geom.Point
+	rec        geom.Flat
 	pages      int
 	bytes      int64
 	prev, next *entry
@@ -85,7 +87,7 @@ type shard struct {
 // until the leader Completes it or ctx expires.
 type Pending struct {
 	done    chan struct{}
-	pts     []geom.Point
+	rec     geom.Flat
 	pages   int
 	err     error
 	version uint64 // invalidation stamp observed when the leader was elected
@@ -93,12 +95,12 @@ type Pending struct {
 
 // Wait returns the leader's result, or ctx's error if the caller's own
 // deadline expires first.
-func (p *Pending) Wait(ctx context.Context) ([]geom.Point, int, error) {
+func (p *Pending) Wait(ctx context.Context) (geom.Flat, int, error) {
 	select {
 	case <-p.done:
-		return p.pts, p.pages, p.err
+		return p.rec, p.pages, p.err
 	case <-ctx.Done():
-		return nil, 0, ctx.Err()
+		return geom.Flat{}, 0, ctx.Err()
 	}
 }
 
@@ -138,11 +140,11 @@ func (c *Cache) shardFor(id int32) *shard {
 }
 
 // AcquireResult reports how an Acquire was satisfied. Exactly one of three
-// shapes comes back: a hit (Hit true, Pts/Pages valid), leadership (Leader
+// shapes comes back: a hit (Hit true, Rec/Pages valid), leadership (Leader
 // true: the caller MUST load the bucket and call Complete exactly once), or
 // a pending join (Pending non-nil: call Wait).
 type AcquireResult struct {
-	Pts     []geom.Point
+	Rec     geom.Flat
 	Pages   int
 	Hit     bool
 	Leader  bool
@@ -158,7 +160,7 @@ func (c *Cache) Acquire(id int32) AcquireResult {
 		s.moveToFront(e)
 		s.mu.Unlock()
 		c.hits.Add(1)
-		return AcquireResult{Pts: e.pts, Pages: e.pages, Hit: true}
+		return AcquireResult{Rec: e.rec, Pages: e.pages, Hit: true}
 	}
 	if p, ok := s.inflight[id]; ok {
 		s.mu.Unlock()
@@ -176,6 +178,9 @@ func (c *Cache) Acquire(id int32) AcquireResult {
 // any in-flight leader load started before this call completes without
 // caching its (now stale) result. The write path calls this after swapping
 // a mutated bucket's placement, making reads-after-write see fresh pages.
+// The dropped entries' arenas are never recycled — readers that acquired
+// them stay safe — only unlinked, so the collector reclaims each arena when
+// its last reader lets go.
 func (c *Cache) Invalidate(ids ...int32) {
 	for _, id := range ids {
 		s := c.shardFor(id)
@@ -197,7 +202,7 @@ func (c *Cache) Invalidate(ids ...int32) {
 // every waiter and, on success, inserted into the cache (evicting cold
 // entries past the shard's byte budget). An entry too large for its shard's
 // entire budget is returned to waiters but not cached.
-func (c *Cache) Complete(id int32, pts []geom.Point, pages int, err error) {
+func (c *Cache) Complete(id int32, rec geom.Flat, pages int, err error) {
 	s := c.shardFor(id)
 	s.mu.Lock()
 	p, ok := s.inflight[id]
@@ -207,7 +212,7 @@ func (c *Cache) Complete(id int32, pts []geom.Point, pages int, err error) {
 	stale := ok && p.version != s.versions[id]
 	if err == nil && !stale {
 		if _, dup := s.m[id]; !dup {
-			e := &entry{key: id, pts: pts, pages: pages, bytes: cost(pts)}
+			e := &entry{key: id, rec: rec, pages: pages, bytes: cost(rec)}
 			if e.bytes <= s.max {
 				s.m[id] = e
 				s.pushFront(e)
@@ -220,7 +225,7 @@ func (c *Cache) Complete(id int32, pts []geom.Point, pages int, err error) {
 	}
 	s.mu.Unlock()
 	if ok {
-		p.pts, p.pages, p.err = pts, pages, err
+		p.rec, p.pages, p.err = rec, pages, err
 		close(p.done)
 	}
 }
@@ -231,35 +236,30 @@ func (c *Cache) Complete(id int32, pts []geom.Point, pages int, err error) {
 // A load that panics still Completes the entry (with an error) before the
 // panic propagates, so waiters and later acquirers of the id are not wedged
 // behind an inflight entry that can never finish.
-func (c *Cache) Get(ctx context.Context, id int32, load func() ([]geom.Point, int, error)) ([]geom.Point, int, error) {
+func (c *Cache) Get(ctx context.Context, id int32, load func() (geom.Flat, int, error)) (geom.Flat, int, error) {
 	r := c.Acquire(id)
 	switch {
 	case r.Hit:
-		return r.Pts, r.Pages, nil
+		return r.Rec, r.Pages, nil
 	case r.Pending != nil:
 		return r.Pending.Wait(ctx)
 	}
 	completed := false
 	defer func() {
 		if !completed {
-			c.Complete(id, nil, 0, fmt.Errorf("cache: leader load for bucket %d panicked", id))
+			c.Complete(id, geom.Flat{}, 0, fmt.Errorf("cache: leader load for bucket %d panicked", id))
 		}
 	}()
-	pts, pages, err := load()
+	rec, pages, err := load()
 	completed = true
-	c.Complete(id, pts, pages, err)
-	return pts, pages, err
+	c.Complete(id, rec, pages, err)
+	return rec, pages, err
 }
 
-// cost estimates the resident bytes of one decoded bucket. Store reads
-// decode all records into one flat coordinate array with per-point subslice
-// headers, which is what this mirrors.
-func cost(pts []geom.Point) int64 {
-	b := int64(entryOverhead)
-	if len(pts) > 0 {
-		b += int64(len(pts)) * int64(pointOverhead+8*len(pts[0]))
-	}
-	return b
+// cost estimates the resident bytes of one decoded bucket: the arena's
+// coordinate array plus fixed per-entry overhead.
+func cost(rec geom.Flat) int64 {
+	return entryOverhead + 8*int64(len(rec.Coords))
 }
 
 // evictLocked drops cold entries until the shard is within budget. Caller

@@ -13,36 +13,31 @@ import (
 	"pgridfile/internal/geom"
 )
 
-// makePts builds n 2-D points; each costs entryOverhead + n*(24+16) bytes
-// in the cache's accounting.
-func makePts(n int) []geom.Point {
-	pts := make([]geom.Point, n)
-	flat := make([]float64, 2*n)
-	for i := range pts {
-		pts[i] = flat[2*i : 2*i+2]
-	}
-	return pts
+// makeFlat builds an arena of n 2-D points; each entry costs
+// entryOverhead + n*16 bytes in the cache's accounting.
+func makeFlat(n int) geom.Flat {
+	return geom.Flat{Dims: 2, Coords: make([]float64, 2*n)}
 }
 
-func loadOf(pts []geom.Point, pages int) func() ([]geom.Point, int, error) {
-	return func() ([]geom.Point, int, error) { return pts, pages, nil }
+func loadOf(rec geom.Flat, pages int) func() (geom.Flat, int, error) {
+	return func() (geom.Flat, int, error) { return rec, pages, nil }
 }
 
 func TestGetHitMiss(t *testing.T) {
 	c := New(1<<20, 4)
 	ctx := context.Background()
-	pts := makePts(10)
+	rec := makeFlat(10)
 
-	got, pages, err := c.Get(ctx, 1, loadOf(pts, 3))
-	if err != nil || len(got) != 10 || pages != 3 {
+	got, pages, err := c.Get(ctx, 1, loadOf(rec, 3))
+	if err != nil || got.Len() != 10 || pages != 3 {
 		t.Fatalf("first get: %v %d %v", got, pages, err)
 	}
 	calls := 0
-	got, pages, err = c.Get(ctx, 1, func() ([]geom.Point, int, error) {
+	got, pages, err = c.Get(ctx, 1, func() (geom.Flat, int, error) {
 		calls++
-		return nil, 0, errors.New("should not be called")
+		return geom.Flat{}, 0, errors.New("should not be called")
 	})
-	if err != nil || calls != 0 || len(got) != 10 || pages != 3 {
+	if err != nil || calls != 0 || got.Len() != 10 || pages != 3 {
 		t.Fatalf("hit ran the loader: calls=%d err=%v", calls, err)
 	}
 	st := c.Stats()
@@ -52,24 +47,24 @@ func TestGetHitMiss(t *testing.T) {
 }
 
 func TestByteBoundAndEviction(t *testing.T) {
-	// One shard so the budget arithmetic is exact; each 100-point entry
-	// costs 128 + 100*40 = 4128 bytes, so a 20000-byte shard fits 4.
-	c := New(20000, 1)
+	// One shard so the budget arithmetic is exact; each 100-point 2-D entry
+	// costs 128 + 100*16 = 1728 bytes, so an 8000-byte shard fits 4.
+	const entryBytes = entryOverhead + 100*16
+	c := New(8000, 1)
 	ctx := context.Background()
-	const entryBytes = entryOverhead + 100*(pointOverhead+16)
 	for id := int32(0); id < 50; id++ {
-		if _, _, err := c.Get(ctx, id, loadOf(makePts(100), 1)); err != nil {
+		if _, _, err := c.Get(ctx, id, loadOf(makeFlat(100), 1)); err != nil {
 			t.Fatal(err)
 		}
-		if got := c.Stats().Bytes; got > 20000 {
-			t.Fatalf("after insert %d: resident bytes %d exceed bound 20000", id, got)
+		if got := c.Stats().Bytes; got > 8000 {
+			t.Fatalf("after insert %d: resident bytes %d exceed bound 8000", id, got)
 		}
 	}
 	st := c.Stats()
 	if st.Evictions == 0 {
 		t.Error("no evictions despite 50 inserts into a 4-entry budget")
 	}
-	if want := int64(20000 / entryBytes); st.Entries != want {
+	if want := int64(8000 / entryBytes); st.Entries != want {
 		t.Errorf("resident entries = %d, want %d", st.Entries, want)
 	}
 	if st.Bytes != st.Entries*entryBytes {
@@ -80,20 +75,20 @@ func TestByteBoundAndEviction(t *testing.T) {
 func TestLRUOrder(t *testing.T) {
 	// Budget of 3 entries in one shard; touching id 0 between inserts must
 	// keep it resident while colder ids rotate out.
-	const entryBytes = entryOverhead + 10*(pointOverhead+16)
+	const entryBytes = entryOverhead + 10*16
 	c := New(3*entryBytes, 1)
 	ctx := context.Background()
 	for id := int32(0); id < 3; id++ {
-		c.Get(ctx, id, loadOf(makePts(10), 1))
+		c.Get(ctx, id, loadOf(makeFlat(10), 1))
 	}
 	for id := int32(3); id < 10; id++ {
 		// Touch 0, then insert a new id: the eviction victim must never be 0.
-		if _, _, err := c.Get(ctx, 0, func() ([]geom.Point, int, error) {
-			return nil, 0, errors.New("id 0 evicted despite being hot")
+		if _, _, err := c.Get(ctx, 0, func() (geom.Flat, int, error) {
+			return geom.Flat{}, 0, errors.New("id 0 evicted despite being hot")
 		}); err != nil {
 			t.Fatal(err)
 		}
-		c.Get(ctx, id, loadOf(makePts(10), 1))
+		c.Get(ctx, id, loadOf(makeFlat(10), 1))
 	}
 	if c.Len() != 3 {
 		t.Errorf("resident entries = %d, want 3", c.Len())
@@ -101,10 +96,10 @@ func TestLRUOrder(t *testing.T) {
 }
 
 func TestOversizeEntryNotCached(t *testing.T) {
-	c := New(1000, 1) // far below one 100-point entry
+	c := New(1000, 1) // below one 100-point entry (1728 bytes)
 	ctx := context.Background()
 	calls := 0
-	load := func() ([]geom.Point, int, error) { calls++; return makePts(100), 1, nil }
+	load := func() (geom.Flat, int, error) { calls++; return makeFlat(100), 1, nil }
 	if _, _, err := c.Get(ctx, 7, load); err != nil {
 		t.Fatal(err)
 	}
@@ -121,15 +116,15 @@ func TestErrorNotCached(t *testing.T) {
 	c := New(1<<20, 2)
 	ctx := context.Background()
 	boom := errors.New("disk gone")
-	if _, _, err := c.Get(ctx, 3, func() ([]geom.Point, int, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.Get(ctx, 3, func() (geom.Flat, int, error) { return geom.Flat{}, 0, boom }); !errors.Is(err, boom) {
 		t.Fatalf("load error not surfaced: %v", err)
 	}
 	if c.Len() != 0 {
 		t.Error("failed load left a cache entry")
 	}
-	pts, _, err := c.Get(ctx, 3, loadOf(makePts(5), 1))
-	if err != nil || len(pts) != 5 {
-		t.Fatalf("retry after failed load: %v %v", pts, err)
+	rec, _, err := c.Get(ctx, 3, loadOf(makeFlat(5), 1))
+	if err != nil || rec.Len() != 5 {
+		t.Fatalf("retry after failed load: %v %v", rec, err)
 	}
 }
 
@@ -142,7 +137,7 @@ func TestSingleflight(t *testing.T) {
 	const readers = 32
 	var calls atomic.Int64
 	release := make(chan struct{})
-	pts := makePts(8)
+	rec := makeFlat(8)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, readers)
@@ -150,17 +145,17 @@ func TestSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, pages, err := c.Get(ctx, 42, func() ([]geom.Point, int, error) {
+			got, pages, err := c.Get(ctx, 42, func() (geom.Flat, int, error) {
 				calls.Add(1)
 				<-release // hold the load open so everyone else joins it
-				return pts, 2, nil
+				return rec, 2, nil
 			})
 			if err != nil {
 				errs <- err
 				return
 			}
-			if len(got) != 8 || pages != 2 {
-				errs <- fmt.Errorf("joiner got %d pts / %d pages", len(got), pages)
+			if got.Len() != 8 || pages != 2 {
+				errs <- fmt.Errorf("joiner got %d recs / %d pages", got.Len(), pages)
 			}
 		}()
 	}
@@ -202,16 +197,16 @@ func TestPanickingLeaderDoesNotWedge(t *testing.T) {
 				t.Fatal("Get swallowed the loader's panic")
 			}
 		}()
-		c.Get(ctx, 5, func() ([]geom.Point, int, error) { panic("torn header") })
+		c.Get(ctx, 5, func() (geom.Flat, int, error) { panic("torn header") })
 	}()
 
 	// Before the fix this Get joined the leaked Pending and hung forever;
 	// after it, the id is free and a fresh load succeeds.
 	done := make(chan error, 1)
 	go func() {
-		pts, _, err := c.Get(ctx, 5, loadOf(makePts(4), 1))
-		if err == nil && len(pts) != 4 {
-			err = fmt.Errorf("reload got %d points, want 4", len(pts))
+		rec, _, err := c.Get(ctx, 5, loadOf(makeFlat(4), 1))
+		if err == nil && rec.Len() != 4 {
+			err = fmt.Errorf("reload got %d records, want 4", rec.Len())
 		}
 		done <- err
 	}()
@@ -230,7 +225,7 @@ func TestPanickingLeaderDoesNotWedge(t *testing.T) {
 	release := make(chan struct{})
 	go func() {
 		defer func() { recover() }()
-		c.Get(ctx, 6, func() ([]geom.Point, int, error) {
+		c.Get(ctx, 6, func() (geom.Flat, int, error) {
 			close(entered)
 			<-release
 			panic("torn header")
@@ -276,10 +271,10 @@ func TestWaitRespectsContext(t *testing.T) {
 		t.Errorf("wait returned %v, want context.Canceled", err)
 	}
 	// The leader must still be able to complete and unblock future readers.
-	c.Complete(9, makePts(3), 1, nil)
-	pts, _, err := c.Get(context.Background(), 9, nil)
-	if err != nil || len(pts) != 3 {
-		t.Fatalf("completion after abandoned waiter: %v %v", pts, err)
+	c.Complete(9, makeFlat(3), 1, nil)
+	rec, _, err := c.Get(context.Background(), 9, nil)
+	if err != nil || rec.Len() != 3 {
+		t.Fatalf("completion after abandoned waiter: %v %v", rec, err)
 	}
 }
 
@@ -288,7 +283,7 @@ func TestWaitRespectsContext(t *testing.T) {
 // interleave, the bound must hold throughout, and the counters must
 // reconcile with the number of operations issued.
 func TestConcurrentMixed(t *testing.T) {
-	const entryBytes = entryOverhead + 20*(pointOverhead+16)
+	const entryBytes = entryOverhead + 20*16
 	c := New(8*entryBytes, 4)
 	ctx := context.Background()
 	const (
@@ -304,13 +299,13 @@ func TestConcurrentMixed(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
 				id := int32((r*7 + i) % idSpace)
-				pts, _, err := c.Get(ctx, id, loadOf(makePts(20), 1))
+				rec, _, err := c.Get(ctx, id, loadOf(makeFlat(20), 1))
 				if err != nil {
 					errs <- err
 					return
 				}
-				if len(pts) != 20 {
-					errs <- fmt.Errorf("id %d: %d points", id, len(pts))
+				if rec.Len() != 20 {
+					errs <- fmt.Errorf("id %d: %d records", id, rec.Len())
 					return
 				}
 			}
@@ -334,7 +329,7 @@ func TestConcurrentMixed(t *testing.T) {
 func TestInvalidateDropsResidentEntry(t *testing.T) {
 	c := New(1<<20, 4)
 	ctx := context.Background()
-	if _, _, err := c.Get(ctx, 7, loadOf(makePts(10), 1)); err != nil {
+	if _, _, err := c.Get(ctx, 7, loadOf(makeFlat(10), 1)); err != nil {
 		t.Fatal(err)
 	}
 	if c.Len() != 1 {
@@ -348,9 +343,9 @@ func TestInvalidateDropsResidentEntry(t *testing.T) {
 		t.Fatalf("invalidations = %d, want 2", got)
 	}
 	calls := 0
-	if _, _, err := c.Get(ctx, 7, func() ([]geom.Point, int, error) {
+	if _, _, err := c.Get(ctx, 7, func() (geom.Flat, int, error) {
 		calls++
-		return makePts(5), 1, nil
+		return makeFlat(5), 1, nil
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -378,12 +373,12 @@ func TestInvalidateRacingLeader(t *testing.T) {
 	// The bucket mutates while the leader's disk read is in flight.
 	c.Invalidate(3)
 
-	stale := makePts(9)
+	stale := makeFlat(9)
 	c.Complete(3, stale, 2, nil)
 
-	pts, pages, err := w.Pending.Wait(ctx)
-	if err != nil || len(pts) != 9 || pages != 2 {
-		t.Fatalf("waiter result: %d pts, %d pages, %v", len(pts), pages, err)
+	rec, pages, err := w.Pending.Wait(ctx)
+	if err != nil || rec.Len() != 9 || pages != 2 {
+		t.Fatalf("waiter result: %d recs, %d pages, %v", rec.Len(), pages, err)
 	}
 	if c.Len() != 0 {
 		t.Fatalf("stale leader result was cached (%d entries)", c.Len())
@@ -393,8 +388,79 @@ func TestInvalidateRacingLeader(t *testing.T) {
 	if !r2.Leader {
 		t.Fatal("expected fresh leadership after invalidate")
 	}
-	c.Complete(3, makePts(4), 1, nil)
+	c.Complete(3, makeFlat(4), 1, nil)
 	if c.Len() != 1 {
 		t.Fatalf("fresh result not cached (%d entries)", c.Len())
+	}
+}
+
+// TestArenaPinnedAcrossInvalidate is the arena-lifetime property the
+// zero-copy serving path depends on: a reader that acquired a bucket's Flat
+// keeps a stable old snapshot while Invalidate + a rewrite land and later
+// readers see the new data — old-or-new, never freed or torn. Concurrent
+// re-reads of the pinned arena run against the writer under -race, so a
+// buffer-recycling bug here would be a report, not a flake.
+func TestArenaPinnedAcrossInvalidate(t *testing.T) {
+	c := New(1<<20, 1)
+	ctx := context.Background()
+
+	old := makeFlat(64)
+	for i := range old.Coords {
+		old.Coords[i] = 1.0
+	}
+	pinned, _, err := c.Get(ctx, 11, loadOf(old, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader holds its snapshot open while the write path churns the
+	// bucket through many invalidate+rewrite cycles.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := 0; i < pinned.Len(); i++ {
+				row := pinned.Row(i)
+				for _, v := range row {
+					if v != 1.0 {
+						t.Errorf("pinned arena mutated: saw %v, want 1.0", v)
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	for round := 0; round < 100; round++ {
+		c.Invalidate(11)
+		fresh := makeFlat(64)
+		for i := range fresh.Coords {
+			fresh.Coords[i] = float64(round + 2)
+		}
+		if _, _, err := c.Get(ctx, 11, loadOf(fresh, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// A fresh acquire sees the last rewrite, not the pinned snapshot.
+	got, _, err := c.Get(ctx, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 64 || got.Coords[0] != 101 {
+		t.Fatalf("post-rewrite read got len=%d first=%v, want 64/101", got.Len(), got.Coords[0])
+	}
+	// And the pinned snapshot still reads old.
+	if pinned.Coords[0] != 1.0 {
+		t.Fatalf("pinned snapshot changed: %v", pinned.Coords[0])
 	}
 }

@@ -1,0 +1,66 @@
+package geom
+
+// Flat is a bucket's records in arena form: one contiguous coordinate array
+// holding Len() == len(Coords)/Dims points of Dims dimensions each. This is
+// the representation the store decodes into and the bucket cache retains —
+// a single allocation per bucket, shared by every reader, scanned in place
+// by the server's filter predicates without materializing per-point slices.
+//
+// A Flat must be treated as immutable once published: the cache hands the
+// same Coords array to all concurrent readers, and the write path replaces
+// (never mutates) cached records, so a reader holding a Flat across an
+// invalidation still sees a consistent old snapshot (the GC keeps the arena
+// alive as long as anyone holds it).
+//
+// The zero Flat is an empty record set.
+type Flat struct {
+	Dims   int
+	Coords []float64
+}
+
+// Len returns the number of records.
+func (f Flat) Len() int {
+	if f.Dims <= 0 {
+		return 0
+	}
+	return len(f.Coords) / f.Dims
+}
+
+// Row returns record i's coordinates as a view into the arena. The slice
+// aliases Coords and must not be modified.
+func (f Flat) Row(i int) []float64 {
+	return f.Coords[i*f.Dims : (i+1)*f.Dims]
+}
+
+// At returns record i as a Point view into the arena (no copy). The point
+// aliases Coords and must not be modified; use Clone to retain it.
+func (f Flat) At(i int) Point {
+	return Point(f.Coords[i*f.Dims : (i+1)*f.Dims : (i+1)*f.Dims])
+}
+
+// Points materializes the conventional []Point view: one subslice header per
+// record, all sharing the arena. Used by compatibility wrappers; the hot
+// path scans the Flat directly instead.
+func (f Flat) Points() []Point {
+	n := f.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = f.At(i)
+	}
+	return out
+}
+
+// FlatOf packs points (all of the given dimensionality) into a fresh Flat.
+func FlatOf(dims int, pts []Point) Flat {
+	if len(pts) == 0 {
+		return Flat{Dims: dims}
+	}
+	coords := make([]float64, 0, len(pts)*dims)
+	for _, p := range pts {
+		coords = append(coords, p...)
+	}
+	return Flat{Dims: dims, Coords: coords}
+}

@@ -2,6 +2,7 @@ package gridfile
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"pgridfile/internal/geom"
@@ -96,21 +97,29 @@ func (f *File) queryCellBox(q geom.Rect, lo, hi []int32) bool {
 // so it is safe for concurrent readers — the property the network query
 // service relies on to translate queries without a coordinator lock.
 func (f *File) BucketsInRange(q geom.Rect) []int32 {
+	return f.BucketsInRangeAppend(q, nil)
+}
+
+// BucketsInRangeAppend is BucketsInRange appending onto a caller-owned
+// slice — the allocation-free form for callers that reuse a scratch slice
+// across queries (the network server's translation step). The appended ids
+// are in ascending order; ids already in the slice are left untouched.
+func (f *File) BucketsInRangeAppend(q geom.Rect, ids []int32) []int32 {
 	if len(q) != f.cfg.Dims {
-		return nil
+		return ids
 	}
 	sc := f.getScratch()
 	defer putScratch(sc)
 	if !f.queryCellBox(q, sc.lo, sc.hi) {
-		return nil
+		return ids
 	}
-	var ids []int32
+	base := len(ids)
 	f.forEachCellIn(sc.lo, sc.hi, func(idx int) {
 		if id := f.dir[idx]; !sc.visit(id) {
 			ids = append(ids, id)
 		}
 	})
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids[base:])
 	return ids
 }
 

@@ -76,12 +76,13 @@ func (c ClientConfig) withDefaults() ClientConfig {
 // multiplexes concurrent requests over tagged connections instead. It is
 // safe for concurrent use.
 type Client struct {
-	cfg    ClientConfig
-	mu     sync.Mutex
-	idle   []*clientConn // non-pipelined pool
-	pipes  []*pipeConn   // pipelined conns, round-robined; nil slots dial lazily
-	rr     uint64
-	closed bool
+	cfg     ClientConfig
+	mu      sync.Mutex
+	idle    []*clientConn   // non-pipelined pool
+	pipes   []*pipeConn     // pipelined conns, round-robined; nil slots dial lazily
+	dialing []chan struct{} // per-slot dial in flight; closed when the slot settles
+	rr      uint64
+	closed  bool
 }
 
 // NewClient creates a client for the given server address. No connection is
@@ -267,62 +268,119 @@ func (c *Client) exchangePooled(ctx context.Context, req Request, handle func(Fr
 // to the collector: a closed channel cannot be reused, and after a caller
 // abandons its id a late reply may still race into the waiter.
 type waiter struct {
-	ch  chan Frame
-	buf *[]byte // backing store of the delivered frame's payload
+	ch       chan Frame
+	buf      *[]byte   // backing store of the delivered frame's payload
+	deadline time.Time // reply due by; enforced by the connection watchdog
 }
 
 var waiterPool = sync.Pool{New: func() any { return &waiter{ch: make(chan Frame, 1)} }}
 
-// timerPool recycles the per-request timeout timers. Only timers whose Stop
-// reports "never fired" are returned (see putTimer): under the pre-1.23 timer
-// semantics this module targets, a fired timer may still have its tick in
-// flight, and reusing it would hand the stale tick to the next request as a
-// spurious timeout.
-var timerPool sync.Pool
-
-func getTimer(d time.Duration) *time.Timer {
-	if t, ok := timerPool.Get().(*time.Timer); ok {
-		t.Reset(d)
-		return t
-	}
-	return time.NewTimer(d)
-}
-
-func putTimer(t *time.Timer) {
-	if t.Stop() {
-		timerPool.Put(t)
-	}
-	// Already fired or stopped: expiry is the rare path; let it go.
-}
-
-// pipeConn is one pipelined connection: a single writer lock frames tagged
-// requests into a reused buffer, a reader goroutine matches tagged replies
-// to waiting callers by request id, and a semaphore bounds requests in
-// flight. Any transport error fails the whole connection — every pending
-// caller gets the error and the next request dials a replacement.
+// pipeConn is one pipelined connection: callers frame tagged requests into a
+// shared pending buffer, a writer goroutine group-commits that buffer — every
+// frame queued while the previous write syscall was in flight goes out in the
+// next single write — a reader goroutine matches tagged replies to waiting
+// callers by request id, and a semaphore bounds requests in flight. Reply
+// timeouts are enforced by one per-connection watchdog timer instead of a
+// timer per request: on a multiplexed stream a missing reply fails the whole
+// connection anyway, so a coarse shared deadline scan detects it just as
+// well at a fraction of the cost. Any transport error fails the whole
+// connection — every pending caller gets the error and the next request
+// dials a replacement.
 type pipeConn struct {
-	conn net.Conn
-	br   *bufio.Reader
-	sem  chan struct{}
+	conn     net.Conn
+	br       *bufio.Reader
+	sem      chan struct{}
+	wtimeout time.Duration // per-flush write deadline
+	wd       *time.Timer   // watchdog; rearmed until the connection fails
+	wdPeriod time.Duration
 
-	wmu  sync.Mutex
-	wbuf []byte
+	mu      sync.Mutex
+	pend    map[uint32]*waiter
+	nextID  uint32
+	err     error         // terminal error; set once, before failing pend
+	pending []byte        // frames enqueued for the writer's next group commit
+	closed  bool          // tells the parked writer to exit
+	wake    chan struct{} // 1-slot; poked when pending goes non-empty
 
-	mu     sync.Mutex
-	pend   map[uint32]*waiter
-	nextID uint32
-	err    error // terminal error; set once, before failing pend
+	wbuf []byte // writer-owned; swapped against pending under mu
 }
 
-func newPipeConn(conn net.Conn, depth int) *pipeConn {
+func newPipeConn(conn net.Conn, depth int, timeout time.Duration) *pipeConn {
 	pc := &pipeConn{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		sem:  make(chan struct{}, depth),
-		pend: make(map[uint32]*waiter),
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 64<<10),
+		sem:      make(chan struct{}, depth),
+		wtimeout: timeout,
+		pend:     make(map[uint32]*waiter),
+		wake:     make(chan struct{}, 1),
 	}
+	// The watchdog granularity trades timeout precision (a timed-out request
+	// is detected at most one period late) for never touching a timer on the
+	// request path.
+	pc.wdPeriod = timeout / 4
+	if pc.wdPeriod < 10*time.Millisecond {
+		pc.wdPeriod = 10 * time.Millisecond
+	}
+	pc.wd = time.AfterFunc(pc.wdPeriod, pc.watchdog)
 	go pc.readLoop()
+	go pc.writeLoop()
 	return pc
+}
+
+// writeLoop is the connection's group-commit writer: it swaps the shared
+// pending buffer against its own and submits everything accumulated there as
+// one write syscall. Requests framed while that write was in flight ride the
+// next swap, so under concurrent load the per-request write cost amortizes
+// toward zero without adding any latency when the connection is idle.
+func (pc *pipeConn) writeLoop() {
+	for {
+		pc.mu.Lock()
+		for len(pc.pending) == 0 {
+			closed := pc.closed
+			pc.mu.Unlock()
+			if closed {
+				return
+			}
+			<-pc.wake
+			pc.mu.Lock()
+		}
+		pc.wbuf, pc.pending = pc.pending, pc.wbuf[:0]
+		pc.mu.Unlock()
+		pc.conn.SetWriteDeadline(time.Now().Add(pc.wtimeout))
+		if _, err := pc.conn.Write(pc.wbuf); err != nil {
+			// A partial write poisons the stream for everyone, including
+			// callers whose frames rode this batch and already returned.
+			pc.fail(err)
+			return
+		}
+	}
+}
+
+// watchdog fails the connection when any pending request has outlived its
+// deadline; otherwise it rearms itself. It stops rearming once the
+// connection is dead.
+func (pc *pipeConn) watchdog() {
+	now := time.Now()
+	pc.mu.Lock()
+	if pc.err != nil {
+		pc.mu.Unlock()
+		return
+	}
+	var expired uint32
+	timedOut := false
+	for id, w := range pc.pend {
+		if now.After(w.deadline) {
+			expired, timedOut = id, true
+			break
+		}
+	}
+	if !timedOut {
+		pc.wd.Reset(pc.wdPeriod)
+		pc.mu.Unlock()
+		return
+	}
+	pc.mu.Unlock()
+	pc.fail(fmt.Errorf("server: request %d timed out", expired))
 }
 
 // readLoop dispatches tagged replies to their waiting callers. Replies for
@@ -366,31 +424,61 @@ func (pc *pipeConn) readLoop() {
 }
 
 // fail marks the connection dead, closes it, and unblocks every pending
-// caller by closing their channels; pc.err carries the cause.
+// caller by closing their channels; pc.err carries the cause. The parked
+// writer is woken so it can observe closed and exit, and the watchdog stops
+// rearming.
 func (pc *pipeConn) fail(err error) {
 	pc.mu.Lock()
 	if pc.err == nil {
 		pc.err = err
+		pc.closed = true
 		for id, w := range pc.pend {
 			delete(pc.pend, id)
 			close(w.ch)
 		}
 	}
 	pc.mu.Unlock()
+	select {
+	case pc.wake <- struct{}{}:
+	default:
+	}
+	pc.wd.Stop()
 	pc.conn.Close()
 }
 
-// register allocates a request id and its reply waiter.
-func (pc *pipeConn) register() (uint32, *waiter, error) {
+// enqueue allocates a request id, registers its reply waiter, and frames the
+// request into the connection's pending buffer, all under one lock; the
+// writer goroutine group-commits the buffer. An encoding failure leaves the
+// buffer and the connection untouched.
+func (pc *pipeConn) enqueue(req Request, deadline time.Time) (uint32, *waiter, error) {
 	pc.mu.Lock()
-	defer pc.mu.Unlock()
 	if pc.err != nil {
-		return 0, nil, pc.err
+		err := pc.err
+		pc.mu.Unlock()
+		return 0, nil, err
 	}
 	pc.nextID++
 	id := pc.nextID
+	n := len(pc.pending)
+	var err error
+	pc.pending, err = AppendRequestFrame(pc.pending, req, id, true)
+	if err != nil {
+		pc.pending = pc.pending[:n]
+		pc.mu.Unlock()
+		return 0, nil, &encodeError{err}
+	}
 	w := waiterPool.Get().(*waiter)
+	w.deadline = deadline
 	pc.pend[id] = w
+	pc.mu.Unlock()
+	if n == 0 {
+		// The buffer went empty→non-empty, so the writer may be parked;
+		// later frames ride the batch the writer will pick up anyway.
+		select {
+		case pc.wake <- struct{}{}:
+		default:
+		}
+	}
 	return id, w, nil
 }
 
@@ -402,20 +490,6 @@ func (pc *pipeConn) deregister(id uint32) {
 	pc.mu.Unlock()
 }
 
-// send frames and writes one tagged request under the writer lock.
-func (pc *pipeConn) send(id uint32, req Request, deadline time.Time) error {
-	pc.wmu.Lock()
-	defer pc.wmu.Unlock()
-	var err error
-	pc.wbuf, err = AppendRequestFrame(pc.wbuf[:0], req, id, true)
-	if err != nil {
-		return &encodeError{err}
-	}
-	pc.conn.SetWriteDeadline(deadline)
-	_, werr := pc.conn.Write(pc.wbuf)
-	return werr
-}
-
 func (pc *pipeConn) failed() bool {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
@@ -423,51 +497,70 @@ func (pc *pipeConn) failed() bool {
 }
 
 // getPipe returns a live pipelined connection, dialing a replacement for a
-// dead or missing round-robin slot.
+// dead or missing round-robin slot. Dials are per-slot singleflight: the
+// first caller to find a slot empty dials it while later callers park until
+// the slot settles, so a burst of workers starting against a cold pool costs
+// PoolSize dials — not one per worker, with the losers' connections (and
+// their read buffers, goroutines, and server-side accepts) thrown away.
 func (c *Client) getPipe() (*pipeConn, error) {
 	c.mu.Lock()
-	if c.closed {
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, errors.New("server: client closed")
+		}
+		if c.pipes == nil {
+			c.pipes = make([]*pipeConn, c.cfg.PoolSize)
+			c.dialing = make([]chan struct{}, c.cfg.PoolSize)
+		}
+		c.rr++
+		slot := int(c.rr % uint64(len(c.pipes)))
+		if pc := c.pipes[slot]; pc != nil && !pc.failed() {
+			c.mu.Unlock()
+			return pc, nil
+		}
+		if ch := c.dialing[slot]; ch != nil {
+			// Someone is already dialing this slot; wait for it to settle
+			// and retry. The retry re-rolls rr, so waiters spread across
+			// whatever slots are live by then.
+			c.mu.Unlock()
+			<-ch
+			c.mu.Lock()
+			continue
+		}
+		ch := make(chan struct{})
+		c.dialing[slot] = ch
 		c.mu.Unlock()
-		return nil, errors.New("server: client closed")
-	}
-	if c.pipes == nil {
-		c.pipes = make([]*pipeConn, c.cfg.PoolSize)
-	}
-	c.rr++
-	slot := int(c.rr % uint64(len(c.pipes)))
-	if pc := c.pipes[slot]; pc != nil && !pc.failed() {
+
+		conn, err := c.dial()
+		var pc *pipeConn
+		if err == nil {
+			pc = newPipeConn(conn, c.cfg.Pipeline, c.cfg.RequestTimeout)
+		}
+		c.mu.Lock()
+		c.dialing[slot] = nil
+		close(ch)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		if c.closed {
+			c.mu.Unlock()
+			pc.fail(errors.New("server: client closed"))
+			return nil, errors.New("server: client closed")
+		}
+		c.pipes[slot] = pc
 		c.mu.Unlock()
 		return pc, nil
 	}
-	c.mu.Unlock()
-
-	conn, err := c.dial()
-	if err != nil {
-		return nil, err
-	}
-	pc := newPipeConn(conn, c.cfg.Pipeline)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		pc.fail(errors.New("server: client closed"))
-		return nil, errors.New("server: client closed")
-	}
-	// Another caller may have replaced the slot while we dialed; keep the
-	// winner with the live connection.
-	if cur := c.pipes[slot]; cur != nil && !cur.failed() {
-		c.mu.Unlock()
-		pc.fail(errors.New("server: superseded"))
-		return cur, nil
-	}
-	c.pipes[slot] = pc
-	c.mu.Unlock()
-	return pc, nil
 }
 
 // exchangePipelined is one attempt over a tagged (pipelined) connection. A
 // request that outlives its deadline fails the whole connection rather than
 // waiting forever: on a multiplexed stream a missing reply cannot be
-// distinguished from a desynchronized one, and the retry path dials fresh.
+// distinguished from a desynchronized one, and the retry path dials fresh —
+// the connection's watchdog timer detects the overdue reply, so the caller
+// parks on nothing but its waiter (and the rare caller context).
 func (c *Client) exchangePipelined(ctx context.Context, req Request, handle func(Frame) error) error {
 	pc, err := c.getPipe()
 	if err != nil {
@@ -481,22 +574,12 @@ func (c *Client) exchangePipelined(ctx context.Context, req Request, handle func
 	}
 	defer func() { <-pc.sem }()
 
-	id, w, err := pc.register()
+	id, w, err := pc.enqueue(req, deadline)
 	if err != nil {
 		return err
 	}
-	if err := pc.send(id, req, deadline); err != nil {
-		pc.deregister(id)
-		var ee *encodeError
-		if !errors.As(err, &ee) {
-			pc.fail(err) // a partial write poisons the stream for everyone
-		}
-		return err
-	}
-	timer := getTimer(time.Until(deadline))
 	select {
 	case resp, ok := <-w.ch:
-		putTimer(timer)
 		if !ok {
 			pc.mu.Lock()
 			err := pc.err
@@ -514,12 +597,8 @@ func (c *Client) exchangePipelined(ctx context.Context, req Request, handle func
 		w.buf = nil
 		waiterPool.Put(w)
 		return herr
-	case <-timer.C:
-		pc.fail(fmt.Errorf("server: request %d timed out after %s", id, c.cfg.RequestTimeout))
-		return errors.New("server: pipelined request timed out")
 	case <-ctx.Done():
 		pc.deregister(id)
-		putTimer(timer)
 		return ctx.Err()
 	}
 }

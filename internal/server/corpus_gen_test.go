@@ -35,6 +35,11 @@ func TestGenFuzzCorpus(t *testing.T) {
 		"truncated":      point[:len(point)/2],
 		"length-bomb":    {0xFF, 0xFF, 0xFF, 0x7F, byte(VerbPoint)},
 		"payload-mutant": mutate(knn, len(knn)-1),
+		// A result frame on the request path: the decoder must reject it
+		// cleanly, and the frame reader gets a head start on the streamed
+		// AppendResult layout (dims header, patched count, info trailer).
+		"points-result": resultFrameBytes(t, false, 0,
+			Result{Points: []geom.Point{{1.5, 2.5}}, Count: 1, Info: QueryInfo{Buckets: 1, Pages: 1}}),
 	})
 
 	// FuzzBatchFraming: concatenated frame sequences as connWriter emits them.
@@ -58,11 +63,21 @@ func TestGenFuzzCorpus(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Response batches as the pipelined worker emits them: every reply of a
+	// batch AppendResult-encoded into one buffer — tagged envelopes, streamed
+	// rows, the dims>0/zero-row empty-points shape, count and write acks.
+	respBatch := resultFrameBytes(t, true, 7, Result{
+		Points: []geom.Point{{1, 2, 3}, {4, 5, 6}}, Count: 2,
+		Info: QueryInfo{Buckets: 1, Pages: 1}})
+	respBatch = append(respBatch, emptyPointsFrameBytes(t, 3)...)
+	respBatch = append(respBatch, resultFrameBytes(t, true, 8,
+		Result{Count: 42, Info: QueryInfo{Buckets: 2, Pages: 2}})...)
 	writeCorpus(t, "FuzzBatchFraming", map[string][]byte{
 		"mixed-batch":    batch,
 		"trailing-junk":  append(append([]byte(nil), batch...), 0x01, 0x00, 0x00),
 		"oversize-batch": many,
 		"mid-corrupt":    mutate(batch, len(batch)/2),
+		"response-batch": respBatch,
 	})
 
 	// FuzzDegradedCodec: (verb byte, result payload) pairs around the
@@ -83,6 +98,9 @@ func TestGenFuzzCorpus(t *testing.T) {
 		"flag-unknown":    {byte(VerbCount), badFlag},
 		"trailer-cut":     {byte(VerbPoints), degraded[:len(degraded)-2]},
 		"verb-mismatch":   {byte(VerbPoints), clean},
+		// dims>0 with zero rows: only the serving path's streaming encoder
+		// produces this layout.
+		"points-empty-streamed": {byte(VerbPoints), emptyStreamedPayload(t, 3)},
 	})
 }
 
@@ -111,6 +129,52 @@ func taggedBytes(t *testing.T, id uint32, req Request) []byte {
 	}
 	var buf bytes.Buffer
 	if err := WriteFrame(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// resultFrameBytes encodes a VerbPoints or VerbCount answer as whole frame
+// bytes, optionally wrapped in a tagged envelope — the shape connWriter puts
+// on the wire.
+func resultFrameBytes(t *testing.T, tagged bool, id uint32, res Result) []byte {
+	t.Helper()
+	verb := VerbCount
+	if res.Points != nil {
+		verb = VerbPoints
+	}
+	fr, err := EncodeResult(verb, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagged {
+		if fr, err = WrapTagged(id, fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, fr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// emptyStreamedPayload is the dims-wide, zero-row points payload only the
+// incremental result encoder emits.
+func emptyStreamedPayload(t *testing.T, dims int) []byte {
+	t.Helper()
+	e := newResultEncoder(nil, dims)
+	payload, err := e.finish(QueryInfo{Buckets: 1, Pages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+func emptyPointsFrameBytes(t *testing.T, dims int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Verb: VerbPoints, Payload: emptyStreamedPayload(t, dims)}); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()

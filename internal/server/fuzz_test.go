@@ -105,6 +105,34 @@ func FuzzBatchFraming(f *testing.F) {
 	}
 	f.Add(seedBatch)
 	f.Add([]byte{1, 0, 0, 0, 5, 1, 0, 0, 0, 5})
+	// Response-side batch: the pipelined worker encodes every reply of a
+	// batch into one buffer with AppendResult — tagged envelopes around
+	// streamed VerbPoints rows, the dims>0/zero-row shape only the streaming
+	// encoder emits, plus count and write acks — and the writer concatenates
+	// those buffers onto the wire. Framing must hold for response bytes
+	// exactly as for requests.
+	respFrames := []Frame{
+		mustResultFrame(f, VerbPoints, Result{
+			Points: []geom.Point{{1, 2, 3}, {4, 5, 6}}, Count: 2,
+			Info: QueryInfo{Buckets: 1, Pages: 1}}),
+		emptyPointsFrame(f, 3),
+		mustResultFrame(f, VerbCount, Result{Count: 42, Info: QueryInfo{Buckets: 2, Pages: 2}}),
+		mustResultFrame(f, VerbWriteOK, Result{Applied: true, Splits: 1}),
+	}
+	var respBatch bytes.Buffer
+	for i, fr := range respFrames {
+		if i%2 == 0 {
+			w, err := WrapTagged(uint32(1000+i), fr)
+			if err != nil {
+				f.Fatal(err)
+			}
+			fr = w
+		}
+		if err := WriteFrame(&respBatch, fr); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(respBatch.Bytes())
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		// First pass: split the input into as many well-formed frames as it
@@ -148,6 +176,27 @@ func FuzzBatchFraming(f *testing.F) {
 			t.Fatal("batch parsed to more frames than were written")
 		}
 	})
+}
+
+func mustResultFrame(f *testing.F, verb Verb, res Result) Frame {
+	f.Helper()
+	fr, err := EncodeResult(verb, res)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return fr
+}
+
+// emptyPointsFrame builds the streamed zero-row, dims-wide points frame the
+// serving path emits for an empty result.
+func emptyPointsFrame(f *testing.F, dims int) Frame {
+	f.Helper()
+	e := newResultEncoder(nil, dims)
+	payload, err := e.finish(QueryInfo{Buckets: 1, Pages: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return Frame{Verb: VerbPoints, Payload: payload}
 }
 
 func requestsEqual(a, b Request) bool {
@@ -213,6 +262,10 @@ func FuzzDegradedCodec(f *testing.F) {
 		bad[len(bad)-3] = flag
 		f.Add(uint8(VerbCount), bad)
 	}
+	// The streamed empty-points payload (dims > 0, zero rows) that only the
+	// serving path's incremental encoder produces — EncodeResult cannot,
+	// because it derives dims from the rows it is given.
+	f.Add(uint8(VerbPoints), emptyPointsFrame(f, 3).Payload)
 
 	f.Fuzz(func(t *testing.T, verb uint8, payload []byte) {
 		res, err := DecodeResult(Frame{Verb: Verb(verb), Payload: payload})

@@ -148,6 +148,7 @@ type Metrics struct {
 	degraded         atomic.Int64    // queries answered partially (missed disks)
 	diskRetries      atomic.Int64    // disk-batch retry attempts
 	pagesRead        atomic.Int64
+	mergedFetches    atomic.Int64 // fetch requests served by a merged window read
 	// Replica serving counters: buckets rerouted to a surviving owner after
 	// a transient disk failure, and buckets read from primary vs secondary
 	// copies (replicated layouts only; an unreplicated server leaves all
@@ -203,6 +204,7 @@ type Snapshot struct {
 	InFlight         int              `json:"in_flight"`
 	DiskFetches      []int64          `json:"disk_bucket_fetches"`
 	PagesRead        int64            `json:"pages_read"`
+	MergedFetches    int64            `json:"merged_fetches"`
 	LatencyMicros    QuantileSummary  `json:"latency_micros"`
 	FetchesPerQry    QuantileSummary  `json:"buckets_per_query"`
 	WriteBatches     int64            `json:"write_batches"`
@@ -238,6 +240,7 @@ func (m *Metrics) snapshot(inflight int) Snapshot {
 		ScrubRepaired:    m.scrubRepaired.Load(),
 		InFlight:         inflight,
 		PagesRead:        m.pagesRead.Load(),
+		MergedFetches:    m.mergedFetches.Load(),
 		LatencyMicros:    m.latency.snapshot(),
 		FetchesPerQry:    m.fetches.snapshot(),
 		WriteBatches:     m.writeBatches.Load(),
@@ -289,6 +292,7 @@ func (s Snapshot) writePrometheus(w http.ResponseWriter) {
 	fmt.Fprintf(w, "gridserver_fault_injected_total %d\n", s.FaultInjected)
 	fmt.Fprintf(w, "gridserver_in_flight %d\n", s.InFlight)
 	fmt.Fprintf(w, "gridserver_pages_read_total %d\n", s.PagesRead)
+	fmt.Fprintf(w, "gridserver_merged_fetches_total %d\n", s.MergedFetches)
 	for d, n := range s.DiskFetches {
 		fmt.Fprintf(w, "gridserver_disk_bucket_fetches_total{disk=\"%d\"} %d\n", d, n)
 	}

@@ -286,6 +286,11 @@ type Result struct {
 	// counts bucket splits the mutation triggered.
 	Applied bool
 	Splits  int
+
+	// arena backs Points when the result was decoded with DecodeResultInto:
+	// one flat coordinate array the points slice into, reused across decodes
+	// so a long-lived client Result stops allocating per point.
+	arena []float64
 }
 
 // buf is a cursor for encoding payloads.
@@ -476,62 +481,85 @@ func appendRequestPayload(buf []byte, req Request) ([]byte, error) {
 // bounds-checked so a malformed frame yields an error, never a panic or an
 // oversized allocation.
 func DecodeRequest(f Frame) (Request, error) {
-	req := Request{Verb: f.Verb}
+	var req Request
+	if err := decodeRequestInto(f, &req); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// decodeRequestInto is DecodeRequest writing into a caller-owned Request,
+// reusing its key/query/vals capacities — the steady-state form for the
+// server, which decodes every frame into a pooled per-query scratch. On
+// error *req is left in an unspecified state.
+func decodeRequestInto(f Frame, req *Request) error {
+	*req = Request{
+		Verb:  f.Verb,
+		Key:   req.Key[:0],
+		Query: req.Query[:0],
+		Vals:  req.Vals[:0],
+	}
 	r := rbuf{b: f.Payload}
 	switch f.Verb {
 	case VerbPoint, VerbInsert, VerbDelete:
 		dims := int(r.u16())
 		if r.err == nil {
 			if err := checkDims(dims); err != nil {
-				return Request{}, err
+				return err
 			}
 		}
-		req.Key = make(geom.Point, 0, min(dims, maxDims))
+		if n := min(dims, maxDims); cap(req.Key) < n {
+			req.Key = make(geom.Point, 0, n)
+		}
 		for d := 0; d < dims && r.err == nil; d++ {
 			req.Key = append(req.Key, r.f64())
 		}
 		if err := r.done(); err != nil {
-			return Request{}, err
+			return err
 		}
 		if err := checkFinite(req.Key...); err != nil {
-			return Request{}, err
+			return err
 		}
 	case VerbRange:
 		flags := r.u8()
 		dims := int(r.u16())
 		if r.err == nil {
 			if err := checkDims(dims); err != nil {
-				return Request{}, err
+				return err
 			}
 			if flags > 1 {
-				return Request{}, fmt.Errorf("server: unknown range flags 0x%02x", flags)
+				return fmt.Errorf("server: unknown range flags 0x%02x", flags)
 			}
 		}
 		req.CountOnly = flags&1 != 0
-		req.Query = make(geom.Rect, 0, min(dims, maxDims))
+		if n := min(dims, maxDims); cap(req.Query) < n {
+			req.Query = make(geom.Rect, 0, n)
+		}
 		for d := 0; d < dims && r.err == nil; d++ {
 			iv := geom.Interval{Lo: r.f64(), Hi: r.f64()}
 			req.Query = append(req.Query, iv)
 		}
 		if err := r.done(); err != nil {
-			return Request{}, err
+			return err
 		}
 		for _, iv := range req.Query {
 			if err := checkFinite(iv.Lo, iv.Hi); err != nil {
-				return Request{}, err
+				return err
 			}
 			if iv.Hi < iv.Lo {
-				return Request{}, fmt.Errorf("server: inverted interval [%v,%v]", iv.Lo, iv.Hi)
+				return fmt.Errorf("server: inverted interval [%v,%v]", iv.Lo, iv.Hi)
 			}
 		}
 	case VerbPartial:
 		dims := int(r.u16())
 		if r.err == nil {
 			if err := checkDims(dims); err != nil {
-				return Request{}, err
+				return err
 			}
 		}
-		req.Vals = make([]float64, 0, min(dims, maxDims))
+		if n := min(dims, maxDims); cap(req.Vals) < n {
+			req.Vals = make([]float64, 0, n)
+		}
 		for d := 0; d < dims && r.err == nil; d++ {
 			spec := r.u8()
 			v := r.f64()
@@ -543,51 +571,53 @@ func DecodeRequest(f Frame) (Request, error) {
 				v = math.NaN()
 			case 1:
 				if err := checkFinite(v); err != nil {
-					return Request{}, err
+					return err
 				}
 			default:
-				return Request{}, fmt.Errorf("server: bad partial-match flag 0x%02x", spec)
+				return fmt.Errorf("server: bad partial-match flag 0x%02x", spec)
 			}
 			req.Vals = append(req.Vals, v)
 		}
 		if err := r.done(); err != nil {
-			return Request{}, err
+			return err
 		}
 	case VerbKNN:
 		dims := int(r.u16())
 		k := int(r.u32())
 		if r.err == nil {
 			if err := checkDims(dims); err != nil {
-				return Request{}, err
+				return err
 			}
 			if k < 1 || k > maxK {
-				return Request{}, fmt.Errorf("server: k=%d out of range", k)
+				return fmt.Errorf("server: k=%d out of range", k)
 			}
 		}
 		req.K = k
-		req.Key = make(geom.Point, 0, min(dims, maxDims))
+		if n := min(dims, maxDims); cap(req.Key) < n {
+			req.Key = make(geom.Point, 0, n)
+		}
 		for d := 0; d < dims && r.err == nil; d++ {
 			req.Key = append(req.Key, r.f64())
 		}
 		if err := r.done(); err != nil {
-			return Request{}, err
+			return err
 		}
 		if err := checkFinite(req.Key...); err != nil {
-			return Request{}, err
+			return err
 		}
 	case VerbStats:
 		if err := r.done(); err != nil {
-			return Request{}, err
+			return err
 		}
 	case VerbFault:
 		if len(f.Payload) == 0 {
-			return Request{}, errors.New("server: empty FAULT command")
+			return errors.New("server: empty FAULT command")
 		}
 		req.FaultCmd = string(f.Payload)
 	default:
-		return Request{}, fmt.Errorf("server: unknown request verb 0x%02x", uint8(f.Verb))
+		return fmt.Errorf("server: unknown request verb 0x%02x", uint8(f.Verb))
 	}
-	return req, nil
+	return nil
 }
 
 // EncodeResult serializes an answer. verb selects VerbPoints or VerbCount.
@@ -604,7 +634,6 @@ func EncodeResult(verb Verb, res Result) (Frame, error) {
 // response buffer across frames (the server's per-connection response path).
 func AppendResult(buf []byte, verb Verb, res Result) ([]byte, error) {
 	start := len(buf)
-	w := wbuf{b: buf}
 	switch verb {
 	case VerbPoints:
 		dims := 0
@@ -614,18 +643,18 @@ func AppendResult(buf []byte, verb Verb, res Result) ([]byte, error) {
 		if dims > maxDims {
 			return nil, fmt.Errorf("server: %d-D result", dims)
 		}
-		w.u16(uint16(dims))
-		w.u32(uint32(len(res.Points)))
+		e := newResultEncoder(buf, dims)
 		for _, p := range res.Points {
 			if len(p) != dims {
 				return nil, errors.New("server: ragged result point set")
 			}
-			for _, v := range p {
-				w.f64(v)
-			}
+			e.appendRow(p)
 		}
+		return e.finish(res.Info)
 	case VerbCount:
+		w := wbuf{b: buf}
 		w.u32(uint32(res.Count))
+		return appendResultInfo(w.b, res.Info, start)
 	case VerbWriteOK:
 		if res.Splits < 0 || res.Splits > math.MaxUint16 {
 			return nil, fmt.Errorf("server: split count %d out of range", res.Splits)
@@ -634,39 +663,111 @@ func AppendResult(buf []byte, verb Verb, res Result) ([]byte, error) {
 		if res.Applied {
 			applied = 1
 		}
+		w := wbuf{b: buf}
 		w.u8(applied)
 		w.u16(uint16(res.Splits))
+		return appendResultInfo(w.b, res.Info, start)
 	default:
 		return nil, fmt.Errorf("server: not a result verb: 0x%02x", uint8(verb))
 	}
-	w.u32(uint32(res.Info.Buckets))
-	w.u32(uint32(res.Info.Pages))
-	w.u64(uint64(res.Info.Elapsed.Nanoseconds()))
+}
+
+// appendResultInfo appends the shared I/O-accounting trailer of every answer
+// payload and runs the size/consistency validations. start is where the
+// payload began in buf, so the frame-size bound covers the whole payload.
+func appendResultInfo(buf []byte, info QueryInfo, start int) ([]byte, error) {
+	w := wbuf{b: buf}
+	w.u32(uint32(info.Buckets))
+	w.u32(uint32(info.Pages))
+	w.u64(uint64(info.Elapsed.Nanoseconds()))
 	// Degraded-mode trailer: flags u8 (bit 0 = degraded) + missed-disk u16.
 	// The pair is validated on both codec directions so a flag without a
 	// missed count (or vice versa) can never cross the wire.
-	if res.Info.Degraded != (res.Info.MissedDisks > 0) {
+	if info.Degraded != (info.MissedDisks > 0) {
 		return nil, fmt.Errorf("server: inconsistent degraded info (degraded=%v missed=%d)",
-			res.Info.Degraded, res.Info.MissedDisks)
+			info.Degraded, info.MissedDisks)
 	}
-	if res.Info.MissedDisks < 0 || res.Info.MissedDisks > math.MaxUint16 {
-		return nil, fmt.Errorf("server: missed-disk count %d out of range", res.Info.MissedDisks)
+	if info.MissedDisks < 0 || info.MissedDisks > math.MaxUint16 {
+		return nil, fmt.Errorf("server: missed-disk count %d out of range", info.MissedDisks)
 	}
 	flags := uint8(0)
-	if res.Info.Degraded {
+	if info.Degraded {
 		flags = 1
 	}
 	w.u8(flags)
-	w.u16(uint16(res.Info.MissedDisks))
+	w.u16(uint16(info.MissedDisks))
 	if len(w.b)-start+1 > MaxFrameBytes {
 		return nil, ErrFrameTooBig
 	}
 	return w.b, nil
 }
 
+// resultEncoder streams a VerbPoints payload straight into a response buffer:
+// the header goes down up front with a zero count, query execution appends
+// each matching record's coordinates as it scans the bucket arenas, and
+// finish patches the count and appends the accounting trailer. This is what
+// lets the server encode results with no intermediate []Point slice — the
+// row views handed to appendRow are read and copied immediately, never
+// retained.
+type resultEncoder struct {
+	buf   []byte
+	start int // offset of the u16 dims field (payload start)
+	dims  int
+	n     int
+}
+
+// newResultEncoder opens a VerbPoints payload for dims-dimensional records.
+// dims may exceed the record count's implied need (an empty result with
+// dims > 0 is valid on the wire; the decoder accepts it).
+func newResultEncoder(buf []byte, dims int) resultEncoder {
+	e := resultEncoder{start: len(buf), dims: dims}
+	w := wbuf{b: buf}
+	w.u16(uint16(dims))
+	w.u32(0) // record count, patched by finish
+	e.buf = w.b
+	return e
+}
+
+// appendRow appends one record's coordinates. row must have exactly dims
+// elements; rows are validated in aggregate by finish via the count.
+func (e *resultEncoder) appendRow(row []float64) {
+	for _, v := range row {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+	}
+	e.n++
+}
+
+// count returns the number of rows appended so far.
+func (e *resultEncoder) count() int { return e.n }
+
+// finish patches the record count and appends the accounting trailer,
+// returning the completed payload.
+func (e *resultEncoder) finish(info QueryInfo) ([]byte, error) {
+	binary.LittleEndian.PutUint32(e.buf[e.start+2:e.start+6], uint32(e.n))
+	return appendResultInfo(e.buf, info, e.start)
+}
+
 // DecodeResult parses a VerbPoints or VerbCount answer frame.
 func DecodeResult(f Frame) (Result, error) {
 	var res Result
+	if err := DecodeResultInto(f, &res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// DecodeResultInto parses an answer frame into *res, reusing res's point
+// slice and coordinate arena when their capacities allow — the steady-state
+// form of DecodeResult for callers that keep a Result alive across requests
+// (the client's query paths). The decoded points alias res's internal arena
+// and stay valid until the next DecodeResultInto on the same res. On error
+// *res is left in an unspecified state.
+func DecodeResultInto(f Frame, res *Result) error {
+	res.Points = res.Points[:0]
+	res.Count = 0
+	res.Applied = false
+	res.Splits = 0
+	res.Info = QueryInfo{}
 	r := rbuf{b: f.Payload}
 	switch f.Verb {
 	case VerbPoints:
@@ -674,23 +775,34 @@ func DecodeResult(f Frame) (Result, error) {
 		n := int(r.u32())
 		if r.err == nil {
 			if dims > maxDims {
-				return Result{}, fmt.Errorf("server: implausible dimensionality %d", dims)
+				return fmt.Errorf("server: implausible dimensionality %d", dims)
 			}
 			if dims == 0 && n > 0 {
-				return Result{}, errors.New("server: zero-dimensional points")
+				return errors.New("server: zero-dimensional points")
 			}
 			// The points must actually fit in the received payload.
 			if need := n * dims * 8; need > len(r.b) {
-				return Result{}, errors.New("server: short point payload")
+				return errors.New("server: short point payload")
 			}
 		}
-		res.Points = make([]geom.Point, 0, n)
-		for i := 0; i < n && r.err == nil; i++ {
-			p := make(geom.Point, dims)
-			for d := range p {
-				p[d] = r.f64()
+		// The size pre-check above guarantees the reads below cannot come up
+		// short once the header parsed, so the fill loop needs no per-value
+		// error checks.
+		if r.err == nil && n > 0 {
+			need := n * dims
+			if cap(res.arena) < need {
+				res.arena = make([]float64, need)
 			}
-			res.Points = append(res.Points, p)
+			arena := res.arena[:need]
+			for i := range arena {
+				arena[i] = r.f64()
+			}
+			if cap(res.Points) < n {
+				res.Points = make([]geom.Point, 0, n)
+			}
+			for i := 0; i < n; i++ {
+				res.Points = append(res.Points, geom.Point(arena[i*dims:(i+1)*dims:(i+1)*dims]))
+			}
 		}
 		res.Count = len(res.Points)
 	case VerbCount:
@@ -699,11 +811,11 @@ func DecodeResult(f Frame) (Result, error) {
 		applied := r.u8()
 		res.Splits = int(r.u16())
 		if r.err == nil && applied > 1 {
-			return Result{}, fmt.Errorf("server: bad applied flag 0x%02x", applied)
+			return fmt.Errorf("server: bad applied flag 0x%02x", applied)
 		}
 		res.Applied = applied == 1
 	default:
-		return Result{}, fmt.Errorf("server: not a result verb: 0x%02x", uint8(f.Verb))
+		return fmt.Errorf("server: not a result verb: 0x%02x", uint8(f.Verb))
 	}
 	res.Info.Buckets = int(r.u32())
 	res.Info.Pages = int(r.u32())
@@ -711,18 +823,18 @@ func DecodeResult(f Frame) (Result, error) {
 	flags := r.u8()
 	missed := int(r.u16())
 	if err := r.done(); err != nil {
-		return Result{}, err
+		return err
 	}
 	if flags > 1 {
-		return Result{}, fmt.Errorf("server: unknown result flags 0x%02x", flags)
+		return fmt.Errorf("server: unknown result flags 0x%02x", flags)
 	}
 	res.Info.Degraded = flags&1 != 0
 	res.Info.MissedDisks = missed
 	if res.Info.Degraded != (missed > 0) {
-		return Result{}, fmt.Errorf("server: inconsistent degraded info (flags=0x%02x missed=%d)",
+		return fmt.Errorf("server: inconsistent degraded info (flags=0x%02x missed=%d)",
 			flags, missed)
 	}
-	return res, nil
+	return nil
 }
 
 // ServerError is an error reported by the server over the protocol (as

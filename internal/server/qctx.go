@@ -1,0 +1,101 @@
+package server
+
+// queryCtx is a pooled, deadline-only context for the per-query timeout.
+// context.WithTimeout costs several allocations and always arms a runtime
+// timer; the serving hot path needs neither — a cache-resident query checks
+// Err (a clock read) a handful of times and never parks on Done. The timer
+// and done channel exist only on demand, so the common query pays one pool
+// round-trip for its whole deadline machinery.
+//
+// queryCtx carries no values and no parent cancellation: the query deadline
+// is the only cancellation source, exactly like the context.Background()-
+// rooted WithTimeout it replaces. Server shutdown is handled separately
+// (the admission select watches s.done).
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type queryCtx struct {
+	deadline time.Time
+
+	mu    sync.Mutex
+	err   error
+	done  chan struct{}
+	timer *time.Timer
+}
+
+var qctxPool = sync.Pool{New: func() any { return new(queryCtx) }}
+
+// acquireQueryCtx returns a context that expires timeout from now. Release
+// it with release; no references may outlive that call.
+func acquireQueryCtx(timeout time.Duration) *queryCtx {
+	q := qctxPool.Get().(*queryCtx)
+	q.deadline = time.Now().Add(timeout)
+	return q
+}
+
+// release returns q to the pool. A queryCtx whose Done channel was ever
+// materialized is dropped instead: its deadline timer may be mid-fire, and
+// a parked watcher could still hold the channel.
+func (q *queryCtx) release() {
+	q.mu.Lock()
+	pool := q.done == nil
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	q.err = nil
+	q.done = nil
+	q.mu.Unlock()
+	if pool {
+		qctxPool.Put(q)
+	}
+}
+
+func (q *queryCtx) Deadline() (time.Time, bool) { return q.deadline, true }
+
+func (q *queryCtx) Value(any) any { return nil }
+
+// Err reports context.DeadlineExceeded once the deadline passes. The
+// deadline is checked lazily against the wall clock, so no timer needs to
+// run for Err to be accurate.
+func (q *queryCtx) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err == nil && !time.Now().Before(q.deadline) {
+		q.err = context.DeadlineExceeded
+	}
+	return q.err
+}
+
+// Done materializes the done channel on first use and arms a timer to close
+// it at the deadline. Callers that never park on Done (the hot path) never
+// pay for either.
+func (q *queryCtx) Done() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done == nil {
+		q.done = make(chan struct{})
+		d := time.Until(q.deadline)
+		if d <= 0 {
+			if q.err == nil {
+				q.err = context.DeadlineExceeded
+			}
+			close(q.done)
+		} else {
+			done := q.done
+			q.timer = time.AfterFunc(d, func() {
+				q.mu.Lock()
+				if q.err == nil {
+					q.err = context.DeadlineExceeded
+				}
+				q.mu.Unlock()
+				close(done)
+			})
+		}
+	}
+	return q.done
+}

@@ -1,0 +1,312 @@
+package server
+
+// Batched per-disk I/O submission. Queries no longer hand a disk goroutine
+// one request at a time over a channel; they append to the disk's request
+// ring and poke its worker. The worker drains the whole ring in one window,
+// answers already-expired requests cheaply, merges the rest into a single
+// coalesced store read when that is safe, and scatters completions back to
+// each query's response channel — out of order with respect to submission.
+//
+// The window is deliberately shaped like an io_uring submission batch: a
+// future backend can take the same window, turn every placement run into an
+// SQE, and harvest CQEs, without the upper layers changing at all.
+
+import (
+	"context"
+	"errors"
+	rtrace "runtime/trace"
+	"sync"
+	"time"
+
+	"pgridfile/internal/fault"
+	"pgridfile/internal/geom"
+	"pgridfile/internal/store"
+)
+
+// fetchReq asks a disk worker for a batch of buckets, all resident on that
+// disk. idxs carries each bucket's index in the submitting query's recs
+// slice so the response can be scattered into place without a map.
+type fetchReq struct {
+	ids  []int32
+	idxs []int
+	ctx  context.Context  // the owning query; expired fetches are skipped
+	resp chan<- fetchResp // buffered by the submitter; never blocks
+	tr   *Trace           // the owning query's stage trace; nil when untraced
+	enq  time.Time        // submit time, for the fetch_wait stage (zero when untraced)
+}
+
+type fetchResp struct {
+	ids   []int32     // the requested batch (echoed for error accounting)
+	idxs  []int       // echoed recs indices, parallel to ids
+	recs  []geom.Flat // decoded arenas, parallel to ids; nil on error
+	disk  int         // which disk served (or failed) the batch
+	pages int
+	err   error
+}
+
+// diskQueue is one disk's submission ring: submitters append under a mutex
+// and poke the worker through a 1-slot wake channel, so a submission is two
+// cheap operations regardless of how deep the backlog is, and the worker
+// picks up every request queued while it was busy in one swap.
+type diskQueue struct {
+	mu     sync.Mutex
+	reqs   []fetchReq
+	wake   chan struct{}
+	closed bool
+}
+
+func newDiskQueue() *diskQueue {
+	return &diskQueue{wake: make(chan struct{}, 1)}
+}
+
+// submit enqueues r and wakes the worker. It reports false — without
+// enqueueing — once the queue is closed.
+func (q *diskQueue) submit(r fetchReq) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.reqs = append(q.reqs, r)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// close marks the queue closed and wakes the worker so it can exit once the
+// backlog drains. Callers guarantee no submissions race with close.
+func (q *diskQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// windowScratch is one worker's reusable buffers for merged windows.
+type windowScratch struct {
+	reqs []fetchReq
+	ids  []int32
+	recs []geom.Flat
+}
+
+// diskWorker is one disk's I/O worker: one head per spindle, as in the
+// paper's model. It swaps the submission ring against an empty one and
+// serves the whole window before looking again, so every request admitted
+// while a read was in flight becomes one batch.
+func (s *Server) diskWorker(disk int, q *diskQueue) {
+	defer s.fetchWg.Done()
+	sc := &windowScratch{}
+	var window []fetchReq
+	for {
+		q.mu.Lock()
+		window, q.reqs = q.reqs, window[:0]
+		closed := q.closed
+		q.mu.Unlock()
+		if len(window) == 0 {
+			if closed {
+				return
+			}
+			<-q.wake
+			continue
+		}
+		s.serveWindow(disk, window, sc)
+		// Drop the served requests' references (contexts, response
+		// channels) before the next swap parks this array back in the ring.
+		for i := range window {
+			window[i] = fetchReq{}
+		}
+	}
+}
+
+// serveWindow serves one drained window. Requests that are traced (exact
+// per-query stage attribution), expired, or unmergeable by configuration go
+// through the individual path; when two or more plain live requests remain
+// they are merged into a single coalesced read. Merging requires the bucket
+// cache: its singleflight guarantees concurrent lead batches are disjoint,
+// which the store's flat read API relies on.
+func (s *Server) serveWindow(disk int, window []fetchReq, sc *windowScratch) {
+	mergeOK := len(window) > 1 && !s.cfg.DisableCoalesce && s.cfg.slowFetch == 0 && s.bcache != nil
+	if !mergeOK {
+		for _, req := range window {
+			s.serveOne(disk, req)
+		}
+		return
+	}
+	sc.reqs = sc.reqs[:0]
+	for _, req := range window {
+		if req.tr == nil && req.ctx.Err() == nil {
+			sc.reqs = append(sc.reqs, req)
+		} else {
+			s.serveOne(disk, req)
+		}
+	}
+	switch {
+	case len(sc.reqs) == 0:
+	case len(sc.reqs) == 1:
+		s.serveOne(disk, sc.reqs[0])
+	case !s.serveMerged(disk, sc):
+		// The merged attempt failed (possibly on one request's deadline);
+		// each request retries individually under its own context with a
+		// fresh retry budget, so merging can only improve a window, never
+		// change its outcome.
+		for _, req := range sc.reqs {
+			s.serveOne(disk, req)
+		}
+	}
+}
+
+// serveMerged reads every window request's buckets in one coalesced store
+// call and scatters records, pages and cache completions back per request.
+// It reports false without answering anyone when the read fails.
+func (s *Server) serveMerged(disk int, sc *windowScratch) bool {
+	sc.ids = sc.ids[:0]
+	for _, req := range sc.reqs {
+		sc.ids = append(sc.ids, req.ids...)
+	}
+	ctx := sc.reqs[0].ctx
+	cancel := context.CancelFunc(nil)
+	if s.cfg.FetchTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.FetchTimeout)
+	}
+	if cap(sc.recs) < len(sc.ids) {
+		sc.recs = make([]geom.Flat, len(sc.ids))
+	}
+	sc.recs = sc.recs[:len(sc.ids)]
+	pages, err := s.st.ReadFlatsFromTimed(ctx, disk, sc.ids, sc.recs, nil)
+	if cancel != nil {
+		cancel()
+	}
+	if err != nil {
+		return false
+	}
+	s.met.diskFetches[disk].Add(int64(len(sc.ids)))
+	s.met.pagesRead.Add(int64(pages))
+	s.met.mergedFetches.Add(int64(len(sc.reqs)))
+	off := 0
+	for _, req := range sc.reqs {
+		recs := make([]geom.Flat, len(req.ids))
+		copy(recs, sc.recs[off:off+len(req.ids)])
+		off += len(req.ids)
+		// Buckets never share pages, so each request's share of the merged
+		// read is exactly its placements' page count.
+		rp := 0
+		for _, id := range req.ids {
+			if pl, ok := s.st.Placement(id); ok {
+				rp += pl.Pages
+			}
+		}
+		s.publishLeads(req.ids, recs)
+		req.resp <- fetchResp{ids: req.ids, idxs: req.idxs, recs: recs, disk: disk, pages: rp}
+	}
+	return true
+}
+
+// serveOne serves a single request: the pre-merge per-batch path, still used
+// for traced, expired, solitary and merge-ineligible requests, and as the
+// fallback when a merged read fails. Success is published to the cache
+// here; a failed batch's leads stay pending because the gather loop may
+// still fail the batch over to a surviving owner disk — only when every
+// route is exhausted does the gather loop complete them with the error.
+func (s *Server) serveOne(disk int, req fetchReq) {
+	var tm *store.Timing
+	if req.tr != nil {
+		// Queue wait: submit to dequeue, i.e. time spent behind other
+		// batches on this spindle.
+		s.traceSince(req.tr, stageFetchWait, req.enq)
+		tm = new(store.Timing)
+	}
+	// The runtime/trace region brackets the whole batch (retries and
+	// backoff included) so `go tool trace` shows each disk worker's duty
+	// cycle. StartRegion is a no-op unless tracing is active.
+	region := rtrace.StartRegion(req.ctx, "gridserver.fetchBatch")
+	recs, pages, err := s.fetchBatch(req.ctx, disk, req.ids, req.tr, tm)
+	region.End()
+	if tm != nil {
+		req.tr.add(stagePread, tm.Pread)
+		req.tr.add(stageDecode, tm.Decode)
+	}
+	if err == nil {
+		s.met.diskFetches[disk].Add(int64(len(req.ids)))
+		s.met.pagesRead.Add(int64(pages))
+		s.publishLeads(req.ids, recs)
+	}
+	req.resp <- fetchResp{ids: req.ids, idxs: req.idxs, recs: recs, disk: disk, pages: pages, err: err}
+}
+
+// fetchBatch runs one disk batch with the per-attempt deadline and the
+// bounded retry/backoff policy. Only transient failures are retried:
+// injected faults (including torn reads, which wrap fault.ErrInjected) and
+// per-attempt timeouts. Checksum mismatches are deliberately NOT retried
+// here — rereading the same corrupt copy returns the same bytes — but they
+// are transient to the gather loop, which fails them over to a surviving
+// replica. Structural corruption or unknown buckets fail immediately, and
+// an expired query stops retrying at once.
+func (s *Server) fetchBatch(ctx context.Context, disk int, ids []int32, tr *Trace, tm *store.Timing) ([]geom.Flat, int, error) {
+	for attempt := 1; ; attempt++ {
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if s.cfg.FetchTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, s.cfg.FetchTimeout)
+		}
+		recs, pages, err := s.readBatch(actx, disk, ids, tm)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return recs, pages, nil
+		}
+		transient := fault.IsInjected(err) ||
+			(s.cfg.FetchTimeout > 0 && errors.Is(err, context.DeadlineExceeded))
+		if !transient || attempt > s.cfg.FetchRetries || ctx.Err() != nil {
+			return nil, 0, err
+		}
+		s.met.diskRetries.Add(1)
+		backoffStart := s.traceNow(tr)
+		serr := fault.Sleep(ctx, retryDelay(s.cfg.FetchBackoff, attempt))
+		s.traceSince(tr, stageBackoff, backoffStart)
+		if serr != nil {
+			return nil, 0, err
+		}
+	}
+}
+
+// readBatch performs one disk's share of a query. A query whose deadline
+// already expired has abandoned the fetch; skipping the I/O (checked again
+// between simulated-latency sleeps) keeps its backlog from starving live
+// queries.
+func (s *Server) readBatch(ctx context.Context, disk int, ids []int32, tm *store.Timing) ([]geom.Flat, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if s.cfg.slowFetch > 0 {
+		for range ids {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			time.Sleep(s.cfg.slowFetch)
+		}
+	}
+	recs := make([]geom.Flat, len(ids))
+	if !s.cfg.DisableCoalesce {
+		pages, err := s.st.ReadFlatsFromTimed(ctx, disk, ids, recs, tm)
+		if err != nil {
+			return nil, 0, err
+		}
+		return recs, pages, nil
+	}
+	pages := 0
+	for i, id := range ids {
+		rec, p, err := s.st.ReadFlatFromTimed(ctx, disk, id, tm)
+		if err != nil {
+			return nil, 0, err
+		}
+		recs[i] = rec
+		pages += p
+	}
+	return recs, pages, nil
+}

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bufio"
+	"cmp"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,8 +15,7 @@ import (
 	"net/http/pprof"
 	"os"
 	rpprof "runtime/pprof"
-	rtrace "runtime/trace"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -184,25 +185,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// fetchReq asks a disk goroutine for a batch of buckets, all resident on
-// that disk. Batching is what lets the disk loop coalesce adjacent pages
-// into single reads.
-type fetchReq struct {
-	ids  []int32
-	ctx  context.Context  // the owning query; cancelled fetches are skipped
-	resp chan<- fetchResp // buffered by the submitter; never blocks
-	tr   *Trace           // the owning query's stage trace; nil when untraced
-	enq  time.Time        // submit time, for the fetch_wait stage (zero when untraced)
-}
-
-type fetchResp struct {
-	ids   []int32 // the requested batch (echoed for error accounting)
-	disk  int     // which disk served (or failed) the batch
-	got   map[int32][]geom.Point
-	pages int
-	err   error
-}
-
 // Server is a running query service: an acceptor, one handler goroutine per
 // connection, and one I/O goroutine per disk file. The grid file acts as
 // the coordinator's scales+directory; record data is fetched from the page
@@ -223,9 +205,15 @@ type Server struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 
-	sem     chan struct{}
-	fetchCh []chan fetchReq
-	fetchWg sync.WaitGroup
+	sem chan struct{}
+	// tagSlots is the global budget for extra tagged-request workers: every
+	// connection gets one worker for free, and beyond that the fleet of
+	// pipelined workers across ALL connections is capped at MaxInflight.
+	// Without it, conns×PipelineDepth goroutines pile up behind the
+	// admission semaphore and scheduler churn erases the pipelining win.
+	tagSlots chan struct{}
+	sched    []*diskQueue
+	fetchWg  sync.WaitGroup
 
 	// replicated is st.Replicas() > 1: bucket reads choose the least-loaded
 	// owner disk and transient per-disk failures fail over to surviving
@@ -284,15 +272,16 @@ func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: layout has no page checksums to verify (re-lay it out with a current gridtool)")
 	}
 	s := &Server{
-		cfg:     cfg,
-		grid:    grid,
-		st:      st,
-		met:     newMetrics(m.Disks),
-		faults:  cfg.Faults,
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		fetchCh: make([]chan fetchReq, m.Disks),
-		conns:   make(map[net.Conn]struct{}),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		grid:     grid,
+		st:       st,
+		met:      newMetrics(m.Disks),
+		faults:   cfg.Faults,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		tagSlots: make(chan struct{}, cfg.MaxInflight),
+		sched:    make([]*diskQueue, m.Disks),
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
 	}
 	st.SetFaults(s.faults)
 	if cfg.VerifyChecksums {
@@ -320,15 +309,17 @@ func New(grid *gridfile.File, st *store.Store, cfg Config) (*Server, error) {
 		}
 	}
 
-	// One I/O goroutine per disk file: fetches on the same disk serialize
-	// (one head per spindle, as in the paper's model) while distinct disks
+	// One I/O worker per disk file: fetches on the same disk serialize (one
+	// head per spindle, as in the paper's model) while distinct disks
 	// proceed in parallel — this is where declustering quality becomes
-	// real wall-clock parallelism.
-	for d := range s.fetchCh {
-		ch := make(chan fetchReq, 4*cfg.MaxInflight)
-		s.fetchCh[d] = ch
+	// real wall-clock parallelism. Each worker drains its submission ring
+	// in windows, merging concurrent queries' batches into single coalesced
+	// reads (see sched.go).
+	for d := range s.sched {
+		q := newDiskQueue()
+		s.sched[d] = q
 		s.fetchWg.Add(1)
-		go s.diskLoop(d, ch)
+		go s.diskWorker(d, q)
 	}
 
 	if cfg.ScrubInterval > 0 {
@@ -587,7 +578,7 @@ func (s *Server) handleConn(c net.Conn) {
 		tc.SetNoDelay(true)
 	}
 	depth := s.cfg.PipelineDepth
-	respCh := make(chan *[]byte, depth)
+	respCh := make(chan connResp, depth)
 	writerDone := make(chan struct{})
 	var writeFailed atomic.Bool
 	go s.connWriter(c, respCh, &writeFailed, writerDone)
@@ -598,7 +589,8 @@ func (s *Server) handleConn(c net.Conn) {
 	// execution and (since each worker holds at most one encoded response)
 	// the number of responses ever in flight, and enqueueing can never
 	// deadlock against the queue bound.
-	work := make(chan taggedWork)
+	work := make(chan *taggedBatch)
+	spread := make(chan *taggedBatch)
 	workers := 0
 	var inflight sync.WaitGroup
 
@@ -619,7 +611,7 @@ func (s *Server) handleConn(c net.Conn) {
 	sendError := func(msg string) {
 		bp := getRespBuf()
 		*bp = appendErrorFrame((*bp)[:0], msg, 0, false)
-		respCh <- bp
+		respCh <- connResp{bp: bp, frames: 1}
 	}
 
 	br := bufio.NewReaderSize(c, connReadBufBytes)
@@ -650,26 +642,64 @@ func (s *Server) handleConn(c net.Conn) {
 				sendError(uerr.Error())
 				return
 			}
-			tw := taggedWork{id: id, f: inner, buf: rbuf}
-			select {
-			case work <- tw:
-			default:
-				if workers < depth {
-					workers++
-					inflight.Add(1)
-					go s.taggedWorker(work, respCh, &inflight)
-				}
-				select {
-				case work <- tw:
-				case <-s.done:
-					return
-				}
-			}
+			// Batch the dispatch: every complete tagged frame already
+			// sitting in the read buffer rides the same handoff, so a burst
+			// of pipelined requests costs one worker wakeup — and, since the
+			// worker encodes the whole batch into one buffer, one response
+			// enqueue — instead of one per request.
+			batch := batchPool.Get().(*taggedBatch)
+			batch.works[0] = taggedWork{id: id, f: inner, buf: rbuf}
+			batch.n = 1
 			rbuf = getRespBuf() // the worker owns the old buffer now
+			streamErr := ""
+			for batch.n < len(batch.works) && nextTaggedBuffered(br) {
+				f, err := readFrameBuf(br, rbuf)
+				if err != nil {
+					streamErr = err.Error()
+					break
+				}
+				id, inner, uerr := UnwrapTagged(f)
+				if uerr != nil {
+					streamErr = uerr.Error()
+					break
+				}
+				batch.works[batch.n] = taggedWork{id: id, f: inner, buf: rbuf}
+				batch.n++
+				rbuf = getRespBuf()
+			}
+			// Hand the batch off to a worker; grow the pool only within
+			// budget: the first worker is free (every connection can always
+			// make progress); extra workers draw from the server-wide
+			// tagSlots budget, so the total pipelined-worker count stays
+			// bounded by conns+MaxInflight no matter how many connections
+			// pipeline deeply. The pool ramps toward the batch size so a
+			// multi-request batch has idle siblings to spread across when
+			// its requests turn out to be expensive; growth is one-time
+			// (workers persist until the connection closes), so steady
+			// state pays nothing here.
+			need := batch.n
+			if need > depth {
+				need = depth
+			}
+			for workers < need && (workers == 0 || s.tryTagSlot()) {
+				workers++
+				inflight.Add(1)
+				go s.taggedWorker(work, spread, respCh, &inflight, workers > 1)
+			}
+			select {
+			case work <- batch:
+			case <-s.done:
+				return
+			}
+			if streamErr != "" {
+				s.met.errors.Add(1)
+				sendError(streamErr)
+				return
+			}
 		} else {
 			bp := getRespBuf()
 			*bp = s.serveFrame((*bp)[:0], f, 0, false)
-			respCh <- bp
+			respCh <- connResp{bp: bp, frames: 1}
 		}
 		select {
 		case <-s.done:
@@ -688,46 +718,151 @@ type taggedWork struct {
 	buf *[]byte
 }
 
-// taggedWorker serves tagged requests for one connection until the work
-// channel closes. Workers never block each other: each serves one request at
-// a time and parks on the (bounded) response queue only while the writer
-// drains.
-func (s *Server) taggedWorker(work <-chan taggedWork, respCh chan<- *[]byte, inflight *sync.WaitGroup) {
-	defer inflight.Done()
-	for tw := range work {
-		bp := getRespBuf()
-		*bp = s.serveFrame((*bp)[:0], tw.f, tw.id, true)
-		putRespBuf(tw.buf)
-		respCh <- bp
+// taggedBatch groups the tagged requests one reader pass drained from its
+// connection's buffer: one handoff to a worker, one encoded response buffer
+// back. Its capacity caps how many requests serve serially on one worker, so
+// a batch never serializes more work than one bufio refill delivers.
+type taggedBatch struct {
+	n     int
+	works [16]taggedWork
+}
+
+var batchPool = sync.Pool{New: func() any { return new(taggedBatch) }}
+
+// nextTaggedBuffered reports whether a complete, well-formed-length tagged
+// frame is already sitting in br's buffer, so reading it cannot block. An
+// untagged or malformed next frame stops the batch and is left for the
+// reader's main loop to handle.
+func nextTaggedBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < 5 {
+		return false // Peek past Buffered would block on the socket
+	}
+	hdr, err := br.Peek(5)
+	if err != nil {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n == 0 || n > MaxFrameBytes || Verb(hdr[4]) != VerbTagged {
+		return false
+	}
+	return br.Buffered() >= 4+int(n)
+}
+
+// tryTagSlot claims one global pipelined-worker slot without blocking.
+func (s *Server) tryTagSlot() bool {
+	select {
+	case s.tagSlots <- struct{}{}:
+		return true
+	default:
+		return false
 	}
 }
 
+// taggedWorker serves tagged request batches for one connection until the
+// work channel closes. Workers never block each other: each serves one batch
+// at a time, encoding every response in the batch into a single buffer, and
+// parks on the (bounded) response queue only while the writer drains. A
+// slotted worker returns its tagSlots token on exit.
+//
+// A worker holding a multi-request batch offers half of what remains to an
+// idle sibling before each serve (steal-half work spreading, via a
+// non-blocking send on the spread channel); see the loop body for how that
+// adapts between overlapping expensive requests and batch-encoding cheap
+// ones. The spread channel is separate from work — and never closed — so a worker
+// mid-offer can never race the reader closing the work channel at teardown;
+// it is unbuffered, so a batch moves across it only by direct handoff to a
+// parked sibling and nothing is ever stranded in it.
+func (s *Server) taggedWorker(work <-chan *taggedBatch, spread chan *taggedBatch, respCh chan<- connResp, inflight *sync.WaitGroup, slotted bool) {
+	defer inflight.Done()
+	if slotted {
+		defer func() { <-s.tagSlots }()
+	}
+	for {
+		var batch *taggedBatch
+		select {
+		case b, ok := <-work:
+			if !ok {
+				return
+			}
+			batch = b
+		case batch = <-spread:
+		}
+		bp := getRespBuf()
+		out := (*bp)[:0]
+		served := 0
+		for i := 0; i < batch.n; i++ {
+			// Before each serve, offer half of what remains to an idle
+			// sibling (steal-half). In the cache-cold phase — where each
+			// request waits on disk — siblings are parked and the batch
+			// halves recursively down to singles, keeping fetches
+			// overlapped instead of serialized behind one worker. When
+			// requests are cheap every sibling is busy, the offer fails
+			// for the cost of one channel poll, and the whole batch is
+			// encoded into a single buffer — exactly when serial is
+			// fastest.
+			if rem := batch.n - i; rem > 1 {
+				half := rem / 2
+				rest := batchPool.Get().(*taggedBatch)
+				rest.n = copy(rest.works[:], batch.works[batch.n-half:batch.n])
+				select {
+				case spread <- rest:
+					for j := batch.n - half; j < batch.n; j++ {
+						batch.works[j] = taggedWork{}
+					}
+					batch.n -= half
+				default:
+					rest.n = 0
+					batchPool.Put(rest)
+				}
+			}
+			tw := &batch.works[i]
+			out = s.serveFrame(out, tw.f, tw.id, true)
+			putRespBuf(tw.buf)
+			batch.works[i] = taggedWork{}
+			served++
+		}
+		*bp = out
+		batch.n = 0
+		batchPool.Put(batch)
+		respCh <- connResp{bp: bp, frames: served}
+	}
+}
+
+// connResp is one encoded response buffer headed for a connection's writer,
+// with the number of wire frames it holds: a tagged worker packs a whole
+// request batch's replies into one buffer.
+type connResp struct {
+	bp     *[]byte
+	frames int
+}
+
 // connWriter drains one connection's response queue. Each pass takes
-// everything immediately available (up to maxWriteBatch) and submits it as a
-// single writev via net.Buffers, so under pipelined load adjacent responses
-// coalesce into one syscall instead of one each. After a write error the
-// writer keeps draining and recycling buffers — dispatchers must never block
-// on a dead connection — and closes the conn to unblock the reader.
-func (s *Server) connWriter(c net.Conn, respCh <-chan *[]byte, failed *atomic.Bool, done chan<- struct{}) {
+// everything immediately available (up to maxWriteBatch buffers) and submits
+// it as a single writev via net.Buffers, so under pipelined load adjacent
+// responses coalesce into one syscall instead of one each. After a write
+// error the writer keeps draining and recycling buffers — dispatchers must
+// never block on a dead connection — and closes the conn to unblock the
+// reader.
+func (s *Server) connWriter(c net.Conn, respCh <-chan connResp, failed *atomic.Bool, done chan<- struct{}) {
 	defer close(done)
-	batch := make([]*[]byte, 0, maxWriteBatch)
+	batch := make([]connResp, 0, maxWriteBatch)
 	iov := make(net.Buffers, 0, maxWriteBatch)
 	for {
-		bp, ok := <-respCh
+		r, ok := <-respCh
 		if !ok {
 			return
 		}
-		batch = append(batch[:0], bp)
+		batch = append(batch[:0], r)
 		open := true
 	drain:
 		for len(batch) < maxWriteBatch {
 			select {
-			case bp, ok := <-respCh:
+			case r, ok := <-respCh:
 				if !ok {
 					open = false
 					break drain
 				}
-				batch = append(batch, bp)
+				batch = append(batch, r)
 			default:
 				break drain
 			}
@@ -736,8 +871,10 @@ func (s *Server) connWriter(c net.Conn, respCh <-chan *[]byte, failed *atomic.Bo
 			// WriteTo consumes its receiver, so rebuild the iovec from the
 			// batch each pass; the buffers themselves are not copied.
 			iov = iov[:0]
-			for _, b := range batch {
-				iov = append(iov, *b)
+			frames := 0
+			for _, r := range batch {
+				iov = append(iov, *r.bp)
+				frames += r.frames
 			}
 			c.SetWriteDeadline(time.Now().Add(s.cfg.QueryTimeout))
 			if _, err := iov.WriteTo(c); err != nil {
@@ -745,11 +882,11 @@ func (s *Server) connWriter(c net.Conn, respCh <-chan *[]byte, failed *atomic.Bo
 				c.Close()
 			} else {
 				s.met.writeBatches.Add(1)
-				s.met.writeFrames.Add(int64(len(batch)))
+				s.met.writeFrames.Add(int64(frames))
 			}
 		}
-		for _, b := range batch {
-			putRespBuf(b)
+		for _, r := range batch {
+			putRespBuf(r.bp)
 		}
 		if !open {
 			return
@@ -757,51 +894,67 @@ func (s *Server) connWriter(c net.Conn, respCh <-chan *[]byte, failed *atomic.Bo
 	}
 }
 
-// serveFrame decodes, admits, executes and encodes one request, appending
-// the complete wire-ready response frame onto buf — tagged with the echoed
-// request id when the request arrived in a pipelining envelope.
-func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte {
-	req, err := DecodeRequest(f)
+// qstate is the pooled per-query scratch: the decoded request plus the
+// bucket-id and arena-record slices query execution scans over. Pooling it
+// keeps the steady-state serving path allocation-free.
+type qstate struct {
+	req  Request
+	ids  []int32
+	recs []geom.Flat
+}
+
+var qstatePool = sync.Pool{New: func() any { return new(qstate) }}
+
+// serveAdmin answers the STATS and FAULT verbs, which bypass admission
+// control so operators can observe — and heal — a saturated or fault-wedged
+// server.
+func (s *Server) serveAdmin(buf []byte, req *Request, id uint32, tagged bool) []byte {
+	var verb Verb
+	var body []byte
+	var err error
+	if req.Verb == VerbStats {
+		s.met.queries[verbIndex(VerbStats)].Add(1)
+		verb = VerbStatsReply
+		body, err = json.Marshal(s.Snapshot())
+	} else {
+		s.met.queries[verbIndex(VerbFault)].Add(1)
+		verb = VerbFaultReply
+		body, err = s.handleFault(req.FaultCmd)
+	}
 	if err != nil {
 		s.met.errors.Add(1)
 		return appendErrorFrame(buf, err.Error(), id, tagged)
 	}
+	out, start := beginFrame(buf, verb, id, tagged)
+	out = append(out, body...)
+	out, err = endFrame(out, start)
+	if err != nil {
+		s.met.errors.Add(1)
+		return appendErrorFrame(out[:start], err.Error(), id, tagged)
+	}
+	return out
+}
 
-	// appendReply frames a pre-marshalled admin reply body.
-	appendReply := func(verb Verb, body []byte) []byte {
-		out, start := beginFrame(buf, verb, id, tagged)
-		out = append(out, body...)
-		out, err := endFrame(out, start)
-		if err != nil {
-			s.met.errors.Add(1)
-			return appendErrorFrame(out, err.Error(), id, tagged)
-		}
-		return out
+// serveFrame decodes, admits, executes and encodes one request, appending
+// the complete wire-ready response frame onto buf — tagged with the echoed
+// request id when the request arrived in a pipelining envelope. The reply
+// verb is fixed by the request shape, so the response frame is opened before
+// execution and matching records stream straight into it as the scan visits
+// them — no intermediate point set, no second copy.
+func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte {
+	qs := qstatePool.Get().(*qstate)
+	defer qstatePool.Put(qs)
+	if err := decodeRequestInto(f, &qs.req); err != nil {
+		s.met.errors.Add(1)
+		return appendErrorFrame(buf, err.Error(), id, tagged)
+	}
+	req := &qs.req
+	if req.Verb == VerbStats || req.Verb == VerbFault {
+		return s.serveAdmin(buf, req, id, tagged)
 	}
 
-	// The STATS and FAULT verbs bypass admission control so operators can
-	// observe — and heal — a saturated or fault-wedged server.
-	if req.Verb == VerbStats {
-		s.met.queries[verbIndex(VerbStats)].Add(1)
-		body, err := json.Marshal(s.Snapshot())
-		if err != nil {
-			s.met.errors.Add(1)
-			return appendErrorFrame(buf, err.Error(), id, tagged)
-		}
-		return appendReply(VerbStatsReply, body)
-	}
-	if req.Verb == VerbFault {
-		s.met.queries[verbIndex(VerbFault)].Add(1)
-		body, err := s.handleFault(req.FaultCmd)
-		if err != nil {
-			s.met.errors.Add(1)
-			return appendErrorFrame(buf, err.Error(), id, tagged)
-		}
-		return appendReply(VerbFaultReply, body)
-	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.QueryTimeout)
-	defer cancel()
+	qc := acquireQueryCtx(s.cfg.QueryTimeout)
+	defer qc.release()
 
 	tr := s.acquireTrace()
 	admitStart := s.traceNow(tr)
@@ -811,37 +964,24 @@ func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte 
 	// spawning unbounded work. A query turned away here was never
 	// admitted — that is a rejection, distinct from the deadline_exceeded
 	// counter below, which covers queries that ran and expired mid-flight.
+	// The uncontended path claims its slot without ever arming qc's
+	// deadline timer.
 	select {
 	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		releaseTrace(tr)
-		s.met.rejected.Add(1)
-		return appendErrorFrame(buf, "server busy: admission queue full past deadline", id, tagged)
-	case <-s.done:
-		releaseTrace(tr)
-		return appendErrorFrame(buf, "server shutting down", id, tagged)
-	}
-	s.traceSince(tr, stageAdmission, admitStart)
-
-	start := s.cfg.clock()
-	res, err := s.executeTraced(ctx, req, tr)
-	if err != nil {
-		s.finishTrace(tr, req.Verb, s.cfg.clock().Sub(start), res.Info, err)
-		if ctx.Err() != nil {
-			s.met.deadlineExceeded.Add(1)
-			return appendErrorFrame(buf, "deadline exceeded: "+err.Error(), id, tagged)
+	default:
+		select {
+		case s.sem <- struct{}{}:
+		case <-qc.Done():
+			releaseTrace(tr)
+			s.met.rejected.Add(1)
+			return appendErrorFrame(buf, "server busy: admission queue full past deadline", id, tagged)
+		case <-s.done:
+			releaseTrace(tr)
+			return appendErrorFrame(buf, "server shutting down", id, tagged)
 		}
-		s.met.errors.Add(1)
-		return appendErrorFrame(buf, err.Error(), id, tagged)
 	}
-	res.Info.Elapsed = s.cfg.clock().Sub(start)
-	s.met.queries[verbIndex(req.Verb)].Add(1)
-	if res.Info.Degraded {
-		s.met.degraded.Add(1)
-	}
-	s.met.latency.observe(float64(res.Info.Elapsed.Microseconds()))
-	s.met.fetches.observe(float64(res.Info.Buckets))
+	defer func() { <-s.sem }()
+	s.traceSince(tr, stageAdmission, admitStart)
 
 	verb := VerbPoints
 	switch {
@@ -851,19 +991,52 @@ func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte 
 		verb = VerbWriteOK
 	}
 	out, fstart := beginFrame(buf, verb, id, tagged)
+	var enc resultEncoder
+	if verb == VerbPoints {
+		enc = newResultEncoder(out, s.grid.Dims())
+	}
+
+	start := s.cfg.clock()
+	res, err := s.executeTraced(qc, qs, tr, &enc)
+	if verb == VerbPoints {
+		out = enc.buf
+	}
+	if err != nil {
+		s.finishTrace(tr, req.Verb, s.cfg.clock().Sub(start), res.Info, err)
+		if qc.Err() != nil {
+			s.met.deadlineExceeded.Add(1)
+			return appendErrorFrame(out[:fstart], "deadline exceeded: "+err.Error(), id, tagged)
+		}
+		s.met.errors.Add(1)
+		return appendErrorFrame(out[:fstart], err.Error(), id, tagged)
+	}
+	res.Info.Elapsed = s.cfg.clock().Sub(start)
+	s.met.queries[verbIndex(req.Verb)].Add(1)
+	if res.Info.Degraded {
+		s.met.degraded.Add(1)
+	}
+	s.met.latency.observe(float64(res.Info.Elapsed.Microseconds()))
+	s.met.fetches.observe(float64(res.Info.Buckets))
+
+	// Row payloads were encoded during the scan; all that is left is the
+	// count back-patch and the info trailer.
 	encStart := s.traceNow(tr)
-	out, err = AppendResult(out, verb, res)
+	if verb == VerbPoints {
+		out, err = enc.finish(res.Info)
+	} else {
+		out, err = AppendResult(out, verb, res)
+	}
 	s.traceSince(tr, stageEncode, encStart)
 	if err != nil {
 		s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, err)
 		s.met.errors.Add(1)
-		return appendErrorFrame(buf[:fstart], err.Error(), id, tagged)
+		return appendErrorFrame(out[:fstart], err.Error(), id, tagged)
 	}
 	out, err = endFrame(out, fstart)
 	if err != nil {
 		s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, err)
 		s.met.errors.Add(1)
-		return appendErrorFrame(out, err.Error(), id, tagged)
+		return appendErrorFrame(out[:fstart], err.Error(), id, tagged)
 	}
 	s.finishTrace(tr, req.Verb, res.Info.Elapsed, res.Info, nil)
 	return out
@@ -873,44 +1046,45 @@ func (s *Server) serveFrame(buf []byte, f Frame, id uint32, tagged bool) []byte 
 // under pprof labels (verb, degraded-mode) so CPU profiles of a live server
 // split by query shape. Untraced queries take the plain path and pay for
 // neither the labels nor the context allocation behind them.
-func (s *Server) executeTraced(ctx context.Context, req Request, tr *Trace) (res Result, err error) {
+func (s *Server) executeTraced(ctx context.Context, qs *qstate, tr *Trace, enc *resultEncoder) (res Result, err error) {
 	if tr == nil {
-		return s.execute(ctx, req, nil)
+		return s.execute(ctx, qs, nil, enc)
 	}
 	deg := "off"
 	if s.cfg.Degraded {
 		deg = "on"
 	}
-	rpprof.Do(ctx, rpprof.Labels("verb", verbName(req.Verb), "degraded", deg),
+	rpprof.Do(ctx, rpprof.Labels("verb", verbName(qs.req.Verb), "degraded", deg),
 		func(ctx context.Context) {
-			res, err = s.execute(ctx, req, tr)
+			res, err = s.execute(ctx, qs, tr, enc)
 		})
 	return res, err
 }
 
-func (s *Server) execute(ctx context.Context, req Request, tr *Trace) (Result, error) {
+func (s *Server) execute(ctx context.Context, qs *qstate, tr *Trace, enc *resultEncoder) (Result, error) {
+	req := &qs.req
 	dims := s.grid.Dims()
 	switch req.Verb {
 	case VerbPoint:
 		if len(req.Key) != dims {
 			return Result{}, fmt.Errorf("key is %d-D, grid is %d-D", len(req.Key), dims)
 		}
-		return s.pointQuery(ctx, tr, req.Key)
+		return s.pointQuery(ctx, qs, tr, enc, req.Key)
 	case VerbRange:
 		if len(req.Query) != dims {
 			return Result{}, fmt.Errorf("query is %d-D, grid is %d-D", len(req.Query), dims)
 		}
-		return s.rangeQuery(ctx, tr, req.Query, req.CountOnly)
+		return s.rangeQuery(ctx, qs, tr, enc, req.Query, req.CountOnly)
 	case VerbPartial:
 		if len(req.Vals) != dims {
 			return Result{}, fmt.Errorf("query is %d-D, grid is %d-D", len(req.Vals), dims)
 		}
-		return s.partialQuery(ctx, tr, req.Vals)
+		return s.partialQuery(ctx, qs, tr, enc, req.Vals)
 	case VerbKNN:
 		if len(req.Key) != dims {
 			return Result{}, fmt.Errorf("key is %d-D, grid is %d-D", len(req.Key), dims)
 		}
-		return s.knnQuery(ctx, tr, req.Key, req.K)
+		return s.knnQuery(ctx, qs, tr, enc, req.Key, req.K)
 	case VerbInsert, VerbDelete:
 		if len(req.Key) != dims {
 			return Result{}, fmt.Errorf("key is %d-D, grid is %d-D", len(req.Key), dims)
@@ -959,182 +1133,116 @@ func (s *Server) writeOp(ctx context.Context, verb Verb, key geom.Point) (Result
 	return res, nil
 }
 
-// diskLoop is one disk's I/O goroutine: one head per spindle, as in the
-// paper's model. Each request is a whole batch of buckets on this disk,
-// read with coalesced I/O unless disabled. The loop — not the submitting
-// query — publishes the batch's outcome to the bucket cache, so a degraded
-// query that stops waiting on this disk still leaves the cache's in-flight
-// table clean for followers.
-func (s *Server) diskLoop(disk int, ch <-chan fetchReq) {
-	defer s.fetchWg.Done()
-	for req := range ch {
-		var tm *store.Timing
-		if req.tr != nil {
-			// Queue wait: submit to dequeue, i.e. time spent behind other
-			// batches on this spindle.
-			s.traceSince(req.tr, stageFetchWait, req.enq)
-			tm = new(store.Timing)
-		}
-		// The runtime/trace region brackets the whole batch (retries and
-		// backoff included) so `go tool trace` shows each disk goroutine's
-		// duty cycle. StartRegion is a no-op unless tracing is active.
-		region := rtrace.StartRegion(req.ctx, "gridserver.fetchBatch")
-		got, pages, err := s.fetchBatch(req.ctx, disk, req.ids, req.tr, tm)
-		region.End()
-		if tm != nil {
-			req.tr.add(stagePread, tm.Pread)
-			req.tr.add(stageDecode, tm.Decode)
-		}
-		// Success is published to the cache here; a failed batch's leads stay
-		// pending because the gather loop may still fail the batch over to a
-		// surviving owner disk — only when every route is exhausted does the
-		// gather loop complete them with the error.
-		if err == nil {
-			s.met.diskFetches[disk].Add(int64(len(req.ids)))
-			s.met.pagesRead.Add(int64(pages))
-			s.publishLeads(req.ids, got, nil)
-		}
-		req.resp <- fetchResp{ids: req.ids, disk: disk, got: got, pages: pages, err: err}
-	}
-}
-
-// fetchBatch runs one disk batch with the per-attempt deadline and the
-// bounded retry/backoff policy. Only transient failures are retried:
-// injected faults (including torn reads, which wrap fault.ErrInjected) and
-// per-attempt timeouts. Checksum mismatches are deliberately NOT retried
-// here — rereading the same corrupt copy returns the same bytes — but they
-// are transient to the gather loop, which fails them over to a surviving
-// replica. Structural corruption or unknown buckets fail immediately, and
-// an expired query stops retrying at once.
-func (s *Server) fetchBatch(ctx context.Context, disk int, ids []int32, tr *Trace, tm *store.Timing) (map[int32][]geom.Point, int, error) {
-	for attempt := 1; ; attempt++ {
-		actx, cancel := ctx, context.CancelFunc(nil)
-		if s.cfg.FetchTimeout > 0 {
-			actx, cancel = context.WithTimeout(ctx, s.cfg.FetchTimeout)
-		}
-		got, pages, err := s.readBatch(actx, disk, ids, tm)
-		if cancel != nil {
-			cancel()
-		}
-		if err == nil {
-			return got, pages, nil
-		}
-		transient := fault.IsInjected(err) ||
-			(s.cfg.FetchTimeout > 0 && errors.Is(err, context.DeadlineExceeded))
-		if !transient || attempt > s.cfg.FetchRetries || ctx.Err() != nil {
-			return nil, 0, err
-		}
-		s.met.diskRetries.Add(1)
-		backoffStart := s.traceNow(tr)
-		serr := fault.Sleep(ctx, retryDelay(s.cfg.FetchBackoff, attempt))
-		s.traceSince(tr, stageBackoff, backoffStart)
-		if serr != nil {
-			return nil, 0, err
-		}
-	}
-}
-
-// readBatch performs one disk's share of a query. A query whose deadline
-// already expired has abandoned the fetch; skipping the I/O (checked again
-// between simulated-latency sleeps) keeps its backlog from starving live
-// queries.
-func (s *Server) readBatch(ctx context.Context, disk int, ids []int32, tm *store.Timing) (map[int32][]geom.Point, int, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, 0, err
-	}
-	if s.cfg.slowFetch > 0 {
-		for range ids {
-			if err := ctx.Err(); err != nil {
-				return nil, 0, err
-			}
-			time.Sleep(s.cfg.slowFetch)
-		}
-	}
-	if !s.cfg.DisableCoalesce {
-		return s.st.ReadBucketsFromTimed(ctx, disk, ids, tm)
-	}
-	out := make(map[int32][]geom.Point, len(ids))
-	pages := 0
-	for _, id := range ids {
-		pts, p, err := s.st.ReadBucketFromTimed(ctx, disk, id, tm)
-		if err != nil {
-			return nil, 0, err
-		}
-		out[id] = pts
-		pages += p
-	}
-	return out, pages, nil
-}
-
-// publishLeads completes every bucket of a finished batch in the cache —
-// with its data on success, with the error on failure — so followers
-// blocked in Pending.Wait always unblock.
-func (s *Server) publishLeads(ids []int32, got map[int32][]geom.Point, err error) {
+// publishLeads completes every bucket of a successfully read batch in the
+// cache, so followers blocked in Pending.Wait unblock with the data.
+func (s *Server) publishLeads(ids []int32, recs []geom.Flat) {
 	if s.bcache == nil {
 		return
 	}
-	for _, id := range ids {
-		if err != nil {
-			s.bcache.Complete(id, nil, 0, err)
-			continue
-		}
+	for i, id := range ids {
 		pl, _ := s.st.Placement(id)
-		s.bcache.Complete(id, got[id], pl.Pages, nil)
+		s.bcache.Complete(id, recs[i], pl.Pages, nil)
 	}
 }
 
 // failLeads publishes err for every bucket this query volunteered to load,
 // so waiting followers unblock and the cache's in-flight table stays clean.
-// Used only for batches never handed to a disk goroutine; submitted batches
-// are published by diskLoop.
+// Used for batches never handed to a disk worker and for batches whose
+// failover routes are exhausted; successful batches are published by the
+// disk workers.
 func (s *Server) failLeads(ids []int32, err error) {
 	if s.bcache == nil {
 		return
 	}
 	for _, id := range ids {
-		s.bcache.Complete(id, nil, 0, err)
+		s.bcache.Complete(id, geom.Flat{}, 0, err)
 	}
 }
 
-// fetchBuckets resolves a query's bucket set: cache hits are served
+// fetchBuckets resolves a query's bucket set into recs (parallel to ids,
+// len(recs) == len(ids), pre-zeroed by the caller): cache hits are filled
 // immediately, buckets another in-flight query is already reading are
-// joined (singleflight), and the rest are batched per disk and read by the
-// disk I/O goroutines with coalesced requests. Every bucket this query
-// leads is published to the cache exactly once — with data or with the
-// error — before fetchBuckets returns, so followers never wait on an
-// abandoned load.
-func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[int32][]geom.Point, QueryInfo, error) {
+// joined (singleflight), and the rest are batched per disk and submitted to
+// the disk workers' request rings. Every bucket this query leads is
+// published to the cache exactly once — with data or with the error —
+// before fetchBuckets returns, so followers never wait on an abandoned
+// load. A degraded return leaves missed buckets as zero Flats, which scan
+// as empty.
+//
+// The common case — every bucket resident — never leaves this function and
+// allocates nothing.
+func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32, recs []geom.Flat) (QueryInfo, error) {
 	var info QueryInfo
-	out := make(map[int32][]geom.Point, len(ids))
+	cacheStart := s.traceNow(tr)
+	if s.bcache != nil {
+		for i, id := range ids {
+			r := s.bcache.Acquire(id)
+			if !r.Hit {
+				return s.fetchBucketsSlow(ctx, tr, ids, recs, i, r, true, info, cacheStart)
+			}
+			recs[i] = r.Rec
+			info.Buckets++
+		}
+		s.traceSince(tr, stageCache, cacheStart)
+		tr.noteCache(len(ids), 0, 0)
+		return info, nil
+	}
+	return s.fetchBucketsSlow(ctx, tr, ids, recs, 0, cache.AcquireResult{}, false, info, cacheStart)
+}
+
+// leadBatch is one disk's worth of buckets a query must read itself, with
+// each bucket's index into the query's recs slice riding along so responses
+// scatter straight into place.
+type leadBatch struct {
+	ids  []int32
+	idxs []int
+}
+
+// fetchBucketsSlow is the miss path of fetchBuckets, entered at position i
+// with — when haveFirst — the AcquireResult already obtained for ids[i]
+// (re-acquiring would self-join a load this query leads and deadlock).
+func (s *Server) fetchBucketsSlow(ctx context.Context, tr *Trace, ids []int32, recs []geom.Flat,
+	i int, first cache.AcquireResult, haveFirst bool, info QueryInfo, cacheStart time.Time) (QueryInfo, error) {
 	type join struct {
-		id int32
-		p  *cache.Pending
+		idx int
+		id  int32
+		p   *cache.Pending
 	}
 	var joins []join
-	var leads map[int][]int32 // disk -> buckets this query must read
+	var leads map[int]*leadBatch // disk -> buckets this query must read
 	nleads := 0
-	cacheStart := s.traceNow(tr)
-	for _, id := range ids {
-		if s.bcache != nil {
-			switch r := s.bcache.Acquire(id); {
-			case r.Hit:
-				out[id] = r.Pts
-				info.Buckets++
-				continue
-			case r.Pending != nil:
-				joins = append(joins, join{id, r.Pending})
-				continue
-			}
+	hits := info.Buckets
+	for ; i < len(ids); i++ {
+		id := ids[i]
+		var r cache.AcquireResult
+		switch {
+		case haveFirst:
+			r, haveFirst = first, false
+		case s.bcache != nil:
+			r = s.bcache.Acquire(id)
+		default:
+			// No cache: every bucket is this query's own read.
+			r = cache.AcquireResult{Leader: true}
+		}
+		switch {
+		case r.Hit:
+			recs[i] = r.Rec
+			info.Buckets++
+			hits++
+			continue
+		case r.Pending != nil:
+			joins = append(joins, join{i, id, r.Pending})
+			continue
 		}
 		pl, ok := s.st.Placement(id)
 		if !ok {
 			err := fmt.Errorf("bucket %d not in store", id)
-			s.failLeads([]int32{id}, err)
-			for _, batch := range leads {
-				s.failLeads(batch, err)
+			s.failLeads(ids[i:i+1], err)
+			for _, b := range leads {
+				s.failLeads(b.ids, err)
 			}
 			s.traceSince(tr, stageCache, cacheStart)
-			return nil, info, err
+			return info, err
 		}
 		disk := pl.Disk
 		if s.replicated {
@@ -1146,38 +1254,43 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 			}
 		}
 		if leads == nil {
-			leads = make(map[int][]int32)
+			leads = make(map[int]*leadBatch)
 		}
-		leads[disk] = append(leads[disk], id)
+		b := leads[disk]
+		if b == nil {
+			b = &leadBatch{}
+			leads[disk] = b
+		}
+		b.ids = append(b.ids, id)
+		b.idxs = append(b.idxs, i)
 		nleads++
 	}
 	s.traceSince(tr, stageCache, cacheStart)
-	tr.noteCache(len(out), len(joins), nleads)
+	tr.noteCache(hits, len(joins), nleads)
 
 	// One batch per disk. The response channel is buffered for every lead
 	// bucket: outstanding batches always hold disjoint lead sets (a failed
 	// batch is regrouped only after its response is drained), so at most
-	// nleads responses can ever be in flight and disk goroutines never block
+	// nleads responses can ever be in flight and disk workers never block
 	// on an abandoned query. The gather loop waits for every submitted batch
-	// (the disk loops answer expired contexts immediately). Leads of
-	// successful batches are completed by diskLoop; failed or never-submitted
+	// (the workers answer expired contexts immediately). Leads of successful
+	// batches are completed by the disk workers; failed or never-submitted
 	// batches are completed here, after failover is exhausted.
 	resp := make(chan fetchResp, nleads)
 	var err error
 	submitted := 0
-	for disk, batch := range leads {
+	for disk, b := range leads {
 		if err != nil {
-			s.failLeads(batch, err)
+			s.failLeads(b.ids, err)
 			continue
 		}
-		select {
-		case s.fetchCh[disk] <- fetchReq{ids: batch, ctx: ctx, resp: resp, tr: tr, enq: s.traceNow(tr)}:
-			s.st.AddLoad(disk, int64(len(batch)))
-			submitted++
-		case <-ctx.Done():
-			err = ctx.Err()
-			s.failLeads(batch, err)
+		if !s.sched[disk].submit(fetchReq{ids: b.ids, idxs: b.idxs, ctx: ctx, resp: resp, tr: tr, enq: s.traceNow(tr)}) {
+			err = errors.New("server shutting down")
+			s.failLeads(b.ids, err)
+			continue
 		}
+		s.st.AddLoad(disk, int64(len(b.ids)))
+		submitted++
 	}
 	// missedDisks records disks whose batches failed transiently while
 	// degraded mode absorbs the failure; the answer then covers only the
@@ -1205,8 +1318,8 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 		outstanding--
 		s.st.AddLoad(r.disk, -int64(len(r.ids)))
 		if r.err == nil {
-			for _, id := range r.ids {
-				out[id] = r.got[id]
+			for k := range r.ids {
+				recs[r.idxs[k]] = r.recs[k]
 				info.Buckets++
 			}
 			info.Pages += r.pages
@@ -1251,7 +1364,7 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 		s.met.replicaReadsSecondary.Add(nSecondary)
 	}
 	if err != nil {
-		return nil, info, err
+		return info, err
 	}
 
 	// Collect joined loads last: their leaders read in parallel with ours.
@@ -1262,7 +1375,7 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 	joinStart := s.traceNow(tr)
 	defer s.traceSince(tr, stageCache, joinStart)
 	for _, j := range joins {
-		pts, _, werr := j.p.Wait(ctx)
+		rec, _, werr := j.p.Wait(ctx)
 		if werr != nil {
 			if s.degradable(ctx, werr) {
 				if pl, ok := s.st.Placement(j.id); ok {
@@ -1270,16 +1383,16 @@ func (s *Server) fetchBuckets(ctx context.Context, tr *Trace, ids []int32) (map[
 					continue
 				}
 			}
-			return nil, info, werr
+			return info, werr
 		}
-		out[j.id] = pts
+		recs[j.idx] = rec
 		info.Buckets++
 	}
 	if len(missedDisks) > 0 {
 		info.Degraded = true
 		info.MissedDisks = len(missedDisks)
 	}
-	return out, info, nil
+	return info, nil
 }
 
 // failOver reroutes one transiently failed batch to surviving owner disks:
@@ -1297,7 +1410,7 @@ func (s *Server) failOver(ctx context.Context, tr *Trace, resp chan fetchResp,
 	r fetchResp, bucketFailed map[int32][]int, degrade func(int), errp *error) int {
 	var lost []int32
 	resubmitted := 0
-	for _, id := range r.ids {
+	for k, id := range r.ids {
 		tried := bucketFailed[id]
 		disk, ok := s.st.PickOwner(id, func(d int) bool {
 			for _, fd := range tried {
@@ -1326,14 +1439,13 @@ func (s *Server) failOver(ctx context.Context, tr *Trace, resp chan fetchResp,
 			lost = append(lost, id)
 			continue
 		}
-		select {
-		case s.fetchCh[disk] <- fetchReq{ids: []int32{id}, ctx: ctx, resp: resp, tr: tr, enq: s.traceNow(tr)}:
-			s.st.AddLoad(disk, 1)
-			s.met.replicaFailover.Add(1)
-			resubmitted++
-		case <-ctx.Done():
+		if !s.sched[disk].submit(fetchReq{ids: r.ids[k : k+1], idxs: r.idxs[k : k+1], ctx: ctx, resp: resp, tr: tr, enq: s.traceNow(tr)}) {
 			lost = append(lost, id)
+			continue
 		}
+		s.st.AddLoad(disk, 1)
+		s.met.replicaFailover.Add(1)
+		resubmitted++
 	}
 	if len(lost) > 0 {
 		s.failLeads(lost, r.err)
@@ -1376,7 +1488,22 @@ func (s *Server) degradable(ctx context.Context, err error) bool {
 // happen before it), so readers are never blocked on disk I/O. On read-only
 // stores RLockGrid is a no-op and translation stays lock-free.
 
-func (s *Server) pointQuery(ctx context.Context, tr *Trace, key geom.Point) (Result, error) {
+// growFlats returns a zeroed length-n slice, reusing s's backing array when
+// it is big enough. Zeroing matters: a degraded fetch leaves missing
+// buckets untouched, and a stale arena left over from the previous query
+// through the same pooled scratch would otherwise be scanned as live data.
+func growFlats(s []geom.Flat, n int) []geom.Flat {
+	if cap(s) < n {
+		return make([]geom.Flat, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = geom.Flat{}
+	}
+	return s
+}
+
+func (s *Server) pointQuery(ctx context.Context, qs *qstate, tr *Trace, enc *resultEncoder, key geom.Point) (Result, error) {
 	tstart := s.traceNow(tr)
 	s.st.RLockGrid()
 	id, ok := s.grid.BucketAt(key)
@@ -1385,47 +1512,59 @@ func (s *Server) pointQuery(ctx context.Context, tr *Trace, key geom.Point) (Res
 	if !ok {
 		return Result{}, fmt.Errorf("key %v outside the domain", key)
 	}
-	got, info, err := s.fetchBuckets(ctx, tr, []int32{id})
+	qs.ids = append(qs.ids[:0], id)
+	qs.recs = growFlats(qs.recs, 1)
+	info, err := s.fetchBuckets(ctx, tr, qs.ids, qs.recs)
 	if err != nil {
 		return Result{}, err
 	}
 	var res Result
 	res.Info = info
-	for _, p := range got[id] {
-		if pointsEqual(p, key) {
-			res.Points = append(res.Points, p)
+	rec := qs.recs[0]
+	for i := 0; i < rec.Len(); i++ {
+		row := rec.Row(i)
+		if pointsEqual(row, key) {
+			enc.appendRow(row)
 		}
 	}
-	res.Count = len(res.Points)
+	res.Count = enc.count()
 	return res, nil
 }
 
-func (s *Server) rangeQuery(ctx context.Context, tr *Trace, q geom.Rect, countOnly bool) (Result, error) {
+func (s *Server) rangeQuery(ctx context.Context, qs *qstate, tr *Trace, enc *resultEncoder, q geom.Rect, countOnly bool) (Result, error) {
 	tstart := s.traceNow(tr)
 	s.st.RLockGrid()
-	ids := s.grid.BucketsInRange(q)
+	qs.ids = s.grid.BucketsInRangeAppend(q, qs.ids[:0])
 	s.st.RUnlockGrid()
 	s.traceSince(tr, stageTranslate, tstart)
-	got, info, err := s.fetchBuckets(ctx, tr, ids)
+	qs.recs = growFlats(qs.recs, len(qs.ids))
+	info, err := s.fetchBuckets(ctx, tr, qs.ids, qs.recs)
 	if err != nil {
 		return Result{}, err
 	}
+	// The filter predicate runs directly over the arena rows; matches are
+	// either counted or appended straight into the response frame.
 	var res Result
 	res.Info = info
-	for _, id := range ids {
-		for _, p := range got[id] {
-			if q.ContainsPoint(p) {
-				res.Count++
-				if !countOnly {
-					res.Points = append(res.Points, p)
+	for _, rec := range qs.recs {
+		for i := 0; i < rec.Len(); i++ {
+			row := rec.Row(i)
+			if q.ContainsPoint(row) {
+				if countOnly {
+					res.Count++
+				} else {
+					enc.appendRow(row)
 				}
 			}
 		}
 	}
+	if !countOnly {
+		res.Count = enc.count()
+	}
 	return res, nil
 }
 
-func (s *Server) partialQuery(ctx context.Context, tr *Trace, vals []float64) (Result, error) {
+func (s *Server) partialQuery(ctx context.Context, qs *qstate, tr *Trace, enc *resultEncoder, vals []float64) (Result, error) {
 	dom := s.grid.Domain()
 	q := make(geom.Rect, len(vals))
 	for d, v := range vals {
@@ -1435,20 +1574,16 @@ func (s *Server) partialQuery(ctx context.Context, tr *Trace, vals []float64) (R
 			q[d] = geom.Interval{Lo: v, Hi: v}
 		}
 	}
-	res, err := s.rangeQuery(ctx, tr, q, false)
-	if err != nil {
-		return Result{}, err
-	}
 	// Range containment already requires equality on the specified
 	// (degenerate) intervals; nothing further to filter.
-	return res, nil
+	return s.rangeQuery(ctx, qs, tr, enc, q, false)
 }
 
 // knnQuery finds the k nearest stored points by growing a range box around
 // the key — the grid file's classic expanding-search strategy, executed
 // against the page store so every probe is real declustered I/O. Buckets
 // are fetched at most once per query.
-func (s *Server) knnQuery(ctx context.Context, tr *Trace, key geom.Point, k int) (Result, error) {
+func (s *Server) knnQuery(ctx context.Context, qs *qstate, tr *Trace, enc *resultEncoder, key geom.Point, k int) (Result, error) {
 	dom := s.grid.Domain()
 	if err := domContains(dom, key); err != nil {
 		return Result{}, err
@@ -1469,10 +1604,10 @@ func (s *Server) knnQuery(ctx context.Context, tr *Trace, key geom.Point, k int)
 	}
 
 	type cand struct {
-		p    geom.Point
+		row  []float64
 		dist float64
 	}
-	fetched := make(map[int32][]geom.Point)
+	fetched := make(map[int32]geom.Flat)
 	var info QueryInfo
 	for {
 		q := make(geom.Rect, len(key))
@@ -1497,7 +1632,8 @@ func (s *Server) knnQuery(ctx context.Context, tr *Trace, key geom.Point, k int)
 				fresh = append(fresh, id)
 			}
 		}
-		got, fi, err := s.fetchBuckets(ctx, tr, fresh)
+		recs := make([]geom.Flat, len(fresh))
+		fi, err := s.fetchBuckets(ctx, tr, fresh, recs)
 		if err != nil {
 			return Result{}, err
 		}
@@ -1513,27 +1649,26 @@ func (s *Server) knnQuery(ctx context.Context, tr *Trace, key geom.Point, k int)
 			}
 			covers = true
 		}
-		for id, pts := range got {
-			fetched[id] = pts
+		for i, id := range fresh {
+			fetched[id] = recs[i]
 		}
 
 		var cands []cand
-		for _, pts := range fetched {
-			for _, p := range pts {
-				cands = append(cands, cand{p: p, dist: euclid(p, key)})
+		for _, rec := range fetched {
+			for i := 0; i < rec.Len(); i++ {
+				row := rec.Row(i)
+				cands = append(cands, cand{row: row, dist: euclid(row, key)})
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+		slices.SortFunc(cands, func(a, b cand) int { return cmp.Compare(a.dist, b.dist) })
 		// Done when the k-th distance is inside the probed radius (no
 		// unfetched point can be closer) or the box covers the domain.
 		if covers || (len(cands) >= k && cands[k-1].dist <= r) {
 			n := min(k, len(cands))
-			res := Result{Points: make([]geom.Point, 0, n), Info: info}
 			for _, c := range cands[:n] {
-				res.Points = append(res.Points, c.p)
+				enc.appendRow(c.row)
 			}
-			res.Count = n
-			return res, nil
+			return Result{Count: n, Info: info}, nil
 		}
 		r *= 2
 	}
@@ -1570,8 +1705,8 @@ func domContains(dom geom.Rect, p geom.Point) error {
 }
 
 func (s *Server) stopFetchers() {
-	for _, ch := range s.fetchCh {
-		close(ch)
+	for _, q := range s.sched {
+		q.close()
 	}
 	s.fetchWg.Wait()
 }

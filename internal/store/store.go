@@ -22,6 +22,7 @@
 package store
 
 import (
+	"cmp"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -31,7 +32,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -569,11 +570,13 @@ func getBuf(n int) []byte {
 
 func putBuf(b []byte) { bufPool.Put(&b) }
 
-// decodeBucket validates and decodes one bucket's pages from data (exactly
-// pl.Pages consecutive pages). Records are decoded into a single flat
-// coordinate array with one subslice header per point, so a bucket costs
-// two allocations regardless of record count.
-func (s *Store) decodeBucket(data []byte, pl Placement) ([]geom.Point, error) {
+// decodeBucketFlat validates and decodes one bucket's pages from data
+// (exactly pl.Pages consecutive pages) into arena form: one freshly
+// allocated flat coordinate array — a single allocation regardless of
+// record count. The result always carries the manifest's dimensionality,
+// even for an empty bucket, so callers can distinguish "decoded empty"
+// from the zero Flat.
+func (s *Store) decodeBucketFlat(data []byte, pl Placement) (geom.Flat, error) {
 	dims := s.manifest.Dims
 	pageBytes := s.manifest.PageBytes
 	flat := make([]float64, 0, pl.Recs*dims)
@@ -581,17 +584,17 @@ func (s *Store) decodeBucket(data []byte, pl Placement) ([]geom.Point, error) {
 		page := data[p*pageBytes : (p+1)*pageBytes]
 		if s.verify && s.manifest.PageFormat == pageFormatChecksum {
 			if got, want := binary.LittleEndian.Uint32(page[8:]), pageChecksum(page); got != want {
-				return nil, fmt.Errorf("store: bucket %d page %d: %w (stored %08x, computed %08x)",
+				return geom.Flat{}, fmt.Errorf("store: bucket %d page %d: %w (stored %08x, computed %08x)",
 					pl.ID, p, ErrChecksum, got, want)
 			}
 		}
 		gotID := int32(binary.LittleEndian.Uint32(page[0:]))
 		if gotID != pl.ID {
-			return nil, fmt.Errorf("store: page %d of bucket %d holds bucket %d", p, pl.ID, gotID)
+			return geom.Flat{}, fmt.Errorf("store: page %d of bucket %d holds bucket %d", p, pl.ID, gotID)
 		}
 		n := int(binary.LittleEndian.Uint32(page[4:]))
 		if n < 0 || s.header+n*8*dims > pageBytes {
-			return nil, fmt.Errorf("store: bucket %d page %d has implausible count %d", pl.ID, p, n)
+			return geom.Flat{}, fmt.Errorf("store: bucket %d page %d has implausible count %d", pl.ID, p, n)
 		}
 		o := s.header
 		for i := 0; i < n*dims; i++ {
@@ -600,14 +603,20 @@ func (s *Store) decodeBucket(data []byte, pl Placement) ([]geom.Point, error) {
 		}
 	}
 	if len(flat) != pl.Recs*dims {
-		return nil, fmt.Errorf("store: bucket %d holds %d records, manifest says %d",
+		return geom.Flat{}, fmt.Errorf("store: bucket %d holds %d records, manifest says %d",
 			pl.ID, len(flat)/dims, pl.Recs)
 	}
-	out := make([]geom.Point, pl.Recs)
-	for i := range out {
-		out[i] = geom.Point(flat[i*dims : (i+1)*dims : (i+1)*dims])
+	return geom.Flat{Dims: dims, Coords: flat}, nil
+}
+
+// decodeBucket is the conventional-view decoder: the flat arena plus one
+// subslice header per point (two allocations per bucket).
+func (s *Store) decodeBucket(data []byte, pl Placement) ([]geom.Point, error) {
+	fl, err := s.decodeBucketFlat(data, pl)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return fl.Points(), nil
 }
 
 // SetFaults attaches a failpoint registry consulted before every positioned
@@ -720,6 +729,15 @@ func (s *Store) ReadBucketTimed(ctx context.Context, id int32, tm *Timing) ([]ge
 // readOne reads and decodes a single placement (whichever copy pl points
 // at).
 func (s *Store) readOne(ctx context.Context, pl Placement, tm *Timing) ([]geom.Point, int, error) {
+	fl, pages, err := s.readOneFlat(ctx, pl, tm)
+	if err != nil {
+		return nil, 0, err
+	}
+	return fl.Points(), pages, nil
+}
+
+// readOneFlat is readOne in arena form: one allocation for the record data.
+func (s *Store) readOneFlat(ctx context.Context, pl Placement, tm *Timing) (geom.Flat, int, error) {
 	buf := getBuf(pl.Pages * s.manifest.PageBytes)
 	defer putBuf(buf)
 	var t0 time.Time
@@ -733,19 +751,19 @@ func (s *Store) readOne(ctx context.Context, pl Placement, tm *Timing) ([]geom.P
 		t0 = now
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: reading bucket %d: %w", pl.ID, err)
+		return geom.Flat{}, 0, fmt.Errorf("store: reading bucket %d: %w", pl.ID, err)
 	}
-	out, err := s.decodeBucket(buf, pl)
+	fl, err := s.decodeBucketFlat(buf, pl)
 	if tm != nil {
 		tm.Decode += s.now().Sub(t0)
 	}
 	if err != nil {
 		if torn {
-			return nil, 0, fmt.Errorf("store: torn read of bucket %d: %w (%v)", pl.ID, fault.ErrInjected, err)
+			return geom.Flat{}, 0, fmt.Errorf("store: torn read of bucket %d: %w (%v)", pl.ID, fault.ErrInjected, err)
 		}
-		return nil, 0, err
+		return geom.Flat{}, 0, err
 	}
-	return out, pl.Pages, nil
+	return fl, pl.Pages, nil
 }
 
 // maxCoalesceBytes bounds one coalesced ReadAt so the pooled buffers stay a
@@ -856,16 +874,104 @@ func placementOn(pl Placement, disk int) (Placement, bool) {
 	return pl, false
 }
 
-// readPlacements is the shared coalescing read core: placements are grouped
-// per disk, sorted by page offset, and contiguous runs are read with single
-// ReadAt calls. Results land in out keyed by bucket id; the return value is
-// the total number of pages read.
-func (s *Store) readPlacements(ctx context.Context, pls []Placement, out map[int32][]geom.Point, tm *Timing) (int, error) {
-	sort.Slice(pls, func(i, j int) bool {
-		if pls[i].Disk != pls[j].Disk {
-			return pls[i].Disk < pls[j].Disk
+// plIdx pairs one placement with the caller's result slot, so the coalescing
+// core can sort placements into disk order while landing each decode in the
+// position the caller asked for. The scratch slices are pooled: a serving
+// path batch allocates nothing here.
+type plIdx struct {
+	pl  Placement
+	idx int
+}
+
+var plScratchPool = sync.Pool{New: func() any {
+	s := make([]plIdx, 0, 32)
+	return &s
+}}
+
+// ReadFlatsFrom fetches a batch of buckets from ONE specific owner disk in
+// arena form: out[i] receives ids[i]'s records as a geom.Flat (one
+// allocation per bucket), with the same run coalescing as ReadBucketsFrom.
+// out must have at least len(ids) entries; ids must be distinct (the server
+// submits per-disk lead batches, which are). The return value is the total
+// number of pages read.
+func (s *Store) ReadFlatsFrom(ctx context.Context, disk int, ids []int32, out []geom.Flat) (int, error) {
+	return s.ReadFlatsFromTimed(ctx, disk, ids, out, nil)
+}
+
+// ReadFlatsFromTimed is ReadFlatsFrom with an optional pread/decode time
+// split accumulated into tm (nil disables timing).
+func (s *Store) ReadFlatsFromTimed(ctx context.Context, disk int, ids []int32, out []geom.Flat, tm *Timing) (int, error) {
+	sp := plScratchPool.Get().(*[]plIdx)
+	pls := (*sp)[:0]
+	for i, id := range ids {
+		pl, ok := s.lookup(id)
+		if !ok {
+			*sp = pls[:0]
+			plScratchPool.Put(sp)
+			return 0, fmt.Errorf("store: unknown bucket %d", id)
 		}
-		return pls[i].Page < pls[j].Page
+		pl, ok = placementOn(pl, disk)
+		if !ok {
+			*sp = pls[:0]
+			plScratchPool.Put(sp)
+			return 0, fmt.Errorf("store: bucket %d has no copy on disk %d", id, disk)
+		}
+		pls = append(pls, plIdx{pl, i})
+	}
+	pages, err := s.readPlacementsFlat(ctx, pls, out, tm)
+	*sp = pls[:0]
+	plScratchPool.Put(sp)
+	return pages, err
+}
+
+// ReadFlatFromTimed fetches one bucket's records from a specific owner disk
+// in arena form.
+func (s *Store) ReadFlatFromTimed(ctx context.Context, disk int, id int32, tm *Timing) (geom.Flat, int, error) {
+	pl, ok := s.lookup(id)
+	if !ok {
+		return geom.Flat{}, 0, fmt.Errorf("store: unknown bucket %d", id)
+	}
+	pl, ok = placementOn(pl, disk)
+	if !ok {
+		return geom.Flat{}, 0, fmt.Errorf("store: bucket %d has no copy on disk %d", id, disk)
+	}
+	return s.readOneFlat(ctx, pl, tm)
+}
+
+// readPlacements is the map-keyed compatibility form of the coalescing read
+// core; results land in out keyed by bucket id.
+func (s *Store) readPlacements(ctx context.Context, pls []Placement, out map[int32][]geom.Point, tm *Timing) (int, error) {
+	pidx := make([]plIdx, len(pls))
+	flats := make([]geom.Flat, len(pls))
+	for i, pl := range pls {
+		pidx[i] = plIdx{pl, i}
+	}
+	pages, err := s.readPlacementsFlat(ctx, pidx, flats, tm)
+	if err != nil {
+		return 0, err
+	}
+	for i, pl := range pls {
+		out[pl.ID] = flats[i].Points()
+	}
+	return pages, nil
+}
+
+// readPlacementsFlat is the shared coalescing read core: placements are
+// grouped per disk, sorted by page offset, and contiguous runs are read with
+// single ReadAt calls into a pooled scatter buffer. Each placement decodes
+// into out[its idx] in arena form. The sort order — and therefore the
+// sequence of positioned reads and failpoint evaluations — is identical to
+// the pre-flat implementation, which the deterministic campaign gate relies
+// on. The return value is the total number of pages read.
+func (s *Store) readPlacementsFlat(ctx context.Context, pls []plIdx, out []geom.Flat, tm *Timing) (int, error) {
+	// slices.SortFunc rather than sort.Slice: no closure/Swapper allocations
+	// on the per-batch hot path. The comparison key (disk, then page) is a
+	// total order over distinct placements, so the two sorts agree.
+	slices.SortFunc(pls, func(a, b plIdx) int {
+		if a.pl.Disk != b.pl.Disk {
+			return a.pl.Disk - b.pl.Disk
+		}
+		return cmp.Compare(a.pl.Page, b.pl.Page)
 	})
 
 	pageBytes := int64(s.manifest.PageBytes)
@@ -874,12 +980,12 @@ func (s *Store) readPlacements(ctx context.Context, pls []Placement, out map[int
 		// Grow the run while the next bucket starts exactly where this one
 		// ends on the same disk and the run stays within the buffer cap.
 		hi := lo + 1
-		runPages := pls[lo].Pages
+		runPages := pls[lo].pl.Pages
 		for hi < len(pls) &&
-			pls[hi].Disk == pls[lo].Disk &&
-			pls[hi].Page == pls[hi-1].Page+int64(pls[hi-1].Pages) &&
-			int64(runPages+pls[hi].Pages)*pageBytes <= maxCoalesceBytes {
-			runPages += pls[hi].Pages
+			pls[hi].pl.Disk == pls[lo].pl.Disk &&
+			pls[hi].pl.Page == pls[hi-1].pl.Page+int64(pls[hi-1].pl.Pages) &&
+			int64(runPages+pls[hi].pl.Pages)*pageBytes <= maxCoalesceBytes {
+			runPages += pls[hi].pl.Pages
 			hi++
 		}
 		buf := getBuf(runPages * s.manifest.PageBytes)
@@ -887,7 +993,7 @@ func (s *Store) readPlacements(ctx context.Context, pls []Placement, out map[int
 		if tm != nil {
 			t0 = s.now()
 		}
-		torn, err := s.readAt(ctx, pls[lo].Disk, buf, pls[lo].Page*pageBytes)
+		torn, err := s.readAt(ctx, pls[lo].pl.Disk, buf, pls[lo].pl.Page*pageBytes)
 		if tm != nil {
 			now := s.now()
 			tm.Pread += now.Sub(t0)
@@ -896,21 +1002,21 @@ func (s *Store) readPlacements(ctx context.Context, pls []Placement, out map[int
 		if err != nil {
 			putBuf(buf)
 			return 0, fmt.Errorf("store: reading buckets %d..%d: %w",
-				pls[lo].ID, pls[hi-1].ID, err)
+				pls[lo].pl.ID, pls[hi-1].pl.ID, err)
 		}
 		off := 0
-		for _, pl := range pls[lo:hi] {
-			pts, err := s.decodeBucket(buf[off:off+pl.Pages*s.manifest.PageBytes], pl)
+		for _, pi := range pls[lo:hi] {
+			fl, err := s.decodeBucketFlat(buf[off:off+pi.pl.Pages*s.manifest.PageBytes], pi.pl)
 			if err != nil {
 				putBuf(buf)
 				if torn {
 					return 0, fmt.Errorf("store: torn read of bucket %d: %w (%v)",
-						pl.ID, fault.ErrInjected, err)
+						pi.pl.ID, fault.ErrInjected, err)
 				}
 				return 0, err
 			}
-			out[pl.ID] = pts
-			off += pl.Pages * s.manifest.PageBytes
+			out[pi.idx] = fl
+			off += pi.pl.Pages * s.manifest.PageBytes
 		}
 		putBuf(buf)
 		if tm != nil {

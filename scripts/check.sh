@@ -25,7 +25,9 @@
 #                  matrix: byte-identical across runs, zero surfaced errors,
 #                  and exactly matching the committed CAMPAIGN.json
 #  12. bench smoke one-shot run of the serving-path benchmark suite
-#  13. decluster smoke
+#  13. alloc gate  tuned and tuned-pipelined throughput rows with -benchmem
+#                  must stay within the committed allocs/op budget
+#  14. decluster smoke
 #                  one iteration of the build-path benchmark; its parallel
 #                  variant asserts the engine assignment is byte-identical
 #                  to the serial reference
@@ -81,6 +83,9 @@ echo "== bench smoke"
 BENCH_SMOKE_OUT=$(mktemp)
 BENCH_SUITE=server sh scripts/bench.sh 10x "$BENCH_SMOKE_OUT" >/dev/null
 rm -f "$BENCH_SMOKE_OUT"
+
+echo "== alloc gate (make bench-alloc)"
+BENCH_SUITE=alloc sh scripts/bench.sh
 
 echo "== decluster smoke"
 go test -run '^$' -bench '^BenchmarkDecluster$/^minimax$/^N=1024$/^M=16$' \
